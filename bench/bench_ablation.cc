@@ -1,0 +1,161 @@
+// Ablation benchmarks (google-benchmark) for CDStore's design choices:
+//
+//   1. OAEP vs Rivest AONT           (§3.2: "single encryption on a large
+//      constant-value block" vs per-word encryptions)
+//   2. Split-table vs log/exp GF     (why GF-Complete-style tables matter)
+//   3. 4MB share batching vs per-share RPCs (§4.1 I/O batching)
+//   4. Convergent hash cost          (what dedup capability adds on top of
+//      a random key: one extra SHA-256 per secret)
+#include <benchmark/benchmark.h>
+
+#include "src/aont/oaep_aont.h"
+#include "src/aont/rivest_aont.h"
+#include "src/dispersal/aont_rs.h"
+#include "src/gf256/gf256.h"
+#include "src/net/transport.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+// ---- 1. AONT variants -------------------------------------------------------
+
+void BM_AontOaep(benchmark::State& state) {
+  Rng rng(1);
+  Bytes x = rng.RandomBytes(state.range(0));
+  Bytes key = rng.RandomBytes(kAontKeySize);
+  for (auto _ : state) {
+    Bytes pkg = OaepAontTransform(x, key);
+    benchmark::DoNotOptimize(pkg.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AontOaep)->Arg(8192)->Arg(16384);
+
+void BM_AontRivest(benchmark::State& state) {
+  Rng rng(2);
+  Bytes x = rng.RandomBytes(state.range(0));
+  Bytes key = rng.RandomBytes(kRivestKeySize);
+  for (auto _ : state) {
+    Bytes pkg = RivestAontTransform(x, key);
+    benchmark::DoNotOptimize(pkg.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AontRivest)->Arg(8192)->Arg(16384);
+
+// ---- 2. GF region multiply ---------------------------------------------------
+
+void BM_GfLogExp(benchmark::State& state) {
+  Rng rng(3);
+  Bytes src = rng.RandomBytes(state.range(0));
+  Bytes dst = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    Gf256AddMulRegionLogExp(dst, src, 0x9c);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GfLogExp)->Arg(65536);
+
+void BM_GfSplitScalar(benchmark::State& state) {
+  Rng rng(4);
+  Bytes src = rng.RandomBytes(state.range(0));
+  Bytes dst = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    Gf256AddMulRegionScalar(dst, src, 0x9c);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GfSplitScalar)->Arg(65536);
+
+void BM_GfSplitSimd(benchmark::State& state) {
+  Rng rng(5);
+  Bytes src = rng.RandomBytes(state.range(0));
+  Bytes dst = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    Gf256AddMulRegion(dst, src, 0x9c);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(Gf256HasSimd() ? "SSSE3" : "scalar-fallback");
+}
+BENCHMARK(BM_GfSplitSimd)->Arg(65536);
+
+// ---- 3. RPC batching --------------------------------------------------------
+
+// Transfers 256 shares of ~2.7KB each through a transport with per-request
+// latency, one request per share vs one 4MB batch — §4.1's motivation.
+void BM_RpcPerShare(benchmark::State& state) {
+  RateLimiter latency(1);  // unused rate; we model latency via sleepless math
+  (void)latency;
+  const int kShares = 256;
+  const size_t kShareSize = 2730;
+  double latency_s = 0.001;  // 1ms per request (LAN RTT)
+  Rng rng(6);
+  Bytes share = rng.RandomBytes(kShareSize);
+  for (auto _ : state) {
+    double virtual_time = 0;
+    InProcTransport t([](ConstByteSpan) { return Bytes{1}; });
+    for (int i = 0; i < kShares; ++i) {
+      (void)t.Call(share);
+      virtual_time += latency_s;
+    }
+    benchmark::DoNotOptimize(virtual_time);
+    state.SetIterationTime(virtual_time);
+  }
+  state.SetBytesProcessed(state.iterations() * kShares * kShareSize);
+  state.SetLabel("1 RPC per share, 1ms RTT");
+}
+BENCHMARK(BM_RpcPerShare)->UseManualTime();
+
+void BM_RpcBatched(benchmark::State& state) {
+  const int kShares = 256;
+  const size_t kShareSize = 2730;
+  double latency_s = 0.001;
+  Rng rng(7);
+  Bytes batch = rng.RandomBytes(kShares * kShareSize);
+  for (auto _ : state) {
+    double virtual_time = 0;
+    InProcTransport t([](ConstByteSpan) { return Bytes{1}; });
+    (void)t.Call(batch);  // one 4MB-ish buffer
+    virtual_time += latency_s;
+    benchmark::DoNotOptimize(virtual_time);
+    state.SetIterationTime(virtual_time);
+  }
+  state.SetBytesProcessed(state.iterations() * kShares * kShareSize);
+  state.SetLabel("4MB batch, 1ms RTT");
+}
+BENCHMARK(BM_RpcBatched)->UseManualTime();
+
+// ---- 4. Key derivation: convergent vs random --------------------------------
+
+void BM_EncodeConvergent(benchmark::State& state) {
+  auto scheme = MakeCaontRs(4, 3);
+  Bytes secret = Rng(8).RandomBytes(8192);
+  std::vector<Bytes> shares;
+  for (auto _ : state) {
+    (void)scheme->Encode(secret, &shares);
+    benchmark::DoNotOptimize(shares.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_EncodeConvergent);
+
+void BM_EncodeRandomKeyOaep(benchmark::State& state) {
+  AontRsScheme scheme(AontKind::kOaep, AontKeySource::kRandom, 4, 3);
+  Bytes secret = Rng(9).RandomBytes(8192);
+  std::vector<Bytes> shares;
+  for (auto _ : state) {
+    (void)scheme.Encode(secret, &shares);
+    benchmark::DoNotOptimize(shares.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_EncodeRandomKeyOaep);
+
+}  // namespace
+}  // namespace cdstore
+
+BENCHMARK_MAIN();

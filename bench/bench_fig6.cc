@@ -1,0 +1,137 @@
+// Reproduces Figure 6: deduplication efficiency of CDStore on the FSL-like
+// and VM-like weekly backup workloads, (n,k)=(4,3).
+//   6(a) intra-user and inter-user dedup savings per week
+//   6(b) cumulative logical data / logical shares / transferred shares /
+//        physical shares
+//
+// Share-level dedup is computed from chunk fingerprints: convergent
+// dispersal is deterministic, so two shares are identical exactly when
+// their secrets are identical (a property verified by the test suite),
+// which lets this harness sweep 16 weeks x all users in seconds while
+// reporting the exact sizes the full system would produce.
+//
+// Paper reference: FSL intra >= 94.2% after week 1, inter <= 12.9%;
+// VM week-1 inter 93.4%, later 11.8-47%, intra >= 98%. After 16 weeks the
+// physical shares are ~6.3% (FSL) and ~0.8% (VM) of logical data.
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/chunking/chunker.h"
+#include "src/dedup/fingerprint.h"
+#include "src/dispersal/aont_rs.h"
+#include "src/trace/synthetic.h"
+#include "src/util/stats.h"
+
+namespace cdstore {
+namespace {
+
+struct WeekRow {
+  double intra_saving;
+  double inter_saving;
+  uint64_t logical_data;
+  uint64_t logical_shares;
+  uint64_t transferred;
+  uint64_t physical;
+};
+
+std::vector<WeekRow> RunDataset(const SyntheticDataset& dataset, bool fixed_chunking) {
+  auto scheme = MakeCaontRs(4, 3);
+  // Per-user fingerprint sets (intra-user dedup) and the global set
+  // (inter-user dedup). One secret -> n shares of equal size; share-level
+  // sizes scale by ShareSize().
+  std::vector<std::set<Fingerprint>> user_sets(dataset.num_users());
+  std::set<Fingerprint> global_set;
+  std::vector<WeekRow> rows;
+  uint64_t cum_logical = 0, cum_logical_shares = 0, cum_transferred = 0, cum_physical = 0;
+
+  for (int week = 0; week < dataset.num_weeks(); ++week) {
+    uint64_t week_logical_shares = 0, week_transferred = 0, week_physical = 0;
+    for (int user = 0; user < dataset.num_users(); ++user) {
+      Bytes file = dataset.FileFor(user, week);
+      cum_logical += file.size();
+      std::unique_ptr<Chunker> chunker;
+      if (fixed_chunking) {
+        chunker = std::make_unique<FixedChunker>(4096);  // VM dataset: 4KB fixed
+      } else {
+        chunker = std::make_unique<RabinChunker>(RabinChunkerOptions{});
+      }
+      auto chunks = ChunkBuffer(*chunker, file);
+      for (const Bytes& chunk : chunks) {
+        Fingerprint fp = FingerprintOf(chunk);
+        uint64_t share_bytes = 4ull * scheme->ShareSize(chunk.size());
+        week_logical_shares += share_bytes;
+        if (user_sets[user].insert(fp).second) {
+          // Unique for this user: transferred after intra-user dedup.
+          week_transferred += share_bytes;
+          if (global_set.insert(fp).second) {
+            week_physical += share_bytes;  // globally unique: stored
+          }
+        }
+      }
+    }
+    cum_logical_shares += week_logical_shares;
+    cum_transferred += week_transferred;
+    cum_physical += week_physical;
+    WeekRow row;
+    row.intra_saving =
+        1.0 - static_cast<double>(week_transferred) / static_cast<double>(week_logical_shares);
+    row.inter_saving =
+        week_transferred == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(week_physical) / static_cast<double>(week_transferred);
+    row.logical_data = cum_logical;
+    row.logical_shares = cum_logical_shares;
+    row.transferred = cum_transferred;
+    row.physical = cum_physical;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintRows(const char* name, const std::vector<WeekRow>& rows) {
+  PrintHeader(std::string("Figure 6(a): weekly dedup savings — ") + name);
+  std::printf("%-6s %-16s %-16s\n", "Week", "Intra-user %", "Inter-user %");
+  for (size_t w = 0; w < rows.size(); ++w) {
+    std::printf("%-6zu %-16.1f %-16.1f\n", w + 1, 100 * rows[w].intra_saving,
+                100 * rows[w].inter_saving);
+  }
+  PrintHeader(std::string("Figure 6(b): cumulative sizes — ") + name);
+  std::printf("%-6s %-16s %-16s %-18s %-16s\n", "Week", "Logical data", "Logical shares",
+              "Transferred", "Physical");
+  for (size_t w = 0; w < rows.size(); ++w) {
+    std::printf("%-6zu %-16s %-16s %-18s %-16s\n", w + 1,
+                FormatSize(rows[w].logical_data).c_str(),
+                FormatSize(rows[w].logical_shares).c_str(),
+                FormatSize(rows[w].transferred).c_str(),
+                FormatSize(rows[w].physical).c_str());
+  }
+  const WeekRow& last = rows.back();
+  std::printf("\nPhysical/logical after %zu weeks: %.1f%%\n", rows.size(),
+              100.0 * last.physical / last.logical_data);
+}
+
+void Run(int argc, char** argv) {
+  double scale = FlagValue(argc, argv, "scale", 1.0);
+
+  SyntheticDataset fsl(SyntheticDataset::FslDefaults(scale));
+  auto fsl_rows = RunDataset(fsl, /*fixed_chunking=*/false);
+  PrintRows("FSL (9 users, variable chunking)", fsl_rows);
+  std::printf("Paper: intra >= 94.2%% after wk1, inter <= 12.9%%, physical ~6.3%%\n");
+
+  SyntheticDataset vm(SyntheticDataset::VmDefaults(scale));
+  auto vm_rows = RunDataset(vm, /*fixed_chunking=*/true);
+  PrintRows("VM (24 users, 4KB fixed chunking; paper used 156 VMs)", vm_rows);
+  std::printf("Paper: wk1 inter 93.4%% (156 VMs; fewer users -> lower ceiling), later "
+              "11.8-47%%, intra >= 98%%, physical ~0.8%%\n");
+}
+
+}  // namespace
+}  // namespace cdstore
+
+int main(int argc, char** argv) {
+  cdstore::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,248 @@
+// Reproduces Figure 7: single-client upload/download speeds on the LAN and
+// cloud testbeds, (n,k)=(4,3).
+//   7(a) baseline: 2GB unique data, then the same 2GB again (duplicate),
+//        then download from k=3 clouds.
+//   7(b) trace-driven: FSL-like weekly backups (first vs subsequent weeks)
+//        and their restore.
+//
+// Network time is simulated (virtual clocks on shared rate limiters — the
+// client NIC for the LAN testbed; per-cloud Internet paths plus the
+// client's aggregate uplink for the cloud testbed), while chunking,
+// encoding, dedup and container management all execute for real. Reported
+// speed = bytes / max(compute time, bottleneck link time), i.e. an ideally
+// pipelined client.
+//
+// Paper (MB/s): LAN  77.5 uniq / 149.9 dup / 99.2 down
+//               Cloud 6.2 uniq /  57.1 dup / 12.3 down
+//               Trace (LAN): 92.3 first / 145.1 subseq / 89.6 down
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cloud/profiles.h"
+#include "src/core/client.h"
+#include "src/core/server.h"
+#include "src/net/transport.h"
+#include "src/storage/backend.h"
+#include "src/trace/synthetic.h"
+#include "src/util/fs_util.h"
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+namespace cdstore {
+namespace {
+
+constexpr int kN = 4;
+constexpr int kK = 3;
+
+struct Testbed {
+  std::vector<std::unique_ptr<MemBackend>> backends;
+  std::vector<std::unique_ptr<CdstoreServer>> servers;
+  std::vector<std::unique_ptr<RateLimiter>> limiters;  // owns all link models
+  std::vector<std::unique_ptr<InProcTransport>> transports;
+  std::vector<RateLimiter*> all_links;
+
+  std::vector<Transport*> TransportPtrs() {
+    std::vector<Transport*> out;
+    for (auto& t : transports) {
+      out.push_back(t.get());
+    }
+    return out;
+  }
+
+  double MaxLinkSeconds() const {
+    double worst = 0;
+    for (RateLimiter* l : all_links) {
+      worst = std::max(worst, l->simulated_seconds());
+    }
+    return worst;
+  }
+
+  void ResetLinks() {
+    for (RateLimiter* l : all_links) {
+      l->ResetSimulatedClock();
+    }
+  }
+};
+
+std::unique_ptr<RateLimiter> MakeLink(double mbps, Testbed* bed) {
+  auto limiter =
+      std::make_unique<RateLimiter>(static_cast<uint64_t>(mbps * 1024 * 1024));
+  limiter->set_simulated(true);
+  bed->all_links.push_back(limiter.get());
+  return limiter;
+}
+
+// LAN testbed: every server behind the client's single 1Gb/s NIC
+// (~110MB/s effective, §5.5).
+Testbed MakeLanTestbed(const std::string& dir) {
+  Testbed bed;
+  auto up = MakeLink(110.0, &bed);
+  auto down = MakeLink(110.0, &bed);
+  for (int i = 0; i < kN; ++i) {
+    bed.backends.push_back(std::make_unique<MemBackend>());
+    ServerOptions so;
+    so.index_dir = dir + "/lan-server" + std::to_string(i);
+    auto server = CdstoreServer::Create(bed.backends.back().get(), so);
+    CHECK_OK(server.status());
+    bed.servers.push_back(std::move(server.value()));
+    bed.transports.push_back(std::make_unique<InProcTransport>(
+        bed.servers.back()->AsHandler(), std::vector<RateLimiter*>{up.get()},
+        std::vector<RateLimiter*>{down.get()}));
+  }
+  bed.limiters.push_back(std::move(up));
+  bed.limiters.push_back(std::move(down));
+  return bed;
+}
+
+// Cloud testbed: per-cloud Internet paths (Table 2) plus the client's
+// aggregate uplink/downlink, which §5.5's measurements imply saturates
+// around 8.5/14.5 MB/s when all clouds transfer concurrently.
+Testbed MakeCloudTestbed(const std::string& dir) {
+  Testbed bed;
+  auto agg_up = MakeLink(8.5, &bed);
+  auto agg_down = MakeLink(14.5, &bed);
+  auto profiles = Table2CloudProfiles();
+  for (int i = 0; i < kN; ++i) {
+    bed.backends.push_back(std::make_unique<MemBackend>());
+    ServerOptions so;
+    so.index_dir = dir + "/cloud-server" + std::to_string(i);
+    auto server = CdstoreServer::Create(bed.backends.back().get(), so);
+    CHECK_OK(server.status());
+    bed.servers.push_back(std::move(server.value()));
+    auto cloud_up = MakeLink(profiles[i].upload_mbps, &bed);
+    auto cloud_down = MakeLink(profiles[i].download_mbps, &bed);
+    bed.transports.push_back(std::make_unique<InProcTransport>(
+        bed.servers.back()->AsHandler(),
+        std::vector<RateLimiter*>{agg_up.get(), cloud_up.get()},
+        std::vector<RateLimiter*>{agg_down.get(), cloud_down.get()}));
+    bed.limiters.push_back(std::move(cloud_up));
+    bed.limiters.push_back(std::move(cloud_down));
+  }
+  bed.limiters.push_back(std::move(agg_up));
+  bed.limiters.push_back(std::move(agg_down));
+  return bed;
+}
+
+struct Speeds {
+  // end-to-end on this host: bytes / max(compute, slowest link)
+  double up_uniq, up_dup, down;
+  // link-bound projection: bytes / slowest link time — what a host with
+  // the paper's parallel CPU headroom would see. 0 when no link is
+  // exercised (duplicate uploads transfer no shares).
+  double up_uniq_net, down_net;
+};
+
+Speeds RunBaseline(Testbed* bed, size_t bytes) {
+  CdstoreClient client(bed->TransportPtrs(), 1, ClientOptions{});
+  Bytes data = RandomData(bytes, 99);
+  Speeds out{};
+
+  bed->ResetLinks();
+  Stopwatch watch;
+  CHECK_OK(client.Upload("/bench/uniq", data));
+  out.up_uniq = ToMiBps(bytes, std::max(watch.ElapsedSeconds(), bed->MaxLinkSeconds()));
+  out.up_uniq_net = ToMiBps(bytes, bed->MaxLinkSeconds());
+
+  bed->ResetLinks();
+  watch.Reset();
+  CHECK_OK(client.Upload("/bench/dup", data));
+  out.up_dup = ToMiBps(bytes, std::max(watch.ElapsedSeconds(), bed->MaxLinkSeconds()));
+
+  bed->ResetLinks();
+  watch.Reset();
+  auto restored = client.Download("/bench/uniq");
+  CHECK_OK(restored.status());
+  CHECK_EQ(restored.value().size(), bytes);
+  out.down = ToMiBps(bytes, std::max(watch.ElapsedSeconds(), bed->MaxLinkSeconds()));
+  out.down_net = ToMiBps(bytes, bed->MaxLinkSeconds());
+  return out;
+}
+
+struct TraceSpeeds {
+  double up_first, up_subsequent, down;
+};
+
+TraceSpeeds RunTrace(Testbed* bed, double scale, int weeks) {
+  auto opts = SyntheticDataset::FslDefaults(scale);
+  opts.num_users = 1;
+  opts.num_weeks = weeks;
+  SyntheticDataset dataset(opts);
+  CdstoreClient client(bed->TransportPtrs(), 2, ClientOptions{});
+  TraceSpeeds out{};
+  uint64_t sub_bytes = 0;
+  double sub_seconds = 0;
+  for (int w = 0; w < weeks; ++w) {
+    Bytes file = dataset.FileFor(0, w);
+    bed->ResetLinks();
+    Stopwatch watch;
+    CHECK_OK(client.Upload("/trace/week" + std::to_string(w), file));
+    double secs = std::max(watch.ElapsedSeconds(), bed->MaxLinkSeconds());
+    if (w == 0) {
+      out.up_first = ToMiBps(file.size(), secs);
+    } else {
+      sub_bytes += file.size();
+      sub_seconds += secs;
+    }
+  }
+  out.up_subsequent = ToMiBps(sub_bytes, sub_seconds);
+
+  uint64_t down_bytes = 0;
+  double down_seconds = 0;
+  for (int w = 0; w < weeks; ++w) {
+    bed->ResetLinks();
+    Stopwatch watch;
+    auto restored = client.Download("/trace/week" + std::to_string(w));
+    CHECK_OK(restored.status());
+    down_bytes += restored.value().size();
+    down_seconds += std::max(watch.ElapsedSeconds(), bed->MaxLinkSeconds());
+  }
+  out.down = ToMiBps(down_bytes, down_seconds);
+  return out;
+}
+
+void Run(int argc, char** argv) {
+  const size_t bytes = static_cast<size_t>(FlagValue(argc, argv, "size_mb", 24)) * 1024 * 1024;
+  const double trace_scale = FlagValue(argc, argv, "trace_scale", 4.0);
+  TempDir dir("fig7");
+
+  PrintHeader("Figure 7(a): single-client baseline transfer speeds (MB/s)");
+  Testbed lan = MakeLanTestbed(dir.path());
+  Speeds lan_speeds = RunBaseline(&lan, bytes);
+  Testbed cloud = MakeCloudTestbed(dir.path());
+  Speeds cloud_speeds = RunBaseline(&cloud, bytes);
+  std::printf("%-8s %-14s %-14s %-12s %-22s\n", "Testbed", "Upload(uniq)", "Upload(dup)",
+              "Download", "[net-bound: uniq/down]");
+  std::printf("%-8s %-14.1f %-14.1f %-12.1f [%.1f / %.1f]\n", "LAN", lan_speeds.up_uniq,
+              lan_speeds.up_dup, lan_speeds.down, lan_speeds.up_uniq_net, lan_speeds.down_net);
+  std::printf("%-8s %-14.1f %-14.1f %-12.1f [%.1f / %.1f]\n", "Cloud", cloud_speeds.up_uniq,
+              cloud_speeds.up_dup, cloud_speeds.down, cloud_speeds.up_uniq_net,
+              cloud_speeds.down_net);
+  std::printf("Paper:   LAN 77.5 / 149.9 / 99.2    Cloud 6.2 / 57.1 / 12.3\n");
+  std::printf("Shape checks: net-bound uniq ≈ (k/n)·link on LAN; dup bound by compute\n"
+              "              (single-core host serializes client+servers — the paper's\n"
+              "              testbed ran them on separate quad-cores); cloud dup >> uniq.\n");
+
+  PrintHeader("Figure 7(b): trace-driven speeds, FSL-like weekly backups (MB/s)");
+  Testbed lan2 = MakeLanTestbed(dir.path() + "/t2");
+  TraceSpeeds lan_trace = RunTrace(&lan2, trace_scale, 4);
+  Testbed cloud2 = MakeCloudTestbed(dir.path() + "/t3");
+  TraceSpeeds cloud_trace = RunTrace(&cloud2, trace_scale / 4, 2);
+  std::printf("%-8s %-14s %-16s %-12s\n", "Testbed", "Upload(first)", "Upload(subsqt)",
+              "Download");
+  std::printf("%-8s %-14.1f %-16.1f %-12.1f\n", "LAN", lan_trace.up_first,
+              lan_trace.up_subsequent, lan_trace.down);
+  std::printf("%-8s %-14.1f %-16.1f %-12.1f\n", "Cloud", cloud_trace.up_first,
+              cloud_trace.up_subsequent, cloud_trace.down);
+  std::printf("Paper:   LAN 92.3 / 145.1 / 89.6    Cloud 6.9 / 56.2 / 9.5\n");
+  std::printf("Shape checks: first > uniq (intra-file dups); subsequent ≈ dup;\n"
+              "              download slightly below baseline (fragmentation).\n");
+}
+
+}  // namespace
+}  // namespace cdstore
+
+int main(int argc, char** argv) {
+  cdstore::Run(argc, argv);
+  return 0;
+}

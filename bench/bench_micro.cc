@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the primitive substrates: SHA-256,
+// AES-256 (block + CTR), GF(2^8) region ops and Reed-Solomon encoding.
+// These are the components whose costs explain the Figure 5 results.
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/aes256.h"
+#include "src/crypto/ctr.h"
+#include "src/crypto/sha256.h"
+#include "src/gf256/gf256.h"
+#include "src/rs/reed_solomon.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data = Rng(1).RandomBytes(state.range(0));
+  Bytes out(Sha256::kDigestSize);
+  for (auto _ : state) {
+    Sha256::Hash(data, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(8192)->Arg(65536);
+
+void BM_Aes256EncryptBlocks(benchmark::State& state) {
+  Bytes key = Rng(2).RandomBytes(32);
+  Aes256 aes(key);
+  Bytes in = Rng(3).RandomBytes(state.range(0));
+  Bytes out(in.size());
+  for (auto _ : state) {
+    aes.EncryptBlocks(in.data(), out.data(), in.size() / 16);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(Aes256::HasAesni() ? "AES-NI" : "portable");
+}
+BENCHMARK(BM_Aes256EncryptBlocks)->Arg(8192)->Arg(65536);
+
+void BM_Aes256Ctr(benchmark::State& state) {
+  Bytes key = Rng(4).RandomBytes(32);
+  Aes256 aes(key);
+  Bytes buf(state.range(0));
+  for (auto _ : state) {
+    Aes256CtrKeystreamZeroIv(aes, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aes256Ctr)->Arg(8192)->Arg(65536);
+
+void BM_GfAddMulRegion(benchmark::State& state) {
+  Rng rng(5);
+  Bytes src = rng.RandomBytes(state.range(0));
+  Bytes dst = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    Gf256AddMulRegion(dst, src, 0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(Gf256HasSimd() ? "SSSE3" : "scalar");
+}
+BENCHMARK(BM_GfAddMulRegion)->Arg(4096)->Arg(65536);
+
+void BM_RsEncode(benchmark::State& state) {
+  int n = 4, k = 3;
+  ReedSolomon rs(n, k);
+  Rng rng(6);
+  std::vector<Bytes> data;
+  for (int i = 0; i < k; ++i) {
+    data.push_back(rng.RandomBytes(state.range(0)));
+  }
+  std::vector<Bytes> out;
+  for (auto _ : state) {
+    (void)rs.Encode(data, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * k);
+}
+BENCHMARK(BM_RsEncode)->Arg(2730)->Arg(65536);  // 2730 ≈ 8KB secret / k
+
+void BM_RsDecodeWithParity(benchmark::State& state) {
+  int n = 4, k = 3;
+  ReedSolomon rs(n, k);
+  Rng rng(7);
+  std::vector<Bytes> data;
+  for (int i = 0; i < k; ++i) {
+    data.push_back(rng.RandomBytes(state.range(0)));
+  }
+  std::vector<Bytes> all;
+  (void)rs.Encode(data, &all);
+  std::vector<int> ids = {0, 2, 3};  // needs matrix inversion
+  std::vector<Bytes> shards = {all[0], all[2], all[3]};
+  std::vector<Bytes> out;
+  for (auto _ : state) {
+    (void)rs.Decode(ids, shards, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * k);
+}
+BENCHMARK(BM_RsDecodeWithParity)->Arg(2730);
+
+}  // namespace
+}  // namespace cdstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef CDSTORE_BENCH_BENCH_UTIL_H_
+#define CDSTORE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+
+// Parses "--size_mb=64"-style flags from argv; returns fallback if absent.
+inline double FlagValue(int argc, char** argv, const std::string& name, double fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atof(arg.c_str() + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline Bytes RandomData(size_t bytes, uint64_t seed = 42) {
+  Rng rng(seed);
+  return rng.RandomBytes(bytes);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_BENCH_BENCH_UTIL_H_

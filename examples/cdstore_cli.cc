@@ -1,0 +1,179 @@
+// cdstore_cli: a minimal operational CLI for a local CDStore deployment —
+// four cloud directories on disk, real files in and out. State persists
+// across invocations, so this behaves like a tiny backup tool:
+//
+//   cdstore_cli <state_dir> backup  <file> [user_id]
+//   cdstore_cli <state_dir> restore <file> <output_path> [user_id]
+//   cdstore_cli <state_dir> delete  <file> [user_id]
+//   cdstore_cli <state_dir> stats
+//   cdstore_cli <state_dir> gc
+//
+// Example:
+//   ./examples/cdstore_cli /tmp/cd backup  /etc/hosts
+//   ./examples/cdstore_cli /tmp/cd restore /etc/hosts /tmp/hosts.restored
+//   diff /etc/hosts /tmp/hosts.restored
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/client.h"
+#include "src/core/server.h"
+#include "src/net/transport.h"
+#include "src/storage/backend.h"
+#include "src/util/fs_util.h"
+#include "src/util/stats.h"
+
+using namespace cdstore;
+
+namespace {
+
+constexpr int kN = 4;
+
+struct Deployment {
+  std::vector<std::unique_ptr<LocalDirBackend>> backends;
+  std::vector<std::unique_ptr<CdstoreServer>> servers;
+  std::vector<std::unique_ptr<InProcTransport>> transports;
+  std::vector<Transport*> ptrs;
+};
+
+bool OpenDeployment(const std::string& state_dir, Deployment* d) {
+  for (int i = 0; i < kN; ++i) {
+    std::string cloud_dir = state_dir + "/cloud" + std::to_string(i);
+    auto backend = LocalDirBackend::Open(cloud_dir + "/objects");
+    if (!backend.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", cloud_dir.c_str(),
+                   backend.status().ToString().c_str());
+      return false;
+    }
+    d->backends.push_back(std::move(backend.value()));
+    ServerOptions so;
+    so.index_dir = cloud_dir + "/index";
+    auto server = CdstoreServer::Create(d->backends.back().get(), so);
+    if (!server.ok()) {
+      std::fprintf(stderr, "cannot start server %d: %s\n", i,
+                   server.status().ToString().c_str());
+      return false;
+    }
+    d->servers.push_back(std::move(server.value()));
+    d->transports.push_back(std::make_unique<InProcTransport>(d->servers.back()->AsHandler()));
+    d->ptrs.push_back(d->transports.back().get());
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cdstore_cli <state_dir> backup <file> [user]\n"
+               "       cdstore_cli <state_dir> restore <file> <out_path> [user]\n"
+               "       cdstore_cli <state_dir> delete <file> [user]\n"
+               "       cdstore_cli <state_dir> stats\n"
+               "       cdstore_cli <state_dir> gc\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string state_dir = argv[1];
+  std::string cmd = argv[2];
+  Deployment d;
+  if (!OpenDeployment(state_dir, &d)) {
+    return 1;
+  }
+
+  if (cmd == "backup" && argc >= 4) {
+    UserId user = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    auto data = ReadFileBytes(argv[3]);
+    if (!data.ok()) {
+      std::fprintf(stderr, "read failed: %s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    UploadStats stats;
+    Status st = client.Upload(argv[3], data.value(), &stats);
+    if (!st.ok()) {
+      std::fprintf(stderr, "backup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    double saving = stats.logical_share_bytes == 0
+                        ? 0.0
+                        : 100.0 * (1.0 - static_cast<double>(stats.transferred_share_bytes) /
+                                             static_cast<double>(stats.logical_share_bytes));
+    std::printf("backed up %s: %s in %zu secrets across %d clouds; transferred %s "
+                "(dedup saved %.1f%%)\n",
+                argv[3], FormatSize(stats.logical_bytes).c_str(),
+                static_cast<size_t>(stats.num_secrets), kN,
+                FormatSize(stats.transferred_share_bytes).c_str(), saving);
+    return 0;
+  }
+
+  if (cmd == "restore" && argc >= 5) {
+    UserId user = argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 1;
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    DownloadStats stats;
+    auto data = client.Download(argv[3], &stats);
+    if (!data.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    Status st = WriteFile(argv[4], data.value());
+    if (!st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %s -> %s (%s from clouds", argv[3], argv[4],
+                FormatSize(data.value().size()).c_str());
+    for (int c : stats.clouds_used) {
+      std::printf(" %d", c);
+    }
+    std::printf(")\n");
+    return 0;
+  }
+
+  if (cmd == "delete" && argc >= 4) {
+    UserId user = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    Status st = client.DeleteFile(argv[3]);
+    std::printf("delete %s: %s (run 'gc' to reclaim space)\n", argv[3],
+                st.ToString().c_str());
+    return st.ok() ? 0 : 1;
+  }
+
+  if (cmd == "stats") {
+    for (int i = 0; i < kN; ++i) {
+      Bytes frame = d.servers[i]->Handle(Encode(StatsRequest{}));
+      StatsReply stats;
+      if (!Decode(frame, &stats).ok()) {
+        continue;
+      }
+      std::printf("cloud %d: %llu files, %llu unique shares, %s stored, %llu containers\n", i,
+                  static_cast<unsigned long long>(stats.file_count),
+                  static_cast<unsigned long long>(stats.unique_shares),
+                  FormatSize(stats.stored_bytes).c_str(),
+                  static_cast<unsigned long long>(stats.container_count));
+    }
+    return 0;
+  }
+
+  if (cmd == "gc") {
+    for (int i = 0; i < kN; ++i) {
+      auto stats = d.servers[i]->CollectGarbage();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "gc on cloud %d failed: %s\n", i,
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("cloud %d: scanned %llu containers, rewrote %llu, reclaimed %s\n", i,
+                  static_cast<unsigned long long>(stats.value().containers_scanned),
+                  static_cast<unsigned long long>(stats.value().containers_rewritten),
+                  FormatSize(stats.value().bytes_reclaimed).c_str());
+    }
+    return 0;
+  }
+
+  return Usage();
+}

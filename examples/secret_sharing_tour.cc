@@ -1,0 +1,86 @@
+// A tour of every secret sharing algorithm in the library (Table 1 of the
+// paper): shows the share layout, storage blowup, confidentiality behavior
+// and dedup capability side by side on the same secret.
+//
+//   ./examples/secret_sharing_tour
+#include <cstdio>
+
+#include "src/dispersal/registry.h"
+#include "src/util/rng.h"
+
+using namespace cdstore;
+
+int main() {
+  const int n = 4, k = 3, r = 1;
+  Bytes secret = BytesOf("all our backups belong to no single cloud");
+  std::printf("Secret sharing tour: %zu-byte secret, (n,k)=(%d,%d)\n", secret.size(), n, k);
+  std::printf("============================================================\n\n");
+  std::printf("%-16s %-8s %-10s %-10s %-12s %-14s\n", "Scheme", "r", "Share B", "Blowup",
+              "Dedup-able", "Self-verify");
+
+  for (SchemeType type : AllSchemeTypes()) {
+    SchemeParams p{.n = n, .k = k, .r = r, .salt = {}};
+    auto made = MakeScheme(type, p);
+    if (!made.ok()) {
+      continue;
+    }
+    SecretSharing& s = *made.value();
+    std::vector<Bytes> shares;
+    if (!s.Encode(secret, &shares).ok()) {
+      continue;
+    }
+    std::printf("%-16s %-8d %-10zu %-10.2f %-12s %-14s\n", s.name().c_str(), s.r(),
+                shares[0].size(), s.StorageBlowup(secret.size()),
+                s.deterministic() ? "yes" : "no", s.self_verifying() ? "yes" : "no");
+  }
+
+  std::printf("\n--- confidentiality demo -------------------------------------\n");
+  std::printf("IDA (r=0) leaks plaintext in its shares; CAONT-RS does not:\n\n");
+  {
+    SchemeParams p{.n = n, .k = k, .r = 0, .salt = {}};
+    auto ida = std::move(MakeScheme(SchemeType::kIda, p).value());
+    std::vector<Bytes> shares;
+    (void)ida->Encode(secret, &shares);
+    std::printf("IDA share 0 (systematic = raw stripe!): \"%.14s...\"\n",
+                reinterpret_cast<const char*>(shares[0].data()));
+    auto caont = std::move(MakeScheme(SchemeType::kCaontRs, p).value());
+    std::vector<Bytes> cshares;
+    (void)caont->Encode(secret, &cshares);
+    std::printf("CAONT-RS share 0 (AONT-masked):         %s...\n",
+                HexEncode(ConstByteSpan(cshares[0].data(), 14)).c_str());
+  }
+
+  std::printf("\n--- the dedup dilemma ----------------------------------------\n");
+  std::printf("Encoding the same secret twice:\n");
+  {
+    SchemeParams p{.n = n, .k = k, .r = r, .salt = {}};
+    auto aont_rs = std::move(MakeScheme(SchemeType::kAontRs, p).value());
+    std::vector<Bytes> s1, s2;
+    (void)aont_rs->Encode(secret, &s1);
+    (void)aont_rs->Encode(secret, &s2);
+    std::printf("  AONT-RS (random key):      shares differ -> clouds cannot dedup\n");
+    std::printf("    run1: %s...\n    run2: %s...\n",
+                HexEncode(ConstByteSpan(s1[0].data(), 12)).c_str(),
+                HexEncode(ConstByteSpan(s2[0].data(), 12)).c_str());
+    auto caont = std::move(MakeScheme(SchemeType::kCaontRs, p).value());
+    (void)caont->Encode(secret, &s1);
+    (void)caont->Encode(secret, &s2);
+    std::printf("  CAONT-RS (convergent key): shares identical -> dedup works\n");
+    std::printf("    run1: %s...\n    run2: %s...\n",
+                HexEncode(ConstByteSpan(s1[0].data(), 12)).c_str(),
+                HexEncode(ConstByteSpan(s2[0].data(), 12)).c_str());
+  }
+
+  std::printf("\n--- ramp scheme trade-off (RSSS) -----------------------------\n");
+  std::printf("%-4s %-22s %-10s\n", "r", "meaning", "blowup");
+  for (int rr = 0; rr < k; ++rr) {
+    SchemeParams p{.n = n, .k = k, .r = rr, .salt = {}};
+    auto rsss = std::move(MakeScheme(SchemeType::kRsss, p).value());
+    const char* meaning = rr == 0 ? "= IDA (no secrecy)"
+                         : rr == k - 1 ? "= SSSS-strength secrecy"
+                                       : "intermediate";
+    std::printf("%-4d %-22s %-10.2f\n", rr, meaning,
+                rsss->StorageBlowup(8192));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "src/aont/oaep_aont.h"
+
+#include "src/crypto/aes256.h"
+#include "src/crypto/ctr.h"
+#include "src/crypto/sha256.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+Bytes OaepAontTransform(ConstByteSpan x, ConstByteSpan key) {
+  CHECK_EQ(key.size(), kAontKeySize);
+  Bytes package(x.size() + kOaepAontOverhead);
+  ByteSpan y(package.data(), x.size());
+  ByteSpan t(package.data() + x.size(), kAontKeySize);
+
+  // Y = X ^ G(key). G(key) = E(key, C) with C a constant (zero) block the
+  // size of X, realized as the AES-256-CTR keystream (Eq. 2-3).
+  Aes256 aes(key);
+  Aes256CtrKeystreamZeroIv(aes, y);
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] ^= x[i];
+  }
+
+  // t = key ^ H(Y) (Eq. 4).
+  Sha256::Hash(y, t);
+  for (size_t i = 0; i < kAontKeySize; ++i) {
+    t[i] ^= key[i];
+  }
+  return package;
+}
+
+Status OaepAontInverse(ConstByteSpan package, Bytes* x, Bytes* key) {
+  if (package.size() < kOaepAontOverhead) {
+    return Status::InvalidArgument("AONT package shorter than overhead");
+  }
+  ConstByteSpan y = package.subspan(0, package.size() - kAontKeySize);
+  ConstByteSpan t = package.subspan(package.size() - kAontKeySize);
+
+  // key = t ^ H(Y).
+  Bytes k(kAontKeySize);
+  Sha256::Hash(y, k);
+  for (size_t i = 0; i < kAontKeySize; ++i) {
+    k[i] ^= t[i];
+  }
+
+  // X = Y ^ G(key).
+  x->resize(y.size());
+  Aes256 aes(k);
+  Aes256CtrKeystreamZeroIv(aes, *x);
+  for (size_t i = 0; i < y.size(); ++i) {
+    (*x)[i] ^= y[i];
+  }
+  if (key != nullptr) {
+    *key = std::move(k);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cdstore

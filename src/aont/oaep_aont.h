@@ -1,0 +1,33 @@
+// OAEP-based all-or-nothing transform (Boyko, CRYPTO'99), the AONT used by
+// CAONT-RS (§3.2). One single-pass encryption over a large constant block
+// instead of Rivest's per-word encryptions:
+//
+//   Y = X  ^ G(key)          where G(key) = AES256-CTR keystream under key
+//   t = key ^ H(Y)           H = SHA-256
+//   package = Y || t
+//
+// Inverting requires the whole package: key = t ^ H(Y), X = Y ^ G(key).
+#ifndef CDSTORE_SRC_AONT_OAEP_AONT_H_
+#define CDSTORE_SRC_AONT_OAEP_AONT_H_
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+// 32-byte key/hash size (SHA-256 output, AES-256 key).
+inline constexpr size_t kAontKeySize = 32;
+// Bytes the package adds on top of |X|.
+inline constexpr size_t kOaepAontOverhead = kAontKeySize;
+
+// Transforms `x` (any size, including empty) under the 32-byte `key` into a
+// package of size x.size() + kOaepAontOverhead.
+Bytes OaepAontTransform(ConstByteSpan x, ConstByteSpan key);
+
+// Inverts a package. On success `x` has size package.size() - overhead and
+// `key` (if non-null) receives the embedded 32-byte key.
+Status OaepAontInverse(ConstByteSpan package, Bytes* x, Bytes* key);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_AONT_OAEP_AONT_H_

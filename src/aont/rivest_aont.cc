@@ -1,0 +1,104 @@
+#include "src/aont/rivest_aont.h"
+
+#include <cstring>
+
+#include "src/crypto/aes256.h"
+#include "src/crypto/sha256.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+constexpr uint8_t kCanaryByte = 0xa5;
+
+// 16-byte big-endian block encoding of the word index.
+inline void IndexBlock(uint64_t i, uint8_t out[16]) {
+  std::memset(out, 0, 16);
+  for (int b = 0; b < 8; ++b) {
+    out[15 - b] = static_cast<uint8_t>(i >> (8 * b));
+  }
+}
+
+}  // namespace
+
+Bytes RivestAontTransform(ConstByteSpan x, ConstByteSpan key) {
+  CHECK_EQ(key.size(), kRivestKeySize);
+  CHECK_EQ(x.size() % kRivestWordSize, 0u) << "Rivest AONT input must be word-aligned";
+  size_t s = x.size() / kRivestWordSize;
+  Bytes package(x.size() + kRivestAontOverhead);
+
+  Aes256 aes(key);
+  // One cipher invocation per word, as Rivest's transform specifies
+  // (c_i = x_i ^ E(K, i)). This per-word structure — not the raw AES
+  // throughput — is what makes the OAEP-based AONT faster (§3.2), so we
+  // deliberately do NOT batch the block encryptions here.
+  Bytes masks((s + 1) * kRivestWordSize);
+  for (size_t i = 0; i <= s; ++i) {
+    uint8_t index_block[kRivestWordSize];
+    IndexBlock(i + 1, index_block);
+    aes.EncryptBlock(index_block, masks.data() + i * kRivestWordSize);
+  }
+
+  // Masked data words.
+  for (size_t i = 0; i < x.size(); ++i) {
+    package[i] = x[i] ^ masks[i];
+  }
+  // Canary word.
+  uint8_t* canary = package.data() + x.size();
+  for (size_t b = 0; b < kRivestWordSize; ++b) {
+    canary[b] = kCanaryByte ^ masks[s * kRivestWordSize + b];
+  }
+  // Tail: K ^ H(masked words including canary).
+  uint8_t* tail = package.data() + x.size() + kRivestWordSize;
+  Sha256::Hash(ConstByteSpan(package.data(), x.size() + kRivestWordSize),
+               ByteSpan(tail, kRivestKeySize));
+  for (size_t b = 0; b < kRivestKeySize; ++b) {
+    tail[b] ^= key[b];
+  }
+  return package;
+}
+
+Status RivestAontInverse(ConstByteSpan package, Bytes* x, Bytes* key) {
+  if (package.size() < kRivestAontOverhead ||
+      (package.size() - kRivestAontOverhead) % kRivestWordSize != 0) {
+    return Status::InvalidArgument("bad Rivest AONT package size");
+  }
+  size_t data_len = package.size() - kRivestAontOverhead;
+  size_t s = data_len / kRivestWordSize;
+  ConstByteSpan masked = package.subspan(0, data_len + kRivestWordSize);
+  ConstByteSpan tail = package.subspan(data_len + kRivestWordSize);
+
+  // K = tail ^ H(masked words).
+  Bytes k(kRivestKeySize);
+  Sha256::Hash(masked, k);
+  for (size_t b = 0; b < kRivestKeySize; ++b) {
+    k[b] ^= tail[b];
+  }
+
+  Aes256 aes(k);
+  Bytes masks((s + 1) * kRivestWordSize);
+  for (size_t i = 0; i <= s; ++i) {
+    uint8_t index_block[kRivestWordSize];
+    IndexBlock(i + 1, index_block);
+    aes.EncryptBlock(index_block, masks.data() + i * kRivestWordSize);
+  }
+
+  // Verify canary before unmasking data.
+  for (size_t b = 0; b < kRivestWordSize; ++b) {
+    uint8_t c = masked[data_len + b] ^ masks[s * kRivestWordSize + b];
+    if (c != kCanaryByte) {
+      return Status::Corruption("AONT canary mismatch");
+    }
+  }
+  x->resize(data_len);
+  for (size_t i = 0; i < data_len; ++i) {
+    (*x)[i] = masked[i] ^ masks[i];
+  }
+  if (key != nullptr) {
+    *key = std::move(k);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cdstore

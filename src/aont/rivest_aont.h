@@ -1,0 +1,33 @@
+// Rivest's all-or-nothing transform (FSE'97) as used by AONT-RS
+// (Resch & Plank, FAST'11): per-word masking with an encrypted index,
+// a canary word for integrity, and a tail hiding the key.
+//
+//   c_i = x_i ^ E(K, i)            i = 1..s (16-byte words)
+//   c_canary = canary ^ E(K, s+1)
+//   tail = K ^ H(c_1 .. c_canary)  (32 bytes)
+//   package = c_1 .. c_s || c_canary || tail
+//
+// The per-word encryptions are why CAONT-RS's OAEP variant is faster (§3.2).
+#ifndef CDSTORE_SRC_AONT_RIVEST_AONT_H_
+#define CDSTORE_SRC_AONT_RIVEST_AONT_H_
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+inline constexpr size_t kRivestWordSize = 16;    // AES block
+inline constexpr size_t kRivestKeySize = 32;     // AES-256 key / SHA-256 hash
+// Canary word + key tail.
+inline constexpr size_t kRivestAontOverhead = kRivestWordSize + kRivestKeySize;
+
+// `x` must be a multiple of kRivestWordSize (the dispersal layer pads).
+// Returns a package of x.size() + kRivestAontOverhead bytes.
+Bytes RivestAontTransform(ConstByteSpan x, ConstByteSpan key);
+
+// Inverts; fails with kCorruption if the canary does not verify.
+Status RivestAontInverse(ConstByteSpan package, Bytes* x, Bytes* key);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_AONT_RIVEST_AONT_H_

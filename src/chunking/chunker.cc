@@ -1,0 +1,80 @@
+#include "src/chunking/chunker.h"
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+FixedChunker::FixedChunker(size_t chunk_size) : chunk_size_(chunk_size) {
+  CHECK_GT(chunk_size, 0u);
+}
+
+void FixedChunker::Update(ConstByteSpan data, const ChunkSink& sink) {
+  size_t off = 0;
+  if (!pending_.empty()) {
+    size_t take = std::min(chunk_size_ - pending_.size(), data.size());
+    pending_.insert(pending_.end(), data.begin(), data.begin() + take);
+    off = take;
+    if (pending_.size() == chunk_size_) {
+      sink(pending_);
+      pending_.clear();
+    }
+  }
+  while (off + chunk_size_ <= data.size()) {
+    sink(data.subspan(off, chunk_size_));
+    off += chunk_size_;
+  }
+  if (off < data.size()) {
+    pending_.assign(data.begin() + off, data.end());
+  }
+}
+
+void FixedChunker::Finish(const ChunkSink& sink) {
+  if (!pending_.empty()) {
+    sink(pending_);
+    pending_.clear();
+  }
+}
+
+RabinChunker::RabinChunker(const RabinChunkerOptions& options)
+    : opts_(options), window_(options.window_size) {
+  CHECK_GT(opts_.min_size, opts_.window_size);
+  CHECK_LE(opts_.min_size, opts_.avg_size);
+  CHECK_LE(opts_.avg_size, opts_.max_size);
+  CHECK_EQ(opts_.avg_size & (opts_.avg_size - 1), 0u) << "avg_size must be a power of two";
+  mask_ = opts_.avg_size - 1;
+  pending_.reserve(opts_.max_size);
+}
+
+void RabinChunker::Update(ConstByteSpan data, const ChunkSink& sink) {
+  // A boundary is declared after at least min_size bytes when the rolling
+  // fingerprint matches the magic pattern under the average-size mask, or
+  // unconditionally at max_size.
+  for (size_t i = 0; i < data.size(); ++i) {
+    pending_.push_back(data[i]);
+    uint64_t fp = window_.Slide(data[i]);
+    if (pending_.size() >= opts_.min_size &&
+        ((fp & mask_) == mask_ || pending_.size() >= opts_.max_size)) {
+      sink(pending_);
+      pending_.clear();
+      window_.Reset();
+    }
+  }
+}
+
+void RabinChunker::Finish(const ChunkSink& sink) {
+  if (!pending_.empty()) {
+    sink(pending_);
+    pending_.clear();
+  }
+  window_.Reset();
+}
+
+std::vector<Bytes> ChunkBuffer(Chunker& chunker, ConstByteSpan data) {
+  std::vector<Bytes> chunks;
+  auto sink = [&chunks](ConstByteSpan c) { chunks.emplace_back(c.begin(), c.end()); };
+  chunker.Update(data, sink);
+  chunker.Finish(sink);
+  return chunks;
+}
+
+}  // namespace cdstore

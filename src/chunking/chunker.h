@@ -1,0 +1,68 @@
+// Content chunking (§4.2): splits a byte stream into secrets (chunks) for
+// convergent dispersal. Variable-size chunking uses Rabin fingerprints with
+// (min, avg, max) = (2KB, 8KB, 16KB) by default, matching the CDStore
+// prototype; fixed-size chunking matches the paper's VM dataset (4KB).
+#ifndef CDSTORE_SRC_CHUNKING_CHUNKER_H_
+#define CDSTORE_SRC_CHUNKING_CHUNKER_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/chunking/rabin.h"
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+// Receives each chunk's bytes. The span is only valid during the call.
+using ChunkSink = std::function<void(ConstByteSpan chunk)>;
+
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  // Feeds stream data; complete chunks are emitted through `sink`.
+  virtual void Update(ConstByteSpan data, const ChunkSink& sink) = 0;
+
+  // Emits any trailing partial chunk and resets for a new stream.
+  virtual void Finish(const ChunkSink& sink) = 0;
+};
+
+class FixedChunker : public Chunker {
+ public:
+  explicit FixedChunker(size_t chunk_size = 4096);
+
+  void Update(ConstByteSpan data, const ChunkSink& sink) override;
+  void Finish(const ChunkSink& sink) override;
+
+ private:
+  size_t chunk_size_;
+  Bytes pending_;
+};
+
+struct RabinChunkerOptions {
+  size_t min_size = 2 * 1024;
+  size_t avg_size = 8 * 1024;   // must be a power of two
+  size_t max_size = 16 * 1024;
+  size_t window_size = 48;
+};
+
+class RabinChunker : public Chunker {
+ public:
+  explicit RabinChunker(const RabinChunkerOptions& options = {});
+
+  void Update(ConstByteSpan data, const ChunkSink& sink) override;
+  void Finish(const ChunkSink& sink) override;
+
+ private:
+  RabinChunkerOptions opts_;
+  uint64_t mask_;
+  RabinWindow window_;
+  Bytes pending_;
+};
+
+// Convenience: chunk an in-memory buffer, returning owned chunks.
+std::vector<Bytes> ChunkBuffer(Chunker& chunker, ConstByteSpan data);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CHUNKING_CHUNKER_H_

@@ -1,0 +1,102 @@
+#include "src/chunking/rabin.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+constexpr uint64_t kMsb64 = 0x8000000000000000ull;
+
+int HighestBit(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+// (nh * 2^64 + nl) mod d in GF(2)[x].
+uint64_t PolyMod(uint64_t nh, uint64_t nl, uint64_t d) {
+  DCHECK_NE(d, 0u);
+  int k = HighestBit(d);
+  d <<= 63 - k;
+  if (nh != 0) {
+    if (nh & kMsb64) {
+      nh ^= d;
+    }
+    for (int i = 62; i >= 0; --i) {
+      if (nh & (1ull << i)) {
+        nh ^= d >> (63 - i);
+        nl ^= d << (i + 1);
+      }
+    }
+  }
+  for (int i = 63; i >= k; --i) {
+    if (nl & (1ull << i)) {
+      nl ^= d >> (63 - i);
+    }
+  }
+  return nl;
+}
+
+// 128-bit carry-less product of x and y.
+void PolyMult(uint64_t x, uint64_t y, uint64_t* hi, uint64_t* lo) {
+  uint64_t ph = 0;
+  uint64_t pl = (x & 1) ? y : 0;
+  for (int i = 1; i < 64; ++i) {
+    if (x & (1ull << i)) {
+      ph ^= y >> (64 - i);
+      pl ^= y << i;
+    }
+  }
+  *hi = ph;
+  *lo = pl;
+}
+
+uint64_t PolyMulMod(uint64_t x, uint64_t y, uint64_t d) {
+  uint64_t h, l;
+  PolyMult(x, y, &h, &l);
+  return PolyMod(h, l, d);
+}
+
+}  // namespace
+
+RabinWindow::RabinWindow(size_t window_size, uint64_t poly) : poly_(poly) {
+  CHECK_GT(window_size, 0u);
+  int xshift = HighestBit(poly);  // degree of the polynomial
+  shift_ = xshift - 8;
+  CHECK_GT(shift_, 0);
+  // T[j]: reduction of x^deg scaled by the outgoing top byte j, with the
+  // top byte itself re-attached so that Append can mask it away.
+  uint64_t t1 = PolyMod(0, 1ull << xshift, poly);
+  for (uint64_t j = 0; j < 256; ++j) {
+    t_[j] = PolyMulMod(j, t1, poly) | (j << xshift);
+  }
+  // U[b] = b * x^(8*window_size) mod poly: what a byte contributes once it
+  // has traversed the whole window.
+  uint64_t sizeshift = 1;
+  for (size_t i = 1; i < window_size; ++i) {
+    sizeshift = Append(sizeshift, 0);
+  }
+  for (uint64_t b = 0; b < 256; ++b) {
+    u_[b] = PolyMulMod(b, sizeshift, poly);
+  }
+  window_.assign(window_size, 0);
+}
+
+uint64_t RabinWindow::Append(uint64_t fp, uint8_t byte) const {
+  return ((fp << 8) | byte) ^ t_[fp >> shift_];
+}
+
+uint64_t RabinWindow::Slide(uint8_t byte) {
+  uint8_t old = window_[pos_];
+  window_[pos_] = byte;
+  pos_ = (pos_ + 1) % window_.size();
+  fingerprint_ = Append(fingerprint_ ^ u_[old], byte);
+  return fingerprint_;
+}
+
+void RabinWindow::Reset() {
+  std::fill(window_.begin(), window_.end(), 0);
+  pos_ = 0;
+  fingerprint_ = 0;
+}
+
+}  // namespace cdstore

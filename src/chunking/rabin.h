@@ -1,0 +1,48 @@
+// Rabin fingerprinting by random polynomials (Rabin '81): a rolling hash
+// over a sliding window, computed in GF(2)[x] modulo an irreducible
+// polynomial. Table-driven implementation in the style of LBFS's
+// rabinpoly.c — O(1) per byte with two 256-entry tables.
+#ifndef CDSTORE_SRC_CHUNKING_RABIN_H_
+#define CDSTORE_SRC_CHUNKING_RABIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cdstore {
+
+// Irreducible polynomial of degree 63 commonly used for content chunking.
+inline constexpr uint64_t kDefaultRabinPoly = 0xbfe6b8a5bf378d83ull;
+
+class RabinWindow {
+ public:
+  // `window_size` is the number of bytes the fingerprint covers (48 in the
+  // CDStore prototype's chunker).
+  explicit RabinWindow(size_t window_size = 48, uint64_t poly = kDefaultRabinPoly);
+
+  // Slides one byte into the window (and the oldest byte out); returns the
+  // updated fingerprint.
+  uint64_t Slide(uint8_t byte);
+
+  // Appends a byte without removing one (used to warm up).
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  void Reset();
+
+  size_t window_size() const { return window_.size(); }
+
+ private:
+  uint64_t Append(uint64_t fp, uint8_t byte) const;
+
+  uint64_t poly_;
+  int shift_;
+  uint64_t t_[256];  // mod-reduction of the outgoing top byte
+  uint64_t u_[256];  // contribution of the byte leaving the window
+  std::vector<uint8_t> window_;
+  size_t pos_ = 0;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CHUNKING_RABIN_H_

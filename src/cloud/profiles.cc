@@ -1,0 +1,20 @@
+#include "src/cloud/profiles.h"
+
+namespace cdstore {
+
+std::vector<CloudProfile> Table2CloudProfiles() {
+  // Rates are measured goodput on 4MB units (latency is already inside
+  // them); the residual per-request latency models connection setup only.
+  return {
+      {"Amazon", 5.87, 0.19, 4.45, 0.30, 0.010},
+      {"Google", 4.99, 0.23, 4.45, 0.21, 0.010},
+      {"Azure", 19.59, 1.20, 13.78, 0.72, 0.004},
+      {"Rackspace", 19.42, 1.06, 12.93, 1.47, 0.004},
+  };
+}
+
+CloudProfile LanProfile() { return {"LAN", 110.0, 2.0, 110.0, 2.0, 0.0005}; }
+
+CloudProfile UnlimitedProfile() { return {"local", 0.0, 0.0, 0.0, 0.0, 0.0}; }
+
+}  // namespace cdstore

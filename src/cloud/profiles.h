@@ -1,0 +1,32 @@
+// Bandwidth/latency profiles of the paper's testbeds: the four commercial
+// clouds of Table 2 (measured from Hong Kong, 2GB in 4MB units) and the
+// 1Gb/s LAN (§5.1, §5.5).
+#ifndef CDSTORE_SRC_CLOUD_PROFILES_H_
+#define CDSTORE_SRC_CLOUD_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+namespace cdstore {
+
+struct CloudProfile {
+  std::string name;
+  double upload_mbps;     // MB/s sustained upload
+  double upload_stddev;   // run-to-run jitter (Table 2 reports stddev)
+  double download_mbps;   // MB/s sustained download
+  double download_stddev;
+  double latency_s = 0.05;  // per-request round trip
+};
+
+// Table 2: Amazon/Google (Singapore), Azure/Rackspace (Hong Kong).
+std::vector<CloudProfile> Table2CloudProfiles();
+
+// The LAN testbed: effective speed measured at ~110 MB/s (§5.5).
+CloudProfile LanProfile();
+
+// A local (same-machine) profile with no throttling.
+CloudProfile UnlimitedProfile();
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CLOUD_PROFILES_H_

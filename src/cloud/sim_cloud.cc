@@ -1,0 +1,95 @@
+#include "src/cloud/sim_cloud.h"
+
+namespace cdstore {
+
+namespace {
+uint64_t ToBytesPerSecond(double mbps) {
+  return mbps <= 0 ? 0 : static_cast<uint64_t>(mbps * 1024.0 * 1024.0);
+}
+}  // namespace
+
+SimCloud::SimCloud(StorageBackend* inner, const CloudProfile& profile, bool virtual_time)
+    : inner_(inner),
+      profile_(profile),
+      up_limiter_(ToBytesPerSecond(profile.upload_mbps)),
+      down_limiter_(ToBytesPerSecond(profile.download_mbps)),
+      virtual_time_(virtual_time) {
+  up_limiter_.set_simulated(virtual_time);
+  down_limiter_.set_simulated(virtual_time);
+}
+
+Status SimCloud::CheckUp() const {
+  if (!available_) {
+    return Status::Unavailable("cloud " + profile_.name + " is down");
+  }
+  return Status::Ok();
+}
+
+Status SimCloud::Put(const std::string& name, ConstByteSpan data) {
+  RETURN_IF_ERROR(CheckUp());
+  up_limiter_.Acquire(data.size());
+  bytes_up_ += data.size();
+  if (virtual_time_) {
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    up_latency_s_ += profile_.latency_s;
+  }
+  return inner_->Put(name, data);
+}
+
+Result<Bytes> SimCloud::Get(const std::string& name) {
+  RETURN_IF_ERROR(CheckUp());
+  ASSIGN_OR_RETURN(Bytes data, inner_->Get(name));
+  down_limiter_.Acquire(data.size());
+  bytes_down_ += data.size();
+  if (virtual_time_) {
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    down_latency_s_ += profile_.latency_s;
+  }
+  if (corrupt_reads_ && !data.empty()) {
+    data[rng_.Uniform(data.size())] ^= 0x01;
+  }
+  return data;
+}
+
+Status SimCloud::Delete(const std::string& name) {
+  RETURN_IF_ERROR(CheckUp());
+  return inner_->Delete(name);
+}
+
+Result<std::vector<std::string>> SimCloud::List() {
+  RETURN_IF_ERROR(CheckUp());
+  return inner_->List();
+}
+
+bool SimCloud::Exists(const std::string& name) {
+  return available_ && inner_->Exists(name);
+}
+
+double SimCloud::upload_seconds() const {
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  return up_limiter_.simulated_seconds() + up_latency_s_;
+}
+
+double SimCloud::download_seconds() const {
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  return down_limiter_.simulated_seconds() + down_latency_s_;
+}
+
+void SimCloud::ResetClocks() {
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  up_limiter_.ResetSimulatedClock();
+  down_limiter_.ResetSimulatedClock();
+  up_latency_s_ = 0.0;
+  down_latency_s_ = 0.0;
+  bytes_up_ = 0;
+  bytes_down_ = 0;
+}
+
+MultiCloud::MultiCloud(const std::vector<CloudProfile>& profiles, bool virtual_time) {
+  for (const CloudProfile& p : profiles) {
+    backends_.push_back(std::make_unique<MemBackend>());
+    clouds_.push_back(std::make_unique<SimCloud>(backends_.back().get(), p, virtual_time));
+  }
+}
+
+}  // namespace cdstore

@@ -1,0 +1,87 @@
+// SimCloud: a storage backend decorated with the behaviour of a commercial
+// cloud — finite upload/download bandwidth, per-request latency,
+// availability (cloud outages, §3.1 reliability), and fault injection
+// (silent corruption) for testing the brute-force decode path (§3.2).
+//
+// Two clocks: real mode sleeps on a token bucket; virtual mode accumulates
+// the seconds a transfer *would* take, letting benchmarks replay the
+// paper's 2GB cloud experiments in milliseconds.
+#ifndef CDSTORE_SRC_CLOUD_SIM_CLOUD_H_
+#define CDSTORE_SRC_CLOUD_SIM_CLOUD_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "src/cloud/profiles.h"
+#include "src/storage/backend.h"
+#include "src/util/rate_limiter.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+
+class SimCloud : public StorageBackend {
+ public:
+  // Wraps `inner` (not owned). `virtual_time` selects the clock mode.
+  SimCloud(StorageBackend* inner, const CloudProfile& profile, bool virtual_time = true);
+
+  Status Put(const std::string& name, ConstByteSpan data) override;
+  Result<Bytes> Get(const std::string& name) override;
+  Status Delete(const std::string& name) override;
+  Result<std::vector<std::string>> List() override;
+  bool Exists(const std::string& name) override;
+
+  // --- failure injection -------------------------------------------------
+  // While unavailable, every operation returns kUnavailable.
+  void set_available(bool available) { available_ = available; }
+  bool available() const { return available_; }
+  // Every Get() flips one byte (silent data corruption).
+  void set_corrupt_reads(bool corrupt) { corrupt_reads_ = corrupt; }
+
+  // --- accounting ----------------------------------------------------------
+  const CloudProfile& profile() const { return profile_; }
+  uint64_t bytes_uploaded() const { return bytes_up_; }
+  uint64_t bytes_downloaded() const { return bytes_down_; }
+  // Virtual seconds spent on uploads/downloads (virtual-time mode).
+  double upload_seconds() const;
+  double download_seconds() const;
+  void ResetClocks();
+
+ private:
+  Status CheckUp() const;
+
+  StorageBackend* inner_;
+  CloudProfile profile_;
+  RateLimiter up_limiter_;
+  RateLimiter down_limiter_;
+  std::atomic<bool> available_{true};
+  std::atomic<bool> corrupt_reads_{false};
+  std::atomic<uint64_t> bytes_up_{0};
+  std::atomic<uint64_t> bytes_down_{0};
+  // Latency accumulates into the same virtual clocks.
+  bool virtual_time_;
+  mutable std::mutex lat_mu_;
+  double up_latency_s_ = 0.0;
+  double down_latency_s_ = 0.0;
+  Rng rng_{0xC10D};
+};
+
+// A complete simulated multi-cloud deployment: n clouds with in-memory
+// object stores behind SimCloud fronts.
+class MultiCloud {
+ public:
+  // One profile per cloud.
+  explicit MultiCloud(const std::vector<CloudProfile>& profiles, bool virtual_time = true);
+
+  int cloud_count() const { return static_cast<int>(clouds_.size()); }
+  SimCloud* cloud(int i) { return clouds_[i].get(); }
+  MemBackend* raw_backend(int i) { return backends_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<MemBackend>> backends_;
+  std::vector<std::unique_ptr<SimCloud>> clouds_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CLOUD_SIM_CLOUD_H_

@@ -1,0 +1,386 @@
+#include "src/core/client.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "src/dispersal/secret_sharing.h"
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+namespace cdstore {
+
+CdstoreClient::CdstoreClient(std::vector<Transport*> transports, UserId user,
+                             const ClientOptions& options)
+    : transports_(std::move(transports)),
+      user_(user),
+      opts_(options),
+      scheme_(MakeCaontRs(options.n, options.k, options.salt)),
+      pipeline_(scheme_.get(), options.encode_threads) {
+  CHECK_EQ(transports_.size(), static_cast<size_t>(options.n));
+}
+
+std::unique_ptr<Chunker> CdstoreClient::MakeChunker() const {
+  if (opts_.fixed_chunking) {
+    return std::make_unique<FixedChunker>(opts_.fixed_chunk_size);
+  }
+  return std::make_unique<RabinChunker>(opts_.rabin);
+}
+
+Result<std::vector<Bytes>> CdstoreClient::PathKeys(const std::string& path_name) const {
+  // Convergent dispersal of the pathname: deterministic, so the same path
+  // always maps to the same per-cloud key, yet no single cloud learns the
+  // path (§4.3 "for sensitive information, we encode and disperse it via
+  // secret sharing").
+  std::vector<Bytes> shares;
+  RETURN_IF_ERROR(scheme_->Encode(BytesOf(path_name), &shares));
+  return shares;
+}
+
+// ---------------------------------------------------------------- upload --
+
+Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
+                                    const std::vector<RecipeEntry>& recipe,
+                                    const std::vector<const Bytes*>& shares,
+                                    UploadStats* stats, std::mutex* stats_mu) {
+  Transport* t = transports_[cloud];
+
+  // 1. Intra-user dedup query (§3.3).
+  FpQueryRequest query;
+  query.user = user_;
+  query.fps.reserve(recipe.size());
+  for (const RecipeEntry& e : recipe) {
+    query.fps.push_back(e.fp);
+  }
+  ASSIGN_OR_RETURN(Bytes reply_frame, t->Call(Encode(query)));
+  RETURN_IF_ERROR(DecodeIfError(reply_frame));
+  FpQueryReply query_reply;
+  RETURN_IF_ERROR(Decode(reply_frame, &query_reply));
+  if (query_reply.duplicate.size() != recipe.size()) {
+    return Status::Internal("fp query reply arity mismatch");
+  }
+
+  // Deduplicate within this upload as well: identical secrets produce
+  // identical shares, and only the first instance needs transfer.
+  std::vector<uint8_t> send(recipe.size(), 0);
+  std::set<Fingerprint> in_flight;
+  uint64_t transferred = 0;
+  uint64_t dup = 0;
+  for (size_t i = 0; i < recipe.size(); ++i) {
+    if (query_reply.duplicate[i] != 0 || in_flight.count(recipe[i].fp) > 0) {
+      ++dup;
+      continue;
+    }
+    send[i] = 1;
+    in_flight.insert(recipe[i].fp);
+  }
+
+  // 2. Upload unique shares in 4MB batches (§4.1).
+  UploadSharesRequest batch;
+  batch.user = user_;
+  size_t batch_bytes = 0;
+  auto flush_batch = [&]() -> Status {
+    if (batch.shares.empty()) {
+      return Status::Ok();
+    }
+    ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(batch)));
+    RETURN_IF_ERROR(DecodeIfError(frame));
+    UploadSharesReply r;
+    RETURN_IF_ERROR(Decode(frame, &r));
+    batch.shares.clear();
+    batch_bytes = 0;
+    return Status::Ok();
+  };
+  for (size_t i = 0; i < recipe.size(); ++i) {
+    if (send[i] == 0) {
+      continue;
+    }
+    batch.shares.push_back(*shares[i]);
+    batch_bytes += shares[i]->size();
+    transferred += shares[i]->size();
+    if (batch_bytes >= opts_.upload_batch_bytes) {
+      RETURN_IF_ERROR(flush_batch());
+    }
+  }
+  RETURN_IF_ERROR(flush_batch());
+
+  // 3. Finalize: metadata + recipe (§4.3).
+  PutFileRequest put;
+  put.user = user_;
+  put.path_key = path_key;
+  put.file_size = file_size;
+  put.recipe = recipe;
+  ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
+  RETURN_IF_ERROR(DecodeIfError(frame));
+  PutFileReply put_reply;
+  RETURN_IF_ERROR(Decode(frame, &put_reply));
+
+  if (stats != nullptr) {
+    std::lock_guard<std::mutex> lock(*stats_mu);
+    stats->transferred_share_bytes += transferred;
+    stats->intra_duplicate_shares += dup;
+  }
+  return Status::Ok();
+}
+
+Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
+                             UploadStats* stats) {
+  Stopwatch compute_watch;
+
+  // 1. Chunking (§4.2).
+  auto chunker = MakeChunker();
+  std::vector<Bytes> secrets;
+  auto sink = [&secrets](ConstByteSpan c) { secrets.emplace_back(c.begin(), c.end()); };
+  chunker->Update(data, sink);
+  chunker->Finish(sink);
+
+  // 2. Parallel convergent dispersal (§4.6).
+  std::vector<std::vector<Bytes>> shares;
+  RETURN_IF_ERROR(pipeline_.EncodeAll(secrets, &shares));
+  double compute_s = compute_watch.ElapsedSeconds();
+
+  // 3. Per-cloud recipes and share lists (share i -> cloud i, §3.2).
+  std::vector<std::vector<RecipeEntry>> recipes(opts_.n);
+  std::vector<std::vector<const Bytes*>> cloud_shares(opts_.n);
+  uint64_t logical_share_bytes = 0;
+  for (size_t s = 0; s < secrets.size(); ++s) {
+    for (int i = 0; i < opts_.n; ++i) {
+      const Bytes& share = shares[s][i];
+      RecipeEntry e;
+      e.fp = FingerprintOf(share);
+      e.secret_size = static_cast<uint32_t>(secrets[s].size());
+      e.share_size = static_cast<uint32_t>(share.size());
+      recipes[i].push_back(std::move(e));
+      cloud_shares[i].push_back(&share);
+      logical_share_bytes += share.size();
+    }
+  }
+  if (stats != nullptr) {
+    stats->logical_bytes += data.size();
+    stats->num_secrets += secrets.size();
+    stats->logical_share_bytes += logical_share_bytes;
+    stats->chunk_encode_seconds += compute_s;
+  }
+
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+
+  // 4. Upload to all clouds concurrently (§4.6: one thread per cloud).
+  std::mutex stats_mu;
+  std::vector<Status> results(opts_.n);
+  std::vector<std::thread> threads;
+  threads.reserve(opts_.n);
+  for (int i = 0; i < opts_.n; ++i) {
+    threads.emplace_back([&, i]() {
+      results[i] = UploadToCloud(i, path_keys[i], data.size(), recipes[i], cloud_shares[i],
+                                 stats, &stats_mu);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int i = 0; i < opts_.n; ++i) {
+    if (!results[i].ok()) {
+      return Status(results[i].code(),
+                    "cloud " + std::to_string(i) + ": " + results[i].message());
+    }
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- download --
+
+Result<GetFileReply> CdstoreClient::FetchRecipe(int cloud, const Bytes& path_key) {
+  GetFileRequest req;
+  req.user = user_;
+  req.path_key = path_key;
+  ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
+  RETURN_IF_ERROR(DecodeIfError(frame));
+  GetFileReply reply;
+  RETURN_IF_ERROR(Decode(frame, &reply));
+  return reply;
+}
+
+Result<std::vector<Bytes>> CdstoreClient::FetchShares(int cloud,
+                                                      const std::vector<RecipeEntry>& recipe) {
+  std::vector<Bytes> shares;
+  shares.reserve(recipe.size());
+  size_t i = 0;
+  while (i < recipe.size()) {
+    GetSharesRequest req;
+    req.user = user_;
+    size_t batch_bytes = 0;
+    while (i < recipe.size() && batch_bytes < opts_.upload_batch_bytes) {
+      req.fps.push_back(recipe[i].fp);
+      batch_bytes += recipe[i].share_size;
+      ++i;
+    }
+    ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
+    RETURN_IF_ERROR(DecodeIfError(frame));
+    GetSharesReply reply;
+    RETURN_IF_ERROR(Decode(frame, &reply));
+    if (reply.shares.size() != req.fps.size()) {
+      return Status::Internal("share reply arity mismatch");
+    }
+    for (Bytes& s : reply.shares) {
+      shares.push_back(std::move(s));
+    }
+  }
+  return shares;
+}
+
+Result<Bytes> CdstoreClient::Download(const std::string& path_name, DownloadStats* stats) {
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+
+  // Collect recipes + shares from any k reachable clouds (§3.1).
+  std::vector<int> clouds;
+  std::vector<std::vector<RecipeEntry>> recipes;
+  std::vector<std::vector<Bytes>> cloud_share_lists;
+  uint64_t file_size = 0;
+  size_t num_secrets = 0;
+  Status last_error = Status::Unavailable("no cloud reachable");
+  for (int i = 0; i < opts_.n && static_cast<int>(clouds.size()) < opts_.k; ++i) {
+    auto recipe = FetchRecipe(i, path_keys[i]);
+    if (!recipe.ok()) {
+      last_error = recipe.status();
+      continue;
+    }
+    auto shares = FetchShares(i, recipe.value().recipe);
+    if (!shares.ok()) {
+      last_error = shares.status();
+      continue;
+    }
+    if (clouds.empty()) {
+      file_size = recipe.value().file_size;
+      num_secrets = recipe.value().recipe.size();
+    } else if (recipe.value().recipe.size() != num_secrets) {
+      last_error = Status::Corruption("recipe length mismatch across clouds");
+      continue;
+    }
+    clouds.push_back(i);
+    recipes.push_back(std::move(recipe.value().recipe));
+    cloud_share_lists.push_back(std::move(shares.value()));
+  }
+  if (static_cast<int>(clouds.size()) < opts_.k) {
+    return Status(last_error.code(),
+                  "fewer than k clouds available: " + last_error.message());
+  }
+
+  // Regroup per secret and decode in parallel.
+  std::vector<std::vector<int>> ids(num_secrets, clouds);
+  std::vector<std::vector<Bytes>> per_secret(num_secrets);
+  std::vector<size_t> sizes(num_secrets);
+  uint64_t received = 0;
+  for (size_t s = 0; s < num_secrets; ++s) {
+    per_secret[s].reserve(clouds.size());
+    for (size_t c = 0; c < clouds.size(); ++c) {
+      received += cloud_share_lists[c][s].size();
+      per_secret[s].push_back(std::move(cloud_share_lists[c][s]));
+    }
+    sizes[s] = recipes[0][s].secret_size;
+  }
+  std::vector<Bytes> secrets;
+  Status decode_status = pipeline_.DecodeAll(ids, per_secret, sizes, &secrets);
+
+  int brute_forced = 0;
+  if (!decode_status.ok()) {
+    // Per-secret fallback: fetch the remaining clouds' shares for corrupted
+    // secrets and brute-force over k-subsets (§3.2).
+    for (size_t s = 0; s < num_secrets; ++s) {
+      Bytes out;
+      if (scheme_->Decode(ids[s], per_secret[s], sizes[s], &out).ok()) {
+        secrets[s] = std::move(out);
+        continue;
+      }
+      std::vector<int> all_ids = ids[s];
+      std::vector<Bytes> all_shares = per_secret[s];
+      for (int i = 0; i < opts_.n; ++i) {
+        if (std::find(clouds.begin(), clouds.end(), i) != clouds.end()) {
+          continue;
+        }
+        auto recipe = FetchRecipe(i, path_keys[i]);
+        if (!recipe.ok() || recipe.value().recipe.size() != num_secrets) {
+          continue;
+        }
+        std::vector<RecipeEntry> one = {recipe.value().recipe[s]};
+        auto extra = FetchShares(i, one);
+        if (!extra.ok()) {
+          continue;
+        }
+        all_ids.push_back(i);
+        all_shares.push_back(std::move(extra.value()[0]));
+      }
+      RETURN_IF_ERROR(
+          DecodeWithBruteForce(*scheme_, all_ids, all_shares, sizes[s], &secrets[s]));
+      ++brute_forced;
+    }
+  }
+
+  Bytes data;
+  data.reserve(file_size);
+  for (const Bytes& s : secrets) {
+    data.insert(data.end(), s.begin(), s.end());
+  }
+  if (data.size() != file_size) {
+    return Status::Corruption("restored size mismatch");
+  }
+  if (stats != nullptr) {
+    stats->received_share_bytes += received;
+    stats->num_secrets += num_secrets;
+    stats->brute_force_recoveries += brute_forced;
+    stats->clouds_used = clouds;
+  }
+  return data;
+}
+
+// ------------------------------------------------------ delete & repair --
+
+Status CdstoreClient::DeleteFile(const std::string& path_name) {
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  Status first_error;
+  for (int i = 0; i < opts_.n; ++i) {
+    DeleteFileRequest req;
+    req.user = user_;
+    req.path_key = path_keys[i];
+    auto frame = transports_[i]->Call(Encode(req));
+    Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+    if (!st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+Status CdstoreClient::RepairFile(const std::string& path_name, int target_cloud) {
+  if (target_cloud < 0 || target_cloud >= opts_.n) {
+    return Status::InvalidArgument("target cloud out of range");
+  }
+  // Restore from the survivors, re-encode, re-upload the target's shares.
+  ASSIGN_OR_RETURN(Bytes data, Download(path_name));
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+
+  auto chunker = MakeChunker();
+  std::vector<Bytes> secrets;
+  auto sink = [&secrets](ConstByteSpan c) { secrets.emplace_back(c.begin(), c.end()); };
+  chunker->Update(data, sink);
+  chunker->Finish(sink);
+  std::vector<std::vector<Bytes>> shares;
+  RETURN_IF_ERROR(pipeline_.EncodeAll(secrets, &shares));
+
+  std::vector<RecipeEntry> recipe;
+  std::vector<const Bytes*> target_shares;
+  recipe.reserve(secrets.size());
+  for (size_t s = 0; s < secrets.size(); ++s) {
+    const Bytes& share = shares[s][target_cloud];
+    RecipeEntry e;
+    e.fp = FingerprintOf(share);
+    e.secret_size = static_cast<uint32_t>(secrets[s].size());
+    e.share_size = static_cast<uint32_t>(share.size());
+    recipe.push_back(std::move(e));
+    target_shares.push_back(&share);
+  }
+  return UploadToCloud(target_cloud, path_keys[target_cloud], data.size(), recipe,
+                       target_shares, nullptr, nullptr);
+}
+
+}  // namespace cdstore

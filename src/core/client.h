@@ -1,0 +1,98 @@
+// The CDStore client (§4): chunks a backup stream into secrets, encodes
+// each secret into n shares with convergent dispersal (CAONT-RS), performs
+// intra-user deduplication against each cloud's server, uploads unique
+// shares in 4MB batches, and restores files from any k clouds — falling
+// back to other clouds and brute-force subset decoding when shares are
+// unavailable or corrupted.
+#ifndef CDSTORE_SRC_CORE_CLIENT_H_
+#define CDSTORE_SRC_CORE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chunking/chunker.h"
+#include "src/core/coding_pipeline.h"
+#include "src/dedup/fingerprint.h"
+#include "src/dispersal/aont_rs.h"
+#include "src/net/message.h"
+#include "src/net/transport.h"
+
+namespace cdstore {
+
+struct ClientOptions {
+  int n = 4;
+  int k = 3;
+  Bytes salt;                       // deployment-wide convergent-hash salt
+  int encode_threads = 2;           // §5.3 uses two encoding threads
+  bool fixed_chunking = false;      // default: variable-size (§4.2)
+  size_t fixed_chunk_size = 4096;
+  RabinChunkerOptions rabin;
+  size_t upload_batch_bytes = 4 << 20;  // §4.1: batch shares in 4MB buffers
+};
+
+// Per-upload accounting, the quantities behind Figure 6.
+struct UploadStats {
+  uint64_t logical_bytes = 0;        // original data
+  uint64_t num_secrets = 0;
+  uint64_t logical_share_bytes = 0;  // all n shares before dedup
+  uint64_t transferred_share_bytes = 0;  // after intra-user dedup
+  uint64_t intra_duplicate_shares = 0;
+  double chunk_encode_seconds = 0;   // client compute time
+};
+
+struct DownloadStats {
+  uint64_t received_share_bytes = 0;
+  uint64_t num_secrets = 0;
+  int brute_force_recoveries = 0;
+  std::vector<int> clouds_used;
+};
+
+class CdstoreClient {
+ public:
+  // transports[i] talks to the CDStore server on cloud i; share i of every
+  // secret goes to cloud i (§3.2 deterministic placement).
+  CdstoreClient(std::vector<Transport*> transports, UserId user, const ClientOptions& options);
+
+  // Backs up `data` under `path_name`.
+  Status Upload(const std::string& path_name, ConstByteSpan data, UploadStats* stats = nullptr);
+
+  // Restores a file from any k reachable clouds.
+  Result<Bytes> Download(const std::string& path_name, DownloadStats* stats = nullptr);
+
+  // Removes the file from all reachable clouds.
+  Status DeleteFile(const std::string& path_name);
+
+  // Rebuilds `target_cloud`'s shares of a file (e.g. after a cloud loses
+  // data): restores from the surviving clouds, re-encodes, re-uploads the
+  // target's shares and recipe (§3.1 reliability).
+  Status RepairFile(const std::string& path_name, int target_cloud);
+
+  int n() const { return opts_.n; }
+  int k() const { return opts_.k; }
+  UserId user() const { return user_; }
+
+ private:
+  std::unique_ptr<Chunker> MakeChunker() const;
+  // Deterministic per-cloud keys for the (sensitive) pathname: the path is
+  // itself convergent-dispersed and each cloud sees only its share (§4.3).
+  Result<std::vector<Bytes>> PathKeys(const std::string& path_name) const;
+  Status UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
+                       const std::vector<RecipeEntry>& recipe,
+                       const std::vector<const Bytes*>& shares, UploadStats* stats,
+                       std::mutex* stats_mu);
+  // Fetches one cloud's recipe; used during download/repair.
+  Result<GetFileReply> FetchRecipe(int cloud, const Bytes& path_key);
+  // Fetches all shares named by `recipe` from `cloud` in 4MB batches.
+  Result<std::vector<Bytes>> FetchShares(int cloud, const std::vector<RecipeEntry>& recipe);
+
+  std::vector<Transport*> transports_;
+  UserId user_;
+  ClientOptions opts_;
+  std::unique_ptr<AontRsScheme> scheme_;  // CAONT-RS
+  CodingPipeline pipeline_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CORE_CLIENT_H_

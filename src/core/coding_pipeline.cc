@@ -1,0 +1,74 @@
+#include "src/core/coding_pipeline.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+// Secrets per worker task: amortizes queue overhead against ~8KB secrets.
+constexpr size_t kBatch = 32;
+}  // namespace
+
+CodingPipeline::CodingPipeline(SecretSharing* scheme, int num_threads)
+    : scheme_(scheme), pool_(num_threads) {
+  CHECK(scheme != nullptr);
+}
+
+Status CodingPipeline::EncodeAll(const std::vector<Bytes>& secrets,
+                                 std::vector<std::vector<Bytes>>* shares_per_secret) {
+  shares_per_secret->assign(secrets.size(), {});
+  std::mutex err_mu;
+  Status first_error;
+  for (size_t base = 0; base < secrets.size(); base += kBatch) {
+    size_t end = std::min(secrets.size(), base + kBatch);
+    pool_.Submit([this, &secrets, shares_per_secret, &err_mu, &first_error, base, end]() {
+      for (size_t i = base; i < end; ++i) {
+        Status st = scheme_->Encode(secrets[i], &(*shares_per_secret)[i]);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) {
+            first_error = st;
+          }
+          return;
+        }
+      }
+    });
+  }
+  pool_.Wait();
+  return first_error;
+}
+
+Status CodingPipeline::DecodeAll(const std::vector<std::vector<int>>& ids,
+                                 const std::vector<std::vector<Bytes>>& shares,
+                                 const std::vector<size_t>& secret_sizes,
+                                 std::vector<Bytes>* secrets) {
+  if (ids.size() != shares.size() || shares.size() != secret_sizes.size()) {
+    return Status::InvalidArgument("decode input arity mismatch");
+  }
+  secrets->assign(shares.size(), {});
+  std::mutex err_mu;
+  Status first_error;
+  for (size_t base = 0; base < shares.size(); base += kBatch) {
+    size_t end = std::min(shares.size(), base + kBatch);
+    pool_.Submit([this, &ids, &shares, &secret_sizes, secrets, &err_mu, &first_error, base,
+                  end]() {
+      for (size_t i = base; i < end; ++i) {
+        Status st = scheme_->Decode(ids[i], shares[i], secret_sizes[i], &(*secrets)[i]);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) {
+            first_error = st;
+          }
+          return;
+        }
+      }
+    });
+  }
+  pool_.Wait();
+  return first_error;
+}
+
+}  // namespace cdstore

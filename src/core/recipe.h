@@ -1,0 +1,25 @@
+// File recipes (§4.4): the complete description of an uploaded file as one
+// cloud sees it — per-secret share fingerprints and secret sizes. Recipes
+// live in recipe containers at the storage backend; the file index points
+// at them.
+#ifndef CDSTORE_SRC_CORE_RECIPE_H_
+#define CDSTORE_SRC_CORE_RECIPE_H_
+
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+struct FileRecipe {
+  uint64_t file_size = 0;
+  std::vector<RecipeEntry> entries;
+
+  Bytes Serialize() const;
+  static Result<FileRecipe> Deserialize(ConstByteSpan data);
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CORE_RECIPE_H_

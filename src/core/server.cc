@@ -1,0 +1,486 @@
+#include "src/core/server.h"
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "src/core/recipe.h"
+#include "src/util/io.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+const char kMetaKey[] = "Mserver";
+
+Bytes PathKeyToBytes(ConstByteSpan path_key) {
+  return Bytes(path_key.begin(), path_key.end());
+}
+}  // namespace
+
+CdstoreServer::CdstoreServer(StorageBackend* backend, const ServerOptions& options,
+                             std::unique_ptr<Db> db)
+    : backend_(backend),
+      db_(std::move(db)),
+      share_index_(db_.get()),
+      file_index_(db_.get()),
+      share_store_(backend,
+                   ContainerStoreOptions{options.container_capacity,
+                                         options.container_cache_bytes, "c"},
+                   /*first_container_id=*/1),
+      recipe_store_(backend,
+                    ContainerStoreOptions{options.container_capacity,
+                                          options.container_cache_bytes, "r"},
+                    /*first_container_id=*/1) {}
+
+CdstoreServer::~CdstoreServer() {
+  Status st = Flush();
+  if (!st.ok()) {
+    LOG(WARNING) << "flush on shutdown failed: " << st;
+  }
+}
+
+Status CdstoreServer::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(share_store_.FlushAll());
+  RETURN_IF_ERROR(recipe_store_.FlushAll());
+  return SaveMetaLocked();
+}
+
+Result<std::unique_ptr<CdstoreServer>> CdstoreServer::Create(StorageBackend* backend,
+                                                             const ServerOptions& options) {
+  ASSIGN_OR_RETURN(std::unique_ptr<Db> db, Db::Open(options.index_dir, options.db));
+  auto server =
+      std::unique_ptr<CdstoreServer>(new CdstoreServer(backend, options, std::move(db)));
+  RETURN_IF_ERROR(server->LoadMeta());
+  return server;
+}
+
+Status CdstoreServer::LoadMeta() {
+  Bytes value;
+  Status st = db_->Get(BytesOf(kMetaKey), &value);
+  if (st.code() == StatusCode::kNotFound) {
+    return Status::Ok();
+  }
+  RETURN_IF_ERROR(st);
+  BufferReader r(value);
+  uint64_t share_next = 1, recipe_next = 1;
+  RETURN_IF_ERROR(r.GetU64(&share_next));
+  RETURN_IF_ERROR(r.GetU64(&recipe_next));
+  RETURN_IF_ERROR(r.GetU64(&physical_share_bytes_));
+  RETURN_IF_ERROR(r.GetU64(&file_count_));
+  // Restore the container id sequences so new containers never collide
+  // with ones already at the backend.
+  share_store_.AdvanceContainerId(share_next);
+  recipe_store_.AdvanceContainerId(recipe_next);
+  return Status::Ok();
+}
+
+Status CdstoreServer::SaveMetaLocked() {
+  BufferWriter w;
+  w.PutU64(share_store_.next_container_id());
+  w.PutU64(recipe_store_.next_container_id());
+  w.PutU64(physical_share_bytes_);
+  w.PutU64(file_count_);
+  return db_->Put(BytesOf(kMetaKey), w.data());
+}
+
+Bytes CdstoreServer::Handle(ConstByteSpan request) {
+  switch (PeekType(request)) {
+    case MsgType::kFpQueryRequest:
+      return HandleFpQuery(request);
+    case MsgType::kUploadSharesRequest:
+      return HandleUploadShares(request);
+    case MsgType::kPutFileRequest:
+      return HandlePutFile(request);
+    case MsgType::kGetFileRequest:
+      return HandleGetFile(request);
+    case MsgType::kGetSharesRequest:
+      return HandleGetShares(request);
+    case MsgType::kDeleteFileRequest:
+      return HandleDeleteFile(request);
+    case MsgType::kStatsRequest:
+      return HandleStats(request);
+    case MsgType::kGcRequest:
+      return HandleGc(request);
+    default:
+      return EncodeError(Status::InvalidArgument("unknown request type"));
+  }
+}
+
+Bytes CdstoreServer::HandleFpQuery(ConstByteSpan frame) {
+  FpQueryRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  FpQueryReply reply;
+  reply.duplicate.resize(req.fps.size(), 0);
+  for (size_t i = 0; i < req.fps.size(); ++i) {
+    // Intra-user dedup (§3.3): the answer reveals only whether THIS user
+    // already uploaded the share — never other users' holdings, which
+    // defeats the side-channel attack of [28].
+    auto has = share_index_.UserHasShare(req.fps[i], req.user);
+    if (!has.ok()) {
+      return EncodeError(has.status());
+    }
+    reply.duplicate[i] = has.value() ? 1 : 0;
+  }
+  return Encode(reply);
+}
+
+Bytes CdstoreServer::HandleUploadShares(ConstByteSpan frame) {
+  UploadSharesRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  UploadSharesReply reply;
+  for (const Bytes& share : req.shares) {
+    // Inter-user dedup (§3.3): fingerprint recomputed server-side — a
+    // client-supplied fingerprint could otherwise claim ownership of
+    // another user's share content [27, 43].
+    Fingerprint fp = FingerprintOf(share);
+    auto existing = share_index_.Lookup(fp);
+    if (!existing.ok()) {
+      return EncodeError(existing.status());
+    }
+    if (existing.value().has_value()) {
+      ++reply.deduplicated;
+      continue;
+    }
+    auto handle = share_store_.Append(req.user, share);
+    if (!handle.ok()) {
+      return EncodeError(handle.status());
+    }
+    ShareLocation loc;
+    loc.container_id = handle.value().container_id;
+    loc.index_in_container = handle.value().index;
+    loc.share_size = static_cast<uint32_t>(share.size());
+    if (Status st = share_index_.Insert(fp, loc); !st.ok()) {
+      return EncodeError(st);
+    }
+    physical_share_bytes_ += share.size();
+    ++reply.stored;
+  }
+  if (Status st = SaveMetaLocked(); !st.ok()) {
+    return EncodeError(st);
+  }
+  return Encode(reply);
+}
+
+Bytes CdstoreServer::HandlePutFile(ConstByteSpan frame) {
+  PutFileRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Every recipe entry must name a stored share; verify before committing.
+  for (const RecipeEntry& e : req.recipe) {
+    auto loc = share_index_.Lookup(e.fp);
+    if (!loc.ok()) {
+      return EncodeError(loc.status());
+    }
+    if (!loc.value().has_value()) {
+      return EncodeError(
+          Status::FailedPrecondition("recipe references unknown share " +
+                                     FingerprintAbbrev(e.fp)));
+    }
+  }
+  FileRecipe recipe;
+  recipe.file_size = req.file_size;
+  recipe.entries = req.recipe;
+  auto handle = recipe_store_.Append(req.user, recipe.Serialize());
+  if (!handle.ok()) {
+    return EncodeError(handle.status());
+  }
+  // Replacing an existing file drops the old references first.
+  auto old_entry = file_index_.GetFile(req.user, req.path_key);
+  if (old_entry.ok()) {
+    auto old_blob = recipe_store_.Fetch(
+        BlobHandle{old_entry.value().recipe_container_id, old_entry.value().recipe_index});
+    if (old_blob.ok()) {
+      auto old_recipe = FileRecipe::Deserialize(old_blob.value());
+      if (old_recipe.ok()) {
+        for (const RecipeEntry& e : old_recipe.value().entries) {
+          bool orphaned = false;
+          (void)share_index_.DropReference(e.fp, req.user, &orphaned);
+        }
+        --file_count_;
+      }
+    }
+  }
+
+  FileIndexEntry entry;
+  entry.file_size = req.file_size;
+  entry.num_secrets = req.recipe.size();
+  entry.recipe_container_id = handle.value().container_id;
+  entry.recipe_index = handle.value().index;
+  if (Status st = file_index_.PutFile(req.user, req.path_key, entry); !st.ok()) {
+    return EncodeError(st);
+  }
+  for (const RecipeEntry& e : req.recipe) {
+    if (Status st = share_index_.AddReference(e.fp, req.user); !st.ok()) {
+      return EncodeError(st);
+    }
+  }
+  ++file_count_;
+  if (Status st = SaveMetaLocked(); !st.ok()) {
+    return EncodeError(st);
+  }
+  return Encode(PutFileReply{});
+}
+
+Bytes CdstoreServer::HandleGetFile(ConstByteSpan frame) {
+  GetFileRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto entry = file_index_.GetFile(req.user, req.path_key);
+  if (!entry.ok()) {
+    return EncodeError(entry.status());
+  }
+  auto blob = recipe_store_.Fetch(
+      BlobHandle{entry.value().recipe_container_id, entry.value().recipe_index});
+  if (!blob.ok()) {
+    return EncodeError(blob.status());
+  }
+  auto recipe = FileRecipe::Deserialize(blob.value());
+  if (!recipe.ok()) {
+    return EncodeError(recipe.status());
+  }
+  GetFileReply reply;
+  reply.file_size = recipe.value().file_size;
+  reply.recipe = std::move(recipe.value().entries);
+  return Encode(reply);
+}
+
+Bytes CdstoreServer::HandleGetShares(ConstByteSpan frame) {
+  GetSharesRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  GetSharesReply reply;
+  reply.shares.reserve(req.fps.size());
+  for (const Fingerprint& fp : req.fps) {
+    // Access control: only owners may fetch a share by fingerprint —
+    // possession of a fingerprint must not grant access to the content
+    // (the [27] attack).
+    auto owns = share_index_.UserHasShare(fp, req.user);
+    if (!owns.ok()) {
+      return EncodeError(owns.status());
+    }
+    if (!owns.value()) {
+      return EncodeError(Status::PermissionDenied("user does not own share " +
+                                                  FingerprintAbbrev(fp)));
+    }
+    auto loc = share_index_.Lookup(fp);
+    if (!loc.ok()) {
+      return EncodeError(loc.status());
+    }
+    if (!loc.value().has_value()) {
+      return EncodeError(Status::NotFound("share missing: " + FingerprintAbbrev(fp)));
+    }
+    auto share = share_store_.Fetch(
+        BlobHandle{loc.value()->container_id, loc.value()->index_in_container});
+    if (!share.ok()) {
+      return EncodeError(share.status());
+    }
+    reply.shares.push_back(std::move(share.value()));
+  }
+  return Encode(reply);
+}
+
+Bytes CdstoreServer::HandleDeleteFile(ConstByteSpan frame) {
+  DeleteFileRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto entry = file_index_.GetFile(req.user, req.path_key);
+  if (!entry.ok()) {
+    return EncodeError(entry.status());
+  }
+  auto blob = recipe_store_.Fetch(
+      BlobHandle{entry.value().recipe_container_id, entry.value().recipe_index});
+  if (!blob.ok()) {
+    return EncodeError(blob.status());
+  }
+  auto recipe = FileRecipe::Deserialize(blob.value());
+  if (!recipe.ok()) {
+    return EncodeError(recipe.status());
+  }
+  DeleteFileReply reply;
+  for (const RecipeEntry& e : recipe.value().entries) {
+    bool orphaned = false;
+    Status st = share_index_.DropReference(e.fp, req.user, &orphaned);
+    if (!st.ok()) {
+      return EncodeError(st);
+    }
+    if (orphaned) {
+      // Index entry removed; container space reclamation is the garbage
+      // collection the paper defers to future work (§4.7).
+      ++reply.shares_orphaned;
+      (void)share_index_.Erase(e.fp);
+    }
+  }
+  if (Status st = file_index_.DeleteFile(req.user, req.path_key); !st.ok()) {
+    return EncodeError(st);
+  }
+  --file_count_;
+  if (Status st = SaveMetaLocked(); !st.ok()) {
+    return EncodeError(st);
+  }
+  return Encode(reply);
+}
+
+Bytes CdstoreServer::HandleStats(ConstByteSpan frame) {
+  StatsRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsReply reply;
+  auto unique = share_index_.UniqueShareCount();
+  if (!unique.ok()) {
+    return EncodeError(unique.status());
+  }
+  reply.unique_shares = unique.value();
+  reply.stored_bytes = physical_share_bytes_;
+  reply.container_count = share_store_.sealed_container_count();
+  reply.file_count = file_count_;
+  return Encode(reply);
+}
+
+Bytes CdstoreServer::HandleGc(ConstByteSpan frame) {
+  GcRequest req;
+  if (Status st = Decode(frame, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  auto reply = CollectGarbage();
+  if (!reply.ok()) {
+    return EncodeError(reply.status());
+  }
+  return Encode(reply.value());
+}
+
+Result<GcReply> CdstoreServer::CollectGarbage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GcReply stats;
+  // 1. Seal open containers so every live share is on the backend.
+  RETURN_IF_ERROR(share_store_.FlushAll());
+
+  // 2. Live map: container -> [(fp, index, size)].
+  struct LiveShare {
+    Fingerprint fp;
+    uint32_t index;
+    uint32_t size;
+  };
+  std::map<uint64_t, std::vector<LiveShare>> live;
+  RETURN_IF_ERROR(share_index_.ForEach(
+      [&live](const Fingerprint& fp, const ShareIndexEntry& entry) {
+        live[entry.location.container_id].push_back(
+            {fp, entry.location.index_in_container, entry.location.share_size});
+      }));
+
+  // 3. Visit every sealed share container ("c" prefix).
+  ASSIGN_OR_RETURN(std::vector<std::string> objects, backend_->List());
+  for (const std::string& name : objects) {
+    if (name.empty() || name[0] != 'c') {
+      continue;
+    }
+    uint64_t container_id = std::strtoull(name.c_str() + 1, nullptr, 16);
+    ++stats.containers_scanned;
+    ASSIGN_OR_RETURN(Bytes image, backend_->Get(name));
+    ASSIGN_OR_RETURN(ContainerReader reader, ContainerReader::Parse(std::move(image)));
+    auto it = live.find(container_id);
+    size_t live_count = it == live.end() ? 0 : it->second.size();
+    if (live_count == reader.count()) {
+      continue;  // fully live: nothing to reclaim
+    }
+    // Rewrite the live shares into fresh containers, update the index,
+    // delete the old container.
+    uint64_t dead_bytes = 0;
+    for (uint32_t b = 0; b < reader.count(); ++b) {
+      ASSIGN_OR_RETURN(ConstByteSpan blob, reader.Blob(b));
+      dead_bytes += blob.size();
+    }
+    if (it != live.end()) {
+      for (const LiveShare& share : it->second) {
+        ASSIGN_OR_RETURN(ConstByteSpan blob, reader.Blob(share.index));
+        dead_bytes -= blob.size();
+        ASSIGN_OR_RETURN(BlobHandle handle, share_store_.Append(/*user=*/0, blob));
+        ShareLocation loc;
+        loc.container_id = handle.container_id;
+        loc.index_in_container = handle.index;
+        loc.share_size = share.size;
+        RETURN_IF_ERROR(share_index_.UpdateLocation(share.fp, loc));
+        ++stats.live_shares_moved;
+      }
+    }
+    RETURN_IF_ERROR(share_store_.FlushUser(0));
+    RETURN_IF_ERROR(share_store_.DeleteContainer(container_id));
+    ++stats.containers_rewritten;
+    stats.bytes_reclaimed += dead_bytes;
+  }
+  physical_share_bytes_ -= std::min(physical_share_bytes_, stats.bytes_reclaimed);
+  RETURN_IF_ERROR(SaveMetaLocked());
+  return stats;
+}
+
+Status CdstoreServer::BackupIndexSnapshot(const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A consistent view: the LSM iterator at the current sequence.
+  BufferWriter w;
+  w.PutU32(0x1d8c5eed);  // snapshot magic
+  uint64_t count = 0;
+  BufferWriter body;
+  auto it = db_->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    body.PutBytes(it->key());
+    body.PutBytes(it->value());
+    ++count;
+  }
+  w.PutU64(count);
+  w.PutRaw(body.data());
+  return backend_->Put(object_name, w.data());
+}
+
+Status CdstoreServer::RestoreIndexSnapshot(const std::string& object_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Bytes blob, backend_->Get(object_name));
+  BufferReader r(blob);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != 0x1d8c5eed) {
+    return Status::Corruption("bad index snapshot magic");
+  }
+  RETURN_IF_ERROR(r.GetU64(&count));
+  WriteBatch batch;
+  for (uint64_t i = 0; i < count; ++i) {
+    Bytes key, value;
+    RETURN_IF_ERROR(r.GetBytes(&key));
+    RETURN_IF_ERROR(r.GetBytes(&value));
+    batch.Put(key, value);
+    if (batch.size() >= 512) {
+      RETURN_IF_ERROR(db_->Write(batch));
+      batch.Clear();
+    }
+  }
+  RETURN_IF_ERROR(db_->Write(batch));
+  return LoadMeta();
+}
+
+uint64_t CdstoreServer::physical_share_bytes() const {
+  return physical_share_bytes_;
+}
+
+uint64_t CdstoreServer::unique_share_count() const {
+  auto count = const_cast<CdstoreServer*>(this)->share_index_.UniqueShareCount();
+  return count.ok() ? count.value() : 0;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,97 @@
+// The CDStore server (§4): one per cloud, co-located with the storage
+// backend. Performs inter-user deduplication, maintains the file/share
+// indices in the LSM KV store, and packs unique shares and recipes into
+// containers.
+#ifndef CDSTORE_SRC_CORE_SERVER_H_
+#define CDSTORE_SRC_CORE_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/dedup/file_index.h"
+#include "src/dedup/share_index.h"
+#include "src/kvstore/db.h"
+#include "src/net/message.h"
+#include "src/net/transport.h"
+#include "src/storage/backend.h"
+#include "src/storage/container_store.h"
+
+namespace cdstore {
+
+struct ServerOptions {
+  // Directory for the index database (the paper keeps indices on the VM's
+  // local disk, §5.6).
+  std::string index_dir;
+  DbOptions db;
+  size_t container_capacity = kDefaultContainerCapacity;
+  size_t container_cache_bytes = 32 << 20;
+};
+
+class CdstoreServer {
+ public:
+  // `backend` is the cloud object store this server fronts (not owned).
+  static Result<std::unique_ptr<CdstoreServer>> Create(StorageBackend* backend,
+                                                       const ServerOptions& options);
+
+  // Graceful shutdown: seals all open containers to the backend and
+  // persists counters. Called by the destructor; a hard crash instead
+  // loses only unsealed containers, which the n-k cloud redundancy covers.
+  ~CdstoreServer();
+  Status Flush();
+
+  // RPC entry point: full request frame -> full reply frame. Thread-safe.
+  Bytes Handle(ConstByteSpan request);
+
+  // Convenience adapter for Transport construction.
+  RpcHandler AsHandler() {
+    return [this](ConstByteSpan req) { return Handle(req); };
+  }
+
+  // Accounting for experiments.
+  uint64_t physical_share_bytes() const;
+  uint64_t unique_share_count() const;
+
+  // --- §4.7 extensions -----------------------------------------------------
+  // Garbage collection: rewrites sealed containers whose shares have been
+  // partially orphaned by deletions, reclaiming backend space. (The paper
+  // defers this to future work; realized here.)
+  Result<GcReply> CollectGarbage();
+
+  // Index snapshot to the cloud backend (§4.4: "leverage the snapshot
+  // feature ... to store periodic snapshots in the cloud backend for
+  // reliability"). The snapshot is a consistent LSM view serialized to one
+  // object; RestoreIndexSnapshot reloads it into an empty server.
+  Status BackupIndexSnapshot(const std::string& object_name);
+  Status RestoreIndexSnapshot(const std::string& object_name);
+
+ private:
+  CdstoreServer(StorageBackend* backend, const ServerOptions& options,
+                std::unique_ptr<Db> db);
+
+  Bytes HandleFpQuery(ConstByteSpan frame);
+  Bytes HandleUploadShares(ConstByteSpan frame);
+  Bytes HandlePutFile(ConstByteSpan frame);
+  Bytes HandleGetFile(ConstByteSpan frame);
+  Bytes HandleGetShares(ConstByteSpan frame);
+  Bytes HandleDeleteFile(ConstByteSpan frame);
+  Bytes HandleStats(ConstByteSpan frame);
+  Bytes HandleGc(ConstByteSpan frame);
+
+  Status LoadMeta();
+  Status SaveMetaLocked();
+
+  std::mutex mu_;  // serializes index/container mutation
+  StorageBackend* backend_;
+  std::unique_ptr<Db> db_;
+  ShareIndex share_index_;
+  FileIndex file_index_;
+  ContainerStore share_store_;
+  ContainerStore recipe_store_;
+  uint64_t physical_share_bytes_ = 0;
+  uint64_t file_count_ = 0;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CORE_SERVER_H_

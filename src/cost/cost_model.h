@@ -1,0 +1,56 @@
+// The monetary cost model of §5.6: monthly cost of storing an
+// organization's weekly backups for a retention window under three
+// systems — CDStore (dedup + (n,k) dispersal + per-cloud VMs), an
+// AONT-RS multi-cloud baseline (same redundancy, no dedup, no VMs), and a
+// single-cloud encrypted baseline (no redundancy, no dedup).
+#ifndef CDSTORE_SRC_COST_COST_MODEL_H_
+#define CDSTORE_SRC_COST_COST_MODEL_H_
+
+#include <string>
+
+#include "src/cost/pricing.h"
+
+namespace cdstore {
+
+struct CostScenario {
+  double weekly_backup_tb = 16;   // logical data per weekly backup
+  int retention_weeks = 26;       // half a year (§5.6)
+  double dedup_ratio = 10;        // logical shares / physical shares [58]
+  int n = 4;
+  int k = 3;
+  double avg_secret_bytes = 8192;     // average chunk size (§4.2)
+  double hash_overhead_bytes = 32;    // CAONT tail per secret
+  double recipe_entry_bytes = 60;     // fp + sizes + key-value framing (§4.4)
+  // Share-index bytes per unique share on the VM disk. LevelDB compacts
+  // and compresses; 48B ~= fingerprint + container ref after compression.
+  double index_entry_bytes = 48;
+};
+
+struct CostBreakdown {
+  double storage_usd = 0;   // S3 across all clouds
+  double vm_usd = 0;        // EC2 across all clouds
+  double total_usd = 0;
+  double stored_tb = 0;     // physical bytes billed (all clouds)
+  double index_gb_per_cloud = 0;
+  std::string instance;     // chosen EC2 instance (CDStore only)
+  int instances_per_cloud = 0;
+};
+
+// CDStore: physical shares (logical/dedup * n/k, plus per-secret hash
+// overhead), file recipes on S3, and per-cloud VMs sized to the index.
+CostBreakdown CdstoreMonthlyCost(const CostScenario& s);
+
+// AONT-RS multi-cloud baseline: same (n,k) redundancy, random keys so no
+// dedup, no server VMs (clients talk straight to cloud storage).
+CostBreakdown AontRsMonthlyCost(const CostScenario& s);
+
+// Single-cloud baseline: keyed encryption, no redundancy, no dedup.
+CostBreakdown SingleCloudMonthlyCost(const CostScenario& s);
+
+// The headline metrics of Figure 9: fractional saving of CDStore.
+double SavingVsAontRs(const CostScenario& s);
+double SavingVsSingleCloud(const CostScenario& s);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_COST_COST_MODEL_H_

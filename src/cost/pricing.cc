@@ -1,0 +1,70 @@
+#include "src/cost/pricing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdstore {
+
+std::vector<S3Tier> S3Tiers2014() {
+  // USD per GB-month, September 2014 (US Standard).
+  return {
+      {1, 0.0300},     // first 1 TB
+      {49, 0.0295},    // next 49 TB
+      {450, 0.0290},   // next 450 TB
+      {500, 0.0285},   // next 500 TB
+      {4000, 0.0280},  // next 4000 TB
+      {1e12, 0.0275},  // beyond
+  };
+}
+
+std::vector<Ec2Instance> Ec2Instances2014() {
+  // monthly = upfront/36 months + 730h * effective hourly (heavy-
+  // utilization reserved, us-east, Sept 2014, rounded).
+  return {
+      {"c3.large", 62, 2 * 16, 3.75},
+      {"c3.xlarge", 124, 2 * 40, 7.5},
+      {"c3.2xlarge", 248, 2 * 80, 15},
+      {"c3.4xlarge", 496, 2 * 160, 30},
+      {"c3.8xlarge", 992, 2 * 320, 60},
+      {"i2.xlarge", 315, 800, 30.5},
+      {"i2.2xlarge", 630, 2 * 800, 61},
+      {"i2.4xlarge", 1260, 4 * 800, 122},
+  };
+}
+
+double S3MonthlyUsd(double tb) {
+  double remaining = tb;
+  double usd = 0;
+  for (const S3Tier& tier : S3Tiers2014()) {
+    if (remaining <= 0) {
+      break;
+    }
+    double in_tier = std::min(remaining, tier.tb);
+    usd += in_tier * 1024.0 * tier.usd_per_gb_month;
+    remaining -= in_tier;
+  }
+  return usd;
+}
+
+Result<Ec2Instance> CheapestInstanceFor(double index_gb, int* count) {
+  const auto instances = Ec2Instances2014();
+  const Ec2Instance* best = nullptr;
+  for (const Ec2Instance& inst : instances) {
+    if (inst.local_storage_gb >= index_gb) {
+      if (best == nullptr || inst.monthly_usd < best->monthly_usd) {
+        best = &inst;
+      }
+    }
+  }
+  if (best != nullptr) {
+    *count = 1;
+    return *best;
+  }
+  // Index outgrows every single instance: shard it over several of the
+  // largest (the paper's scalability note, §4.7).
+  const Ec2Instance& biggest = instances.back();
+  *count = static_cast<int>(std::ceil(index_gb / biggest.local_storage_gb));
+  return biggest;
+}
+
+}  // namespace cdstore

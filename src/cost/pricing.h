@@ -1,0 +1,45 @@
+// Amazon EC2/S3 pricing tables as of September 2014 (§5.6): tiered S3
+// storage and high-utilization reserved EC2 instances (upfront fee
+// amortized + hourly), the inputs to the paper's cost tool.
+#ifndef CDSTORE_SRC_COST_PRICING_H_
+#define CDSTORE_SRC_COST_PRICING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cdstore {
+
+// One S3 pricing tier: the first `tb` terabytes beyond previous tiers at
+// `usd_per_gb_month`.
+struct S3Tier {
+  double tb;
+  double usd_per_gb_month;
+};
+
+// A reserved EC2 instance option for hosting a CDStore server.
+struct Ec2Instance {
+  std::string name;
+  double monthly_usd;       // upfront/36 + 730 * hourly
+  double local_storage_gb;  // instance storage for the indices
+  double ram_gb;
+};
+
+// September 2014 S3 standard storage tiers.
+std::vector<S3Tier> S3Tiers2014();
+
+// Compute- and storage-optimized reserved instances (heavy utilization),
+// ~US$60-1,300/month as the paper states.
+std::vector<Ec2Instance> Ec2Instances2014();
+
+// Monthly S3 cost for `tb` terabytes under tiered pricing.
+double S3MonthlyUsd(double tb);
+
+// Cheapest instance (possibly a multiple of the largest) whose local
+// storage holds `index_gb`. Returns the instance and sets *count.
+Result<Ec2Instance> CheapestInstanceFor(double index_gb, int* count);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_COST_PRICING_H_

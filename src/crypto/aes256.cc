@@ -1,0 +1,166 @@
+#include "src/crypto/aes256.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+struct AesTables {
+  uint8_t sbox[256];
+  uint32_t te0[256], te1[256], te2[256], te3[256];
+
+  AesTables() {
+    // Build the S-box from the multiplicative inverse in GF(2^8) (poly 0x11b)
+    // followed by the affine transform.
+    uint8_t pow[256], log[256];
+    uint8_t p = 1;
+    for (int i = 0; i < 255; ++i) {
+      pow[i] = p;
+      log[p] = static_cast<uint8_t>(i);
+      // multiply p by generator 3 = x+1 modulo 0x11b
+      uint8_t hi = static_cast<uint8_t>(p & 0x80);
+      uint8_t x2 = static_cast<uint8_t>((p << 1) ^ (hi ? 0x1b : 0));
+      p = static_cast<uint8_t>(x2 ^ p);
+    }
+    pow[255] = pow[0];
+    for (int i = 0; i < 256; ++i) {
+      uint8_t inv = (i == 0) ? 0 : pow[255 - log[i]];
+      // Affine transform: s = inv ^ rotl1 ^ rotl2 ^ rotl3 ^ rotl4 ^ 0x63.
+      uint8_t y = inv;
+      uint8_t res = static_cast<uint8_t>(inv ^ 0x63);
+      for (int b = 0; b < 4; ++b) {
+        y = static_cast<uint8_t>((y << 1) | (y >> 7));
+        res ^= y;
+      }
+      sbox[i] = res;
+    }
+    for (int i = 0; i < 256; ++i) {
+      uint8_t s = sbox[i];
+      uint8_t s2 = static_cast<uint8_t>((s << 1) ^ ((s & 0x80) ? 0x1b : 0));
+      uint8_t s3 = static_cast<uint8_t>(s2 ^ s);
+      te0[i] = static_cast<uint32_t>(s2) << 24 | static_cast<uint32_t>(s) << 16 |
+               static_cast<uint32_t>(s) << 8 | s3;
+      te1[i] = static_cast<uint32_t>(s3) << 24 | static_cast<uint32_t>(s2) << 16 |
+               static_cast<uint32_t>(s) << 8 | s;
+      te2[i] = static_cast<uint32_t>(s) << 24 | static_cast<uint32_t>(s3) << 16 |
+               static_cast<uint32_t>(s2) << 8 | s;
+      te3[i] = static_cast<uint32_t>(s) << 24 | static_cast<uint32_t>(s) << 16 |
+               static_cast<uint32_t>(s3) << 8 | s2;
+    }
+  }
+};
+
+const AesTables& Tables() {
+  static const AesTables t;
+  return t;
+}
+
+constexpr uint32_t kRcon[7] = {0x01000000, 0x02000000, 0x04000000, 0x08000000,
+                               0x10000000, 0x20000000, 0x40000000};
+
+inline uint32_t GetU32Be(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | p[3];
+}
+
+inline void PutU32Be(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+namespace internal {
+// Defined in aes256_ni.cc.
+bool AesniAvailable();
+void AesniEncryptBlocks(const uint32_t rk[60], const uint8_t* in, uint8_t* out, size_t n_blocks);
+}  // namespace internal
+
+Aes256::Aes256(ConstByteSpan key) {
+  CHECK_EQ(key.size(), kKeySize);
+  const AesTables& t = Tables();
+  auto sub_word = [&t](uint32_t w) {
+    return static_cast<uint32_t>(t.sbox[w >> 24]) << 24 |
+           static_cast<uint32_t>(t.sbox[(w >> 16) & 0xff]) << 16 |
+           static_cast<uint32_t>(t.sbox[(w >> 8) & 0xff]) << 8 | t.sbox[w & 0xff];
+  };
+  auto rot_word = [](uint32_t w) { return (w << 8) | (w >> 24); };
+  for (int i = 0; i < 8; ++i) {
+    rk_[i] = GetU32Be(key.data() + 4 * i);
+  }
+  for (int i = 8; i < 60; ++i) {
+    uint32_t temp = rk_[i - 1];
+    if (i % 8 == 0) {
+      temp = sub_word(rot_word(temp)) ^ kRcon[i / 8 - 1];
+    } else if (i % 8 == 4) {
+      temp = sub_word(temp);
+    }
+    rk_[i] = rk_[i - 8] ^ temp;
+  }
+}
+
+bool Aes256::HasAesni() { return internal::AesniAvailable(); }
+
+void Aes256::EncryptBlockPortable(const uint8_t in[kBlockSize], uint8_t out[kBlockSize]) const {
+  const AesTables& t = Tables();
+  uint32_t s0 = GetU32Be(in) ^ rk_[0];
+  uint32_t s1 = GetU32Be(in + 4) ^ rk_[1];
+  uint32_t s2 = GetU32Be(in + 8) ^ rk_[2];
+  uint32_t s3 = GetU32Be(in + 12) ^ rk_[3];
+  uint32_t t0, t1, t2, t3;
+  const uint32_t* rk = rk_ + 4;
+  for (int round = 1; round < kRounds; ++round) {
+    t0 = t.te0[s0 >> 24] ^ t.te1[(s1 >> 16) & 0xff] ^ t.te2[(s2 >> 8) & 0xff] ^
+         t.te3[s3 & 0xff] ^ rk[0];
+    t1 = t.te0[s1 >> 24] ^ t.te1[(s2 >> 16) & 0xff] ^ t.te2[(s3 >> 8) & 0xff] ^
+         t.te3[s0 & 0xff] ^ rk[1];
+    t2 = t.te0[s2 >> 24] ^ t.te1[(s3 >> 16) & 0xff] ^ t.te2[(s0 >> 8) & 0xff] ^
+         t.te3[s1 & 0xff] ^ rk[2];
+    t3 = t.te0[s3 >> 24] ^ t.te1[(s0 >> 16) & 0xff] ^ t.te2[(s1 >> 8) & 0xff] ^
+         t.te3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+    rk += 4;
+  }
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const uint8_t* sb = t.sbox;
+  t0 = static_cast<uint32_t>(sb[s0 >> 24]) << 24 | static_cast<uint32_t>(sb[(s1 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(sb[(s2 >> 8) & 0xff]) << 8 | sb[s3 & 0xff];
+  t1 = static_cast<uint32_t>(sb[s1 >> 24]) << 24 | static_cast<uint32_t>(sb[(s2 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(sb[(s3 >> 8) & 0xff]) << 8 | sb[s0 & 0xff];
+  t2 = static_cast<uint32_t>(sb[s2 >> 24]) << 24 | static_cast<uint32_t>(sb[(s3 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(sb[(s0 >> 8) & 0xff]) << 8 | sb[s1 & 0xff];
+  t3 = static_cast<uint32_t>(sb[s3 >> 24]) << 24 | static_cast<uint32_t>(sb[(s0 >> 16) & 0xff]) << 16 |
+       static_cast<uint32_t>(sb[(s1 >> 8) & 0xff]) << 8 | sb[s2 & 0xff];
+  PutU32Be(out, t0 ^ rk[0]);
+  PutU32Be(out + 4, t1 ^ rk[1]);
+  PutU32Be(out + 8, t2 ^ rk[2]);
+  PutU32Be(out + 12, t3 ^ rk[3]);
+}
+
+void Aes256::EncryptBlock(const uint8_t in[kBlockSize], uint8_t out[kBlockSize]) const {
+  if (internal::AesniAvailable()) {
+    internal::AesniEncryptBlocks(rk_, in, out, 1);
+    return;
+  }
+  EncryptBlockPortable(in, out);
+}
+
+void Aes256::EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n_blocks) const {
+  if (internal::AesniAvailable()) {
+    internal::AesniEncryptBlocks(rk_, in, out, n_blocks);
+    return;
+  }
+  for (size_t i = 0; i < n_blocks; ++i) {
+    EncryptBlockPortable(in + i * kBlockSize, out + i * kBlockSize);
+  }
+}
+
+}  // namespace cdstore

@@ -1,0 +1,43 @@
+// AES-256 block cipher (FIPS 197), encrypt-only (CTR mode never decrypts).
+// Portable T-table implementation with an AES-NI fast path selected at
+// runtime. This is the E(·,·) of CAONT-RS's generator G(h) = E(h, C) and of
+// the word masking in Rivest's AONT.
+#ifndef CDSTORE_SRC_CRYPTO_AES256_H_
+#define CDSTORE_SRC_CRYPTO_AES256_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+class Aes256 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 32;
+  static constexpr int kRounds = 14;
+
+  // `key` must be exactly 32 bytes.
+  explicit Aes256(ConstByteSpan key);
+
+  // out = E_K(in); in/out may alias.
+  void EncryptBlock(const uint8_t in[kBlockSize], uint8_t out[kBlockSize]) const;
+
+  // Encrypts `n_blocks` consecutive blocks (AES-NI path pipelines 4 wide).
+  void EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n_blocks) const;
+
+  // True when the hardware AES path is active.
+  static bool HasAesni();
+
+  // Round keys as 60 big-endian words (shared by both implementations).
+  const uint32_t* round_keys() const { return rk_; }
+
+ private:
+  void EncryptBlockPortable(const uint8_t in[kBlockSize], uint8_t out[kBlockSize]) const;
+
+  uint32_t rk_[60];
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CRYPTO_AES256_H_

@@ -1,0 +1,89 @@
+// AES-NI encryption path, compiled with -maes and dispatched at runtime.
+// Round keys are produced by the portable key schedule (big-endian words) and
+// converted to the byte order AESENC expects here.
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <wmmintrin.h>
+#define CDSTORE_AESNI 1
+#endif
+
+namespace cdstore {
+namespace internal {
+
+bool AesniAvailable() {
+#ifdef CDSTORE_AESNI
+  return __builtin_cpu_supports("aes");
+#else
+  return false;
+#endif
+}
+
+#ifdef CDSTORE_AESNI
+namespace {
+
+// Round key words are stored big-endian (FIPS order); AESENC wants the state
+// as raw bytes, so re-serialize each word big-endian into 16 bytes.
+inline __m128i LoadRoundKey(const uint32_t* w) {
+  alignas(16) uint8_t b[16];
+  for (int i = 0; i < 4; ++i) {
+    b[4 * i] = static_cast<uint8_t>(w[i] >> 24);
+    b[4 * i + 1] = static_cast<uint8_t>(w[i] >> 16);
+    b[4 * i + 2] = static_cast<uint8_t>(w[i] >> 8);
+    b[4 * i + 3] = static_cast<uint8_t>(w[i]);
+  }
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(b));
+}
+
+}  // namespace
+
+__attribute__((target("aes")))
+void AesniEncryptBlocks(const uint32_t rk[60], const uint8_t* in, uint8_t* out,
+                        size_t n_blocks) {
+  __m128i keys[15];
+  for (int r = 0; r < 15; ++r) {
+    keys[r] = LoadRoundKey(rk + 4 * r);
+  }
+  size_t i = 0;
+  // 4-wide pipeline to hide AESENC latency.
+  for (; i + 4 <= n_blocks; i += 4) {
+    __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+    __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * (i + 1)));
+    __m128i b2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * (i + 2)));
+    __m128i b3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * (i + 3)));
+    b0 = _mm_xor_si128(b0, keys[0]);
+    b1 = _mm_xor_si128(b1, keys[0]);
+    b2 = _mm_xor_si128(b2, keys[0]);
+    b3 = _mm_xor_si128(b3, keys[0]);
+    for (int r = 1; r < 14; ++r) {
+      b0 = _mm_aesenc_si128(b0, keys[r]);
+      b1 = _mm_aesenc_si128(b1, keys[r]);
+      b2 = _mm_aesenc_si128(b2, keys[r]);
+      b3 = _mm_aesenc_si128(b3, keys[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, keys[14]);
+    b1 = _mm_aesenclast_si128(b1, keys[14]);
+    b2 = _mm_aesenclast_si128(b2, keys[14]);
+    b3 = _mm_aesenclast_si128(b3, keys[14]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), b0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 1)), b1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 2)), b2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 3)), b3);
+  }
+  for (; i < n_blocks; ++i) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+    b = _mm_xor_si128(b, keys[0]);
+    for (int r = 1; r < 14; ++r) {
+      b = _mm_aesenc_si128(b, keys[r]);
+    }
+    b = _mm_aesenclast_si128(b, keys[14]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), b);
+  }
+}
+#else
+void AesniEncryptBlocks(const uint32_t*, const uint8_t*, uint8_t*, size_t) {}
+#endif
+
+}  // namespace internal
+}  // namespace cdstore

@@ -1,0 +1,71 @@
+#include "src/crypto/ctr.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+constexpr size_t kBatchBlocks = 64;  // 1 KB of counter blocks at a time
+
+inline void IncrementBe(uint8_t ctr[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++ctr[i] != 0) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void Aes256CtrKeystream(const Aes256& aes, const uint8_t iv[16], ByteSpan out) {
+  uint8_t ctr[16];
+  std::memcpy(ctr, iv, 16);
+  uint8_t counters[kBatchBlocks * 16];
+  uint8_t stream[kBatchBlocks * 16];
+  size_t produced = 0;
+  while (produced < out.size()) {
+    size_t want = out.size() - produced;
+    size_t blocks = std::min(kBatchBlocks, (want + 15) / 16);
+    for (size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + 16 * b, ctr, 16);
+      IncrementBe(ctr);
+    }
+    aes.EncryptBlocks(counters, stream, blocks);
+    size_t take = std::min(want, blocks * 16);
+    std::memcpy(out.data() + produced, stream, take);
+    produced += take;
+  }
+}
+
+void Aes256CtrXor(const Aes256& aes, const uint8_t iv[16], ConstByteSpan in, ByteSpan out) {
+  CHECK_EQ(in.size(), out.size());
+  uint8_t ctr[16];
+  std::memcpy(ctr, iv, 16);
+  uint8_t counters[kBatchBlocks * 16];
+  uint8_t stream[kBatchBlocks * 16];
+  size_t done = 0;
+  while (done < in.size()) {
+    size_t want = in.size() - done;
+    size_t blocks = std::min(kBatchBlocks, (want + 15) / 16);
+    for (size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + 16 * b, ctr, 16);
+      IncrementBe(ctr);
+    }
+    aes.EncryptBlocks(counters, stream, blocks);
+    size_t take = std::min(want, blocks * 16);
+    for (size_t i = 0; i < take; ++i) {
+      out[done + i] = in[done + i] ^ stream[i];
+    }
+    done += take;
+  }
+}
+
+void Aes256CtrKeystreamZeroIv(const Aes256& aes, ByteSpan out) {
+  uint8_t iv[16] = {0};
+  Aes256CtrKeystream(aes, iv, out);
+}
+
+}  // namespace cdstore

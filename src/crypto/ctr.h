@@ -1,0 +1,28 @@
+// AES-256 CTR mode: keystream generation and in-place XOR encryption.
+// CAONT-RS's generator G(h) = E(h, C) is realized as the CTR keystream of a
+// constant (zero) block sequence under key h (§3.2, Eq. 3).
+#ifndef CDSTORE_SRC_CRYPTO_CTR_H_
+#define CDSTORE_SRC_CRYPTO_CTR_H_
+
+#include <cstdint>
+
+#include "src/crypto/aes256.h"
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+// 16-byte big-endian counter block, starting at `iv`, incremented per block.
+// Writes keystream into `out` (any length).
+void Aes256CtrKeystream(const Aes256& aes, const uint8_t iv[Aes256::kBlockSize], ByteSpan out);
+
+// out[i] = in[i] ^ keystream[i]. in/out may alias. Sizes must match.
+void Aes256CtrXor(const Aes256& aes, const uint8_t iv[Aes256::kBlockSize], ConstByteSpan in,
+                  ByteSpan out);
+
+// Convenience: all-zero IV (fresh key per message in convergent dispersal
+// makes a fixed IV safe).
+void Aes256CtrKeystreamZeroIv(const Aes256& aes, ByteSpan out);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CRYPTO_CTR_H_

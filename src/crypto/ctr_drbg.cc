@@ -1,0 +1,82 @@
+#include "src/crypto/ctr_drbg.h"
+
+#include <cstring>
+#include <random>
+
+#include "src/crypto/ctr.h"
+#include "src/crypto/sha256.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+// Forward-secrecy rekey interval.
+constexpr uint64_t kRekeyAfterBytes = 1ull << 20;
+
+Bytes OsEntropy() {
+  std::random_device rd;
+  Bytes seed(48);
+  for (size_t i = 0; i + 4 <= seed.size(); i += 4) {
+    uint32_t v = rd();
+    std::memcpy(seed.data() + i, &v, 4);
+  }
+  return seed;
+}
+}  // namespace
+
+CtrDrbg::CtrDrbg() { Rekey(OsEntropy()); }
+
+CtrDrbg::CtrDrbg(ConstByteSpan seed) { Rekey(seed); }
+
+void CtrDrbg::Rekey(ConstByteSpan seed_material) {
+  Bytes key = Sha256::Hash(seed_material);
+  aes_ = std::make_unique<Aes256>(key);
+  std::memset(counter_, 0, sizeof(counter_));
+  generated_since_rekey_ = 0;
+}
+
+void CtrDrbg::Reseed(ConstByteSpan entropy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Chain: new_key = SHA256(old_counter_stream || entropy).
+  Bytes mix(32);
+  Aes256CtrKeystream(*aes_, counter_, mix);
+  Sha256 h;
+  h.Update(mix);
+  h.Update(entropy);
+  Bytes seed(Sha256::kDigestSize);
+  h.Finish(seed);
+  Rekey(seed);
+}
+
+void CtrDrbg::Fill(ByteSpan out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Aes256CtrKeystream(*aes_, counter_, out);
+  // Advance the counter past the blocks we consumed.
+  uint64_t blocks = (out.size() + 15) / 16 + 1;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    for (int i = 15; i >= 0; --i) {
+      if (++counter_[i] != 0) {
+        break;
+      }
+    }
+  }
+  generated_since_rekey_ += out.size();
+  if (generated_since_rekey_ >= kRekeyAfterBytes) {
+    Bytes next(32);
+    Aes256CtrKeystream(*aes_, counter_, next);
+    Rekey(next);
+  }
+}
+
+Bytes CtrDrbg::RandomBytes(size_t n) {
+  Bytes out(n);
+  Fill(out);
+  return out;
+}
+
+CtrDrbg& CtrDrbg::Global() {
+  static CtrDrbg* drbg = new CtrDrbg();
+  return *drbg;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,45 @@
+// Deterministic random bit generator built on AES-256-CTR (NIST SP 800-90A
+// CTR_DRBG, simplified: no personalization string, SHA-256 derivation of the
+// seed). Supplies the random keys embedded by the non-convergent secret
+// sharing algorithms (SSSS coefficients, SSMS/AONT-RS keys, RSSS padding).
+#ifndef CDSTORE_SRC_CRYPTO_CTR_DRBG_H_
+#define CDSTORE_SRC_CRYPTO_CTR_DRBG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/crypto/aes256.h"
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+class CtrDrbg {
+ public:
+  // Seeds from the OS entropy source (std::random_device).
+  CtrDrbg();
+  // Deterministic seeding, for reproducible tests.
+  explicit CtrDrbg(ConstByteSpan seed);
+
+  // Fills `out` with pseudo-random bytes. Thread-safe.
+  void Fill(ByteSpan out);
+  Bytes RandomBytes(size_t n);
+
+  // Mixes fresh entropy into the state.
+  void Reseed(ConstByteSpan entropy);
+
+  // Process-wide instance (lazily constructed, OS-seeded).
+  static CtrDrbg& Global();
+
+ private:
+  void Rekey(ConstByteSpan seed_material);
+
+  std::mutex mu_;
+  std::unique_ptr<Aes256> aes_;
+  uint8_t counter_[16];
+  uint64_t generated_since_rekey_ = 0;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CRYPTO_CTR_DRBG_H_

@@ -1,0 +1,115 @@
+#include "src/crypto/sha1.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xefcdab89;
+  h_[2] = 0x98badcfe;
+  h_[3] = 0x10325476;
+  h_[4] = 0xc3d2e1f0;
+  buf_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t block[kBlockSize]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<uint32_t>(block[4 * i]) << 24 | static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+           static_cast<uint32_t>(block[4 * i + 2]) << 8 | static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(ConstByteSpan data) {
+  total_len_ += data.size();
+  size_t off = 0;
+  if (buf_len_ > 0) {
+    size_t take = std::min(kBlockSize - buf_len_, data.size());
+    std::memcpy(buf_ + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off += take;
+    if (buf_len_ == kBlockSize) {
+      ProcessBlock(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    ProcessBlock(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_, data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+}
+
+void Sha1::Finish(ByteSpan out) {
+  CHECK_GE(out.size(), kDigestSize);
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad[kBlockSize * 2];
+  size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  size_t rem = (buf_len_ + 1) % kBlockSize;
+  size_t zeros = (rem <= 56) ? 56 - rem : (64 - rem) + 56;
+  std::memset(pad + pad_len, 0, zeros);
+  pad_len += zeros;
+  for (int i = 7; i >= 0; --i) {
+    pad[pad_len++] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  Update(ConstByteSpan(pad, pad_len));
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+}
+
+Bytes Sha1::Hash(ConstByteSpan data) {
+  Sha1 h;
+  h.Update(data);
+  Bytes out(kDigestSize);
+  h.Finish(out);
+  return out;
+}
+
+}  // namespace cdstore

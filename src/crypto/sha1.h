@@ -1,0 +1,36 @@
+// SHA-1 (FIPS 180-4). The paper's VM dataset is keyed by SHA-1 fingerprints
+// on 4KB fixed-size chunks; provided for fidelity of the trace substrate.
+#ifndef CDSTORE_SRC_CRYPTO_SHA1_H_
+#define CDSTORE_SRC_CRYPTO_SHA1_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1() { Reset(); }
+
+  void Reset();
+  void Update(ConstByteSpan data);
+  void Finish(ByteSpan out);
+
+  static Bytes Hash(ConstByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[5];
+  uint8_t buf_[kBlockSize];
+  size_t buf_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CRYPTO_SHA1_H_

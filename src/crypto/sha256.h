@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4). Used for the convergent hash key h = H(X), the tail
+// hash H(Y) of a CAONT package, and share/chunk fingerprints (§4).
+#ifndef CDSTORE_SRC_CRYPTO_SHA256_H_
+#define CDSTORE_SRC_CRYPTO_SHA256_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(ConstByteSpan data);
+  // Finalizes into `out` (32 bytes). The object must be Reset() for reuse.
+  void Finish(ByteSpan out);
+
+  // One-shot convenience.
+  static Bytes Hash(ConstByteSpan data);
+  static void Hash(ConstByteSpan data, ByteSpan out);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[8];
+  uint8_t buf_[kBlockSize];
+  size_t buf_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_CRYPTO_SHA256_H_

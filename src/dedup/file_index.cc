@@ -1,0 +1,80 @@
+#include "src/dedup/file_index.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/io.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+constexpr char kPrefix = 'F';
+}  // namespace
+
+Bytes FileIndexEntry::Serialize() const {
+  BufferWriter w;
+  w.PutU64(file_size);
+  w.PutU64(num_secrets);
+  w.PutU64(recipe_container_id);
+  w.PutU32(recipe_index);
+  return w.Take();
+}
+
+Result<FileIndexEntry> FileIndexEntry::Deserialize(ConstByteSpan data) {
+  FileIndexEntry e;
+  BufferReader r(data);
+  RETURN_IF_ERROR(r.GetU64(&e.file_size));
+  RETURN_IF_ERROR(r.GetU64(&e.num_secrets));
+  RETURN_IF_ERROR(r.GetU64(&e.recipe_container_id));
+  RETURN_IF_ERROR(r.GetU32(&e.recipe_index));
+  return e;
+}
+
+FileIndex::FileIndex(Db* db) : db_(db) { CHECK(db != nullptr); }
+
+Bytes FileIndex::KeyFor(UserId user, ConstByteSpan path_key) const {
+  // Key: 'F' || user (8B BE, so one user's files are contiguous) ||
+  // H(path_key). Hashing bounds key size for arbitrarily long paths.
+  Bytes key;
+  key.reserve(1 + 8 + Sha256::kDigestSize);
+  key.push_back(kPrefix);
+  for (int i = 7; i >= 0; --i) {
+    key.push_back(static_cast<uint8_t>(user >> (8 * i)));
+  }
+  Bytes h = Sha256::Hash(path_key);
+  key.insert(key.end(), h.begin(), h.end());
+  return key;
+}
+
+Status FileIndex::PutFile(UserId user, ConstByteSpan path_key, const FileIndexEntry& entry) {
+  return db_->Put(KeyFor(user, path_key), entry.Serialize());
+}
+
+Result<FileIndexEntry> FileIndex::GetFile(UserId user, ConstByteSpan path_key) {
+  Bytes value;
+  RETURN_IF_ERROR(db_->Get(KeyFor(user, path_key), &value));
+  return FileIndexEntry::Deserialize(value);
+}
+
+Status FileIndex::DeleteFile(UserId user, ConstByteSpan path_key) {
+  return db_->Delete(KeyFor(user, path_key));
+}
+
+Result<uint64_t> FileIndex::FileCount(UserId user) {
+  Bytes prefix;
+  prefix.push_back(kPrefix);
+  for (int i = 7; i >= 0; --i) {
+    prefix.push_back(static_cast<uint8_t>(user >> (8 * i)));
+  }
+  uint64_t count = 0;
+  auto it = db_->NewIterator();
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    const Bytes& k = it->key();
+    if (k.size() < prefix.size() || !std::equal(prefix.begin(), prefix.end(), k.begin())) {
+      break;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,49 @@
+// The file index (§4.4): one entry per uploaded file, keyed by the hash of
+// (user id, encoded pathname). Stores the file's basic metadata and a
+// locator for its recipe in the recipe-container store.
+#ifndef CDSTORE_SRC_DEDUP_FILE_INDEX_H_
+#define CDSTORE_SRC_DEDUP_FILE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dedup/fingerprint.h"
+#include "src/dedup/share_index.h"
+#include "src/kvstore/db.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+struct FileIndexEntry {
+  uint64_t file_size = 0;
+  uint64_t num_secrets = 0;
+  // Recipe location in the recipe-container store.
+  uint64_t recipe_container_id = 0;
+  uint32_t recipe_index = 0;
+
+  Bytes Serialize() const;
+  static Result<FileIndexEntry> Deserialize(ConstByteSpan data);
+};
+
+class FileIndex {
+ public:
+  explicit FileIndex(Db* db);
+
+  // `path_key` is the encoded pathname share this server received (§4.3
+  // disperses sensitive metadata via secret sharing); the index key is
+  // H(user || path_key).
+  Status PutFile(UserId user, ConstByteSpan path_key, const FileIndexEntry& entry);
+  Result<FileIndexEntry> GetFile(UserId user, ConstByteSpan path_key);
+  Status DeleteFile(UserId user, ConstByteSpan path_key);
+  // Number of files this user has stored.
+  Result<uint64_t> FileCount(UserId user);
+
+ private:
+  Bytes KeyFor(UserId user, ConstByteSpan path_key) const;
+
+  Db* db_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DEDUP_FILE_INDEX_H_

@@ -1,0 +1,14 @@
+#include "src/dedup/fingerprint.h"
+
+#include "src/crypto/sha256.h"
+
+namespace cdstore {
+
+Fingerprint FingerprintOf(ConstByteSpan data) { return Sha256::Hash(data); }
+
+std::string FingerprintAbbrev(const Fingerprint& fp) {
+  ConstByteSpan head(fp.data(), std::min<size_t>(fp.size(), 4));
+  return HexEncode(head) + (fp.size() > 4 ? "…" : "");
+}
+
+}  // namespace cdstore

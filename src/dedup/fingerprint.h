@@ -1,0 +1,28 @@
+// Share/chunk fingerprints (§3.3): SHA-256 of content. Collisions of two
+// different chunks are cryptographically negligible [15], so fingerprint
+// equality is treated as content equality.
+#ifndef CDSTORE_SRC_DEDUP_FINGERPRINT_H_
+#define CDSTORE_SRC_DEDUP_FINGERPRINT_H_
+
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+using Fingerprint = Bytes;  // 32 bytes
+
+inline constexpr size_t kFingerprintSize = 32;
+
+// Users of the organization are identified by opaque 64-bit ids.
+using UserId = uint64_t;
+
+// SHA-256 of `data`.
+Fingerprint FingerprintOf(ConstByteSpan data);
+
+// Short human-readable prefix ("a1b2c3d4…") for logs.
+std::string FingerprintAbbrev(const Fingerprint& fp);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DEDUP_FINGERPRINT_H_

@@ -1,0 +1,155 @@
+#include "src/dedup/share_index.h"
+
+#include "src/util/io.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+constexpr char kPrefix = 'S';
+}  // namespace
+
+Bytes ShareIndexEntry::Serialize() const {
+  BufferWriter w;
+  w.PutU64(location.container_id);
+  w.PutU32(location.index_in_container);
+  w.PutU32(location.share_size);
+  w.PutU32(static_cast<uint32_t>(owners.size()));
+  for (const auto& [user, refs] : owners) {
+    w.PutU64(user);
+    w.PutU32(refs);
+  }
+  return w.Take();
+}
+
+Result<ShareIndexEntry> ShareIndexEntry::Deserialize(ConstByteSpan data) {
+  ShareIndexEntry e;
+  BufferReader r(data);
+  uint32_t count = 0;
+  RETURN_IF_ERROR(r.GetU64(&e.location.container_id));
+  RETURN_IF_ERROR(r.GetU32(&e.location.index_in_container));
+  RETURN_IF_ERROR(r.GetU32(&e.location.share_size));
+  RETURN_IF_ERROR(r.GetU32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t user = 0;
+    uint32_t refs = 0;
+    RETURN_IF_ERROR(r.GetU64(&user));
+    RETURN_IF_ERROR(r.GetU32(&refs));
+    e.owners[user] = refs;
+  }
+  return e;
+}
+
+ShareIndex::ShareIndex(Db* db) : db_(db) { CHECK(db != nullptr); }
+
+Bytes ShareIndex::KeyFor(const Fingerprint& fp) const {
+  Bytes key;
+  key.reserve(fp.size() + 1);
+  key.push_back(kPrefix);
+  key.insert(key.end(), fp.begin(), fp.end());
+  return key;
+}
+
+Result<bool> ShareIndex::UserHasShare(const Fingerprint& fp, UserId user) {
+  Bytes value;
+  Status st = db_->Get(KeyFor(fp), &value);
+  if (st.code() == StatusCode::kNotFound) {
+    return false;
+  }
+  RETURN_IF_ERROR(st);
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  auto it = entry.owners.find(user);
+  return it != entry.owners.end() && it->second > 0;
+}
+
+Result<std::optional<ShareLocation>> ShareIndex::Lookup(const Fingerprint& fp) {
+  Bytes value;
+  Status st = db_->Get(KeyFor(fp), &value);
+  if (st.code() == StatusCode::kNotFound) {
+    return std::optional<ShareLocation>(std::nullopt);
+  }
+  RETURN_IF_ERROR(st);
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  return std::optional<ShareLocation>(entry.location);
+}
+
+Status ShareIndex::Insert(const Fingerprint& fp, const ShareLocation& location) {
+  Bytes key = KeyFor(fp);
+  Bytes existing;
+  if (db_->Get(key, &existing).ok()) {
+    return Status::AlreadyExists("share already indexed");
+  }
+  ShareIndexEntry entry;
+  entry.location = location;
+  return db_->Put(key, entry.Serialize());
+}
+
+Status ShareIndex::AddReference(const Fingerprint& fp, UserId user) {
+  Bytes key = KeyFor(fp);
+  Bytes value;
+  RETURN_IF_ERROR(db_->Get(key, &value));
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  entry.owners[user] += 1;
+  return db_->Put(key, entry.Serialize());
+}
+
+Status ShareIndex::DropReference(const Fingerprint& fp, UserId user, bool* orphaned) {
+  *orphaned = false;
+  Bytes key = KeyFor(fp);
+  Bytes value;
+  RETURN_IF_ERROR(db_->Get(key, &value));
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  auto it = entry.owners.find(user);
+  if (it == entry.owners.end() || it->second == 0) {
+    return Status::FailedPrecondition("user holds no reference");
+  }
+  if (--it->second == 0) {
+    entry.owners.erase(it);
+  }
+  if (entry.owners.empty()) {
+    *orphaned = true;
+  }
+  return db_->Put(key, entry.Serialize());
+}
+
+Status ShareIndex::Erase(const Fingerprint& fp) { return db_->Delete(KeyFor(fp)); }
+
+Status ShareIndex::UpdateLocation(const Fingerprint& fp, const ShareLocation& location) {
+  Bytes key = KeyFor(fp);
+  Bytes value;
+  RETURN_IF_ERROR(db_->Get(key, &value));
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  entry.location = location;
+  return db_->Put(key, entry.Serialize());
+}
+
+Status ShareIndex::ForEach(
+    const std::function<void(const Fingerprint&, const ShareIndexEntry&)>& fn) {
+  auto it = db_->NewIterator();
+  Bytes prefix = {kPrefix};
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    const Bytes& key = it->key();
+    if (key.empty() || key[0] != kPrefix) {
+      break;
+    }
+    Fingerprint fp(key.begin() + 1, key.end());
+    ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(it->value()));
+    fn(fp, entry);
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> ShareIndex::UniqueShareCount() {
+  uint64_t count = 0;
+  auto it = db_->NewIterator();
+  Bytes prefix = {kPrefix};
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    if (it->key().empty() || it->key()[0] != kPrefix) {
+      break;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,80 @@
+// The share index (§4.4): maps each unique share fingerprint to the
+// container holding it, plus per-user reference counts that support
+// intra-user dedup queries and deletion. Persisted in the LSM KV store.
+#ifndef CDSTORE_SRC_DEDUP_SHARE_INDEX_H_
+#define CDSTORE_SRC_DEDUP_SHARE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "src/dedup/fingerprint.h"
+#include "src/kvstore/db.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+// Where a unique share physically lives.
+struct ShareLocation {
+  uint64_t container_id = 0;
+  uint32_t index_in_container = 0;
+  uint32_t share_size = 0;
+};
+
+struct ShareIndexEntry {
+  ShareLocation location;
+  // user -> number of references from that user's files.
+  std::map<UserId, uint32_t> owners;
+
+  Bytes Serialize() const;
+  static Result<ShareIndexEntry> Deserialize(ConstByteSpan data);
+};
+
+class ShareIndex {
+ public:
+  // The index does not own `db`; multiple indices (file + share) may share
+  // one database using distinct key prefixes.
+  explicit ShareIndex(Db* db);
+
+  // Does this user already own a share with this fingerprint?
+  // (The intra-user dedup query a CDStore client issues before uploading.)
+  Result<bool> UserHasShare(const Fingerprint& fp, UserId user);
+
+  // Is this share stored at all (by any user)? Inter-user dedup check.
+  Result<std::optional<ShareLocation>> Lookup(const Fingerprint& fp);
+
+  // Records a newly stored unique share. Fails with kAlreadyExists if the
+  // fingerprint is already present.
+  Status Insert(const Fingerprint& fp, const ShareLocation& location);
+
+  // Adds one reference from `user` (called per recipe entry at file
+  // finalization, covering deduplicated shares too).
+  Status AddReference(const Fingerprint& fp, UserId user);
+
+  // Drops one reference. Sets *orphaned when no references remain (the
+  // share is garbage-collectible).
+  Status DropReference(const Fingerprint& fp, UserId user, bool* orphaned);
+
+  // Removes the entry entirely (after GC reclaims the share).
+  Status Erase(const Fingerprint& fp);
+
+  // Rewrites the physical location (container migration during GC).
+  Status UpdateLocation(const Fingerprint& fp, const ShareLocation& location);
+
+  // Number of unique shares indexed.
+  Result<uint64_t> UniqueShareCount();
+
+  // Visits every (fingerprint, entry) pair. Used by garbage collection to
+  // build the container -> live shares map.
+  Status ForEach(const std::function<void(const Fingerprint&, const ShareIndexEntry&)>& fn);
+
+ private:
+  Bytes KeyFor(const Fingerprint& fp) const;
+
+  Db* db_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DEDUP_SHARE_INDEX_H_

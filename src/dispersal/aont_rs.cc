@@ -1,0 +1,135 @@
+#include "src/dispersal/aont_rs.h"
+
+#include "src/aont/oaep_aont.h"
+#include "src/aont/rivest_aont.h"
+#include "src/crypto/ctr_drbg.h"
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+AontRsScheme::AontRsScheme(AontKind kind, AontKeySource key_source, int n, int k, Bytes salt)
+    : kind_(kind), key_source_(key_source), rs_(n, k), salt_(std::move(salt)) {}
+
+std::string AontRsScheme::name() const {
+  if (kind_ == AontKind::kRivest) {
+    return key_source_ == AontKeySource::kRandom ? "AONT-RS" : "CAONT-RS-Rivest";
+  }
+  return key_source_ == AontKeySource::kRandom ? "AONT-RS-OAEP" : "CAONT-RS";
+}
+
+bool AontRsScheme::self_verifying() const {
+  // Convergent variants verify H(X) == key; random-key Rivest has the
+  // canary word. Random-key OAEP has no integrity tag.
+  return key_source_ == AontKeySource::kConvergent || kind_ == AontKind::kRivest;
+}
+
+size_t AontRsScheme::WordSize() const {
+  return kind_ == AontKind::kRivest ? kRivestWordSize : 1;
+}
+
+size_t AontRsScheme::AontOverhead() const {
+  return kind_ == AontKind::kRivest ? kRivestAontOverhead : kOaepAontOverhead;
+}
+
+size_t AontRsScheme::PaddedSize(size_t secret_size) const {
+  size_t word = WordSize();
+  size_t k = static_cast<size_t>(rs_.k());
+  size_t padded = (secret_size + word - 1) / word * word;
+  while ((padded + AontOverhead()) % k != 0) {
+    padded += word;
+  }
+  return padded;
+}
+
+size_t AontRsScheme::PackageSize(size_t secret_size) const {
+  return PaddedSize(secret_size) + AontOverhead();
+}
+
+size_t AontRsScheme::ShareSize(size_t secret_size) const {
+  return PackageSize(secret_size) / rs_.k();
+}
+
+Bytes AontRsScheme::DeriveKey(ConstByteSpan padded_secret) const {
+  if (key_source_ == AontKeySource::kRandom) {
+    return CtrDrbg::Global().RandomBytes(kAontKeySize);
+  }
+  // h = H(salt || X) (Eq. 1, optionally salted).
+  Sha256 h;
+  h.Update(salt_);
+  h.Update(padded_secret);
+  Bytes key(Sha256::kDigestSize);
+  h.Finish(key);
+  return key;
+}
+
+Status AontRsScheme::Encode(ConstByteSpan secret, std::vector<Bytes>* shares) {
+  // Zero-pad so the package divides evenly into k shares.
+  Bytes padded(secret.begin(), secret.end());
+  padded.resize(PaddedSize(secret.size()), 0);
+
+  Bytes key = DeriveKey(padded);
+  Bytes package = kind_ == AontKind::kRivest ? RivestAontTransform(padded, key)
+                                             : OaepAontTransform(padded, key);
+  DCHECK_EQ(package.size() % rs_.k(), 0u);
+
+  // The package divides exactly; SplitIntoShards adds no further padding.
+  return rs_.Encode(SplitIntoShards(package, rs_.k()), shares);
+}
+
+Status AontRsScheme::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                            size_t secret_size, Bytes* secret) {
+  size_t package_size = PackageSize(secret_size);
+  size_t share_size = package_size / rs_.k();
+  for (const Bytes& s : shares) {
+    if (s.size() != share_size) {
+      return Status::InvalidArgument("share size inconsistent with secret size");
+    }
+  }
+  std::vector<Bytes> pieces;
+  RETURN_IF_ERROR(rs_.Decode(ids, shares, &pieces));
+  Bytes package = JoinShards(pieces, package_size);
+
+  Bytes padded;
+  Bytes key;
+  if (kind_ == AontKind::kRivest) {
+    RETURN_IF_ERROR(RivestAontInverse(package, &padded, &key));
+  } else {
+    RETURN_IF_ERROR(OaepAontInverse(package, &padded, &key));
+  }
+  if (key_source_ == AontKeySource::kConvergent) {
+    // Integrity: the recovered secret must hash back to the embedded key
+    // (§3.2 decoding). Detects share corruption end to end.
+    Sha256 h;
+    h.Update(salt_);
+    h.Update(padded);
+    Bytes expect(Sha256::kDigestSize);
+    h.Finish(expect);
+    if (!ConstantTimeEqual(expect, key)) {
+      return Status::Corruption("convergent hash mismatch: corrupted secret");
+    }
+  }
+  if (padded.size() < secret_size) {
+    return Status::Corruption("decoded package smaller than secret");
+  }
+  padded.resize(secret_size);
+  *secret = std::move(padded);
+  return Status::Ok();
+}
+
+std::unique_ptr<AontRsScheme> MakeAontRs(int n, int k) {
+  return std::make_unique<AontRsScheme>(AontKind::kRivest, AontKeySource::kRandom, n, k);
+}
+
+std::unique_ptr<AontRsScheme> MakeCaontRsRivest(int n, int k, Bytes salt) {
+  return std::make_unique<AontRsScheme>(AontKind::kRivest, AontKeySource::kConvergent, n, k,
+                                        std::move(salt));
+}
+
+std::unique_ptr<AontRsScheme> MakeCaontRs(int n, int k, Bytes salt) {
+  return std::make_unique<AontRsScheme>(AontKind::kOaep, AontKeySource::kConvergent, n, k,
+                                        std::move(salt));
+}
+
+}  // namespace cdstore

@@ -1,0 +1,78 @@
+// The AONT-RS family: an all-or-nothing transform of the secret followed by
+// systematic Reed-Solomon dispersal of the package (§2, §3.2).
+//
+// Four combinations of {AONT kind} x {key source} cover the paper's three
+// schemes plus one extra point used in the ablation study:
+//
+//   AONT-RS          = Rivest AONT + random key      (Resch & Plank, FAST'11)
+//   CAONT-RS-Rivest  = Rivest AONT + convergent key  (Li et al., HotStorage'14)
+//   CAONT-RS         = OAEP AONT   + convergent key  (this paper's contribution)
+//   AONT-RS-OAEP     = OAEP AONT   + random key      (ablation: isolates the
+//                                                     AONT cost from dedup)
+//
+// Convergent variants derive key = H(salt || X) (Eq. 1), so identical
+// secrets produce identical shares, enabling two-stage deduplication, and
+// Decode self-verifies integrity by re-hashing the recovered secret.
+#ifndef CDSTORE_SRC_DISPERSAL_AONT_RS_H_
+#define CDSTORE_SRC_DISPERSAL_AONT_RS_H_
+
+#include "src/dispersal/secret_sharing.h"
+#include "src/rs/reed_solomon.h"
+
+namespace cdstore {
+
+enum class AontKind {
+  kRivest,  // per-word masking (FSE'97)
+  kOaep,    // single-pass OAEP (CRYPTO'99)
+};
+
+enum class AontKeySource {
+  kRandom,      // fresh random key per encode; no dedup
+  kConvergent,  // key = SHA-256(salt || secret); dedup-able
+};
+
+class AontRsScheme : public SecretSharing {
+ public:
+  // `salt` (optional) hardens the convergent hash against offline
+  // brute-force dictionary attacks (§3.2 remark); it must be shared by all
+  // users of a deployment for cross-user dedup to work.
+  AontRsScheme(AontKind kind, AontKeySource key_source, int n, int k, Bytes salt = {});
+
+  std::string name() const override;
+  int n() const override { return rs_.n(); }
+  int k() const override { return rs_.k(); }
+  int r() const override { return k() - 1; }
+  bool deterministic() const override { return key_source_ == AontKeySource::kConvergent; }
+  bool self_verifying() const override;
+
+  Status Encode(ConstByteSpan secret, std::vector<Bytes>* shares) override;
+  Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                size_t secret_size, Bytes* secret) override;
+  size_t ShareSize(size_t secret_size) const override;
+
+  AontKind kind() const { return kind_; }
+  AontKeySource key_source() const { return key_source_; }
+
+ private:
+  // Secret size after internal zero padding: a multiple of the AONT word
+  // size chosen so the package divides evenly into k shares (§3.2).
+  size_t PaddedSize(size_t secret_size) const;
+  size_t PackageSize(size_t secret_size) const;
+  size_t AontOverhead() const;
+  size_t WordSize() const;
+  Bytes DeriveKey(ConstByteSpan padded_secret) const;
+
+  AontKind kind_;
+  AontKeySource key_source_;
+  ReedSolomon rs_;
+  Bytes salt_;
+};
+
+// Convenience constructors for the paper's named schemes.
+std::unique_ptr<AontRsScheme> MakeAontRs(int n, int k);                       // AONT-RS
+std::unique_ptr<AontRsScheme> MakeCaontRsRivest(int n, int k, Bytes salt = {});
+std::unique_ptr<AontRsScheme> MakeCaontRs(int n, int k, Bytes salt = {});     // CAONT-RS
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DISPERSAL_AONT_RS_H_

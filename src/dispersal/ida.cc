@@ -1,0 +1,29 @@
+#include "src/dispersal/ida.h"
+
+namespace cdstore {
+
+Ida::Ida(int n, int k) : rs_(n, k) {}
+
+Status Ida::Encode(ConstByteSpan secret, std::vector<Bytes>* shares) {
+  std::vector<Bytes> pieces = SplitIntoShards(secret, k());
+  return rs_.Encode(pieces, shares);
+}
+
+Status Ida::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                   size_t secret_size, Bytes* secret) {
+  std::vector<Bytes> pieces;
+  RETURN_IF_ERROR(rs_.Decode(ids, shares, &pieces));
+  Bytes joined = JoinShards(pieces, std::min(secret_size, pieces.size() * pieces[0].size()));
+  if (joined.size() < secret_size) {
+    return Status::InvalidArgument("shares too small for declared secret size");
+  }
+  *secret = std::move(joined);
+  return Status::Ok();
+}
+
+size_t Ida::ShareSize(size_t secret_size) const {
+  size_t piece = (secret_size + k() - 1) / k();
+  return piece == 0 ? 1 : piece;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,35 @@
+// Rabin's information dispersal algorithm (IDA) [50]: the secret is striped
+// into k pieces and expanded to n with an MDS code. Minimal storage blowup
+// n/k but no confidentiality (r = 0) — any share reveals secret content
+// (Table 1).
+#ifndef CDSTORE_SRC_DISPERSAL_IDA_H_
+#define CDSTORE_SRC_DISPERSAL_IDA_H_
+
+#include "src/dispersal/secret_sharing.h"
+#include "src/rs/reed_solomon.h"
+
+namespace cdstore {
+
+class Ida : public SecretSharing {
+ public:
+  Ida(int n, int k);
+
+  std::string name() const override { return "IDA"; }
+  int n() const override { return rs_.n(); }
+  int k() const override { return rs_.k(); }
+  int r() const override { return 0; }
+  // IDA itself is deterministic, though without confidentiality.
+  bool deterministic() const override { return true; }
+
+  Status Encode(ConstByteSpan secret, std::vector<Bytes>* shares) override;
+  Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                size_t secret_size, Bytes* secret) override;
+  size_t ShareSize(size_t secret_size) const override;
+
+ private:
+  ReedSolomon rs_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DISPERSAL_IDA_H_

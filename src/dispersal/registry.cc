@@ -1,0 +1,60 @@
+#include "src/dispersal/registry.h"
+
+#include "src/dispersal/aont_rs.h"
+#include "src/dispersal/ida.h"
+#include "src/dispersal/rsss.h"
+#include "src/dispersal/ssms.h"
+#include "src/dispersal/ssss.h"
+
+namespace cdstore {
+
+const char* SchemeTypeName(SchemeType type) {
+  switch (type) {
+    case SchemeType::kSsss: return "SSSS";
+    case SchemeType::kIda: return "IDA";
+    case SchemeType::kRsss: return "RSSS";
+    case SchemeType::kSsms: return "SSMS";
+    case SchemeType::kAontRs: return "AONT-RS";
+    case SchemeType::kCaontRsRivest: return "CAONT-RS-Rivest";
+    case SchemeType::kCaontRs: return "CAONT-RS";
+    case SchemeType::kAontRsOaep: return "AONT-RS-OAEP";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<SchemeType> AllSchemeTypes() {
+  return {SchemeType::kSsss,   SchemeType::kIda,          SchemeType::kRsss,
+          SchemeType::kSsms,   SchemeType::kAontRs,       SchemeType::kCaontRsRivest,
+          SchemeType::kCaontRs, SchemeType::kAontRsOaep};
+}
+
+Result<std::unique_ptr<SecretSharing>> MakeScheme(SchemeType type, const SchemeParams& p) {
+  if (p.k <= 0 || p.n <= p.k || p.n > 255) {
+    return Status::InvalidArgument("require 0 < k < n <= 255");
+  }
+  switch (type) {
+    case SchemeType::kSsss:
+      return std::unique_ptr<SecretSharing>(std::make_unique<Ssss>(p.n, p.k));
+    case SchemeType::kIda:
+      return std::unique_ptr<SecretSharing>(std::make_unique<Ida>(p.n, p.k));
+    case SchemeType::kRsss:
+      if (p.r < 0 || p.r >= p.k) {
+        return Status::InvalidArgument("RSSS requires 0 <= r < k");
+      }
+      return std::unique_ptr<SecretSharing>(std::make_unique<Rsss>(p.n, p.k, p.r));
+    case SchemeType::kSsms:
+      return std::unique_ptr<SecretSharing>(std::make_unique<Ssms>(p.n, p.k));
+    case SchemeType::kAontRs:
+      return std::unique_ptr<SecretSharing>(MakeAontRs(p.n, p.k));
+    case SchemeType::kCaontRsRivest:
+      return std::unique_ptr<SecretSharing>(MakeCaontRsRivest(p.n, p.k, p.salt));
+    case SchemeType::kCaontRs:
+      return std::unique_ptr<SecretSharing>(MakeCaontRs(p.n, p.k, p.salt));
+    case SchemeType::kAontRsOaep:
+      return std::unique_ptr<SecretSharing>(std::make_unique<AontRsScheme>(
+          AontKind::kOaep, AontKeySource::kRandom, p.n, p.k));
+  }
+  return Status::InvalidArgument("unknown scheme type");
+}
+
+}  // namespace cdstore

@@ -1,0 +1,42 @@
+// Factory over every secret sharing scheme, used by the Table 1 benchmark,
+// the property-test sweeps and the examples.
+#ifndef CDSTORE_SRC_DISPERSAL_REGISTRY_H_
+#define CDSTORE_SRC_DISPERSAL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dispersal/secret_sharing.h"
+
+namespace cdstore {
+
+enum class SchemeType {
+  kSsss,
+  kIda,
+  kRsss,
+  kSsms,
+  kAontRs,
+  kCaontRsRivest,
+  kCaontRs,
+  kAontRsOaep,
+};
+
+struct SchemeParams {
+  int n = 4;
+  int k = 3;
+  int r = 1;        // RSSS only
+  Bytes salt;       // convergent schemes only
+};
+
+// Instantiates a scheme; validates parameter ranges.
+Result<std::unique_ptr<SecretSharing>> MakeScheme(SchemeType type, const SchemeParams& params);
+
+const char* SchemeTypeName(SchemeType type);
+
+// All scheme types, in Table 1 order followed by the convergent variants.
+std::vector<SchemeType> AllSchemeTypes();
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DISPERSAL_REGISTRY_H_

@@ -1,0 +1,46 @@
+#include "src/dispersal/rsss.h"
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+Rsss::Rsss(int n, int k, int r) : rs_(n, k), r_(r) {
+  CHECK_GE(r, 0);
+  CHECK_LT(r, k);
+}
+
+Status Rsss::Encode(ConstByteSpan secret, std::vector<Bytes>* shares) {
+  int data_pieces = k() - r_;
+  std::vector<Bytes> pieces = SplitIntoShards(secret, data_pieces);
+  size_t piece_size = pieces[0].size();
+  // Append r random pieces of the same size; the MDS transform mixes them
+  // into every share, so fewer than k shares reveal nothing beyond what the
+  // ramp bound allows.
+  for (int i = 0; i < r_; ++i) {
+    Bytes rnd(piece_size);
+    CtrDrbg::Global().Fill(rnd);
+    pieces.push_back(std::move(rnd));
+  }
+  return rs_.Encode(pieces, shares);
+}
+
+Status Rsss::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                    size_t secret_size, Bytes* secret) {
+  std::vector<Bytes> pieces;
+  RETURN_IF_ERROR(rs_.Decode(ids, shares, &pieces));
+  pieces.resize(k() - r_);  // drop the random pieces
+  Bytes joined = JoinShards(pieces, std::min(secret_size, pieces.size() * pieces[0].size()));
+  if (joined.size() < secret_size) {
+    return Status::InvalidArgument("shares too small for declared secret size");
+  }
+  *secret = std::move(joined);
+  return Status::Ok();
+}
+
+size_t Rsss::ShareSize(size_t secret_size) const {
+  int data_pieces = k() - r_;
+  size_t piece = (secret_size + data_pieces - 1) / data_pieces;
+  return piece == 0 ? 1 : piece;
+}
+
+}  // namespace cdstore

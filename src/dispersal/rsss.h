@@ -1,0 +1,37 @@
+// Ramp secret sharing scheme (RSSS) [Blakley & Meadows '84]: divides the
+// secret into k-r pieces, appends r random pieces, and IDA-transforms the k
+// pieces into n shares. Trades confidentiality degree r against storage
+// blowup n/(k-r), generalizing both IDA (r=0) and SSSS (r=k-1) (Table 1).
+#ifndef CDSTORE_SRC_DISPERSAL_RSSS_H_
+#define CDSTORE_SRC_DISPERSAL_RSSS_H_
+
+#include "src/crypto/ctr_drbg.h"
+#include "src/dispersal/secret_sharing.h"
+#include "src/rs/reed_solomon.h"
+
+namespace cdstore {
+
+class Rsss : public SecretSharing {
+ public:
+  // Requires 0 <= r < k < n <= 256.
+  Rsss(int n, int k, int r);
+
+  std::string name() const override { return "RSSS"; }
+  int n() const override { return rs_.n(); }
+  int k() const override { return rs_.k(); }
+  int r() const override { return r_; }
+  bool deterministic() const override { return r_ == 0; }
+
+  Status Encode(ConstByteSpan secret, std::vector<Bytes>* shares) override;
+  Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                size_t secret_size, Bytes* secret) override;
+  size_t ShareSize(size_t secret_size) const override;
+
+ private:
+  ReedSolomon rs_;
+  int r_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DISPERSAL_RSSS_H_

@@ -1,0 +1,66 @@
+#include "src/dispersal/secret_sharing.h"
+
+#include <algorithm>
+
+namespace cdstore {
+
+double SecretSharing::StorageBlowup(size_t secret_size) const {
+  if (secret_size == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(n()) * static_cast<double>(ShareSize(secret_size)) /
+         static_cast<double>(secret_size);
+}
+
+namespace {
+
+// Enumerates k-subsets of [0, m) in lexicographic order.
+bool NextCombination(std::vector<int>* idx, int m) {
+  int k = static_cast<int>(idx->size());
+  for (int i = k - 1; i >= 0; --i) {
+    if ((*idx)[i] < m - (k - i)) {
+      ++(*idx)[i];
+      for (int j = i + 1; j < k; ++j) {
+        (*idx)[j] = (*idx)[j - 1] + 1;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status DecodeWithBruteForce(SecretSharing& scheme, const std::vector<int>& ids,
+                            const std::vector<Bytes>& shares, size_t secret_size,
+                            Bytes* secret) {
+  if (ids.size() != shares.size()) {
+    return Status::InvalidArgument("ids/shares size mismatch");
+  }
+  int m = static_cast<int>(ids.size());
+  int k = scheme.k();
+  if (m < k) {
+    return Status::InvalidArgument("fewer than k shares supplied");
+  }
+  std::vector<int> pick(k);
+  for (int i = 0; i < k; ++i) {
+    pick[i] = i;
+  }
+  Status last = Status::Corruption("no k-subset decoded cleanly");
+  do {
+    std::vector<int> sub_ids(k);
+    std::vector<Bytes> sub_shares(k);
+    for (int i = 0; i < k; ++i) {
+      sub_ids[i] = ids[pick[i]];
+      sub_shares[i] = shares[pick[i]];
+    }
+    Status st = scheme.Decode(sub_ids, sub_shares, secret_size, secret);
+    if (st.ok()) {
+      return st;
+    }
+    last = st;
+  } while (NextCombination(&pick, m));
+  return last;
+}
+
+}  // namespace cdstore

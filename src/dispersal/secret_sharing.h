@@ -1,0 +1,60 @@
+// The common interface of all (n, k, r) secret sharing algorithms (§2):
+// a secret is dispersed into n shares such that any k reconstruct it and
+// no r reveal anything. Convergent schemes (CAONT-RS family) derive their
+// embedded key deterministically from the secret, so identical secrets
+// yield identical shares — the property that enables deduplication (§3.2).
+#ifndef CDSTORE_SRC_DISPERSAL_SECRET_SHARING_H_
+#define CDSTORE_SRC_DISPERSAL_SECRET_SHARING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+class SecretSharing {
+ public:
+  virtual ~SecretSharing() = default;
+
+  virtual std::string name() const = 0;
+  virtual int n() const = 0;
+  virtual int k() const = 0;
+  // Confidentiality degree: the secret remains confidential if at most r
+  // shares are compromised.
+  virtual int r() const = 0;
+  // True if encoding is deterministic (identical secrets -> identical
+  // shares), i.e. the scheme supports deduplication.
+  virtual bool deterministic() const = 0;
+  // True if Decode detects corrupted reconstructions (embedded integrity).
+  virtual bool self_verifying() const { return false; }
+
+  // Disperses `secret` into exactly n equal-size shares; shares[i] is
+  // destined for cloud i (§3.2 share placement).
+  virtual Status Encode(ConstByteSpan secret, std::vector<Bytes>* shares) = 0;
+
+  // Reconstructs the secret from >= k shares. ids[i] is the share index
+  // (0..n-1) of shares[i]. `secret_size` is the original size recorded in
+  // the share metadata (§4.3), used to strip padding.
+  virtual Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                        size_t secret_size, Bytes* secret) = 0;
+
+  // Size of each share for a secret of `secret_size` bytes.
+  virtual size_t ShareSize(size_t secret_size) const = 0;
+
+  // Measured storage blowup: n * ShareSize / secret_size (Table 1).
+  double StorageBlowup(size_t secret_size) const;
+};
+
+// Decodes by brute force over k-subsets of the provided shares, for when
+// some shares may be corrupted (§3.2 decoding remark). Tries subsets until
+// one reconstructs a secret passing the scheme's integrity check.
+Status DecodeWithBruteForce(SecretSharing& scheme, const std::vector<int>& ids,
+                            const std::vector<Bytes>& shares, size_t secret_size,
+                            Bytes* secret);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DISPERSAL_SECRET_SHARING_H_

@@ -1,0 +1,76 @@
+#include "src/dispersal/ssms.h"
+
+#include "src/crypto/aes256.h"
+#include "src/crypto/ctr.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+Ssms::Ssms(int n, int k) : rs_(n, k), key_sharing_(n, k) {}
+
+Status Ssms::Encode(ConstByteSpan secret, std::vector<Bytes>* shares) {
+  // 1. Encrypt with a fresh random key (zero IV is safe: key is unique).
+  Bytes key = CtrDrbg::Global().RandomBytes(kKeySize);
+  Bytes ciphertext(secret.size());
+  Aes256 aes(key);
+  uint8_t iv[Aes256::kBlockSize] = {0};
+  Aes256CtrXor(aes, iv, secret, ciphertext);
+
+  // 2. IDA on the ciphertext.
+  std::vector<Bytes> cipher_shares;
+  RETURN_IF_ERROR(rs_.Encode(SplitIntoShards(ciphertext, k()), &cipher_shares));
+
+  // 3. SSSS on the key.
+  std::vector<Bytes> key_shares;
+  RETURN_IF_ERROR(key_sharing_.Encode(key, &key_shares));
+
+  // share_i = cipher_share_i || key_share_i.
+  shares->clear();
+  shares->reserve(n());
+  for (int i = 0; i < n(); ++i) {
+    Bytes s = std::move(cipher_shares[i]);
+    s.insert(s.end(), key_shares[i].begin(), key_shares[i].end());
+    shares->push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+Status Ssms::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                    size_t secret_size, Bytes* secret) {
+  if (ids.size() != shares.size()) {
+    return Status::InvalidArgument("ids/shares size mismatch");
+  }
+  if (static_cast<int>(ids.size()) < k()) {
+    return Status::InvalidArgument("need at least k shares");
+  }
+  std::vector<Bytes> cipher_shares;
+  std::vector<Bytes> key_shares;
+  for (const Bytes& s : shares) {
+    if (s.size() < kKeySize) {
+      return Status::InvalidArgument("SSMS share too small");
+    }
+    cipher_shares.emplace_back(s.begin(), s.end() - kKeySize);
+    key_shares.emplace_back(s.end() - kKeySize, s.end());
+  }
+  std::vector<Bytes> pieces;
+  RETURN_IF_ERROR(rs_.Decode(ids, cipher_shares, &pieces));
+  Bytes ciphertext = JoinShards(pieces, std::min(secret_size, pieces.size() * pieces[0].size()));
+  if (ciphertext.size() < secret_size) {
+    return Status::InvalidArgument("shares too small for declared secret size");
+  }
+  Bytes key;
+  RETURN_IF_ERROR(key_sharing_.Decode(ids, key_shares, kKeySize, &key));
+
+  secret->resize(ciphertext.size());
+  Aes256 aes(key);
+  uint8_t iv[Aes256::kBlockSize] = {0};
+  Aes256CtrXor(aes, iv, ciphertext, *secret);
+  return Status::Ok();
+}
+
+size_t Ssms::ShareSize(size_t secret_size) const {
+  size_t piece = (secret_size + k() - 1) / k();
+  return (piece == 0 ? 1 : piece) + kKeySize;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,39 @@
+// Secret sharing made short (SSMS, Krawczyk '93): encrypt the secret with a
+// random key, disperse the ciphertext with IDA and the key with SSSS.
+// Storage blowup n/k + n*Skey/Ssec with computational confidentiality
+// r = k-1 (Table 1).
+#ifndef CDSTORE_SRC_DISPERSAL_SSMS_H_
+#define CDSTORE_SRC_DISPERSAL_SSMS_H_
+
+#include "src/crypto/ctr_drbg.h"
+#include "src/dispersal/secret_sharing.h"
+#include "src/dispersal/ssss.h"
+#include "src/rs/reed_solomon.h"
+
+namespace cdstore {
+
+class Ssms : public SecretSharing {
+ public:
+  static constexpr size_t kKeySize = 32;  // AES-256
+
+  Ssms(int n, int k);
+
+  std::string name() const override { return "SSMS"; }
+  int n() const override { return rs_.n(); }
+  int k() const override { return rs_.k(); }
+  int r() const override { return k() - 1; }
+  bool deterministic() const override { return false; }
+
+  Status Encode(ConstByteSpan secret, std::vector<Bytes>* shares) override;
+  Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                size_t secret_size, Bytes* secret) override;
+  size_t ShareSize(size_t secret_size) const override;
+
+ private:
+  ReedSolomon rs_;
+  Ssss key_sharing_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DISPERSAL_SSMS_H_

@@ -1,0 +1,72 @@
+#include "src/dispersal/ssss.h"
+
+#include "src/gf256/gf256.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+Ssss::Ssss(int n, int k) : n_(n), k_(k) {
+  CHECK_GT(k, 0);
+  CHECK_GT(n, k);
+  CHECK_LE(n, 255);
+}
+
+Status Ssss::Encode(ConstByteSpan secret, std::vector<Bytes>* shares) {
+  // Polynomial per byte position: f(x) = s + a_1 x + ... + a_{k-1} x^{k-1},
+  // share i evaluates at x_i = i + 1. Region operations evaluate all byte
+  // positions at once.
+  std::vector<Bytes> coeffs(k_ - 1);
+  for (auto& c : coeffs) {
+    c.resize(secret.size());
+    CtrDrbg::Global().Fill(c);
+  }
+  shares->assign(n_, Bytes(secret.begin(), secret.end()));
+  for (int i = 0; i < n_; ++i) {
+    uint8_t x = static_cast<uint8_t>(i + 1);
+    uint8_t xp = 1;
+    for (int j = 0; j < k_ - 1; ++j) {
+      xp = Gf256Mul(xp, x);
+      Gf256AddMulRegion((*shares)[i], coeffs[j], xp);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Ssss::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                    size_t secret_size, Bytes* secret) {
+  if (ids.size() != shares.size()) {
+    return Status::InvalidArgument("ids/shares size mismatch");
+  }
+  if (static_cast<int>(ids.size()) < k_) {
+    return Status::InvalidArgument("need at least k shares");
+  }
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i].size() != secret_size) {
+      return Status::InvalidArgument("share size != secret size");
+    }
+    if (ids[i] < 0 || ids[i] >= n_) {
+      return Status::InvalidArgument("share id out of range");
+    }
+  }
+  // Lagrange interpolation at x = 0 using the first k shares:
+  //   s = sum_i share_i * L_i,  L_i = prod_{j != i} x_j / (x_j ^ x_i).
+  secret->assign(secret_size, 0);
+  for (int i = 0; i < k_; ++i) {
+    uint8_t xi = static_cast<uint8_t>(ids[i] + 1);
+    uint8_t li = 1;
+    for (int j = 0; j < k_; ++j) {
+      if (j == i) {
+        continue;
+      }
+      uint8_t xj = static_cast<uint8_t>(ids[j] + 1);
+      if (xi == xj) {
+        return Status::InvalidArgument("duplicate share id");
+      }
+      li = Gf256Mul(li, Gf256Div(xj, xj ^ xi));
+    }
+    Gf256AddMulRegion(*secret, shares[i], li);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cdstore

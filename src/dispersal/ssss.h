@@ -1,0 +1,36 @@
+// Shamir's secret sharing scheme (SSSS) [54]: per-byte polynomial sharing
+// over GF(2^8). Highest confidentiality degree (r = k-1) but storage blowup
+// n (Table 1). Used directly for dispersing small sensitive values (keys in
+// SSMS, pathname metadata in §4.3).
+#ifndef CDSTORE_SRC_DISPERSAL_SSSS_H_
+#define CDSTORE_SRC_DISPERSAL_SSSS_H_
+
+#include "src/crypto/ctr_drbg.h"
+#include "src/dispersal/secret_sharing.h"
+
+namespace cdstore {
+
+class Ssss : public SecretSharing {
+ public:
+  // Requires 0 < k < n <= 255 (share x-coordinates are 1..n).
+  Ssss(int n, int k);
+
+  std::string name() const override { return "SSSS"; }
+  int n() const override { return n_; }
+  int k() const override { return k_; }
+  int r() const override { return k_ - 1; }
+  bool deterministic() const override { return false; }
+
+  Status Encode(ConstByteSpan secret, std::vector<Bytes>* shares) override;
+  Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
+                size_t secret_size, Bytes* secret) override;
+  size_t ShareSize(size_t secret_size) const override { return secret_size; }
+
+ private:
+  int n_;
+  int k_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_DISPERSAL_SSSS_H_

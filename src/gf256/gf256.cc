@@ -1,0 +1,137 @@
+#include "src/gf256/gf256.h"
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace internal {
+
+Gf256Tables::Gf256Tables() {
+  // Generator 2 is primitive for 0x11d.
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[i] = static_cast<uint8_t>(x);
+    log[x] = static_cast<uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) {
+      x ^= kGf256Poly;
+    }
+  }
+  for (int i = 255; i < 512; ++i) {
+    exp[i] = exp[i - 255];
+  }
+  log[0] = 0;  // never read
+  inv[0] = 0;  // never read
+  for (int i = 1; i < 256; ++i) {
+    inv[i] = exp[255 - log[i]];
+  }
+  for (int c = 0; c < 256; ++c) {
+    for (int i = 0; i < 16; ++i) {
+      uint8_t lo = 0;
+      uint8_t hi = 0;
+      if (c != 0 && i != 0) {
+        lo = exp[log[c] + log[i]];
+        hi = exp[log[c] + log[i << 4]];
+      }
+      split_lo[c][i] = lo;
+      split_hi[c][i] = hi;
+    }
+  }
+}
+
+const Gf256Tables& GetGf256Tables() {
+  static const Gf256Tables tables;
+  return tables;
+}
+
+// Defined in gf256_ssse3.cc.
+bool SimdAvailable();
+void AddMulRegionSsse3(uint8_t* dst, const uint8_t* src, size_t n, const uint8_t* lo,
+                       const uint8_t* hi);
+
+}  // namespace internal
+
+uint8_t Gf256Pow(uint8_t a, unsigned e) {
+  uint8_t result = 1;
+  uint8_t base = a;
+  while (e > 0) {
+    if (e & 1) {
+      result = Gf256Mul(result, base);
+    }
+    base = Gf256Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+void Gf256AddMulRegionScalar(ByteSpan dst, ConstByteSpan src, uint8_t c) {
+  DCHECK_EQ(dst.size(), src.size());
+  if (c == 0) {
+    return;
+  }
+  const auto& t = internal::GetGf256Tables();
+  const uint8_t* lo = t.split_lo[c];
+  const uint8_t* hi = t.split_hi[c];
+  uint8_t* d = dst.data();
+  const uint8_t* s = src.data();
+  size_t n = dst.size();
+  for (size_t i = 0; i < n; ++i) {
+    d[i] ^= static_cast<uint8_t>(lo[s[i] & 0xf] ^ hi[s[i] >> 4]);
+  }
+}
+
+void Gf256AddMulRegionLogExp(ByteSpan dst, ConstByteSpan src, uint8_t c) {
+  DCHECK_EQ(dst.size(), src.size());
+  if (c == 0) {
+    return;
+  }
+  const auto& t = internal::GetGf256Tables();
+  int logc = t.log[c];
+  for (size_t i = 0; i < dst.size(); ++i) {
+    uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[logc + t.log[s]];
+    }
+  }
+}
+
+bool Gf256HasSimd() { return internal::SimdAvailable(); }
+
+void Gf256AddMulRegion(ByteSpan dst, ConstByteSpan src, uint8_t c) {
+  DCHECK_EQ(dst.size(), src.size());
+  if (c == 0) {
+    return;
+  }
+  if (c == 1) {
+    // Plain XOR.
+    uint8_t* d = dst.data();
+    const uint8_t* s = src.data();
+    for (size_t i = 0; i < dst.size(); ++i) {
+      d[i] ^= s[i];
+    }
+    return;
+  }
+  const auto& t = internal::GetGf256Tables();
+  if (internal::SimdAvailable() && dst.size() >= 64) {
+    internal::AddMulRegionSsse3(dst.data(), src.data(), dst.size(), t.split_lo[c],
+                                t.split_hi[c]);
+    return;
+  }
+  Gf256AddMulRegionScalar(dst, src, c);
+}
+
+void Gf256MulRegion(ByteSpan dst, ConstByteSpan src, uint8_t c) {
+  DCHECK_EQ(dst.size(), src.size());
+  if (c == 0) {
+    std::fill(dst.begin(), dst.end(), 0);
+    return;
+  }
+  if (c == 1) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return;
+  }
+  std::fill(dst.begin(), dst.end(), 0);
+  Gf256AddMulRegion(dst, src, c);
+}
+
+}  // namespace cdstore

@@ -1,0 +1,75 @@
+// GF(2^8) arithmetic over the polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d),
+// the field used by Reed-Solomon coding in jerasure/GF-Complete and in this
+// reproduction of CDStore's CAONT-RS.
+//
+// Scalar ops (Gf256Mul etc.) are table-driven. Region ops process whole
+// buffers with 4-bit split tables — the same technique as GF-Complete's
+// SPLIT_TABLE(8,4) [Plank et al., FAST'13] — with an SSSE3 PSHUFB fast path
+// selected at runtime.
+#ifndef CDSTORE_SRC_GF256_GF256_H_
+#define CDSTORE_SRC_GF256_GF256_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+// Primitive polynomial (without the x^8 term): 0x1d.
+inline constexpr uint16_t kGf256Poly = 0x11d;
+
+namespace internal {
+struct Gf256Tables {
+  uint8_t exp[512];       // exp[i] = g^i, duplicated so mul needs no mod
+  uint8_t log[256];       // log[0] unused
+  uint8_t inv[256];       // inv[0] unused
+  // Split tables: product of c with low/high nibble of x.
+  // split_lo[c][i] = c * i, split_hi[c][i] = c * (i << 4).
+  uint8_t split_lo[256][16];
+  uint8_t split_hi[256][16];
+  Gf256Tables();
+};
+const Gf256Tables& GetGf256Tables();
+}  // namespace internal
+
+// c = a * b in GF(2^8).
+inline uint8_t Gf256Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const auto& t = internal::GetGf256Tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+// Multiplicative inverse; a must be nonzero.
+inline uint8_t Gf256Inv(uint8_t a) { return internal::GetGf256Tables().inv[a]; }
+
+// a / b; b must be nonzero.
+inline uint8_t Gf256Div(uint8_t a, uint8_t b) {
+  if (a == 0) {
+    return 0;
+  }
+  const auto& t = internal::GetGf256Tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+// a^e (e >= 0).
+uint8_t Gf256Pow(uint8_t a, unsigned e);
+
+// dst[i] ^= c * src[i] for the whole region. The Reed-Solomon hot loop.
+void Gf256AddMulRegion(ByteSpan dst, ConstByteSpan src, uint8_t c);
+
+// dst[i] = c * src[i].
+void Gf256MulRegion(ByteSpan dst, ConstByteSpan src, uint8_t c);
+
+// Portable scalar implementations (exposed for the ablation benchmark).
+void Gf256AddMulRegionScalar(ByteSpan dst, ConstByteSpan src, uint8_t c);
+// Baseline log/exp per-byte multiply (what GF-Complete improves upon).
+void Gf256AddMulRegionLogExp(ByteSpan dst, ConstByteSpan src, uint8_t c);
+
+// True when the SSSE3 PSHUFB path is compiled in and supported by the CPU.
+bool Gf256HasSimd();
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_GF256_GF256_H_

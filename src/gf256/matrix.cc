@@ -1,0 +1,142 @@
+#include "src/gf256/matrix.h"
+
+#include <sstream>
+
+#include "src/gf256/gf256.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+Gf256Matrix::Gf256Matrix(int rows, int cols, std::initializer_list<uint8_t> values)
+    : rows_(rows), cols_(cols), a_(values) {
+  CHECK_EQ(static_cast<size_t>(rows * cols), a_.size());
+}
+
+Gf256Matrix Gf256Matrix::Identity(int n) {
+  Gf256Matrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    m.Set(i, i, 1);
+  }
+  return m;
+}
+
+Gf256Matrix Gf256Matrix::Vandermonde(int n, int k) {
+  CHECK_LE(n, 256);
+  Gf256Matrix m(n, k);
+  for (int i = 0; i < n; ++i) {
+    uint8_t x = static_cast<uint8_t>(i);
+    uint8_t v = 1;
+    for (int j = 0; j < k; ++j) {
+      m.Set(i, j, v);
+      v = Gf256Mul(v, x);
+    }
+  }
+  return m;
+}
+
+Gf256Matrix Gf256Matrix::ExtendedCauchy(int n, int k) {
+  CHECK_GT(n, k);
+  CHECK_LE(n, 256);
+  Gf256Matrix m(n, k);
+  for (int i = 0; i < k; ++i) {
+    m.Set(i, i, 1);
+  }
+  for (int i = k; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      // x_i = i (>= k), y_j = j (< k): all distinct, so x_i ^ y_j != 0.
+      uint8_t denom = static_cast<uint8_t>(i) ^ static_cast<uint8_t>(j);
+      m.Set(i, j, Gf256Inv(denom));
+    }
+  }
+  return m;
+}
+
+Gf256Matrix Gf256Matrix::Multiply(const Gf256Matrix& other) const {
+  CHECK_EQ(cols_, other.rows_);
+  Gf256Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < other.cols_; ++j) {
+      uint8_t acc = 0;
+      for (int t = 0; t < cols_; ++t) {
+        acc ^= Gf256Mul(At(i, t), other.At(t, j));
+      }
+      out.Set(i, j, acc);
+    }
+  }
+  return out;
+}
+
+Result<Gf256Matrix> Gf256Matrix::Invert() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("matrix not square");
+  }
+  int n = rows_;
+  Gf256Matrix work = *this;
+  Gf256Matrix inv = Identity(n);
+  for (int col = 0; col < n; ++col) {
+    // Find pivot.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (work.At(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      return Status::InvalidArgument("matrix singular");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(work.a_[pivot * n + c], work.a_[col * n + c]);
+        std::swap(inv.a_[pivot * n + c], inv.a_[col * n + c]);
+      }
+    }
+    // Scale pivot row to make pivot 1.
+    uint8_t piv_inv = Gf256Inv(work.At(col, col));
+    for (int c = 0; c < n; ++c) {
+      work.Set(col, c, Gf256Mul(work.At(col, c), piv_inv));
+      inv.Set(col, c, Gf256Mul(inv.At(col, c), piv_inv));
+    }
+    // Eliminate all other rows.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      uint8_t f = work.At(r, col);
+      if (f == 0) {
+        continue;
+      }
+      for (int c = 0; c < n; ++c) {
+        work.Set(r, c, work.At(r, c) ^ Gf256Mul(f, work.At(col, c)));
+        inv.Set(r, c, inv.At(r, c) ^ Gf256Mul(f, inv.At(col, c)));
+      }
+    }
+  }
+  return inv;
+}
+
+Gf256Matrix Gf256Matrix::SelectRows(const std::vector<int>& row_indices) const {
+  Gf256Matrix out(static_cast<int>(row_indices.size()), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    int r = row_indices[i];
+    CHECK_GE(r, 0);
+    CHECK_LT(r, rows_);
+    for (int c = 0; c < cols_; ++c) {
+      out.Set(static_cast<int>(i), c, At(r, c));
+    }
+  }
+  return out;
+}
+
+std::string Gf256Matrix::ToString() const {
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      os << static_cast<int>(At(r, c)) << (c + 1 == cols_ ? "" : " ");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cdstore

@@ -1,0 +1,65 @@
+// Dense matrices over GF(2^8): construction (identity, Vandermonde, extended
+// Cauchy), multiplication and Gauss-Jordan inversion. Backbone of the
+// Reed-Solomon coder and the IDA/RSSS dispersal algorithms.
+#ifndef CDSTORE_SRC_GF256_MATRIX_H_
+#define CDSTORE_SRC_GF256_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cdstore {
+
+class Gf256Matrix {
+ public:
+  Gf256Matrix() = default;
+  Gf256Matrix(int rows, int cols) : rows_(rows), cols_(cols), a_(rows * cols, 0) {}
+  Gf256Matrix(int rows, int cols, std::initializer_list<uint8_t> values);
+
+  static Gf256Matrix Identity(int n);
+
+  // n x k Vandermonde: row i is [1, x_i, x_i^2, ..., x_i^{k-1}] with x_i = i.
+  // NOTE: [I | V-parity] built from a raw Vandermonde is NOT guaranteed MDS;
+  // use ExtendedCauchy for coding. Kept for tests and the ablation bench.
+  static Gf256Matrix Vandermonde(int n, int k);
+
+  // n x k systematic MDS coding matrix: top k rows are the identity, the
+  // n-k parity rows form a Cauchy matrix C[i][j] = 1 / (x_i ^ y_j) with
+  // x_i = k + i and y_j = j. Any k rows of the result are invertible.
+  // Requires n <= 256 and n > k.
+  static Gf256Matrix ExtendedCauchy(int n, int k);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  uint8_t At(int r, int c) const { return a_[r * cols_ + c]; }
+  void Set(int r, int c, uint8_t v) { a_[r * cols_ + c] = v; }
+  const uint8_t* Row(int r) const { return &a_[r * cols_]; }
+
+  Gf256Matrix Multiply(const Gf256Matrix& other) const;
+
+  // Gauss-Jordan inverse; fails with kInvalidArgument if singular or
+  // non-square.
+  Result<Gf256Matrix> Invert() const;
+
+  // New matrix formed from the given rows (in order).
+  Gf256Matrix SelectRows(const std::vector<int>& row_indices) const;
+
+  bool operator==(const Gf256Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && a_ == other.a_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<uint8_t> a_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_GF256_MATRIX_H_

@@ -1,0 +1,60 @@
+// Sharded LRU cache for SSTable data blocks, keyed by (file number, block
+// offset). LevelDB's block cache equivalent (§4.4).
+#ifndef CDSTORE_SRC_KVSTORE_BLOCK_CACHE_H_
+#define CDSTORE_SRC_KVSTORE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes);
+
+  // Returns the cached block or nullptr.
+  std::shared_ptr<const Bytes> Lookup(uint64_t file_number, uint64_t offset);
+
+  // Inserts (replacing any existing entry); evicts LRU entries over capacity.
+  void Insert(uint64_t file_number, uint64_t offset, Bytes block);
+
+  // Drops all blocks of a file (after compaction deletes it).
+  void EraseFile(uint64_t file_number);
+
+  size_t usage_bytes() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    uint64_t file;
+    uint64_t offset;
+    bool operator==(const Key& o) const { return file == o.file && offset == o.offset; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.file * 0x9e3779b97f4a7c15ull ^ k.offset);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Bytes> block;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t usage_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_KVSTORE_BLOCK_CACHE_H_

@@ -1,0 +1,446 @@
+#include "src/kvstore/db.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+
+#include "src/util/crc32c.h"
+#include "src/util/fs_util.h"
+#include "src/util/io.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+// Uniform view over memtable and SSTable iterators for merging.
+class InternalIterator {
+ public:
+  virtual ~InternalIterator() = default;
+  virtual bool Valid() const = 0;
+  virtual const KvRecord& record() const = 0;
+  virtual void Next() = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void Seek(ConstByteSpan target) = 0;
+};
+
+class MemIterAdapter : public InternalIterator {
+ public:
+  explicit MemIterAdapter(MemTable::Iterator it) : it_(std::move(it)) {}
+  bool Valid() const override { return it_.Valid(); }
+  const KvRecord& record() const override { return it_.record(); }
+  void Next() override { it_.Next(); }
+  void SeekToFirst() override { it_.SeekToFirst(); }
+  void Seek(ConstByteSpan target) override { it_.Seek(target); }
+
+ private:
+  MemTable::Iterator it_;
+};
+
+class SstIterAdapter : public InternalIterator {
+ public:
+  explicit SstIterAdapter(SsTable::Iterator it) : it_(std::move(it)) {}
+  bool Valid() const override { return it_.Valid(); }
+  const KvRecord& record() const override { return it_.record(); }
+  void Next() override { it_.Next(); }
+  void SeekToFirst() override { it_.SeekToFirst(); }
+  void Seek(ConstByteSpan target) override { it_.Seek(target); }
+
+ private:
+  SsTable::Iterator it_;
+};
+
+// Merges multiple internally-ordered sources and yields only the newest
+// visible (seq <= snapshot) non-deleted version of each user key.
+class MergingDbIterator : public Db::Iterator {
+ public:
+  MergingDbIterator(std::vector<std::unique_ptr<InternalIterator>> sources, uint64_t snapshot)
+      : sources_(std::move(sources)), snapshot_(snapshot) {}
+
+  bool Valid() const override { return valid_; }
+  const Bytes& key() const override { return key_; }
+  const Bytes& value() const override { return value_; }
+
+  void SeekToFirst() override {
+    for (auto& s : sources_) {
+      s->SeekToFirst();
+    }
+    last_key_.reset();
+    FindNextVisible();
+  }
+
+  void Seek(ConstByteSpan target) override {
+    for (auto& s : sources_) {
+      s->Seek(target);
+    }
+    last_key_.reset();
+    FindNextVisible();
+  }
+
+  void Next() override { FindNextVisible(); }
+
+ private:
+  // Index of the source holding the smallest current record, or -1.
+  int SmallestSource() const {
+    int best = -1;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (!sources_[i]->Valid()) {
+        continue;
+      }
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      const KvRecord& a = sources_[i]->record();
+      const KvRecord& b = sources_[best]->record();
+      if (CompareRecords(a.key, a.seq, b.key, b.seq) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  void FindNextVisible() {
+    valid_ = false;
+    while (true) {
+      int i = SmallestSource();
+      if (i < 0) {
+        return;
+      }
+      const KvRecord& rec = sources_[i]->record();
+      if (last_key_.has_value() && rec.key == *last_key_) {
+        sources_[i]->Next();  // shadowed older version
+        continue;
+      }
+      if (rec.seq > snapshot_) {
+        sources_[i]->Next();  // newer than the snapshot: invisible
+        continue;
+      }
+      // Newest visible version of a fresh key decides its fate.
+      last_key_ = rec.key;
+      if (rec.type == ValueType::kDelete) {
+        sources_[i]->Next();
+        continue;
+      }
+      key_ = rec.key;
+      value_ = rec.value;
+      valid_ = true;
+      sources_[i]->Next();
+      return;
+    }
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> sources_;
+  uint64_t snapshot_;
+  std::optional<Bytes> last_key_;
+  Bytes key_;
+  Bytes value_;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+Db::Db(std::string path, const DbOptions& options)
+    : path_(std::move(path)),
+      opts_(options),
+      cache_(options.block_cache_bytes),
+      mem_(std::make_unique<MemTable>()) {}
+
+Db::~Db() = default;
+
+std::string Db::SstPath(uint64_t file_number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%06llu.sst", static_cast<unsigned long long>(file_number));
+  return path_ + buf;
+}
+
+Result<std::unique_ptr<Db>> Db::Open(const std::string& path, const DbOptions& options) {
+  if (!FileExists(path)) {
+    if (!options.create_if_missing) {
+      return Status::NotFound("db directory missing: " + path);
+    }
+    RETURN_IF_ERROR(CreateDirs(path));
+  }
+  auto db = std::unique_ptr<Db>(new Db(path, options));
+  RETURN_IF_ERROR(db->LoadManifest());
+
+  // Replay the WAL into a fresh memtable.
+  ASSIGN_OR_RETURN(uint64_t wal_seq,
+                   ReplayWal(db->WalPath(), [&db](uint64_t first_seq, const WriteBatch& batch) {
+                     uint64_t seq = first_seq;
+                     for (const auto& op : batch.ops) {
+                       db->mem_->Add(seq++, op.type, op.key, op.value);
+                     }
+                   }));
+  db->last_seq_ = std::max(db->last_seq_, wal_seq);
+
+  ASSIGN_OR_RETURN(db->wal_, WalWriter::Open(db->WalPath()));
+  return db;
+}
+
+Status Db::LoadManifest() {
+  if (!FileExists(ManifestPath())) {
+    return Status::Ok();  // fresh database
+  }
+  ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(ManifestPath()));
+  if (data.size() < 4) {
+    return Status::Corruption("manifest too small");
+  }
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(data[data.size() - 4 + i]) << (8 * i);
+  }
+  data.resize(data.size() - 4);
+  if (MaskCrc(Crc32c(data)) != stored) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  BufferReader r(data);
+  uint32_t count = 0;
+  RETURN_IF_ERROR(r.GetU64(&next_file_number_));
+  RETURN_IF_ERROR(r.GetU64(&last_seq_));
+  RETURN_IF_ERROR(r.GetU32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t file_number = 0;
+    RETURN_IF_ERROR(r.GetU64(&file_number));
+    ASSIGN_OR_RETURN(auto table, SsTable::Open(SstPath(file_number), file_number, &cache_));
+    tables_.push_back(std::move(table));
+  }
+  return Status::Ok();
+}
+
+Status Db::WriteManifestLocked() {
+  BufferWriter w;
+  w.PutU64(next_file_number_);
+  w.PutU64(last_seq_);
+  w.PutU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& t : tables_) {
+    w.PutU64(t->file_number());
+  }
+  Bytes data = w.Take();
+  uint32_t crc = MaskCrc(Crc32c(data));
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  std::string tmp = ManifestPath() + ".tmp";
+  RETURN_IF_ERROR(WriteFile(tmp, data));
+  std::error_code ec;
+  std::filesystem::rename(tmp, ManifestPath(), ec);
+  if (ec) {
+    return Status::IOError("manifest rename failed");
+  }
+  return Status::Ok();
+}
+
+Status Db::Put(ConstByteSpan key, ConstByteSpan value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch);
+}
+
+Status Db::Delete(ConstByteSpan key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status Db::Write(const WriteBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteLocked(batch);
+}
+
+Status Db::WriteLocked(const WriteBatch& batch) {
+  if (batch.ops.empty()) {
+    return Status::Ok();
+  }
+  uint64_t first_seq = last_seq_ + 1;
+  RETURN_IF_ERROR(wal_->Append(first_seq, batch, opts_.sync_wal));
+  uint64_t seq = first_seq;
+  for (const auto& op : batch.ops) {
+    mem_->Add(seq++, op.type, op.key, op.value);
+  }
+  last_seq_ = seq - 1;
+  if (mem_->ApproximateMemoryUsage() >= opts_.write_buffer_size) {
+    RETURN_IF_ERROR(FlushLocked());
+  }
+  return Status::Ok();
+}
+
+Status Db::Get(ConstByteSpan key, Bytes* value) {
+  return GetAt(~0ull, key, value);
+}
+
+Status Db::GetAt(uint64_t snapshot_seq, ConstByteSpan key, Bytes* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool tombstone = false;
+  Status st = mem_->Get(key, snapshot_seq, value, &tombstone);
+  if (st.ok() || tombstone) {
+    return tombstone ? Status::NotFound("deleted") : st;
+  }
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    bool found = false;
+    bool tomb = false;
+    Status ts = (*it)->Get(key, snapshot_seq, value, &found, &tomb);
+    if (ts.code() == StatusCode::kCorruption || ts.code() == StatusCode::kIOError) {
+      return ts;
+    }
+    if (found) {
+      return tomb ? Status::NotFound("deleted") : Status::Ok();
+    }
+  }
+  return Status::NotFound("key absent");
+}
+
+uint64_t Db::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.insert(last_seq_);
+  return last_seq_;
+}
+
+void Db::ReleaseSnapshot(uint64_t snapshot_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshots_.find(snapshot_seq);
+  if (it != snapshots_.end()) {
+    snapshots_.erase(it);
+  }
+}
+
+Status Db::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status Db::FlushLocked() {
+  if (mem_->empty()) {
+    return Status::Ok();
+  }
+  uint64_t file_number = next_file_number_++;
+  SsTableBuilder builder(opts_);
+  MemTable::Iterator it = mem_->NewIterator();
+  it.SeekToFirst();
+  while (it.Valid()) {
+    builder.Add(it.record());
+    it.Next();
+  }
+  RETURN_IF_ERROR(builder.Finish(SstPath(file_number)).status());
+  ASSIGN_OR_RETURN(auto table, SsTable::Open(SstPath(file_number), file_number, &cache_));
+  tables_.push_back(std::move(table));
+  RETURN_IF_ERROR(WriteManifestLocked());
+
+  // Fresh memtable and WAL.
+  mem_ = std::make_unique<MemTable>();
+  RETURN_IF_ERROR(wal_->Close());
+  if (FileExists(WalPath())) {
+    RETURN_IF_ERROR(RemoveFile(WalPath()));
+  }
+  ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
+
+  if (static_cast<int>(tables_.size()) >= opts_.compaction_trigger) {
+    RETURN_IF_ERROR(CompactAllLocked());
+  }
+  return Status::Ok();
+}
+
+Status Db::CompactAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactAllLocked();
+}
+
+Status Db::CompactAllLocked() {
+  if (tables_.size() <= 1) {
+    return Status::Ok();
+  }
+  // Merge all SSTables (memtable stays put — it is strictly newer). With no
+  // live snapshots we keep only the newest version per key and drop
+  // tombstones outright (the merge covers all persisted history); with live
+  // snapshots we conservatively keep everything.
+  bool drop_old = snapshots_.empty();
+
+  std::vector<std::unique_ptr<InternalIterator>> sources;
+  for (const auto& t : tables_) {
+    sources.push_back(std::make_unique<SstIterAdapter>(t->NewIterator()));
+  }
+  for (auto& s : sources) {
+    s->SeekToFirst();
+  }
+
+  uint64_t file_number = next_file_number_++;
+  SsTableBuilder builder(opts_);
+  std::optional<Bytes> last_key;
+  uint64_t kept = 0;
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i]->Valid()) {
+        continue;
+      }
+      if (best < 0 ||
+          CompareRecords(sources[i]->record().key, sources[i]->record().seq,
+                         sources[best]->record().key, sources[best]->record().seq) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    const KvRecord& rec = sources[best]->record();
+    bool shadowed = last_key.has_value() && rec.key == *last_key;
+    if (!drop_old) {
+      builder.Add(rec);
+      ++kept;
+    } else if (!shadowed && rec.type == ValueType::kPut) {
+      builder.Add(rec);
+      ++kept;
+    }
+    last_key = rec.key;
+    sources[best]->Next();
+  }
+
+  std::vector<uint64_t> old_files;
+  for (const auto& t : tables_) {
+    old_files.push_back(t->file_number());
+  }
+
+  if (kept == 0) {
+    // Everything was deleted; no output table.
+    tables_.clear();
+    next_file_number_--;  // reclaim the unused number
+  } else {
+    RETURN_IF_ERROR(builder.Finish(SstPath(file_number)).status());
+    tables_.clear();
+    ASSIGN_OR_RETURN(auto table, SsTable::Open(SstPath(file_number), file_number, &cache_));
+    tables_.push_back(std::move(table));
+  }
+  RETURN_IF_ERROR(WriteManifestLocked());
+  for (uint64_t f : old_files) {
+    cache_.EraseFile(f);
+    (void)RemoveFile(SstPath(f));
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<Db::Iterator> Db::NewIterator(uint64_t snapshot_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_seq == 0) {
+    snapshot_seq = last_seq_;
+  }
+  std::vector<std::unique_ptr<InternalIterator>> sources;
+  sources.push_back(std::make_unique<MemIterAdapter>(mem_->NewIterator()));
+  for (const auto& t : tables_) {
+    sources.push_back(std::make_unique<SstIterAdapter>(t->NewIterator()));
+  }
+  auto iter = std::make_unique<MergingDbIterator>(std::move(sources), snapshot_seq);
+  iter->SeekToFirst();
+  return iter;
+}
+
+int Db::sstable_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tables_.size());
+}
+
+uint64_t Db::last_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+}  // namespace cdstore

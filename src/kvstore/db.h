@@ -1,0 +1,97 @@
+// The LSM-tree key-value store backing CDStore's file and share indices
+// (§4.4) — a from-scratch LevelDB substitute: WAL + skiplist memtable +
+// SSTables with bloom filters and a block cache, full compaction, and
+// sequence-number snapshots.
+#ifndef CDSTORE_SRC_KVSTORE_DB_H_
+#define CDSTORE_SRC_KVSTORE_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/kvstore/block_cache.h"
+#include "src/kvstore/memtable.h"
+#include "src/kvstore/options.h"
+#include "src/kvstore/record.h"
+#include "src/kvstore/sstable.h"
+#include "src/kvstore/wal.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+class Db {
+ public:
+  ~Db();
+
+  // Opens (or creates) a database in directory `path`, replaying the WAL.
+  static Result<std::unique_ptr<Db>> Open(const std::string& path, const DbOptions& options);
+
+  Status Put(ConstByteSpan key, ConstByteSpan value);
+  Status Delete(ConstByteSpan key);
+  // Applies all ops atomically (one WAL record, consecutive seqs).
+  Status Write(const WriteBatch& batch);
+
+  // Reads the latest visible version.
+  Status Get(ConstByteSpan key, Bytes* value);
+  // Reads as of a snapshot obtained from GetSnapshot().
+  Status GetAt(uint64_t snapshot_seq, ConstByteSpan key, Bytes* value);
+
+  // Sequence-number snapshots (§4.4 mentions LevelDB's snapshot feature).
+  uint64_t GetSnapshot();
+  void ReleaseSnapshot(uint64_t snapshot_seq);
+
+  // Forces the memtable into an SSTable.
+  Status Flush();
+  // Merges all SSTables into one, dropping shadowed versions/tombstones not
+  // needed by any live snapshot.
+  Status CompactAll();
+
+  // Iteration over live (visible, non-deleted) key/value pairs in key order.
+  class Iterator {
+   public:
+    virtual ~Iterator() = default;
+    virtual bool Valid() const = 0;
+    virtual const Bytes& key() const = 0;
+    virtual const Bytes& value() const = 0;
+    virtual void Next() = 0;
+    virtual void SeekToFirst() = 0;
+    virtual void Seek(ConstByteSpan target) = 0;
+  };
+  // Snapshot 0 means "latest at creation time".
+  std::unique_ptr<Iterator> NewIterator(uint64_t snapshot_seq = 0);
+
+  // Introspection for tests/benchmarks.
+  int sstable_count() const;
+  uint64_t last_sequence() const;
+  const BlockCache& block_cache() const { return cache_; }
+
+ private:
+  Db(std::string path, const DbOptions& options);
+
+  Status WriteLocked(const WriteBatch& batch);
+  Status FlushLocked();
+  Status CompactAllLocked();
+  Status WriteManifestLocked();
+  Status LoadManifest();
+  std::string SstPath(uint64_t file_number) const;
+  std::string WalPath() const { return path_ + "/wal.log"; }
+  std::string ManifestPath() const { return path_ + "/MANIFEST"; }
+
+  std::string path_;
+  DbOptions opts_;
+  mutable std::mutex mu_;
+  BlockCache cache_;
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<WalWriter> wal_;
+  // Oldest first; lookups go newest first.
+  std::vector<std::unique_ptr<SsTable>> tables_;
+  uint64_t next_file_number_ = 1;
+  uint64_t last_seq_ = 0;
+  std::multiset<uint64_t> snapshots_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_KVSTORE_DB_H_

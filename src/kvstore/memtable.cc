@@ -1,0 +1,138 @@
+#include "src/kvstore/memtable.h"
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+struct MemTable::Node {
+  KvRecord record;
+  int height;
+  Node* next[1];  // over-allocated to `height` pointers
+
+  static Node* Create(int height) {
+    void* mem = ::operator new(sizeof(Node) + sizeof(Node*) * (height - 1));
+    Node* n = new (mem) Node();
+    n->height = height;
+    for (int i = 0; i < height; ++i) {
+      n->next[i] = nullptr;
+    }
+    return n;
+  }
+  static void Destroy(Node* n) {
+    n->~Node();
+    ::operator delete(n);
+  }
+
+ private:
+  Node() = default;
+};
+
+MemTable::MemTable() : rng_(0xC0FFEE) {
+  head_ = Node::Create(kMaxHeight);
+}
+
+MemTable::~MemTable() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    Node::Destroy(n);
+    n = next;
+  }
+}
+
+int MemTable::RandomHeight() {
+  // Branching factor 4, as in LevelDB.
+  int h = 1;
+  while (h < kMaxHeight && (rng_.NextU64() & 3) == 0) {
+    ++h;
+  }
+  return h;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(ConstByteSpan key, uint64_t seq,
+                                             Node** prev) const {
+  Bytes key_copy(key.begin(), key.end());
+  Node* x = head_;
+  int level = height_ - 1;
+  while (true) {
+    Node* next = x->next[level];
+    bool descend;
+    if (next == nullptr) {
+      descend = true;
+    } else {
+      int cmp = CompareRecords(next->record.key, next->record.seq, key_copy, seq);
+      descend = cmp >= 0;  // next >= target: go down
+    }
+    if (descend) {
+      if (prev != nullptr) {
+        prev[level] = x;
+      }
+      if (level == 0) {
+        return x->next[0];
+      }
+      --level;
+    } else {
+      x = next;
+    }
+  }
+}
+
+void MemTable::Add(uint64_t seq, ValueType type, ConstByteSpan key, ConstByteSpan value) {
+  Node* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; ++i) {
+    prev[i] = head_;
+  }
+  FindGreaterOrEqual(key, seq, prev);
+  int h = RandomHeight();
+  if (h > height_) {
+    height_ = h;
+  }
+  Node* node = Node::Create(h);
+  node->record.key.assign(key.begin(), key.end());
+  node->record.seq = seq;
+  node->record.type = type;
+  node->record.value.assign(value.begin(), value.end());
+  for (int i = 0; i < h; ++i) {
+    node->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = node;
+  }
+  mem_usage_ += key.size() + value.size() + sizeof(Node) + sizeof(Node*) * h;
+  ++count_;
+}
+
+Status MemTable::Get(ConstByteSpan key, uint64_t snapshot_seq, Bytes* value,
+                     bool* found_tombstone) const {
+  *found_tombstone = false;
+  // First record with (key, seq <= snapshot): internal order puts higher
+  // seq first, so seek to (key, snapshot_seq).
+  Node* n = FindGreaterOrEqual(key, snapshot_seq, nullptr);
+  if (n == nullptr || n->record.key.size() != key.size() ||
+      !std::equal(key.begin(), key.end(), n->record.key.begin())) {
+    return Status::NotFound("key absent in memtable");
+  }
+  if (n->record.type == ValueType::kDelete) {
+    *found_tombstone = true;
+    return Status::NotFound("tombstone");
+  }
+  *value = n->record.value;
+  return Status::Ok();
+}
+
+const KvRecord& MemTable::Iterator::record() const {
+  DCHECK(Valid());
+  return static_cast<const Node*>(node_)->record;
+}
+
+void MemTable::Iterator::Next() {
+  DCHECK(Valid());
+  node_ = static_cast<const Node*>(node_)->next[0];
+}
+
+void MemTable::Iterator::SeekToFirst() { node_ = table_->head_->next[0]; }
+
+void MemTable::Iterator::Seek(ConstByteSpan target) {
+  // seq = max: lands on the newest version of `target` (or the next key).
+  node_ = table_->FindGreaterOrEqual(target, ~0ull, nullptr);
+}
+
+}  // namespace cdstore

@@ -1,0 +1,55 @@
+// Internal record representation shared by memtable, WAL and SSTables.
+#ifndef CDSTORE_SRC_KVSTORE_RECORD_H_
+#define CDSTORE_SRC_KVSTORE_RECORD_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+enum class ValueType : uint8_t {
+  kPut = 0,
+  kDelete = 1,  // tombstone
+};
+
+// A versioned record. Ordering: key ascending, then seq descending (newest
+// version of a key sorts first).
+struct KvRecord {
+  Bytes key;
+  uint64_t seq = 0;
+  ValueType type = ValueType::kPut;
+  Bytes value;
+};
+
+// Three-way comparison in internal order.
+inline int CompareRecords(const Bytes& ak, uint64_t aseq, const Bytes& bk, uint64_t bseq) {
+  if (ak < bk) return -1;
+  if (bk < ak) return 1;
+  if (aseq > bseq) return -1;  // newer first
+  if (aseq < bseq) return 1;
+  return 0;
+}
+
+// A batch of writes applied atomically with consecutive sequence numbers.
+struct WriteBatch {
+  struct Op {
+    ValueType type;
+    Bytes key;
+    Bytes value;
+  };
+  std::vector<Op> ops;
+
+  void Put(ConstByteSpan key, ConstByteSpan value) {
+    ops.push_back({ValueType::kPut, Bytes(key.begin(), key.end()), Bytes(value.begin(), value.end())});
+  }
+  void Delete(ConstByteSpan key) {
+    ops.push_back({ValueType::kDelete, Bytes(key.begin(), key.end()), {}});
+  }
+  void Clear() { ops.clear(); }
+  size_t size() const { return ops.size(); }
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_KVSTORE_RECORD_H_

@@ -1,0 +1,301 @@
+#include "src/kvstore/sstable.h"
+
+#include <algorithm>
+
+#include "src/util/crc32c.h"
+#include "src/util/fs_util.h"
+#include "src/util/io.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+void AppendRecord(Bytes* out, const KvRecord& rec) {
+  BufferWriter w;
+  w.PutBytes(rec.key);
+  w.PutU64(rec.seq);
+  w.PutU8(static_cast<uint8_t>(rec.type));
+  w.PutBytes(rec.value);
+  const Bytes& d = w.data();
+  out->insert(out->end(), d.begin(), d.end());
+}
+
+void AppendBlockWithCrc(Bytes* file, ConstByteSpan block) {
+  file->insert(file->end(), block.begin(), block.end());
+  uint32_t crc = MaskCrc(Crc32c(block));
+  for (int i = 0; i < 4; ++i) {
+    file->push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- builder --
+
+SsTableBuilder::SsTableBuilder(const DbOptions& options) : opts_(options) {}
+
+void SsTableBuilder::Add(const KvRecord& record) {
+  if (have_prev_) {
+    // Records must arrive in internal order: key ascending, seq descending
+    // within a key (multiple versions of one key are legal).
+    DCHECK_LE(CompareRecords(prev_key_, prev_seq_, record.key, record.seq), 0);
+  }
+  prev_key_ = record.key;
+  prev_seq_ = record.seq;
+  have_prev_ = true;
+  AppendRecord(&current_block_, record);
+  current_last_key_ = record.key;
+  keys_for_bloom_.push_back(record.key);
+  ++entry_count_;
+  if (current_block_.size() >= opts_.block_size) {
+    FlushBlock();
+  }
+}
+
+void SsTableBuilder::FlushBlock() {
+  if (current_block_.empty()) {
+    return;
+  }
+  IndexEntry e;
+  e.last_key = current_last_key_;
+  e.offset = file_.size();
+  e.length = current_block_.size();
+  AppendBlockWithCrc(&file_, current_block_);
+  index_.push_back(std::move(e));
+  current_block_.clear();
+}
+
+Result<uint64_t> SsTableBuilder::Finish(const std::string& path) {
+  FlushBlock();
+
+  // Bloom filter block.
+  BloomFilter bloom(keys_for_bloom_.size(), opts_.bloom_bits_per_key);
+  for (const Bytes& k : keys_for_bloom_) {
+    bloom.Add(k);
+  }
+  Bytes bloom_block = bloom.Serialize();
+  uint64_t bloom_off = file_.size();
+  AppendBlockWithCrc(&file_, bloom_block);
+
+  // Index block.
+  BufferWriter iw;
+  for (const IndexEntry& e : index_) {
+    iw.PutBytes(e.last_key);
+    iw.PutU64(e.offset);
+    iw.PutU64(e.length);
+  }
+  Bytes index_block = iw.Take();
+  uint64_t index_off = file_.size();
+  AppendBlockWithCrc(&file_, index_block);
+
+  // Footer.
+  BufferWriter fw;
+  fw.PutU64(index_off);
+  fw.PutU64(index_block.size());
+  fw.PutU64(bloom_off);
+  fw.PutU64(bloom_block.size());
+  fw.PutU64(entry_count_);
+  fw.PutU64(kSsTableMagic);
+  const Bytes& footer = fw.data();
+  file_.insert(file_.end(), footer.begin(), footer.end());
+
+  RETURN_IF_ERROR(WriteFile(path, file_));
+  return entry_count_;
+}
+
+// ------------------------------------------------------------------ reader --
+
+SsTable::~SsTable() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<SsTable>> SsTable::Open(const std::string& path, uint64_t file_number,
+                                               BlockCache* cache) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open SSTable: " + path);
+  }
+  auto table = std::unique_ptr<SsTable>(new SsTable());
+  table->file_ = f;
+  table->file_number_ = file_number;
+  table->cache_ = cache;
+
+  // Footer.
+  if (std::fseek(f, -48, SEEK_END) != 0) {
+    return Status::Corruption("SSTable too small: " + path);
+  }
+  uint8_t footer[48];
+  if (std::fread(footer, 1, 48, f) != 48) {
+    return Status::Corruption("cannot read SSTable footer: " + path);
+  }
+  BufferReader fr(ConstByteSpan(footer, 48));
+  uint64_t index_off, index_len, bloom_off, bloom_len, entries, magic;
+  CHECK_OK(fr.GetU64(&index_off));
+  CHECK_OK(fr.GetU64(&index_len));
+  CHECK_OK(fr.GetU64(&bloom_off));
+  CHECK_OK(fr.GetU64(&bloom_len));
+  CHECK_OK(fr.GetU64(&entries));
+  CHECK_OK(fr.GetU64(&magic));
+  if (magic != kSsTableMagic) {
+    return Status::Corruption("bad SSTable magic: " + path);
+  }
+  table->entry_count_ = entries;
+
+  ASSIGN_OR_RETURN(Bytes bloom_block, table->ReadBlock(bloom_off, bloom_len));
+  table->bloom_ = BloomFilter::Deserialize(bloom_block);
+
+  ASSIGN_OR_RETURN(Bytes index_block, table->ReadBlock(index_off, index_len));
+  BufferReader ir(index_block);
+  while (!ir.AtEnd()) {
+    IndexEntry e;
+    RETURN_IF_ERROR(ir.GetBytes(&e.last_key));
+    RETURN_IF_ERROR(ir.GetU64(&e.offset));
+    RETURN_IF_ERROR(ir.GetU64(&e.length));
+    table->index_.push_back(std::move(e));
+  }
+  return table;
+}
+
+Result<Bytes> SsTable::ReadBlock(uint64_t offset, uint64_t length) const {
+  if (cache_ != nullptr) {
+    auto cached = cache_->Lookup(file_number_, offset);
+    if (cached != nullptr) {
+      return *cached;
+    }
+  }
+  Bytes block(length + 4);
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(block.data(), 1, block.size(), file_) != block.size()) {
+    return Status::IOError("SSTable block read failed");
+  }
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(block[length + i]) << (8 * i);
+  }
+  block.resize(length);
+  if (MaskCrc(Crc32c(block)) != stored) {
+    return Status::Corruption("SSTable block checksum mismatch");
+  }
+  if (cache_ != nullptr) {
+    cache_->Insert(file_number_, offset, block);
+  }
+  return block;
+}
+
+Status SsTable::ParseBlock(ConstByteSpan block, std::vector<KvRecord>* records) {
+  records->clear();
+  BufferReader r(block);
+  while (!r.AtEnd()) {
+    KvRecord rec;
+    uint8_t type = 0;
+    RETURN_IF_ERROR(r.GetBytes(&rec.key));
+    RETURN_IF_ERROR(r.GetU64(&rec.seq));
+    RETURN_IF_ERROR(r.GetU8(&type));
+    if (type > static_cast<uint8_t>(ValueType::kDelete)) {
+      return Status::Corruption("bad record type in block");
+    }
+    rec.type = static_cast<ValueType>(type);
+    RETURN_IF_ERROR(r.GetBytes(&rec.value));
+    records->push_back(std::move(rec));
+  }
+  return Status::Ok();
+}
+
+size_t SsTable::FindBlockFor(ConstByteSpan key) const {
+  Bytes k(key.begin(), key.end());
+  size_t lo = 0, hi = index_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (index_[mid].last_key < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Status SsTable::Get(ConstByteSpan key, uint64_t snapshot_seq, Bytes* value, bool* found,
+                    bool* tombstone) const {
+  *found = false;
+  *tombstone = false;
+  if (!bloom_.MayContain(key)) {
+    return Status::NotFound("bloom miss");
+  }
+  size_t bi = FindBlockFor(key);
+  Bytes k(key.begin(), key.end());
+  // Versions of one key may straddle a block boundary; scan forward.
+  for (; bi < index_.size(); ++bi) {
+    ASSIGN_OR_RETURN(Bytes block, ReadBlock(index_[bi].offset, index_[bi].length));
+    std::vector<KvRecord> records;
+    RETURN_IF_ERROR(ParseBlock(block, &records));
+    for (const KvRecord& rec : records) {
+      if (rec.key < k) {
+        continue;
+      }
+      if (rec.key > k) {
+        return *found ? Status::Ok() : Status::NotFound("key absent");
+      }
+      if (rec.seq > snapshot_seq) {
+        continue;  // too new for this snapshot
+      }
+      *found = true;
+      if (rec.type == ValueType::kDelete) {
+        *tombstone = true;
+        return Status::NotFound("tombstone");
+      }
+      *value = rec.value;
+      return Status::Ok();
+    }
+  }
+  return *found ? Status::Ok() : Status::NotFound("key absent");
+}
+
+// ---------------------------------------------------------------- iterator --
+
+bool SsTable::Iterator::LoadBlock(size_t block_idx) {
+  if (block_idx >= table_->index_.size()) {
+    valid_ = false;
+    return false;
+  }
+  auto block = table_->ReadBlock(table_->index_[block_idx].offset,
+                                 table_->index_[block_idx].length);
+  if (!block.ok() || !ParseBlock(block.value(), &block_records_).ok() ||
+      block_records_.empty()) {
+    valid_ = false;
+    return false;
+  }
+  block_idx_ = block_idx;
+  pos_in_block_ = 0;
+  current_ = block_records_[0];
+  valid_ = true;
+  return true;
+}
+
+void SsTable::Iterator::SeekToFirst() { LoadBlock(0); }
+
+void SsTable::Iterator::Seek(ConstByteSpan target) {
+  size_t bi = table_->FindBlockFor(target);
+  if (!LoadBlock(bi)) {
+    return;
+  }
+  Bytes t(target.begin(), target.end());
+  while (valid_ && current_.key < t) {
+    Next();
+  }
+}
+
+void SsTable::Iterator::Next() {
+  DCHECK(valid_);
+  ++pos_in_block_;
+  if (pos_in_block_ < block_records_.size()) {
+    current_ = block_records_[pos_in_block_];
+    return;
+  }
+  LoadBlock(block_idx_ + 1);
+}
+
+}  // namespace cdstore

@@ -1,0 +1,354 @@
+#include "src/net/message.h"
+
+#include "src/util/io.h"
+
+namespace cdstore {
+
+namespace {
+
+BufferWriter Begin(MsgType type) {
+  BufferWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  return w;
+}
+
+Status CheckType(BufferReader* r, MsgType expect) {
+  uint8_t t = 0;
+  RETURN_IF_ERROR(r->GetU8(&t));
+  if (t != static_cast<uint8_t>(expect)) {
+    return Status::InvalidArgument("unexpected message type");
+  }
+  return Status::Ok();
+}
+
+void PutFpList(BufferWriter* w, const std::vector<Fingerprint>& fps) {
+  w->PutVarint(fps.size());
+  for (const Fingerprint& fp : fps) {
+    w->PutBytes(fp);
+  }
+}
+
+Status GetFpList(BufferReader* r, std::vector<Fingerprint>* fps) {
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r->GetVarint(&count));
+  if (count > r->remaining()) {
+    return Status::Corruption("fp count exceeds frame");
+  }
+  fps->clear();
+  fps->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Fingerprint fp;
+    RETURN_IF_ERROR(r->GetBytes(&fp));
+    fps->push_back(std::move(fp));
+  }
+  return Status::Ok();
+}
+
+void PutBlobList(BufferWriter* w, const std::vector<Bytes>& blobs) {
+  w->PutVarint(blobs.size());
+  for (const Bytes& b : blobs) {
+    w->PutBytes(b);
+  }
+}
+
+Status GetBlobList(BufferReader* r, std::vector<Bytes>* blobs) {
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r->GetVarint(&count));
+  if (count > r->remaining()) {
+    return Status::Corruption("blob count exceeds frame");
+  }
+  blobs->clear();
+  blobs->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Bytes b;
+    RETURN_IF_ERROR(r->GetBytes(&b));
+    blobs->push_back(std::move(b));
+  }
+  return Status::Ok();
+}
+
+void PutRecipe(BufferWriter* w, const std::vector<RecipeEntry>& recipe) {
+  w->PutVarint(recipe.size());
+  for (const RecipeEntry& e : recipe) {
+    w->PutBytes(e.fp);
+    w->PutU32(e.secret_size);
+    w->PutU32(e.share_size);
+  }
+}
+
+Status GetRecipe(BufferReader* r, std::vector<RecipeEntry>* recipe) {
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r->GetVarint(&count));
+  if (count > r->remaining()) {
+    return Status::Corruption("recipe count exceeds frame");
+  }
+  recipe->clear();
+  recipe->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RecipeEntry e;
+    RETURN_IF_ERROR(r->GetBytes(&e.fp));
+    RETURN_IF_ERROR(r->GetU32(&e.secret_size));
+    RETURN_IF_ERROR(r->GetU32(&e.share_size));
+    recipe->push_back(std::move(e));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+MsgType PeekType(ConstByteSpan frame) {
+  if (frame.empty()) {
+    return MsgType::kError;
+  }
+  return static_cast<MsgType>(frame[0]);
+}
+
+// ---- FpQuery --------------------------------------------------------------
+
+Bytes Encode(const FpQueryRequest& m) {
+  BufferWriter w = Begin(MsgType::kFpQueryRequest);
+  w.PutU64(m.user);
+  PutFpList(&w, m.fps);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, FpQueryRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kFpQueryRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  return GetFpList(&r, &m->fps);
+}
+
+Bytes Encode(const FpQueryReply& m) {
+  BufferWriter w = Begin(MsgType::kFpQueryReply);
+  w.PutBytes(m.duplicate);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, FpQueryReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kFpQueryReply));
+  return r.GetBytes(&m->duplicate);
+}
+
+// ---- UploadShares ----------------------------------------------------------
+
+Bytes Encode(const UploadSharesRequest& m) {
+  BufferWriter w = Begin(MsgType::kUploadSharesRequest);
+  w.PutU64(m.user);
+  PutBlobList(&w, m.shares);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, UploadSharesRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kUploadSharesRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  return GetBlobList(&r, &m->shares);
+}
+
+Bytes Encode(const UploadSharesReply& m) {
+  BufferWriter w = Begin(MsgType::kUploadSharesReply);
+  w.PutU32(m.stored);
+  w.PutU32(m.deduplicated);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, UploadSharesReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kUploadSharesReply));
+  RETURN_IF_ERROR(r.GetU32(&m->stored));
+  return r.GetU32(&m->deduplicated);
+}
+
+// ---- PutFile ---------------------------------------------------------------
+
+Bytes Encode(const PutFileRequest& m) {
+  BufferWriter w = Begin(MsgType::kPutFileRequest);
+  w.PutU64(m.user);
+  w.PutBytes(m.path_key);
+  w.PutU64(m.file_size);
+  PutRecipe(&w, m.recipe);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, PutFileRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kPutFileRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  RETURN_IF_ERROR(r.GetBytes(&m->path_key));
+  RETURN_IF_ERROR(r.GetU64(&m->file_size));
+  return GetRecipe(&r, &m->recipe);
+}
+
+Bytes Encode(const PutFileReply&) { return Begin(MsgType::kPutFileReply).Take(); }
+
+Status Decode(ConstByteSpan frame, PutFileReply*) {
+  BufferReader r(frame);
+  return CheckType(&r, MsgType::kPutFileReply);
+}
+
+// ---- GetFile ---------------------------------------------------------------
+
+Bytes Encode(const GetFileRequest& m) {
+  BufferWriter w = Begin(MsgType::kGetFileRequest);
+  w.PutU64(m.user);
+  w.PutBytes(m.path_key);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, GetFileRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGetFileRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  return r.GetBytes(&m->path_key);
+}
+
+Bytes Encode(const GetFileReply& m) {
+  BufferWriter w = Begin(MsgType::kGetFileReply);
+  w.PutU64(m.file_size);
+  PutRecipe(&w, m.recipe);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, GetFileReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGetFileReply));
+  RETURN_IF_ERROR(r.GetU64(&m->file_size));
+  return GetRecipe(&r, &m->recipe);
+}
+
+// ---- GetShares -------------------------------------------------------------
+
+Bytes Encode(const GetSharesRequest& m) {
+  BufferWriter w = Begin(MsgType::kGetSharesRequest);
+  w.PutU64(m.user);
+  PutFpList(&w, m.fps);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, GetSharesRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGetSharesRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  return GetFpList(&r, &m->fps);
+}
+
+Bytes Encode(const GetSharesReply& m) {
+  BufferWriter w = Begin(MsgType::kGetSharesReply);
+  PutBlobList(&w, m.shares);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, GetSharesReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGetSharesReply));
+  return GetBlobList(&r, &m->shares);
+}
+
+// ---- DeleteFile ------------------------------------------------------------
+
+Bytes Encode(const DeleteFileRequest& m) {
+  BufferWriter w = Begin(MsgType::kDeleteFileRequest);
+  w.PutU64(m.user);
+  w.PutBytes(m.path_key);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, DeleteFileRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kDeleteFileRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  return r.GetBytes(&m->path_key);
+}
+
+Bytes Encode(const DeleteFileReply& m) {
+  BufferWriter w = Begin(MsgType::kDeleteFileReply);
+  w.PutU32(m.shares_orphaned);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, DeleteFileReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kDeleteFileReply));
+  return r.GetU32(&m->shares_orphaned);
+}
+
+// ---- Stats -----------------------------------------------------------------
+
+Bytes Encode(const StatsRequest&) { return Begin(MsgType::kStatsRequest).Take(); }
+
+Status Decode(ConstByteSpan frame, StatsRequest*) {
+  BufferReader r(frame);
+  return CheckType(&r, MsgType::kStatsRequest);
+}
+
+Bytes Encode(const StatsReply& m) {
+  BufferWriter w = Begin(MsgType::kStatsReply);
+  w.PutU64(m.unique_shares);
+  w.PutU64(m.stored_bytes);
+  w.PutU64(m.container_count);
+  w.PutU64(m.file_count);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, StatsReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kStatsReply));
+  RETURN_IF_ERROR(r.GetU64(&m->unique_shares));
+  RETURN_IF_ERROR(r.GetU64(&m->stored_bytes));
+  RETURN_IF_ERROR(r.GetU64(&m->container_count));
+  return r.GetU64(&m->file_count);
+}
+
+// ---- GC --------------------------------------------------------------------
+
+Bytes Encode(const GcRequest&) { return Begin(MsgType::kGcRequest).Take(); }
+
+Status Decode(ConstByteSpan frame, GcRequest*) {
+  BufferReader r(frame);
+  return CheckType(&r, MsgType::kGcRequest);
+}
+
+Bytes Encode(const GcReply& m) {
+  BufferWriter w = Begin(MsgType::kGcReply);
+  w.PutU64(m.containers_scanned);
+  w.PutU64(m.containers_rewritten);
+  w.PutU64(m.bytes_reclaimed);
+  w.PutU64(m.live_shares_moved);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, GcReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGcReply));
+  RETURN_IF_ERROR(r.GetU64(&m->containers_scanned));
+  RETURN_IF_ERROR(r.GetU64(&m->containers_rewritten));
+  RETURN_IF_ERROR(r.GetU64(&m->bytes_reclaimed));
+  return r.GetU64(&m->live_shares_moved);
+}
+
+// ---- errors ----------------------------------------------------------------
+
+Bytes EncodeError(const Status& status) {
+  BufferWriter w = Begin(MsgType::kError);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+Status DecodeIfError(ConstByteSpan frame) {
+  if (PeekType(frame) != MsgType::kError) {
+    return Status::Ok();
+  }
+  BufferReader r(frame);
+  uint8_t type = 0;
+  uint8_t code = 0;
+  std::string message;
+  RETURN_IF_ERROR(r.GetU8(&type));
+  RETURN_IF_ERROR(r.GetU8(&code));
+  RETURN_IF_ERROR(r.GetString(&message));
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+}  // namespace cdstore

@@ -1,0 +1,167 @@
+// The CDStore client <-> server wire protocol. One request/reply pair per
+// interaction of §3.3/§4:
+//
+//   FpQuery       intra-user dedup check ("which of these shares have I
+//                 already uploaded?")
+//   UploadShares  4MB batches of unique shares (server re-fingerprints)
+//   PutFile       finalize a file: pathname share + recipe entries
+//   GetFile       fetch recipe by pathname share
+//   GetShares     fetch shares by fingerprint
+//   DeleteFile    drop a file and its share references
+//   Stats         server-side accounting for experiments
+//
+// Every message is [u8 type][payload]; replies reuse the same enum. Errors
+// travel as a kError frame wrapping a status code + text.
+#ifndef CDSTORE_SRC_NET_MESSAGE_H_
+#define CDSTORE_SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dedup/fingerprint.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+enum class MsgType : uint8_t {
+  kError = 0,
+  kFpQueryRequest,
+  kFpQueryReply,
+  kUploadSharesRequest,
+  kUploadSharesReply,
+  kPutFileRequest,
+  kPutFileReply,
+  kGetFileRequest,
+  kGetFileReply,
+  kGetSharesRequest,
+  kGetSharesReply,
+  kDeleteFileRequest,
+  kDeleteFileReply,
+  kStatsRequest,
+  kStatsReply,
+  kGcRequest,
+  kGcReply,
+};
+
+// One secret's share within a file recipe (§4.3 share metadata).
+struct RecipeEntry {
+  Fingerprint fp;         // share fingerprint (for retrieval & dedup refs)
+  uint32_t secret_size;   // original secret size (strips CAONT padding)
+  uint32_t share_size;    // share size (sanity checks)
+};
+
+struct FpQueryRequest {
+  uint64_t user = 0;
+  std::vector<Fingerprint> fps;
+};
+struct FpQueryReply {
+  // duplicate[i] == 1 iff fps[i] is already stored *by this user*.
+  std::vector<uint8_t> duplicate;
+};
+
+struct UploadSharesRequest {
+  uint64_t user = 0;
+  std::vector<Bytes> shares;
+};
+struct UploadSharesReply {
+  uint32_t stored = 0;        // shares newly written to a container
+  uint32_t deduplicated = 0;  // shares inter-user deduplicated away
+};
+
+struct PutFileRequest {
+  uint64_t user = 0;
+  Bytes path_key;  // this cloud's share of the encoded pathname
+  uint64_t file_size = 0;
+  std::vector<RecipeEntry> recipe;
+};
+struct PutFileReply {};
+
+struct GetFileRequest {
+  uint64_t user = 0;
+  Bytes path_key;
+};
+struct GetFileReply {
+  uint64_t file_size = 0;
+  std::vector<RecipeEntry> recipe;
+};
+
+struct GetSharesRequest {
+  uint64_t user = 0;
+  std::vector<Fingerprint> fps;
+};
+struct GetSharesReply {
+  std::vector<Bytes> shares;  // same order as request
+};
+
+struct DeleteFileRequest {
+  uint64_t user = 0;
+  Bytes path_key;
+};
+struct DeleteFileReply {
+  uint32_t shares_orphaned = 0;
+};
+
+struct StatsRequest {};
+struct StatsReply {
+  uint64_t unique_shares = 0;
+  uint64_t stored_bytes = 0;      // backend bytes (containers)
+  uint64_t container_count = 0;
+  uint64_t file_count = 0;
+};
+
+// Garbage collection (§4.7, realized here): rewrites containers that hold
+// orphaned shares, reclaiming their space at the backend.
+struct GcRequest {};
+struct GcReply {
+  uint64_t containers_scanned = 0;
+  uint64_t containers_rewritten = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t live_shares_moved = 0;
+};
+
+// --- encoding ------------------------------------------------------------
+
+MsgType PeekType(ConstByteSpan frame);
+
+Bytes Encode(const FpQueryRequest& m);
+Bytes Encode(const FpQueryReply& m);
+Bytes Encode(const UploadSharesRequest& m);
+Bytes Encode(const UploadSharesReply& m);
+Bytes Encode(const PutFileRequest& m);
+Bytes Encode(const PutFileReply& m);
+Bytes Encode(const GetFileRequest& m);
+Bytes Encode(const GetFileReply& m);
+Bytes Encode(const GetSharesRequest& m);
+Bytes Encode(const GetSharesReply& m);
+Bytes Encode(const DeleteFileRequest& m);
+Bytes Encode(const DeleteFileReply& m);
+Bytes Encode(const StatsRequest& m);
+Bytes Encode(const StatsReply& m);
+Bytes Encode(const GcRequest& m);
+Bytes Encode(const GcReply& m);
+// Errors are status objects on the wire.
+Bytes EncodeError(const Status& status);
+
+Status Decode(ConstByteSpan frame, FpQueryRequest* m);
+Status Decode(ConstByteSpan frame, FpQueryReply* m);
+Status Decode(ConstByteSpan frame, UploadSharesRequest* m);
+Status Decode(ConstByteSpan frame, UploadSharesReply* m);
+Status Decode(ConstByteSpan frame, PutFileRequest* m);
+Status Decode(ConstByteSpan frame, PutFileReply* m);
+Status Decode(ConstByteSpan frame, GetFileRequest* m);
+Status Decode(ConstByteSpan frame, GetFileReply* m);
+Status Decode(ConstByteSpan frame, GetSharesRequest* m);
+Status Decode(ConstByteSpan frame, GetSharesReply* m);
+Status Decode(ConstByteSpan frame, DeleteFileRequest* m);
+Status Decode(ConstByteSpan frame, DeleteFileReply* m);
+Status Decode(ConstByteSpan frame, StatsRequest* m);
+Status Decode(ConstByteSpan frame, StatsReply* m);
+Status Decode(ConstByteSpan frame, GcRequest* m);
+Status Decode(ConstByteSpan frame, GcReply* m);
+// If `frame` is a kError message, returns the carried status; OK otherwise.
+Status DecodeIfError(ConstByteSpan frame);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_NET_MESSAGE_H_

@@ -1,0 +1,189 @@
+#include "src/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+bool WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n <= 0) {
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, ConstByteSpan frame) {
+  uint8_t hdr[4];
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) {
+    hdr[i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  return WriteAll(fd, hdr, 4) && WriteAll(fd, frame.data(), frame.size());
+}
+
+bool ReadFrame(int fd, Bytes* frame) {
+  uint8_t hdr[4];
+  if (!ReadAll(fd, hdr, 4)) {
+    return false;
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(hdr[i]) << (8 * i);
+  }
+  if (len > (64u << 20)) {
+    return false;  // frame cap: 64MB
+  }
+  frame->resize(len);
+  return len == 0 || ReadAll(fd, frame->data(), len);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(int fd, int port, RpcHandler handler)
+    : listen_fd_(fd), port_(port), handler_(std::move(handler)) {
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Listen(int port, RpcHandler handler) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("bind() failed");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IOError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  int bound_port = ntohs(addr.sin_port);
+  return std::unique_ptr<TcpServer>(new TcpServer(fd, bound_port, std::move(handler)));
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_) {
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_) {
+        break;
+      }
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(conn);
+    conn_threads_.emplace_back([this, conn]() { ServeConnection(conn); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  Bytes request;
+  while (!stopping_ && ReadFrame(fd, &request)) {
+    Bytes reply = handler_(request);
+    if (!WriteFrame(fd, reply)) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  // Kick connection threads out of blocking recv() even if clients are
+  // still connected; ServeConnection closes the fds on exit.
+  for (int fd : conn_fds_) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect() failed to " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+}
+
+Result<Bytes> TcpTransport::Call(ConstByteSpan request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!WriteFrame(fd_, request)) {
+    return Status::Unavailable("send failed");
+  }
+  Bytes reply;
+  if (!ReadFrame(fd_, &reply)) {
+    return Status::Unavailable("recv failed");
+  }
+  return reply;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,61 @@
+// TCP realization of the RPC protocol: [u32 length][frame] in both
+// directions over a persistent connection. The server accepts connections
+// on a background thread and serves each on its own thread, mirroring the
+// multi-threaded communication modules of §4.6.
+#ifndef CDSTORE_SRC_NET_TCP_H_
+#define CDSTORE_SRC_NET_TCP_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+class TcpServer {
+ public:
+  ~TcpServer();
+
+  // Binds to 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  static Result<std::unique_ptr<TcpServer>> Listen(int port, RpcHandler handler);
+
+  int port() const { return port_; }
+  void Stop();
+
+ private:
+  TcpServer(int fd, int port, RpcHandler handler);
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int listen_fd_;
+  int port_;
+  RpcHandler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  // open connections; shut down on Stop()
+};
+
+class TcpTransport : public Transport {
+ public:
+  ~TcpTransport() override;
+
+  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host, int port);
+
+  Result<Bytes> Call(ConstByteSpan request) override;
+
+ private:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  int fd_;
+  std::mutex mu_;  // serialize request/reply pairs on the connection
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_NET_TCP_H_

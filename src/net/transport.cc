@@ -1,0 +1,35 @@
+#include "src/net/transport.h"
+
+namespace cdstore {
+
+InProcTransport::InProcTransport(RpcHandler handler, RateLimiter* uplink, RateLimiter* downlink)
+    : handler_(std::move(handler)) {
+  if (uplink != nullptr) {
+    uplinks_.push_back(uplink);
+  }
+  if (downlink != nullptr) {
+    downlinks_.push_back(downlink);
+  }
+}
+
+InProcTransport::InProcTransport(RpcHandler handler, std::vector<RateLimiter*> uplinks,
+                                 std::vector<RateLimiter*> downlinks)
+    : handler_(std::move(handler)), uplinks_(std::move(uplinks)), downlinks_(std::move(downlinks)) {}
+
+Result<Bytes> InProcTransport::Call(ConstByteSpan request) {
+  if (!connected_) {
+    return Status::Unavailable("transport disconnected");
+  }
+  for (RateLimiter* l : uplinks_) {
+    l->Acquire(request.size());
+  }
+  bytes_sent_ += request.size();
+  Bytes reply = handler_(request);
+  for (RateLimiter* l : downlinks_) {
+    l->Acquire(reply.size());
+  }
+  bytes_received_ += reply.size();
+  return reply;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,61 @@
+// Synchronous request/reply transports between a CDStore client and one
+// CDStore server. The in-process transport models the paper's testbeds by
+// charging request/reply bytes against upload/download rate limiters; the
+// TCP transport runs the same protocol over real sockets (loopback or LAN).
+#ifndef CDSTORE_SRC_NET_TRANSPORT_H_
+#define CDSTORE_SRC_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/rate_limiter.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+// Server-side dispatch: full request frame in, full reply frame out.
+using RpcHandler = std::function<Bytes(ConstByteSpan)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  // Sends a request frame, blocks for the reply frame.
+  virtual Result<Bytes> Call(ConstByteSpan request) = 0;
+};
+
+// Direct function-call transport with optional bandwidth emulation.
+// Request bytes are charged to every `uplink`, reply bytes to every
+// `downlink` (e.g. the client NIC and the per-cloud Internet path both
+// gate an upload). Limiters are borrowed, not owned, so several
+// transports can share one physical link.
+class InProcTransport : public Transport {
+ public:
+  explicit InProcTransport(RpcHandler handler, RateLimiter* uplink = nullptr,
+                           RateLimiter* downlink = nullptr);
+  InProcTransport(RpcHandler handler, std::vector<RateLimiter*> uplinks,
+                  std::vector<RateLimiter*> downlinks);
+
+  Result<Bytes> Call(ConstByteSpan request) override;
+
+  // Failure injection: a disconnected transport fails every call — the
+  // cloud (or its co-located VM) is unreachable (§3.1).
+  void set_connected(bool connected) { connected_ = connected; }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  RpcHandler handler_;
+  std::vector<RateLimiter*> uplinks_;
+  std::vector<RateLimiter*> downlinks_;
+  std::atomic<bool> connected_{true};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_NET_TRANSPORT_H_

@@ -1,0 +1,170 @@
+#include "src/rs/reed_solomon.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/gf256/gf256.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+ReedSolomon::ReedSolomon(int n, int k)
+    : n_(n), k_(k), matrix_(Gf256Matrix::ExtendedCauchy(n, k)) {
+  CHECK_GT(k, 0);
+  CHECK_GT(n, k);
+  CHECK_LE(n, 256);
+}
+
+namespace {
+
+Status CheckShardSizes(const std::vector<Bytes>& shards) {
+  for (size_t i = 1; i < shards.size(); ++i) {
+    if (shards[i].size() != shards[0].size()) {
+      return Status::InvalidArgument("shards have unequal sizes");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReedSolomon::EncodeParity(const std::vector<Bytes>& data_shards,
+                                 std::vector<Bytes>* parity_shards) const {
+  if (static_cast<int>(data_shards.size()) != k_) {
+    return Status::InvalidArgument("expected k data shards");
+  }
+  RETURN_IF_ERROR(CheckShardSizes(data_shards));
+  size_t shard_size = data_shards[0].size();
+  parity_shards->assign(n_ - k_, Bytes(shard_size, 0));
+  for (int p = 0; p < n_ - k_; ++p) {
+    Bytes& out = (*parity_shards)[p];
+    for (int j = 0; j < k_; ++j) {
+      Gf256AddMulRegion(out, data_shards[j], matrix_.At(k_ + p, j));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReedSolomon::Encode(const std::vector<Bytes>& data_shards,
+                           std::vector<Bytes>* all_shards) const {
+  std::vector<Bytes> parity;
+  RETURN_IF_ERROR(EncodeParity(data_shards, &parity));
+  all_shards->clear();
+  all_shards->reserve(n_);
+  for (const Bytes& d : data_shards) {
+    all_shards->push_back(d);
+  }
+  for (Bytes& p : parity) {
+    all_shards->push_back(std::move(p));
+  }
+  return Status::Ok();
+}
+
+Status ReedSolomon::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shards,
+                           std::vector<Bytes>* data_shards) const {
+  if (ids.size() != shards.size()) {
+    return Status::InvalidArgument("ids/shards size mismatch");
+  }
+  if (static_cast<int>(ids.size()) < k_) {
+    return Status::InvalidArgument("need at least k shards to decode");
+  }
+  RETURN_IF_ERROR(CheckShardSizes(shards));
+  std::set<int> seen;
+  for (int id : ids) {
+    if (id < 0 || id >= n_) {
+      return Status::InvalidArgument("shard id out of range");
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("duplicate shard id");
+    }
+  }
+  size_t shard_size = shards.empty() ? 0 : shards[0].size();
+
+  // Fast path: if the first k data shards are all present, copy them out.
+  std::vector<int> pos_of_id(n_, -1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    pos_of_id[ids[i]] = static_cast<int>(i);
+  }
+  bool all_data_present = true;
+  for (int j = 0; j < k_; ++j) {
+    if (pos_of_id[j] < 0) {
+      all_data_present = false;
+      break;
+    }
+  }
+  data_shards->clear();
+  if (all_data_present) {
+    for (int j = 0; j < k_; ++j) {
+      data_shards->push_back(shards[pos_of_id[j]]);
+    }
+    return Status::Ok();
+  }
+
+  // General path: take the first k available shards, invert the
+  // corresponding k x k submatrix of the generator matrix.
+  std::vector<int> use_ids(ids.begin(), ids.begin() + k_);
+  Gf256Matrix sub = matrix_.SelectRows(use_ids);
+  ASSIGN_OR_RETURN(Gf256Matrix inv, sub.Invert());
+  data_shards->assign(k_, Bytes(shard_size, 0));
+  for (int row = 0; row < k_; ++row) {
+    Bytes& out = (*data_shards)[row];
+    for (int col = 0; col < k_; ++col) {
+      Gf256AddMulRegion(out, shards[col], inv.At(row, col));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReedSolomon::Repair(const std::vector<int>& ids, const std::vector<Bytes>& shards,
+                           const std::vector<int>& targets, std::vector<Bytes>* rebuilt) const {
+  std::vector<Bytes> data;
+  RETURN_IF_ERROR(Decode(ids, shards, &data));
+  rebuilt->clear();
+  rebuilt->reserve(targets.size());
+  for (int t : targets) {
+    if (t < 0 || t >= n_) {
+      return Status::InvalidArgument("repair target out of range");
+    }
+    if (t < k_) {
+      rebuilt->push_back(data[t]);
+      continue;
+    }
+    Bytes out(data[0].size(), 0);
+    for (int j = 0; j < k_; ++j) {
+      Gf256AddMulRegion(out, data[j], matrix_.At(t, j));
+    }
+    rebuilt->push_back(std::move(out));
+  }
+  return Status::Ok();
+}
+
+std::vector<Bytes> SplitIntoShards(ConstByteSpan data, int k) {
+  CHECK_GT(k, 0);
+  size_t shard_size = (data.size() + k - 1) / k;
+  if (shard_size == 0) {
+    shard_size = 1;  // allow empty secrets: k shards of one zero byte
+  }
+  std::vector<Bytes> shards(k, Bytes(shard_size, 0));
+  for (int i = 0; i < k; ++i) {
+    size_t begin = static_cast<size_t>(i) * shard_size;
+    if (begin >= data.size()) {
+      break;
+    }
+    size_t len = std::min(shard_size, data.size() - begin);
+    std::copy(data.begin() + begin, data.begin() + begin + len, shards[i].begin());
+  }
+  return shards;
+}
+
+Bytes JoinShards(const std::vector<Bytes>& shards, size_t original_size) {
+  Bytes out;
+  out.reserve(shards.size() * (shards.empty() ? 0 : shards[0].size()));
+  for (const Bytes& s : shards) {
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  CHECK_LE(original_size, out.size());
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,57 @@
+// Systematic (n, k) Reed-Solomon erasure coding over GF(2^8), built on an
+// extended-Cauchy generator matrix (any k of the n shards reconstruct the
+// data; the first k shards are the data itself). This is the RS stage of
+// CAONT-RS (§3.2) and the IDA of Rabin/RSSS/SSMS (§2).
+#ifndef CDSTORE_SRC_RS_REED_SOLOMON_H_
+#define CDSTORE_SRC_RS_REED_SOLOMON_H_
+
+#include <vector>
+
+#include "src/gf256/matrix.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+class ReedSolomon {
+ public:
+  // Requires 0 < k < n <= 256.
+  ReedSolomon(int n, int k);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  const Gf256Matrix& matrix() const { return matrix_; }
+
+  // Encodes k equal-size data shards into n shards (first k are copies of
+  // the data shards — systematic code).
+  Status Encode(const std::vector<Bytes>& data_shards, std::vector<Bytes>* all_shards) const;
+
+  // Computes only the n-k parity shards for the given data shards.
+  Status EncodeParity(const std::vector<Bytes>& data_shards,
+                      std::vector<Bytes>* parity_shards) const;
+
+  // Reconstructs the k data shards from any k (or more) shards.
+  // ids[i] is the shard index (0..n-1) of shards[i]; ids must be distinct.
+  Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shards,
+                std::vector<Bytes>* data_shards) const;
+
+  // Rebuilds the shards listed in `targets` (e.g. shards lost to a failed
+  // cloud) from any k available shards.
+  Status Repair(const std::vector<int>& ids, const std::vector<Bytes>& shards,
+                const std::vector<int>& targets, std::vector<Bytes>* rebuilt) const;
+
+ private:
+  int n_;
+  int k_;
+  Gf256Matrix matrix_;  // n x k extended-Cauchy
+};
+
+// Splits `data` into k equal shards, zero-padding the tail shard.
+std::vector<Bytes> SplitIntoShards(ConstByteSpan data, int k);
+
+// Concatenates shards and trims to `original_size`.
+Bytes JoinShards(const std::vector<Bytes>& shards, size_t original_size);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_RS_REED_SOLOMON_H_

@@ -1,0 +1,82 @@
+#include "src/storage/backend.h"
+
+#include "src/util/fs_util.h"
+
+namespace cdstore {
+
+Result<std::unique_ptr<LocalDirBackend>> LocalDirBackend::Open(const std::string& dir) {
+  RETURN_IF_ERROR(CreateDirs(dir));
+  return std::unique_ptr<LocalDirBackend>(new LocalDirBackend(dir));
+}
+
+Status LocalDirBackend::Put(const std::string& name, ConstByteSpan data) {
+  return WriteFile(dir_ + "/" + name, data);
+}
+
+Result<Bytes> LocalDirBackend::Get(const std::string& name) {
+  return ReadFileBytes(dir_ + "/" + name);
+}
+
+Status LocalDirBackend::Delete(const std::string& name) {
+  return RemoveFile(dir_ + "/" + name);
+}
+
+Result<std::vector<std::string>> LocalDirBackend::List() { return ListDir(dir_); }
+
+bool LocalDirBackend::Exists(const std::string& name) {
+  return FileExists(dir_ + "/" + name);
+}
+
+Status MemBackend::Put(const std::string& name, ConstByteSpan data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[name] = Bytes(data.begin(), data.end());
+  return Status::Ok();
+}
+
+Result<Bytes> MemBackend::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Status::NotFound("object absent: " + name);
+  }
+  return it->second;
+}
+
+Status MemBackend::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.erase(name) == 0) {
+    return Status::NotFound("object absent: " + name);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> MemBackend::List() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, data] : objects_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool MemBackend::Exists(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(name) > 0;
+}
+
+uint64_t MemBackend::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, data] : objects_) {
+    total += data.size();
+  }
+  return total;
+}
+
+uint64_t MemBackend::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+}  // namespace cdstore

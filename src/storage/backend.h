@@ -1,0 +1,65 @@
+// Storage backend abstraction: the object store a CDStore server writes
+// containers to. Implementations: a local directory (the paper's LAN
+// testbed mounts a disk), an in-memory map (tests), and SimCloud
+// (src/cloud) which wraps either with bandwidth/latency/failure models.
+#ifndef CDSTORE_SRC_STORAGE_BACKEND_H_
+#define CDSTORE_SRC_STORAGE_BACKEND_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual Status Put(const std::string& name, ConstByteSpan data) = 0;
+  virtual Result<Bytes> Get(const std::string& name) = 0;
+  virtual Status Delete(const std::string& name) = 0;
+  virtual Result<std::vector<std::string>> List() = 0;
+  virtual bool Exists(const std::string& name) = 0;
+};
+
+// Directory-backed object store. Object names must be path-safe.
+class LocalDirBackend : public StorageBackend {
+ public:
+  static Result<std::unique_ptr<LocalDirBackend>> Open(const std::string& dir);
+
+  Status Put(const std::string& name, ConstByteSpan data) override;
+  Result<Bytes> Get(const std::string& name) override;
+  Status Delete(const std::string& name) override;
+  Result<std::vector<std::string>> List() override;
+  bool Exists(const std::string& name) override;
+
+ private:
+  explicit LocalDirBackend(std::string dir) : dir_(std::move(dir)) {}
+  std::string dir_;
+};
+
+// In-memory object store for tests and simulations. Thread-safe.
+class MemBackend : public StorageBackend {
+ public:
+  Status Put(const std::string& name, ConstByteSpan data) override;
+  Result<Bytes> Get(const std::string& name) override;
+  Status Delete(const std::string& name) override;
+  Result<std::vector<std::string>> List() override;
+  bool Exists(const std::string& name) override;
+
+  uint64_t total_bytes() const;
+  uint64_t object_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bytes> objects_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_STORAGE_BACKEND_H_

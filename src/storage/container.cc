@@ -1,0 +1,103 @@
+#include "src/storage/container.h"
+
+#include <cstdio>
+
+#include "src/util/crc32c.h"
+#include "src/util/io.h"
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+uint32_t ContainerBuilder::Add(ConstByteSpan blob) {
+  offsets_.push_back(static_cast<uint32_t>(payload_.size()));
+  lengths_.push_back(static_cast<uint32_t>(blob.size()));
+  payload_.insert(payload_.end(), blob.begin(), blob.end());
+  return count() - 1;
+}
+
+Result<ConstByteSpan> ContainerBuilder::BlobAt(uint32_t index) const {
+  if (index >= lengths_.size()) {
+    return Status::InvalidArgument("open-container blob index out of range");
+  }
+  return ConstByteSpan(payload_.data() + offsets_[index], lengths_[index]);
+}
+
+Bytes ContainerBuilder::Seal() {
+  BufferWriter w(payload_.size() + 16 + 8 * lengths_.size());
+  w.PutU32(kContainerMagic);
+  w.PutU32(count());
+  w.PutRaw(payload_);
+  for (size_t i = 0; i < lengths_.size(); ++i) {
+    w.PutU32(offsets_[i]);
+    w.PutU32(lengths_[i]);
+  }
+  Bytes image = w.Take();
+  uint32_t crc = MaskCrc(Crc32c(image));
+  for (int i = 0; i < 4; ++i) {
+    image.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  payload_.clear();
+  offsets_.clear();
+  lengths_.clear();
+  return image;
+}
+
+Result<ContainerReader> ContainerReader::Parse(Bytes image) {
+  if (image.size() < 12) {
+    return Status::Corruption("container too small");
+  }
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(image[image.size() - 4 + i]) << (8 * i);
+  }
+  ConstByteSpan body(image.data(), image.size() - 4);
+  if (MaskCrc(Crc32c(body)) != stored) {
+    return Status::Corruption("container checksum mismatch");
+  }
+  ContainerReader reader;
+  reader.image_ = std::move(image);
+
+  BufferReader r(ConstByteSpan(reader.image_.data(), reader.image_.size() - 4));
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kContainerMagic) {
+    return Status::Corruption("bad container magic");
+  }
+  RETURN_IF_ERROR(r.GetU32(&count));
+  size_t table_size = static_cast<size_t>(count) * 8;
+  if (r.remaining() < table_size) {
+    return Status::Corruption("container entry table truncated");
+  }
+  size_t payload_size = r.remaining() - table_size;
+  size_t payload_base = 8;
+  RETURN_IF_ERROR(r.Skip(payload_size));
+  reader.entries_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    RETURN_IF_ERROR(r.GetU32(&e.offset));
+    RETURN_IF_ERROR(r.GetU32(&e.length));
+    if (static_cast<size_t>(e.offset) + e.length > payload_size) {
+      return Status::Corruption("container entry out of bounds");
+    }
+    e.offset += static_cast<uint32_t>(payload_base);
+    reader.entries_.push_back(e);
+  }
+  return reader;
+}
+
+Result<ConstByteSpan> ContainerReader::Blob(uint32_t index) const {
+  if (index >= entries_.size()) {
+    return Status::InvalidArgument("blob index out of range");
+  }
+  const Entry& e = entries_[index];
+  return ConstByteSpan(image_.data() + e.offset, e.length);
+}
+
+std::string ContainerObjectName(const std::string& kind_prefix, uint64_t container_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(container_id));
+  return kind_prefix + buf;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,70 @@
+// Container format (§4.5): unique shares (or file recipes) are packed into
+// ~4MB containers before hitting the storage backend, amortizing object-
+// store I/O and preserving per-user spatial locality.
+//
+// Layout: [magic u32][count u32] [blob_0]...[blob_{n-1}]
+//         [offset table: (offset u32, length u32) x count] [crc32c u32]
+#ifndef CDSTORE_SRC_STORAGE_CONTAINER_H_
+#define CDSTORE_SRC_STORAGE_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+inline constexpr uint32_t kContainerMagic = 0xCD57C041;
+inline constexpr size_t kDefaultContainerCapacity = 4 << 20;  // 4MB (§4.5)
+
+// Accumulates blobs until sealed.
+class ContainerBuilder {
+ public:
+  ContainerBuilder() = default;
+
+  // Appends a blob; returns its index within the container.
+  uint32_t Add(ConstByteSpan blob);
+
+  uint32_t count() const { return static_cast<uint32_t>(lengths_.size()); }
+  // Payload bytes so far (excluding framing).
+  size_t payload_size() const { return payload_.size(); }
+  bool empty() const { return lengths_.empty(); }
+
+  // View of an already-added blob (reads from a still-open container).
+  Result<ConstByteSpan> BlobAt(uint32_t index) const;
+
+  // Serializes the container image and resets the builder.
+  Bytes Seal();
+
+ private:
+  Bytes payload_;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> lengths_;
+};
+
+// Parsed read-only container.
+class ContainerReader {
+ public:
+  static Result<ContainerReader> Parse(Bytes image);
+
+  uint32_t count() const { return static_cast<uint32_t>(entries_.size()); }
+  Result<ConstByteSpan> Blob(uint32_t index) const;
+
+ private:
+  ContainerReader() = default;
+  Bytes image_;
+  struct Entry {
+    uint32_t offset;
+    uint32_t length;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Object name for a container id, e.g. "c0000000000000002a".
+std::string ContainerObjectName(const std::string& kind_prefix, uint64_t container_id);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_STORAGE_CONTAINER_H_

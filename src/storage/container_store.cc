@@ -1,0 +1,137 @@
+#include "src/storage/container_store.h"
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+ContainerStore::ContainerStore(StorageBackend* backend, const ContainerStoreOptions& options,
+                               uint64_t first_container_id)
+    : backend_(backend), opts_(options), next_id_(first_container_id),
+      cache_(options.cache_bytes) {
+  CHECK(backend != nullptr);
+}
+
+Result<BlobHandle> ContainerStore::Append(uint64_t user, ConstByteSpan blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(user);
+  if (it == open_.end()) {
+    it = open_.emplace(user, OpenContainer{next_id_++, {}}).first;
+  }
+  OpenContainer& open = it->second;
+  // Seal first if this blob would overflow a non-empty container. An
+  // oversized blob in an empty container is allowed (big file recipes).
+  if (!open.builder.empty() &&
+      open.builder.payload_size() + blob.size() > opts_.container_capacity) {
+    RETURN_IF_ERROR(SealLocked(&open));
+    open.id = next_id_++;
+  }
+  BlobHandle handle;
+  handle.container_id = open.id;
+  handle.index = open.builder.Add(blob);
+  if (open.builder.payload_size() >= opts_.container_capacity) {
+    RETURN_IF_ERROR(SealLocked(&open));
+    open.id = next_id_++;
+  }
+  return handle;
+}
+
+Status ContainerStore::SealLocked(OpenContainer* open) {
+  if (open->builder.empty()) {
+    return Status::Ok();
+  }
+  Bytes image = open->builder.Seal();
+  std::string name = ContainerObjectName(opts_.kind_prefix, open->id);
+  RETURN_IF_ERROR(backend_->Put(name, image));
+  cache_.Insert(open->id, 0, std::move(image));
+  ++sealed_count_;
+  return Status::Ok();
+}
+
+Status ContainerStore::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [user, open] : open_) {
+    RETURN_IF_ERROR(SealLocked(&open));
+    open.id = next_id_++;
+  }
+  open_.clear();
+  return Status::Ok();
+}
+
+Status ContainerStore::FlushUser(uint64_t user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(user);
+  if (it == open_.end()) {
+    return Status::Ok();
+  }
+  RETURN_IF_ERROR(SealLocked(&it->second));
+  open_.erase(it);
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const ContainerReader>> ContainerStore::ParsedLocked(
+    uint64_t container_id, Bytes image) {
+  ASSIGN_OR_RETURN(ContainerReader reader, ContainerReader::Parse(std::move(image)));
+  auto shared = std::make_shared<const ContainerReader>(std::move(reader));
+  parsed_.emplace_front(container_id, shared);
+  constexpr size_t kMaxParsed = 8;
+  while (parsed_.size() > kMaxParsed) {
+    parsed_.pop_back();
+  }
+  return shared;
+}
+
+Result<Bytes> ContainerStore::Fetch(const BlobHandle& handle) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // 1. The blob may still sit in an open (unsealed) container.
+  for (const auto& [user, open] : open_) {
+    if (open.id == handle.container_id) {
+      ASSIGN_OR_RETURN(ConstByteSpan blob, open.builder.BlobAt(handle.index));
+      return Bytes(blob.begin(), blob.end());
+    }
+  }
+  // 2. Parsed-container MRU (restores walk recipes in container order).
+  std::shared_ptr<const ContainerReader> reader;
+  for (auto it = parsed_.begin(); it != parsed_.end(); ++it) {
+    if (it->first == handle.container_id) {
+      reader = it->second;
+      parsed_.splice(parsed_.begin(), parsed_, it);
+      break;
+    }
+  }
+  if (reader == nullptr) {
+    // 3. Image cache, then backend.
+    auto cached = cache_.Lookup(handle.container_id, 0);
+    Bytes image;
+    if (cached != nullptr) {
+      image = *cached;
+    } else {
+      lock.unlock();
+      ASSIGN_OR_RETURN(
+          image, backend_->Get(ContainerObjectName(opts_.kind_prefix, handle.container_id)));
+      lock.lock();
+      cache_.Insert(handle.container_id, 0, image);
+    }
+    ASSIGN_OR_RETURN(reader, ParsedLocked(handle.container_id, std::move(image)));
+  }
+  ASSIGN_OR_RETURN(ConstByteSpan blob, reader->Blob(handle.index));
+  return Bytes(blob.begin(), blob.end());
+}
+
+Status ContainerStore::DeleteContainer(uint64_t container_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.EraseFile(container_id);
+  parsed_.remove_if([container_id](const auto& e) { return e.first == container_id; });
+  return backend_->Delete(ContainerObjectName(opts_.kind_prefix, container_id));
+}
+
+uint64_t ContainerStore::next_container_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
+}
+
+void ContainerStore::AdvanceContainerId(uint64_t next_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_id_ = std::max(next_id_, next_id);
+}
+
+}  // namespace cdstore

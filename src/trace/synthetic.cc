@@ -1,0 +1,126 @@
+#include "src/trace/synthetic.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+
+void FillSegment(uint64_t seed, ByteSpan out) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xD5);
+  rng.Fill(out);
+}
+
+SyntheticDataset::SyntheticDataset(const SyntheticDatasetOptions& options) : opts_(options) {
+  CHECK_GT(opts_.num_users, 0);
+  CHECK_GT(opts_.num_weeks, 0);
+  CHECK_GT(opts_.segment_bytes, 0u);
+  size_t base_segments = std::max<size_t>(1, opts_.user_bytes / opts_.segment_bytes);
+
+  Rng meta_rng(opts_.seed);
+  // Pools of seeds. Seeds are namespaced so pools never collide:
+  //   shared base pool:   0x1'0000'0000 + i
+  //   weekly shared pool: 0x2'0000'0000 + week * 2^16 + i
+  //   private seeds:      0x4'0000'0000 + unique counter
+  uint64_t private_counter = 0;
+  auto private_seed = [&]() { return 0x400000000ull + private_counter++; };
+
+  seeds_.resize(opts_.num_users);
+  for (int u = 0; u < opts_.num_users; ++u) {
+    seeds_[u].resize(opts_.num_weeks);
+  }
+
+  // Week 0: shared base fraction comes from one pool in the SAME positions
+  // for all users (a cloned master image), the rest is private.
+  for (int u = 0; u < opts_.num_users; ++u) {
+    auto& week0 = seeds_[u][0];
+    week0.reserve(base_segments);
+    for (size_t s = 0; s < base_segments; ++s) {
+      double frac = static_cast<double>(s) / static_cast<double>(base_segments);
+      if (frac < opts_.shared_base_fraction) {
+        week0.push_back(0x100000000ull + s);  // shared: same seed for everyone
+      } else {
+        week0.push_back(private_seed());
+      }
+    }
+  }
+
+  // Subsequent weeks: rewrite weekly_mod_rate of segments (some rewrites
+  // shared across users), append weekly_growth_rate new private segments.
+  for (int w = 1; w < opts_.num_weeks; ++w) {
+    for (int u = 0; u < opts_.num_users; ++u) {
+      Rng rng(opts_.seed ^ (static_cast<uint64_t>(u) << 32) ^ (static_cast<uint64_t>(w) << 8));
+      std::vector<uint64_t> cur = seeds_[u][w - 1];
+      size_t rewrites = static_cast<size_t>(cur.size() * opts_.weekly_mod_rate);
+      for (size_t i = 0; i < rewrites; ++i) {
+        size_t pos = rng.Uniform(cur.size());
+        if (rng.Bernoulli(opts_.shared_mod_fraction)) {
+          // Shared weekly edit: same seed AND same slot index for every
+          // user (everyone applies the same assignment patch).
+          uint64_t slot = i & 0xffff;
+          cur[pos % cur.size()] = 0x200000000ull + (static_cast<uint64_t>(w) << 16) + slot;
+        } else {
+          cur[pos] = private_seed();
+        }
+      }
+      size_t growth = static_cast<size_t>(cur.size() * opts_.weekly_growth_rate);
+      for (size_t i = 0; i < growth; ++i) {
+        cur.push_back(private_seed());
+      }
+      seeds_[u][w] = std::move(cur);
+    }
+  }
+}
+
+Bytes SyntheticDataset::FileFor(int user, int week) const {
+  CHECK_GE(user, 0);
+  CHECK_LT(user, opts_.num_users);
+  CHECK_GE(week, 0);
+  CHECK_LT(week, opts_.num_weeks);
+  const auto& segs = seeds_[user][week];
+  Bytes out(segs.size() * opts_.segment_bytes);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    FillSegment(segs[i], ByteSpan(out.data() + i * opts_.segment_bytes, opts_.segment_bytes));
+  }
+  return out;
+}
+
+size_t SyntheticDataset::FileSize(int user, int week) const {
+  return seeds_[user][week].size() * opts_.segment_bytes;
+}
+
+SyntheticDatasetOptions SyntheticDataset::FslDefaults(double scale) {
+  SyntheticDatasetOptions o;
+  o.num_users = 9;
+  o.num_weeks = 16;
+  o.user_bytes = static_cast<size_t>((4 << 20) * scale);
+  o.segment_bytes = 64 << 10;
+  // Home directories: ~4-5% weekly churn, little cross-user content.
+  o.weekly_mod_rate = 0.04;
+  o.weekly_growth_rate = 0.01;
+  o.shared_base_fraction = 0.10;
+  o.shared_mod_fraction = 0.05;
+  o.seed = 0xF51;
+  return o;
+}
+
+SyntheticDatasetOptions SyntheticDataset::VmDefaults(double scale) {
+  SyntheticDatasetOptions o;
+  // The paper uses 156 VMs; 24 keeps laptop runs quick while preserving the
+  // first-week saving shape (1 - 1/N for the master-image fraction).
+  o.num_users = 24;
+  o.num_weeks = 16;
+  o.user_bytes = static_cast<size_t>((4 << 20) * scale);
+  o.segment_bytes = 64 << 10;
+  // VM images: almost everything is the master OS image.
+  o.weekly_mod_rate = 0.015;
+  o.weekly_growth_rate = 0.002;
+  o.shared_base_fraction = 0.95;
+  // Students make similar changes for the same assignments (§5.4).
+  o.shared_mod_fraction = 0.30;
+  o.seed = 0x7A1;
+  return o;
+}
+
+}  // namespace cdstore

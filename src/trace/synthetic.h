@@ -1,0 +1,71 @@
+// Synthetic backup workloads reproducing the dedup characteristics of the
+// paper's two datasets (§5.2):
+//
+//   FSL  — nine students' weekly home-directory snapshots: very high
+//          intra-user redundancy week over week (>= 94.2% savings after
+//          week 1), modest cross-user redundancy (<= 12.9%).
+//   VM   — 156 student VM images cloned from one master: ~93.4% inter-user
+//          saving in week 1 (same OS everywhere), >= 98% intra-user savings
+//          later, 11.8-47% inter-user savings on weekly edits (students
+//          make similar changes for the same assignments).
+//
+// Content is generated from seeded segments (tens of KB) so that identical
+// logical regions are byte-identical across users and weeks — what content-
+// defined chunking + convergent dispersal deduplicate. Sizes are scaled
+// down from the paper's terabytes by a configurable factor.
+#ifndef CDSTORE_SRC_TRACE_SYNTHETIC_H_
+#define CDSTORE_SRC_TRACE_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+struct SyntheticDatasetOptions {
+  int num_users = 9;
+  int num_weeks = 16;
+  size_t user_bytes = 4 << 20;       // logical size of one user's weekly backup
+  size_t segment_bytes = 64 << 10;   // modification granularity
+  double weekly_mod_rate = 0.04;     // fraction of segments rewritten per week
+  double weekly_growth_rate = 0.01;  // fraction of segments appended per week
+  // Week-0 content drawn from a pool shared by all users (identical master
+  // image / shared business files).
+  double shared_base_fraction = 0.10;
+  // Fraction of weekly rewrites drawn from a per-week pool shared across
+  // users (same assignment -> similar edits).
+  double shared_mod_fraction = 0.10;
+  uint64_t seed = 1;
+};
+
+class SyntheticDataset {
+ public:
+  explicit SyntheticDataset(const SyntheticDatasetOptions& options);
+
+  // Materializes the backup content of `user` at `week`.
+  Bytes FileFor(int user, int week) const;
+
+  // Logical size of that backup.
+  size_t FileSize(int user, int week) const;
+
+  int num_users() const { return opts_.num_users; }
+  int num_weeks() const { return opts_.num_weeks; }
+
+  // Paper-shaped parameter presets. `scale` multiplies the per-user size
+  // (1.0 = the defaults above; the paper's real sizes would be ~1e5).
+  static SyntheticDatasetOptions FslDefaults(double scale = 1.0);
+  static SyntheticDatasetOptions VmDefaults(double scale = 1.0);
+
+ private:
+  // Segment seeds per user per week.
+  std::vector<std::vector<std::vector<uint64_t>>> seeds_;
+  SyntheticDatasetOptions opts_;
+};
+
+// Deterministic pseudo-random content for one segment.
+void FillSegment(uint64_t seed, ByteSpan out);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_TRACE_SYNTHETIC_H_

@@ -1,0 +1,71 @@
+#include "src/util/bytes.h"
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(ConstByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(const std::string& hex, Bytes* out) {
+  if (hex.size() % 2 != 0) {
+    return false;
+  }
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out->push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+bool ConstantTimeEqual(ConstByteSpan a, ConstByteSpan b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+Bytes BytesOf(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringOf(ConstByteSpan data) {
+  return std::string(data.begin(), data.end());
+}
+
+void XorInto(ByteSpan dst, ConstByteSpan src) {
+  DCHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+}  // namespace cdstore

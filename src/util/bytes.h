@@ -1,0 +1,38 @@
+// Byte-buffer aliases and small helpers shared across modules.
+#ifndef CDSTORE_SRC_UTIL_BYTES_H_
+#define CDSTORE_SRC_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cdstore {
+
+// The universal owned byte buffer.
+using Bytes = std::vector<uint8_t>;
+
+// Non-owning views.
+using ByteSpan = std::span<uint8_t>;
+using ConstByteSpan = std::span<const uint8_t>;
+
+// Lowercase hex encoding of `data` ("deadbeef").
+std::string HexEncode(ConstByteSpan data);
+
+// Inverse of HexEncode. Returns false on odd length or non-hex characters.
+bool HexDecode(const std::string& hex, Bytes* out);
+
+// Constant-time byte-wise comparison (for fingerprints/MACs).
+bool ConstantTimeEqual(ConstByteSpan a, ConstByteSpan b);
+
+// Bytes from a string literal / std::string (no copy avoidance; test helper).
+Bytes BytesOf(const std::string& s);
+std::string StringOf(ConstByteSpan data);
+
+// XOR `src` into `dst` (dst[i] ^= src[i]); sizes must match.
+void XorInto(ByteSpan dst, ConstByteSpan src);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_BYTES_H_

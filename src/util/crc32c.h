@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli, poly 0x1EDC6F41). Used by the WAL, SSTable blocks and
+// container format for corruption detection.
+#ifndef CDSTORE_SRC_UTIL_CRC32C_H_
+#define CDSTORE_SRC_UTIL_CRC32C_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+// Extends `crc` with `data`. Start from 0 for a fresh checksum.
+uint32_t Crc32c(uint32_t crc, ConstByteSpan data);
+
+inline uint32_t Crc32c(ConstByteSpan data) { return Crc32c(0, data); }
+
+// Masked CRC (LevelDB-style) so that a CRC stored alongside the data it
+// covers does not look like valid data to itself.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_CRC32C_H_

@@ -1,0 +1,130 @@
+#include "src/util/fs_util.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace fs = std::filesystem;
+
+Status WriteFile(const std::string& path, ConstByteSpan data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("open for write failed: " + path);
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status AppendFile(const std::string& path, ConstByteSpan data) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("open for append failed: " + path);
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    return Status::IOError("short append: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("open for read failed: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("ftell failed: " + path);
+  }
+  Bytes out(static_cast<size_t>(size));
+  size_t got = size == 0 ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size()) {
+    return Status::IOError("short read: " + path);
+  }
+  return out;
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IOError("remove failed: " + path);
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("file_size failed: " + path);
+  }
+  return size;
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("create_directories failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("remove_all failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (auto it = fs::directory_iterator(path, ec); !ec && it != fs::directory_iterator();
+       it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) {
+    return Status::IOError("list failed: " + path);
+  }
+  return names;
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = counter.fetch_add(1);
+  path_ = (fs::temp_directory_path() /
+           (prefix + "-" + std::to_string(::getpid()) + "-" + std::to_string(id)))
+              .string();
+  CHECK_OK(CreateDirs(path_));
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+}
+
+}  // namespace cdstore

@@ -1,0 +1,42 @@
+// Filesystem helpers: whole-file read/write, directory management and a
+// RAII temporary directory for tests.
+#ifndef CDSTORE_SRC_UTIL_FS_UTIL_H_
+#define CDSTORE_SRC_UTIL_FS_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+Status WriteFile(const std::string& path, ConstByteSpan data);
+Status AppendFile(const std::string& path, ConstByteSpan data);
+Result<Bytes> ReadFileBytes(const std::string& path);
+Status RemoveFile(const std::string& path);
+bool FileExists(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+Status CreateDirs(const std::string& path);
+Status RemoveDirRecursive(const std::string& path);
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+// Creates a unique directory under the system temp dir and removes it (and
+// all contents) on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "cdstore");
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_FS_UTIL_H_

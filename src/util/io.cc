@@ -1,0 +1,127 @@
+#include "src/util/io.h"
+
+namespace cdstore {
+
+void BufferWriter::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void BufferWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BufferWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BufferWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void BufferWriter::PutRaw(ConstByteSpan data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BufferWriter::PutBytes(ConstByteSpan data) {
+  PutVarint(data.size());
+  PutRaw(data);
+}
+
+void BufferWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+namespace {
+Status Underflow() { return Status::Corruption("buffer underflow"); }
+}  // namespace
+
+Status BufferReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return Underflow();
+  *v = data_[pos_++];
+  return Status::Ok();
+}
+
+Status BufferReader::GetU16(uint16_t* v) {
+  if (remaining() < 2) return Underflow();
+  *v = static_cast<uint16_t>(data_[pos_]) | static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return Status::Ok();
+}
+
+Status BufferReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return Underflow();
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::Ok();
+}
+
+Status BufferReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return Underflow();
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::Ok();
+}
+
+Status BufferReader::GetVarint(uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) return Underflow();
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t b = data_[pos_++];
+    out |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = out;
+  return Status::Ok();
+}
+
+Status BufferReader::GetRaw(size_t len, Bytes* out) {
+  if (remaining() < len) return Underflow();
+  out->assign(data_.begin() + pos_, data_.begin() + pos_ + len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status BufferReader::GetBytes(Bytes* out) {
+  uint64_t len = 0;
+  RETURN_IF_ERROR(GetVarint(&len));
+  if (len > remaining()) return Underflow();
+  return GetRaw(len, out);
+}
+
+Status BufferReader::GetString(std::string* out) {
+  uint64_t len = 0;
+  RETURN_IF_ERROR(GetVarint(&len));
+  if (len > remaining()) return Underflow();
+  out->assign(data_.begin() + pos_, data_.begin() + pos_ + len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status BufferReader::Skip(size_t n) {
+  if (remaining() < n) return Underflow();
+  pos_ += n;
+  return Status::Ok();
+}
+
+}  // namespace cdstore

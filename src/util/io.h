@@ -1,0 +1,69 @@
+// Little-endian binary serialization primitives used by the network codec,
+// container format, SSTable format and WAL.
+#ifndef CDSTORE_SRC_UTIL_IO_H_
+#define CDSTORE_SRC_UTIL_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+// Appends fixed-width little-endian integers, length-prefixed blobs and
+// varints to an owned buffer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  // LEB128 unsigned varint (1-10 bytes).
+  void PutVarint(uint64_t v);
+  // Raw bytes, no length prefix.
+  void PutRaw(ConstByteSpan data);
+  // Varint length followed by the bytes.
+  void PutBytes(ConstByteSpan data);
+  void PutString(const std::string& s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reads the formats produced by BufferWriter. All getters return
+// kCorruption on underflow rather than crashing, so untrusted inputs
+// (network frames, on-disk blocks) can be parsed safely.
+class BufferReader {
+ public:
+  explicit BufferReader(ConstByteSpan data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetVarint(uint64_t* v);
+  Status GetRaw(size_t len, Bytes* out);
+  Status GetBytes(Bytes* out);
+  Status GetString(std::string* out);
+  // View into the remaining bytes without consuming them.
+  ConstByteSpan Remaining() const { return data_.subspan(pos_); }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  Status Skip(size_t n);
+
+ private:
+  ConstByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_IO_H_

@@ -1,0 +1,53 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace cdstore {
+
+namespace {
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+std::mutex g_log_mutex;
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug: return "D";
+    case LogSeverity::kInfo: return "I";
+    case LogSeverity::kWarning: return "W";
+    case LogSeverity::kError: return "E";
+    case LogSeverity::kFatal: return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity.store(severity); }
+LogSeverity MinLogSeverity() { return g_min_severity.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), Basename(file_), line_,
+                 stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace cdstore

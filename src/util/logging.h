@@ -1,0 +1,96 @@
+// Minimal glog-style logging and CHECK macros.
+//
+//   LOG(INFO) << "uploaded " << n << " shares";
+//   CHECK_EQ(shares.size(), n) << "encoder produced wrong share count";
+//
+// FATAL (and failed CHECKs) print the message and abort.
+#ifndef CDSTORE_SRC_UTIL_LOGGING_H_
+#define CDSTORE_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cdstore {
+
+enum class LogSeverity { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+// Global severity threshold; messages below it are discarded.
+// Defaults to kInfo. Thread-safe.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+struct Voidify {
+  // & has lower precedence than << but higher than ?:.
+  void operator&(std::ostream&) {}
+  void operator&(NullStream&) {}
+};
+
+}  // namespace internal
+}  // namespace cdstore
+
+#define CDSTORE_LOG_DEBUG ::cdstore::LogSeverity::kDebug
+#define CDSTORE_LOG_INFO ::cdstore::LogSeverity::kInfo
+#define CDSTORE_LOG_WARNING ::cdstore::LogSeverity::kWarning
+#define CDSTORE_LOG_ERROR ::cdstore::LogSeverity::kError
+#define CDSTORE_LOG_FATAL ::cdstore::LogSeverity::kFatal
+
+#define LOG(severity) \
+  ::cdstore::internal::LogMessage(CDSTORE_LOG_##severity, __FILE__, __LINE__).stream()
+
+#define CHECK(cond)                                        \
+  (cond) ? (void)0                                         \
+         : ::cdstore::internal::Voidify() &                \
+               ::cdstore::internal::LogMessage(            \
+                   ::cdstore::LogSeverity::kFatal,         \
+                   __FILE__, __LINE__)                     \
+                   .stream()                               \
+               << "Check failed: " #cond " "
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+#define CHECK_OK(expr) CHECK((expr).ok())
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  while (false) CHECK(cond)
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+
+#endif  // CDSTORE_SRC_UTIL_LOGGING_H_

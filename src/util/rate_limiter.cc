@@ -1,0 +1,39 @@
+#include "src/util/rate_limiter.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cdstore {
+
+RateLimiter::RateLimiter(uint64_t bytes_per_second, uint64_t burst_bytes)
+    : rate_(bytes_per_second),
+      burst_(std::max<uint64_t>(burst_bytes, 1)),
+      tokens_(static_cast<double>(burst_)),
+      last_(std::chrono::steady_clock::now()) {}
+
+void RateLimiter::Acquire(uint64_t bytes) {
+  if (rate_ == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (simulated_) {
+    // Pure accounting: bytes/rate seconds per request, burst ignored.
+    simulated_seconds_ += static_cast<double>(bytes) / static_cast<double>(rate_);
+    return;
+  }
+  auto now = std::chrono::steady_clock::now();
+  double elapsed = std::chrono::duration<double>(now - last_).count();
+  last_ = now;
+  tokens_ = std::min(static_cast<double>(burst_), tokens_ + elapsed * static_cast<double>(rate_));
+  if (tokens_ >= static_cast<double>(bytes)) {
+    tokens_ -= static_cast<double>(bytes);
+    return;
+  }
+  double deficit = static_cast<double>(bytes) - tokens_;
+  tokens_ = 0;
+  double wait_s = deficit / static_cast<double>(rate_);
+  lock.unlock();
+  std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+}
+
+}  // namespace cdstore

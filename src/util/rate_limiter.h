@@ -1,0 +1,41 @@
+// Token-bucket rate limiter used to emulate link bandwidth (LAN 1 Gb/s,
+// per-cloud Internet speeds from Table 2 of the paper).
+#ifndef CDSTORE_SRC_UTIL_RATE_LIMITER_H_
+#define CDSTORE_SRC_UTIL_RATE_LIMITER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace cdstore {
+
+class RateLimiter {
+ public:
+  // bytes_per_second == 0 means unlimited.
+  explicit RateLimiter(uint64_t bytes_per_second, uint64_t burst_bytes = 1 << 20);
+
+  // Blocks until `bytes` tokens are available, then consumes them.
+  // In simulated-time mode this never sleeps; it advances a virtual clock.
+  void Acquire(uint64_t bytes);
+
+  // Switch to simulated time: Acquire() accumulates virtual delay instead of
+  // sleeping. Virtual elapsed time is reported by simulated_seconds().
+  void set_simulated(bool simulated) { simulated_ = simulated; }
+  double simulated_seconds() const { return simulated_seconds_; }
+  void ResetSimulatedClock() { simulated_seconds_ = 0.0; }
+
+  uint64_t bytes_per_second() const { return rate_; }
+
+ private:
+  uint64_t rate_;
+  uint64_t burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+  bool simulated_ = false;
+  double simulated_seconds_ = 0.0;
+  std::mutex mu_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_RATE_LIMITER_H_

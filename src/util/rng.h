@@ -1,0 +1,81 @@
+// Deterministic, fast, NON-cryptographic RNG (xoshiro256**) for workload
+// generation and tests. Cryptographic randomness lives in crypto/ctr_drbg.h.
+#ifndef CDSTORE_SRC_UTIL_RNG_H_
+#define CDSTORE_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace cdstore {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  void Fill(ByteSpan out) {
+    size_t i = 0;
+    while (i + 8 <= out.size()) {
+      uint64_t v = NextU64();
+      for (int j = 0; j < 8; ++j) {
+        out[i++] = static_cast<uint8_t>(v >> (8 * j));
+      }
+    }
+    if (i < out.size()) {
+      uint64_t v = NextU64();
+      for (; i < out.size(); ++i) {
+        out[i] = static_cast<uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+  Bytes RandomBytes(size_t n) {
+    Bytes out(n);
+    Fill(out);
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_RNG_H_

@@ -1,0 +1,53 @@
+#include "src/util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cdstore {
+
+void RunningStats::Add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double ToMiBps(uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+std::string FormatThroughput(uint64_t bytes, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", ToMiBps(bytes, seconds));
+  return buf;
+}
+
+std::string FormatSize(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace cdstore

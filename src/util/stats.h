@@ -1,0 +1,53 @@
+// Measurement helpers for the benchmark harness: wall-clock stopwatch,
+// online mean/stddev, and throughput formatting.
+#ifndef CDSTORE_SRC_UTIL_STATS_H_
+#define CDSTORE_SRC_UTIL_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdstore {
+
+// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { Reset(); }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Welford online mean / sample standard deviation.
+class RunningStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// "183.4 MB/s" given bytes and seconds.
+std::string FormatThroughput(uint64_t bytes, double seconds);
+// "1.23 GB" / "512.0 KB" etc.
+std::string FormatSize(uint64_t bytes);
+double ToMiBps(uint64_t bytes, double seconds);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_STATS_H_

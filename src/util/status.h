@@ -1,0 +1,131 @@
+// Status / Result<T>: exception-free error propagation used across all
+// CDStore modules. Modeled on absl::Status / absl::StatusOr.
+#ifndef CDSTORE_SRC_UTIL_STATUS_H_
+#define CDSTORE_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cdstore {
+
+// Canonical error space. Kept deliberately small; modules attach context via
+// the message string.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kUnavailable,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code (e.g. "CORRUPTION").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status IOError(std::string m) { return {StatusCode::kIOError, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CORRUPTION: bad checksum".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Result<T>: either a value or an error Status. Accessing value() on an
+// error aborts (programming error), mirroring absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> v_;
+};
+
+// Propagate errors to the caller.
+//   RETURN_IF_ERROR(DoThing());
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::cdstore::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Evaluate a Result-returning expression, propagating errors.
+//   ASSIGN_OR_RETURN(auto v, ComputeThing());
+#define CDSTORE_CONCAT_INNER(a, b) a##b
+#define CDSTORE_CONCAT(a, b) CDSTORE_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto CDSTORE_CONCAT(_res_, __LINE__) = (expr);               \
+  if (!CDSTORE_CONCAT(_res_, __LINE__).ok())                   \
+    return CDSTORE_CONCAT(_res_, __LINE__).status();           \
+  lhs = std::move(CDSTORE_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_STATUS_H_

@@ -1,0 +1,57 @@
+// Fixed-size worker pool used by the client coding pipeline (§4.6) and the
+// server communication module.
+#ifndef CDSTORE_SRC_UTIL_THREAD_POOL_H_
+#define CDSTORE_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdstore {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for execution. Never blocks (unbounded queue).
+  void Submit(std::function<void()> fn);
+
+  // Enqueues `fn` and returns a future for its result.
+  template <typename F>
+  auto Async(F fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    Submit([task]() { (*task)(); });
+    return fut;
+  }
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signaled when work arrives / shutdown
+  std::condition_variable idle_cv_;   // signaled when the pool drains
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_THREAD_POOL_H_

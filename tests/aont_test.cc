@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/aont/oaep_aont.h"
+#include "src/aont/rivest_aont.h"
+#include "src/crypto/sha256.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+// ------------------------------------------------------------- OAEP AONT --
+
+TEST(OaepAontTest, RoundTripVariousSizes) {
+  Rng rng(1);
+  Bytes key = rng.RandomBytes(kAontKeySize);
+  for (size_t size : {0ul, 1ul, 15ul, 16ul, 17ul, 1000ul, 8192ul}) {
+    Bytes x = rng.RandomBytes(size);
+    Bytes pkg = OaepAontTransform(x, key);
+    EXPECT_EQ(pkg.size(), size + kOaepAontOverhead);
+    Bytes back, key_back;
+    ASSERT_TRUE(OaepAontInverse(pkg, &back, &key_back).ok()) << "size=" << size;
+    EXPECT_EQ(back, x);
+    EXPECT_EQ(key_back, key);
+  }
+}
+
+TEST(OaepAontTest, DeterministicForSameKey) {
+  Rng rng(2);
+  Bytes key = rng.RandomBytes(kAontKeySize);
+  Bytes x = rng.RandomBytes(500);
+  EXPECT_EQ(OaepAontTransform(x, key), OaepAontTransform(x, key));
+}
+
+TEST(OaepAontTest, DifferentKeysGiveDifferentPackages) {
+  Rng rng(3);
+  Bytes x = rng.RandomBytes(100);
+  Bytes k1 = rng.RandomBytes(kAontKeySize);
+  Bytes k2 = rng.RandomBytes(kAontKeySize);
+  EXPECT_NE(OaepAontTransform(x, k1), OaepAontTransform(x, k2));
+}
+
+TEST(OaepAontTest, AvalancheOnSingleBitFlip) {
+  // All-or-nothing: flipping one input bit must rewrite ~half the package
+  // head (Y part), because the convergent key changes completely.
+  Rng rng(4);
+  Bytes x = rng.RandomBytes(1024);
+  Bytes key1 = Sha256::Hash(x);
+  Bytes pkg1 = OaepAontTransform(x, key1);
+  x[500] ^= 0x01;
+  Bytes key2 = Sha256::Hash(x);
+  Bytes pkg2 = OaepAontTransform(x, key2);
+  int differing_bytes = 0;
+  for (size_t i = 0; i < pkg1.size(); ++i) {
+    if (pkg1[i] != pkg2[i]) ++differing_bytes;
+  }
+  // Expect nearly all bytes to differ (well above 90%).
+  EXPECT_GT(differing_bytes, static_cast<int>(pkg1.size() * 9 / 10));
+}
+
+TEST(OaepAontTest, TruncatedPackageRejected) {
+  Bytes x, key;
+  EXPECT_FALSE(OaepAontInverse(Bytes(kOaepAontOverhead - 1, 0), &x, &key).ok());
+}
+
+TEST(OaepAontTest, TamperedPackageYieldsDifferentSecret) {
+  // OAEP AONT itself has no integrity tag: tampering silently changes the
+  // output. (The convergent layer adds the hash check.)
+  Rng rng(5);
+  Bytes key = rng.RandomBytes(kAontKeySize);
+  Bytes x = rng.RandomBytes(64);
+  Bytes pkg = OaepAontTransform(x, key);
+  pkg[10] ^= 0xff;
+  Bytes back;
+  ASSERT_TRUE(OaepAontInverse(pkg, &back, nullptr).ok());
+  EXPECT_NE(back, x);
+}
+
+// ----------------------------------------------------------- Rivest AONT --
+
+TEST(RivestAontTest, RoundTripWordAlignedSizes) {
+  Rng rng(6);
+  Bytes key = rng.RandomBytes(kRivestKeySize);
+  for (size_t words : {0ul, 1ul, 2ul, 64ul, 512ul}) {
+    Bytes x = rng.RandomBytes(words * kRivestWordSize);
+    Bytes pkg = RivestAontTransform(x, key);
+    EXPECT_EQ(pkg.size(), x.size() + kRivestAontOverhead);
+    Bytes back, key_back;
+    ASSERT_TRUE(RivestAontInverse(pkg, &back, &key_back).ok());
+    EXPECT_EQ(back, x);
+    EXPECT_EQ(key_back, key);
+  }
+}
+
+TEST(RivestAontTest, CanaryDetectsTamperedDataWord) {
+  Rng rng(7);
+  Bytes key = rng.RandomBytes(kRivestKeySize);
+  Bytes x = rng.RandomBytes(160);
+  Bytes pkg = RivestAontTransform(x, key);
+  // Tampering any masked word changes H(c_1..), hence K, hence the canary.
+  pkg[3] ^= 0x80;
+  Bytes back;
+  EXPECT_EQ(RivestAontInverse(pkg, &back, nullptr).code(), StatusCode::kCorruption);
+}
+
+TEST(RivestAontTest, CanaryDetectsTamperedTail) {
+  Rng rng(8);
+  Bytes key = rng.RandomBytes(kRivestKeySize);
+  Bytes x = rng.RandomBytes(32);
+  Bytes pkg = RivestAontTransform(x, key);
+  pkg[pkg.size() - 1] ^= 0x01;
+  Bytes back;
+  EXPECT_EQ(RivestAontInverse(pkg, &back, nullptr).code(), StatusCode::kCorruption);
+}
+
+TEST(RivestAontTest, BadPackageSizeRejected) {
+  Bytes x;
+  // Not word-aligned after removing overhead.
+  EXPECT_FALSE(RivestAontInverse(Bytes(kRivestAontOverhead + 5, 0), &x, nullptr).ok());
+  // Shorter than overhead.
+  EXPECT_FALSE(RivestAontInverse(Bytes(10, 0), &x, nullptr).ok());
+}
+
+TEST(RivestAontTest, DeterministicForSameKey) {
+  Rng rng(9);
+  Bytes key = rng.RandomBytes(kRivestKeySize);
+  Bytes x = rng.RandomBytes(320);
+  EXPECT_EQ(RivestAontTransform(x, key), RivestAontTransform(x, key));
+}
+
+}  // namespace
+}  // namespace cdstore

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/chunking/chunker.h"
+#include "src/chunking/rabin.h"
+#include "src/dedup/fingerprint.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+TEST(RabinWindowTest, DeterministicForSameInput) {
+  RabinWindow w1(48);
+  RabinWindow w2(48);
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(1000);
+  uint64_t f1 = 0, f2 = 0;
+  for (uint8_t b : data) {
+    f1 = w1.Slide(b);
+  }
+  for (uint8_t b : data) {
+    f2 = w2.Slide(b);
+  }
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(RabinWindowTest, FingerprintDependsOnlyOnWindow) {
+  // After sliding past window_size bytes, the fingerprint must depend only
+  // on the last `window_size` bytes — the rolling property.
+  const size_t kWin = 48;
+  Rng rng(2);
+  Bytes tail = rng.RandomBytes(kWin);
+  RabinWindow a(kWin);
+  RabinWindow b(kWin);
+  Bytes prefix_a = rng.RandomBytes(500);
+  Bytes prefix_b = rng.RandomBytes(137);
+  for (uint8_t x : prefix_a) a.Slide(x);
+  for (uint8_t x : prefix_b) b.Slide(x);
+  uint64_t fa = 0, fb = 0;
+  for (uint8_t x : tail) fa = a.Slide(x);
+  for (uint8_t x : tail) fb = b.Slide(x);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(RabinWindowTest, ResetRestoresInitialState) {
+  RabinWindow w(48);
+  for (int i = 0; i < 100; ++i) {
+    w.Slide(static_cast<uint8_t>(i));
+  }
+  w.Reset();
+  EXPECT_EQ(w.fingerprint(), 0u);
+}
+
+TEST(FixedChunkerTest, ExactDivision) {
+  FixedChunker c(100);
+  Bytes data = Rng(3).RandomBytes(1000);
+  auto chunks = ChunkBuffer(c, data);
+  ASSERT_EQ(chunks.size(), 10u);
+  for (const Bytes& ch : chunks) {
+    EXPECT_EQ(ch.size(), 100u);
+  }
+}
+
+TEST(FixedChunkerTest, TrailingPartialChunk) {
+  FixedChunker c(100);
+  auto chunks = ChunkBuffer(c, Rng(4).RandomBytes(250));
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].size(), 50u);
+}
+
+TEST(FixedChunkerTest, StreamedFeedMatchesOneShot) {
+  Bytes data = Rng(5).RandomBytes(997);
+  FixedChunker a(128);
+  auto whole = ChunkBuffer(a, data);
+  FixedChunker b(128);
+  std::vector<Bytes> streamed;
+  auto sink = [&streamed](ConstByteSpan c) { streamed.emplace_back(c.begin(), c.end()); };
+  for (size_t i = 0; i < data.size(); i += 13) {
+    size_t len = std::min<size_t>(13, data.size() - i);
+    b.Update(ConstByteSpan(data.data() + i, len), sink);
+  }
+  b.Finish(sink);
+  EXPECT_EQ(whole, streamed);
+}
+
+RabinChunkerOptions SmallRabin() {
+  RabinChunkerOptions o;
+  o.min_size = 512;
+  o.avg_size = 2048;
+  o.max_size = 8192;
+  return o;
+}
+
+TEST(RabinChunkerTest, ChunksRespectMinMax) {
+  RabinChunker c(SmallRabin());
+  Bytes data = Rng(6).RandomBytes(512 * 1024);
+  auto chunks = ChunkBuffer(c, data);
+  ASSERT_GT(chunks.size(), 1u);
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {  // last chunk may be short
+    EXPECT_GE(chunks[i].size(), 512u);
+    EXPECT_LE(chunks[i].size(), 8192u);
+  }
+}
+
+TEST(RabinChunkerTest, AverageSizeInBallpark) {
+  RabinChunker c(SmallRabin());
+  Bytes data = Rng(7).RandomBytes(2 * 1024 * 1024);
+  auto chunks = ChunkBuffer(c, data);
+  double avg = static_cast<double>(data.size()) / chunks.size();
+  // With min 512 / mask 2048 / max 8192 the expected size is roughly
+  // min + avg = ~2.5KB. Accept a generous band.
+  EXPECT_GT(avg, 1024);
+  EXPECT_LT(avg, 6144);
+}
+
+TEST(RabinChunkerTest, ReconstructionPreservesData) {
+  RabinChunker c(SmallRabin());
+  Bytes data = Rng(8).RandomBytes(300000);
+  auto chunks = ChunkBuffer(c, data);
+  Bytes joined;
+  for (const Bytes& ch : chunks) {
+    joined.insert(joined.end(), ch.begin(), ch.end());
+  }
+  EXPECT_EQ(joined, data);
+}
+
+TEST(RabinChunkerTest, DeterministicChunking) {
+  Bytes data = Rng(9).RandomBytes(200000);
+  RabinChunker c1(SmallRabin());
+  RabinChunker c2(SmallRabin());
+  EXPECT_EQ(ChunkBuffer(c1, data), ChunkBuffer(c2, data));
+}
+
+TEST(RabinChunkerTest, BoundaryShiftResilience) {
+  // THE content-defined-chunking property (§3.3 "robust to content
+  // shifting"): inserting bytes at the front must leave most chunk
+  // content intact; a fixed chunker would shift every boundary.
+  Bytes data = Rng(10).RandomBytes(500000);
+  RabinChunker c1(SmallRabin());
+  auto original = ChunkBuffer(c1, data);
+  Bytes shifted = Rng(11).RandomBytes(700);  // insert 700 bytes up front
+  shifted.insert(shifted.end(), data.begin(), data.end());
+  RabinChunker c2(SmallRabin());
+  auto after = ChunkBuffer(c2, shifted);
+
+  std::set<Fingerprint> fps_before;
+  for (const Bytes& ch : original) {
+    fps_before.insert(FingerprintOf(ch));
+  }
+  size_t matched = 0;
+  for (const Bytes& ch : after) {
+    if (fps_before.count(FingerprintOf(ch)) > 0) {
+      ++matched;
+    }
+  }
+  EXPECT_GT(matched, after.size() * 8 / 10)
+      << "variable-size chunking should re-synchronize after an insertion";
+
+  // Contrast: fixed chunking loses alignment entirely.
+  FixedChunker f1(2048);
+  FixedChunker f2(2048);
+  auto fixed_before = ChunkBuffer(f1, data);
+  auto fixed_after = ChunkBuffer(f2, shifted);
+  std::set<Fingerprint> fixed_fps;
+  for (const Bytes& ch : fixed_before) {
+    fixed_fps.insert(FingerprintOf(ch));
+  }
+  size_t fixed_matched = 0;
+  for (const Bytes& ch : fixed_after) {
+    if (fixed_fps.count(FingerprintOf(ch)) > 0) {
+      ++fixed_matched;
+    }
+  }
+  EXPECT_LT(fixed_matched, fixed_after.size() / 10);
+}
+
+TEST(RabinChunkerTest, DuplicateRegionsProduceDuplicateChunks) {
+  // Two copies of the same content separated by noise: interior chunks of
+  // the copies must deduplicate.
+  Bytes shared = Rng(12).RandomBytes(100000);
+  Bytes noise = Rng(13).RandomBytes(5000);
+  Bytes stream;
+  stream.insert(stream.end(), shared.begin(), shared.end());
+  stream.insert(stream.end(), noise.begin(), noise.end());
+  stream.insert(stream.end(), shared.begin(), shared.end());
+  RabinChunker c(SmallRabin());
+  auto chunks = ChunkBuffer(c, stream);
+  std::map<Fingerprint, int> counts;
+  for (const Bytes& ch : chunks) {
+    counts[FingerprintOf(ch)]++;
+  }
+  size_t dup_chunks = 0;
+  for (const auto& [fp, n] : counts) {
+    if (n > 1) {
+      dup_chunks += n - 1;
+    }
+  }
+  EXPECT_GT(dup_chunks, chunks.size() / 4);
+}
+
+TEST(ChunkerTest, EmptyInputProducesNoChunks) {
+  RabinChunker rc(SmallRabin());
+  EXPECT_TRUE(ChunkBuffer(rc, ConstByteSpan{}).empty());
+  FixedChunker fc(100);
+  EXPECT_TRUE(ChunkBuffer(fc, ConstByteSpan{}).empty());
+}
+
+}  // namespace
+}  // namespace cdstore

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "src/cloud/profiles.h"
+#include "src/cloud/sim_cloud.h"
+#include "src/net/message.h"
+#include "src/net/tcp.h"
+#include "src/net/transport.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+// --------------------------------------------------------------- SimCloud --
+
+TEST(SimCloudTest, VirtualClockChargesBandwidth) {
+  MemBackend inner;
+  CloudProfile p{"test", 10.0, 0.0, 5.0, 0.0, 0.0};  // 10 MB/s up, 5 down
+  SimCloud cloud(&inner, p, /*virtual_time=*/true);
+  Bytes data(10 * 1024 * 1024, 'x');
+  ASSERT_TRUE(cloud.Put("o", data).ok());
+  EXPECT_NEAR(cloud.upload_seconds(), 1.0, 0.01);
+  ASSERT_TRUE(cloud.Get("o").ok());
+  EXPECT_NEAR(cloud.download_seconds(), 2.0, 0.01);
+  EXPECT_EQ(cloud.bytes_uploaded(), data.size());
+  EXPECT_EQ(cloud.bytes_downloaded(), data.size());
+}
+
+TEST(SimCloudTest, LatencyAccumulatesPerRequest) {
+  MemBackend inner;
+  CloudProfile p{"test", 0.0, 0.0, 0.0, 0.0, 0.1};  // unlimited bw, 100ms RTT
+  SimCloud cloud(&inner, p, true);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cloud.Put("o" + std::to_string(i), BytesOf("x")).ok());
+  }
+  EXPECT_NEAR(cloud.upload_seconds(), 0.5, 1e-9);
+}
+
+TEST(SimCloudTest, UnavailableCloudRejectsEverything) {
+  MemBackend inner;
+  SimCloud cloud(&inner, UnlimitedProfile(), true);
+  ASSERT_TRUE(cloud.Put("o", BytesOf("x")).ok());
+  cloud.set_available(false);
+  EXPECT_EQ(cloud.Put("p", BytesOf("y")).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cloud.Get("o").status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(cloud.Exists("o"));
+  cloud.set_available(true);
+  EXPECT_TRUE(cloud.Get("o").ok());
+}
+
+TEST(SimCloudTest, CorruptReadsFlipBytes) {
+  MemBackend inner;
+  SimCloud cloud(&inner, UnlimitedProfile(), true);
+  Bytes data = Rng(1).RandomBytes(100);
+  ASSERT_TRUE(cloud.Put("o", data).ok());
+  cloud.set_corrupt_reads(true);
+  auto got = cloud.Get("o");
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE(got.value(), data) << "corruption injection must alter content";
+  // The backing object is untouched.
+  EXPECT_EQ(inner.Get("o").value(), data);
+}
+
+TEST(SimCloudTest, ResetClocksZeroesAccounting) {
+  MemBackend inner;
+  CloudProfile p{"t", 1.0, 0.0, 1.0, 0.0, 0.0};
+  SimCloud cloud(&inner, p, true);
+  ASSERT_TRUE(cloud.Put("o", Bytes(1024 * 1024, 'x')).ok());
+  EXPECT_GT(cloud.upload_seconds(), 0.0);
+  cloud.ResetClocks();
+  EXPECT_EQ(cloud.upload_seconds(), 0.0);
+  EXPECT_EQ(cloud.bytes_uploaded(), 0u);
+}
+
+TEST(MultiCloudTest, BuildsNClouds) {
+  MultiCloud mc(Table2CloudProfiles());
+  EXPECT_EQ(mc.cloud_count(), 4);
+  EXPECT_EQ(mc.cloud(0)->profile().name, "Amazon");
+  EXPECT_EQ(mc.cloud(3)->profile().name, "Rackspace");
+}
+
+// --------------------------------------------------------------- messages --
+
+TEST(MessageTest, FpQueryRoundTrip) {
+  FpQueryRequest req;
+  req.user = 42;
+  req.fps = {FingerprintOf(BytesOf("a")), FingerprintOf(BytesOf("b"))};
+  Bytes frame = Encode(req);
+  EXPECT_EQ(PeekType(frame), MsgType::kFpQueryRequest);
+  FpQueryRequest back;
+  ASSERT_TRUE(Decode(frame, &back).ok());
+  EXPECT_EQ(back.user, 42u);
+  EXPECT_EQ(back.fps, req.fps);
+
+  FpQueryReply reply;
+  reply.duplicate = {1, 0};
+  FpQueryReply reply_back;
+  ASSERT_TRUE(Decode(Encode(reply), &reply_back).ok());
+  EXPECT_EQ(reply_back.duplicate, reply.duplicate);
+}
+
+TEST(MessageTest, UploadSharesRoundTrip) {
+  UploadSharesRequest req;
+  req.user = 7;
+  req.shares = {Rng(2).RandomBytes(100), Rng(3).RandomBytes(0), Rng(4).RandomBytes(5000)};
+  UploadSharesRequest back;
+  ASSERT_TRUE(Decode(Encode(req), &back).ok());
+  EXPECT_EQ(back.user, 7u);
+  EXPECT_EQ(back.shares, req.shares);
+}
+
+TEST(MessageTest, PutFileAndGetFileRoundTrip) {
+  PutFileRequest req;
+  req.user = 9;
+  req.path_key = BytesOf("pathshare");
+  req.file_size = 123456;
+  for (int i = 0; i < 10; ++i) {
+    req.recipe.push_back({FingerprintOf(Bytes{static_cast<uint8_t>(i)}),
+                          static_cast<uint32_t>(8192 - i), static_cast<uint32_t>(2763)});
+  }
+  PutFileRequest back;
+  ASSERT_TRUE(Decode(Encode(req), &back).ok());
+  EXPECT_EQ(back.file_size, req.file_size);
+  ASSERT_EQ(back.recipe.size(), req.recipe.size());
+  EXPECT_EQ(back.recipe[3].fp, req.recipe[3].fp);
+  EXPECT_EQ(back.recipe[3].secret_size, req.recipe[3].secret_size);
+
+  GetFileReply reply;
+  reply.file_size = req.file_size;
+  reply.recipe = req.recipe;
+  GetFileReply reply_back;
+  ASSERT_TRUE(Decode(Encode(reply), &reply_back).ok());
+  EXPECT_EQ(reply_back.recipe.size(), req.recipe.size());
+}
+
+TEST(MessageTest, ErrorsCarryStatus) {
+  Bytes frame = EncodeError(Status::NotFound("no such file"));
+  EXPECT_EQ(PeekType(frame), MsgType::kError);
+  Status st = DecodeIfError(frame);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "no such file");
+  // Non-error frames pass through.
+  EXPECT_TRUE(DecodeIfError(Encode(StatsRequest{})).ok());
+}
+
+TEST(MessageTest, DecodeRejectsWrongType) {
+  Bytes frame = Encode(StatsRequest{});
+  FpQueryRequest req;
+  EXPECT_FALSE(Decode(frame, &req).ok());
+}
+
+TEST(MessageTest, DecodeRejectsTruncatedFrame) {
+  FpQueryRequest req;
+  req.user = 1;
+  req.fps = {FingerprintOf(BytesOf("x"))};
+  Bytes frame = Encode(req);
+  frame.resize(frame.size() / 2);
+  FpQueryRequest back;
+  EXPECT_FALSE(Decode(frame, &back).ok());
+}
+
+// -------------------------------------------------------------- transports --
+
+TEST(InProcTransportTest, EchoesThroughHandler) {
+  InProcTransport t([](ConstByteSpan req) {
+    Bytes reply(req.begin(), req.end());
+    std::reverse(reply.begin(), reply.end());
+    return reply;
+  });
+  auto reply = t.Call(BytesOf("abc"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(StringOf(reply.value()), "cba");
+  EXPECT_EQ(t.bytes_sent(), 3u);
+  EXPECT_EQ(t.bytes_received(), 3u);
+}
+
+TEST(InProcTransportTest, DisconnectedFails) {
+  InProcTransport t([](ConstByteSpan) { return Bytes{}; });
+  t.set_connected(false);
+  EXPECT_EQ(t.Call(BytesOf("x")).status().code(), StatusCode::kUnavailable);
+  t.set_connected(true);
+  EXPECT_TRUE(t.Call(BytesOf("x")).ok());
+}
+
+TEST(InProcTransportTest, ChargesLinkBandwidth) {
+  RateLimiter up(1024 * 1024);    // 1 MB/s
+  RateLimiter down(2 * 1024 * 1024);
+  up.set_simulated(true);
+  down.set_simulated(true);
+  InProcTransport t([](ConstByteSpan) { return Bytes(2 * 1024 * 1024, 'r'); }, &up, &down);
+  ASSERT_TRUE(t.Call(Bytes(1024 * 1024, 'q')).ok());
+  EXPECT_NEAR(up.simulated_seconds(), 1.0, 0.01);
+  EXPECT_NEAR(down.simulated_seconds(), 1.0, 0.01);
+}
+
+TEST(TcpTest, RequestReplyOverLoopback) {
+  auto server = TcpServer::Listen(0, [](ConstByteSpan req) {
+    Bytes reply = BytesOf("pong:");
+    reply.insert(reply.end(), req.begin(), req.end());
+    return reply;
+  });
+  ASSERT_TRUE(server.ok());
+  auto client = TcpTransport::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  auto reply = client.value()->Call(BytesOf("ping"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(StringOf(reply.value()), "pong:ping");
+}
+
+TEST(TcpTest, MultipleSequentialCalls) {
+  auto server = TcpServer::Listen(0, [](ConstByteSpan req) {
+    return Bytes(req.begin(), req.end());
+  });
+  ASSERT_TRUE(server.ok());
+  auto client = TcpTransport::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Bytes payload = rng.RandomBytes(1 + rng.Uniform(50000));
+    auto reply = client.value()->Call(payload);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value(), payload);
+  }
+}
+
+TEST(TcpTest, MultipleConcurrentClients) {
+  auto server = TcpServer::Listen(0, [](ConstByteSpan req) {
+    return Bytes(req.begin(), req.end());
+  });
+  ASSERT_TRUE(server.ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&, c]() {
+      auto client = TcpTransport::Connect("127.0.0.1", server.value()->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      Rng rng(c);
+      for (int i = 0; i < 10; ++i) {
+        Bytes payload = rng.RandomBytes(1000);
+        auto reply = client.value()->Call(payload);
+        if (!reply.ok() || reply.value() != payload) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  auto client = TcpTransport::Connect("127.0.0.1", 1);  // port 1: closed
+  EXPECT_FALSE(client.ok());
+}
+
+}  // namespace
+}  // namespace cdstore

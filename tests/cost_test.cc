@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.h"
+#include "src/cost/pricing.h"
+
+namespace cdstore {
+namespace {
+
+TEST(PricingTest, S3TieredPricing) {
+  // 1 TB entirely in the first tier.
+  EXPECT_NEAR(S3MonthlyUsd(1.0), 1024 * 0.0300, 0.01);
+  // 50 TB: 1 TB @ .0300 + 49 TB @ .0295.
+  EXPECT_NEAR(S3MonthlyUsd(50.0), 1024 * 0.0300 + 49 * 1024 * 0.0295, 0.1);
+  EXPECT_EQ(S3MonthlyUsd(0.0), 0.0);
+  // Monotone increasing.
+  EXPECT_GT(S3MonthlyUsd(100), S3MonthlyUsd(99));
+}
+
+TEST(PricingTest, PaperStorageCostBallpark) {
+  // §5.6: 16 TB/week x 26 weeks = 416 TB logical on a single cloud costs
+  // around US$12,250/month.
+  double usd = S3MonthlyUsd(16.0 * 26);
+  EXPECT_GT(usd, 11000);
+  EXPECT_LT(usd, 13500);
+}
+
+TEST(PricingTest, InstanceSelectionPrefersCheapest) {
+  int count = 0;
+  auto inst = CheapestInstanceFor(10.0, &count);  // 10 GB index
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst.value().name, "c3.large");
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PricingTest, InstanceSelectionScalesUp) {
+  int count = 0;
+  auto inst = CheapestInstanceFor(500.0, &count);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst.value().name, "i2.xlarge");
+  EXPECT_EQ(count, 1);
+
+  auto huge = CheapestInstanceFor(10000.0, &count);  // 10 TB of index
+  ASSERT_TRUE(huge.ok());
+  EXPECT_GT(count, 1) << "index beyond the largest instance shards across several";
+}
+
+TEST(PricingTest, InstancePricesMatchPaperRange) {
+  // §5.6: "around US$60-1,300 per month".
+  for (const auto& inst : Ec2Instances2014()) {
+    EXPECT_GE(inst.monthly_usd, 60);
+    EXPECT_LE(inst.monthly_usd, 1300);
+  }
+}
+
+CostScenario PaperScenario() {
+  CostScenario s;
+  s.weekly_backup_tb = 16;
+  s.retention_weeks = 26;
+  s.dedup_ratio = 10;
+  s.n = 4;
+  s.k = 3;
+  return s;
+}
+
+TEST(CostModelTest, PaperHeadlineSaving) {
+  // §5.6 headline: "at least 70% of cost savings" at 16 TB/week, 10x dedup.
+  CostScenario s = PaperScenario();
+  EXPECT_GT(SavingVsAontRs(s), 0.70);
+  EXPECT_GT(SavingVsSingleCloud(s), 0.60);
+  // Saving vs AONT-RS exceeds saving vs single cloud (baseline carries the
+  // same n/k redundancy).
+  EXPECT_GT(SavingVsAontRs(s), SavingVsSingleCloud(s));
+}
+
+TEST(CostModelTest, BaselineCostsMatchPaperNumbers) {
+  CostScenario s = PaperScenario();
+  CostBreakdown single = SingleCloudMonthlyCost(s);
+  EXPECT_NEAR(single.total_usd, 12250, 1500);  // "around US$12,250/month"
+  CostBreakdown aont = AontRsMonthlyCost(s);
+  EXPECT_NEAR(aont.total_usd, 16400, 2000);  // "around US$16,400/month"
+  CostBreakdown cd = CdstoreMonthlyCost(s);
+  EXPECT_LT(cd.total_usd, 6000);
+  EXPECT_GT(cd.vm_usd, 0);
+}
+
+TEST(CostModelTest, SavingGrowsWithDedupRatio) {
+  CostScenario s = PaperScenario();
+  double prev = -1;
+  for (double d : {2.0, 5.0, 10.0, 25.0, 50.0}) {
+    s.dedup_ratio = d;
+    double saving = SavingVsAontRs(s);
+    EXPECT_GT(saving, prev);
+    prev = saving;
+  }
+  // §5.6 reports 70-80% between 10x and 50x; our recipe/index model is
+  // leaner than the authors' tool, so the 50x point runs a little higher.
+  s.dedup_ratio = 50;
+  EXPECT_LT(SavingVsAontRs(s), 0.95);
+}
+
+TEST(CostModelTest, SavingGrowsWithBackupSize) {
+  CostScenario s = PaperScenario();
+  s.weekly_backup_tb = 0.25;
+  double small = SavingVsAontRs(s);
+  s.weekly_backup_tb = 16;
+  double big = SavingVsAontRs(s);
+  EXPECT_GT(big, small) << "VM cost amortizes with scale (Fig 9a shape)";
+}
+
+TEST(CostModelTest, RecipesDampenSavingsAtHighDedup) {
+  // §5.6: "the overhead of file recipes becomes significant when the
+  // total backup size is large while the backups have a high dedup ratio".
+  CostScenario s = PaperScenario();
+  s.dedup_ratio = 50;
+  CostBreakdown cd = CdstoreMonthlyCost(s);
+  double recipe_tb = cd.stored_tb - (16.0 * 26 / 50) * (4.0 / 3) * (1 + 32.0 / 8192);
+  EXPECT_GT(recipe_tb, 0.5) << "recipe bytes must be accounted";
+}
+
+TEST(CostModelTest, VmInstanceSwitchesWithIndexSize) {
+  CostScenario s = PaperScenario();
+  s.weekly_backup_tb = 0.25;
+  std::string small_instance = CdstoreMonthlyCost(s).instance;
+  s.weekly_backup_tb = 256;
+  std::string big_instance = CdstoreMonthlyCost(s).instance;
+  EXPECT_NE(small_instance, big_instance) << "Fig 9a's jagged curve comes from this switch";
+}
+
+TEST(CostModelTest, NoDedupIsWorseThanBaseline) {
+  CostScenario s = PaperScenario();
+  s.dedup_ratio = 1.0;  // dedup disabled
+  // CDStore then pays the VMs (sized for a 416TB-scale index) and the
+  // recipe storage on top of the same share bytes: strictly worse than the
+  // serverless AONT-RS baseline. Dedup is what pays for the servers.
+  double saving = SavingVsAontRs(s);
+  EXPECT_LT(saving, 0.0);
+  EXPECT_GT(saving, -0.75);
+}
+
+}  // namespace
+}  // namespace cdstore

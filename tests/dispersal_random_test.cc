@@ -1,0 +1,160 @@
+// Randomized property tests for the dispersal layer: random k-subsets in
+// random order, share-loss patterns at the reliability boundary, and
+// cross-scheme share-size uniformity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/dispersal/aont_rs.h"
+#include "src/dispersal/registry.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+class RandomSubsetTest : public ::testing::TestWithParam<SchemeType> {};
+
+TEST_P(RandomSubsetTest, RandomKSubsetsInRandomOrderDecode) {
+  const int n = 10, k = 6;
+  SchemeParams p{.n = n, .k = k, .r = 2, .salt = {}};
+  auto made = MakeScheme(GetParam(), p);
+  ASSERT_TRUE(made.ok());
+  SecretSharing& scheme = *made.value();
+  Rng rng(0xD15);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t size = 1 + rng.Uniform(20000);
+    Bytes secret = rng.RandomBytes(size);
+    std::vector<Bytes> shares;
+    ASSERT_TRUE(scheme.Encode(secret, &shares).ok());
+
+    // Random subset of exactly k, in random order.
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.Uniform(i + 1)]);
+    }
+    std::vector<int> ids(perm.begin(), perm.begin() + k);
+    std::vector<Bytes> subset;
+    for (int id : ids) {
+      subset.push_back(shares[id]);
+    }
+    Bytes back;
+    ASSERT_TRUE(scheme.Decode(ids, subset, size, &back).ok())
+        << scheme.name() << " trial " << trial;
+    EXPECT_EQ(back, secret) << scheme.name() << " trial " << trial;
+  }
+}
+
+TEST_P(RandomSubsetTest, MoreThanKSharesAlsoDecode) {
+  const int n = 7, k = 4;
+  SchemeParams p{.n = n, .k = k, .r = 1, .salt = {}};
+  auto made = MakeScheme(GetParam(), p);
+  ASSERT_TRUE(made.ok());
+  SecretSharing& scheme = *made.value();
+  Rng rng(0xD16);
+  Bytes secret = rng.RandomBytes(5000);
+  std::vector<Bytes> shares;
+  ASSERT_TRUE(scheme.Encode(secret, &shares).ok());
+  // All n shares at once.
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  Bytes back;
+  ASSERT_TRUE(scheme.Decode(ids, shares, secret.size(), &back).ok());
+  EXPECT_EQ(back, secret);
+}
+
+TEST_P(RandomSubsetTest, SharesAreUniformlySized) {
+  SchemeParams p{.n = 5, .k = 3, .r = 1, .salt = {}};
+  auto made = MakeScheme(GetParam(), p);
+  ASSERT_TRUE(made.ok());
+  Rng rng(0xD17);
+  for (size_t size : {1ul, 100ul, 8191ul, 8192ul, 8193ul}) {
+    Bytes secret = rng.RandomBytes(size);
+    std::vector<Bytes> shares;
+    ASSERT_TRUE(made.value()->Encode(secret, &shares).ok());
+    for (const Bytes& s : shares) {
+      EXPECT_EQ(s.size(), shares[0].size()) << "unequal shares at size " << size;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RandomSubsetTest, ::testing::ValuesIn(AllSchemeTypes()),
+                         [](const ::testing::TestParamInfo<SchemeType>& info) {
+                           std::string name = SchemeTypeName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ReliabilityBoundaryTest, ExactlyKSharesSuffice) {
+  // Convergent dispersal keeps working right at the failure boundary:
+  // losing n-k shares is fine; n-k+1 is not.
+  for (auto [n, k] : {std::pair{4, 3}, std::pair{6, 3}, std::pair{9, 5}}) {
+    SchemeParams p{.n = n, .k = k, .r = k - 1, .salt = {}};
+    auto scheme = std::move(MakeScheme(SchemeType::kCaontRs, p).value());
+    Rng rng(n * 100 + k);
+    Bytes secret = rng.RandomBytes(10000);
+    std::vector<Bytes> shares;
+    ASSERT_TRUE(scheme->Encode(secret, &shares).ok());
+
+    // Lose the last n-k: decode from the first k.
+    std::vector<int> ids(k);
+    std::iota(ids.begin(), ids.end(), 0);
+    std::vector<Bytes> subset(shares.begin(), shares.begin() + k);
+    Bytes back;
+    ASSERT_TRUE(scheme->Decode(ids, subset, secret.size(), &back).ok());
+    EXPECT_EQ(back, secret);
+
+    // k-1 shares must be rejected outright.
+    ids.pop_back();
+    subset.pop_back();
+    EXPECT_FALSE(scheme->Decode(ids, subset, secret.size(), &back).ok())
+        << "decode must refuse fewer than k shares";
+  }
+}
+
+TEST(ConfidentialityTest, SharesLookRandomForHighEntropySecrets) {
+  // A weak but useful distinguisher: CAONT-RS shares of a random secret
+  // should have near-uniform byte histograms (no plaintext structure).
+  auto scheme = MakeCaontRs(4, 3);
+  Rng rng(0xC0);
+  Bytes secret = rng.RandomBytes(1 << 16);
+  std::vector<Bytes> shares;
+  ASSERT_TRUE(scheme->Encode(secret, &shares).ok());
+  for (const Bytes& share : shares) {
+    double counts[256] = {0};
+    for (uint8_t b : share) {
+      counts[b] += 1;
+    }
+    double expected = static_cast<double>(share.size()) / 256.0;
+    double chi2 = 0;
+    for (double c : counts) {
+      chi2 += (c - expected) * (c - expected) / expected;
+    }
+    // 255 dof: mean 255, stddev ~22.6; 400 is a ~6-sigma bound.
+    EXPECT_LT(chi2, 400.0);
+  }
+}
+
+TEST(ConfidentialityTest, SharesOfStructuredSecretsAreStillRandom) {
+  // All-zero secrets are the worst case for leaking structure.
+  auto scheme = MakeCaontRs(4, 3);
+  Bytes secret(1 << 16, 0);
+  std::vector<Bytes> shares;
+  ASSERT_TRUE(scheme->Encode(secret, &shares).ok());
+  for (const Bytes& share : shares) {
+    // No long zero runs should survive the AONT.
+    size_t longest_zero_run = 0, run = 0;
+    for (uint8_t b : share) {
+      run = (b == 0) ? run + 1 : 0;
+      longest_zero_run = std::max(longest_zero_run, run);
+    }
+    EXPECT_LT(longest_zero_run, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace cdstore

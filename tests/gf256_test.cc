@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "src/gf256/gf256.h"
+#include "src/gf256/matrix.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+// ------------------------------------------------------------ field axioms --
+
+TEST(Gf256Test, MulByZeroAndOne) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Gf256Mul(static_cast<uint8_t>(a), 0), 0);
+    EXPECT_EQ(Gf256Mul(0, static_cast<uint8_t>(a)), 0);
+    EXPECT_EQ(Gf256Mul(static_cast<uint8_t>(a), 1), a);
+  }
+}
+
+TEST(Gf256Test, MulCommutative) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.NextU64());
+    uint8_t b = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_EQ(Gf256Mul(a, b), Gf256Mul(b, a));
+  }
+}
+
+TEST(Gf256Test, MulAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.NextU64());
+    uint8_t b = static_cast<uint8_t>(rng.NextU64());
+    uint8_t c = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_EQ(Gf256Mul(Gf256Mul(a, b), c), Gf256Mul(a, Gf256Mul(b, c)));
+  }
+}
+
+TEST(Gf256Test, DistributesOverXor) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.NextU64());
+    uint8_t b = static_cast<uint8_t>(rng.NextU64());
+    uint8_t c = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_EQ(Gf256Mul(a, b ^ c), Gf256Mul(a, b) ^ Gf256Mul(a, c));
+  }
+}
+
+TEST(Gf256Test, InverseIsExact) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t inv = Gf256Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Gf256Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.NextU64());
+    uint8_t b = static_cast<uint8_t>(rng.NextU64() | 1);  // nonzero-ish
+    if (b == 0) continue;
+    EXPECT_EQ(Gf256Div(Gf256Mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, KnownProducts) {
+  // Hand-checked products for poly 0x11d.
+  EXPECT_EQ(Gf256Mul(2, 128), 29);       // 0x80*2 = 0x100 -> ^0x11d = 0x1d
+  EXPECT_EQ(Gf256Mul(0xff, 0xff), 0xe2);
+  EXPECT_EQ(Gf256Pow(2, 8), 29);
+  EXPECT_EQ(Gf256Pow(2, 0), 1);
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  for (int e = 0; e < 20; ++e) {
+    uint8_t expect = 1;
+    for (int i = 0; i < e; ++i) {
+      expect = Gf256Mul(expect, 3);
+    }
+    EXPECT_EQ(Gf256Pow(3, e), expect);
+  }
+}
+
+// ------------------------------------------------------------- region ops --
+
+TEST(Gf256RegionTest, AddMulMatchesScalarReference) {
+  Rng rng(5);
+  for (size_t size : {0ul, 1ul, 15ul, 16ul, 17ul, 63ul, 64ul, 1000ul, 4096ul}) {
+    Bytes src = rng.RandomBytes(size);
+    Bytes dst = rng.RandomBytes(size);
+    for (uint8_t c : {0, 1, 2, 127, 255}) {
+      Bytes expect = dst;
+      for (size_t i = 0; i < size; ++i) {
+        expect[i] ^= Gf256Mul(src[i], c);
+      }
+      Bytes got = dst;
+      Gf256AddMulRegion(got, src, c);
+      EXPECT_EQ(got, expect) << "size=" << size << " c=" << static_cast<int>(c);
+    }
+  }
+}
+
+TEST(Gf256RegionTest, ScalarAndLogExpAgree) {
+  Rng rng(6);
+  Bytes src = rng.RandomBytes(333);
+  for (uint8_t c : {3, 99, 200}) {
+    Bytes a = rng.RandomBytes(333);
+    Bytes b = a;
+    Gf256AddMulRegionScalar(a, src, c);
+    Gf256AddMulRegionLogExp(b, src, c);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Gf256RegionTest, MulRegionZeroClears) {
+  Rng rng(7);
+  Bytes src = rng.RandomBytes(100);
+  Bytes dst = rng.RandomBytes(100);
+  Gf256MulRegion(dst, src, 0);
+  EXPECT_EQ(dst, Bytes(100, 0));
+}
+
+TEST(Gf256RegionTest, MulRegionOneCopies) {
+  Rng rng(8);
+  Bytes src = rng.RandomBytes(100);
+  Bytes dst(100, 0xee);
+  Gf256MulRegion(dst, src, 1);
+  EXPECT_EQ(dst, src);
+}
+
+// ---------------------------------------------------------------- matrix --
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Gf256Matrix id = Gf256Matrix::Identity(5);
+  Gf256Matrix m(5, 5);
+  Rng rng(9);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      m.Set(r, c, static_cast<uint8_t>(rng.NextU64()));
+    }
+  }
+  EXPECT_EQ(id.Multiply(m), m);
+  EXPECT_EQ(m.Multiply(id), m);
+}
+
+TEST(MatrixTest, InvertRoundTrip) {
+  Rng rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 1 + static_cast<int>(rng.Uniform(8));
+    Gf256Matrix m(n, n);
+    // Random matrices over GF(256) are nonsingular with high probability;
+    // retry until invertible.
+    Result<Gf256Matrix> inv = Status::Internal("unset");
+    do {
+      for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+          m.Set(r, c, static_cast<uint8_t>(rng.NextU64()));
+        }
+      }
+      inv = m.Invert();
+    } while (!inv.ok());
+    EXPECT_EQ(m.Multiply(inv.value()), Gf256Matrix::Identity(n));
+  }
+}
+
+TEST(MatrixTest, SingularMatrixRejected) {
+  Gf256Matrix m(2, 2, {1, 2, 1, 2});  // duplicate rows
+  EXPECT_FALSE(m.Invert().ok());
+}
+
+TEST(MatrixTest, NonSquareInvertRejected) {
+  Gf256Matrix m(2, 3);
+  EXPECT_FALSE(m.Invert().ok());
+}
+
+TEST(MatrixTest, ExtendedCauchyTopIsIdentity) {
+  Gf256Matrix m = Gf256Matrix::ExtendedCauchy(6, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.At(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+// The MDS property: EVERY k-row submatrix must be invertible. Exhaustive
+// over all k-subsets for small (n, k) pairs.
+class MdsPropertyTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MdsPropertyTest, AllKSubsetsInvertible) {
+  auto [n, k] = GetParam();
+  Gf256Matrix m = Gf256Matrix::ExtendedCauchy(n, k);
+  std::vector<int> pick(k);
+  for (int i = 0; i < k; ++i) pick[i] = i;
+  int checked = 0;
+  while (true) {
+    EXPECT_TRUE(m.SelectRows(pick).Invert().ok())
+        << "singular submatrix for n=" << n << " k=" << k;
+    ++checked;
+    int i = k - 1;
+    while (i >= 0 && pick[i] == n - (k - i)) --i;
+    if (i < 0) break;
+    ++pick[i];
+    for (int j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCodes, MdsPropertyTest,
+                         ::testing::Values(std::make_pair(4, 3), std::make_pair(4, 2),
+                                           std::make_pair(5, 3), std::make_pair(6, 4),
+                                           std::make_pair(8, 6), std::make_pair(10, 8),
+                                           std::make_pair(20, 15)));
+
+TEST(MatrixTest, SelectRowsPicksCorrectRows) {
+  Gf256Matrix m = Gf256Matrix::ExtendedCauchy(5, 3);
+  Gf256Matrix sel = m.SelectRows({4, 0});
+  EXPECT_EQ(sel.rows(), 2);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(sel.At(0, c), m.At(4, c));
+    EXPECT_EQ(sel.At(1, c), m.At(0, c));
+  }
+}
+
+}  // namespace
+}  // namespace cdstore

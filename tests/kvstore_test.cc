@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/kvstore/bloom.h"
+#include "src/kvstore/block_cache.h"
+#include "src/kvstore/db.h"
+#include "src/kvstore/memtable.h"
+#include "src/kvstore/wal.h"
+#include "src/util/fs_util.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+Bytes B(const std::string& s) { return BytesOf(s); }
+
+DbOptions SmallDb() {
+  DbOptions o;
+  o.write_buffer_size = 16 * 1024;  // flush often so tests exercise SSTs
+  o.compaction_trigger = 3;
+  return o;
+}
+
+// ----------------------------------------------------------------- bloom --
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter f(1000, 10);
+  Rng rng(1);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(rng.RandomBytes(20));
+    f.Add(keys.back());
+  }
+  for (const Bytes& k : keys) {
+    EXPECT_TRUE(f.MayContain(k));
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilter f(1000, 10);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    f.Add(rng.RandomBytes(20));
+  }
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (f.MayContain(rng.RandomBytes(21))) {
+      ++fp;
+    }
+  }
+  // 10 bits/key gives ~1%; allow up to 5%.
+  EXPECT_LT(fp, 500);
+}
+
+TEST(BloomTest, SerializeRoundTrip) {
+  BloomFilter f(100, 10);
+  f.Add(B("hello"));
+  f.Add(B("world"));
+  BloomFilter g = BloomFilter::Deserialize(f.Serialize());
+  EXPECT_TRUE(g.MayContain(B("hello")));
+  EXPECT_TRUE(g.MayContain(B("world")));
+}
+
+// ----------------------------------------------------------- block cache --
+
+TEST(BlockCacheTest, HitAfterInsert) {
+  BlockCache cache(1024);
+  cache.Insert(1, 0, Bytes(100, 'x'));
+  auto hit = cache.Lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 100u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsLruUnderPressure) {
+  BlockCache cache(250);
+  cache.Insert(1, 0, Bytes(100, 'a'));
+  cache.Insert(1, 100, Bytes(100, 'b'));
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);   // touch block 0: now MRU
+  cache.Insert(1, 200, Bytes(100, 'c'));    // evicts block at offset 100
+  EXPECT_EQ(cache.Lookup(1, 100), nullptr);
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(1, 200), nullptr);
+}
+
+TEST(BlockCacheTest, EraseFileDropsAllItsBlocks) {
+  BlockCache cache(1 << 20);
+  cache.Insert(7, 0, Bytes(10));
+  cache.Insert(7, 10, Bytes(10));
+  cache.Insert(8, 0, Bytes(10));
+  cache.EraseFile(7);
+  EXPECT_EQ(cache.Lookup(7, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 10), nullptr);
+  EXPECT_NE(cache.Lookup(8, 0), nullptr);
+}
+
+// -------------------------------------------------------------- memtable --
+
+TEST(MemTableTest, NewestVersionWins) {
+  MemTable mem;
+  mem.Add(1, ValueType::kPut, B("k"), B("v1"));
+  mem.Add(5, ValueType::kPut, B("k"), B("v5"));
+  Bytes value;
+  bool tomb = false;
+  ASSERT_TRUE(mem.Get(B("k"), ~0ull, &value, &tomb).ok());
+  EXPECT_EQ(value, B("v5"));
+}
+
+TEST(MemTableTest, SnapshotReadsOlderVersion) {
+  MemTable mem;
+  mem.Add(1, ValueType::kPut, B("k"), B("v1"));
+  mem.Add(5, ValueType::kPut, B("k"), B("v5"));
+  Bytes value;
+  bool tomb = false;
+  ASSERT_TRUE(mem.Get(B("k"), 3, &value, &tomb).ok());
+  EXPECT_EQ(value, B("v1"));
+}
+
+TEST(MemTableTest, TombstoneShadows) {
+  MemTable mem;
+  mem.Add(1, ValueType::kPut, B("k"), B("v"));
+  mem.Add(2, ValueType::kDelete, B("k"), {});
+  Bytes value;
+  bool tomb = false;
+  EXPECT_FALSE(mem.Get(B("k"), ~0ull, &value, &tomb).ok());
+  EXPECT_TRUE(tomb);
+}
+
+TEST(MemTableTest, IterationIsSorted) {
+  MemTable mem;
+  Rng rng(3);
+  std::map<Bytes, Bytes> expect;
+  for (int i = 0; i < 500; ++i) {
+    Bytes k = rng.RandomBytes(8);
+    Bytes v = rng.RandomBytes(16);
+    mem.Add(i + 1, ValueType::kPut, k, v);
+    expect[k] = v;
+  }
+  auto it = mem.NewIterator();
+  it.SeekToFirst();
+  Bytes prev;
+  size_t count = 0;
+  while (it.Valid()) {
+    if (count > 0) {
+      EXPECT_LE(prev, it.record().key);
+    }
+    prev = it.record().key;
+    ++count;
+    it.Next();
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+// ------------------------------------------------------------------- WAL --
+
+TEST(WalTest, AppendAndReplay) {
+  TempDir dir;
+  std::string path = dir.Sub("wal");
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    WriteBatch b1;
+    b1.Put(B("a"), B("1"));
+    b1.Put(B("b"), B("2"));
+    ASSERT_TRUE(w.value()->Append(1, b1, false).ok());
+    WriteBatch b2;
+    b2.Delete(B("a"));
+    ASSERT_TRUE(w.value()->Append(3, b2, false).ok());
+  }
+  std::vector<std::pair<uint64_t, size_t>> seen;
+  auto replayed = ReplayWal(path, [&seen](uint64_t seq, const WriteBatch& b) {
+    seen.push_back({seq, b.ops.size()});
+  });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value(), 3u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<uint64_t, size_t>{1, 2}));
+  EXPECT_EQ(seen[1], (std::pair<uint64_t, size_t>{3, 1}));
+}
+
+TEST(WalTest, TruncatedTailIsDiscarded) {
+  TempDir dir;
+  std::string path = dir.Sub("wal");
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    WriteBatch b;
+    b.Put(B("a"), B("1"));
+    ASSERT_TRUE(w.value()->Append(1, b, false).ok());
+    b.Clear();
+    b.Put(B("b"), B("2"));
+    ASSERT_TRUE(w.value()->Append(2, b, false).ok());
+  }
+  // Chop off the last 3 bytes: the second record is torn.
+  auto data = ReadFileBytes(path);
+  ASSERT_TRUE(data.ok());
+  data.value().resize(data.value().size() - 3);
+  ASSERT_TRUE(WriteFile(path, data.value()).ok());
+
+  int batches = 0;
+  auto replayed = ReplayWal(path, [&batches](uint64_t, const WriteBatch&) { ++batches; });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(batches, 1);
+  EXPECT_EQ(replayed.value(), 1u);
+}
+
+TEST(WalTest, CorruptedRecordStopsReplay) {
+  TempDir dir;
+  std::string path = dir.Sub("wal");
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    WriteBatch b;
+    b.Put(B("a"), B("1"));
+    ASSERT_TRUE(w.value()->Append(1, b, false).ok());
+  }
+  auto data = ReadFileBytes(path);
+  ASSERT_TRUE(data.ok());
+  data.value()[10] ^= 0xff;  // corrupt payload
+  ASSERT_TRUE(WriteFile(path, data.value()).ok());
+  int batches = 0;
+  auto replayed = ReplayWal(path, [&batches](uint64_t, const WriteBatch&) { ++batches; });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(batches, 0);
+}
+
+// -------------------------------------------------------------------- DB --
+
+TEST(DbTest, PutGetDelete) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->Put(B("key"), B("value")).ok());
+  Bytes v;
+  ASSERT_TRUE(db.value()->Get(B("key"), &v).ok());
+  EXPECT_EQ(v, B("value"));
+  ASSERT_TRUE(db.value()->Delete(B("key")).ok());
+  EXPECT_EQ(db.value()->Get(B("key"), &v).code(), StatusCode::kNotFound);
+}
+
+TEST(DbTest, OverwriteReturnsLatest) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.value()->Put(B("k"), B("v" + std::to_string(i))).ok());
+  }
+  Bytes v;
+  ASSERT_TRUE(db.value()->Get(B("k"), &v).ok());
+  EXPECT_EQ(v, B("v9"));
+}
+
+TEST(DbTest, SurvivesReopenViaWal) {
+  TempDir dir;
+  std::string path = dir.Sub("db");
+  {
+    auto db = Db::Open(path, SmallDb());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()->Put(B("persist"), B("me")).ok());
+  }
+  auto db = Db::Open(path, SmallDb());
+  ASSERT_TRUE(db.ok());
+  Bytes v;
+  ASSERT_TRUE(db.value()->Get(B("persist"), &v).ok());
+  EXPECT_EQ(v, B("me"));
+}
+
+TEST(DbTest, SurvivesReopenViaSstables) {
+  TempDir dir;
+  std::string path = dir.Sub("db");
+  Rng rng(4);
+  std::map<Bytes, Bytes> expect;
+  {
+    auto db = Db::Open(path, SmallDb());
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 2000; ++i) {  // forces multiple flushes + compaction
+      Bytes k = rng.RandomBytes(16);
+      Bytes v = rng.RandomBytes(64);
+      ASSERT_TRUE(db.value()->Put(k, v).ok());
+      expect[k] = v;
+    }
+    ASSERT_TRUE(db.value()->Flush().ok());
+    EXPECT_GE(db.value()->sstable_count(), 1);
+  }
+  auto db = Db::Open(path, SmallDb());
+  ASSERT_TRUE(db.ok());
+  int checked = 0;
+  for (const auto& [k, v] : expect) {
+    Bytes got;
+    ASSERT_TRUE(db.value()->Get(k, &got).ok()) << "missing key after reopen";
+    EXPECT_EQ(got, v);
+    if (++checked >= 200) break;  // sample
+  }
+}
+
+TEST(DbTest, TombstoneShadowsAcrossSstables) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->Put(B("k"), B("v")).ok());
+  ASSERT_TRUE(db.value()->Flush().ok());  // v lives in an SSTable
+  ASSERT_TRUE(db.value()->Delete(B("k")).ok());
+  ASSERT_TRUE(db.value()->Flush().ok());  // tombstone in a newer SSTable
+  Bytes v;
+  EXPECT_EQ(db.value()->Get(B("k"), &v).code(), StatusCode::kNotFound);
+}
+
+TEST(DbTest, CompactionPreservesData) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  Rng rng(5);
+  std::map<Bytes, Bytes> expect;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      Bytes k = rng.RandomBytes(8);
+      Bytes v = rng.RandomBytes(32);
+      ASSERT_TRUE(db.value()->Put(k, v).ok());
+      expect[k] = v;
+    }
+    ASSERT_TRUE(db.value()->Flush().ok());
+  }
+  ASSERT_TRUE(db.value()->CompactAll().ok());
+  EXPECT_EQ(db.value()->sstable_count(), 1);
+  for (const auto& [k, v] : expect) {
+    Bytes got;
+    ASSERT_TRUE(db.value()->Get(k, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(DbTest, CompactionDropsTombstones) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.value()->Put(B("k" + std::to_string(i)), B("v")).ok());
+  }
+  ASSERT_TRUE(db.value()->Flush().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.value()->Delete(B("k" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(db.value()->Flush().ok());
+  ASSERT_TRUE(db.value()->CompactAll().ok());
+  auto it = db.value()->NewIterator();
+  int live = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ++live;
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(DbTest, IteratorYieldsSortedVisibleKeys) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->Put(B("b"), B("2")).ok());
+  ASSERT_TRUE(db.value()->Put(B("a"), B("1")).ok());
+  ASSERT_TRUE(db.value()->Flush().ok());
+  ASSERT_TRUE(db.value()->Put(B("c"), B("3")).ok());
+  ASSERT_TRUE(db.value()->Put(B("b"), B("2v2")).ok());  // overwrite across levels
+  ASSERT_TRUE(db.value()->Delete(B("a")).ok());
+
+  auto it = db.value()->NewIterator();
+  std::vector<std::pair<std::string, std::string>> got;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    got.push_back({StringOf(it->key()), StringOf(it->value())});
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<std::string, std::string>{"b", "2v2"}));
+  EXPECT_EQ(got[1], (std::pair<std::string, std::string>{"c", "3"}));
+}
+
+TEST(DbTest, IteratorSeekLandsOnOrAfterTarget) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  for (char c = 'a'; c <= 'g'; c += 2) {  // a c e g
+    ASSERT_TRUE(db.value()->Put(B(std::string(1, c)), B("v")).ok());
+  }
+  auto it = db.value()->NewIterator();
+  it->Seek(B("d"));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(StringOf(it->key()), "e");
+}
+
+TEST(DbTest, SnapshotIsolation) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->Put(B("k"), B("old")).ok());
+  uint64_t snap = db.value()->GetSnapshot();
+  ASSERT_TRUE(db.value()->Put(B("k"), B("new")).ok());
+  ASSERT_TRUE(db.value()->Put(B("k2"), B("born-later")).ok());
+
+  Bytes v;
+  ASSERT_TRUE(db.value()->GetAt(snap, B("k"), &v).ok());
+  EXPECT_EQ(v, B("old"));
+  EXPECT_EQ(db.value()->GetAt(snap, B("k2"), &v).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db.value()->Get(B("k"), &v).ok());
+  EXPECT_EQ(v, B("new"));
+  db.value()->ReleaseSnapshot(snap);
+}
+
+TEST(DbTest, SnapshotSurvivesFlushAndCompaction) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->Put(B("k"), B("old")).ok());
+  ASSERT_TRUE(db.value()->Flush().ok());
+  uint64_t snap = db.value()->GetSnapshot();
+  ASSERT_TRUE(db.value()->Put(B("k"), B("new")).ok());
+  ASSERT_TRUE(db.value()->Flush().ok());
+  ASSERT_TRUE(db.value()->CompactAll().ok());  // must preserve snapshot version
+  Bytes v;
+  ASSERT_TRUE(db.value()->GetAt(snap, B("k"), &v).ok());
+  EXPECT_EQ(v, B("old"));
+  db.value()->ReleaseSnapshot(snap);
+}
+
+TEST(DbTest, WriteBatchIsAtomicInSequence) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  WriteBatch batch;
+  batch.Put(B("x"), B("1"));
+  batch.Put(B("y"), B("2"));
+  batch.Delete(B("x"));
+  ASSERT_TRUE(db.value()->Write(batch).ok());
+  Bytes v;
+  EXPECT_EQ(db.value()->Get(B("x"), &v).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db.value()->Get(B("y"), &v).ok());
+  EXPECT_EQ(v, B("2"));
+  EXPECT_EQ(db.value()->last_sequence(), 3u);
+}
+
+TEST(DbTest, LargeValuesRoundTrip) {
+  TempDir dir;
+  auto db = Db::Open(dir.Sub("db"), SmallDb());
+  ASSERT_TRUE(db.ok());
+  Bytes big = Rng(6).RandomBytes(300 * 1024);  // much larger than buffer
+  ASSERT_TRUE(db.value()->Put(B("big"), big).ok());
+  Bytes v;
+  ASSERT_TRUE(db.value()->Get(B("big"), &v).ok());
+  EXPECT_EQ(v, big);
+}
+
+TEST(DbTest, BlockCacheServesRepeatedReads) {
+  TempDir dir;
+  DbOptions o = SmallDb();
+  auto db = Db::Open(dir.Sub("db"), o);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db.value()->Put(B("key" + std::to_string(i)), B("v")).ok());
+  }
+  ASSERT_TRUE(db.value()->Flush().ok());
+  Bytes v;
+  ASSERT_TRUE(db.value()->Get(B("key42"), &v).ok());
+  uint64_t h0 = db.value()->block_cache().hits();
+  ASSERT_TRUE(db.value()->Get(B("key42"), &v).ok());
+  EXPECT_GT(db.value()->block_cache().hits(), h0);
+}
+
+}  // namespace
+}  // namespace cdstore

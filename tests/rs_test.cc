@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "src/rs/reed_solomon.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+std::vector<Bytes> RandomShards(Rng* rng, int k, size_t size) {
+  std::vector<Bytes> shards;
+  for (int i = 0; i < k; ++i) {
+    shards.push_back(rng->RandomBytes(size));
+  }
+  return shards;
+}
+
+TEST(ReedSolomonTest, SystematicPrefixEqualsData) {
+  Rng rng(1);
+  ReedSolomon rs(6, 4);
+  auto data = RandomShards(&rng, 4, 128);
+  std::vector<Bytes> all;
+  ASSERT_TRUE(rs.Encode(data, &all).ok());
+  ASSERT_EQ(all.size(), 6u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(all[i], data[i]);
+  }
+}
+
+TEST(ReedSolomonTest, ParityDiffersFromData) {
+  Rng rng(2);
+  ReedSolomon rs(4, 3);
+  auto data = RandomShards(&rng, 3, 64);
+  std::vector<Bytes> all;
+  ASSERT_TRUE(rs.Encode(data, &all).ok());
+  EXPECT_NE(all[3], all[0]);
+  EXPECT_NE(all[3], all[1]);
+}
+
+// Exhaustive any-k-subset reconstruction for a grid of (n, k).
+class RsSubsetTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RsSubsetTest, EveryKSubsetDecodes) {
+  auto [n, k] = GetParam();
+  Rng rng(42 + n * 100 + k);
+  ReedSolomon rs(n, k);
+  auto data = RandomShards(&rng, k, 100);
+  std::vector<Bytes> all;
+  ASSERT_TRUE(rs.Encode(data, &all).ok());
+
+  std::vector<int> pick(k);
+  for (int i = 0; i < k; ++i) pick[i] = i;
+  while (true) {
+    std::vector<int> ids(pick.begin(), pick.end());
+    std::vector<Bytes> shards;
+    for (int id : ids) shards.push_back(all[id]);
+    std::vector<Bytes> decoded;
+    ASSERT_TRUE(rs.Decode(ids, shards, &decoded).ok());
+    for (int j = 0; j < k; ++j) {
+      EXPECT_EQ(decoded[j], data[j]) << "subset failed, n=" << n << " k=" << k;
+    }
+    int i = k - 1;
+    while (i >= 0 && pick[i] == n - (k - i)) --i;
+    if (i < 0) break;
+    ++pick[i];
+    for (int j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RsSubsetTest,
+                         ::testing::Values(std::make_pair(4, 3), std::make_pair(4, 2),
+                                           std::make_pair(5, 3), std::make_pair(6, 4),
+                                           std::make_pair(8, 6), std::make_pair(10, 7),
+                                           std::make_pair(12, 9), std::make_pair(20, 15)));
+
+TEST(ReedSolomonTest, DecodeWithMoreThanKShares) {
+  Rng rng(3);
+  ReedSolomon rs(6, 3);
+  auto data = RandomShards(&rng, 3, 50);
+  std::vector<Bytes> all;
+  ASSERT_TRUE(rs.Encode(data, &all).ok());
+  std::vector<int> ids = {5, 1, 4, 2};  // 4 > k shards, shuffled order
+  std::vector<Bytes> shards;
+  for (int id : ids) shards.push_back(all[id]);
+  std::vector<Bytes> decoded;
+  ASSERT_TRUE(rs.Decode(ids, shards, &decoded).ok());
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(decoded[j], data[j]);
+  }
+}
+
+TEST(ReedSolomonTest, RepairRebuildsLostShards) {
+  Rng rng(4);
+  ReedSolomon rs(6, 4);
+  auto data = RandomShards(&rng, 4, 80);
+  std::vector<Bytes> all;
+  ASSERT_TRUE(rs.Encode(data, &all).ok());
+  // Clouds 0 and 5 failed; rebuild from the rest.
+  std::vector<int> ids = {1, 2, 3, 4};
+  std::vector<Bytes> shards;
+  for (int id : ids) shards.push_back(all[id]);
+  std::vector<Bytes> rebuilt;
+  ASSERT_TRUE(rs.Repair(ids, shards, {0, 5}, &rebuilt).ok());
+  EXPECT_EQ(rebuilt[0], all[0]);
+  EXPECT_EQ(rebuilt[1], all[5]);
+}
+
+TEST(ReedSolomonTest, ErrorsOnBadInput) {
+  ReedSolomon rs(4, 3);
+  std::vector<Bytes> decoded;
+  // Too few shards.
+  EXPECT_FALSE(rs.Decode({0, 1}, {Bytes(8), Bytes(8)}, &decoded).ok());
+  // Mismatched sizes.
+  EXPECT_FALSE(rs.Decode({0, 1, 2}, {Bytes(8), Bytes(9), Bytes(8)}, &decoded).ok());
+  // Duplicate ids.
+  EXPECT_FALSE(rs.Decode({0, 1, 1}, {Bytes(8), Bytes(8), Bytes(8)}, &decoded).ok());
+  // Out-of-range id.
+  EXPECT_FALSE(rs.Decode({0, 1, 7}, {Bytes(8), Bytes(8), Bytes(8)}, &decoded).ok());
+  // Wrong shard count for encode.
+  std::vector<Bytes> out;
+  EXPECT_FALSE(rs.Encode({Bytes(8), Bytes(8)}, &out).ok());
+}
+
+TEST(SplitJoinTest, RoundTripWithPadding) {
+  Rng rng(5);
+  for (size_t size : {0ul, 1ul, 2ul, 3ul, 100ul, 101ul, 102ul}) {
+    Bytes data = rng.RandomBytes(size);
+    auto shards = SplitIntoShards(data, 3);
+    ASSERT_EQ(shards.size(), 3u);
+    EXPECT_EQ(shards[0].size(), shards[1].size());
+    EXPECT_EQ(shards[1].size(), shards[2].size());
+    Bytes joined = JoinShards(shards, size);
+    EXPECT_EQ(joined, data) << "size=" << size;
+  }
+}
+
+TEST(SplitJoinTest, EmptyInputYieldsNonEmptyShards) {
+  auto shards = SplitIntoShards(ConstByteSpan{}, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0].size(), 1u);  // one zero byte to keep RS well-defined
+}
+
+TEST(ReedSolomonTest, LargeCode) {
+  // n near the GF(256) limit.
+  Rng rng(6);
+  ReedSolomon rs(255, 200);
+  auto data = RandomShards(&rng, 200, 16);
+  std::vector<Bytes> all;
+  ASSERT_TRUE(rs.Encode(data, &all).ok());
+  // Decode from the last 200 shards (all parity-heavy subset).
+  std::vector<int> ids;
+  std::vector<Bytes> shards;
+  for (int i = 55; i < 255; ++i) {
+    ids.push_back(i);
+    shards.push_back(all[i]);
+  }
+  std::vector<Bytes> decoded;
+  ASSERT_TRUE(rs.Decode(ids, shards, &decoded).ok());
+  for (int j = 0; j < 200; ++j) {
+    EXPECT_EQ(decoded[j], data[j]);
+  }
+}
+
+}  // namespace
+}  // namespace cdstore

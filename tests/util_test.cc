@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/crc32c.h"
+#include "src/util/fs_util.h"
+#include "src/util/io.h"
+#include "src/util/rate_limiter.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace cdstore {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad checksum");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.ToString(), "CORRUPTION: bad checksum");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IO_ERROR");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+Status UsesReturnIfError() {
+  RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+Result<int> GivesSeven() { return 7; }
+Status UsesAssignOrReturn(int* out) {
+  ASSIGN_OR_RETURN(int v, GivesSeven());
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(ResultTest, Macros) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kIOError);
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+// ----------------------------------------------------------------- Bytes --
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "deadbeef007f");
+  Bytes back;
+  ASSERT_TRUE(HexDecode(hex, &back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  Bytes out;
+  EXPECT_FALSE(HexDecode("abc", &out));   // odd length
+  EXPECT_FALSE(HexDecode("zz", &out));    // non-hex
+  EXPECT_TRUE(HexDecode("", &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, ConstByteSpan(a.data(), 2)));
+}
+
+TEST(BytesTest, XorIntoIsInvolution) {
+  Bytes a = {0x12, 0x34, 0x56};
+  Bytes b = {0xff, 0x00, 0xaa};
+  Bytes orig = a;
+  XorInto(a, b);
+  EXPECT_NE(a, orig);
+  XorInto(a, b);
+  EXPECT_EQ(a, orig);
+}
+
+// -------------------------------------------------------------------- IO --
+
+TEST(IoTest, FixedWidthRoundTrip) {
+  BufferWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  BufferReader r(w.data());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU16(&u16).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(IoTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,    1,        127,        128,
+                                  300,  16383,    16384,      (1ull << 32) - 1,
+                                  1ull << 32, ~0ull};
+  BufferWriter w;
+  for (uint64_t v : values) {
+    w.PutVarint(v);
+  }
+  BufferReader r(w.data());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.GetVarint(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(IoTest, BytesAndStringRoundTrip) {
+  BufferWriter w;
+  w.PutBytes(Bytes{1, 2, 3});
+  w.PutString("hello");
+  w.PutBytes(Bytes{});
+  BufferReader r(w.data());
+  Bytes b;
+  std::string s;
+  Bytes e;
+  ASSERT_TRUE(r.GetBytes(&b).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  ASSERT_TRUE(r.GetBytes(&e).ok());
+  EXPECT_EQ(b, (Bytes{1, 2, 3}));
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(IoTest, UnderflowReturnsCorruption) {
+  Bytes small = {0x01};
+  BufferReader r(small);
+  uint32_t v;
+  EXPECT_EQ(r.GetU32(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(IoTest, TruncatedVarintLengthRejected) {
+  // Declares 100 bytes but provides 1.
+  BufferWriter w;
+  w.PutVarint(100);
+  w.PutU8(0x55);
+  BufferReader r(w.data());
+  Bytes out;
+  EXPECT_FALSE(r.GetBytes(&out).ok());
+}
+
+// ---------------------------------------------------------------- CRC32C --
+
+TEST(Crc32cTest, KnownVector) {
+  // Standard check value for CRC-32C: "123456789" -> 0xE3069283.
+  std::string s = "123456789";
+  EXPECT_EQ(Crc32c(BytesOf(s)), 0xe3069283u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  Rng rng(7);
+  Bytes data = rng.RandomBytes(1000);
+  uint32_t whole = Crc32c(data);
+  uint32_t inc = Crc32c(0, ConstByteSpan(data.data(), 123));
+  // Incremental API extends over the remainder.
+  inc = Crc32c(inc, ConstByteSpan(data.data() + 123, data.size() - 123));
+  // NOTE: our Crc32c(crc, data) chains state, equivalent to hashing the
+  // concatenation.
+  EXPECT_EQ(inc, whole);
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  uint32_t crc = Crc32c(BytesOf("hello"));
+  EXPECT_NE(MaskCrc(crc), crc);
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Crc32c(ConstByteSpan{}), 0u);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count]() { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, AsyncReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.Async([]() { return 6 * 7; });
+  auto f2 = pool.Async([]() { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&]() { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&]() { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRangeInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, FillCoversPartialWords) {
+  Rng rng(5);
+  Bytes b = rng.RandomBytes(13);
+  EXPECT_EQ(b.size(), 13u);
+  // Rough sanity: not all bytes equal.
+  std::set<uint8_t> uniq(b.begin(), b.end());
+  EXPECT_GT(uniq.size(), 1u);
+}
+
+// ----------------------------------------------------------------- Stats --
+
+TEST(StatsTest, MeanAndStddev) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, FormatHelpers) {
+  EXPECT_EQ(FormatSize(512), "512.00 B");
+  EXPECT_EQ(FormatSize(1536), "1.50 KB");
+  EXPECT_EQ(FormatThroughput(1024 * 1024, 1.0), "1.0 MB/s");
+}
+
+// ----------------------------------------------------------- RateLimiter --
+
+TEST(RateLimiterTest, SimulatedModeAccumulatesTime) {
+  RateLimiter rl(100 * 1024 * 1024);  // 100 MiB/s
+  rl.set_simulated(true);
+  rl.Acquire(50 * 1024 * 1024);
+  EXPECT_NEAR(rl.simulated_seconds(), 0.5, 1e-9);
+  rl.Acquire(50 * 1024 * 1024);
+  EXPECT_NEAR(rl.simulated_seconds(), 1.0, 1e-9);
+  rl.ResetSimulatedClock();
+  EXPECT_EQ(rl.simulated_seconds(), 0.0);
+}
+
+TEST(RateLimiterTest, UnlimitedNeverDelays) {
+  RateLimiter rl(0);
+  rl.set_simulated(true);
+  rl.Acquire(1ull << 30);
+  EXPECT_EQ(rl.simulated_seconds(), 0.0);
+}
+
+// --------------------------------------------------------------- FsUtil --
+
+TEST(FsUtilTest, WriteReadRoundTrip) {
+  TempDir dir;
+  std::string path = dir.Sub("f.bin");
+  Bytes data = Rng(3).RandomBytes(4096);
+  ASSERT_TRUE(WriteFile(path, data).ok());
+  auto back = ReadFileBytes(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 4096u);
+}
+
+TEST(FsUtilTest, AppendExtends) {
+  TempDir dir;
+  std::string path = dir.Sub("f.bin");
+  ASSERT_TRUE(WriteFile(path, BytesOf("abc")).ok());
+  ASSERT_TRUE(AppendFile(path, BytesOf("def")).ok());
+  auto back = ReadFileBytes(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(StringOf(back.value()), "abcdef");
+}
+
+TEST(FsUtilTest, MissingFileIsNotFound) {
+  TempDir dir;
+  EXPECT_EQ(ReadFileBytes(dir.Sub("nope")).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(FileExists(dir.Sub("nope")));
+}
+
+TEST(FsUtilTest, ListDirSeesFiles) {
+  TempDir dir;
+  ASSERT_TRUE(WriteFile(dir.Sub("a"), BytesOf("1")).ok());
+  ASSERT_TRUE(WriteFile(dir.Sub("b"), BytesOf("2")).ok());
+  auto names = ListDir(dir.path());
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cdstore
