@@ -79,7 +79,7 @@ void BM_GfSplitSimd(benchmark::State& state) {
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
-  state.SetLabel(Gf256HasSimd() ? "SSSE3" : "scalar-fallback");
+  state.SetLabel(Gf256SimdTier() == 2 ? "AVX2" : (Gf256SimdTier() == 1 ? "SSSE3" : "scalar-fallback"));
 }
 BENCHMARK(BM_GfSplitSimd)->Arg(65536);
 

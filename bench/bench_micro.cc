@@ -21,6 +21,7 @@ void BM_Sha256(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(Sha256::HasShaNi() ? "SHA-NI" : "portable");
 }
 BENCHMARK(BM_Sha256)->Arg(4096)->Arg(8192)->Arg(65536);
 
@@ -59,7 +60,7 @@ void BM_GfAddMulRegion(benchmark::State& state) {
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
-  state.SetLabel(Gf256HasSimd() ? "SSSE3" : "scalar");
+  state.SetLabel(Gf256SimdTier() == 2 ? "AVX2" : (Gf256SimdTier() == 1 ? "SSSE3" : "scalar"));
 }
 BENCHMARK(BM_GfAddMulRegion)->Arg(4096)->Arg(65536);
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-shot build + test + bench-smoke gate (the tier-1 command from
+# ROADMAP.md plus a quick bench_micro run). Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Smoke-run the microbenchmarks (google-benchmark; keep it fast).
+if [ -x build/bench_micro ]; then
+  ./build/bench_micro --benchmark_min_time=0.01 2>/dev/null ||
+    ./build/bench_micro --benchmark_min_time=0.01s
+fi
+
+echo "check.sh: all green"

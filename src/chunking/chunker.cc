@@ -48,16 +48,40 @@ RabinChunker::RabinChunker(const RabinChunkerOptions& options)
 void RabinChunker::Update(ConstByteSpan data, const ChunkSink& sink) {
   // A boundary is declared after at least min_size bytes when the rolling
   // fingerprint matches the magic pattern under the average-size mask, or
-  // unconditionally at max_size.
-  for (size_t i = 0; i < data.size(); ++i) {
-    pending_.push_back(data[i]);
+  // unconditionally at max_size. Bytes are only copied into pending_ when a
+  // chunk straddles Update calls; a chunk contained in `data` is emitted as
+  // a zero-copy slice of it, which the streaming upload pipeline forwards
+  // to the encoders without materializing per-chunk buffers.
+  size_t start = 0;  // first byte (in data) of the current chunk not yet in pending_
+  const size_t warm_offset = opts_.min_size - opts_.window_size;  // ctor: min > window
+  size_t i = 0;
+  while (i < data.size()) {
+    size_t chunk_pos = pending_.size() + (i - start);  // offset of data[i] in its chunk
+    if (chunk_pos < warm_offset) {
+      // No boundary can fire before min_size, and the rolling fingerprint
+      // depends only on the last window_size bytes — so the bytes before
+      // the warm-up region need no hashing at all (the classic CDC
+      // min-size skip). They still belong to the chunk via [start, i).
+      i += std::min(warm_offset - chunk_pos, data.size() - i);
+      continue;
+    }
     uint64_t fp = window_.Slide(data[i]);
-    if (pending_.size() >= opts_.min_size &&
-        ((fp & mask_) == mask_ || pending_.size() >= opts_.max_size)) {
-      sink(pending_);
-      pending_.clear();
+    size_t chunk_len = chunk_pos + 1;
+    ++i;
+    if (chunk_len >= opts_.min_size && ((fp & mask_) == mask_ || chunk_len >= opts_.max_size)) {
+      if (pending_.empty()) {
+        sink(data.subspan(start, i - start));
+      } else {
+        pending_.insert(pending_.end(), data.begin() + start, data.begin() + i);
+        sink(pending_);
+        pending_.clear();
+      }
+      start = i;
       window_.Reset();
     }
+  }
+  if (start < data.size()) {
+    pending_.insert(pending_.end(), data.begin() + start, data.end());
   }
 }
 

@@ -1,9 +1,12 @@
 #include "src/core/client.h"
 
 #include <algorithm>
+
+#include <deque>
+#include <future>
 #include <mutex>
-#include <set>
 #include <thread>
+#include <unordered_set>
 
 #include "src/dispersal/secret_sharing.h"
 #include "src/util/logging.h"
@@ -64,7 +67,7 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t f
   // Deduplicate within this upload as well: identical secrets produce
   // identical shares, and only the first instance needs transfer.
   std::vector<uint8_t> send(recipe.size(), 0);
-  std::set<Fingerprint> in_flight;
+  std::unordered_set<Fingerprint, FingerprintHash> in_flight;
   uint64_t transferred = 0;
   uint64_t dup = 0;
   for (size_t i = 0; i < recipe.size(); ++i) {
@@ -126,6 +129,308 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t f
 
 Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
                              UploadStats* stats) {
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  if (opts_.streaming_upload) {
+    std::vector<int> clouds(opts_.n);
+    for (int i = 0; i < opts_.n; ++i) {
+      clouds[i] = i;
+    }
+    return UploadStreaming(path_keys, data, clouds, stats);
+  }
+  return UploadBarrier(path_keys, data, stats);
+}
+
+// Streaming uploader (§4.6): consumes encoded shares in recipe order and
+// interleaves dedup queries, batched transfers, and the final recipe put.
+// Pending shares accumulate until stream_batch_bytes, then one FpQuery
+// settles their dedup status and the unique ones join the transfer batch.
+Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
+                                          uint64_t file_size,
+                                          BroadcastQueue<CodingPipeline::EncodedSecret>* in,
+                                          const std::atomic<bool>* abort_upload,
+                                          UploadStats* stats, std::mutex* stats_mu) {
+  Transport* t = transports_[cloud];
+  std::vector<RecipeEntry> recipe;
+  std::unordered_set<Fingerprint, FingerprintHash> in_flight;
+  uint64_t transferred = 0;
+  uint64_t dup = 0;
+
+  // One transfer RPC rides the wire while the next batch is queried and
+  // assembled: flush_batch hands the batch to a single async in-flight
+  // slot and returns; the next flush (or the final drain) collects the
+  // previous RPC's status first, so per-cloud transfers stay ordered and
+  // at most one is outstanding.
+  UploadSharesRequest batch;
+  batch.user = user_;
+  size_t batch_bytes = 0;
+  std::future<Status> inflight;
+  auto wait_inflight = [&]() -> Status {
+    if (!inflight.valid()) {
+      return Status::Ok();
+    }
+    return inflight.get();
+  };
+  auto flush_batch = [&]() -> Status {
+    if (batch.shares.empty()) {
+      return Status::Ok();
+    }
+    RETURN_IF_ERROR(wait_inflight());
+    auto req = std::make_shared<UploadSharesRequest>(std::move(batch));
+    batch.shares.clear();
+    batch.user = user_;
+    batch_bytes = 0;
+    inflight = std::async(std::launch::async, [t, req]() -> Status {
+      ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(*req)));
+      RETURN_IF_ERROR(DecodeIfError(frame));
+      UploadSharesReply r;
+      return Decode(frame, &r);
+    });
+    return Status::Ok();
+  };
+
+  // Shares whose dedup status is still unknown; parallel to the recipe tail
+  // starting at pending_base. Dedup queries are pipelined the same way as
+  // transfers: the query RPC for one window rides the wire while the next
+  // window accumulates. Windows are settled strictly in order, so the
+  // in_flight bookkeeping (and therefore the dedup decisions and stats)
+  // are identical to the fully synchronous protocol.
+  struct QueryWindow {
+    std::vector<Bytes> shares;
+    std::vector<Fingerprint> fps;
+    std::future<Result<Bytes>> reply_frame;
+  };
+  std::vector<Bytes> pending_shares;
+  size_t pending_base = 0;
+  size_t pending_bytes = 0;
+  std::deque<QueryWindow> query_windows;
+  // Stagger the first batch per cloud so the n uploaders' RPCs interleave
+  // instead of all sleeping on the wire simultaneously (which would leave
+  // nothing runnable to overlap with); later batches inherit the offset.
+  size_t next_flush_bytes =
+      opts_.stream_batch_bytes * (static_cast<size_t>(consumer) + 1) / transports_.size();
+  if (next_flush_bytes == 0) {
+    next_flush_bytes = opts_.stream_batch_bytes;
+  }
+
+  auto start_query = [&]() {
+    if (pending_shares.empty()) {
+      return;
+    }
+    QueryWindow w;
+    w.shares = std::move(pending_shares);
+    w.fps.reserve(w.shares.size());
+    for (size_t j = 0; j < w.shares.size(); ++j) {
+      w.fps.push_back(recipe[pending_base + j].fp);
+    }
+    FpQueryRequest query;
+    query.user = user_;
+    query.fps = w.fps;
+    w.reply_frame = std::async(std::launch::async, [t, query = std::move(query)]() {
+      return t->Call(Encode(query));
+    });
+    query_windows.push_back(std::move(w));
+    pending_shares.clear();
+    pending_base = recipe.size();
+    pending_bytes = 0;
+  };
+
+  // Settles the oldest outstanding query window: unique shares join the
+  // transfer batch.
+  auto settle_query = [&]() -> Status {
+    QueryWindow w = std::move(query_windows.front());
+    query_windows.pop_front();
+    ASSIGN_OR_RETURN(Bytes reply_frame, w.reply_frame.get());
+    RETURN_IF_ERROR(DecodeIfError(reply_frame));
+    FpQueryReply reply;
+    RETURN_IF_ERROR(Decode(reply_frame, &reply));
+    if (reply.duplicate.size() != w.fps.size()) {
+      return Status::Internal("fp query reply arity mismatch");
+    }
+    for (size_t j = 0; j < w.shares.size(); ++j) {
+      if (reply.duplicate[j] != 0 || in_flight.count(w.fps[j]) > 0) {
+        ++dup;
+        continue;
+      }
+      in_flight.insert(w.fps[j]);
+      size_t share_size = w.shares[j].size();
+      batch.shares.push_back(std::move(w.shares[j]));
+      batch_bytes += share_size;
+      transferred += share_size;
+      if (batch_bytes >= opts_.stream_batch_bytes) {
+        RETURN_IF_ERROR(flush_batch());
+      }
+    }
+    return Status::Ok();
+  };
+
+  Status st;
+  while (CodingPipeline::EncodedSecret* bundle = in->Peek(consumer)) {
+    // Each consumer touches only its own cloud's slots of the shared
+    // bundle, so moving them out is race-free.
+    RecipeEntry e;
+    e.fp = std::move(bundle->fps[cloud]);
+    e.secret_size = bundle->secret_size;
+    e.share_size = static_cast<uint32_t>(bundle->shares[cloud].size());
+    pending_bytes += bundle->shares[cloud].size();
+    pending_shares.push_back(std::move(bundle->shares[cloud]));
+    recipe.push_back(std::move(e));
+    in->Advance(consumer);
+    if (pending_bytes >= next_flush_bytes) {
+      next_flush_bytes = opts_.stream_batch_bytes;
+      if (!query_windows.empty()) {
+        st = settle_query();
+        if (!st.ok()) {
+          // Stop gating the encode stage: this cloud abandons the stream.
+          in->Detach(consumer);
+          return st;
+        }
+      }
+      start_query();
+    }
+  }
+
+  // The stream was aborted (encode failure): the recipe is truncated, so
+  // finalizing would commit a corrupt file — and on an overwrite would
+  // replace a good one. Settle in-flight RPCs and bail out.
+  if (abort_upload != nullptr && abort_upload->load(std::memory_order_relaxed)) {
+    (void)wait_inflight();
+    in->Detach(consumer);
+    return Status::Internal("upload aborted: encode stream failed");
+  }
+
+  start_query();
+  while (st.ok() && !query_windows.empty()) {
+    st = settle_query();
+  }
+  if (st.ok()) {
+    st = flush_batch();
+  }
+  if (st.ok()) {
+    st = wait_inflight();
+  }
+  if (st.ok()) {
+    PutFileRequest put;
+    put.user = user_;
+    put.path_key = path_key;
+    put.file_size = file_size;
+    put.recipe = std::move(recipe);
+    st = [&]() -> Status {
+      ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
+      RETURN_IF_ERROR(DecodeIfError(frame));
+      PutFileReply put_reply;
+      return Decode(frame, &put_reply);
+    }();
+  }
+  if (!st.ok()) {
+    in->Detach(consumer);
+    return st;
+  }
+  if (stats != nullptr) {
+    std::lock_guard<std::mutex> lock(*stats_mu);
+    stats->transferred_share_bytes += transferred;
+    stats->intra_duplicate_shares += dup;
+  }
+  return Status::Ok();
+}
+
+Status CdstoreClient::UploadStreaming(const std::vector<Bytes>& path_keys, ConstByteSpan data,
+                                      const std::vector<int>& clouds, UploadStats* stats) {
+  Stopwatch compute_watch;
+
+  // The broadcast pool holds ~2x stream_batch_bytes of typical bundles:
+  // enough for encoding to keep producing while upload RPCs are on the
+  // wire, yet bounded so a stalled cloud caps client memory at a couple of
+  // batches. Each uploader consumes at its own cursor, so clouds whose
+  // RPCs are out of phase never block each other.
+  size_t typical_secret = opts_.fixed_chunking ? opts_.fixed_chunk_size : opts_.rabin.avg_size;
+  size_t typical_share = std::max<size_t>(1, scheme_->ShareSize(typical_secret));
+  const size_t pool_depth =
+      std::max(opts_.pipeline_queue_depth, 4 * opts_.stream_batch_bytes / typical_share);
+  BroadcastQueue<CodingPipeline::EncodedSecret> pool(pool_depth,
+                                                     static_cast<int>(clouds.size()));
+
+  // One uploader thread per target cloud (§4.6). `abort_upload` is raised
+  // if encoding fails, so uploaders skip finalizing a truncated file.
+  std::atomic<bool> abort_upload{false};
+  std::mutex stats_mu;
+  std::vector<Status> results(clouds.size());
+  std::vector<std::thread> uploaders;
+  uploaders.reserve(clouds.size());
+  for (size_t ci = 0; ci < clouds.size(); ++ci) {
+    uploaders.emplace_back([&, ci]() {
+      results[ci] = StreamUploadToCloud(clouds[ci], static_cast<int>(ci),
+                                        path_keys[clouds[ci]], data.size(), &pool,
+                                        &abort_upload, stats, &stats_mu);
+    });
+  }
+
+  // Sink runs on encode workers, serialized and in submission order. A
+  // Push after every uploader failed returns false; each uploader's status
+  // is reported at join time.
+  uint64_t num_secrets = 0;
+  uint64_t logical_share_bytes = 0;
+  auto sink = [&](CodingPipeline::EncodedSecret bundle) {
+    ++num_secrets;
+    for (const Bytes& s : bundle.shares) {
+      logical_share_bytes += s.size();
+    }
+    pool.Push(std::move(bundle));
+  };
+
+  // Chunk straight into the encode stream: slices of the caller's buffer
+  // travel zero-copy; chunker-internal buffers (straddling chunks) are the
+  // only copies.
+  auto stream = pipeline_.OpenStream(sink, opts_.pipeline_queue_depth);
+  auto chunker = MakeChunker();
+  Status submit_status;
+  const uint8_t* base = data.data();
+  auto chunk_sink = [&](ConstByteSpan c) {
+    if (!submit_status.ok()) {
+      return;
+    }
+    bool in_buffer =
+        !c.empty() && c.data() >= base && c.data() + c.size() <= base + data.size();
+    submit_status =
+        in_buffer ? stream->Submit(c) : stream->Submit(Bytes(c.begin(), c.end()));
+  };
+  chunker->Update(data, chunk_sink);
+  chunker->Finish(chunk_sink);
+  Status encode_status = stream->Finish();
+  double compute_s = compute_watch.ElapsedSeconds();
+
+  // A failed encode must not look like a clean end-of-stream: the
+  // uploaders would otherwise drain and PutFile a truncated recipe (and
+  // replace a pre-existing good file with it). Raise the abort flag
+  // before closing the pool so they skip finalization.
+  if (!encode_status.ok() || !submit_status.ok()) {
+    abort_upload.store(true, std::memory_order_relaxed);
+  }
+  pool.Close();
+  for (auto& th : uploaders) {
+    th.join();
+  }
+
+  RETURN_IF_ERROR(encode_status);
+  RETURN_IF_ERROR(submit_status);
+  for (size_t ci = 0; ci < clouds.size(); ++ci) {
+    if (!results[ci].ok()) {
+      return Status(results[ci].code(),
+                    "cloud " + std::to_string(clouds[ci]) + ": " + results[ci].message());
+    }
+  }
+  if (stats != nullptr) {
+    stats->logical_bytes += data.size();
+    stats->num_secrets += num_secrets;
+    stats->logical_share_bytes += logical_share_bytes;
+    // In streaming mode this is the overlapped chunk+encode wall time (it
+    // includes any stalls waiting on the network through backpressure).
+    stats->chunk_encode_seconds += compute_s;
+  }
+  return Status::Ok();
+}
+
+Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, ConstByteSpan data,
+                                    UploadStats* stats) {
   Stopwatch compute_watch;
 
   // 1. Chunking (§4.2).
@@ -162,8 +467,6 @@ Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
     stats->logical_share_bytes += logical_share_bytes;
     stats->chunk_encode_seconds += compute_s;
   }
-
-  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
 
   // 4. Upload to all clouds concurrently (§4.6: one thread per cloud).
   std::mutex stats_mu;
@@ -355,32 +658,12 @@ Status CdstoreClient::RepairFile(const std::string& path_name, int target_cloud)
   if (target_cloud < 0 || target_cloud >= opts_.n) {
     return Status::InvalidArgument("target cloud out of range");
   }
-  // Restore from the survivors, re-encode, re-upload the target's shares.
+  // Restore from the survivors, then re-chunk and re-encode through the
+  // streaming pipeline, uploading only the target cloud's shares — repair
+  // overlaps re-encoding with the transfer the same way Upload does.
   ASSIGN_OR_RETURN(Bytes data, Download(path_name));
   ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
-
-  auto chunker = MakeChunker();
-  std::vector<Bytes> secrets;
-  auto sink = [&secrets](ConstByteSpan c) { secrets.emplace_back(c.begin(), c.end()); };
-  chunker->Update(data, sink);
-  chunker->Finish(sink);
-  std::vector<std::vector<Bytes>> shares;
-  RETURN_IF_ERROR(pipeline_.EncodeAll(secrets, &shares));
-
-  std::vector<RecipeEntry> recipe;
-  std::vector<const Bytes*> target_shares;
-  recipe.reserve(secrets.size());
-  for (size_t s = 0; s < secrets.size(); ++s) {
-    const Bytes& share = shares[s][target_cloud];
-    RecipeEntry e;
-    e.fp = FingerprintOf(share);
-    e.secret_size = static_cast<uint32_t>(secrets[s].size());
-    e.share_size = static_cast<uint32_t>(share.size());
-    recipe.push_back(std::move(e));
-    target_shares.push_back(&share);
-  }
-  return UploadToCloud(target_cloud, path_keys[target_cloud], data.size(), recipe,
-                       target_shares, nullptr, nullptr);
+  return UploadStreaming(path_keys, data, {target_cloud}, nullptr);
 }
 
 }  // namespace cdstore

@@ -4,10 +4,18 @@
 // shares in 4MB batches, and restores files from any k clouds — falling
 // back to other clouds and brute-force subset decoding when shares are
 // unavailable or corrupted.
+//
+// Uploads run as a streaming pipeline (§4.6): the chunker feeds zero-copy
+// secret slices to a pool of encode workers whose share bundles flow, in
+// recipe order, into one uploader thread per cloud — so the network is busy
+// while later secrets are still being chunked and encoded. Bounded queues
+// at each stage provide backpressure and cap client memory.
 #ifndef CDSTORE_SRC_CORE_CLIENT_H_
 #define CDSTORE_SRC_CORE_CLIENT_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +25,7 @@
 #include "src/dispersal/aont_rs.h"
 #include "src/net/message.h"
 #include "src/net/transport.h"
+#include "src/util/bounded_queue.h"
 
 namespace cdstore {
 
@@ -29,6 +38,20 @@ struct ClientOptions {
   size_t fixed_chunk_size = 4096;
   RabinChunkerOptions rabin;
   size_t upload_batch_bytes = 4 << 20;  // §4.1: batch shares in 4MB buffers
+  // Streaming upload pipeline (§4.6): chunking, encoding, and per-cloud
+  // transfer overlap through bounded queues instead of running as three
+  // sequential barriers. Off = the barrier path (kept for comparison
+  // benchmarks and equivalence tests).
+  bool streaming_upload = true;
+  // Minimum capacity of each pipeline queue in items (secrets in flight per
+  // stage). Per-cloud queues are deepened to roughly 2x stream_batch_bytes
+  // of shares so encoding keeps running while an upload RPC is in flight.
+  size_t pipeline_queue_depth = 64;
+  // Dedup-query / transfer granularity of the streaming path. Finer than
+  // the 4MB barrier batching so the first bytes hit the wire early in the
+  // upload instead of after most of the file is encoded; dedup results and
+  // transferred bytes are identical for any value.
+  size_t stream_batch_bytes = 1 << 20;
 };
 
 // Per-upload accounting, the quantities behind Figure 6.
@@ -77,6 +100,29 @@ class CdstoreClient {
   // Deterministic per-cloud keys for the (sensitive) pathname: the path is
   // itself convergent-dispersed and each cloud sees only its share (§4.3).
   Result<std::vector<Bytes>> PathKeys(const std::string& path_name) const;
+
+  // Streaming upload (§4.6): chunker -> encode workers -> per-cloud
+  // uploader threads, all overlapped. Encoded bundles flow through one
+  // bounded broadcast queue: each uploader consumes at its own pace (so a
+  // cloud mid-RPC never starves the others) and the slowest cloud
+  // backpressures encoding. `clouds` names the clouds that receive shares
+  // (all n for Upload, one for RepairFile).
+  Status UploadStreaming(const std::vector<Bytes>& path_keys, ConstByteSpan data,
+                         const std::vector<int>& clouds, UploadStats* stats);
+  // One uploader thread: consumer `consumer` of `in`, uploading each
+  // bundle's share for `cloud`, interleaving dedup queries, batched share
+  // transfer, and finally the recipe put. If `abort_upload` is set by the
+  // time the stream drains (encode failure), finalization is skipped so a
+  // truncated recipe is never committed.
+  Status StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
+                             uint64_t file_size,
+                             BroadcastQueue<CodingPipeline::EncodedSecret>* in,
+                             const std::atomic<bool>* abort_upload, UploadStats* stats,
+                             std::mutex* stats_mu);
+
+  // Barrier upload: materialize all secrets, EncodeAll, then upload.
+  Status UploadBarrier(const std::vector<Bytes>& path_keys, ConstByteSpan data,
+                       UploadStats* stats);
   Status UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
                        const std::vector<RecipeEntry>& recipe,
                        const std::vector<const Bytes*>& shares, UploadStats* stats,

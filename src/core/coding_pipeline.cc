@@ -41,6 +41,137 @@ Status CodingPipeline::EncodeAll(const std::vector<Bytes>& secrets,
   return first_error;
 }
 
+// ------------------------------------------------------------- streaming --
+
+std::unique_ptr<CodingPipeline::Stream> CodingPipeline::OpenStream(BundleSink sink,
+                                                                   size_t queue_depth) {
+  return std::unique_ptr<Stream>(new Stream(this, std::move(sink), queue_depth));
+}
+
+CodingPipeline::Stream::Stream(CodingPipeline* parent, BundleSink sink, size_t queue_depth)
+    : parent_(parent), sink_(std::move(sink)), input_(queue_depth) {
+  CHECK(sink_ != nullptr);
+  active_workers_ = parent_->pool_.num_threads();
+  for (int i = 0; i < active_workers_; ++i) {
+    parent_->pool_.Submit([this]() { WorkerLoop(); });
+  }
+}
+
+CodingPipeline::Stream::~Stream() { Finish(); }
+
+Status CodingPipeline::Stream::Submit(ConstByteSpan secret) {
+  Task task;
+  task.view = secret;
+  return SubmitTask(std::move(task));
+}
+
+Status CodingPipeline::Stream::Submit(Bytes secret) {
+  Task task;
+  task.owned = std::move(secret);
+  task.view = task.owned;  // vector moves keep the heap buffer stable
+  return SubmitTask(std::move(task));
+}
+
+Status CodingPipeline::Stream::SubmitTask(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_.ok()) {
+      return first_error_;
+    }
+    if (finished_) {
+      return Status::Internal("Submit after Finish");
+    }
+  }
+  task.seq = next_submit_seq_;
+  if (!input_.Push(std::move(task))) {
+    return Status::Internal("stream input closed");
+  }
+  ++next_submit_seq_;
+  return Status::Ok();
+}
+
+Status CodingPipeline::Stream::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) {
+      return first_error_;
+    }
+    finished_ = true;
+  }
+  input_.Close();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return active_workers_ == 0 && !delivering_ && reorder_.empty();
+  });
+  return first_error_;
+}
+
+void CodingPipeline::Stream::WorkerLoop() {
+  while (auto task = input_.Pop()) {
+    EncodedSecret bundle;
+    bundle.seq = task->seq;
+    bundle.secret_size = static_cast<uint32_t>(task->view.size());
+    bool healthy;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      healthy = first_error_.ok();
+    }
+    if (healthy) {
+      Status st = parent_->scheme_->Encode(task->view, &bundle.shares);
+      if (st.ok()) {
+        // Fingerprinting here (not in the sink) keeps the SHA-256 over each
+        // share on the parallel workers.
+        bundle.fps.reserve(bundle.shares.size());
+        for (const Bytes& s : bundle.shares) {
+          bundle.fps.push_back(FingerprintOf(s));
+        }
+      } else {
+        bundle.shares.clear();
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_.ok()) {
+          first_error_ = st;
+        }
+      }
+    }
+    Deliver(std::move(bundle));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_workers_;
+  }
+  done_cv_.notify_all();
+}
+
+void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
+  std::unique_lock<std::mutex> lock(mu_);
+  reorder_.emplace(bundle.seq, std::move(bundle));
+  if (delivering_) {
+    // Another worker owns the gap-free prefix; it will pick this one up.
+    return;
+  }
+  delivering_ = true;
+  auto it = reorder_.find(next_deliver_seq_);
+  while (it != reorder_.end()) {
+    EncodedSecret ready = std::move(it->second);
+    reorder_.erase(it);
+    bool deliver = first_error_.ok();
+    lock.unlock();
+    if (deliver) {
+      sink_(std::move(ready));
+    }
+    lock.lock();
+    ++next_deliver_seq_;
+    it = reorder_.find(next_deliver_seq_);
+  }
+  delivering_ = false;
+  // Only Finish waits on done_cv_, and only for the fully-drained state.
+  bool drained = finished_ && reorder_.empty();
+  lock.unlock();
+  if (drained) {
+    done_cv_.notify_all();
+  }
+}
+
 Status CodingPipeline::DecodeAll(const std::vector<std::vector<int>>& ids,
                                  const std::vector<std::vector<Bytes>>& shares,
                                  const std::vector<size_t>& secret_sizes,

@@ -1,19 +1,47 @@
 // Multi-threaded CAONT-RS encode/decode at secret granularity (§4.6): each
 // secret from the chunking module is dispatched to a worker; results keep
 // the input order.
+//
+// Two modes:
+//  - EncodeAll/DecodeAll: barrier-style batch over a materialized secret
+//    list (used by Download, the barrier upload path, and tests).
+//  - Stream: a streaming encode session for the upload pipeline. Submit()
+//    feeds secrets (zero-copy spans where the caller's buffer outlives the
+//    stream); workers encode and fingerprint concurrently; the sink receives
+//    per-secret share bundles in submission order as soon as the gap-free
+//    prefix completes, so uploaders start transferring while later secrets
+//    are still being chunked and encoded. Backpressure: Submit blocks when
+//    the bounded input queue is full, and a sink that blocks (e.g. on a full
+//    per-cloud queue) stalls delivery, which in turn fills the input queue.
 #ifndef CDSTORE_SRC_CORE_CODING_PIPELINE_H_
 #define CDSTORE_SRC_CORE_CODING_PIPELINE_H_
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "src/dedup/fingerprint.h"
 #include "src/dispersal/secret_sharing.h"
+#include "src/util/bounded_queue.h"
 #include "src/util/thread_pool.h"
 
 namespace cdstore {
 
 class CodingPipeline {
  public:
+  // One encoded secret: n shares plus their fingerprints, tagged with the
+  // submission index.
+  struct EncodedSecret {
+    uint64_t seq = 0;
+    uint32_t secret_size = 0;
+    std::vector<Bytes> shares;
+    std::vector<Fingerprint> fps;
+  };
+  // Receives bundles in seq order. Called from worker threads, one call at
+  // a time; may block to exert backpressure.
+  using BundleSink = std::function<void(EncodedSecret)>;
+
   // `scheme` must be safe for concurrent Encode/Decode calls (all schemes
   // in this library are: their only shared state is the thread-safe DRBG).
   CodingPipeline(SecretSharing* scheme, int num_threads);
@@ -27,6 +55,59 @@ class CodingPipeline {
   Status DecodeAll(const std::vector<std::vector<int>>& ids,
                    const std::vector<std::vector<Bytes>>& shares,
                    const std::vector<size_t>& secret_sizes, std::vector<Bytes>* secrets);
+
+  class Stream {
+   public:
+    ~Stream();  // joins workers (discarding undelivered work) if not Finished
+
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    // Zero-copy submission: `secret` must stay valid until its bundle has
+    // been delivered to the sink (e.g. a slice of the caller's upload
+    // buffer). Blocks when the pipeline is at capacity. Returns the first
+    // encode error once one has occurred.
+    Status Submit(ConstByteSpan secret);
+    // Owning submission for buffers that die after the call (chunker
+    // internals).
+    Status Submit(Bytes secret);
+
+    // Ends the input, drains every in-flight secret through the sink, stops
+    // the workers, and returns the first encode error (if any).
+    Status Finish();
+
+   private:
+    friend class CodingPipeline;
+    struct Task {
+      uint64_t seq = 0;
+      Bytes owned;         // empty for zero-copy submissions
+      ConstByteSpan view;  // the secret bytes (into `owned` or caller memory)
+    };
+
+    Stream(CodingPipeline* parent, BundleSink sink, size_t queue_depth);
+    Status SubmitTask(Task task);
+    void WorkerLoop();
+    void Deliver(EncodedSecret bundle);
+
+    CodingPipeline* parent_;
+    BundleSink sink_;
+    BoundedQueue<Task> input_;
+    uint64_t next_submit_seq_ = 0;
+
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    std::map<uint64_t, EncodedSecret> reorder_;
+    uint64_t next_deliver_seq_ = 0;
+    bool delivering_ = false;
+    int active_workers_ = 0;
+    Status first_error_;
+    bool finished_ = false;
+  };
+
+  // Starts a streaming encode session. `queue_depth` bounds the number of
+  // in-flight secrets (backpressure). The stream borrows this pipeline's
+  // worker pool: no EncodeAll/DecodeAll/OpenStream call may overlap it.
+  std::unique_ptr<Stream> OpenStream(BundleSink sink, size_t queue_depth = 64);
 
   int num_threads() const { return pool_.num_threads(); }
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/recipe.h"
@@ -12,10 +13,6 @@ namespace cdstore {
 
 namespace {
 const char kMetaKey[] = "Mserver";
-
-Bytes PathKeyToBytes(ConstByteSpan path_key) {
-  return Bytes(path_key.begin(), path_key.end());
-}
 }  // namespace
 
 CdstoreServer::CdstoreServer(StorageBackend* backend, const ServerOptions& options,
@@ -136,11 +133,20 @@ Bytes CdstoreServer::HandleUploadShares(ConstByteSpan frame) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   UploadSharesReply reply;
+  // New entries commit as one batched index write at the end; `pending`
+  // catches duplicates within this request that the index can't see yet.
+  std::vector<std::pair<Fingerprint, ShareLocation>> new_entries;
+  std::unordered_set<Fingerprint, FingerprintHash> pending;
+  uint64_t new_bytes = 0;
   for (const Bytes& share : req.shares) {
     // Inter-user dedup (§3.3): fingerprint recomputed server-side — a
     // client-supplied fingerprint could otherwise claim ownership of
     // another user's share content [27, 43].
     Fingerprint fp = FingerprintOf(share);
+    if (pending.count(fp) > 0) {
+      ++reply.deduplicated;
+      continue;
+    }
     auto existing = share_index_.Lookup(fp);
     if (!existing.ok()) {
       return EncodeError(existing.status());
@@ -157,12 +163,17 @@ Bytes CdstoreServer::HandleUploadShares(ConstByteSpan frame) {
     loc.container_id = handle.value().container_id;
     loc.index_in_container = handle.value().index;
     loc.share_size = static_cast<uint32_t>(share.size());
-    if (Status st = share_index_.Insert(fp, loc); !st.ok()) {
-      return EncodeError(st);
-    }
-    physical_share_bytes_ += share.size();
-    ++reply.stored;
+    pending.insert(fp);
+    new_entries.emplace_back(std::move(fp), loc);
+    new_bytes += share.size();
   }
+  if (Status st = share_index_.InsertBatch(new_entries); !st.ok()) {
+    return EncodeError(st);
+  }
+  // Counters advance only once the batch is durably indexed, so a failed
+  // InsertBatch never inflates the persisted byte/share accounting.
+  physical_share_bytes_ += new_bytes;
+  reply.stored = static_cast<uint32_t>(new_entries.size());
   if (Status st = SaveMetaLocked(); !st.ok()) {
     return EncodeError(st);
   }
@@ -175,26 +186,9 @@ Bytes CdstoreServer::HandlePutFile(ConstByteSpan frame) {
     return EncodeError(st);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  // Every recipe entry must name a stored share; verify before committing.
-  for (const RecipeEntry& e : req.recipe) {
-    auto loc = share_index_.Lookup(e.fp);
-    if (!loc.ok()) {
-      return EncodeError(loc.status());
-    }
-    if (!loc.value().has_value()) {
-      return EncodeError(
-          Status::FailedPrecondition("recipe references unknown share " +
-                                     FingerprintAbbrev(e.fp)));
-    }
-  }
-  FileRecipe recipe;
-  recipe.file_size = req.file_size;
-  recipe.entries = req.recipe;
-  auto handle = recipe_store_.Append(req.user, recipe.Serialize());
-  if (!handle.ok()) {
-    return EncodeError(handle.status());
-  }
-  // Replacing an existing file drops the old references first.
+  // Replacing an existing file drops the old recipe's references.
+  std::vector<Fingerprint> drop_fps;
+  bool replacing = false;
   auto old_entry = file_index_.GetFile(req.user, req.path_key);
   if (old_entry.ok()) {
     auto old_blob = recipe_store_.Fetch(
@@ -202,13 +196,39 @@ Bytes CdstoreServer::HandlePutFile(ConstByteSpan frame) {
     if (old_blob.ok()) {
       auto old_recipe = FileRecipe::Deserialize(old_blob.value());
       if (old_recipe.ok()) {
+        drop_fps.reserve(old_recipe.value().entries.size());
         for (const RecipeEntry& e : old_recipe.value().entries) {
-          bool orphaned = false;
-          (void)share_index_.DropReference(e.fp, req.user, &orphaned);
+          drop_fps.push_back(e.fp);
         }
-        --file_count_;
+        replacing = true;
       }
     }
+  }
+
+  // Append the recipe blob before touching any reference counts: if the
+  // append fails, the index is untouched; if the batched reference update
+  // below fails (e.g. an unknown share), the only residue is an orphaned
+  // recipe blob, which GC reclaims — never inconsistent refcounts.
+  FileRecipe recipe;
+  recipe.file_size = req.file_size;
+  recipe.entries = req.recipe;
+  auto handle = recipe_store_.Append(req.user, recipe.Serialize());
+  if (!handle.ok()) {
+    return EncodeError(handle.status());
+  }
+
+  // Verify every recipe entry names a stored share, drop the replaced
+  // file's references, and add this file's — one batched index pass.
+  std::vector<Fingerprint> add_fps;
+  add_fps.reserve(req.recipe.size());
+  for (const RecipeEntry& e : req.recipe) {
+    add_fps.push_back(e.fp);
+  }
+  if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user); !st.ok()) {
+    return EncodeError(st);
+  }
+  if (replacing) {
+    --file_count_;
   }
 
   FileIndexEntry entry;
@@ -218,11 +238,6 @@ Bytes CdstoreServer::HandlePutFile(ConstByteSpan frame) {
   entry.recipe_index = handle.value().index;
   if (Status st = file_index_.PutFile(req.user, req.path_key, entry); !st.ok()) {
     return EncodeError(st);
-  }
-  for (const RecipeEntry& e : req.recipe) {
-    if (Status st = share_index_.AddReference(e.fp, req.user); !st.ok()) {
-      return EncodeError(st);
-    }
   }
   ++file_count_;
   if (Status st = SaveMetaLocked(); !st.ok()) {

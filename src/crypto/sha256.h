@@ -1,5 +1,10 @@
 // SHA-256 (FIPS 180-4). Used for the convergent hash key h = H(X), the tail
 // hash H(Y) of a CAONT package, and share/chunk fingerprints (§4).
+//
+// Block compression runs through the Intel SHA extensions
+// (SHA256RNDS2/SHA256MSG1/SHA256MSG2) when the CPU supports them, selected
+// once via CPUID; the portable scalar path is kept as the fallback and as
+// the reference for the SIMD agreement tests.
 #ifndef CDSTORE_SRC_CRYPTO_SHA256_H_
 #define CDSTORE_SRC_CRYPTO_SHA256_H_
 
@@ -8,6 +13,16 @@
 #include "src/util/bytes.h"
 
 namespace cdstore {
+
+namespace internal {
+// True when the SHA-NI compression is compiled in and the CPU supports it.
+bool ShaNiAvailable();
+// Compresses `blocks` consecutive 64-byte blocks into `state` (SHA-NI path;
+// only call when ShaNiAvailable()). Exposed for tests and benchmarks.
+void ShaNiProcessBlocks(uint32_t state[8], const uint8_t* data, size_t blocks);
+// Portable compression, same contract — the dispatch fallback.
+void Sha256ProcessBlocksScalar(uint32_t state[8], const uint8_t* data, size_t blocks);
+}  // namespace internal
 
 class Sha256 {
  public:
@@ -25,8 +40,11 @@ class Sha256 {
   static Bytes Hash(ConstByteSpan data);
   static void Hash(ConstByteSpan data, ByteSpan out);
 
+  // True when hashing uses the SHA-NI fast path on this machine.
+  static bool HasShaNi();
+
  private:
-  void ProcessBlock(const uint8_t block[kBlockSize]);
+  void ProcessBlocks(const uint8_t* data, size_t blocks);
 
   uint32_t h_[8];
   uint8_t buf_[kBlockSize];

@@ -1,0 +1,162 @@
+// SHA-NI block compression (_mm_sha256rnds2_epu32 and friends), compiled
+// with -msha -msse4.1 and dispatched at runtime from Sha256::Update. The
+// Intel SHA extensions process four rounds per SHA256RNDS2 pair with the
+// state packed as ABEF/CDGH across two xmm registers; message scheduling
+// runs ahead via SHA256MSG1/SHA256MSG2. One call compresses a whole run of
+// 64-byte blocks so the state stays in registers across blocks.
+#include <cstddef>
+#include <cstdint>
+
+// __SHA__/__SSE4_1__ (set by -msha -msse4.1) rather than the bare
+// architecture: if the compiler rejects those flags, this unit must fall
+// back to the stub instead of failing to compile the intrinsics.
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SHA__) && defined(__SSE4_1__)
+#include <cpuid.h>
+#include <immintrin.h>
+#define CDSTORE_SHANI 1
+#endif
+
+namespace cdstore {
+namespace internal {
+
+bool ShaNiAvailable() {
+#ifdef CDSTORE_SHANI
+  // SHA is CPUID.(EAX=7,ECX=0):EBX[bit 29]; the kernel needs no extra state
+  // enablement for xmm, but the code also uses SSSE3 (PSHUFB) and SSE4.1
+  // (PBLENDW), so require those too.
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (!__get_cpuid_count(7, 0, &a, &b, &c, &d)) {
+    return false;
+  }
+  return (b & (1u << 29)) != 0 && __builtin_cpu_supports("ssse3") &&
+         __builtin_cpu_supports("sse4.1");
+#else
+  return false;
+#endif
+}
+
+#ifdef CDSTORE_SHANI
+
+namespace {
+// FIPS 180-4 round constants, lane order matching w[0..3] per group.
+alignas(16) constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+inline __m128i Kv(int group) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(kK + 4 * group));
+}
+}  // namespace
+
+void ShaNiProcessBlocks(uint32_t state[8], const uint8_t* data, size_t blocks) {
+  __m128i state0, state1, msg, tmp;
+  __m128i msg0, msg1, msg2, msg3;
+  // Byte shuffle turning a big-endian 16-byte message load into w[3..0] lanes.
+  const __m128i kBswap = _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Pack h[0..7] (ABCDEFGH) into the ABEF / CDGH layout SHA256RNDS2 expects.
+  tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));    // DCBA
+  state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4])); // HGFE
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                                    // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);                              // EFGH
+  state0 = _mm_alignr_epi8(tmp, state1, 8);                              // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);                           // CDGH
+
+  // Four rounds with an already-scheduled message X; the rnds2 pair consumes
+  // w+K in the low then high halves.
+#define CDSTORE_SHA_RNDS2(X, group)                       \
+  msg = _mm_add_epi32(X, Kv(group));                      \
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);    \
+  msg = _mm_shuffle_epi32(msg, 0x0E);                     \
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg)
+
+  // Four rounds on X while finishing the schedule of N (needs X and the
+  // cross-lane tail of P) and starting P's successor via msg1.
+#define CDSTORE_SHA_QROUND(X, P, N, group)                \
+  msg = _mm_add_epi32(X, Kv(group));                      \
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);    \
+  tmp = _mm_alignr_epi8(X, P, 4);                         \
+  N = _mm_add_epi32(N, tmp);                              \
+  N = _mm_sha256msg2_epu32(N, X);                         \
+  msg = _mm_shuffle_epi32(msg, 0x0E);                     \
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);    \
+  P = _mm_sha256msg1_epu32(P, X)
+
+  while (blocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    // Rounds 0-15: load + byte-swap the four message words.
+    msg0 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data)), kBswap);
+    CDSTORE_SHA_RNDS2(msg0, 0);
+    msg1 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kBswap);
+    CDSTORE_SHA_RNDS2(msg1, 1);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+    msg2 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kBswap);
+    CDSTORE_SHA_RNDS2(msg2, 2);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+    msg3 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kBswap);
+
+    // Rounds 12-51: steady-state schedule-and-crunch.
+    CDSTORE_SHA_QROUND(msg3, msg2, msg0, 3);
+    CDSTORE_SHA_QROUND(msg0, msg3, msg1, 4);
+    CDSTORE_SHA_QROUND(msg1, msg0, msg2, 5);
+    CDSTORE_SHA_QROUND(msg2, msg1, msg3, 6);
+    CDSTORE_SHA_QROUND(msg3, msg2, msg0, 7);
+    CDSTORE_SHA_QROUND(msg0, msg3, msg1, 8);
+    CDSTORE_SHA_QROUND(msg1, msg0, msg2, 9);
+    CDSTORE_SHA_QROUND(msg2, msg1, msg3, 10);
+    CDSTORE_SHA_QROUND(msg3, msg2, msg0, 11);
+    CDSTORE_SHA_QROUND(msg0, msg3, msg1, 12);
+
+    // Rounds 52-59: finish the last two schedule words, no further msg1.
+    msg = _mm_add_epi32(msg1, Kv(13));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    msg = _mm_add_epi32(msg2, Kv(14));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    CDSTORE_SHA_RNDS2(msg3, 15);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+#undef CDSTORE_SHA_RNDS2
+#undef CDSTORE_SHA_QROUND
+
+  // Unpack ABEF/CDGH back to h[0..7].
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#else
+void ShaNiProcessBlocks(uint32_t*, const uint8_t*, size_t) {}
+#endif
+
+}  // namespace internal
+}  // namespace cdstore

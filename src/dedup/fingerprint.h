@@ -4,6 +4,7 @@
 #ifndef CDSTORE_SRC_DEDUP_FINGERPRINT_H_
 #define CDSTORE_SRC_DEDUP_FINGERPRINT_H_
 
+#include <cstring>
 #include <string>
 
 #include "src/util/bytes.h"
@@ -13,6 +14,16 @@ namespace cdstore {
 using Fingerprint = Bytes;  // 32 bytes
 
 inline constexpr size_t kFingerprintSize = 32;
+
+// Hasher for unordered containers keyed by Fingerprint: SHA-256 output is
+// uniformly distributed, so the first 8 bytes are already an ideal hash.
+struct FingerprintHash {
+  size_t operator()(const Fingerprint& fp) const {
+    uint64_t v = 0;
+    std::memcpy(&v, fp.data(), fp.size() < 8 ? fp.size() : 8);
+    return static_cast<size_t>(v);
+  }
+};
 
 // Users of the organization are identified by opaque 64-bit ids.
 using UserId = uint64_t;

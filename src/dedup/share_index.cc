@@ -84,6 +84,57 @@ Status ShareIndex::Insert(const Fingerprint& fp, const ShareLocation& location) 
   return db_->Put(key, entry.Serialize());
 }
 
+Status ShareIndex::InsertBatch(
+    const std::vector<std::pair<Fingerprint, ShareLocation>>& entries) {
+  if (entries.empty()) {
+    return Status::Ok();
+  }
+  WriteBatch batch;
+  for (const auto& [fp, location] : entries) {
+    ShareIndexEntry entry;
+    entry.location = location;
+    batch.Put(KeyFor(fp), entry.Serialize());
+  }
+  return db_->Write(batch);
+}
+
+Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
+                                     const std::vector<Fingerprint>& drop, UserId user) {
+  // Net reference delta per distinct fingerprint.
+  std::unordered_map<Fingerprint, int64_t, FingerprintHash> delta;
+  for (const Fingerprint& fp : add) {
+    ++delta[fp];
+  }
+  for (const Fingerprint& fp : drop) {
+    --delta[fp];
+  }
+  std::unordered_set<Fingerprint, FingerprintHash> added(add.begin(), add.end());
+
+  WriteBatch batch;
+  for (const auto& [fp, d] : delta) {
+    Bytes key = KeyFor(fp);
+    Bytes value;
+    Status st = db_->Get(key, &value);
+    if (st.code() == StatusCode::kNotFound) {
+      if (added.count(fp) > 0) {
+        return Status::FailedPrecondition("recipe references unknown share " +
+                                          FingerprintAbbrev(fp));
+      }
+      continue;  // stale fingerprint from the replaced file: nothing to drop
+    }
+    RETURN_IF_ERROR(st);
+    ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+    int64_t refs = static_cast<int64_t>(entry.owners[user]) + d;
+    if (refs > 0) {
+      entry.owners[user] = static_cast<uint32_t>(refs);
+    } else {
+      entry.owners.erase(user);
+    }
+    batch.Put(key, entry.Serialize());
+  }
+  return db_->Write(batch);
+}
+
 Status ShareIndex::AddReference(const Fingerprint& fp, UserId user) {
   Bytes key = KeyFor(fp);
   Bytes value;

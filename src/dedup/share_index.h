@@ -8,6 +8,10 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "src/dedup/fingerprint.h"
 #include "src/kvstore/db.h"
@@ -48,9 +52,26 @@ class ShareIndex {
   // fingerprint is already present.
   Status Insert(const Fingerprint& fp, const ShareLocation& location);
 
+  // Records a batch of newly stored shares as one atomic write (a single
+  // WAL record). Precondition: the caller has verified none of the
+  // fingerprints are present (the server checks under its own lock); no
+  // per-entry existence probe is repeated here.
+  Status InsertBatch(const std::vector<std::pair<Fingerprint, ShareLocation>>& entries);
+
   // Adds one reference from `user` (called per recipe entry at file
   // finalization, covering deduplicated shares too).
   Status AddReference(const Fingerprint& fp, UserId user);
+
+  // File-finalization fast path: verifies every fingerprint in `add` is
+  // indexed, then atomically applies one reference add per `add` entry and
+  // one drop per `drop` entry (the replaced file's old recipe, possibly
+  // empty) for `user`. One read and one batched write per distinct
+  // fingerprint instead of two reads and an individual write per recipe
+  // entry. Unknown `drop` fingerprints are skipped, matching the lenient
+  // per-entry drop during file replacement; verification failure leaves the
+  // index untouched.
+  Status ReplaceReferences(const std::vector<Fingerprint>& add,
+                           const std::vector<Fingerprint>& drop, UserId user);
 
   // Drops one reference. Sets *orphaned when no references remain (the
   // share is garbage-collectible).

@@ -75,6 +75,7 @@ Status AontRsScheme::Encode(ConstByteSpan secret, std::vector<Bytes>* shares) {
   DCHECK_EQ(package.size() % rs_.k(), 0u);
 
   // The package divides exactly; SplitIntoShards adds no further padding.
+  // The rvalue overload adopts the k data shards instead of copying them.
   return rs_.Encode(SplitIntoShards(package, rs_.k()), shares);
 }
 

@@ -44,11 +44,6 @@ const Gf256Tables& GetGf256Tables() {
   return tables;
 }
 
-// Defined in gf256_ssse3.cc.
-bool SimdAvailable();
-void AddMulRegionSsse3(uint8_t* dst, const uint8_t* src, size_t n, const uint8_t* lo,
-                       const uint8_t* hi);
-
 }  // namespace internal
 
 uint8_t Gf256Pow(uint8_t a, unsigned e) {
@@ -97,6 +92,12 @@ void Gf256AddMulRegionLogExp(ByteSpan dst, ConstByteSpan src, uint8_t c) {
 
 bool Gf256HasSimd() { return internal::SimdAvailable(); }
 
+int Gf256SimdTier() {
+  static const int tier =
+      internal::Avx2Available() ? 2 : (internal::SimdAvailable() ? 1 : 0);
+  return tier;
+}
+
 void Gf256AddMulRegion(ByteSpan dst, ConstByteSpan src, uint8_t c) {
   DCHECK_EQ(dst.size(), src.size());
   if (c == 0) {
@@ -111,11 +112,19 @@ void Gf256AddMulRegion(ByteSpan dst, ConstByteSpan src, uint8_t c) {
     }
     return;
   }
-  const auto& t = internal::GetGf256Tables();
-  if (internal::SimdAvailable() && dst.size() >= 64) {
-    internal::AddMulRegionSsse3(dst.data(), src.data(), dst.size(), t.split_lo[c],
-                                t.split_hi[c]);
-    return;
+  if (dst.size() >= 32) {
+    const auto& t = internal::GetGf256Tables();
+    int tier = Gf256SimdTier();
+    if (tier >= 2) {
+      internal::AddMulRegionAvx2(dst.data(), src.data(), dst.size(), t.split_lo[c],
+                                 t.split_hi[c]);
+      return;
+    }
+    if (tier == 1) {
+      internal::AddMulRegionSsse3(dst.data(), src.data(), dst.size(), t.split_lo[c],
+                                  t.split_hi[c]);
+      return;
+    }
   }
   Gf256AddMulRegionScalar(dst, src, c);
 }

@@ -4,8 +4,17 @@
 //
 // Scalar ops (Gf256Mul etc.) are table-driven. Region ops process whole
 // buffers with 4-bit split tables — the same technique as GF-Complete's
-// SPLIT_TABLE(8,4) [Plank et al., FAST'13] — with an SSSE3 PSHUFB fast path
-// selected at runtime.
+// SPLIT_TABLE(8,4) [Plank et al., FAST'13] — with SIMD fast paths selected
+// at runtime via CPUID:
+//
+//   tier 2: AVX2 VPSHUFB — the 16-entry nibble tables broadcast into both
+//           128-bit lanes of a ymm register, 32 products per shuffle pair
+//           (2x unrolled to 64 bytes per iteration);
+//   tier 1: SSSE3 PSHUFB — 16 products per shuffle pair;
+//   tier 0: portable scalar split-table loop.
+//
+// Dispatch prefers the widest supported tier for regions >= 32 bytes;
+// shorter regions use the scalar loop (SIMD setup cost dominates).
 #ifndef CDSTORE_SRC_GF256_GF256_H_
 #define CDSTORE_SRC_GF256_GF256_H_
 
@@ -30,6 +39,16 @@ struct Gf256Tables {
   Gf256Tables();
 };
 const Gf256Tables& GetGf256Tables();
+
+// Raw SIMD kernels (defined in gf256_ssse3.cc / gf256_avx2.cc), exposed so
+// tests and benchmarks can pin a specific tier. Only call a kernel when the
+// matching *Available() predicate is true.
+bool SimdAvailable();  // SSSE3
+bool Avx2Available();
+void AddMulRegionSsse3(uint8_t* dst, const uint8_t* src, size_t n, const uint8_t* lo,
+                       const uint8_t* hi);
+void AddMulRegionAvx2(uint8_t* dst, const uint8_t* src, size_t n, const uint8_t* lo,
+                      const uint8_t* hi);
 }  // namespace internal
 
 // c = a * b in GF(2^8).
@@ -69,6 +88,9 @@ void Gf256AddMulRegionLogExp(ByteSpan dst, ConstByteSpan src, uint8_t c);
 
 // True when the SSSE3 PSHUFB path is compiled in and supported by the CPU.
 bool Gf256HasSimd();
+
+// Widest region-op tier the running CPU supports: 0 scalar, 1 SSSE3, 2 AVX2.
+int Gf256SimdTier();
 
 }  // namespace cdstore
 

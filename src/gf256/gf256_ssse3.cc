@@ -5,7 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 
-#if defined(__x86_64__) || defined(__i386__)
+// __SSSE3__ (set by -mssse3) rather than the bare architecture: if the
+// compiler rejects the flag, fall back to the stub instead of failing to
+// compile the intrinsics.
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SSSE3__)
 #include <tmmintrin.h>
 #define CDSTORE_GF_SSSE3 1
 #endif

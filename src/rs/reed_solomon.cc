@@ -60,6 +60,18 @@ Status ReedSolomon::Encode(const std::vector<Bytes>& data_shards,
   return Status::Ok();
 }
 
+Status ReedSolomon::Encode(std::vector<Bytes>&& data_shards,
+                           std::vector<Bytes>* all_shards) const {
+  std::vector<Bytes> parity;
+  RETURN_IF_ERROR(EncodeParity(data_shards, &parity));
+  *all_shards = std::move(data_shards);
+  all_shards->reserve(n_);
+  for (Bytes& p : parity) {
+    all_shards->push_back(std::move(p));
+  }
+  return Status::Ok();
+}
+
 Status ReedSolomon::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shards,
                            std::vector<Bytes>* data_shards) const {
   if (ids.size() != shards.size()) {

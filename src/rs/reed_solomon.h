@@ -26,6 +26,11 @@ class ReedSolomon {
   // the data shards — systematic code).
   Status Encode(const std::vector<Bytes>& data_shards, std::vector<Bytes>* all_shards) const;
 
+  // Move-accepting overload: the k data shards are adopted into
+  // `all_shards` instead of copied — the AONT-RS encode hot path saves k
+  // shard copies per secret. `data_shards` is consumed.
+  Status Encode(std::vector<Bytes>&& data_shards, std::vector<Bytes>* all_shards) const;
+
   // Computes only the n-k parity shards for the given data shards.
   Status EncodeParity(const std::vector<Bytes>& data_shards,
                       std::vector<Bytes>* parity_shards) const;

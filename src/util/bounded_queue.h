@@ -1,0 +1,256 @@
+// Bounded MPMC queue with blocking backpressure — the coupling between the
+// stages of the streaming upload pipeline (§4.6): chunker -> encode workers
+// -> per-cloud uploaders. A full queue blocks producers (so a slow network
+// throttles encoding instead of buffering the whole backup in memory); Close
+// lets consumers drain the remaining items and then observe end-of-stream;
+// Cancel additionally discards buffered items so a failed consumer never
+// wedges its producers.
+#ifndef CDSTORE_SRC_UTIL_BOUNDED_QUEUE_H_
+#define CDSTORE_SRC_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace cdstore {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false (dropping `item`) if the
+  // queue is closed before space frees up.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. Returns nullopt once the
+  // queue is closed and fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    // Low-watermark wakeup: rousing the producer per pop degenerates into a
+    // one-item ping-pong (wake, push one, block again) of futex calls and
+    // context switches. Waking it at half-capacity lets it refill in bursts.
+    bool wake_producers = items_.size() == capacity_ / 2;
+    lock.unlock();
+    if (wake_producers) {
+      not_full_.notify_all();
+    }
+    return item;
+  }
+
+  // Producer-side end-of-stream: no further pushes succeed, consumers drain
+  // what is buffered and then see nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  // Consumer-side abort: Close plus discard of everything buffered, so
+  // blocked producers unblock immediately (their Push returns false).
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+// Bounded single-producer broadcast queue: every consumer sees every item,
+// each at its own pace. The producer blocks only when the *slowest* active
+// consumer falls `capacity` items behind — so one consumer stalled in a
+// long operation (an upload RPC) never starves the others, which a fan-out
+// into independent bounded queues would do (the producer wedges on the full
+// queue while the rest drain dry). This is the encode -> per-cloud-uploader
+// coupling of the streaming pipeline.
+//
+// Consumers access the current item in place via Peek/Advance. Distinct
+// consumers may mutate disjoint parts of the same item concurrently (e.g.
+// each uploader moves out its own cloud's share); the queue itself only
+// guarantees the pointer is stable until that consumer calls Advance.
+template <typename T>
+class BroadcastQueue {
+ public:
+  BroadcastQueue(size_t capacity, int num_consumers)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        cursors_(num_consumers, 0),
+        detached_(num_consumers, 0) {}
+
+  BroadcastQueue(const BroadcastQueue&) = delete;
+  BroadcastQueue& operator=(const BroadcastQueue&) = delete;
+
+  // Blocks while the slowest active consumer is `capacity` items behind.
+  // Returns false (dropping `item`) once closed or every consumer detached.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || head_ - MinCursor() < capacity_;
+    });
+    if (closed_) {
+      return false;
+    }
+    buffer_.push_back(std::move(item));
+    ++head_;
+    lock.unlock();
+    not_empty_.notify_all();
+    return true;
+  }
+
+  // Next item for consumer `ci`, or nullptr once the queue is closed and
+  // this consumer has seen everything. Blocks while caught up. The pointer
+  // stays valid until Advance(ci).
+  T* Peek(int ci) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this, ci] { return closed_ || cursors_[ci] < head_; });
+    if (cursors_[ci] == head_) {
+      return nullptr;
+    }
+    return &buffer_[cursors_[ci] - base_];
+  }
+
+  // Consumer `ci` is done with its current item; trims items every
+  // consumer has passed.
+  void Advance(int ci) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++cursors_[ci];
+    uint64_t min_cursor = MinCursor();
+    while (base_ < min_cursor && !buffer_.empty()) {
+      buffer_.pop_front();
+      ++base_;
+    }
+    // Low-watermark wakeup (see BoundedQueue::Pop): the producer sleeps
+    // until a quarter of the window is free, then refills in one burst
+    // instead of being woken per item.
+    size_t free_slots = capacity_ - static_cast<size_t>(head_ - min_cursor);
+    bool wake_producer = free_slots == WakeThreshold();
+    lock.unlock();
+    if (wake_producer) {
+      not_full_.notify_all();
+    }
+  }
+
+  // Consumer `ci` abandons the stream (e.g. its cloud failed): it stops
+  // gating the producer and will not consume further items.
+  void Detach(int ci) {
+    std::unique_lock<std::mutex> lock(mu_);
+    detached_[ci] = 1;
+    bool all_detached = true;
+    for (uint8_t d : detached_) {
+      all_detached = all_detached && d != 0;
+    }
+    if (all_detached) {
+      closed_ = true;  // no consumers left: stop the producer too
+    }
+    uint64_t min_cursor = MinCursor();
+    while (base_ < min_cursor && !buffer_.empty()) {
+      buffer_.pop_front();
+      ++base_;
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  // Producer end-of-stream: consumers drain what remains, then Peek
+  // returns nullptr.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t WakeThreshold() const { return capacity_ / 4 == 0 ? 1 : capacity_ / 4; }
+
+  // Smallest cursor among attached consumers; head_ when all detached.
+  uint64_t MinCursor() const {
+    uint64_t min_cursor = head_;
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      if (detached_[i] == 0 && cursors_[i] < min_cursor) {
+        min_cursor = cursors_[i];
+      }
+    }
+    return min_cursor;
+  }
+
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> buffer_;
+  uint64_t base_ = 0;  // seq of buffer_.front()
+  uint64_t head_ = 0;  // seq one past the newest item
+  std::vector<uint64_t> cursors_;
+  std::vector<uint8_t> detached_;
+  bool closed_ = false;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_BOUNDED_QUEUE_H_

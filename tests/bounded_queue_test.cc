@@ -1,0 +1,175 @@
+// BoundedQueue: FIFO ordering, MPMC correctness, backpressure blocking,
+// close/drain semantics, and cancel behaviour — the contract the streaming
+// upload pipeline depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/util/bounded_queue.h"
+
+namespace cdstore {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.Push(i));
+  }
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3)) << "queue at capacity";
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEndOfStream) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3)) << "push after close must fail";
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt) << "closed and drained";
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CancelDiscardsBufferedItems) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Cancel();
+  EXPECT_EQ(q.Pop(), std::nullopt) << "cancel discards buffered items";
+  EXPECT_FALSE(q.Push(3));
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilSpaceFrees) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_push_done{false};
+  std::thread producer([&]() {
+    EXPECT_TRUE(q.Push(2));  // blocks until the consumer pops
+    second_push_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_push_done) << "push must block while full";
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_push_done);
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&]() { EXPECT_FALSE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Cancel();
+  producer.join();  // would hang if Cancel didn't wake the producer
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&]() { EXPECT_EQ(q.Pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();  // would hang if Close didn't wake the consumer
+}
+
+TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(16);  // small capacity: forces contention + blocking
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex seen_mu;
+  std::vector<uint8_t> seen(kProducers * kPerProducer, 0);
+  std::atomic<int> popped{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&]() {
+      while (auto v = q.Pop()) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        ASSERT_GE(*v, 0);
+        ASSERT_LT(*v, kProducers * kPerProducer);
+        ASSERT_EQ(seen[*v], 0) << "duplicate delivery of " << *v;
+        seen[*v] = 1;
+        ++popped;
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), kProducers * kPerProducer);
+}
+
+TEST(BoundedQueueTest, PerProducerOrderPreserved) {
+  // With a single consumer, items from one producer must arrive in the
+  // order that producer pushed them (FIFO per producer).
+  BoundedQueue<std::pair<int, int>> q(8);
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push({p, i}));
+      }
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  std::thread consumer([&]() {
+    while (auto v = q.Pop()) {
+      auto [p, i] = *v;
+      EXPECT_EQ(i, next[p]) << "out-of-order delivery from producer " << p;
+      next[p] = i + 1;
+    }
+  });
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  consumer.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], kPerProducer);
+  }
+}
+
+TEST(BoundedQueueTest, MoveOnlyTypes) {
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.Push(std::make_unique<int>(7)));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+}  // namespace
+}  // namespace cdstore

@@ -1,0 +1,138 @@
+// SIMD-vs-scalar agreement tests for the runtime-dispatched hot kernels:
+// the AVX2/SSSE3 GF(256) region multiplies and the SHA-NI block compression
+// must be bit-identical to the portable paths on random inputs, odd lengths,
+// and boundary sizes.
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha256.h"
+#include "src/gf256/gf256.h"
+#include "src/util/rng.h"
+
+namespace cdstore {
+namespace {
+
+// Region sizes straddling every dispatch boundary: scalar tail only, one
+// vector, odd tails, and large regions.
+const size_t kSizes[] = {1,  15,  16,  17,  31,  32,  33,   63,   64,   65,
+                         95, 127, 128, 129, 255, 333, 4096, 4097, 65536, 65537};
+
+TEST(SimdGf256Test, Ssse3MatchesScalar) {
+  if (!internal::SimdAvailable()) {
+    GTEST_SKIP() << "SSSE3 unavailable";
+  }
+  const auto& t = internal::GetGf256Tables();
+  Rng rng(101);
+  for (size_t size : kSizes) {
+    Bytes src = rng.RandomBytes(size);
+    Bytes dst = rng.RandomBytes(size);
+    for (uint8_t c : {2, 3, 29, 127, 128, 254, 255}) {
+      Bytes expect = dst;
+      Gf256AddMulRegionScalar(expect, src, c);
+      Bytes got = dst;
+      internal::AddMulRegionSsse3(got.data(), src.data(), size, t.split_lo[c], t.split_hi[c]);
+      ASSERT_EQ(got, expect) << "size=" << size << " c=" << static_cast<int>(c);
+    }
+  }
+}
+
+TEST(SimdGf256Test, Avx2MatchesScalar) {
+  if (!internal::Avx2Available()) {
+    GTEST_SKIP() << "AVX2 unavailable";
+  }
+  const auto& t = internal::GetGf256Tables();
+  Rng rng(102);
+  for (size_t size : kSizes) {
+    Bytes src = rng.RandomBytes(size);
+    Bytes dst = rng.RandomBytes(size);
+    for (uint8_t c : {2, 3, 29, 127, 128, 254, 255}) {
+      Bytes expect = dst;
+      Gf256AddMulRegionScalar(expect, src, c);
+      Bytes got = dst;
+      internal::AddMulRegionAvx2(got.data(), src.data(), size, t.split_lo[c], t.split_hi[c]);
+      ASSERT_EQ(got, expect) << "size=" << size << " c=" << static_cast<int>(c);
+    }
+  }
+}
+
+TEST(SimdGf256Test, DispatchedRegionOpsMatchScalarAllConstants) {
+  // Whatever tier Gf256AddMulRegion selects must agree with scalar for
+  // every constant, including the c==1 XOR shortcut.
+  Rng rng(103);
+  Bytes src = rng.RandomBytes(1000);
+  Bytes dst = rng.RandomBytes(1000);
+  for (int c = 0; c < 256; ++c) {
+    Bytes expect = dst;
+    Gf256AddMulRegionScalar(expect, src, static_cast<uint8_t>(c));
+    Bytes got = dst;
+    Gf256AddMulRegion(got, src, static_cast<uint8_t>(c));
+    ASSERT_EQ(got, expect) << "c=" << c;
+  }
+}
+
+TEST(SimdSha256Test, ShaNiMatchesScalarBlocks) {
+  if (!internal::ShaNiAvailable()) {
+    GTEST_SKIP() << "SHA-NI unavailable";
+  }
+  Rng rng(104);
+  for (size_t blocks : {1ul, 2ul, 3ul, 7ul, 64ul, 1000ul}) {
+    Bytes data = rng.RandomBytes(blocks * Sha256::kBlockSize);
+    uint32_t scalar_state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    uint32_t ni_state[8];
+    std::copy(std::begin(scalar_state), std::end(scalar_state), std::begin(ni_state));
+    internal::Sha256ProcessBlocksScalar(scalar_state, data.data(), blocks);
+    internal::ShaNiProcessBlocks(ni_state, data.data(), blocks);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(ni_state[i], scalar_state[i]) << "blocks=" << blocks << " word=" << i;
+    }
+  }
+}
+
+TEST(SimdSha256Test, DigestsMatchScalarOnOddLengths) {
+  // End-to-end: the dispatched Sha256 class vs a digest computed with the
+  // scalar compressor only, across lengths that exercise buffering, padding
+  // with and without an extra block, and multi-block bulk input.
+  Rng rng(105);
+  for (size_t len : {0ul, 1ul, 3ul, 55ul, 56ul, 57ul, 63ul, 64ul, 65ul, 119ul, 120ul,
+                     127ul, 128ul, 1000ul, 65537ul}) {
+    Bytes data = rng.RandomBytes(len);
+    Bytes dispatched = Sha256::Hash(data);
+
+    // Scalar reference: replicate pad-and-compress without the class.
+    uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                         0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    Bytes padded = data;
+    padded.push_back(0x80);
+    while (padded.size() % Sha256::kBlockSize != 56) {
+      padded.push_back(0);
+    }
+    uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+    for (int i = 7; i >= 0; --i) {
+      padded.push_back(static_cast<uint8_t>(bit_len >> (8 * i)));
+    }
+    internal::Sha256ProcessBlocksScalar(state, padded.data(),
+                                        padded.size() / Sha256::kBlockSize);
+    Bytes expect(Sha256::kDigestSize);
+    for (int i = 0; i < 8; ++i) {
+      expect[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+      expect[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+      expect[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+      expect[4 * i + 3] = static_cast<uint8_t>(state[i]);
+    }
+    ASSERT_EQ(dispatched, expect) << "len=" << len;
+  }
+}
+
+TEST(SimdDispatchTest, TierIsConsistentWithPredicates) {
+  int tier = Gf256SimdTier();
+  if (internal::Avx2Available()) {
+    EXPECT_EQ(tier, 2);
+  } else if (internal::SimdAvailable()) {
+    EXPECT_EQ(tier, 1);
+  } else {
+    EXPECT_EQ(tier, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cdstore
