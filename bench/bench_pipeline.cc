@@ -1,14 +1,20 @@
-// Barrier vs streaming upload, end to end: a CDStore client uploading to n
-// simulated clouds whose links have real latency and finite uplink
-// bandwidth (the transport sleeps, so overlap between encode and transfer
-// is actually observable in wall-clock time). Sweeps chunking config and
-// encode thread count, and microbenchmarks the SIMD kernel tiers the
-// pipeline leans on (GF(256) region multiply, SHA-256 compression).
+// End-to-end pipeline benchmarks against n simulated clouds whose links
+// have real latency and finite bandwidth (the transport sleeps, so overlap
+// between compute and transfer is actually observable in wall-clock time):
+//
+//   1. barrier vs streaming upload (chunking config x encode threads),
+//   2. N one-shot uploads vs one multi-file BackupSession (per-file
+//      pipeline setup/teardown amortization),
+//   3. barrier vs pipelined sink-driven download (per-cloud fetch lanes
+//      overlapped with decode workers), with per-cloud skew breakdown,
+//   4. microbenchmarks of the SIMD kernel tiers the pipeline leans on
+//      (GF(256) region multiply, SHA-256 compression).
 //
 // Emits one `BENCH_JSON {...}` line per measurement for trajectory
 // tracking, plus human-readable tables.
 //
-// Flags: --size_mb=24 --uplink_mbps=25 --latency_ms=2 --threads=2
+// Flags: --size_mb=48 --uplink_mbps=24 --latency_ms=2 --threads=2
+//        --files=16 --file_kb=512
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -92,7 +98,15 @@ class DelayTransport : public Transport {
     if (uplink_ != nullptr) {
       uplink_->Send(request.size());
     }
-    return handler_(request);
+    Bytes reply = handler_(request);
+    // Reply bytes ride the same per-cloud WAN path, so downloads (whose
+    // bulk is in the reply) cost real wall time too. The shared-uplink
+    // mode models only the egress NIC and leaves replies uncharged.
+    if (uplink_ == nullptr && own_bytes_per_s_ > 0 && !reply.empty()) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          static_cast<double>(reply.size()) / own_bytes_per_s_));
+    }
+    return reply;
   }
 
  private:
@@ -222,6 +236,155 @@ void BenchUpload(int argc, char** argv) {
               best_speedup);
 }
 
+ClientOptions BenchClientOptions(int threads) {
+  ClientOptions opts;
+  opts.n = kN;
+  opts.k = kK;
+  opts.encode_threads = threads;
+  opts.decode_threads = threads;
+  opts.stream_batch_bytes = g_stream_batch_bytes;
+  opts.pipeline_queue_depth = g_queue_depth;
+  return opts;
+}
+
+// N one-shot uploads (each pays pipeline thread setup/teardown) vs one
+// BackupSession streaming the same N files through persistent encode
+// workers and per-cloud uploader threads.
+void BenchSession(int argc, char** argv) {
+  const int files = static_cast<int>(FlagValue(argc, argv, "files", 16));
+  const size_t file_kb = static_cast<size_t>(FlagValue(argc, argv, "file_kb", 512));
+  const double uplink_mbps = FlagValue(argc, argv, "uplink_mbps", 24);
+  const double latency_ms = FlagValue(argc, argv, "latency_ms", 2);
+  const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 2));
+  const double latency_s = latency_ms / 1e3;
+  const double uplink_bytes_per_s = uplink_mbps * 1e6;
+
+  std::vector<Bytes> dataset;
+  dataset.reserve(files);
+  for (int f = 0; f < files; ++f) {
+    dataset.push_back(RandomData(file_kb * 1024, 9000 + f));
+  }
+
+  auto run = [&](bool use_session) {
+    auto world = MakeDeployment(latency_s, uplink_bytes_per_s, g_shared_uplink);
+    std::vector<Transport*> transports;
+    for (auto& t : world->transports) {
+      transports.push_back(t.get());
+    }
+    CdstoreClient client(transports, /*user=*/1, BenchClientOptions(threads));
+    Stopwatch watch;
+    if (use_session) {
+      auto session = client.OpenBackupSession();
+      if (!session.ok()) {
+        std::fprintf(stderr, "session failed: %s\n", session.status().ToString().c_str());
+        std::exit(1);
+      }
+      for (int f = 0; f < files; ++f) {
+        if (!session.value()->Upload("/f" + std::to_string(f), dataset[f]).ok()) {
+          std::exit(1);
+        }
+      }
+      (void)session.value()->Close();
+    } else {
+      for (int f = 0; f < files; ++f) {
+        if (!client.Upload("/f" + std::to_string(f), dataset[f]).ok()) {
+          std::exit(1);
+        }
+      }
+    }
+    return watch.ElapsedSeconds();
+  };
+
+  PrintHeader("Multi-file backup: N one-shot uploads vs one session");
+  std::printf("%d files x %zuKB, %.0fms/call latency, %.0fMB/s per cloud\n", files, file_kb,
+              latency_ms, uplink_mbps);
+  double oneshot_s = run(false);
+  double session_s = run(true);
+  double speedup = session_s > 0 ? oneshot_s / session_s : 0;
+  double per_file_saving_ms = files > 0 ? (oneshot_s - session_s) * 1e3 / files : 0;
+  std::printf("one-shot: %.3fs   session: %.3fs   speedup %.2fx "
+              "(%.2fms less per-file overhead)\n",
+              oneshot_s, session_s, speedup, per_file_saving_ms);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"session_multifile\",\"files\":%d,\"file_kb\":%zu,"
+      "\"oneshot_s\":%.4f,\"session_s\":%.4f,\"speedup\":%.3f,"
+      "\"per_file_saving_ms\":%.3f}\n",
+      files, file_kb, oneshot_s, session_s, speedup, per_file_saving_ms);
+}
+
+// Barrier download (fetch every cloud sequentially, then decode, then emit)
+// vs pipelined sink-driven download (per-cloud fetch lanes overlapped with
+// decode workers).
+void BenchDownload(int argc, char** argv) {
+  const size_t size_mb = static_cast<size_t>(FlagValue(argc, argv, "size_mb", 48));
+  const double uplink_mbps = FlagValue(argc, argv, "uplink_mbps", 24);
+  const double latency_ms = FlagValue(argc, argv, "latency_ms", 2);
+  const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 2));
+  const double latency_s = latency_ms / 1e3;
+  const double uplink_bytes_per_s = uplink_mbps * 1e6;
+
+  Bytes data = RandomData(size_mb * 1024 * 1024, 777);
+  auto world = MakeDeployment(latency_s, uplink_bytes_per_s, g_shared_uplink);
+  std::vector<Transport*> transports;
+  for (auto& t : world->transports) {
+    transports.push_back(t.get());
+  }
+  {
+    CdstoreClient uploader(transports, /*user=*/1, BenchClientOptions(threads));
+    if (!uploader.Upload("/bench", data).ok()) {
+      std::fprintf(stderr, "upload for download bench failed\n");
+      std::exit(1);
+    }
+  }
+
+  auto run = [&](bool pipelined, DownloadStats* stats) {
+    ClientOptions opts = BenchClientOptions(threads);
+    opts.pipelined_download = pipelined;
+    CdstoreClient client(transports, /*user=*/1, opts);
+    Bytes restored;
+    BufferByteSink sink(&restored);
+    Stopwatch watch;
+    Status st = client.Download("/bench", sink, stats);
+    double secs = watch.ElapsedSeconds();
+    if (!st.ok() || restored != data) {
+      std::fprintf(stderr, "download failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    return ToMiBps(data.size(), secs);
+  };
+
+  PrintHeader("Barrier vs pipelined download (wall clock, simulated clouds)");
+  std::printf("%zuMB, %.0fms/call latency, %.0fMB/s per cloud path\n", size_mb, latency_ms,
+              uplink_mbps);
+  DownloadStats barrier_stats;
+  DownloadStats pipelined_stats;
+  double barrier = run(false, &barrier_stats);
+  double pipelined = run(true, &pipelined_stats);
+  double speedup = barrier > 0 ? pipelined / barrier : 0;
+  std::printf("barrier: %.1f MB/s   pipelined: %.1f MB/s   speedup %.2fx\n", barrier,
+              pipelined, speedup);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"pipeline_download\",\"size_mb\":%zu,\"uplink_mbps\":%.1f,"
+      "\"latency_ms\":%.1f,\"barrier_mibps\":%.2f,\"pipelined_mibps\":%.2f,"
+      "\"speedup\":%.3f}\n",
+      size_mb, uplink_mbps, latency_ms, barrier, pipelined, speedup);
+  // Per-cloud skew: which clouds actually served the restore, and how much.
+  for (size_t c = 0; c < pipelined_stats.per_cloud.size(); ++c) {
+    const CloudDownloadStats& cs = pipelined_stats.per_cloud[c];
+    if (cs.rpcs == 0 && cs.received_share_bytes == 0) {
+      continue;
+    }
+    std::printf("  cloud %zu: %.1f MB received over %llu RPCs\n", c,
+                static_cast<double>(cs.received_share_bytes) / (1024 * 1024),
+                static_cast<unsigned long long>(cs.rpcs));
+    std::printf(
+        "BENCH_JSON {\"bench\":\"download_cloud_skew\",\"cloud\":%zu,"
+        "\"received_bytes\":%llu,\"rpcs\":%llu}\n",
+        c, static_cast<unsigned long long>(cs.received_share_bytes),
+        static_cast<unsigned long long>(cs.rpcs));
+  }
+}
+
 double MeasureGfMiBps(void (*fn)(uint8_t*, const uint8_t*, size_t, const uint8_t*,
                                  const uint8_t*),
                       size_t region, double budget_s) {
@@ -295,5 +458,7 @@ void BenchKernels() {
 int main(int argc, char** argv) {
   cdstore::BenchKernels();
   cdstore::BenchUpload(argc, argv);
+  cdstore::BenchSession(argc, argv);
+  cdstore::BenchDownload(argc, argv);
   return 0;
 }

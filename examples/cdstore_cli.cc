@@ -1,26 +1,32 @@
 // cdstore_cli: a minimal operational CLI for a local CDStore deployment —
 // four cloud directories on disk, real files in and out. State persists
-// across invocations, so this behaves like a tiny backup tool:
+// across invocations, so this behaves like a tiny backup tool. Backups of
+// several files share one BackupSession (the encode workers and per-cloud
+// uploaders persist across files) and restores stream straight to disk
+// through a FileByteSink, so neither direction holds a whole file's shares
+// in memory.
 //
-//   cdstore_cli <state_dir> backup  <file> [user_id]
-//   cdstore_cli <state_dir> restore <file> <output_path> [user_id]
-//   cdstore_cli <state_dir> delete  <file> [user_id]
+//   cdstore_cli <state_dir> backup  <file>... [--user=N]
+//   cdstore_cli <state_dir> restore <file> <output_path> [--user=N]
+//   cdstore_cli <state_dir> delete  <file> [--user=N]
 //   cdstore_cli <state_dir> stats
 //   cdstore_cli <state_dir> gc
 //
 // Example:
-//   ./examples/cdstore_cli /tmp/cd backup  /etc/hosts
+//   ./examples/cdstore_cli /tmp/cd backup  /etc/hosts /etc/passwd
 //   ./examples/cdstore_cli /tmp/cd restore /etc/hosts /tmp/hosts.restored
 //   diff /etc/hosts /tmp/hosts.restored
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/client.h"
 #include "src/core/server.h"
 #include "src/net/transport.h"
 #include "src/storage/backend.h"
+#include "src/util/byte_sink.h"
 #include "src/util/fs_util.h"
 #include "src/util/stats.h"
 
@@ -64,12 +70,22 @@ bool OpenDeployment(const std::string& state_dir, Deployment* d) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cdstore_cli <state_dir> backup <file> [user]\n"
-               "       cdstore_cli <state_dir> restore <file> <out_path> [user]\n"
-               "       cdstore_cli <state_dir> delete <file> [user]\n"
+               "usage: cdstore_cli <state_dir> backup <file>... [--user=N]\n"
+               "       cdstore_cli <state_dir> restore <file> <out_path> [--user=N]\n"
+               "       cdstore_cli <state_dir> delete <file> [--user=N]\n"
                "       cdstore_cli <state_dir> stats\n"
                "       cdstore_cli <state_dir> gc\n");
   return 2;
+}
+
+// Strips a trailing --user=N argument; defaults to user 1.
+UserId ParseUser(int* argc, char** argv) {
+  if (*argc > 3 && std::strncmp(argv[*argc - 1], "--user=", 7) == 0) {
+    UserId user = std::strtoull(argv[*argc - 1] + 7, nullptr, 10);
+    --*argc;
+    return user;
+  }
+  return 1;
 }
 
 }  // namespace
@@ -80,53 +96,80 @@ int main(int argc, char** argv) {
   }
   std::string state_dir = argv[1];
   std::string cmd = argv[2];
+  UserId user = ParseUser(&argc, argv);
   Deployment d;
   if (!OpenDeployment(state_dir, &d)) {
     return 1;
   }
 
   if (cmd == "backup" && argc >= 4) {
-    UserId user = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
-    auto data = ReadFileBytes(argv[3]);
-    if (!data.ok()) {
-      std::fprintf(stderr, "read failed: %s\n", data.status().ToString().c_str());
-      return 1;
-    }
+    // All files share one session: encode workers and per-cloud uploader
+    // threads are set up once, files stream through one after another.
     CdstoreClient client(d.ptrs, user, ClientOptions{});
-    UploadStats stats;
-    Status st = client.Upload(argv[3], data.value(), &stats);
-    if (!st.ok()) {
-      std::fprintf(stderr, "backup failed: %s\n", st.ToString().c_str());
+    auto session = client.OpenBackupSession();
+    if (!session.ok()) {
+      std::fprintf(stderr, "session failed: %s\n", session.status().ToString().c_str());
       return 1;
     }
-    double saving = stats.logical_share_bytes == 0
-                        ? 0.0
-                        : 100.0 * (1.0 - static_cast<double>(stats.transferred_share_bytes) /
-                                             static_cast<double>(stats.logical_share_bytes));
-    std::printf("backed up %s: %s in %zu secrets across %d clouds; transferred %s "
-                "(dedup saved %.1f%%)\n",
-                argv[3], FormatSize(stats.logical_bytes).c_str(),
-                static_cast<size_t>(stats.num_secrets), kN,
-                FormatSize(stats.transferred_share_bytes).c_str(), saving);
+    for (int a = 3; a < argc; ++a) {
+      auto data = ReadFileBytes(argv[a]);
+      if (!data.ok()) {
+        std::fprintf(stderr, "read failed: %s\n", data.status().ToString().c_str());
+        return 1;
+      }
+      UploadStats stats;
+      Status st = session.value()->Upload(argv[a], data.value(), &stats);
+      if (!st.ok()) {
+        std::fprintf(stderr, "backup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      double saving = stats.logical_share_bytes == 0
+                          ? 0.0
+                          : 100.0 * (1.0 - static_cast<double>(stats.transferred_share_bytes) /
+                                               static_cast<double>(stats.logical_share_bytes));
+      std::printf("backed up %s: %s in %zu secrets across %d clouds; transferred %s "
+                  "(dedup saved %.1f%%)\n",
+                  argv[a], FormatSize(stats.logical_bytes).c_str(),
+                  static_cast<size_t>(stats.num_secrets), kN,
+                  FormatSize(stats.transferred_share_bytes).c_str(), saving);
+    }
+    Status close = session.value()->Close();
+    if (!close.ok()) {
+      std::fprintf(stderr, "session close failed: %s\n", close.ToString().c_str());
+      return 1;
+    }
     return 0;
   }
 
   if (cmd == "restore" && argc >= 5) {
-    UserId user = argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 1;
     CdstoreClient client(d.ptrs, user, ClientOptions{});
+    // Stream the restore straight to disk: decoded secrets hit the file as
+    // fetch lanes and decode workers pipeline, never a whole file in RAM.
+    // Restores go to a temp path renamed into place on success, so a
+    // failed restore never clobbers an existing good copy at out_path.
+    std::string out_path = argv[4];
+    std::string tmp_path = out_path + ".partial";
+    auto sink = FileByteSink::Open(tmp_path);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", sink.status().ToString().c_str());
+      return 1;
+    }
     DownloadStats stats;
-    auto data = client.Download(argv[3], &stats);
-    if (!data.ok()) {
-      std::fprintf(stderr, "restore failed: %s\n", data.status().ToString().c_str());
-      return 1;
+    Status st = client.Download(argv[3], *sink.value(), &stats);
+    if (st.ok()) {
+      st = sink.value()->Close();
     }
-    Status st = WriteFile(argv[4], data.value());
     if (!st.ok()) {
-      std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+      std::remove(tmp_path.c_str());
+      std::fprintf(stderr, "restore failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("restored %s -> %s (%s from clouds", argv[3], argv[4],
-                FormatSize(data.value().size()).c_str());
+    if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+      std::fprintf(stderr, "rename %s -> %s failed\n", tmp_path.c_str(), out_path.c_str());
+      return 1;
+    }
+    std::printf("restored %s -> %s (%s from clouds", argv[3], out_path.c_str(),
+                FormatSize(sink.value()->bytes_written()).c_str());
     for (int c : stats.clouds_used) {
       std::printf(" %d", c);
     }
@@ -135,7 +178,6 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "delete" && argc >= 4) {
-    UserId user = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
     CdstoreClient client(d.ptrs, user, ClientOptions{});
     Status st = client.DeleteFile(argv[3]);
     std::printf("delete %s: %s (run 'gc' to reclaim space)\n", argv[3],

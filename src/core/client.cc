@@ -1,18 +1,64 @@
 #include "src/core/client.h"
 
 #include <algorithm>
-
+#include <condition_variable>
 #include <deque>
-#include <future>
-#include <mutex>
+#include <numeric>
+#include <set>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 
 #include "src/dispersal/secret_sharing.h"
 #include "src/util/logging.h"
-#include "src/util/stats.h"
 
 namespace cdstore {
+
+namespace {
+
+// How many download batches each fetch lane may run ahead of the decoder.
+// Restore memory is bounded by kFetchAhead * k * download_batch_bytes.
+constexpr size_t kFetchAhead = 3;
+
+CloudUploadStats& CloudSlot(UploadStats* stats, int cloud) {
+  if (stats->per_cloud.size() <= static_cast<size_t>(cloud)) {
+    stats->per_cloud.resize(cloud + 1);
+  }
+  return stats->per_cloud[cloud];
+}
+
+CloudDownloadStats& CloudSlot(DownloadStats* stats, int cloud) {
+  if (stats->per_cloud.size() <= static_cast<size_t>(cloud)) {
+    stats->per_cloud.resize(cloud + 1);
+  }
+  return stats->per_cloud[cloud];
+}
+
+void MergeUploadStats(UploadStats* into, const UploadStats& from) {
+  into->logical_bytes += from.logical_bytes;
+  into->num_secrets += from.num_secrets;
+  into->logical_share_bytes += from.logical_share_bytes;
+  into->transferred_share_bytes += from.transferred_share_bytes;
+  into->intra_duplicate_shares += from.intra_duplicate_shares;
+  into->chunk_encode_seconds += from.chunk_encode_seconds;
+  for (size_t c = 0; c < from.per_cloud.size(); ++c) {
+    CloudUploadStats& slot = CloudSlot(into, static_cast<int>(c));
+    slot.transferred_share_bytes += from.per_cloud[c].transferred_share_bytes;
+    slot.intra_duplicate_shares += from.per_cloud[c].intra_duplicate_shares;
+    slot.rpcs += from.per_cloud[c].rpcs;
+  }
+}
+
+// Depth of the encode -> uploader broadcast pool: ~4x stream_batch_bytes of
+// typical bundles, so encoding keeps producing while upload RPCs are on the
+// wire, yet a stalled cloud caps client memory at a couple of batches.
+size_t UploadPoolDepth(const ClientOptions& opts, const AontRsScheme& scheme) {
+  size_t typical_secret = opts.fixed_chunking ? opts.fixed_chunk_size : opts.rabin.avg_size;
+  size_t typical_share = std::max<size_t>(1, scheme.ShareSize(typical_secret));
+  return std::max(opts.pipeline_queue_depth, 4 * opts.stream_batch_bytes / typical_share);
+}
+
+}  // namespace
 
 CdstoreClient::CdstoreClient(std::vector<Transport*> transports, UserId user,
                              const ClientOptions& options)
@@ -20,7 +66,8 @@ CdstoreClient::CdstoreClient(std::vector<Transport*> transports, UserId user,
       user_(user),
       opts_(options),
       scheme_(MakeCaontRs(options.n, options.k, options.salt)),
-      pipeline_(scheme_.get(), options.encode_threads) {
+      pipeline_(scheme_.get(), options.encode_threads),
+      decode_pipeline_(scheme_.get(), options.decode_threads) {
   CHECK_EQ(transports_.size(), static_cast<size_t>(options.n));
 }
 
@@ -41,111 +88,248 @@ Result<std::vector<Bytes>> CdstoreClient::PathKeys(const std::string& path_name)
   return shares;
 }
 
-// ---------------------------------------------------------------- upload --
+// --------------------------------------------------------------- session --
 
-Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
-                                    const std::vector<RecipeEntry>& recipe,
-                                    const std::vector<const Bytes*>& shares,
-                                    UploadStats* stats, std::mutex* stats_mu) {
-  Transport* t = transports_[cloud];
-
-  // 1. Intra-user dedup query (§3.3).
-  FpQueryRequest query;
-  query.user = user_;
-  query.fps.reserve(recipe.size());
-  for (const RecipeEntry& e : recipe) {
-    query.fps.push_back(e.fp);
+BackupSession::BackupSession(CdstoreClient* client, std::vector<int> clouds)
+    : client_(client), clouds_(std::move(clouds)) {
+  jobs_.reserve(clouds_.size());
+  for (size_t i = 0; i < clouds_.size(); ++i) {
+    // Single-slot queues: at most one file is in flight per lane, and a
+    // writer is finished before the next OpenUpload, so Push never blocks.
+    jobs_.push_back(std::make_unique<BoundedQueue<UploadWriter*>>(1));
   }
-  ASSIGN_OR_RETURN(Bytes reply_frame, t->Call(Encode(query)));
-  RETURN_IF_ERROR(DecodeIfError(reply_frame));
-  FpQueryReply query_reply;
-  RETURN_IF_ERROR(Decode(reply_frame, &query_reply));
-  if (query_reply.duplicate.size() != recipe.size()) {
-    return Status::Internal("fp query reply arity mismatch");
+  uploaders_.reserve(clouds_.size());
+  for (size_t i = 0; i < clouds_.size(); ++i) {
+    uploaders_.emplace_back([this, i]() { UploaderLoop(i); });
   }
+}
 
-  // Deduplicate within this upload as well: identical secrets produce
-  // identical shares, and only the first instance needs transfer.
-  std::vector<uint8_t> send(recipe.size(), 0);
-  std::unordered_set<Fingerprint, FingerprintHash> in_flight;
-  uint64_t transferred = 0;
-  uint64_t dup = 0;
-  for (size_t i = 0; i < recipe.size(); ++i) {
-    if (query_reply.duplicate[i] != 0 || in_flight.count(recipe[i].fp) > 0) {
-      ++dup;
-      continue;
-    }
-    send[i] = 1;
-    in_flight.insert(recipe[i].fp);
+BackupSession::~BackupSession() {
+  CHECK(!writer_open_.load()) << "UploadWriter must be finished or destroyed "
+                                 "before its BackupSession";
+  (void)Close();
+}
+
+void BackupSession::UploaderLoop(size_t lane) {
+  // One file at a time: pop the next writer's job, stream its shares to
+  // this lane's cloud, report the per-cloud status, go back to waiting.
+  // The thread — and with it the transport connection state — persists
+  // across every file of the session.
+  while (auto writer = jobs_[lane]->Pop()) {
+    UploadWriter* w = *writer;
+    int cloud = clouds_[lane];
+    Status st = client_->StreamUploadToCloud(cloud, static_cast<int>(lane),
+                                             w->path_keys_[cloud], &w->file_size_, &w->pool_,
+                                             &w->abort_, &w->file_stats_, &w->stats_mu_);
+    w->cloud_promises_[lane].set_value(st);
   }
+}
 
-  // 2. Upload unique shares in 4MB batches (§4.1).
-  UploadSharesRequest batch;
-  batch.user = user_;
-  size_t batch_bytes = 0;
-  auto flush_batch = [&]() -> Status {
-    if (batch.shares.empty()) {
-      return Status::Ok();
-    }
-    ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(batch)));
-    RETURN_IF_ERROR(DecodeIfError(frame));
-    UploadSharesReply r;
-    RETURN_IF_ERROR(Decode(frame, &r));
-    batch.shares.clear();
-    batch_bytes = 0;
+Result<std::unique_ptr<BackupSession::UploadWriter>> BackupSession::OpenUpload(
+    const std::string& path_name) {
+  if (closed_) {
+    return Status::FailedPrecondition("OpenUpload on a closed session");
+  }
+  bool expected = false;
+  if (!writer_open_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition(
+        "another UploadWriter is still open in this session");
+  }
+  auto path_keys = client_->PathKeys(path_name);
+  if (!path_keys.ok()) {
+    writer_open_.store(false);
+    return path_keys.status();
+  }
+  auto writer =
+      std::unique_ptr<UploadWriter>(new UploadWriter(this, std::move(path_keys.value())));
+  for (auto& q : jobs_) {
+    q->Push(writer.get());
+  }
+  return writer;
+}
+
+Status BackupSession::Upload(const std::string& path_name, ConstByteSpan data,
+                             UploadStats* stats) {
+  ASSIGN_OR_RETURN(std::unique_ptr<UploadWriter> writer, OpenUpload(path_name));
+  RETURN_IF_ERROR(writer->WritePinned(data));
+  return writer->Finish(stats);
+}
+
+Status BackupSession::Close() {
+  if (writer_open_.load()) {
+    return Status::FailedPrecondition("Close with an open UploadWriter");
+  }
+  if (closed_) {
     return Status::Ok();
-  };
-  for (size_t i = 0; i < recipe.size(); ++i) {
-    if (send[i] == 0) {
-      continue;
-    }
-    batch.shares.push_back(*shares[i]);
-    batch_bytes += shares[i]->size();
-    transferred += shares[i]->size();
-    if (batch_bytes >= opts_.upload_batch_bytes) {
-      RETURN_IF_ERROR(flush_batch());
-    }
   }
-  RETURN_IF_ERROR(flush_batch());
-
-  // 3. Finalize: metadata + recipe (§4.3).
-  PutFileRequest put;
-  put.user = user_;
-  put.path_key = path_key;
-  put.file_size = file_size;
-  put.recipe = recipe;
-  ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
-  RETURN_IF_ERROR(DecodeIfError(frame));
-  PutFileReply put_reply;
-  RETURN_IF_ERROR(Decode(frame, &put_reply));
-
-  if (stats != nullptr) {
-    std::lock_guard<std::mutex> lock(*stats_mu);
-    stats->transferred_share_bytes += transferred;
-    stats->intra_duplicate_shares += dup;
+  closed_ = true;
+  for (auto& q : jobs_) {
+    q->Close();
+  }
+  for (auto& t : uploaders_) {
+    t.join();
   }
   return Status::Ok();
 }
 
-Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
-                             UploadStats* stats) {
-  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
-  if (opts_.streaming_upload) {
-    std::vector<int> clouds(opts_.n);
-    for (int i = 0; i < opts_.n; ++i) {
-      clouds[i] = i;
-    }
-    return UploadStreaming(path_keys, data, clouds, stats);
-  }
-  return UploadBarrier(path_keys, data, stats);
+Result<std::unique_ptr<BackupSession>> CdstoreClient::OpenBackupSession() {
+  std::vector<int> clouds(opts_.n);
+  std::iota(clouds.begin(), clouds.end(), 0);
+  return std::unique_ptr<BackupSession>(new BackupSession(this, std::move(clouds)));
 }
 
-// Streaming uploader (§4.6): consumes encoded shares in recipe order and
-// interleaves dedup queries, batched transfers, and the final recipe put.
-// Pending shares accumulate until stream_batch_bytes, then one FpQuery
+// ---------------------------------------------------------- upload writer --
+
+BackupSession::UploadWriter::UploadWriter(BackupSession* session, std::vector<Bytes> path_keys)
+    : session_(session),
+      chunker_(session->client_->MakeChunker()),
+      pool_(UploadPoolDepth(session->client_->opts_, *session->client_->scheme_),
+            static_cast<int>(session->clouds_.size())),
+      path_keys_(std::move(path_keys)) {
+  file_stats_.per_cloud.resize(session_->client_->opts_.n);
+  cloud_promises_.resize(session_->clouds_.size());
+  cloud_results_.reserve(cloud_promises_.size());
+  for (auto& p : cloud_promises_) {
+    cloud_results_.push_back(p.get_future());
+  }
+  // Sink runs on encode workers, serialized and in submission order; a Push
+  // into the closed pool (every lane failed) is dropped, and each lane's
+  // status surfaces at Finish.
+  auto sink = [this](CodingPipeline::EncodedSecret bundle) {
+    ++num_secrets_;
+    for (const Bytes& s : bundle.shares) {
+      logical_share_bytes_ += s.size();
+    }
+    pool_.Push(std::move(bundle));
+  };
+  stream_ = session_->client_->pipeline_.OpenStream(
+      std::move(sink), session_->client_->opts_.pipeline_queue_depth);
+}
+
+BackupSession::UploadWriter::~UploadWriter() {
+  if (finished_) {
+    return;
+  }
+  // Abandoned mid-file: raise the abort flag so no lane commits a truncated
+  // recipe, then drain the pipeline so the session's lanes return to idle.
+  abort_.store(true, std::memory_order_relaxed);
+  (void)stream_->Finish();
+  file_size_ = bytes_written_;
+  pool_.Close();
+  for (auto& f : cloud_results_) {
+    (void)f.get();
+  }
+  session_->writer_open_.store(false);
+}
+
+Status BackupSession::UploadWriter::SubmitChunks(ConstByteSpan data, bool pinned) {
+  if (finished_) {
+    return Status::FailedPrecondition("Write after Finish");
+  }
+  if (!submit_status_.ok()) {
+    return submit_status_;
+  }
+  // Chunks fully inside a pinned buffer travel zero-copy; everything else
+  // (unpinned writes, chunker-internal straddling buffers) is copied into
+  // the pipeline because the source dies before delivery.
+  const uint8_t* base = data.data();
+  const size_t size = data.size();
+  auto chunk_sink = [&](ConstByteSpan c) {
+    if (!submit_status_.ok()) {
+      return;
+    }
+    bool in_buffer =
+        pinned && !c.empty() && c.data() >= base && c.data() + c.size() <= base + size;
+    submit_status_ =
+        in_buffer ? stream_->Submit(c) : stream_->Submit(Bytes(c.begin(), c.end()));
+  };
+  chunker_->Update(data, chunk_sink);
+  bytes_written_ += data.size();
+  return submit_status_;
+}
+
+Status BackupSession::UploadWriter::Write(ConstByteSpan data) {
+  return SubmitChunks(data, /*pinned=*/false);
+}
+
+Status BackupSession::UploadWriter::WritePinned(ConstByteSpan data) {
+  return SubmitChunks(data, /*pinned=*/true);
+}
+
+Status BackupSession::UploadWriter::Finish(UploadStats* stats) {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  finished_ = true;
+  auto chunk_sink = [&](ConstByteSpan c) {
+    if (!submit_status_.ok()) {
+      return;
+    }
+    submit_status_ = stream_->Submit(Bytes(c.begin(), c.end()));
+  };
+  chunker_->Finish(chunk_sink);
+  Status encode_status = stream_->Finish();
+  double compute_s = compute_watch_.ElapsedSeconds();
+
+  // The lanes read file_size_ only after draining the pool, and Close
+  // provides the happens-before edge for this write.
+  file_size_ = bytes_written_;
+  // A failed encode must not look like a clean end-of-stream: the lanes
+  // would otherwise drain and PutFile a truncated recipe (and on overwrite
+  // replace a good file with it).
+  if (!encode_status.ok() || !submit_status_.ok()) {
+    abort_.store(true, std::memory_order_relaxed);
+  }
+  pool_.Close();
+  std::vector<Status> results;
+  results.reserve(cloud_results_.size());
+  for (auto& f : cloud_results_) {
+    results.push_back(f.get());
+  }
+  session_->writer_open_.store(false);
+
+  RETURN_IF_ERROR(encode_status);
+  RETURN_IF_ERROR(submit_status_);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      return Status(results[i].code(), "cloud " + std::to_string(session_->clouds_[i]) +
+                                           ": " + results[i].message());
+    }
+  }
+  if (stats != nullptr) {
+    file_stats_.logical_bytes = bytes_written_;
+    file_stats_.num_secrets = num_secrets_;
+    file_stats_.logical_share_bytes = logical_share_bytes_;
+    // The overlapped chunk+encode wall time (includes stalls waiting on the
+    // network through backpressure).
+    file_stats_.chunk_encode_seconds = compute_s;
+    MergeUploadStats(stats, file_stats_);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- upload --
+
+Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
+                             UploadStats* stats) {
+  if (!opts_.streaming_upload) {
+    ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+    return UploadBarrier(path_keys, data, stats);
+  }
+  // Thin wrapper: a one-file session. Chunking, encoding, dedup, transfer,
+  // and stats are identical to any other session upload.
+  ASSIGN_OR_RETURN(std::unique_ptr<BackupSession> session, OpenBackupSession());
+  Status st = session->Upload(path_name, data, stats);
+  Status close = session->Close();
+  return st.ok() ? close : st;
+}
+
+// Streaming uploader lane (§4.6): consumes encoded shares in recipe order
+// and interleaves dedup queries, batched transfers, and the final recipe
+// put. Pending shares accumulate until stream_batch_bytes, then one FpQuery
 // settles their dedup status and the unique ones join the transfer batch.
 Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
-                                          uint64_t file_size,
+                                          const uint64_t* file_size,
                                           BroadcastQueue<CodingPipeline::EncodedSecret>* in,
                                           const std::atomic<bool>* abort_upload,
                                           UploadStats* stats, std::mutex* stats_mu) {
@@ -154,6 +338,7 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
   std::unordered_set<Fingerprint, FingerprintHash> in_flight;
   uint64_t transferred = 0;
   uint64_t dup = 0;
+  uint64_t rpcs = 0;
 
   // One transfer RPC rides the wire while the next batch is queried and
   // assembled: flush_batch hands the batch to a single async in-flight
@@ -179,6 +364,7 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     batch.shares.clear();
     batch.user = user_;
     batch_bytes = 0;
+    ++rpcs;
     inflight = std::async(std::launch::async, [t, req]() -> Status {
       ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(*req)));
       RETURN_IF_ERROR(DecodeIfError(frame));
@@ -225,6 +411,7 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     FpQueryRequest query;
     query.user = user_;
     query.fps = w.fps;
+    ++rpcs;
     w.reply_frame = std::async(std::launch::async, [t, query = std::move(query)]() {
       return t->Call(Encode(query));
     });
@@ -289,9 +476,10 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     }
   }
 
-  // The stream was aborted (encode failure): the recipe is truncated, so
-  // finalizing would commit a corrupt file — and on an overwrite would
-  // replace a good one. Settle in-flight RPCs and bail out.
+  // The stream was aborted (encode failure or the writer was abandoned):
+  // the recipe is truncated, so finalizing would commit a corrupt file —
+  // and on an overwrite would replace a good one. Settle in-flight RPCs
+  // and bail out.
   if (abort_upload != nullptr && abort_upload->load(std::memory_order_relaxed)) {
     (void)wait_inflight();
     in->Detach(consumer);
@@ -312,8 +500,9 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     PutFileRequest put;
     put.user = user_;
     put.path_key = path_key;
-    put.file_size = file_size;
+    put.file_size = *file_size;  // written by the writer before pool close
     put.recipe = std::move(recipe);
+    ++rpcs;
     st = [&]() -> Status {
       ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
       RETURN_IF_ERROR(DecodeIfError(frame));
@@ -329,102 +518,102 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     std::lock_guard<std::mutex> lock(*stats_mu);
     stats->transferred_share_bytes += transferred;
     stats->intra_duplicate_shares += dup;
+    CloudUploadStats& slot = CloudSlot(stats, cloud);
+    slot.transferred_share_bytes += transferred;
+    slot.intra_duplicate_shares += dup;
+    slot.rpcs += rpcs;
   }
   return Status::Ok();
 }
 
-Status CdstoreClient::UploadStreaming(const std::vector<Bytes>& path_keys, ConstByteSpan data,
-                                      const std::vector<int>& clouds, UploadStats* stats) {
-  Stopwatch compute_watch;
+Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
+                                    const std::vector<RecipeEntry>& recipe,
+                                    const std::vector<const Bytes*>& shares,
+                                    UploadStats* stats, std::mutex* stats_mu) {
+  Transport* t = transports_[cloud];
+  uint64_t rpcs = 0;
 
-  // The broadcast pool holds ~2x stream_batch_bytes of typical bundles:
-  // enough for encoding to keep producing while upload RPCs are on the
-  // wire, yet bounded so a stalled cloud caps client memory at a couple of
-  // batches. Each uploader consumes at its own cursor, so clouds whose
-  // RPCs are out of phase never block each other.
-  size_t typical_secret = opts_.fixed_chunking ? opts_.fixed_chunk_size : opts_.rabin.avg_size;
-  size_t typical_share = std::max<size_t>(1, scheme_->ShareSize(typical_secret));
-  const size_t pool_depth =
-      std::max(opts_.pipeline_queue_depth, 4 * opts_.stream_batch_bytes / typical_share);
-  BroadcastQueue<CodingPipeline::EncodedSecret> pool(pool_depth,
-                                                     static_cast<int>(clouds.size()));
-
-  // One uploader thread per target cloud (§4.6). `abort_upload` is raised
-  // if encoding fails, so uploaders skip finalizing a truncated file.
-  std::atomic<bool> abort_upload{false};
-  std::mutex stats_mu;
-  std::vector<Status> results(clouds.size());
-  std::vector<std::thread> uploaders;
-  uploaders.reserve(clouds.size());
-  for (size_t ci = 0; ci < clouds.size(); ++ci) {
-    uploaders.emplace_back([&, ci]() {
-      results[ci] = StreamUploadToCloud(clouds[ci], static_cast<int>(ci),
-                                        path_keys[clouds[ci]], data.size(), &pool,
-                                        &abort_upload, stats, &stats_mu);
-    });
+  // 1. Intra-user dedup query (§3.3).
+  FpQueryRequest query;
+  query.user = user_;
+  query.fps.reserve(recipe.size());
+  for (const RecipeEntry& e : recipe) {
+    query.fps.push_back(e.fp);
+  }
+  ++rpcs;
+  ASSIGN_OR_RETURN(Bytes reply_frame, t->Call(Encode(query)));
+  RETURN_IF_ERROR(DecodeIfError(reply_frame));
+  FpQueryReply query_reply;
+  RETURN_IF_ERROR(Decode(reply_frame, &query_reply));
+  if (query_reply.duplicate.size() != recipe.size()) {
+    return Status::Internal("fp query reply arity mismatch");
   }
 
-  // Sink runs on encode workers, serialized and in submission order. A
-  // Push after every uploader failed returns false; each uploader's status
-  // is reported at join time.
-  uint64_t num_secrets = 0;
-  uint64_t logical_share_bytes = 0;
-  auto sink = [&](CodingPipeline::EncodedSecret bundle) {
-    ++num_secrets;
-    for (const Bytes& s : bundle.shares) {
-      logical_share_bytes += s.size();
+  // Deduplicate within this upload as well: identical secrets produce
+  // identical shares, and only the first instance needs transfer.
+  std::vector<uint8_t> send(recipe.size(), 0);
+  std::unordered_set<Fingerprint, FingerprintHash> in_flight;
+  uint64_t transferred = 0;
+  uint64_t dup = 0;
+  for (size_t i = 0; i < recipe.size(); ++i) {
+    if (query_reply.duplicate[i] != 0 || in_flight.count(recipe[i].fp) > 0) {
+      ++dup;
+      continue;
     }
-    pool.Push(std::move(bundle));
+    send[i] = 1;
+    in_flight.insert(recipe[i].fp);
+  }
+
+  // 2. Upload unique shares in 4MB batches (§4.1).
+  UploadSharesRequest batch;
+  batch.user = user_;
+  size_t batch_bytes = 0;
+  auto flush_batch = [&]() -> Status {
+    if (batch.shares.empty()) {
+      return Status::Ok();
+    }
+    ++rpcs;
+    ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(batch)));
+    RETURN_IF_ERROR(DecodeIfError(frame));
+    UploadSharesReply r;
+    RETURN_IF_ERROR(Decode(frame, &r));
+    batch.shares.clear();
+    batch_bytes = 0;
+    return Status::Ok();
   };
-
-  // Chunk straight into the encode stream: slices of the caller's buffer
-  // travel zero-copy; chunker-internal buffers (straddling chunks) are the
-  // only copies.
-  auto stream = pipeline_.OpenStream(sink, opts_.pipeline_queue_depth);
-  auto chunker = MakeChunker();
-  Status submit_status;
-  const uint8_t* base = data.data();
-  auto chunk_sink = [&](ConstByteSpan c) {
-    if (!submit_status.ok()) {
-      return;
+  for (size_t i = 0; i < recipe.size(); ++i) {
+    if (send[i] == 0) {
+      continue;
     }
-    bool in_buffer =
-        !c.empty() && c.data() >= base && c.data() + c.size() <= base + data.size();
-    submit_status =
-        in_buffer ? stream->Submit(c) : stream->Submit(Bytes(c.begin(), c.end()));
-  };
-  chunker->Update(data, chunk_sink);
-  chunker->Finish(chunk_sink);
-  Status encode_status = stream->Finish();
-  double compute_s = compute_watch.ElapsedSeconds();
-
-  // A failed encode must not look like a clean end-of-stream: the
-  // uploaders would otherwise drain and PutFile a truncated recipe (and
-  // replace a pre-existing good file with it). Raise the abort flag
-  // before closing the pool so they skip finalization.
-  if (!encode_status.ok() || !submit_status.ok()) {
-    abort_upload.store(true, std::memory_order_relaxed);
-  }
-  pool.Close();
-  for (auto& th : uploaders) {
-    th.join();
-  }
-
-  RETURN_IF_ERROR(encode_status);
-  RETURN_IF_ERROR(submit_status);
-  for (size_t ci = 0; ci < clouds.size(); ++ci) {
-    if (!results[ci].ok()) {
-      return Status(results[ci].code(),
-                    "cloud " + std::to_string(clouds[ci]) + ": " + results[ci].message());
+    batch.shares.push_back(*shares[i]);
+    batch_bytes += shares[i]->size();
+    transferred += shares[i]->size();
+    if (batch_bytes >= opts_.upload_batch_bytes) {
+      RETURN_IF_ERROR(flush_batch());
     }
   }
+  RETURN_IF_ERROR(flush_batch());
+
+  // 3. Finalize: metadata + recipe (§4.3).
+  PutFileRequest put;
+  put.user = user_;
+  put.path_key = path_key;
+  put.file_size = file_size;
+  put.recipe = recipe;
+  ++rpcs;
+  ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
+  RETURN_IF_ERROR(DecodeIfError(frame));
+  PutFileReply put_reply;
+  RETURN_IF_ERROR(Decode(frame, &put_reply));
+
   if (stats != nullptr) {
-    stats->logical_bytes += data.size();
-    stats->num_secrets += num_secrets;
-    stats->logical_share_bytes += logical_share_bytes;
-    // In streaming mode this is the overlapped chunk+encode wall time (it
-    // includes any stalls waiting on the network through backpressure).
-    stats->chunk_encode_seconds += compute_s;
+    std::lock_guard<std::mutex> lock(*stats_mu);
+    stats->transferred_share_bytes += transferred;
+    stats->intra_duplicate_shares += dup;
+    CloudUploadStats& slot = CloudSlot(stats, cloud);
+    slot.transferred_share_bytes += transferred;
+    slot.intra_duplicate_shares += dup;
+    slot.rpcs += rpcs;
   }
   return Status::Ok();
 }
@@ -504,48 +693,430 @@ Result<GetFileReply> CdstoreClient::FetchRecipe(int cloud, const Bytes& path_key
   return reply;
 }
 
-Result<std::vector<Bytes>> CdstoreClient::FetchShares(int cloud,
-                                                      const std::vector<RecipeEntry>& recipe) {
-  std::vector<Bytes> shares;
-  shares.reserve(recipe.size());
+Result<CdstoreClient::FetchedShares> CdstoreClient::FetchShares(
+    int cloud, const std::vector<RecipeEntry>& recipe) {
+  FetchedShares out;
+  out.shares.reserve(recipe.size());
   size_t i = 0;
   while (i < recipe.size()) {
     GetSharesRequest req;
     req.user = user_;
     size_t batch_bytes = 0;
-    while (i < recipe.size() && batch_bytes < opts_.upload_batch_bytes) {
+    while (i < recipe.size() && batch_bytes < opts_.download_batch_bytes) {
       req.fps.push_back(recipe[i].fp);
       batch_bytes += recipe[i].share_size;
       ++i;
     }
+    ++out.rpcs;
     ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
     RETURN_IF_ERROR(DecodeIfError(frame));
-    GetSharesReply reply;
-    RETURN_IF_ERROR(Decode(frame, &reply));
-    if (reply.shares.size() != req.fps.size()) {
+    std::vector<ConstByteSpan> spans;
+    RETURN_IF_ERROR(DecodeShareSpans(frame, &spans));
+    if (spans.size() != req.fps.size()) {
       return Status::Internal("share reply arity mismatch");
     }
-    for (Bytes& s : reply.shares) {
-      shares.push_back(std::move(s));
-    }
+    // Adopting the frame moves only the vector header; the heap buffer the
+    // spans point into stays put.
+    out.frames.push_back(std::move(frame));
+    out.shares.insert(out.shares.end(), spans.begin(), spans.end());
   }
-  return shares;
+  return out;
+}
+
+Status CdstoreClient::BruteForceSecret(const std::vector<Bytes>& path_keys, size_t s,
+                                       size_t num_secrets, const std::vector<int>& have_ids,
+                                       std::vector<Bytes> have_shares, size_t secret_size,
+                                       Bytes* out) {
+  // Fetch the remaining clouds' copy of this secret's share and brute-force
+  // over k-subsets (§3.2). Rare corruption path: RPCs here are not charged
+  // to the per-cloud stats.
+  std::vector<int> all_ids = have_ids;
+  std::vector<Bytes> all_shares = std::move(have_shares);
+  for (int i = 0; i < opts_.n; ++i) {
+    if (std::find(all_ids.begin(), all_ids.end(), i) != all_ids.end()) {
+      continue;
+    }
+    auto recipe = FetchRecipe(i, path_keys[i]);
+    if (!recipe.ok() || recipe.value().recipe.size() != num_secrets) {
+      continue;
+    }
+    std::vector<RecipeEntry> one = {recipe.value().recipe[s]};
+    auto extra = FetchShares(i, one);
+    if (!extra.ok() || extra.value().shares.size() != 1) {
+      continue;
+    }
+    ConstByteSpan share = extra.value().shares[0];
+    all_ids.push_back(i);
+    all_shares.emplace_back(share.begin(), share.end());
+  }
+  return DecodeWithBruteForce(*scheme_, all_ids, all_shares, secret_size, out);
+}
+
+Status CdstoreClient::Download(const std::string& path_name, ByteSink& sink,
+                               DownloadStats* stats) {
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  if (opts_.pipelined_download) {
+    return DownloadPipelined(path_keys, sink, stats);
+  }
+  return DownloadBarrier(path_keys, sink, stats);
 }
 
 Result<Bytes> CdstoreClient::Download(const std::string& path_name, DownloadStats* stats) {
-  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  Bytes data;
+  BufferByteSink sink(&data);
+  RETURN_IF_ERROR(Download(path_name, sink, stats));
+  return data;
+}
 
-  // Collect recipes + shares from any k reachable clouds (§3.1).
-  std::vector<int> clouds;
-  std::vector<std::vector<RecipeEntry>> recipes;
-  std::vector<std::vector<Bytes>> cloud_share_lists;
+// Pipelined restore (§4.6 applied to the download direction): one fetch
+// lane per chosen cloud streams GetShares batches while the decode workers
+// reconstruct earlier batches and the sink receives secrets in recipe
+// order. A lane whose cloud fails mid-stream recruits a spare cloud (one
+// with a matching recipe) and resumes from the batch that failed, so a
+// flaky cloud degrades the restore instead of aborting it.
+Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, ByteSink& sink,
+                                        DownloadStats* stats) {
+  const int n = opts_.n;
+  const size_t k = static_cast<size_t>(opts_.k);
+
+  struct Lane {
+    int cloud = -1;
+    std::vector<RecipeEntry> recipe;
+  };
+  // One cloud's share spans for one batch; the frame owns the bytes.
+  struct Delivery {
+    int cloud = -1;
+    Bytes frame;
+    std::vector<ConstByteSpan> shares;
+  };
+  struct Ctx {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::vector<Delivery>> slots;  // per batch, complete at k
+    size_t next_decode = 0;
+    bool failed = false;
+    Status fail_status;
+    int next_candidate = 0;  // next cloud id to probe for a recipe
+    std::vector<uint64_t> rpcs;  // per cloud, updated under mu
+  } ctx;
+  ctx.rpcs.assign(n, 0);
+
+  // 1. Recruit k fetch lanes: the first k clouds with a usable recipe.
+  std::vector<Lane> lanes;
   uint64_t file_size = 0;
   size_t num_secrets = 0;
+  bool have_meta = false;
   Status last_error = Status::Unavailable("no cloud reachable");
-  for (int i = 0; i < opts_.n && static_cast<int>(clouds.size()) < opts_.k; ++i) {
+  auto admit = [&](int c, Result<GetFileReply> reply) {
+    if (!reply.ok()) {
+      last_error = reply.status();
+      return;
+    }
+    if (!have_meta) {
+      file_size = reply.value().file_size;
+      num_secrets = reply.value().recipe.size();
+      have_meta = true;
+    } else if (reply.value().recipe.size() != num_secrets) {
+      last_error = Status::Corruption("recipe length mismatch across clouds");
+      return;
+    }
+    Lane lane;
+    lane.cloud = c;
+    lane.recipe = std::move(reply.value().recipe);
+    lanes.push_back(std::move(lane));
+  };
+  // The first k probes fly concurrently (the common all-healthy case costs
+  // one RTT of startup instead of k); replies are admitted in cloud order,
+  // so lane choice and metadata source stay deterministic. Replacements
+  // for failed probes fall back to sequential probing.
+  {
+    const int first_wave = std::min(static_cast<int>(k), n);
+    std::vector<std::future<Result<GetFileReply>>> probes;
+    probes.reserve(first_wave);
+    for (int c = 0; c < first_wave; ++c) {
+      ++ctx.rpcs[c];
+      probes.push_back(std::async(std::launch::async,
+                                  [this, &path_keys, c] { return FetchRecipe(c, path_keys[c]); }));
+    }
+    ctx.next_candidate = first_wave;
+    for (int c = 0; c < first_wave; ++c) {
+      admit(c, probes[c].get());
+    }
+  }
+  while (lanes.size() < k && ctx.next_candidate < n) {
+    int c = ctx.next_candidate++;
+    ++ctx.rpcs[c];
+    admit(c, FetchRecipe(c, path_keys[c]));
+  }
+  if (lanes.size() < k) {
+    return Status(last_error.code(),
+                  "fewer than k clouds available: " + last_error.message());
+  }
+
+  // 2. Batch boundaries (identical across clouds: share sizes are a pure
+  // function of the secret size).
+  std::vector<std::pair<size_t, size_t>> batches;
+  std::vector<size_t> secret_sizes(num_secrets);
+  {
+    size_t begin = 0;
+    size_t acc = 0;
+    for (size_t s = 0; s < num_secrets; ++s) {
+      secret_sizes[s] = lanes[0].recipe[s].secret_size;
+      acc += lanes[0].recipe[s].share_size;
+      if (acc >= opts_.download_batch_bytes) {
+        batches.emplace_back(begin, s + 1);
+        begin = s + 1;
+        acc = 0;
+      }
+    }
+    if (begin < num_secrets) {
+      batches.emplace_back(begin, num_secrets);
+    }
+  }
+  ctx.slots.resize(batches.size());
+
+  // Called by a lane whose cloud failed: claims the next untried cloud,
+  // verifies its recipe, and retargets the lane. Returns false (and fails
+  // the download) when no spare cloud is left.
+  auto recruit_spare = [&](Lane* lane, const Status& cause) -> bool {
+    std::unique_lock<std::mutex> lock(ctx.mu);
+    while (!ctx.failed && ctx.next_candidate < n) {
+      int c = ctx.next_candidate++;
+      ++ctx.rpcs[c];
+      lock.unlock();
+      auto reply = FetchRecipe(c, path_keys[c]);
+      if (reply.ok() && reply.value().recipe.size() == num_secrets) {
+        lane->cloud = c;
+        lane->recipe = std::move(reply.value().recipe);
+        return true;
+      }
+      lock.lock();
+    }
+    if (!ctx.failed) {
+      ctx.failed = true;
+      ctx.fail_status = Status(
+          cause.code(), "cloud fetch failed with no spare cloud left: " + cause.message());
+    }
+    lock.unlock();
+    ctx.cv.notify_all();
+    return false;
+  };
+
+  auto lane_worker = [&](Lane lane) {
+    for (size_t b = 0; b < batches.size();) {
+      {
+        // Fetch-ahead window: lanes stall once kFetchAhead batches are
+        // buffered beyond the decoder, bounding restore memory.
+        std::unique_lock<std::mutex> lock(ctx.mu);
+        ctx.cv.wait(lock,
+                    [&] { return ctx.failed || b < ctx.next_decode + kFetchAhead; });
+        if (ctx.failed) {
+          return;
+        }
+        ++ctx.rpcs[lane.cloud];
+      }
+      auto [begin, end] = batches[b];
+      GetSharesRequest req;
+      req.user = user_;
+      req.fps.reserve(end - begin);
+      for (size_t s = begin; s < end; ++s) {
+        req.fps.push_back(lane.recipe[s].fp);
+      }
+      Delivery d;
+      d.cloud = lane.cloud;
+      Status st;
+      auto frame = transports_[lane.cloud]->Call(Encode(req));
+      if (!frame.ok()) {
+        st = frame.status();
+      } else {
+        st = DecodeIfError(frame.value());
+        if (st.ok()) {
+          d.frame = std::move(frame.value());
+          st = DecodeShareSpans(d.frame, &d.shares);
+          if (st.ok() && d.shares.size() != end - begin) {
+            st = Status::Internal("share reply arity mismatch");
+          }
+        }
+      }
+      if (!st.ok()) {
+        if (!recruit_spare(&lane, st)) {
+          return;
+        }
+        continue;  // retry this batch on the replacement cloud
+      }
+      bool complete;
+      {
+        std::lock_guard<std::mutex> lock(ctx.mu);
+        ctx.slots[b].push_back(std::move(d));
+        complete = ctx.slots[b].size() == k;
+      }
+      if (complete) {
+        ctx.cv.notify_all();
+      }
+      ++b;
+    }
+  };
+
+  std::vector<int> initial_clouds;
+  initial_clouds.reserve(lanes.size());
+  for (const Lane& lane : lanes) {
+    initial_clouds.push_back(lane.cloud);
+  }
+  std::vector<std::thread> lane_threads;
+  lane_threads.reserve(lanes.size());
+  for (Lane& lane : lanes) {
+    lane_threads.emplace_back(lane_worker, std::move(lane));
+  }
+
+  // 3. Decode loop (this thread): waits for each batch to be complete,
+  // decodes it on the decode workers, and streams the secrets to the sink.
+  Status result;
+  uint64_t delivered = 0;
+  uint64_t received = 0;
+  std::vector<uint64_t> received_per_cloud(n, 0);
+  // Normally filled from batch deliveries; for a zero-batch (empty) file,
+  // seeded with the recruited lanes so the stat matches the barrier path.
+  std::set<int> clouds_used;
+  if (batches.empty()) {
+    clouds_used.insert(initial_clouds.begin(), initial_clouds.end());
+  }
+  int brute_forced = 0;
+  for (size_t b = 0; b < batches.size() && result.ok(); ++b) {
+    std::vector<Delivery> batch;
+    {
+      std::unique_lock<std::mutex> lock(ctx.mu);
+      ctx.cv.wait(lock, [&] { return ctx.failed || ctx.slots[b].size() == k; });
+      if (ctx.slots[b].size() < k) {
+        result = ctx.fail_status;
+        break;
+      }
+      batch = std::move(ctx.slots[b]);
+      ctx.slots[b].clear();
+    }
+    auto [begin, end] = batches[b];
+    size_t count = end - begin;
+    std::vector<int> ids;
+    ids.reserve(batch.size());
+    for (const Delivery& d : batch) {
+      ids.push_back(d.cloud);
+      clouds_used.insert(d.cloud);
+    }
+    std::vector<std::vector<int>> all_ids(count, ids);
+    std::vector<std::vector<ConstByteSpan>> per_secret(count);
+    std::vector<size_t> sizes(count);
+    for (size_t j = 0; j < count; ++j) {
+      per_secret[j].reserve(batch.size());
+      for (const Delivery& d : batch) {
+        per_secret[j].push_back(d.shares[j]);
+        received += d.shares[j].size();
+        received_per_cloud[d.cloud] += d.shares[j].size();
+      }
+      sizes[j] = secret_sizes[begin + j];
+    }
+    std::vector<Bytes> secrets;
+    Status decode_status = decode_pipeline_.DecodeAll(all_ids, per_secret, sizes, &secrets);
+    if (!decode_status.ok()) {
+      // Per-secret fallback: retry alone, then brute-force with the other
+      // clouds' copies (§3.2 corrupted-share recovery).
+      for (size_t j = 0; j < count && result.ok(); ++j) {
+        Bytes out;
+        if (scheme_->DecodeSpans(ids, per_secret[j], sizes[j], &out).ok()) {
+          secrets[j] = std::move(out);
+          continue;
+        }
+        std::vector<Bytes> have;
+        have.reserve(per_secret[j].size());
+        for (ConstByteSpan s : per_secret[j]) {
+          have.emplace_back(s.begin(), s.end());
+        }
+        result = BruteForceSecret(path_keys, begin + j, num_secrets, ids, std::move(have),
+                                  sizes[j], &secrets[j]);
+        ++brute_forced;
+      }
+      if (!result.ok()) {
+        break;
+      }
+    }
+    for (const Bytes& s : secrets) {
+      delivered += s.size();
+      result = sink.Append(s);
+      if (!result.ok()) {
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(ctx.mu);
+      ctx.next_decode = b + 1;
+      if (!result.ok() && !ctx.failed) {
+        ctx.failed = true;
+        ctx.fail_status = result;
+      }
+    }
+    ctx.cv.notify_all();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    if (!result.ok() && !ctx.failed) {
+      ctx.failed = true;
+      ctx.fail_status = result;
+    }
+    if (!ctx.failed) {
+      ctx.next_decode = batches.size();
+    }
+  }
+  ctx.cv.notify_all();
+  for (auto& t : lane_threads) {
+    t.join();
+  }
+  RETURN_IF_ERROR(result);
+  if (delivered != file_size) {
+    return Status::Corruption("restored size mismatch");
+  }
+  if (stats != nullptr) {
+    stats->received_share_bytes += received;
+    stats->num_secrets += num_secrets;
+    stats->brute_force_recoveries += brute_forced;
+    stats->clouds_used.assign(clouds_used.begin(), clouds_used.end());
+    for (int c = 0; c < n; ++c) {
+      if (ctx.rpcs[c] == 0 && received_per_cloud[c] == 0) {
+        continue;
+      }
+      CloudDownloadStats& slot = CloudSlot(stats, c);
+      slot.rpcs += ctx.rpcs[c];
+      slot.received_share_bytes += received_per_cloud[c];
+    }
+  }
+  return Status::Ok();
+}
+
+Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys, ByteSink& sink,
+                                      DownloadStats* stats) {
+  // Collect recipes + all shares from any k reachable clouds (§3.1), then
+  // decode everything, then emit — the fetch-then-decode barrier the
+  // pipelined path removes; kept for comparison benchmarks and tests.
+  const int n = opts_.n;
+  std::vector<int> clouds;
+  std::vector<std::vector<RecipeEntry>> recipes;
+  std::vector<FetchedShares> cloud_share_lists;
+  std::vector<uint64_t> rpcs_per_cloud(n, 0);
+  uint64_t file_size = 0;
+  size_t num_secrets = 0;
+  bool have_meta = false;
+  Status last_error = Status::Unavailable("no cloud reachable");
+  for (int i = 0; i < n && clouds.size() < static_cast<size_t>(opts_.k); ++i) {
+    ++rpcs_per_cloud[i];
     auto recipe = FetchRecipe(i, path_keys[i]);
     if (!recipe.ok()) {
       last_error = recipe.status();
+      continue;
+    }
+    if (!have_meta) {
+      file_size = recipe.value().file_size;
+      num_secrets = recipe.value().recipe.size();
+      have_meta = true;
+    } else if (recipe.value().recipe.size() != num_secrets) {
+      last_error = Status::Corruption("recipe length mismatch across clouds");
       continue;
     }
     auto shares = FetchShares(i, recipe.value().recipe);
@@ -553,78 +1124,62 @@ Result<Bytes> CdstoreClient::Download(const std::string& path_name, DownloadStat
       last_error = shares.status();
       continue;
     }
-    if (clouds.empty()) {
-      file_size = recipe.value().file_size;
-      num_secrets = recipe.value().recipe.size();
-    } else if (recipe.value().recipe.size() != num_secrets) {
-      last_error = Status::Corruption("recipe length mismatch across clouds");
-      continue;
-    }
+    rpcs_per_cloud[i] += shares.value().rpcs;
     clouds.push_back(i);
     recipes.push_back(std::move(recipe.value().recipe));
     cloud_share_lists.push_back(std::move(shares.value()));
   }
-  if (static_cast<int>(clouds.size()) < opts_.k) {
+  if (clouds.size() < static_cast<size_t>(opts_.k)) {
     return Status(last_error.code(),
                   "fewer than k clouds available: " + last_error.message());
   }
 
-  // Regroup per secret and decode in parallel.
+  // Regroup per secret (spans into the reply frames) and decode in
+  // parallel.
   std::vector<std::vector<int>> ids(num_secrets, clouds);
-  std::vector<std::vector<Bytes>> per_secret(num_secrets);
+  std::vector<std::vector<ConstByteSpan>> per_secret(num_secrets);
   std::vector<size_t> sizes(num_secrets);
   uint64_t received = 0;
+  std::vector<uint64_t> received_per_cloud(n, 0);
   for (size_t s = 0; s < num_secrets; ++s) {
     per_secret[s].reserve(clouds.size());
     for (size_t c = 0; c < clouds.size(); ++c) {
-      received += cloud_share_lists[c][s].size();
-      per_secret[s].push_back(std::move(cloud_share_lists[c][s]));
+      ConstByteSpan share = cloud_share_lists[c].shares[s];
+      received += share.size();
+      received_per_cloud[clouds[c]] += share.size();
+      per_secret[s].push_back(share);
     }
     sizes[s] = recipes[0][s].secret_size;
   }
   std::vector<Bytes> secrets;
-  Status decode_status = pipeline_.DecodeAll(ids, per_secret, sizes, &secrets);
+  Status decode_status = decode_pipeline_.DecodeAll(ids, per_secret, sizes, &secrets);
 
   int brute_forced = 0;
   if (!decode_status.ok()) {
-    // Per-secret fallback: fetch the remaining clouds' shares for corrupted
-    // secrets and brute-force over k-subsets (§3.2).
+    // Per-secret fallback (§3.2).
     for (size_t s = 0; s < num_secrets; ++s) {
       Bytes out;
-      if (scheme_->Decode(ids[s], per_secret[s], sizes[s], &out).ok()) {
+      if (scheme_->DecodeSpans(ids[s], per_secret[s], sizes[s], &out).ok()) {
         secrets[s] = std::move(out);
         continue;
       }
-      std::vector<int> all_ids = ids[s];
-      std::vector<Bytes> all_shares = per_secret[s];
-      for (int i = 0; i < opts_.n; ++i) {
-        if (std::find(clouds.begin(), clouds.end(), i) != clouds.end()) {
-          continue;
-        }
-        auto recipe = FetchRecipe(i, path_keys[i]);
-        if (!recipe.ok() || recipe.value().recipe.size() != num_secrets) {
-          continue;
-        }
-        std::vector<RecipeEntry> one = {recipe.value().recipe[s]};
-        auto extra = FetchShares(i, one);
-        if (!extra.ok()) {
-          continue;
-        }
-        all_ids.push_back(i);
-        all_shares.push_back(std::move(extra.value()[0]));
+      std::vector<Bytes> have;
+      have.reserve(per_secret[s].size());
+      for (ConstByteSpan sp : per_secret[s]) {
+        have.emplace_back(sp.begin(), sp.end());
       }
-      RETURN_IF_ERROR(
-          DecodeWithBruteForce(*scheme_, all_ids, all_shares, sizes[s], &secrets[s]));
+      RETURN_IF_ERROR(BruteForceSecret(path_keys, s, num_secrets, ids[s], std::move(have),
+                                       sizes[s], &secrets[s]));
       ++brute_forced;
     }
   }
 
-  Bytes data;
-  data.reserve(file_size);
+  uint64_t delivered = 0;
   for (const Bytes& s : secrets) {
-    data.insert(data.end(), s.begin(), s.end());
+    delivered += s.size();
+    RETURN_IF_ERROR(sink.Append(s));
   }
-  if (data.size() != file_size) {
+  if (delivered != file_size) {
     return Status::Corruption("restored size mismatch");
   }
   if (stats != nullptr) {
@@ -632,8 +1187,16 @@ Result<Bytes> CdstoreClient::Download(const std::string& path_name, DownloadStat
     stats->num_secrets += num_secrets;
     stats->brute_force_recoveries += brute_forced;
     stats->clouds_used = clouds;
+    for (int c = 0; c < n; ++c) {
+      if (rpcs_per_cloud[c] == 0 && received_per_cloud[c] == 0) {
+        continue;
+      }
+      CloudDownloadStats& slot = CloudSlot(stats, c);
+      slot.rpcs += rpcs_per_cloud[c];
+      slot.received_share_bytes += received_per_cloud[c];
+    }
   }
-  return data;
+  return Status::Ok();
 }
 
 // ------------------------------------------------------ delete & repair --
@@ -658,12 +1221,23 @@ Status CdstoreClient::RepairFile(const std::string& path_name, int target_cloud)
   if (target_cloud < 0 || target_cloud >= opts_.n) {
     return Status::InvalidArgument("target cloud out of range");
   }
-  // Restore from the survivors, then re-chunk and re-encode through the
-  // streaming pipeline, uploading only the target cloud's shares — repair
-  // overlaps re-encoding with the transfer the same way Upload does.
-  ASSIGN_OR_RETURN(Bytes data, Download(path_name));
-  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
-  return UploadStreaming(path_keys, data, {target_cloud}, nullptr);
+  // Stream the restore from the surviving clouds straight into a
+  // single-cloud session writer: fetch, decode, re-chunk, re-encode, and
+  // re-upload all overlap, and no full copy of the file exists client-side.
+  // Re-chunking the same byte stream reproduces the original secrets, so
+  // the target's recipe lines up with the other clouds'.
+  auto session =
+      std::unique_ptr<BackupSession>(new BackupSession(this, {target_cloud}));
+  auto writer = session->OpenUpload(path_name);
+  if (!writer.ok()) {
+    (void)session->Close();
+    return writer.status();
+  }
+  Status download_status = Download(path_name, *writer.value());
+  Status st = download_status.ok() ? writer.value()->Finish() : download_status;
+  writer.value().reset();  // aborts cleanly if Finish was skipped
+  Status close = session->Close();
+  return st.ok() ? close : st;
 }
 
 }  // namespace cdstore

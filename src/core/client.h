@@ -1,22 +1,36 @@
 // The CDStore client (§4): chunks a backup stream into secrets, encodes
 // each secret into n shares with convergent dispersal (CAONT-RS), performs
 // intra-user deduplication against each cloud's server, uploads unique
-// shares in 4MB batches, and restores files from any k clouds — falling
-// back to other clouds and brute-force subset decoding when shares are
-// unavailable or corrupted.
+// shares in batches, and restores files from any k clouds — falling back to
+// other clouds and brute-force subset decoding when shares are unavailable
+// or corrupted.
 //
-// Uploads run as a streaming pipeline (§4.6): the chunker feeds zero-copy
-// secret slices to a pool of encode workers whose share bundles flow, in
-// recipe order, into one uploader thread per cloud — so the network is busy
-// while later secrets are still being chunked and encoded. Bounded queues
-// at each stage provide backpressure and cap client memory.
+// The client API is session-based and streaming in both directions:
+//
+//   - OpenBackupSession() starts a BackupSession whose encode workers and
+//     per-cloud uploader threads persist across files; OpenUpload(path)
+//     returns an UploadWriter with incremental Write() + Finish(), so a
+//     multi-file backup pays pipeline setup once and never materializes a
+//     file in memory. The Rabin chunker carries its rolling window across
+//     Write calls, so chunk boundaries (and therefore dedup) are identical
+//     to a single whole-buffer upload.
+//   - Download(path, ByteSink&) is sink-driven and pipelined (§4.6 applied
+//     to restore): one fetch lane per cloud streams GetShares batches while
+//     decode workers reconstruct earlier batches, and decoded secrets reach
+//     the sink in recipe order with bounded client memory.
+//
+// The legacy one-shot Upload(path, buffer) / Download(path) -> Bytes calls
+// are thin wrappers over the session/sink API and produce byte- and
+// stats-identical results.
 #ifndef CDSTORE_SRC_CORE_CLIENT_H_
 #define CDSTORE_SRC_CORE_CLIENT_H_
 
 #include <atomic>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/chunking/chunker.h"
@@ -26,6 +40,8 @@
 #include "src/net/message.h"
 #include "src/net/transport.h"
 #include "src/util/bounded_queue.h"
+#include "src/util/byte_sink.h"
+#include "src/util/stats.h"
 
 namespace cdstore {
 
@@ -34,6 +50,7 @@ struct ClientOptions {
   int k = 3;
   Bytes salt;                       // deployment-wide convergent-hash salt
   int encode_threads = 2;           // §5.3 uses two encoding threads
+  int decode_threads = 2;           // restore-side decode workers
   bool fixed_chunking = false;      // default: variable-size (§4.2)
   size_t fixed_chunk_size = 4096;
   RabinChunkerOptions rabin;
@@ -43,6 +60,10 @@ struct ClientOptions {
   // sequential barriers. Off = the barrier path (kept for comparison
   // benchmarks and equivalence tests).
   bool streaming_upload = true;
+  // Pipelined download: per-cloud fetch lanes overlap GetShares RPCs with
+  // decode workers, and secrets stream to the sink with bounded memory.
+  // Off = the barrier path (fetch everything, then decode everything).
+  bool pipelined_download = true;
   // Minimum capacity of each pipeline queue in items (secrets in flight per
   // stage). Per-cloud queues are deepened to roughly 2x stream_batch_bytes
   // of shares so encoding keeps running while an upload RPC is in flight.
@@ -52,6 +73,18 @@ struct ClientOptions {
   // upload instead of after most of the file is encoded; dedup results and
   // transferred bytes are identical for any value.
   size_t stream_batch_bytes = 1 << 20;
+  // GetShares granularity of the download path: one fetch RPC covers about
+  // this many share bytes. Client restore memory is bounded by a small
+  // constant number of these batches per cloud.
+  size_t download_batch_bytes = 4 << 20;
+};
+
+// Per-cloud upload accounting (skew across clouds is invisible in the
+// aggregate numbers; benches report these to expose it).
+struct CloudUploadStats {
+  uint64_t transferred_share_bytes = 0;
+  uint64_t intra_duplicate_shares = 0;
+  uint64_t rpcs = 0;  // FpQuery + UploadShares + PutFile calls issued
 };
 
 // Per-upload accounting, the quantities behind Figure 6.
@@ -62,6 +95,12 @@ struct UploadStats {
   uint64_t transferred_share_bytes = 0;  // after intra-user dedup
   uint64_t intra_duplicate_shares = 0;
   double chunk_encode_seconds = 0;   // client compute time
+  std::vector<CloudUploadStats> per_cloud;  // indexed by cloud id
+};
+
+struct CloudDownloadStats {
+  uint64_t received_share_bytes = 0;
+  uint64_t rpcs = 0;  // GetFile + GetShares calls issued
 };
 
 struct DownloadStats {
@@ -69,6 +108,114 @@ struct DownloadStats {
   uint64_t num_secrets = 0;
   int brute_force_recoveries = 0;
   std::vector<int> clouds_used;
+  std::vector<CloudDownloadStats> per_cloud;  // indexed by cloud id
+};
+
+class CdstoreClient;
+
+// A long-lived upload pipeline over a fixed set of clouds: one uploader
+// thread per cloud and the client's encode workers persist for the life of
+// the session, so consecutive files skip all thread setup/teardown and
+// transport state stays warm. One UploadWriter may be open at a time (a
+// backup is a sequential stream of files); the writer must be finished or
+// destroyed before the session is closed or destroyed.
+class BackupSession {
+ public:
+  // Incremental writer for one file. Write() accepts arbitrary slices of
+  // the file stream; chunking, encoding, dedup queries, and share transfer
+  // all proceed while later bytes are still being written. Finish() seals
+  // the file (commits the recipe on every cloud) and reports stats.
+  // Destroying an unfinished writer aborts the upload: no recipe is
+  // committed, and the session remains usable.
+  class UploadWriter : public ByteSink {
+   public:
+    ~UploadWriter() override;
+
+    UploadWriter(const UploadWriter&) = delete;
+    UploadWriter& operator=(const UploadWriter&) = delete;
+
+    // Appends the next run of file bytes. The buffer may be reused or freed
+    // as soon as the call returns (chunks are copied into the pipeline).
+    // Blocks when the pipeline is at capacity (backpressure). Sticky-fails
+    // after an encode or upload error, and always fails after Finish.
+    Status Write(ConstByteSpan data);
+
+    // Zero-copy variant: chunks are submitted as slices of `data`, which
+    // must stay valid until Finish() returns. For callers that hold the
+    // whole file in one buffer anyway (the one-shot Upload wrapper).
+    Status WritePinned(ConstByteSpan data);
+
+    // ByteSink: lets a download stream straight into an upload (repair).
+    Status Append(ConstByteSpan data) override { return Write(data); }
+
+    // Flushes the trailing chunk, drains the pipeline, commits the recipe
+    // on every cloud, and accumulates this file's numbers into `stats`.
+    // Returns the first error from any stage; on error no recipe commit is
+    // attempted. Exactly one Finish call is allowed.
+    Status Finish(UploadStats* stats = nullptr);
+
+    uint64_t bytes_written() const { return bytes_written_; }
+
+   private:
+    friend class BackupSession;
+    UploadWriter(BackupSession* session, std::vector<Bytes> path_keys);
+
+    Status SubmitChunks(ConstByteSpan data, bool pinned);
+
+    BackupSession* session_;
+    std::unique_ptr<Chunker> chunker_;
+    std::unique_ptr<CodingPipeline::Stream> stream_;
+    BroadcastQueue<CodingPipeline::EncodedSecret> pool_;
+
+    // Read by the uploader threads; written before pool_.Close() provides
+    // the necessary happens-before.
+    std::vector<Bytes> path_keys_;
+    uint64_t file_size_ = 0;
+    std::atomic<bool> abort_{false};
+    std::vector<std::promise<Status>> cloud_promises_;  // set by uploader lanes
+    std::vector<std::future<Status>> cloud_results_;
+
+    UploadStats file_stats_;  // filled by uploader threads under stats_mu_
+    std::mutex stats_mu_;
+    uint64_t bytes_written_ = 0;
+    uint64_t num_secrets_ = 0;
+    uint64_t logical_share_bytes_ = 0;
+    Status submit_status_;
+    bool finished_ = false;
+    Stopwatch compute_watch_;
+  };
+
+  ~BackupSession();  // closes the session; any writer must be gone already
+
+  BackupSession(const BackupSession&) = delete;
+  BackupSession& operator=(const BackupSession&) = delete;
+
+  // Starts the next file. Fails while another writer is unfinished or after
+  // Close().
+  Result<std::unique_ptr<UploadWriter>> OpenUpload(const std::string& path_name);
+
+  // Convenience: whole-buffer upload of one file through this session.
+  Status Upload(const std::string& path_name, ConstByteSpan data,
+                UploadStats* stats = nullptr);
+
+  // Stops the uploader threads. Idempotent; called by the destructor.
+  Status Close();
+
+ private:
+  friend class CdstoreClient;
+
+  BackupSession(CdstoreClient* client, std::vector<int> clouds);
+
+  void UploaderLoop(size_t lane);
+
+  CdstoreClient* client_;
+  std::vector<int> clouds_;  // target clouds, one uploader lane each
+  // One single-slot job queue per lane: posting a writer's job to every
+  // lane hands the file to all uploader threads at once.
+  std::vector<std::unique_ptr<BoundedQueue<UploadWriter*>>> jobs_;
+  std::vector<std::thread> uploaders_;
+  std::atomic<bool> writer_open_{false};
+  bool closed_ = false;
 };
 
 class CdstoreClient {
@@ -77,18 +224,32 @@ class CdstoreClient {
   // secret goes to cloud i (§3.2 deterministic placement).
   CdstoreClient(std::vector<Transport*> transports, UserId user, const ClientOptions& options);
 
-  // Backs up `data` under `path_name`.
+  // Starts a backup session over all n clouds. The session borrows this
+  // client's encode workers: only one session may be open at a time, and
+  // uploads must not run concurrently with it outside the session.
+  Result<std::unique_ptr<BackupSession>> OpenBackupSession();
+
+  // Backs up `data` under `path_name`. Thin wrapper: opens a one-file
+  // session (or takes the barrier path when streaming_upload is off).
   Status Upload(const std::string& path_name, ConstByteSpan data, UploadStats* stats = nullptr);
 
-  // Restores a file from any k reachable clouds.
+  // Restores a file from any k reachable clouds, streaming restored bytes
+  // to `sink` in file order. With pipelined_download on, per-cloud fetch
+  // lanes and decode workers overlap and memory stays bounded by a few
+  // download batches per cloud.
+  Status Download(const std::string& path_name, ByteSink& sink,
+                  DownloadStats* stats = nullptr);
+
+  // Whole-buffer wrapper over the sink API.
   Result<Bytes> Download(const std::string& path_name, DownloadStats* stats = nullptr);
 
   // Removes the file from all reachable clouds.
   Status DeleteFile(const std::string& path_name);
 
   // Rebuilds `target_cloud`'s shares of a file (e.g. after a cloud loses
-  // data): restores from the surviving clouds, re-encodes, re-uploads the
-  // target's shares and recipe (§3.1 reliability).
+  // data): streams the restore from the surviving clouds straight into a
+  // single-cloud session writer, so re-encoding and re-upload overlap the
+  // fetch and no full copy of the file is materialized (§3.1 reliability).
   Status RepairFile(const std::string& path_name, int target_cloud);
 
   int n() const { return opts_.n; }
@@ -96,26 +257,22 @@ class CdstoreClient {
   UserId user() const { return user_; }
 
  private:
+  friend class BackupSession;
+  friend class BackupSession::UploadWriter;
+
   std::unique_ptr<Chunker> MakeChunker() const;
   // Deterministic per-cloud keys for the (sensitive) pathname: the path is
   // itself convergent-dispersed and each cloud sees only its share (§4.3).
   Result<std::vector<Bytes>> PathKeys(const std::string& path_name) const;
 
-  // Streaming upload (§4.6): chunker -> encode workers -> per-cloud
-  // uploader threads, all overlapped. Encoded bundles flow through one
-  // bounded broadcast queue: each uploader consumes at its own pace (so a
-  // cloud mid-RPC never starves the others) and the slowest cloud
-  // backpressures encoding. `clouds` names the clouds that receive shares
-  // (all n for Upload, one for RepairFile).
-  Status UploadStreaming(const std::vector<Bytes>& path_keys, ConstByteSpan data,
-                         const std::vector<int>& clouds, UploadStats* stats);
-  // One uploader thread: consumer `consumer` of `in`, uploading each
-  // bundle's share for `cloud`, interleaving dedup queries, batched share
-  // transfer, and finally the recipe put. If `abort_upload` is set by the
-  // time the stream drains (encode failure), finalization is skipped so a
-  // truncated recipe is never committed.
+  // One uploader lane: consumer `consumer` of `in`, uploading each bundle's
+  // share for `cloud`, interleaving dedup queries, batched share transfer,
+  // and finally the recipe put. `file_size` is read only after the stream
+  // drains (the writer knows it by then). If `abort_upload` is set by the
+  // time the stream drains (encode failure or writer abandoned),
+  // finalization is skipped so a truncated recipe is never committed.
   Status StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
-                             uint64_t file_size,
+                             const uint64_t* file_size,
                              BroadcastQueue<CodingPipeline::EncodedSecret>* in,
                              const std::atomic<bool>* abort_upload, UploadStats* stats,
                              std::mutex* stats_mu);
@@ -127,16 +284,37 @@ class CdstoreClient {
                        const std::vector<RecipeEntry>& recipe,
                        const std::vector<const Bytes*>& shares, UploadStats* stats,
                        std::mutex* stats_mu);
+
   // Fetches one cloud's recipe; used during download/repair.
   Result<GetFileReply> FetchRecipe(int cloud, const Bytes& path_key);
-  // Fetches all shares named by `recipe` from `cloud` in 4MB batches.
-  Result<std::vector<Bytes>> FetchShares(int cloud, const std::vector<RecipeEntry>& recipe);
+  // All shares named by `recipe`, fetched from `cloud` in download batches.
+  // The spans view the owned reply frames (no per-share copy).
+  struct FetchedShares {
+    std::vector<Bytes> frames;
+    std::vector<ConstByteSpan> shares;  // recipe order
+    uint64_t rpcs = 0;
+  };
+  Result<FetchedShares> FetchShares(int cloud, const std::vector<RecipeEntry>& recipe);
+
+  // Pipelined download core; `path_keys` already resolved.
+  Status DownloadPipelined(const std::vector<Bytes>& path_keys, ByteSink& sink,
+                           DownloadStats* stats);
+  // Barrier download: fetch recipes + all shares from k clouds, decode
+  // everything, then emit. Kept for comparison benchmarks and tests.
+  Status DownloadBarrier(const std::vector<Bytes>& path_keys, ByteSink& sink,
+                         DownloadStats* stats);
+  // Shared fallback: decodes secret `s` by brute force over every cloud's
+  // copy after the normal k-share decode failed (corruption recovery §3.2).
+  Status BruteForceSecret(const std::vector<Bytes>& path_keys, size_t s, size_t num_secrets,
+                          const std::vector<int>& have_ids, std::vector<Bytes> have_shares,
+                          size_t secret_size, Bytes* out);
 
   std::vector<Transport*> transports_;
   UserId user_;
   ClientOptions opts_;
   std::unique_ptr<AontRsScheme> scheme_;  // CAONT-RS
-  CodingPipeline pipeline_;
+  CodingPipeline pipeline_;         // encode workers (upload direction)
+  CodingPipeline decode_pipeline_;  // decode workers (download direction)
 };
 
 }  // namespace cdstore

@@ -172,10 +172,25 @@ void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
   }
 }
 
-Status CodingPipeline::DecodeAll(const std::vector<std::vector<int>>& ids,
-                                 const std::vector<std::vector<Bytes>>& shares,
-                                 const std::vector<size_t>& secret_sizes,
-                                 std::vector<Bytes>* secrets) {
+namespace {
+
+Status SchemeDecode(SecretSharing* scheme, const std::vector<int>& ids,
+                    const std::vector<Bytes>& shares, size_t secret_size, Bytes* secret) {
+  return scheme->Decode(ids, shares, secret_size, secret);
+}
+
+Status SchemeDecode(SecretSharing* scheme, const std::vector<int>& ids,
+                    const std::vector<ConstByteSpan>& shares, size_t secret_size,
+                    Bytes* secret) {
+  return scheme->DecodeSpans(ids, shares, secret_size, secret);
+}
+
+// Shared by the owned- and span-share DecodeAll overloads.
+template <typename ShareList>
+Status DecodeAllImpl(SecretSharing* scheme, ThreadPool* pool,
+                     const std::vector<std::vector<int>>& ids,
+                     const std::vector<ShareList>& shares,
+                     const std::vector<size_t>& secret_sizes, std::vector<Bytes>* secrets) {
   if (ids.size() != shares.size() || shares.size() != secret_sizes.size()) {
     return Status::InvalidArgument("decode input arity mismatch");
   }
@@ -184,10 +199,10 @@ Status CodingPipeline::DecodeAll(const std::vector<std::vector<int>>& ids,
   Status first_error;
   for (size_t base = 0; base < shares.size(); base += kBatch) {
     size_t end = std::min(shares.size(), base + kBatch);
-    pool_.Submit([this, &ids, &shares, &secret_sizes, secrets, &err_mu, &first_error, base,
+    pool->Submit([scheme, &ids, &shares, &secret_sizes, secrets, &err_mu, &first_error, base,
                   end]() {
       for (size_t i = base; i < end; ++i) {
-        Status st = scheme_->Decode(ids[i], shares[i], secret_sizes[i], &(*secrets)[i]);
+        Status st = SchemeDecode(scheme, ids[i], shares[i], secret_sizes[i], &(*secrets)[i]);
         if (!st.ok()) {
           std::lock_guard<std::mutex> lock(err_mu);
           if (first_error.ok()) {
@@ -198,8 +213,24 @@ Status CodingPipeline::DecodeAll(const std::vector<std::vector<int>>& ids,
       }
     });
   }
-  pool_.Wait();
+  pool->Wait();
   return first_error;
+}
+
+}  // namespace
+
+Status CodingPipeline::DecodeAll(const std::vector<std::vector<int>>& ids,
+                                 const std::vector<std::vector<Bytes>>& shares,
+                                 const std::vector<size_t>& secret_sizes,
+                                 std::vector<Bytes>* secrets) {
+  return DecodeAllImpl(scheme_, &pool_, ids, shares, secret_sizes, secrets);
+}
+
+Status CodingPipeline::DecodeAll(const std::vector<std::vector<int>>& ids,
+                                 const std::vector<std::vector<ConstByteSpan>>& shares,
+                                 const std::vector<size_t>& secret_sizes,
+                                 std::vector<Bytes>* secrets) {
+  return DecodeAllImpl(scheme_, &pool_, ids, shares, secret_sizes, secrets);
 }
 
 }  // namespace cdstore

@@ -56,6 +56,13 @@ class CodingPipeline {
                    const std::vector<std::vector<Bytes>>& shares,
                    const std::vector<size_t>& secret_sizes, std::vector<Bytes>* secrets);
 
+  // Span-accepting overload: shares view caller-owned reply frames, which
+  // must stay alive for the duration of the call (zero-copy decode path of
+  // the pipelined download).
+  Status DecodeAll(const std::vector<std::vector<int>>& ids,
+                   const std::vector<std::vector<ConstByteSpan>>& shares,
+                   const std::vector<size_t>& secret_sizes, std::vector<Bytes>* secrets);
+
   class Stream {
    public:
     ~Stream();  // joins workers (discarding undelivered work) if not Finished

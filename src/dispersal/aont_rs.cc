@@ -81,15 +81,22 @@ Status AontRsScheme::Encode(ConstByteSpan secret, std::vector<Bytes>* shares) {
 
 Status AontRsScheme::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
                             size_t secret_size, Bytes* secret) {
+  std::vector<ConstByteSpan> views(shares.begin(), shares.end());
+  return DecodeSpans(ids, views, secret_size, secret);
+}
+
+Status AontRsScheme::DecodeSpans(const std::vector<int>& ids,
+                                 const std::vector<ConstByteSpan>& shares,
+                                 size_t secret_size, Bytes* secret) {
   size_t package_size = PackageSize(secret_size);
   size_t share_size = package_size / rs_.k();
-  for (const Bytes& s : shares) {
+  for (ConstByteSpan s : shares) {
     if (s.size() != share_size) {
       return Status::InvalidArgument("share size inconsistent with secret size");
     }
   }
   std::vector<Bytes> pieces;
-  RETURN_IF_ERROR(rs_.Decode(ids, shares, &pieces));
+  RETURN_IF_ERROR(rs_.DecodeSpans(ids, shares, &pieces));
   Bytes package = JoinShards(pieces, package_size);
 
   Bytes padded;

@@ -48,6 +48,10 @@ class AontRsScheme : public SecretSharing {
   Status Encode(ConstByteSpan secret, std::vector<Bytes>* shares) override;
   Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
                 size_t secret_size, Bytes* secret) override;
+  // Zero-copy core: the RS + AONT-inverse path only reads the input shares,
+  // so spans over a network reply frame decode without copying them out.
+  Status DecodeSpans(const std::vector<int>& ids, const std::vector<ConstByteSpan>& shares,
+                     size_t secret_size, Bytes* secret) override;
   size_t ShareSize(size_t secret_size) const override;
 
   AontKind kind() const { return kind_; }

@@ -4,6 +4,17 @@
 
 namespace cdstore {
 
+Status SecretSharing::DecodeSpans(const std::vector<int>& ids,
+                                  const std::vector<ConstByteSpan>& shares,
+                                  size_t secret_size, Bytes* secret) {
+  std::vector<Bytes> owned;
+  owned.reserve(shares.size());
+  for (ConstByteSpan s : shares) {
+    owned.emplace_back(s.begin(), s.end());
+  }
+  return Decode(ids, owned, secret_size, secret);
+}
+
 double SecretSharing::StorageBlowup(size_t secret_size) const {
   if (secret_size == 0) {
     return 0.0;

@@ -41,6 +41,16 @@ class SecretSharing {
   virtual Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shares,
                         size_t secret_size, Bytes* secret) = 0;
 
+  // Span-accepting decode: shares may view caller-owned memory (e.g. a
+  // network reply frame held alive by the caller). The base implementation
+  // copies into owned buffers; schemes whose decode path is read-only over
+  // the input shares (CAONT-RS) override it to decode with no input copy.
+  // Distinctly named so braced-initializer Decode call sites stay
+  // unambiguous.
+  virtual Status DecodeSpans(const std::vector<int>& ids,
+                             const std::vector<ConstByteSpan>& shares, size_t secret_size,
+                             Bytes* secret);
+
   // Size of each share for a secret of `secret_size` bytes.
   virtual size_t ShareSize(size_t secret_size) const = 0;
 

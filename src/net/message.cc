@@ -246,6 +246,24 @@ Status Decode(ConstByteSpan frame, GetSharesReply* m) {
   return GetBlobList(&r, &m->shares);
 }
 
+Status DecodeShareSpans(ConstByteSpan frame, std::vector<ConstByteSpan>* shares) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGetSharesReply));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("blob count exceeds frame");
+  }
+  shares->clear();
+  shares->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ConstByteSpan s;
+    RETURN_IF_ERROR(r.GetBytesView(&s));
+    shares->push_back(s);
+  }
+  return Status::Ok();
+}
+
 // ---- DeleteFile ------------------------------------------------------------
 
 Bytes Encode(const DeleteFileRequest& m) {

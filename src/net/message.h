@@ -153,6 +153,11 @@ Status Decode(ConstByteSpan frame, GetFileRequest* m);
 Status Decode(ConstByteSpan frame, GetFileReply* m);
 Status Decode(ConstByteSpan frame, GetSharesRequest* m);
 Status Decode(ConstByteSpan frame, GetSharesReply* m);
+// Zero-copy decode of a GetSharesReply: each returned span views the share
+// bytes in place inside `frame`, so nothing is copied out of the reply. The
+// caller must keep `frame` alive for as long as the spans are used (the
+// first client-side step of the message-layer zero-copy plan).
+Status DecodeShareSpans(ConstByteSpan frame, std::vector<ConstByteSpan>* shares);
 Status Decode(ConstByteSpan frame, DeleteFileRequest* m);
 Status Decode(ConstByteSpan frame, DeleteFileReply* m);
 Status Decode(ConstByteSpan frame, StatsRequest* m);

@@ -74,13 +74,24 @@ Status ReedSolomon::Encode(std::vector<Bytes>&& data_shards,
 
 Status ReedSolomon::Decode(const std::vector<int>& ids, const std::vector<Bytes>& shards,
                            std::vector<Bytes>* data_shards) const {
+  std::vector<ConstByteSpan> views(shards.begin(), shards.end());
+  return DecodeSpans(ids, views, data_shards);
+}
+
+Status ReedSolomon::DecodeSpans(const std::vector<int>& ids,
+                                const std::vector<ConstByteSpan>& shards,
+                                std::vector<Bytes>* data_shards) const {
   if (ids.size() != shards.size()) {
     return Status::InvalidArgument("ids/shards size mismatch");
   }
   if (static_cast<int>(ids.size()) < k_) {
     return Status::InvalidArgument("need at least k shards to decode");
   }
-  RETURN_IF_ERROR(CheckShardSizes(shards));
+  for (size_t i = 1; i < shards.size(); ++i) {
+    if (shards[i].size() != shards[0].size()) {
+      return Status::InvalidArgument("shards have unequal sizes");
+    }
+  }
   std::set<int> seen;
   for (int id : ids) {
     if (id < 0 || id >= n_) {
@@ -107,7 +118,8 @@ Status ReedSolomon::Decode(const std::vector<int>& ids, const std::vector<Bytes>
   data_shards->clear();
   if (all_data_present) {
     for (int j = 0; j < k_; ++j) {
-      data_shards->push_back(shards[pos_of_id[j]]);
+      ConstByteSpan s = shards[pos_of_id[j]];
+      data_shards->emplace_back(s.begin(), s.end());
     }
     return Status::Ok();
   }

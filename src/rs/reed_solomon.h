@@ -40,6 +40,13 @@ class ReedSolomon {
   Status Decode(const std::vector<int>& ids, const std::vector<Bytes>& shards,
                 std::vector<Bytes>* data_shards) const;
 
+  // Span-accepting variant (the core implementation): shards may view
+  // caller-owned memory such as a network reply frame, so decoding needs no
+  // copy of the input shards. Distinctly named so braced-initializer call
+  // sites of Decode stay unambiguous.
+  Status DecodeSpans(const std::vector<int>& ids, const std::vector<ConstByteSpan>& shards,
+                     std::vector<Bytes>* data_shards) const;
+
   // Rebuilds the shards listed in `targets` (e.g. shards lost to a failed
   // cloud) from any k available shards.
   Status Repair(const std::vector<int>& ids, const std::vector<Bytes>& shards,

@@ -1,0 +1,45 @@
+#include "src/util/byte_sink.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace cdstore {
+
+Result<std::unique_ptr<FileByteSink>> FileByteSink::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileByteSink>(new FileByteSink(f, path));
+}
+
+FileByteSink::~FileByteSink() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status FileByteSink::Append(ConstByteSpan data) {
+  if (file_ == nullptr) {
+    return Status::Internal("append to closed FileByteSink");
+  }
+  if (!data.empty() && std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return Status::IOError("write " + path_ + ": " + std::strerror(errno));
+  }
+  bytes_written_ += data.size();
+  return Status::Ok();
+}
+
+Status FileByteSink::Close() {
+  if (file_ == nullptr) {
+    return Status::Ok();
+  }
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    return Status::IOError("close " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cdstore

@@ -1,0 +1,68 @@
+// Streaming output abstraction for downloads: the client delivers restored
+// bytes to a ByteSink in file order as they are decoded, so a restore never
+// has to materialize the whole backup in memory. BufferByteSink collects
+// into an owned buffer (the old Download-returns-Bytes behavior);
+// FileByteSink writes straight to disk.
+#ifndef CDSTORE_SRC_UTIL_BYTE_SINK_H_
+#define CDSTORE_SRC_UTIL_BYTE_SINK_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  // Receives the next run of bytes. The span is only valid during the call;
+  // implementations that need the data later must copy. May block (e.g. on
+  // disk or a downstream pipeline) — blocking backpressures the producer.
+  virtual Status Append(ConstByteSpan data) = 0;
+};
+
+// Appends into a caller-owned buffer.
+class BufferByteSink : public ByteSink {
+ public:
+  explicit BufferByteSink(Bytes* out) : out_(out) {}
+
+  Status Append(ConstByteSpan data) override {
+    out_->insert(out_->end(), data.begin(), data.end());
+    return Status::Ok();
+  }
+
+ private:
+  Bytes* out_;
+};
+
+// Writes to a file, created (or truncated) at Open. Close() flushes and
+// surfaces write errors; the destructor closes best-effort.
+class FileByteSink : public ByteSink {
+ public:
+  static Result<std::unique_ptr<FileByteSink>> Open(const std::string& path);
+  ~FileByteSink() override;
+
+  FileByteSink(const FileByteSink&) = delete;
+  FileByteSink& operator=(const FileByteSink&) = delete;
+
+  Status Append(ConstByteSpan data) override;
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit FileByteSink(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_BYTE_SINK_H_

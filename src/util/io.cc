@@ -109,6 +109,15 @@ Status BufferReader::GetBytes(Bytes* out) {
   return GetRaw(len, out);
 }
 
+Status BufferReader::GetBytesView(ConstByteSpan* out) {
+  uint64_t len = 0;
+  RETURN_IF_ERROR(GetVarint(&len));
+  if (len > remaining()) return Underflow();
+  *out = data_.subspan(pos_, len);
+  pos_ += len;
+  return Status::Ok();
+}
+
 Status BufferReader::GetString(std::string* out) {
   uint64_t len = 0;
   RETURN_IF_ERROR(GetVarint(&len));

@@ -52,6 +52,9 @@ class BufferReader {
   Status GetVarint(uint64_t* v);
   Status GetRaw(size_t len, Bytes* out);
   Status GetBytes(Bytes* out);
+  // Zero-copy variant of GetBytes: `out` views the underlying buffer, so it
+  // is only valid while that buffer (e.g. a network reply frame) lives.
+  Status GetBytesView(ConstByteSpan* out);
   Status GetString(std::string* out);
   // View into the remaining bytes without consuming them.
   ConstByteSpan Remaining() const { return data_.subspan(pos_); }
