@@ -16,6 +16,7 @@
 // Flags: --size_mb=48 --uplink_mbps=24 --latency_ms=2 --threads=2
 //        --files=16 --file_kb=512
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -122,6 +123,9 @@ struct Deployment {
   std::vector<std::unique_ptr<MemBackend>> backends;
   std::vector<std::unique_ptr<CdstoreServer>> servers;
   std::vector<std::unique_ptr<DelayTransport>> transports;
+  // Extra per-client transport sets for the multi-client scenario: client c
+  // talks to the SAME servers over its own WAN paths (transports[c*kN + i]).
+  std::vector<std::unique_ptr<DelayTransport>> client_transports;
 };
 
 std::unique_ptr<Deployment> MakeDeployment(double latency_s, double uplink_bytes_per_s,
@@ -385,6 +389,91 @@ void BenchDownload(int argc, char** argv) {
   }
 }
 
+// M concurrent BackupSessions (distinct users, distinct data, each over
+// its own WAN paths) against ONE set of servers: the server-side scaling
+// scenario the striped-lock dispatch surface exists for. Under the old
+// global server mutex, aggregate throughput stayed ~flat as clients were
+// added; with fingerprint-striped handlers it should grow until the wire
+// or the host CPU saturates.
+void BenchMultiClient(int argc, char** argv) {
+  const size_t file_mb = static_cast<size_t>(FlagValue(argc, argv, "mc_file_mb", 8));
+  const double uplink_mbps = FlagValue(argc, argv, "mc_uplink_mbps", 12);
+  const double latency_ms = FlagValue(argc, argv, "mc_latency_ms", 2);
+  const double latency_s = latency_ms / 1e3;
+  const double uplink_bytes_per_s = uplink_mbps * 1e6;
+
+  PrintHeader("Multi-client upload scaling (one server set, M concurrent sessions)");
+  std::printf("%zuMB/client, %.0fms/call latency, %.0fMB/s per client-cloud path\n", file_mb,
+              latency_ms, uplink_mbps);
+
+  auto client_options = []() {
+    ClientOptions opts;
+    opts.n = kN;
+    opts.k = kK;
+    // Cheap client compute (fixed chunking, one encode worker) keeps the
+    // measurement about the server dispatch surface, not client encoding.
+    opts.encode_threads = 1;
+    opts.fixed_chunking = true;
+    opts.fixed_chunk_size = 8192;
+    return opts;
+  };
+
+  double aggregate_1 = 0;
+  for (int clients : {1, 2, 4}) {
+    auto world = MakeDeployment(latency_s, uplink_bytes_per_s, /*shared_uplink=*/false);
+    // One transport set per client: own WAN path, shared servers.
+    for (int c = 1; c < clients; ++c) {
+      for (int i = 0; i < kN; ++i) {
+        world->client_transports.push_back(std::make_unique<DelayTransport>(
+            world->servers[i]->AsHandler(), latency_s, uplink_bytes_per_s, nullptr));
+      }
+    }
+    std::vector<Bytes> dataset;
+    for (int c = 0; c < clients; ++c) {
+      dataset.push_back(RandomData(file_mb * 1024 * 1024, 31337 + c));
+    }
+    std::atomic<int> failures{0};
+    Stopwatch watch;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c]() {
+        std::vector<Transport*> transports;
+        for (int i = 0; i < kN; ++i) {
+          transports.push_back(c == 0 ? static_cast<Transport*>(world->transports[i].get())
+                                      : world->client_transports[(c - 1) * kN + i].get());
+        }
+        CdstoreClient client(transports, /*user=*/static_cast<UserId>(c + 1),
+                             client_options());
+        auto session = client.OpenBackupSession();
+        if (!session.ok() ||
+            !session.value()->Upload("/client" + std::to_string(c), dataset[c]).ok()) {
+          ++failures;
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    double secs = watch.ElapsedSeconds();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "multi-client upload failed\n");
+      std::exit(1);
+    }
+    double aggregate = ToMiBps(static_cast<uint64_t>(clients) * file_mb * 1024 * 1024, secs);
+    if (clients == 1) {
+      aggregate_1 = aggregate;
+    }
+    double scaling = aggregate_1 > 0 ? aggregate / aggregate_1 : 0;
+    std::printf("%d client(s): %.1f MB/s aggregate (%.2fx vs 1 client)\n", clients, aggregate,
+                scaling);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"multi_client_upload\",\"clients\":%d,\"file_mb\":%zu,"
+        "\"uplink_mbps\":%.1f,\"latency_ms\":%.1f,\"aggregate_mibps\":%.2f,"
+        "\"scaling_vs_1\":%.3f}\n",
+        clients, file_mb, uplink_mbps, latency_ms, aggregate, scaling);
+  }
+}
+
 double MeasureGfMiBps(void (*fn)(uint8_t*, const uint8_t*, size_t, const uint8_t*,
                                  const uint8_t*),
                       size_t region, double budget_s) {
@@ -460,5 +549,6 @@ int main(int argc, char** argv) {
   cdstore::BenchUpload(argc, argv);
   cdstore::BenchSession(argc, argv);
   cdstore::BenchDownload(argc, argv);
+  cdstore::BenchMultiClient(argc, argv);
   return 0;
 }

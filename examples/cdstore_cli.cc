@@ -62,7 +62,7 @@ bool OpenDeployment(const std::string& state_dir, Deployment* d) {
       return false;
     }
     d->servers.push_back(std::move(server.value()));
-    d->transports.push_back(std::make_unique<InProcTransport>(d->servers.back()->AsHandler()));
+    d->transports.push_back(std::make_unique<InProcTransport>(d->servers.back().get()));
     d->ptrs.push_back(d->transports.back().get());
   }
   return true;

@@ -35,7 +35,7 @@ int main() {
       return 1;
     }
     servers.push_back(std::move(server.value()));
-    transports.push_back(std::make_unique<InProcTransport>(servers.back()->AsHandler()));
+    transports.push_back(std::make_unique<InProcTransport>(servers.back().get()));
     ptrs.push_back(transports.back().get());
     std::printf("CDStore server %d up (cloud: %s)\n", i, cloud_names[i]);
   }
@@ -118,7 +118,7 @@ int main() {
   so.index_dir = dir.Sub("server-Rackspace-rebuilt");
   auto rebuilt = CdstoreServer::Create(backends[3].get(), so);
   servers[3] = std::move(rebuilt.value());
-  transports[3] = std::make_unique<InProcTransport>(servers[3]->AsHandler());
+  transports[3] = std::make_unique<InProcTransport>(servers[3].get());
   ptrs[3] = transports[3].get();
   CdstoreClient repair_client(ptrs, 1, co);
   for (int week = 0; week < opts.num_weeks; ++week) {

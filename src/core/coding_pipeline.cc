@@ -138,8 +138,10 @@ void CodingPipeline::Stream::WorkerLoop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     --active_workers_;
+    // Notify under mu_: Finish() can only observe the decrement after the
+    // notify returns, so ~Stream never destroys the cv mid-notify.
+    done_cv_.notify_all();
   }
-  done_cv_.notify_all();
 }
 
 void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
@@ -165,9 +167,9 @@ void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
   }
   delivering_ = false;
   // Only Finish waits on done_cv_, and only for the fully-drained state.
-  bool drained = finished_ && reorder_.empty();
-  lock.unlock();
-  if (drained) {
+  // Notified under mu_ so the waiter cannot finish and destroy the cv
+  // while this thread is still inside notify_all.
+  if (finished_ && reorder_.empty()) {
     done_cv_.notify_all();
   }
 }

@@ -1,8 +1,9 @@
 #include "src/core/server.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/core/recipe.h"
@@ -33,15 +34,40 @@ CdstoreServer::CdstoreServer(StorageBackend* backend, const ServerOptions& optio
 CdstoreServer::~CdstoreServer() {
   Status st = Flush();
   if (!st.ok()) {
-    LOG(WARNING) << "flush on shutdown failed: " << st;
+    LOG(ERROR) << "flush on shutdown failed (unsealed containers ride on the "
+                  "n-k cloud redundancy): "
+               << st;
   }
 }
 
 Status CdstoreServer::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  RETURN_IF_ERROR(share_store_.FlushAll());
-  RETURN_IF_ERROR(recipe_store_.FlushAll());
-  return SaveMetaLocked();
+  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  return FlushExclusive();
+}
+
+Status CdstoreServer::FlushExclusive() {
+  // Attempt every store even after a failure: a share-seal error must not
+  // silently skip the recipe seal or the counter save.
+  Status share_st = share_store_.FlushAll();
+  if (!share_st.ok()) {
+    LOG(WARNING) << "share container seal failed: " << share_st;
+  }
+  Status recipe_st = recipe_store_.FlushAll();
+  if (!recipe_st.ok()) {
+    LOG(WARNING) << "recipe container seal failed: " << recipe_st;
+  }
+  Status meta_st;
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    meta_st = SaveMetaLocked();
+  }
+  if (!share_st.ok()) {
+    return share_st;
+  }
+  if (!recipe_st.ok()) {
+    return recipe_st;
+  }
+  return meta_st;
 }
 
 Result<std::unique_ptr<CdstoreServer>> CdstoreServer::Create(StorageBackend* backend,
@@ -53,23 +79,59 @@ Result<std::unique_ptr<CdstoreServer>> CdstoreServer::Create(StorageBackend* bac
   return server;
 }
 
+namespace {
+
+// Parses a container object name (prefix + 16 hex digits) back to its id;
+// false for any other backend object (index snapshots etc.).
+bool ParseContainerId(const std::string& name, char prefix, uint64_t* id) {
+  if (name.size() != 17 || name[0] != prefix) {
+    return false;
+  }
+  char* end = nullptr;
+  *id = std::strtoull(name.c_str() + 1, &end, 16);
+  return end == name.c_str() + name.size();
+}
+
+}  // namespace
+
 Status CdstoreServer::LoadMeta() {
   Bytes value;
   Status st = db_->Get(BytesOf(kMetaKey), &value);
-  if (st.code() == StatusCode::kNotFound) {
-    return Status::Ok();
+  if (st.code() != StatusCode::kNotFound) {
+    RETURN_IF_ERROR(st);
+    BufferReader r(value);
+    uint64_t share_next = 1, recipe_next = 1;
+    uint64_t stored_bytes = 0, files = 0;
+    RETURN_IF_ERROR(r.GetU64(&share_next));
+    RETURN_IF_ERROR(r.GetU64(&recipe_next));
+    RETURN_IF_ERROR(r.GetU64(&stored_bytes));
+    RETURN_IF_ERROR(r.GetU64(&files));
+    {
+      std::lock_guard<std::mutex> commit(commit_mu_);
+      physical_share_bytes_ = stored_bytes;
+      file_count_ = files;
+    }
+    // Restore the container id sequences so new containers never collide
+    // with ones already at the backend.
+    share_store_.AdvanceContainerId(share_next);
+    recipe_store_.AdvanceContainerId(recipe_next);
   }
-  RETURN_IF_ERROR(st);
-  BufferReader r(value);
-  uint64_t share_next = 1, recipe_next = 1;
-  RETURN_IF_ERROR(r.GetU64(&share_next));
-  RETURN_IF_ERROR(r.GetU64(&recipe_next));
-  RETURN_IF_ERROR(r.GetU64(&physical_share_bytes_));
-  RETURN_IF_ERROR(r.GetU64(&file_count_));
-  // Restore the container id sequences so new containers never collide
-  // with ones already at the backend.
-  share_store_.AdvanceContainerId(share_next);
-  recipe_store_.AdvanceContainerId(recipe_next);
+  // The persisted sequence can lag reality (a meta save that raced a
+  // concurrent append, or a crash before the save): never reuse the id of
+  // any container already at the backend, or a new seal would overwrite a
+  // live object that index entries still point into.
+  ASSIGN_OR_RETURN(std::vector<std::string> objects, backend_->List());
+  uint64_t max_share = 0, max_recipe = 0;
+  for (const std::string& name : objects) {
+    uint64_t id = 0;
+    if (ParseContainerId(name, 'c', &id)) {
+      max_share = std::max(max_share, id);
+    } else if (ParseContainerId(name, 'r', &id)) {
+      max_recipe = std::max(max_recipe, id);
+    }
+  }
+  share_store_.AdvanceContainerId(max_share + 1);
+  recipe_store_.AdvanceContainerId(max_recipe + 1);
   return Status::Ok();
 }
 
@@ -82,82 +144,133 @@ Status CdstoreServer::SaveMetaLocked() {
   return db_->Put(BytesOf(kMetaKey), w.data());
 }
 
-Bytes CdstoreServer::Handle(ConstByteSpan request) {
-  switch (PeekType(request)) {
-    case MsgType::kFpQueryRequest:
-      return HandleFpQuery(request);
-    case MsgType::kUploadSharesRequest:
-      return HandleUploadShares(request);
-    case MsgType::kPutFileRequest:
-      return HandlePutFile(request);
-    case MsgType::kGetFileRequest:
-      return HandleGetFile(request);
-    case MsgType::kGetSharesRequest:
-      return HandleGetShares(request);
-    case MsgType::kDeleteFileRequest:
-      return HandleDeleteFile(request);
-    case MsgType::kStatsRequest:
-      return HandleStats(request);
-    case MsgType::kGcRequest:
-      return HandleGc(request);
-    default:
-      return EncodeError(Status::InvalidArgument("unknown request type"));
+std::vector<std::unique_lock<std::shared_mutex>> CdstoreServer::LockStripesFor(
+    const std::vector<Fingerprint>& add, const std::vector<Fingerprint>& drop) {
+  std::array<bool, kShareStripes> used{};
+  for (const Fingerprint& fp : add) {
+    used[StripeOf(fp)] = true;
   }
+  for (const Fingerprint& fp : drop) {
+    used[StripeOf(fp)] = true;
+  }
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  for (size_t i = 0; i < kShareStripes; ++i) {
+    if (used[i]) {
+      locks.emplace_back(stripes_[i].mu);
+    }
+  }
+  return locks;
 }
 
-Bytes CdstoreServer::HandleFpQuery(ConstByteSpan frame) {
-  FpQueryRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
+void CdstoreServer::FpQuery(const FpQueryRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
   FpQueryReply reply;
   reply.duplicate.resize(req.fps.size(), 0);
   for (size_t i = 0; i < req.fps.size(); ++i) {
     // Intra-user dedup (§3.3): the answer reveals only whether THIS user
     // already uploaded the share — never other users' holdings, which
     // defeats the side-channel attack of [28].
+    std::shared_lock<std::shared_mutex> stripe(stripes_[StripeOf(req.fps[i])].mu);
     auto has = share_index_.UserHasShare(req.fps[i], req.user);
     if (!has.ok()) {
-      return EncodeError(has.status());
+      rb.SendError(has.status());
+      return;
     }
     reply.duplicate[i] = has.value() ? 1 : 0;
   }
-  return Encode(reply);
+  rb.Send(reply);
 }
 
-Bytes CdstoreServer::HandleUploadShares(ConstByteSpan frame) {
-  UploadSharesRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
+void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
   UploadSharesReply reply;
   // New entries commit as one batched index write at the end; `pending`
   // catches duplicates within this request that the index can't see yet.
   std::vector<std::pair<Fingerprint, ShareLocation>> new_entries;
   std::unordered_set<Fingerprint, FingerprintHash> pending;
-  uint64_t new_bytes = 0;
-  for (const Bytes& share : req.shares) {
+  uint64_t batch_bytes = 0;
+  uint32_t stored = 0;
+  Status failure;
+
+  auto release_claims = [&]() {
+    for (const auto& [fp, loc] : new_entries) {
+      ShareStripe& s = stripes_[StripeOf(fp)];
+      std::unique_lock<std::shared_mutex> lock(s.mu);
+      s.inflight.erase(fp);
+      s.claim_released.notify_all();
+    }
+    new_entries.clear();
+    batch_bytes = 0;
+  };
+  // Commits the accumulated batch as one index write, then releases its
+  // claims. Counters advance only once the batch is durably indexed, so a
+  // failed InsertBatch never inflates the persisted accounting.
+  auto commit_batch = [&]() -> Status {
+    Status st = share_index_.InsertBatch(new_entries);
+    if (st.ok() && !new_entries.empty()) {
+      stored += static_cast<uint32_t>(new_entries.size());
+      std::lock_guard<std::mutex> commit(commit_mu_);
+      physical_share_bytes_ += batch_bytes;
+      st = SaveMetaLocked();
+    }
+    release_claims();
+    return st;
+  };
+
+  for (ConstByteSpan share : req.shares) {
     // Inter-user dedup (§3.3): fingerprint recomputed server-side — a
     // client-supplied fingerprint could otherwise claim ownership of
-    // another user's share content [27, 43].
+    // another user's share content [27, 43]. Hashing, the dominant cost,
+    // runs outside every lock, so concurrent clients' uploads overlap.
     Fingerprint fp = FingerprintOf(share);
     if (pending.count(fp) > 0) {
       ++reply.deduplicated;
       continue;
     }
-    auto existing = share_index_.Lookup(fp);
-    if (!existing.ok()) {
-      return EncodeError(existing.status());
+    ShareStripe& stripe = stripes_[StripeOf(fp)];
+    bool claimed = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(stripe.mu);
+      if (stripe.inflight.count(fp) > 0) {
+        // A concurrent request is storing this share right now. Wait for
+        // its claim to resolve and then consult the index: replying
+        // "deduplicated" against an uncommitted claim would let the client
+        // reference a share whose insert may still fail. Deadlock-free
+        // because we commit (and release) our own claims before waiting.
+        if (!new_entries.empty()) {
+          lock.unlock();
+          if (Status st = commit_batch(); !st.ok()) {
+            failure = st;
+            break;
+          }
+          lock.lock();
+        }
+        stripe.claim_released.wait(lock,
+                                   [&]() { return stripe.inflight.count(fp) == 0; });
+      }
+      auto existing = share_index_.Lookup(fp);
+      if (!existing.ok()) {
+        failure = existing.status();
+      } else if (existing.value().has_value()) {
+        ++reply.deduplicated;
+      } else {
+        stripe.inflight.insert(fp);
+        claimed = true;
+      }
     }
-    if (existing.value().has_value()) {
-      ++reply.deduplicated;
+    if (!failure.ok()) {
+      break;
+    }
+    if (!claimed) {
       continue;
     }
     auto handle = share_store_.Append(req.user, share);
     if (!handle.ok()) {
-      return EncodeError(handle.status());
+      std::unique_lock<std::shared_mutex> lock(stripe.mu);
+      stripe.inflight.erase(fp);
+      stripe.claim_released.notify_all();
+      failure = handle.status();
+      break;
     }
     ShareLocation loc;
     loc.container_id = handle.value().container_id;
@@ -165,27 +278,45 @@ Bytes CdstoreServer::HandleUploadShares(ConstByteSpan frame) {
     loc.share_size = static_cast<uint32_t>(share.size());
     pending.insert(fp);
     new_entries.emplace_back(std::move(fp), loc);
-    new_bytes += share.size();
+    batch_bytes += share.size();
   }
-  if (Status st = share_index_.InsertBatch(new_entries); !st.ok()) {
-    return EncodeError(st);
+  if (failure.ok()) {
+    failure = commit_batch();
+  } else {
+    // An errored request releases its claims without indexing the current
+    // batch (its appended blobs are orphans GC reclaims). A batch already
+    // committed mid-request — forced by a foreign claim — stays indexed
+    // with zero owners, exactly like any upload abandoned before PutFile;
+    // a retry of the failed request dedups against it.
+    release_claims();
   }
-  // Counters advance only once the batch is durably indexed, so a failed
-  // InsertBatch never inflates the persisted byte/share accounting.
-  physical_share_bytes_ += new_bytes;
-  reply.stored = static_cast<uint32_t>(new_entries.size());
-  if (Status st = SaveMetaLocked(); !st.ok()) {
-    return EncodeError(st);
+  if (!failure.ok()) {
+    rb.SendError(failure);
+    return;
   }
-  return Encode(reply);
+  reply.stored = stored;
+  rb.Send(reply);
 }
 
-Bytes CdstoreServer::HandlePutFile(ConstByteSpan frame) {
-  PutFileRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
+void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  // Append the recipe blob before taking the commit lock and before
+  // touching any reference counts: if the append fails, the index is
+  // untouched; if the batched reference update below fails (e.g. an
+  // unknown share), the only residue is an orphaned recipe blob, which GC
+  // reclaims — never inconsistent refcounts. Appending first also keeps
+  // the container-store backend I/O (a possible seal) out of the commit
+  // critical section.
+  FileRecipe recipe;
+  recipe.file_size = req.file_size;
+  recipe.entries = req.recipe;
+  auto handle = recipe_store_.Append(req.user, recipe.Serialize());
+  if (!handle.ok()) {
+    rb.SendError(handle.status());
+    return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+
+  std::lock_guard<std::mutex> commit(commit_mu_);
   // Replacing an existing file drops the old recipe's references.
   std::vector<Fingerprint> drop_fps;
   bool replacing = false;
@@ -205,27 +336,20 @@ Bytes CdstoreServer::HandlePutFile(ConstByteSpan frame) {
     }
   }
 
-  // Append the recipe blob before touching any reference counts: if the
-  // append fails, the index is untouched; if the batched reference update
-  // below fails (e.g. an unknown share), the only residue is an orphaned
-  // recipe blob, which GC reclaims — never inconsistent refcounts.
-  FileRecipe recipe;
-  recipe.file_size = req.file_size;
-  recipe.entries = req.recipe;
-  auto handle = recipe_store_.Append(req.user, recipe.Serialize());
-  if (!handle.ok()) {
-    return EncodeError(handle.status());
-  }
-
   // Verify every recipe entry names a stored share, drop the replaced
-  // file's references, and add this file's — one batched index pass.
+  // file's references, and add this file's — one batched index pass under
+  // the stripes the touched fingerprints hash to.
   std::vector<Fingerprint> add_fps;
   add_fps.reserve(req.recipe.size());
   for (const RecipeEntry& e : req.recipe) {
     add_fps.push_back(e.fp);
   }
-  if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user); !st.ok()) {
-    return EncodeError(st);
+  {
+    auto stripe_locks = LockStripesFor(add_fps, drop_fps);
+    if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user); !st.ok()) {
+      rb.SendError(st);
+      return;
+    }
   }
   if (replacing) {
     --file_count_;
@@ -237,102 +361,115 @@ Bytes CdstoreServer::HandlePutFile(ConstByteSpan frame) {
   entry.recipe_container_id = handle.value().container_id;
   entry.recipe_index = handle.value().index;
   if (Status st = file_index_.PutFile(req.user, req.path_key, entry); !st.ok()) {
-    return EncodeError(st);
+    rb.SendError(st);
+    return;
   }
   ++file_count_;
   if (Status st = SaveMetaLocked(); !st.ok()) {
-    return EncodeError(st);
+    rb.SendError(st);
+    return;
   }
-  return Encode(PutFileReply{});
+  rb.Send(PutFileReply{});
 }
 
-Bytes CdstoreServer::HandleGetFile(ConstByteSpan frame) {
-  GetFileRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
+void CdstoreServer::GetFile(const GetFileRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  Result<FileIndexEntry> entry = Status::NotFound("unresolved");
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    entry = file_index_.GetFile(req.user, req.path_key);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto entry = file_index_.GetFile(req.user, req.path_key);
   if (!entry.ok()) {
-    return EncodeError(entry.status());
+    rb.SendError(entry.status());
+    return;
   }
+  // Recipe blobs are append-only and never deleted outside exclusive GC,
+  // so a published entry's blob stays fetchable without the commit lock.
   auto blob = recipe_store_.Fetch(
       BlobHandle{entry.value().recipe_container_id, entry.value().recipe_index});
   if (!blob.ok()) {
-    return EncodeError(blob.status());
+    rb.SendError(blob.status());
+    return;
   }
   auto recipe = FileRecipe::Deserialize(blob.value());
   if (!recipe.ok()) {
-    return EncodeError(recipe.status());
+    rb.SendError(recipe.status());
+    return;
   }
   GetFileReply reply;
   reply.file_size = recipe.value().file_size;
   reply.recipe = std::move(recipe.value().entries);
-  return Encode(reply);
+  rb.Send(reply);
 }
 
-Bytes CdstoreServer::HandleGetShares(ConstByteSpan frame) {
-  GetSharesRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  GetSharesReply reply;
-  reply.shares.reserve(req.fps.size());
+void CdstoreServer::GetShares(const GetSharesRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  rb.BeginShares(req.fps.size());
   for (const Fingerprint& fp : req.fps) {
-    // Access control: only owners may fetch a share by fingerprint —
-    // possession of a fingerprint must not grant access to the content
-    // (the [27] attack).
-    auto owns = share_index_.UserHasShare(fp, req.user);
-    if (!owns.ok()) {
-      return EncodeError(owns.status());
+    ShareLocation loc;
+    {
+      std::shared_lock<std::shared_mutex> stripe(stripes_[StripeOf(fp)].mu);
+      // Access control: only owners may fetch a share by fingerprint —
+      // possession of a fingerprint must not grant access to the content
+      // (the [27] attack).
+      auto owns = share_index_.UserHasShare(fp, req.user);
+      if (!owns.ok()) {
+        rb.SendError(owns.status());
+        return;
+      }
+      if (!owns.value()) {
+        rb.SendError(Status::PermissionDenied("user does not own share " +
+                                              FingerprintAbbrev(fp)));
+        return;
+      }
+      auto found = share_index_.Lookup(fp);
+      if (!found.ok()) {
+        rb.SendError(found.status());
+        return;
+      }
+      if (!found.value().has_value()) {
+        rb.SendError(Status::NotFound("share missing: " + FingerprintAbbrev(fp)));
+        return;
+      }
+      loc = *found.value();
     }
-    if (!owns.value()) {
-      return EncodeError(Status::PermissionDenied("user does not own share " +
-                                                  FingerprintAbbrev(fp)));
-    }
-    auto loc = share_index_.Lookup(fp);
-    if (!loc.ok()) {
-      return EncodeError(loc.status());
-    }
-    if (!loc.value().has_value()) {
-      return EncodeError(Status::NotFound("share missing: " + FingerprintAbbrev(fp)));
-    }
-    auto share = share_store_.Fetch(
-        BlobHandle{loc.value()->container_id, loc.value()->index_in_container});
+    auto share = share_store_.Fetch(BlobHandle{loc.container_id, loc.index_in_container});
     if (!share.ok()) {
-      return EncodeError(share.status());
+      rb.SendError(share.status());
+      return;
     }
-    reply.shares.push_back(std::move(share.value()));
+    // Straight into the reply frame: no vector<Bytes> gather + re-encode.
+    rb.AddShare(share.value());
   }
-  return Encode(reply);
 }
 
-Bytes CdstoreServer::HandleDeleteFile(ConstByteSpan frame) {
-  DeleteFileRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
+void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
   auto entry = file_index_.GetFile(req.user, req.path_key);
   if (!entry.ok()) {
-    return EncodeError(entry.status());
+    rb.SendError(entry.status());
+    return;
   }
   auto blob = recipe_store_.Fetch(
       BlobHandle{entry.value().recipe_container_id, entry.value().recipe_index});
   if (!blob.ok()) {
-    return EncodeError(blob.status());
+    rb.SendError(blob.status());
+    return;
   }
   auto recipe = FileRecipe::Deserialize(blob.value());
   if (!recipe.ok()) {
-    return EncodeError(recipe.status());
+    rb.SendError(recipe.status());
+    return;
   }
   DeleteFileReply reply;
   for (const RecipeEntry& e : recipe.value().entries) {
     bool orphaned = false;
+    std::unique_lock<std::shared_mutex> stripe(stripes_[StripeOf(e.fp)].mu);
     Status st = share_index_.DropReference(e.fp, req.user, &orphaned);
     if (!st.ok()) {
-      return EncodeError(st);
+      rb.SendError(st);
+      return;
     }
     if (orphaned) {
       // Index entry removed; container space reclamation is the garbage
@@ -342,47 +479,50 @@ Bytes CdstoreServer::HandleDeleteFile(ConstByteSpan frame) {
     }
   }
   if (Status st = file_index_.DeleteFile(req.user, req.path_key); !st.ok()) {
-    return EncodeError(st);
+    rb.SendError(st);
+    return;
   }
   --file_count_;
   if (Status st = SaveMetaLocked(); !st.ok()) {
-    return EncodeError(st);
+    rb.SendError(st);
+    return;
   }
-  return Encode(reply);
+  rb.Send(reply);
 }
 
-Bytes CdstoreServer::HandleStats(ConstByteSpan frame) {
-  StatsRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
+void CdstoreServer::Stats(const StatsRequest& req, ReplyBuilder& rb) {
+  (void)req;
+  // Exclusive: UniqueShareCount iterates the LSM, which must not race a
+  // concurrent memtable flush triggered by an index write.
+  std::unique_lock<std::shared_mutex> ops(ops_mu_);
   StatsReply reply;
   auto unique = share_index_.UniqueShareCount();
   if (!unique.ok()) {
-    return EncodeError(unique.status());
+    rb.SendError(unique.status());
+    return;
   }
   reply.unique_shares = unique.value();
-  reply.stored_bytes = physical_share_bytes_;
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    reply.stored_bytes = physical_share_bytes_;
+    reply.file_count = file_count_;
+  }
   reply.container_count = share_store_.sealed_container_count();
-  reply.file_count = file_count_;
-  return Encode(reply);
+  rb.Send(reply);
 }
 
-Bytes CdstoreServer::HandleGc(ConstByteSpan frame) {
-  GcRequest req;
-  if (Status st = Decode(frame, &req); !st.ok()) {
-    return EncodeError(st);
-  }
+void CdstoreServer::Gc(const GcRequest& req, ReplyBuilder& rb) {
+  (void)req;
   auto reply = CollectGarbage();
   if (!reply.ok()) {
-    return EncodeError(reply.status());
+    rb.SendError(reply.status());
+    return;
   }
-  return Encode(reply.value());
+  rb.Send(reply.value());
 }
 
 Result<GcReply> CdstoreServer::CollectGarbage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ops(ops_mu_);
   GcReply stats;
   // 1. Seal open containers so every live share is on the backend.
   RETURN_IF_ERROR(share_store_.FlushAll());
@@ -403,10 +543,10 @@ Result<GcReply> CdstoreServer::CollectGarbage() {
   // 3. Visit every sealed share container ("c" prefix).
   ASSIGN_OR_RETURN(std::vector<std::string> objects, backend_->List());
   for (const std::string& name : objects) {
-    if (name.empty() || name[0] != 'c') {
-      continue;
+    uint64_t container_id = 0;
+    if (!ParseContainerId(name, 'c', &container_id)) {
+      continue;  // recipe container, index snapshot, or other object
     }
-    uint64_t container_id = std::strtoull(name.c_str() + 1, nullptr, 16);
     ++stats.containers_scanned;
     ASSIGN_OR_RETURN(Bytes image, backend_->Get(name));
     ASSIGN_OR_RETURN(ContainerReader reader, ContainerReader::Parse(std::move(image)));
@@ -440,13 +580,14 @@ Result<GcReply> CdstoreServer::CollectGarbage() {
     ++stats.containers_rewritten;
     stats.bytes_reclaimed += dead_bytes;
   }
+  std::lock_guard<std::mutex> commit(commit_mu_);
   physical_share_bytes_ -= std::min(physical_share_bytes_, stats.bytes_reclaimed);
   RETURN_IF_ERROR(SaveMetaLocked());
   return stats;
 }
 
 Status CdstoreServer::BackupIndexSnapshot(const std::string& object_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ops(ops_mu_);
   // A consistent view: the LSM iterator at the current sequence.
   BufferWriter w;
   w.PutU32(0x1d8c5eed);  // snapshot magic
@@ -464,7 +605,7 @@ Status CdstoreServer::BackupIndexSnapshot(const std::string& object_name) {
 }
 
 Status CdstoreServer::RestoreIndexSnapshot(const std::string& object_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ops(ops_mu_);
   ASSIGN_OR_RETURN(Bytes blob, backend_->Get(object_name));
   BufferReader r(blob);
   uint32_t magic = 0;
@@ -490,11 +631,16 @@ Status CdstoreServer::RestoreIndexSnapshot(const std::string& object_name) {
 }
 
 uint64_t CdstoreServer::physical_share_bytes() const {
+  std::lock_guard<std::mutex> commit(commit_mu_);
   return physical_share_bytes_;
 }
 
 uint64_t CdstoreServer::unique_share_count() const {
-  auto count = const_cast<CdstoreServer*>(this)->share_index_.UniqueShareCount();
+  // Exclusive for the same reason as Stats: the LSM iteration must not
+  // race an index write's memtable flush.
+  auto* self = const_cast<CdstoreServer*>(this);
+  std::unique_lock<std::shared_mutex> ops(self->ops_mu_);
+  auto count = self->share_index_.UniqueShareCount();
   return count.ok() ? count.value() : 0;
 }
 

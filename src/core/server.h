@@ -2,17 +2,31 @@
 // backend. Performs inter-user deduplication, maintains the file/share
 // indices in the LSM KV store, and packs unique shares and recipes into
 // containers.
+//
+// Concurrency (§4.6, §5: the server is multi-threaded and inter-user dedup
+// must scale): the share index is guarded by fingerprint-sharded stripes,
+// so FpQuery/UploadShares/GetShares from different clients proceed in
+// parallel — share hashing, the dominant handler cost, runs outside every
+// lock. A narrow commit lock covers only file-index/recipe updates and the
+// persisted counters; maintenance operations (flush, GC, snapshots) take
+// the operations lock exclusively and see a quiesced server.
 #ifndef CDSTORE_SRC_CORE_SERVER_H_
 #define CDSTORE_SRC_CORE_SERVER_H_
 
+#include <array>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "src/dedup/file_index.h"
 #include "src/dedup/share_index.h"
 #include "src/kvstore/db.h"
 #include "src/net/message.h"
+#include "src/net/service.h"
 #include "src/net/transport.h"
 #include "src/storage/backend.h"
 #include "src/storage/container_store.h"
@@ -28,25 +42,38 @@ struct ServerOptions {
   size_t container_cache_bytes = 32 << 20;
 };
 
-class CdstoreServer {
+class CdstoreServer : public ServerService {
  public:
   // `backend` is the cloud object store this server fronts (not owned).
   static Result<std::unique_ptr<CdstoreServer>> Create(StorageBackend* backend,
                                                        const ServerOptions& options);
 
   // Graceful shutdown: seals all open containers to the backend and
-  // persists counters. Called by the destructor; a hard crash instead
-  // loses only unsealed containers, which the n-k cloud redundancy covers.
-  ~CdstoreServer();
+  // persists counters. Every store is attempted even when an earlier one
+  // fails; the first error is returned (and logged by the destructor — a
+  // failed seal means unsealed containers ride only on the n-k cloud
+  // redundancy until a retry succeeds).
+  ~CdstoreServer() override;
   Status Flush();
 
-  // RPC entry point: full request frame -> full reply frame. Thread-safe.
-  Bytes Handle(ConstByteSpan request);
+  // --- typed service API (ServerService) ---------------------------------
+  // All methods are thread-safe; UploadShares reads its share payloads as
+  // spans into the request frame (zero per-share copies before the
+  // container append).
+  void FpQuery(const FpQueryRequest& req, ReplyBuilder& rb) override;
+  void UploadShares(const UploadSharesRequestView& req, ReplyBuilder& rb) override;
+  void PutFile(const PutFileRequest& req, ReplyBuilder& rb) override;
+  void GetFile(const GetFileRequest& req, ReplyBuilder& rb) override;
+  void GetShares(const GetSharesRequest& req, ReplyBuilder& rb) override;
+  void DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) override;
+  void Stats(const StatsRequest& req, ReplyBuilder& rb) override;
+  void Gc(const GcRequest& req, ReplyBuilder& rb) override;
+
+  // Frame-level entry point, now a thin shim over Dispatch(). Thread-safe.
+  Bytes Handle(ConstByteSpan request) { return Dispatch(*this, request); }
 
   // Convenience adapter for Transport construction.
-  RpcHandler AsHandler() {
-    return [this](ConstByteSpan req) { return Handle(req); };
-  }
+  RpcHandler AsHandler() { return ServiceHandler(this); }
 
   // Accounting for experiments.
   uint64_t physical_share_bytes() const;
@@ -69,27 +96,46 @@ class CdstoreServer {
   CdstoreServer(StorageBackend* backend, const ServerOptions& options,
                 std::unique_ptr<Db> db);
 
-  Bytes HandleFpQuery(ConstByteSpan frame);
-  Bytes HandleUploadShares(ConstByteSpan frame);
-  Bytes HandlePutFile(ConstByteSpan frame);
-  Bytes HandleGetFile(ConstByteSpan frame);
-  Bytes HandleGetShares(ConstByteSpan frame);
-  Bytes HandleDeleteFile(ConstByteSpan frame);
-  Bytes HandleStats(ConstByteSpan frame);
-  Bytes HandleGc(ConstByteSpan frame);
+  // Fingerprint-space sharding of the share index. SHA-256 output is
+  // uniform, so the first byte balances the stripes.
+  static constexpr size_t kShareStripes = 16;
+  struct ShareStripe {
+    std::shared_mutex mu;
+    // Fingerprints an in-flight UploadShares has claimed but not yet
+    // committed to the index. A concurrent request that meets a claim
+    // waits (claims resolve in milliseconds) and then re-reads the index,
+    // so a "deduplicated" reply always refers to a committed share.
+    std::unordered_set<Fingerprint, FingerprintHash> inflight;
+    std::condition_variable_any claim_released;
+  };
+  size_t StripeOf(const Fingerprint& fp) const {
+    return fp.empty() ? 0 : fp[0] & (kShareStripes - 1);
+  }
+  // Unique-locks every stripe named by a fingerprint in `fps` (ascending
+  // stripe order), for batched reference read-modify-writes.
+  std::vector<std::unique_lock<std::shared_mutex>> LockStripesFor(
+      const std::vector<Fingerprint>& add, const std::vector<Fingerprint>& drop);
 
   Status LoadMeta();
+  // Requires commit_mu_.
   Status SaveMetaLocked();
+  // Requires exclusive ops_mu_ (destructor path; Flush() wraps it).
+  Status FlushExclusive();
 
-  std::mutex mu_;  // serializes index/container mutation
+  // Lock order (outer to inner): ops_mu_ -> commit_mu_ -> stripe mutexes
+  // (ascending). Handlers never acquire commit_mu_ while holding a stripe.
+  mutable std::shared_mutex ops_mu_;  // shared: RPCs; exclusive: maintenance
+  mutable std::mutex commit_mu_;      // file index, recipe store, counters, meta
+  std::array<ShareStripe, kShareStripes> stripes_;
+
   StorageBackend* backend_;
   std::unique_ptr<Db> db_;
   ShareIndex share_index_;
   FileIndex file_index_;
   ContainerStore share_store_;
   ContainerStore recipe_store_;
-  uint64_t physical_share_bytes_ = 0;
-  uint64_t file_count_ = 0;
+  uint64_t physical_share_bytes_ = 0;  // guarded by commit_mu_
+  uint64_t file_count_ = 0;            // guarded by commit_mu_
 };
 
 }  // namespace cdstore

@@ -147,6 +147,25 @@ Status Decode(ConstByteSpan frame, UploadSharesRequest* m) {
   return GetBlobList(&r, &m->shares);
 }
 
+Status DecodeView(ConstByteSpan frame, UploadSharesRequestView* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kUploadSharesRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("blob count exceeds frame");
+  }
+  m->shares.clear();
+  m->shares.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ConstByteSpan s;
+    RETURN_IF_ERROR(r.GetBytesView(&s));
+    m->shares.push_back(s);
+  }
+  return Status::Ok();
+}
+
 Bytes Encode(const UploadSharesReply& m) {
   BufferWriter w = Begin(MsgType::kUploadSharesReply);
   w.PutU32(m.stored);

@@ -64,6 +64,14 @@ struct UploadSharesRequest {
   uint64_t user = 0;
   std::vector<Bytes> shares;
 };
+// Zero-copy decode target for an UploadSharesRequest: each share is a span
+// into the request frame, so a server handler holds no per-share heap copy
+// of the payload (the server-side half of the message-layer zero-copy
+// plan; the frame must outlive the view).
+struct UploadSharesRequestView {
+  uint64_t user = 0;
+  std::vector<ConstByteSpan> shares;
+};
 struct UploadSharesReply {
   uint32_t stored = 0;        // shares newly written to a container
   uint32_t deduplicated = 0;  // shares inter-user deduplicated away
@@ -146,6 +154,7 @@ Bytes EncodeError(const Status& status);
 Status Decode(ConstByteSpan frame, FpQueryRequest* m);
 Status Decode(ConstByteSpan frame, FpQueryReply* m);
 Status Decode(ConstByteSpan frame, UploadSharesRequest* m);
+Status DecodeView(ConstByteSpan frame, UploadSharesRequestView* m);
 Status Decode(ConstByteSpan frame, UploadSharesReply* m);
 Status Decode(ConstByteSpan frame, PutFileRequest* m);
 Status Decode(ConstByteSpan frame, PutFileReply* m);

@@ -1,0 +1,77 @@
+#include "src/net/service.h"
+
+namespace cdstore {
+
+void ReplyBuilder::BeginShares(size_t count) {
+  shares_ = BufferWriter();
+  shares_.PutU8(static_cast<uint8_t>(MsgType::kGetSharesReply));
+  shares_.PutVarint(count);
+  streaming_ = true;
+}
+
+void ReplyBuilder::AddShare(ConstByteSpan share) { shares_.PutBytes(share); }
+
+Bytes ReplyBuilder::TakeFrame() {
+  if (sent_) {
+    return std::move(frame_);
+  }
+  if (streaming_) {
+    return shares_.Take();
+  }
+  return EncodeError(Status::Internal("handler produced no reply"));
+}
+
+namespace {
+
+// Decodes into `Req`, then runs `method`; a decode failure short-circuits
+// to a kError frame without invoking the service.
+template <typename Req, typename Method>
+Bytes DecodeAndCall(ServerService& service, ConstByteSpan request, Method method) {
+  Req req;
+  if (Status st = Decode(request, &req); !st.ok()) {
+    return EncodeError(st);
+  }
+  ReplyBuilder rb;
+  (service.*method)(req, rb);
+  return rb.TakeFrame();
+}
+
+}  // namespace
+
+Bytes Dispatch(ServerService& service, ConstByteSpan request) {
+  switch (PeekType(request)) {
+    case MsgType::kFpQueryRequest:
+      return DecodeAndCall<FpQueryRequest>(service, request, &ServerService::FpQuery);
+    case MsgType::kUploadSharesRequest: {
+      // The one request whose payload dominates: decoded as spans into the
+      // frame so no share is copied before it reaches a container.
+      UploadSharesRequestView req;
+      if (Status st = DecodeView(request, &req); !st.ok()) {
+        return EncodeError(st);
+      }
+      ReplyBuilder rb;
+      service.UploadShares(req, rb);
+      return rb.TakeFrame();
+    }
+    case MsgType::kPutFileRequest:
+      return DecodeAndCall<PutFileRequest>(service, request, &ServerService::PutFile);
+    case MsgType::kGetFileRequest:
+      return DecodeAndCall<GetFileRequest>(service, request, &ServerService::GetFile);
+    case MsgType::kGetSharesRequest:
+      return DecodeAndCall<GetSharesRequest>(service, request, &ServerService::GetShares);
+    case MsgType::kDeleteFileRequest:
+      return DecodeAndCall<DeleteFileRequest>(service, request, &ServerService::DeleteFile);
+    case MsgType::kStatsRequest:
+      return DecodeAndCall<StatsRequest>(service, request, &ServerService::Stats);
+    case MsgType::kGcRequest:
+      return DecodeAndCall<GcRequest>(service, request, &ServerService::Gc);
+    default:
+      return EncodeError(Status::InvalidArgument("unknown request type"));
+  }
+}
+
+RpcHandler ServiceHandler(ServerService* service) {
+  return [service](ConstByteSpan request) { return Dispatch(*service, request); };
+}
+
+}  // namespace cdstore

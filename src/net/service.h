@@ -1,0 +1,88 @@
+// The typed server-side service API. Transports and the RPC dispatcher no
+// longer hand servers raw frames to re-parse and re-encode: a frame is
+// decoded exactly once by Dispatch(), the handler sees a typed request —
+// with UploadShares payloads as zero-copy spans into the request frame —
+// and writes its reply through a ReplyBuilder that serializes straight into
+// the outgoing frame. Dispatch(service, frame) -> frame preserves the old
+// frame-in/frame-out contract for InProcTransport and TcpServer.
+#ifndef CDSTORE_SRC_NET_SERVICE_H_
+#define CDSTORE_SRC_NET_SERVICE_H_
+
+#include "src/net/message.h"
+#include "src/net/transport.h"
+#include "src/util/io.h"
+
+namespace cdstore {
+
+// Accumulates exactly one reply frame. A handler either Send()s a typed
+// reply / SendError()s a status, or — for GetShares, whose payload
+// dominates — streams shares into the frame with BeginShares()/AddShare()
+// so the fetched bytes are serialized once instead of being gathered into
+// a vector<Bytes> and copied again by an encoder. All paths produce frames
+// byte-identical to the Encode()/EncodeError() wire format.
+class ReplyBuilder {
+ public:
+  void Send(const FpQueryReply& m) { Finish(Encode(m)); }
+  void Send(const UploadSharesReply& m) { Finish(Encode(m)); }
+  void Send(const PutFileReply& m) { Finish(Encode(m)); }
+  void Send(const GetFileReply& m) { Finish(Encode(m)); }
+  void Send(const GetSharesReply& m) { Finish(Encode(m)); }
+  void Send(const DeleteFileReply& m) { Finish(Encode(m)); }
+  void Send(const StatsReply& m) { Finish(Encode(m)); }
+  void Send(const GcReply& m) { Finish(Encode(m)); }
+  // An error overrides any partially streamed reply.
+  void SendError(const Status& status) { Finish(EncodeError(status)); }
+
+  // Streaming GetShares reply: header once, then each share appended
+  // directly to the frame. `count` must match the AddShare() call count.
+  void BeginShares(size_t count);
+  void AddShare(ConstByteSpan share);
+
+  // True once a terminal Send/SendError (not BeginShares) ran.
+  bool sent() const { return sent_; }
+
+  // The completed frame. A handler that returned without replying yields a
+  // kError frame rather than an empty (malformed) one.
+  Bytes TakeFrame();
+
+ private:
+  void Finish(Bytes frame) {
+    frame_ = std::move(frame);
+    sent_ = true;
+  }
+
+  Bytes frame_;
+  BufferWriter shares_;  // streaming GetShares frame under construction
+  bool streaming_ = false;
+  bool sent_ = false;
+};
+
+// One typed method per request type of the wire protocol (§3.3/§4).
+// Implementations must be thread-safe: the TCP front end and concurrent
+// in-process clients invoke methods from many threads at once.
+class ServerService {
+ public:
+  virtual ~ServerService() = default;
+
+  virtual void FpQuery(const FpQueryRequest& req, ReplyBuilder& rb) = 0;
+  // Shares are spans into the request frame, valid only for the call.
+  virtual void UploadShares(const UploadSharesRequestView& req, ReplyBuilder& rb) = 0;
+  virtual void PutFile(const PutFileRequest& req, ReplyBuilder& rb) = 0;
+  virtual void GetFile(const GetFileRequest& req, ReplyBuilder& rb) = 0;
+  virtual void GetShares(const GetSharesRequest& req, ReplyBuilder& rb) = 0;
+  virtual void DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) = 0;
+  virtual void Stats(const StatsRequest& req, ReplyBuilder& rb) = 0;
+  virtual void Gc(const GcRequest& req, ReplyBuilder& rb) = 0;
+};
+
+// Frame-in/frame-out adapter: decodes `request` (once), invokes the typed
+// method, returns the built reply frame. Malformed requests become kError
+// frames, exactly as the untyped handler surface produced them.
+Bytes Dispatch(ServerService& service, ConstByteSpan request);
+
+// Wraps a service for transports still constructed around RpcHandler.
+RpcHandler ServiceHandler(ServerService* service);
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_NET_SERVICE_H_

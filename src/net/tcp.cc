@@ -1,13 +1,20 @@
 #include "src/net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "src/net/service.h"
 #include "src/util/logging.h"
 
 namespace cdstore {
@@ -65,14 +72,32 @@ bool ReadFrame(int fd, Bytes* frame) {
 
 }  // namespace
 
-TcpServer::TcpServer(int fd, int port, RpcHandler handler)
-    : listen_fd_(fd), port_(port), handler_(std::move(handler)) {
-  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+TcpServer::TcpServer(int fd, int port, RpcHandler handler, TcpServerOptions options)
+    : listen_fd_(fd), port_(port), handler_(std::move(handler)), opts_(options) {
+  if (opts_.num_workers < 1) {
+    opts_.num_workers = 1;
+  }
+  CHECK(::pipe(wake_pipe_) == 0);
+  // Non-blocking both ways: draining must not block the poller once the
+  // pending wakeups run out, and a full pipe just means one is pending.
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  poll_thread_ = std::thread([this]() { PollLoop(); });
+  workers_.reserve(opts_.num_workers);
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
 }
 
 TcpServer::~TcpServer() { Stop(); }
 
-Result<std::unique_ptr<TcpServer>> TcpServer::Listen(int port, RpcHandler handler) {
+Result<std::unique_ptr<TcpServer>> TcpServer::Listen(int port, ServerService* service,
+                                                     TcpServerOptions options) {
+  return Listen(port, ServiceHandler(service), options);
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Listen(int port, RpcHandler handler,
+                                                     TcpServerOptions options) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket() failed");
@@ -91,60 +116,165 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Listen(int port, RpcHandler handle
     ::close(fd);
     return Status::IOError("listen() failed");
   }
+  // Accepts are gated on poll() readiness; a connection that is reset
+  // between poll() and accept() must not block the only dispatch thread.
+  ::fcntl(fd, F_SETFL, O_NONBLOCK);
   socklen_t len = sizeof(addr);
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   int bound_port = ntohs(addr.sin_port);
-  return std::unique_ptr<TcpServer>(new TcpServer(fd, bound_port, std::move(handler)));
+  return std::unique_ptr<TcpServer>(
+      new TcpServer(fd, bound_port, std::move(handler), options));
 }
 
-void TcpServer::AcceptLoop() {
+void TcpServer::WakePoller() {
+  uint8_t byte = 1;
+  ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  (void)n;  // pipe full = a wakeup is already pending
+}
+
+void TcpServer::PollLoop() {
+  std::vector<pollfd> fds;
+  std::vector<int> polled;  // connection behind fds[i + 2]
   while (!stopping_) {
-    int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (stopping_) {
-        break;
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int fd : idle_) {
+        fds.push_back({fd, POLLIN, 0});
+        polled.push_back(fd);
       }
-      continue;
     }
-    int one = 1;
-    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(conn);
-    conn_threads_.emplace_back([this, conn]() { ServeConnection(conn); });
-  }
-}
-
-void TcpServer::ServeConnection(int fd) {
-  Bytes request;
-  while (!stopping_ && ReadFrame(fd, &request)) {
-    Bytes reply = handler_(request);
-    if (!WriteFrame(fd, reply)) {
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
       break;
     }
+    if (stopping_) {
+      break;
+    }
+    if (fds[0].revents != 0) {  // drain wakeups; the rebuild picks up idle_
+      uint8_t buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      int conn;
+      while ((conn = ::accept(listen_fd_, nullptr, nullptr)) >= 0) {
+        int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (opts_.io_timeout_ms > 0) {
+          timeval tv{};
+          tv.tv_sec = opts_.io_timeout_ms / 1000;
+          tv.tv_usec = (opts_.io_timeout_ms % 1000) * 1000;
+          ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+          ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_.insert(conn);
+        conns_.insert(conn);
+      }
+    }
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < polled.size(); ++i) {
+        if ((fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+          continue;
+        }
+        if (idle_.erase(polled[i]) == 0) {
+          continue;
+        }
+        ready_.push_back(polled[i]);
+        ++in_flight_;
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      ready_cv_.notify_all();
+    }
   }
-  ::close(fd);
+}
+
+void TcpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [this]() { return !ready_.empty() || workers_stop_; });
+      if (ready_.empty()) {
+        return;  // stopping and fully drained
+      }
+      fd = ready_.front();
+      ready_.pop_front();
+    }
+    Bytes request;
+    bool alive = ReadFrame(fd, &request);
+    if (alive) {
+      Bytes reply = handler_(request);
+      alive = WriteFrame(fd, reply);
+    }
+    bool rearmed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (alive && !stopping_) {
+        idle_.insert(fd);
+        rearmed = true;
+      } else {
+        ::close(fd);
+        conns_.erase(fd);
+      }
+    }
+    drained_cv_.notify_all();
+    if (rearmed) {
+      WakePoller();
+    }
+  }
 }
 
 void TcpServer::Stop() {
   if (stopping_.exchange(true)) {
     return;
   }
+  // 1. No new connections or request admissions.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
+  WakePoller();
+  if (poll_thread_.joinable()) {
+    poll_thread_.join();
   }
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  // Kick connection threads out of blocking recv() even if clients are
-  // still connected; ServeConnection closes the fds on exit.
-  for (int fd : conn_fds_) {
-    ::shutdown(fd, SHUT_RDWR);
-  }
-  for (auto& t : conn_threads_) {
-    if (t.joinable()) {
-      t.join();
+  // 2. Drain: every admitted request finishes and writes its reply. The
+  // deadline covers the pathological case of a worker stuck mid-frame on a
+  // stalled client; the shutdown below unblocks it.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_timeout_ms),
+                         [this]() { return ready_.empty() && in_flight_ == 0; });
+    workers_stop_ = true;
+    for (int fd : conns_) {
+      ::shutdown(fd, SHUT_RDWR);
     }
   }
+  ready_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conns_) {
+      ::close(fd);
+    }
+    conns_.clear();
+    idle_.clear();
+  }
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
 }
 
 TcpTransport::~TcpTransport() {

@@ -1,15 +1,21 @@
 // TCP realization of the RPC protocol: [u32 length][frame] in both
-// directions over a persistent connection. The server accepts connections
-// on a background thread and serves each on its own thread, mirroring the
-// multi-threaded communication modules of §4.6.
+// directions over persistent connections. The server multiplexes all
+// connections through one poll()-based readiness thread and a shared pool
+// of request workers (the multi-threaded communication module of §4.6) —
+// a thousand idle clients cost a thousand fds, not a thousand threads.
+// Stop() drains gracefully: requests already being served complete and
+// their replies are written before the connections are cut.
 #ifndef CDSTORE_SRC_NET_TCP_H_
 #define CDSTORE_SRC_NET_TCP_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "src/net/transport.h"
@@ -17,29 +23,64 @@
 
 namespace cdstore {
 
+struct TcpServerOptions {
+  // Shared request-worker pool size. Also the bound on concurrently served
+  // requests; further readable connections queue for a free worker.
+  int num_workers = 4;
+  // How long Stop() waits for in-flight requests to finish before cutting
+  // the remaining connections loose.
+  int drain_timeout_ms = 5000;
+  // Per-recv/send timeout on server connections. Bounds how long a worker
+  // can be pinned by a client that stalls mid-frame (each syscall that
+  // makes progress restarts the clock, so slow links stay served).
+  // 0 disables.
+  int io_timeout_ms = 30000;
+};
+
 class TcpServer {
  public:
   ~TcpServer();
 
-  // Binds to 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
-  static Result<std::unique_ptr<TcpServer>> Listen(int port, RpcHandler handler);
+  // Binds to 127.0.0.1:`port` (0 = ephemeral) and starts accepting,
+  // dispatching each request frame through Dispatch(*service, ...).
+  // `service` is borrowed and must outlive the server.
+  static Result<std::unique_ptr<TcpServer>> Listen(int port, ServerService* service,
+                                                   TcpServerOptions options = {});
+  // Raw-frame variant for custom handlers (tests, proxies).
+  static Result<std::unique_ptr<TcpServer>> Listen(int port, RpcHandler handler,
+                                                   TcpServerOptions options = {});
 
   int port() const { return port_; }
+
+  // Graceful shutdown: stops accepting, lets admitted requests finish and
+  // reply, then closes every connection and joins the pool. Idempotent.
   void Stop();
 
  private:
-  TcpServer(int fd, int port, RpcHandler handler);
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  TcpServer(int fd, int port, RpcHandler handler, TcpServerOptions options);
+
+  void PollLoop();
+  void WorkerLoop();
+  void WakePoller();
 
   int listen_fd_;
   int port_;
   RpcHandler handler_;
+  TcpServerOptions opts_;
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;  // open connections; shut down on Stop()
+  int wake_pipe_[2] = {-1, -1};  // poller wakeup (worker re-arms, Stop)
+
+  std::mutex mu_;
+  std::unordered_set<int> idle_;   // connections in the poll set
+  std::deque<int> ready_;          // readable connections awaiting a worker
+  std::unordered_set<int> conns_;  // every live connection; cut on Stop()
+  int in_flight_ = 0;           // requests admitted to the pool, not yet done
+  bool workers_stop_ = false;
+  std::condition_variable ready_cv_;    // work available / shutdown
+  std::condition_variable drained_cv_;  // in-flight count reached zero
+
+  std::thread poll_thread_;
+  std::vector<std::thread> workers_;
 };
 
 class TcpTransport : public Transport {

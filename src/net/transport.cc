@@ -1,5 +1,7 @@
 #include "src/net/transport.h"
 
+#include "src/net/service.h"
+
 namespace cdstore {
 
 InProcTransport::InProcTransport(RpcHandler handler, RateLimiter* uplink, RateLimiter* downlink)
@@ -16,6 +18,14 @@ InProcTransport::InProcTransport(RpcHandler handler, std::vector<RateLimiter*> u
                                  std::vector<RateLimiter*> downlinks)
     : handler_(std::move(handler)), uplinks_(std::move(uplinks)), downlinks_(std::move(downlinks)) {}
 
+InProcTransport::InProcTransport(ServerService* service, RateLimiter* uplink,
+                                 RateLimiter* downlink)
+    : InProcTransport(ServiceHandler(service), uplink, downlink) {}
+
+InProcTransport::InProcTransport(ServerService* service, std::vector<RateLimiter*> uplinks,
+                                 std::vector<RateLimiter*> downlinks)
+    : InProcTransport(ServiceHandler(service), std::move(uplinks), std::move(downlinks)) {}
+
 Result<Bytes> InProcTransport::Call(ConstByteSpan request) {
   if (!connected_) {
     return Status::Unavailable("transport disconnected");
@@ -25,6 +35,12 @@ Result<Bytes> InProcTransport::Call(ConstByteSpan request) {
   }
   bytes_sent_ += request.size();
   Bytes reply = handler_(request);
+  // A disconnect while the server ran means the reply never crossed the
+  // link: fail the call instead of returning a half-charged reply (the
+  // downlink was never traversed, so neither limiters nor counters see it).
+  if (!connected_) {
+    return Status::Unavailable("transport disconnected");
+  }
   for (RateLimiter* l : downlinks_) {
     l->Acquire(reply.size());
   }

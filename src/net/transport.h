@@ -16,7 +16,11 @@
 
 namespace cdstore {
 
+class ServerService;
+
 // Server-side dispatch: full request frame in, full reply frame out.
+// Typed servers implement ServerService (src/net/service.h) instead; this
+// remains the shape transports move frames through.
 using RpcHandler = std::function<Bytes(ConstByteSpan)>;
 
 class Transport {
@@ -36,6 +40,12 @@ class InProcTransport : public Transport {
   explicit InProcTransport(RpcHandler handler, RateLimiter* uplink = nullptr,
                            RateLimiter* downlink = nullptr);
   InProcTransport(RpcHandler handler, std::vector<RateLimiter*> uplinks,
+                  std::vector<RateLimiter*> downlinks);
+  // Typed-service construction: calls go through Dispatch(*service, frame).
+  // `service` is borrowed and must outlive the transport.
+  explicit InProcTransport(ServerService* service, RateLimiter* uplink = nullptr,
+                           RateLimiter* downlink = nullptr);
+  InProcTransport(ServerService* service, std::vector<RateLimiter*> uplinks,
                   std::vector<RateLimiter*> downlinks);
 
   Result<Bytes> Call(ConstByteSpan request) override;

@@ -22,7 +22,7 @@ Result<ConstByteSpan> ContainerBuilder::BlobAt(uint32_t index) const {
   return ConstByteSpan(payload_.data() + offsets_[index], lengths_[index]);
 }
 
-Bytes ContainerBuilder::Seal() {
+Bytes ContainerBuilder::Image() const {
   BufferWriter w(payload_.size() + 16 + 8 * lengths_.size());
   w.PutU32(kContainerMagic);
   w.PutU32(count());
@@ -36,10 +36,13 @@ Bytes ContainerBuilder::Seal() {
   for (int i = 0; i < 4; ++i) {
     image.push_back(static_cast<uint8_t>(crc >> (8 * i)));
   }
+  return image;
+}
+
+void ContainerBuilder::Reset() {
   payload_.clear();
   offsets_.clear();
   lengths_.clear();
-  return image;
 }
 
 Result<ContainerReader> ContainerReader::Parse(Bytes image) {

@@ -35,8 +35,17 @@ class ContainerBuilder {
   // View of an already-added blob (reads from a still-open container).
   Result<ConstByteSpan> BlobAt(uint32_t index) const;
 
+  // Serializes the container image without consuming the builder, so a
+  // caller whose backend write fails can retry the seal later.
+  Bytes Image() const;
+  // Drops the accumulated blobs (after the image reached the backend).
+  void Reset();
   // Serializes the container image and resets the builder.
-  Bytes Seal();
+  Bytes Seal() {
+    Bytes image = Image();
+    Reset();
+    return image;
+  }
 
  private:
   Bytes payload_;

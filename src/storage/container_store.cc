@@ -39,9 +39,13 @@ Status ContainerStore::SealLocked(OpenContainer* open) {
   if (open->builder.empty()) {
     return Status::Ok();
   }
-  Bytes image = open->builder.Seal();
+  // The builder is consumed only once the image is safely at the backend:
+  // a failed Put leaves the container open for a later retry instead of
+  // silently dropping its blobs.
+  Bytes image = open->builder.Image();
   std::string name = ContainerObjectName(opts_.kind_prefix, open->id);
   RETURN_IF_ERROR(backend_->Put(name, image));
+  open->builder.Reset();
   cache_.Insert(open->id, 0, std::move(image));
   ++sealed_count_;
   return Status::Ok();
@@ -49,12 +53,22 @@ Status ContainerStore::SealLocked(OpenContainer* open) {
 
 Status ContainerStore::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [user, open] : open_) {
-    RETURN_IF_ERROR(SealLocked(&open));
-    open.id = next_id_++;
+  // Attempt every user's seal even after a failure; a container whose seal
+  // failed stays open so a later flush can retry it, and the first error is
+  // reported instead of silently dropped.
+  Status first;
+  for (auto it = open_.begin(); it != open_.end();) {
+    Status st = SealLocked(&it->second);
+    if (st.ok()) {
+      it = open_.erase(it);
+    } else {
+      if (first.ok()) {
+        first = st;
+      }
+      ++it;
+    }
   }
-  open_.clear();
-  return Status::Ok();
+  return first;
 }
 
 Status ContainerStore::FlushUser(uint64_t user) {

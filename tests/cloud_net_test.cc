@@ -181,6 +181,28 @@ TEST(InProcTransportTest, DisconnectedFails) {
   EXPECT_TRUE(t.Call(BytesOf("x")).ok());
 }
 
+TEST(InProcTransportTest, DisconnectDuringCallFails) {
+  // A disconnect while the server is handling the request (the cloud VM
+  // vanished mid-call) must fail the call — never return a reply whose
+  // downlink was skipped.
+  InProcTransport* self = nullptr;
+  bool drop_once = true;
+  InProcTransport t([&](ConstByteSpan req) {
+    if (drop_once) {
+      drop_once = false;
+      self->set_connected(false);
+    }
+    return Bytes(req.begin(), req.end());
+  });
+  self = &t;
+  auto reply = t.Call(BytesOf("abc"));
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(t.bytes_sent(), 3u);      // the request did go out
+  EXPECT_EQ(t.bytes_received(), 0u);  // the reply never made it back
+  t.set_connected(true);
+  EXPECT_TRUE(t.Call(BytesOf("abc")).ok());
+}
+
 TEST(InProcTransportTest, ChargesLinkBandwidth) {
   RateLimiter up(1024 * 1024);    // 1 MB/s
   RateLimiter down(2 * 1024 * 1024);
