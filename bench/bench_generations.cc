@@ -1,0 +1,277 @@
+// Weekly backup-generation workload end to end (the system the paper
+// actually measures, §5.2/§5.6): a synthetic FSL-like home directory is
+// snapshotted weekly into ONE path of the versioned namespace, so every
+// layer the versioning subsystem added gets exercised with real numbers —
+//
+//   1. per-generation dedup ratio (logical bytes / unique bytes, exact
+//      from the server's first-reference accounting via ListVersions),
+//   2. retention-driven pruning (ApplyRetention keep-last-K) followed by
+//      GC, with reclamation measured in backend bytes,
+//   3. restore-latest latency over simulated WAN links.
+//
+// Emits one `BENCH_JSON {...}` line per measurement; the
+// generation_series_summary line's dedup_ratio feeds examples/cost_explorer
+// --bench-json, replacing the §5.6 assumption with a measurement.
+//
+// Flags: --weeks=8 --scale=2 --keep=2 --uplink_mbps=24 --latency_ms=2
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/client.h"
+#include "src/core/server.h"
+#include "src/net/transport.h"
+#include "src/storage/backend.h"
+#include "src/trace/synthetic.h"
+#include "src/util/fs_util.h"
+#include "src/util/stats.h"
+
+namespace cdstore {
+namespace {
+
+constexpr int kN = 4;
+constexpr int kK = 3;
+constexpr uint64_t kWeekMs = 7ull * 24 * 3600 * 1000;
+
+// A transport that charges each call per-cloud WAN time: fixed latency plus
+// request/reply serialization at the link rate (reply time matters for the
+// restore measurement).
+class DelayTransport : public Transport {
+ public:
+  DelayTransport(RpcHandler handler, double latency_s, double bytes_per_s)
+      : handler_(std::move(handler)), latency_s_(latency_s), bytes_per_s_(bytes_per_s) {}
+
+  Result<Bytes> Call(ConstByteSpan request) override {
+    double secs = latency_s_;
+    if (bytes_per_s_ > 0) {
+      secs += static_cast<double>(request.size()) / bytes_per_s_;
+    }
+    if (secs > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+    }
+    Bytes reply = handler_(request);
+    if (bytes_per_s_ > 0 && !reply.empty()) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          static_cast<double>(reply.size()) / bytes_per_s_));
+    }
+    return reply;
+  }
+
+ private:
+  RpcHandler handler_;
+  double latency_s_;
+  double bytes_per_s_;
+};
+
+struct Deployment {
+  TempDir dir;
+  std::vector<std::unique_ptr<MemBackend>> backends;
+  std::vector<std::unique_ptr<CdstoreServer>> servers;
+  std::vector<std::unique_ptr<DelayTransport>> transports;
+  std::vector<Transport*> ptrs;
+
+  uint64_t TotalBackendBytes() const {
+    uint64_t total = 0;
+    for (const auto& b : backends) {
+      total += b->total_bytes();
+    }
+    return total;
+  }
+};
+
+std::unique_ptr<Deployment> MakeDeployment(double latency_s, double bytes_per_s) {
+  auto d = std::make_unique<Deployment>();
+  for (int i = 0; i < kN; ++i) {
+    d->backends.push_back(std::make_unique<MemBackend>());
+    ServerOptions so;
+    so.index_dir = d->dir.Sub("server" + std::to_string(i));
+    so.container_capacity = 1 << 20;  // small containers: visible GC action
+    auto server = CdstoreServer::Create(d->backends.back().get(), so);
+    if (!server.ok()) {
+      std::fprintf(stderr, "server setup failed: %s\n", server.status().ToString().c_str());
+      std::exit(1);
+    }
+    d->servers.push_back(std::move(server.value()));
+    d->transports.push_back(std::make_unique<DelayTransport>(d->servers.back()->AsHandler(),
+                                                             latency_s, bytes_per_s));
+    d->ptrs.push_back(d->transports.back().get());
+  }
+  return d;
+}
+
+}  // namespace
+}  // namespace cdstore
+
+int main(int argc, char** argv) {
+  using namespace cdstore;
+  const int weeks = static_cast<int>(FlagValue(argc, argv, "weeks", 8));
+  const double scale = FlagValue(argc, argv, "scale", 2);
+  const uint32_t keep = static_cast<uint32_t>(FlagValue(argc, argv, "keep", 2));
+  const double uplink_mbps = FlagValue(argc, argv, "uplink_mbps", 24);
+  const double latency_ms = FlagValue(argc, argv, "latency_ms", 2);
+
+  SyntheticDatasetOptions dopts = SyntheticDataset::GenerationSeriesDefaults(scale);
+  dopts.num_weeks = weeks;
+  SyntheticDataset dataset(dopts);
+
+  auto world = MakeDeployment(latency_ms / 1e3, uplink_mbps * 1e6);
+  ClientOptions copts;
+  copts.n = kN;
+  copts.k = kK;
+  CdstoreClient client(world->ptrs, /*user=*/1, copts);
+  const std::string path = "/fsl/home";
+
+  PrintHeader("Weekly generation series (FSL-shaped churn, versioned namespace)");
+  std::printf("(n,k)=(%d,%d), %d weeks x ~%s/user, %.0fms/call, %.0fMB/s per cloud, "
+              "retention keep-last-%u\n",
+              kN, kK, weeks, FormatSize(dataset.FileSize(0, 0)).c_str(), latency_ms,
+              uplink_mbps, keep);
+  std::printf("%-6s %-12s %-12s %-10s %-12s\n", "week", "logical", "unique", "dedup", "MB/s");
+
+  // 1. Upload the weekly series as generations of one path, all through
+  // one warm session.
+  auto session = client.OpenBackupSession();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> upload_mibps(weeks, 0);
+  for (int w = 0; w < weeks; ++w) {
+    Bytes data = dataset.FileFor(0, w);
+    UploadFileOptions fopts;
+    fopts.mode = PutFileMode::kNewGeneration;
+    fopts.timestamp_ms = static_cast<uint64_t>(w + 1) * kWeekMs;
+    Stopwatch watch;
+    UploadStats stats;
+    if (Status st = session.value()->Upload(path, data, &stats, fopts); !st.ok()) {
+      std::fprintf(stderr, "week %d upload failed: %s\n", w, st.ToString().c_str());
+      return 1;
+    }
+    upload_mibps[w] = ToMiBps(data.size(), watch.ElapsedSeconds());
+  }
+  (void)session.value()->Close();
+
+  // 2. Per-generation dedup from the server's exact unique-bytes
+  // accounting (cloud 0's view; all clouds agree up to share-size
+  // constants).
+  auto versions = client.ListVersions(path);
+  if (!versions.ok()) {
+    std::fprintf(stderr, "ListVersions failed: %s\n", versions.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t total_logical = 0;
+  uint64_t total_unique = 0;
+  for (size_t i = 0; i < versions.value().size(); ++i) {
+    const VersionInfo& v = versions.value()[i];
+    total_logical += v.logical_bytes;
+    total_unique += v.unique_bytes;
+    // unique_bytes are ONE cloud's share bytes; a share is ~1/k of its
+    // secret, so unique*k is the logical data this generation newly
+    // stored. logical / (unique*k) is then the dedup ratio in the same
+    // "logical shares / physical shares" terms the §5.6 model uses.
+    double gen_dedup = v.unique_bytes == 0
+                           ? 0.0
+                           : static_cast<double>(v.logical_bytes) /
+                                 (static_cast<double>(v.unique_bytes) * kK);
+    std::printf("%-6llu %-12s %-12s %-10.1f %-12.1f\n",
+                static_cast<unsigned long long>(v.generation_id),
+                FormatSize(v.logical_bytes).c_str(), FormatSize(v.unique_bytes).c_str(),
+                gen_dedup, upload_mibps[i]);
+    std::printf("BENCH_JSON {\"bench\":\"generation_series\",\"week\":%zu,"
+                "\"generation\":%llu,\"logical_bytes\":%llu,\"unique_share_bytes\":%llu,"
+                "\"gen_dedup\":%.3f,\"upload_mibps\":%.2f}\n",
+                i, static_cast<unsigned long long>(v.generation_id),
+                static_cast<unsigned long long>(v.logical_bytes),
+                static_cast<unsigned long long>(v.unique_bytes), gen_dedup, upload_mibps[i]);
+  }
+
+  // 3. Restore-latest latency over the simulated links.
+  double restore_s = 0;
+  uint64_t restored_bytes = 0;
+  {
+    Bytes out;
+    BufferByteSink sink(&out);
+    Stopwatch watch;
+    if (Status st = client.Download(path, sink); !st.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    restore_s = watch.ElapsedSeconds();
+    restored_bytes = out.size();
+    Bytes expect = dataset.FileFor(0, weeks - 1);
+    if (out != expect) {
+      std::fprintf(stderr, "restore-latest mismatch\n");
+      return 1;
+    }
+  }
+  std::printf("restore latest: %s in %.3fs (%.1f MB/s)\n", FormatSize(restored_bytes).c_str(),
+              restore_s, ToMiBps(restored_bytes, restore_s));
+  std::printf("BENCH_JSON {\"bench\":\"generation_restore_latest\",\"bytes\":%llu,"
+              "\"seconds\":%.4f,\"mibps\":%.2f}\n",
+              static_cast<unsigned long long>(restored_bytes), restore_s,
+              ToMiBps(restored_bytes, restore_s));
+
+  // 4. Retention-driven pruning + GC, reclamation asserted in backend
+  // bytes (the quantity a cloud bill is made of). Seal open containers
+  // first so "before" counts every stored share.
+  for (int i = 0; i < kN; ++i) {
+    if (Status st = world->servers[i]->Flush(); !st.ok()) {
+      std::fprintf(stderr, "flush failed on cloud %d: %s\n", i, st.ToString().c_str());
+      return 1;
+    }
+  }
+  uint64_t before = world->TotalBackendBytes();
+  RetentionPolicy policy;
+  policy.keep_last_n = keep;
+  auto pruned = client.ApplyRetention(path, policy);
+  if (!pruned.ok()) {
+    std::fprintf(stderr, "ApplyRetention failed: %s\n", pruned.status().ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < kN; ++i) {
+    auto gc = world->servers[i]->CollectGarbage();
+    if (!gc.ok()) {
+      std::fprintf(stderr, "gc failed on cloud %d: %s\n", i, gc.status().ToString().c_str());
+      return 1;
+    }
+  }
+  uint64_t after = world->TotalBackendBytes();
+  uint64_t reclaimed = before > after ? before - after : 0;
+  std::printf("prune keep-last-%u: %u generations dropped, %s logical; GC reclaimed %s "
+              "backend bytes (%s -> %s)\n",
+              keep, pruned.value().generations_deleted,
+              FormatSize(pruned.value().logical_bytes_deleted).c_str(),
+              FormatSize(reclaimed).c_str(), FormatSize(before).c_str(),
+              FormatSize(after).c_str());
+  std::printf("BENCH_JSON {\"bench\":\"generation_prune\",\"keep_last\":%u,"
+              "\"generations_deleted\":%u,\"logical_bytes_deleted\":%llu,"
+              "\"backend_bytes_before\":%llu,\"backend_bytes_after\":%llu,"
+              "\"reclaimed_bytes\":%llu}\n",
+              keep, pruned.value().generations_deleted,
+              static_cast<unsigned long long>(pruned.value().logical_bytes_deleted),
+              static_cast<unsigned long long>(before), static_cast<unsigned long long>(after),
+              static_cast<unsigned long long>(reclaimed));
+
+  // 5. Series-wide dedup ratio in the cost model's terms: logical data
+  // divided by the physical data attributable to it (per-cloud unique
+  // share bytes × k converts shares back to logical-sized units).
+  double dedup_ratio = total_unique == 0
+                           ? 0.0
+                           : static_cast<double>(total_logical) /
+                                 (static_cast<double>(total_unique) * kK);
+  std::printf("series dedup ratio (logical / physical-normalized): %.1fx over %d weeks\n",
+              dedup_ratio, weeks);
+  std::printf("BENCH_JSON {\"bench\":\"generation_series_summary\",\"weeks\":%d,"
+              "\"total_logical_bytes\":%llu,\"total_unique_share_bytes\":%llu,"
+              "\"dedup_ratio\":%.3f,\"restore_latest_mibps\":%.2f,"
+              "\"reclaimed_bytes\":%llu}\n",
+              weeks, static_cast<unsigned long long>(total_logical),
+              static_cast<unsigned long long>(total_unique), dedup_ratio,
+              ToMiBps(restored_bytes, restore_s),
+              static_cast<unsigned long long>(reclaimed));
+  return 0;
+}

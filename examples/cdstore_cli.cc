@@ -1,24 +1,32 @@
 // cdstore_cli: a minimal operational CLI for a local CDStore deployment —
 // four cloud directories on disk, real files in and out. State persists
-// across invocations, so this behaves like a tiny backup tool. Backups of
-// several files share one BackupSession (the encode workers and per-cloud
-// uploaders persist across files) and restores stream straight to disk
-// through a FileByteSink, so neither direction holds a whole file's shares
-// in memory.
+// across invocations, so this behaves like a tiny *versioned* backup tool:
+// re-backing-up a path appends a new generation (a weekly snapshot in the
+// paper's workloads), old generations stay restorable, and retention-driven
+// pruning plus GC reclaims their space. Backups of several files share one
+// BackupSession (the encode workers and per-cloud uploaders persist across
+// files) and restores stream straight to disk through a FileByteSink.
 //
-//   cdstore_cli <state_dir> backup  <file>... [--user=N]
-//   cdstore_cli <state_dir> restore <file> <output_path> [--user=N]
-//   cdstore_cli <state_dir> delete  <file> [--user=N]
+//   cdstore_cli <state_dir> backup   <file>... [--user=N]
+//   cdstore_cli <state_dir> restore  <file> <output_path> [--gen=G] [--user=N]
+//   cdstore_cli <state_dir> versions <file> [--user=N]
+//   cdstore_cli <state_dir> prune    <file> --keep=N [--within-weeks=W] [--user=N]
+//   cdstore_cli <state_dir> rm       <file> [--user=N]      (drops every generation)
 //   cdstore_cli <state_dir> stats
 //   cdstore_cli <state_dir> gc
 //
 // Example:
 //   ./examples/cdstore_cli /tmp/cd backup  /etc/hosts /etc/passwd
-//   ./examples/cdstore_cli /tmp/cd restore /etc/hosts /tmp/hosts.restored
-//   diff /etc/hosts /tmp/hosts.restored
+//   ./examples/cdstore_cli /tmp/cd backup  /etc/hosts       # generation 2
+//   ./examples/cdstore_cli /tmp/cd versions /etc/hosts
+//   ./examples/cdstore_cli /tmp/cd restore /etc/hosts /tmp/hosts.v1 --gen=1
+//   ./examples/cdstore_cli /tmp/cd prune   /etc/hosts --keep=1
+//   ./examples/cdstore_cli /tmp/cd gc
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -35,6 +43,7 @@ using namespace cdstore;
 namespace {
 
 constexpr int kN = 4;
+constexpr uint64_t kWeekMs = 7ull * 24 * 3600 * 1000;
 
 struct Deployment {
   std::vector<std::unique_ptr<LocalDirBackend>> backends;
@@ -71,32 +80,48 @@ bool OpenDeployment(const std::string& state_dir, Deployment* d) {
 int Usage() {
   std::fprintf(stderr,
                "usage: cdstore_cli <state_dir> backup <file>... [--user=N]\n"
-               "       cdstore_cli <state_dir> restore <file> <out_path> [--user=N]\n"
-               "       cdstore_cli <state_dir> delete <file> [--user=N]\n"
+               "       cdstore_cli <state_dir> restore <file> <out_path> [--gen=G] [--user=N]\n"
+               "       cdstore_cli <state_dir> versions <file> [--user=N]\n"
+               "       cdstore_cli <state_dir> prune <file> --keep=N [--within-weeks=W] "
+               "[--user=N]\n"
+               "       cdstore_cli <state_dir> rm <file> [--user=N]\n"
                "       cdstore_cli <state_dir> stats\n"
                "       cdstore_cli <state_dir> gc\n");
   return 2;
 }
 
-// Strips a trailing --user=N argument; defaults to user 1.
-UserId ParseUser(int* argc, char** argv) {
-  if (*argc > 3 && std::strncmp(argv[*argc - 1], "--user=", 7) == 0) {
-    UserId user = std::strtoull(argv[*argc - 1] + 7, nullptr, 10);
-    --*argc;
-    return user;
+// Strips every trailing "--name=value" flag off argv and returns the value
+// of the requested one (or `fallback`). Flags may appear in any order after
+// the positional arguments.
+uint64_t TakeFlag(int* argc, char** argv, const char* name, uint64_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  uint64_t value = fallback;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
   }
-  return 1;
+  *argc = out;
+  return value;
 }
+
+uint64_t NowMs() { return static_cast<uint64_t>(std::time(nullptr)) * 1000ull; }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  UserId user = TakeFlag(&argc, argv, "user", 1);
+  uint64_t gen = TakeFlag(&argc, argv, "gen", 0);
+  uint64_t keep = TakeFlag(&argc, argv, "keep", 0);
+  uint64_t within_weeks = TakeFlag(&argc, argv, "within-weeks", 0);
   if (argc < 3) {
     return Usage();
   }
   std::string state_dir = argv[1];
   std::string cmd = argv[2];
-  UserId user = ParseUser(&argc, argv);
   Deployment d;
   if (!OpenDeployment(state_dir, &d)) {
     return 1;
@@ -104,13 +129,17 @@ int main(int argc, char** argv) {
 
   if (cmd == "backup" && argc >= 4) {
     // All files share one session: encode workers and per-cloud uploader
-    // threads are set up once, files stream through one after another.
+    // threads are set up once, files stream through one after another. A
+    // re-backup of an existing path appends a new generation.
     CdstoreClient client(d.ptrs, user, ClientOptions{});
     auto session = client.OpenBackupSession();
     if (!session.ok()) {
       std::fprintf(stderr, "session failed: %s\n", session.status().ToString().c_str());
       return 1;
     }
+    UploadFileOptions fopts;
+    fopts.mode = PutFileMode::kNewGeneration;
+    fopts.timestamp_ms = NowMs();
     for (int a = 3; a < argc; ++a) {
       auto data = ReadFileBytes(argv[a]);
       if (!data.ok()) {
@@ -118,7 +147,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       UploadStats stats;
-      Status st = session.value()->Upload(argv[a], data.value(), &stats);
+      Status st = session.value()->Upload(argv[a], data.value(), &stats, fopts);
       if (!st.ok()) {
         std::fprintf(stderr, "backup failed: %s\n", st.ToString().c_str());
         return 1;
@@ -127,9 +156,10 @@ int main(int argc, char** argv) {
                           ? 0.0
                           : 100.0 * (1.0 - static_cast<double>(stats.transferred_share_bytes) /
                                                static_cast<double>(stats.logical_share_bytes));
-      std::printf("backed up %s: %s in %zu secrets across %d clouds; transferred %s "
-                  "(dedup saved %.1f%%)\n",
-                  argv[a], FormatSize(stats.logical_bytes).c_str(),
+      std::printf("backed up %s as generation %llu: %s in %zu secrets across %d clouds; "
+                  "transferred %s (dedup saved %.1f%%)\n",
+                  argv[a], static_cast<unsigned long long>(stats.generation_id),
+                  FormatSize(stats.logical_bytes).c_str(),
                   static_cast<size_t>(stats.num_secrets), kN,
                   FormatSize(stats.transferred_share_bytes).c_str(), saving);
     }
@@ -155,7 +185,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     DownloadStats stats;
-    Status st = client.Download(argv[3], *sink.value(), &stats);
+    Status st = client.Download(argv[3], *sink.value(), &stats, gen);
     if (st.ok()) {
       st = sink.value()->Close();
     }
@@ -168,8 +198,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "rename %s -> %s failed\n", tmp_path.c_str(), out_path.c_str());
       return 1;
     }
-    std::printf("restored %s -> %s (%s from clouds", argv[3], out_path.c_str(),
-                FormatSize(sink.value()->bytes_written()).c_str());
+    std::printf("restored %s%s -> %s (%s from clouds", argv[3],
+                gen == 0 ? " (latest)" : (" gen " + std::to_string(gen)).c_str(),
+                out_path.c_str(), FormatSize(sink.value()->bytes_written()).c_str());
     for (int c : stats.clouds_used) {
       std::printf(" %d", c);
     }
@@ -177,12 +208,67 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (cmd == "delete" && argc >= 4) {
+  if (cmd == "versions" && argc >= 4) {
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    auto versions = client.ListVersions(argv[3]);
+    if (!versions.ok()) {
+      std::fprintf(stderr, "versions failed: %s\n", versions.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6s %-12s %-12s %-10s %s\n", "gen", "logical", "unique", "secrets",
+                "timestamp_ms");
+    for (const VersionInfo& v : versions.value()) {
+      std::printf("%-6llu %-12s %-12s %-10llu %llu\n",
+                  static_cast<unsigned long long>(v.generation_id),
+                  FormatSize(v.logical_bytes).c_str(), FormatSize(v.unique_bytes).c_str(),
+                  static_cast<unsigned long long>(v.num_secrets),
+                  static_cast<unsigned long long>(v.timestamp_ms));
+    }
+    return 0;
+  }
+
+  if (cmd == "prune" && argc >= 4) {
+    if (keep == 0 && within_weeks == 0) {
+      std::fprintf(stderr, "prune needs --keep=N and/or --within-weeks=W\n");
+      return 2;
+    }
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    RetentionPolicy policy;
+    // Clamp rather than truncate: a --keep above 2^32 must not wrap to a
+    // "no count rule" zero.
+    policy.keep_last_n =
+        keep > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(keep);
+    // Saturate rather than wrap for absurdly large windows.
+    policy.keep_within_ms = within_weeks > UINT64_MAX / kWeekMs ? UINT64_MAX
+                                                                : within_weeks * kWeekMs;
+    policy.now_ms = NowMs();
+    auto reply = client.ApplyRetention(argv[3], policy);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "prune failed: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("pruned %u generation(s) of %s (%s logical, %u shares orphaned):",
+                reply.value().generations_deleted, argv[3],
+                FormatSize(reply.value().logical_bytes_deleted).c_str(),
+                reply.value().shares_orphaned);
+    for (uint64_t id : reply.value().deleted_generations) {
+      std::printf(" %llu", static_cast<unsigned long long>(id));
+    }
+    std::printf("\nrun 'gc' to reclaim container space\n");
+    return 0;
+  }
+
+  if ((cmd == "rm" || cmd == "delete") && argc >= 4) {
+    // The DeleteFile RPC end to end: every generation's references are
+    // dropped on every cloud; a never-backed-up path is a clean NotFound.
     CdstoreClient client(d.ptrs, user, ClientOptions{});
     Status st = client.DeleteFile(argv[3]);
-    std::printf("delete %s: %s (run 'gc' to reclaim space)\n", argv[3],
-                st.ToString().c_str());
-    return st.ok() ? 0 : 1;
+    if (!st.ok()) {
+      std::fprintf(stderr, "rm %s failed: %s\n", argv[3], st.ToString().c_str());
+      return 1;
+    }
+    std::printf("rm %s: ok (run 'gc' to reclaim space)\n", argv[3]);
+    return 0;
   }
 
   if (cmd == "stats") {
@@ -202,17 +288,23 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "gc") {
+    // Drives the Gc RPC over the transports (the same frames a remote
+    // operator tool would send), not the in-process CollectGarbage call.
     for (int i = 0; i < kN; ++i) {
-      auto stats = d.servers[i]->CollectGarbage();
-      if (!stats.ok()) {
-        std::fprintf(stderr, "gc on cloud %d failed: %s\n", i,
-                     stats.status().ToString().c_str());
+      auto frame = d.ptrs[i]->Call(Encode(GcRequest{}));
+      Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+      GcReply reply;
+      if (st.ok()) {
+        st = Decode(frame.value(), &reply);
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "gc on cloud %d failed: %s\n", i, st.ToString().c_str());
         return 1;
       }
       std::printf("cloud %d: scanned %llu containers, rewrote %llu, reclaimed %s\n", i,
-                  static_cast<unsigned long long>(stats.value().containers_scanned),
-                  static_cast<unsigned long long>(stats.value().containers_rewritten),
-                  FormatSize(stats.value().bytes_reclaimed).c_str());
+                  static_cast<unsigned long long>(reply.containers_scanned),
+                  static_cast<unsigned long long>(reply.containers_rewritten),
+                  FormatSize(reply.bytes_reclaimed).c_str());
     }
     return 0;
   }

@@ -2,26 +2,99 @@
 // organization's parameters on the command line and get the monthly bill
 // of CDStore vs the two baselines under Sept-2014 AWS pricing.
 //
+// The dedup ratio can come from a MEASUREMENT instead of an assumption:
+// point --bench-json at a file holding bench_generations output (its
+// BENCH_JSON lines) and the generation_series_summary's measured
+// logical/unique ratio replaces the default.
+//
 //   ./examples/cost_explorer [weekly_tb] [dedup_ratio] [retention_weeks]
 //   ./examples/cost_explorer 16 10 26
+//   ./build/bench_generations > /tmp/gen.json
+//   ./examples/cost_explorer 16 --bench-json=/tmp/gen.json
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "src/cost/cost_model.h"
 
 using namespace cdstore;
 
+namespace {
+
+// Pulls `"key":<number>` out of a BENCH_JSON line (the benches emit flat
+// one-line objects; no JSON library needed for that).
+bool ExtractNumber(const std::string& line, const std::string& key, double* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  *out = std::atof(line.c_str() + pos + needle.size());
+  return true;
+}
+
+// Scans a bench output file for the generation-series summary and returns
+// its measured dedup ratio (logical bytes / unique bytes across the whole
+// generation series), or 0 when absent.
+double MeasuredDedupRatio(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 0;
+  }
+  std::string line;
+  double ratio = 0;
+  while (std::getline(in, line)) {
+    if (line.find("BENCH_JSON") == std::string::npos ||
+        line.find("\"bench\":\"generation_series_summary\"") == std::string::npos) {
+      continue;
+    }
+    double v = 0;
+    if (ExtractNumber(line, "dedup_ratio", &v) && v > 0) {
+      ratio = v;  // last summary wins (reruns append)
+    }
+  }
+  return ratio;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CostScenario s;
-  if (argc > 1) s.weekly_backup_tb = std::atof(argv[1]);
-  if (argc > 2) s.dedup_ratio = std::atof(argv[2]);
-  if (argc > 3) s.retention_weeks = std::atoi(argv[3]);
+  std::string bench_json;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      bench_json = argv[i] + 13;
+      continue;
+    }
+    ++positional;
+    if (positional == 1) s.weekly_backup_tb = std::atof(argv[i]);
+    if (positional == 2) s.dedup_ratio = std::atof(argv[i]);
+    if (positional == 3) s.retention_weeks = std::atoi(argv[i]);
+  }
+  bool measured = false;
+  if (!bench_json.empty()) {
+    double ratio = MeasuredDedupRatio(bench_json);
+    if (ratio > 0) {
+      s.dedup_ratio = ratio;
+      measured = true;
+    } else {
+      std::fprintf(stderr, "no generation_series_summary with dedup_ratio in %s; "
+                           "using %.0fx\n",
+                   bench_json.c_str(), s.dedup_ratio);
+    }
+  }
 
   std::printf("CDStore cost explorer (Sept 2014 AWS pricing)\n");
   std::printf("==============================================\n");
-  std::printf("weekly backup: %.2f TB   dedup ratio: %.0fx   retention: %d weeks   "
+  std::printf("weekly backup: %.2f TB   dedup ratio: %.1fx%s   retention: %d weeks   "
               "(n,k)=(%d,%d)\n\n",
-              s.weekly_backup_tb, s.dedup_ratio, s.retention_weeks, s.n, s.k);
+              s.weekly_backup_tb, s.dedup_ratio,
+              measured ? " (measured by bench_generations)" : " (assumed)",
+              s.retention_weeks, s.n, s.k);
   std::printf("logical data under retention: %.1f TB\n\n",
               s.weekly_backup_tb * s.retention_weeks);
 

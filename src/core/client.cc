@@ -36,6 +36,9 @@ CloudDownloadStats& CloudSlot(DownloadStats* stats, int cloud) {
 
 void MergeUploadStats(UploadStats* into, const UploadStats& from) {
   into->logical_bytes += from.logical_bytes;
+  if (from.generation_id != 0) {
+    into->generation_id = from.generation_id;  // latest file's binding
+  }
   into->num_secrets += from.num_secrets;
   into->logical_share_bytes += from.logical_share_bytes;
   into->transferred_share_bytes += from.transferred_share_bytes;
@@ -47,6 +50,24 @@ void MergeUploadStats(UploadStats* into, const UploadStats& from) {
     slot.intra_duplicate_shares += from.per_cloud[c].intra_duplicate_shares;
     slot.rpcs += from.per_cloud[c].rpcs;
   }
+}
+
+// Every cloud must have bound the committed recipe to the SAME generation
+// id: a retry after a partially failed upload can desynchronize per-cloud
+// id allocation, and surfacing that when it is created beats a
+// mixed-snapshot restore failing later. RepairFile realigns a skewed cloud.
+Status CheckGenerationLockstep(const std::vector<int>& clouds,
+                               const std::vector<uint64_t>& bound_gens) {
+  for (size_t i = 1; i < bound_gens.size(); ++i) {
+    if (bound_gens[i] != bound_gens[0]) {
+      return Status::Corruption(
+          "generation id skew across clouds: cloud " + std::to_string(clouds[0]) +
+          " committed generation " + std::to_string(bound_gens[0]) + " but cloud " +
+          std::to_string(clouds[i]) + " committed " + std::to_string(bound_gens[i]) +
+          "; repair the lagging cloud");
+    }
+  }
+  return Status::Ok();
 }
 
 // Depth of the encode -> uploader broadcast pool: ~4x stream_batch_bytes of
@@ -119,16 +140,21 @@ void BackupSession::UploaderLoop(size_t lane) {
     UploadWriter* w = *writer;
     int cloud = clouds_[lane];
     Status st = client_->StreamUploadToCloud(cloud, static_cast<int>(lane),
-                                             w->path_keys_[cloud], &w->file_size_, &w->pool_,
-                                             &w->abort_, &w->file_stats_, &w->stats_mu_);
+                                             w->path_keys_[cloud], &w->file_size_,
+                                             &w->upload_opts_, &w->pool_, &w->abort_,
+                                             &w->file_stats_, &w->stats_mu_,
+                                             &w->lane_generations_[lane]);
     w->cloud_promises_[lane].set_value(st);
   }
 }
 
 Result<std::unique_ptr<BackupSession::UploadWriter>> BackupSession::OpenUpload(
-    const std::string& path_name) {
+    const std::string& path_name, const UploadFileOptions& options) {
   if (closed_) {
     return Status::FailedPrecondition("OpenUpload on a closed session");
+  }
+  if (options.mode == PutFileMode::kPutGeneration && options.generation_id == 0) {
+    return Status::InvalidArgument("kPutGeneration requires a generation id");
   }
   bool expected = false;
   if (!writer_open_.compare_exchange_strong(expected, true)) {
@@ -142,6 +168,7 @@ Result<std::unique_ptr<BackupSession::UploadWriter>> BackupSession::OpenUpload(
   }
   auto writer =
       std::unique_ptr<UploadWriter>(new UploadWriter(this, std::move(path_keys.value())));
+  writer->upload_opts_ = options;  // before Push: lanes read it afterwards
   for (auto& q : jobs_) {
     q->Push(writer.get());
   }
@@ -149,8 +176,8 @@ Result<std::unique_ptr<BackupSession::UploadWriter>> BackupSession::OpenUpload(
 }
 
 Status BackupSession::Upload(const std::string& path_name, ConstByteSpan data,
-                             UploadStats* stats) {
-  ASSIGN_OR_RETURN(std::unique_ptr<UploadWriter> writer, OpenUpload(path_name));
+                             UploadStats* stats, const UploadFileOptions& options) {
+  ASSIGN_OR_RETURN(std::unique_ptr<UploadWriter> writer, OpenUpload(path_name, options));
   RETURN_IF_ERROR(writer->WritePinned(data));
   return writer->Finish(stats);
 }
@@ -187,6 +214,7 @@ BackupSession::UploadWriter::UploadWriter(BackupSession* session, std::vector<By
             static_cast<int>(session->clouds_.size())),
       path_keys_(std::move(path_keys)) {
   file_stats_.per_cloud.resize(session_->client_->opts_.n);
+  lane_generations_.resize(session_->clouds_.size(), 0);
   cloud_promises_.resize(session_->clouds_.size());
   cloud_results_.reserve(cloud_promises_.size());
   for (auto& p : cloud_promises_) {
@@ -296,6 +324,8 @@ Status BackupSession::UploadWriter::Finish(UploadStats* stats) {
                                            ": " + results[i].message());
     }
   }
+  RETURN_IF_ERROR(CheckGenerationLockstep(session_->clouds_, lane_generations_));
+  file_stats_.generation_id = lane_generations_.empty() ? 0 : lane_generations_[0];
   if (stats != nullptr) {
     file_stats_.logical_bytes = bytes_written_;
     file_stats_.num_secrets = num_secrets_;
@@ -311,15 +341,15 @@ Status BackupSession::UploadWriter::Finish(UploadStats* stats) {
 // ---------------------------------------------------------------- upload --
 
 Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
-                             UploadStats* stats) {
+                             UploadStats* stats, const UploadFileOptions& options) {
   if (!opts_.streaming_upload) {
     ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
-    return UploadBarrier(path_keys, data, stats);
+    return UploadBarrier(path_keys, data, options, stats);
   }
   // Thin wrapper: a one-file session. Chunking, encoding, dedup, transfer,
   // and stats are identical to any other session upload.
   ASSIGN_OR_RETURN(std::unique_ptr<BackupSession> session, OpenBackupSession());
-  Status st = session->Upload(path_name, data, stats);
+  Status st = session->Upload(path_name, data, stats, options);
   Status close = session->Close();
   return st.ok() ? close : st;
 }
@@ -330,9 +360,11 @@ Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
 // settles their dedup status and the unique ones join the transfer batch.
 Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
                                           const uint64_t* file_size,
+                                          const UploadFileOptions* fopts,
                                           BroadcastQueue<CodingPipeline::EncodedSecret>* in,
                                           const std::atomic<bool>* abort_upload,
-                                          UploadStats* stats, std::mutex* stats_mu) {
+                                          UploadStats* stats, std::mutex* stats_mu,
+                                          uint64_t* bound_generation) {
   Transport* t = transports_[cloud];
   std::vector<RecipeEntry> recipe;
   std::unordered_set<Fingerprint, FingerprintHash> in_flight;
@@ -501,13 +533,20 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     put.user = user_;
     put.path_key = path_key;
     put.file_size = *file_size;  // written by the writer before pool close
+    put.mode = fopts->mode;
+    put.generation_id = fopts->generation_id;
+    put.timestamp_ms = fopts->timestamp_ms;
     put.recipe = std::move(recipe);
     ++rpcs;
     st = [&]() -> Status {
       ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
       RETURN_IF_ERROR(DecodeIfError(frame));
       PutFileReply put_reply;
-      return Decode(frame, &put_reply);
+      RETURN_IF_ERROR(Decode(frame, &put_reply));
+      if (bound_generation != nullptr) {
+        *bound_generation = put_reply.generation_id;
+      }
+      return Status::Ok();
     }();
   }
   if (!st.ok()) {
@@ -527,9 +566,11 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
 }
 
 Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
+                                    const UploadFileOptions& fopts,
                                     const std::vector<RecipeEntry>& recipe,
                                     const std::vector<const Bytes*>& shares,
-                                    UploadStats* stats, std::mutex* stats_mu) {
+                                    UploadStats* stats, std::mutex* stats_mu,
+                                    uint64_t* bound_generation) {
   Transport* t = transports_[cloud];
   uint64_t rpcs = 0;
 
@@ -599,12 +640,18 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t f
   put.user = user_;
   put.path_key = path_key;
   put.file_size = file_size;
+  put.mode = fopts.mode;
+  put.generation_id = fopts.generation_id;
+  put.timestamp_ms = fopts.timestamp_ms;
   put.recipe = recipe;
   ++rpcs;
   ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
   RETURN_IF_ERROR(DecodeIfError(frame));
   PutFileReply put_reply;
   RETURN_IF_ERROR(Decode(frame, &put_reply));
+  if (bound_generation != nullptr) {
+    *bound_generation = put_reply.generation_id;
+  }
 
   if (stats != nullptr) {
     std::lock_guard<std::mutex> lock(*stats_mu);
@@ -619,7 +666,7 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t f
 }
 
 Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, ConstByteSpan data,
-                                    UploadStats* stats) {
+                                    const UploadFileOptions& fopts, UploadStats* stats) {
   Stopwatch compute_watch;
 
   // 1. Chunking (§4.2).
@@ -660,12 +707,13 @@ Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, ConstBy
   // 4. Upload to all clouds concurrently (§4.6: one thread per cloud).
   std::mutex stats_mu;
   std::vector<Status> results(opts_.n);
+  std::vector<uint64_t> bound_gens(opts_.n, 0);
   std::vector<std::thread> threads;
   threads.reserve(opts_.n);
   for (int i = 0; i < opts_.n; ++i) {
     threads.emplace_back([&, i]() {
-      results[i] = UploadToCloud(i, path_keys[i], data.size(), recipes[i], cloud_shares[i],
-                                 stats, &stats_mu);
+      results[i] = UploadToCloud(i, path_keys[i], data.size(), fopts, recipes[i],
+                                 cloud_shares[i], stats, &stats_mu, &bound_gens[i]);
     });
   }
   for (auto& th : threads) {
@@ -677,15 +725,23 @@ Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, ConstBy
                     "cloud " + std::to_string(i) + ": " + results[i].message());
     }
   }
+  std::vector<int> cloud_ids(opts_.n);
+  std::iota(cloud_ids.begin(), cloud_ids.end(), 0);
+  RETURN_IF_ERROR(CheckGenerationLockstep(cloud_ids, bound_gens));
+  if (stats != nullptr) {
+    stats->generation_id = bound_gens[0];
+  }
   return Status::Ok();
 }
 
 // -------------------------------------------------------------- download --
 
-Result<GetFileReply> CdstoreClient::FetchRecipe(int cloud, const Bytes& path_key) {
+Result<GetFileReply> CdstoreClient::FetchRecipe(int cloud, const Bytes& path_key,
+                                                uint64_t generation) {
   GetFileRequest req;
   req.user = user_;
   req.path_key = path_key;
+  req.generation = generation;
   ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
   RETURN_IF_ERROR(DecodeIfError(frame));
   GetFileReply reply;
@@ -723,8 +779,9 @@ Result<CdstoreClient::FetchedShares> CdstoreClient::FetchShares(
   return out;
 }
 
-Status CdstoreClient::BruteForceSecret(const std::vector<Bytes>& path_keys, size_t s,
-                                       size_t num_secrets, const std::vector<int>& have_ids,
+Status CdstoreClient::BruteForceSecret(const std::vector<Bytes>& path_keys,
+                                       uint64_t generation, size_t s, size_t num_secrets,
+                                       const std::vector<int>& have_ids,
                                        std::vector<Bytes> have_shares, size_t secret_size,
                                        Bytes* out) {
   // Fetch the remaining clouds' copy of this secret's share and brute-force
@@ -736,7 +793,7 @@ Status CdstoreClient::BruteForceSecret(const std::vector<Bytes>& path_keys, size
     if (std::find(all_ids.begin(), all_ids.end(), i) != all_ids.end()) {
       continue;
     }
-    auto recipe = FetchRecipe(i, path_keys[i]);
+    auto recipe = FetchRecipe(i, path_keys[i], generation);
     if (!recipe.ok() || recipe.value().recipe.size() != num_secrets) {
       continue;
     }
@@ -753,18 +810,19 @@ Status CdstoreClient::BruteForceSecret(const std::vector<Bytes>& path_keys, size
 }
 
 Status CdstoreClient::Download(const std::string& path_name, ByteSink& sink,
-                               DownloadStats* stats) {
+                               DownloadStats* stats, uint64_t generation) {
   ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
   if (opts_.pipelined_download) {
-    return DownloadPipelined(path_keys, sink, stats);
+    return DownloadPipelined(path_keys, generation, sink, stats);
   }
-  return DownloadBarrier(path_keys, sink, stats);
+  return DownloadBarrier(path_keys, generation, sink, stats);
 }
 
-Result<Bytes> CdstoreClient::Download(const std::string& path_name, DownloadStats* stats) {
+Result<Bytes> CdstoreClient::Download(const std::string& path_name, DownloadStats* stats,
+                                      uint64_t generation) {
   Bytes data;
   BufferByteSink sink(&data);
-  RETURN_IF_ERROR(Download(path_name, sink, stats));
+  RETURN_IF_ERROR(Download(path_name, sink, stats, generation));
   return data;
 }
 
@@ -774,7 +832,8 @@ Result<Bytes> CdstoreClient::Download(const std::string& path_name, DownloadStat
 // order. A lane whose cloud fails mid-stream recruits a spare cloud (one
 // with a matching recipe) and resumes from the batch that failed, so a
 // flaky cloud degrades the restore instead of aborting it.
-Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, ByteSink& sink,
+Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
+                                        uint64_t generation, ByteSink& sink,
                                         DownloadStats* stats) {
   const int n = opts_.n;
   const size_t k = static_cast<size_t>(opts_.k);
@@ -805,6 +864,7 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, Byt
   std::vector<Lane> lanes;
   uint64_t file_size = 0;
   size_t num_secrets = 0;
+  uint64_t resolved_gen = generation;  // pinned by the first admitted cloud
   bool have_meta = false;
   Status last_error = Status::Unavailable("no cloud reachable");
   auto admit = [&](int c, Result<GetFileReply> reply) {
@@ -815,7 +875,28 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, Byt
     if (!have_meta) {
       file_size = reply.value().file_size;
       num_secrets = reply.value().recipe.size();
+      resolved_gen = reply.value().generation_id;
       have_meta = true;
+    } else if (reply.value().generation_id != resolved_gen) {
+      // This cloud's LATEST differs (e.g. an interrupted backup committed
+      // on only some clouds), but it may still hold the resolved
+      // generation: re-probe with the generation pinned before giving the
+      // cloud up — a restore must not mix snapshots, yet a mere latest
+      // skew must not cost a healthy lane.
+      ++ctx.rpcs[c];
+      reply = FetchRecipe(c, path_keys[c], resolved_gen);
+      if (!reply.ok()) {
+        last_error = reply.status();  // availability, not skew: keep it honest
+        return;
+      }
+      if (reply.value().generation_id != resolved_gen) {
+        last_error = Status::Corruption("generation mismatch across clouds");
+        return;
+      }
+      if (reply.value().recipe.size() != num_secrets) {
+        last_error = Status::Corruption("recipe length mismatch across clouds");
+        return;
+      }
     } else if (reply.value().recipe.size() != num_secrets) {
       last_error = Status::Corruption("recipe length mismatch across clouds");
       return;
@@ -835,8 +916,9 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, Byt
     probes.reserve(first_wave);
     for (int c = 0; c < first_wave; ++c) {
       ++ctx.rpcs[c];
-      probes.push_back(std::async(std::launch::async,
-                                  [this, &path_keys, c] { return FetchRecipe(c, path_keys[c]); }));
+      probes.push_back(std::async(std::launch::async, [this, &path_keys, generation, c] {
+        return FetchRecipe(c, path_keys[c], generation);
+      }));
     }
     ctx.next_candidate = first_wave;
     for (int c = 0; c < first_wave; ++c) {
@@ -846,7 +928,9 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, Byt
   while (lanes.size() < k && ctx.next_candidate < n) {
     int c = ctx.next_candidate++;
     ++ctx.rpcs[c];
-    admit(c, FetchRecipe(c, path_keys[c]));
+    // Replacement probes pin the already-resolved generation explicitly,
+    // so a cloud whose latest differs still serves the right snapshot.
+    admit(c, FetchRecipe(c, path_keys[c], have_meta ? resolved_gen : generation));
   }
   if (lanes.size() < k) {
     return Status(last_error.code(),
@@ -884,8 +968,9 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, Byt
       int c = ctx.next_candidate++;
       ++ctx.rpcs[c];
       lock.unlock();
-      auto reply = FetchRecipe(c, path_keys[c]);
-      if (reply.ok() && reply.value().recipe.size() == num_secrets) {
+      auto reply = FetchRecipe(c, path_keys[c], resolved_gen);
+      if (reply.ok() && reply.value().generation_id == resolved_gen &&
+          reply.value().recipe.size() == num_secrets) {
         lane->cloud = c;
         lane->recipe = std::move(reply.value().recipe);
         return true;
@@ -1029,8 +1114,8 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, Byt
         for (ConstByteSpan s : per_secret[j]) {
           have.emplace_back(s.begin(), s.end());
         }
-        result = BruteForceSecret(path_keys, begin + j, num_secrets, ids, std::move(have),
-                                  sizes[j], &secrets[j]);
+        result = BruteForceSecret(path_keys, resolved_gen, begin + j, num_secrets, ids,
+                                  std::move(have), sizes[j], &secrets[j]);
         ++brute_forced;
       }
       if (!result.ok()) {
@@ -1090,7 +1175,8 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys, Byt
   return Status::Ok();
 }
 
-Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys, ByteSink& sink,
+Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys,
+                                      uint64_t generation, ByteSink& sink,
                                       DownloadStats* stats) {
   // Collect recipes + all shares from any k reachable clouds (§3.1), then
   // decode everything, then emit — the fetch-then-decode barrier the
@@ -1102,11 +1188,12 @@ Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys, ByteS
   std::vector<uint64_t> rpcs_per_cloud(n, 0);
   uint64_t file_size = 0;
   size_t num_secrets = 0;
+  uint64_t resolved_gen = generation;
   bool have_meta = false;
   Status last_error = Status::Unavailable("no cloud reachable");
   for (int i = 0; i < n && clouds.size() < static_cast<size_t>(opts_.k); ++i) {
     ++rpcs_per_cloud[i];
-    auto recipe = FetchRecipe(i, path_keys[i]);
+    auto recipe = FetchRecipe(i, path_keys[i], have_meta ? resolved_gen : generation);
     if (!recipe.ok()) {
       last_error = recipe.status();
       continue;
@@ -1114,7 +1201,11 @@ Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys, ByteS
     if (!have_meta) {
       file_size = recipe.value().file_size;
       num_secrets = recipe.value().recipe.size();
+      resolved_gen = recipe.value().generation_id;
       have_meta = true;
+    } else if (recipe.value().generation_id != resolved_gen) {
+      last_error = Status::Corruption("generation mismatch across clouds");
+      continue;
     } else if (recipe.value().recipe.size() != num_secrets) {
       last_error = Status::Corruption("recipe length mismatch across clouds");
       continue;
@@ -1168,8 +1259,8 @@ Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys, ByteS
       for (ConstByteSpan sp : per_secret[s]) {
         have.emplace_back(sp.begin(), sp.end());
       }
-      RETURN_IF_ERROR(BruteForceSecret(path_keys, s, num_secrets, ids[s], std::move(have),
-                                       sizes[s], &secrets[s]));
+      RETURN_IF_ERROR(BruteForceSecret(path_keys, resolved_gen, s, num_secrets, ids[s],
+                                       std::move(have), sizes[s], &secrets[s]));
       ++brute_forced;
     }
   }
@@ -1199,7 +1290,7 @@ Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys, ByteS
   return Status::Ok();
 }
 
-// ------------------------------------------------------ delete & repair --
+// ------------------------- versions, retention, delete & repair --
 
 Status CdstoreClient::DeleteFile(const std::string& path_name) {
   ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
@@ -1217,23 +1308,134 @@ Status CdstoreClient::DeleteFile(const std::string& path_name) {
   return first_error;
 }
 
-Status CdstoreClient::RepairFile(const std::string& path_name, int target_cloud) {
+Result<std::vector<VersionInfo>> CdstoreClient::ListVersions(const std::string& path_name,
+                                                             int exclude_cloud) {
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  Status last_error = Status::Unavailable("no cloud reachable");
+  for (int i = 0; i < opts_.n; ++i) {
+    if (i == exclude_cloud) {
+      continue;
+    }
+    ListVersionsRequest req;
+    req.user = user_;
+    req.path_key = path_keys[i];
+    auto frame = transports_[i]->Call(Encode(req));
+    if (!frame.ok()) {
+      last_error = frame.status();
+      continue;
+    }
+    if (Status st = DecodeIfError(frame.value()); !st.ok()) {
+      // Keep probing: a NotFound here may be one cloud's lost index, not
+      // the path's absence. If EVERY cloud says NotFound, that status is
+      // what the caller receives.
+      last_error = st;
+      continue;
+    }
+    ListVersionsReply reply;
+    if (Status st = Decode(frame.value(), &reply); !st.ok()) {
+      last_error = st;
+      continue;
+    }
+    return std::move(reply.versions);
+  }
+  return last_error;
+}
+
+Status CdstoreClient::DeleteVersion(const std::string& path_name, uint64_t generation) {
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  Status first_error;
+  for (int i = 0; i < opts_.n; ++i) {
+    DeleteVersionRequest req;
+    req.user = user_;
+    req.path_key = path_keys[i];
+    req.generation_id = generation;
+    auto frame = transports_[i]->Call(Encode(req));
+    Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+    if (!st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+Result<ApplyRetentionReply> CdstoreClient::ApplyRetention(const std::string& path_name,
+                                                          const RetentionPolicy& policy) {
+  ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  Status first_error;
+  ApplyRetentionReply summary;
+  bool have_summary = false;
+  for (int i = 0; i < opts_.n; ++i) {
+    ApplyRetentionRequest req;
+    req.user = user_;
+    req.path_key = path_keys[i];
+    req.policy = policy;
+    auto frame = transports_[i]->Call(Encode(req));
+    Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+    if (st.ok() && !have_summary) {
+      ApplyRetentionReply reply;
+      st = Decode(frame.value(), &reply);
+      if (st.ok()) {
+        summary = std::move(reply);
+        have_summary = true;
+      }
+    }
+    if (!st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  RETURN_IF_ERROR(first_error);
+  if (!have_summary) {
+    return Status::Unavailable("no cloud applied the retention policy");
+  }
+  return summary;
+}
+
+Status CdstoreClient::RepairFile(const std::string& path_name, int target_cloud,
+                                 uint64_t generation) {
   if (target_cloud < 0 || target_cloud >= opts_.n) {
     return Status::InvalidArgument("target cloud out of range");
+  }
+  // Resolve the generation's identity (id + timestamp) from a healthy
+  // cloud so the repaired copy lands under the SAME id: generation ids
+  // must stay in lockstep across clouds for selectors to keep working.
+  // The target cloud is excluded as a source — its (possibly stale or
+  // lost) index is exactly what is being repaired.
+  ASSIGN_OR_RETURN(std::vector<VersionInfo> versions,
+                   ListVersions(path_name, /*exclude_cloud=*/target_cloud));
+  const VersionInfo* info = nullptr;
+  if (generation == 0) {
+    if (!versions.empty()) {
+      info = &versions.back();
+    }
+  } else {
+    for (const VersionInfo& v : versions) {
+      if (v.generation_id == generation) {
+        info = &v;
+        break;
+      }
+    }
+  }
+  if (info == nullptr) {
+    return Status::NotFound("generation " + std::to_string(generation) + " not found");
   }
   // Stream the restore from the surviving clouds straight into a
   // single-cloud session writer: fetch, decode, re-chunk, re-encode, and
   // re-upload all overlap, and no full copy of the file exists client-side.
   // Re-chunking the same byte stream reproduces the original secrets, so
   // the target's recipe lines up with the other clouds'.
+  UploadFileOptions fopts;
+  fopts.mode = PutFileMode::kPutGeneration;
+  fopts.generation_id = info->generation_id;
+  fopts.timestamp_ms = info->timestamp_ms;
   auto session =
       std::unique_ptr<BackupSession>(new BackupSession(this, {target_cloud}));
-  auto writer = session->OpenUpload(path_name);
+  auto writer = session->OpenUpload(path_name, fopts);
   if (!writer.ok()) {
     (void)session->Close();
     return writer.status();
   }
-  Status download_status = Download(path_name, *writer.value());
+  Status download_status =
+      Download(path_name, *writer.value(), /*stats=*/nullptr, info->generation_id);
   Status st = download_status.ok() ? writer.value()->Finish() : download_status;
   writer.value().reset();  // aborts cleanly if Finish was skipped
   Status close = session->Close();

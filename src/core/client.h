@@ -87,9 +87,23 @@ struct CloudUploadStats {
   uint64_t rpcs = 0;  // FpQuery + UploadShares + PutFile calls issued
 };
 
+// How one uploaded file binds into the versioned namespace. The default
+// preserves the pre-versioning overwrite semantics; backup workloads pass
+// kNewGeneration so a re-upload of a path appends a weekly-snapshot-style
+// generation instead of replacing (§5.2's workloads are snapshot series).
+struct UploadFileOptions {
+  PutFileMode mode = PutFileMode::kReplaceLatest;
+  // kPutGeneration only: the exact generation id to (re)write — repair
+  // keeps ids in lockstep across clouds.
+  uint64_t generation_id = 0;
+  // Stored with the generation; drives keep-within-window retention.
+  uint64_t timestamp_ms = 0;
+};
+
 // Per-upload accounting, the quantities behind Figure 6.
 struct UploadStats {
   uint64_t logical_bytes = 0;        // original data
+  uint64_t generation_id = 0;        // generation the servers bound this file to
   uint64_t num_secrets = 0;
   uint64_t logical_share_bytes = 0;  // all n shares before dedup
   uint64_t transferred_share_bytes = 0;  // after intra-user dedup
@@ -163,6 +177,12 @@ class BackupSession {
     Status SubmitChunks(ConstByteSpan data, bool pinned);
 
     BackupSession* session_;
+    UploadFileOptions upload_opts_;  // read by uploader lanes (set pre-Push)
+    // Per-lane generation id each cloud bound the recipe to (distinct
+    // slots; read after the lane futures resolve). Finish() fails loudly
+    // when clouds disagree — silent id skew would make every later
+    // generation selector pair shares of different snapshots.
+    std::vector<uint64_t> lane_generations_;
     std::unique_ptr<Chunker> chunker_;
     std::unique_ptr<CodingPipeline::Stream> stream_;
     BroadcastQueue<CodingPipeline::EncodedSecret> pool_;
@@ -191,12 +211,15 @@ class BackupSession {
   BackupSession& operator=(const BackupSession&) = delete;
 
   // Starts the next file. Fails while another writer is unfinished or after
-  // Close().
-  Result<std::unique_ptr<UploadWriter>> OpenUpload(const std::string& path_name);
+  // Close(). `options` selects generation-aware overwrite behavior: with
+  // kNewGeneration a re-upload of an existing path appends a new backup
+  // generation instead of replacing.
+  Result<std::unique_ptr<UploadWriter>> OpenUpload(const std::string& path_name,
+                                                   const UploadFileOptions& options = {});
 
   // Convenience: whole-buffer upload of one file through this session.
   Status Upload(const std::string& path_name, ConstByteSpan data,
-                UploadStats* stats = nullptr);
+                UploadStats* stats = nullptr, const UploadFileOptions& options = {});
 
   // Stops the uploader threads. Idempotent; called by the destructor.
   Status Close();
@@ -231,26 +254,53 @@ class CdstoreClient {
 
   // Backs up `data` under `path_name`. Thin wrapper: opens a one-file
   // session (or takes the barrier path when streaming_upload is off).
-  Status Upload(const std::string& path_name, ConstByteSpan data, UploadStats* stats = nullptr);
+  Status Upload(const std::string& path_name, ConstByteSpan data, UploadStats* stats = nullptr,
+                const UploadFileOptions& options = {});
 
   // Restores a file from any k reachable clouds, streaming restored bytes
   // to `sink` in file order. With pipelined_download on, per-cloud fetch
   // lanes and decode workers overlap and memory stays bounded by a few
-  // download batches per cloud.
+  // download batches per cloud. `generation` selects a backup generation
+  // (0 = latest); clouds whose resolved generation disagrees are rejected,
+  // so a restore never mixes generations.
   Status Download(const std::string& path_name, ByteSink& sink,
-                  DownloadStats* stats = nullptr);
+                  DownloadStats* stats = nullptr, uint64_t generation = 0);
 
   // Whole-buffer wrapper over the sink API.
-  Result<Bytes> Download(const std::string& path_name, DownloadStats* stats = nullptr);
+  Result<Bytes> Download(const std::string& path_name, DownloadStats* stats = nullptr,
+                         uint64_t generation = 0);
 
-  // Removes the file from all reachable clouds.
+  // Removes the file — every generation — from all reachable clouds.
+  // NotFound when no cloud has the path.
   Status DeleteFile(const std::string& path_name);
+
+  // --- versioned namespace -------------------------------------------------
+
+  // Enumerates a path's backup generations (ascending). Served by the
+  // first reachable cloud: generation ids and logical sizes are in
+  // lockstep across clouds; unique_bytes is that cloud's measurement (all
+  // clouds agree up to share-size constants). `exclude_cloud` skips one
+  // cloud as a source (repair must not trust the cloud being repaired).
+  Result<std::vector<VersionInfo>> ListVersions(const std::string& path_name,
+                                                int exclude_cloud = -1);
+
+  // Drops one generation on every cloud. Surviving generations keep every
+  // share they reference (per-user refcounts make pruning exact).
+  Status DeleteVersion(const std::string& path_name, uint64_t generation);
+
+  // Applies a retention policy (keep-last-N / keep-within-window) on every
+  // cloud and returns the first successful cloud's summary; run GC next to
+  // reclaim the pruned containers. Fails if any cloud failed.
+  Result<ApplyRetentionReply> ApplyRetention(const std::string& path_name,
+                                             const RetentionPolicy& policy);
 
   // Rebuilds `target_cloud`'s shares of a file (e.g. after a cloud loses
   // data): streams the restore from the surviving clouds straight into a
   // single-cloud session writer, so re-encoding and re-upload overlap the
   // fetch and no full copy of the file is materialized (§3.1 reliability).
-  Status RepairFile(const std::string& path_name, int target_cloud);
+  // `generation` = 0 repairs the latest; otherwise that generation is
+  // rewritten under its original id and timestamp.
+  Status RepairFile(const std::string& path_name, int target_cloud, uint64_t generation = 0);
 
   int n() const { return opts_.n; }
   int k() const { return opts_.k; }
@@ -267,26 +317,31 @@ class CdstoreClient {
 
   // One uploader lane: consumer `consumer` of `in`, uploading each bundle's
   // share for `cloud`, interleaving dedup queries, batched share transfer,
-  // and finally the recipe put. `file_size` is read only after the stream
-  // drains (the writer knows it by then). If `abort_upload` is set by the
-  // time the stream drains (encode failure or writer abandoned),
-  // finalization is skipped so a truncated recipe is never committed.
+  // and finally the recipe put (bound per `fopts`). `file_size` is read
+  // only after the stream drains (the writer knows it by then). If
+  // `abort_upload` is set by the time the stream drains (encode failure or
+  // writer abandoned), finalization is skipped so a truncated recipe is
+  // never committed.
+  // On success *bound_generation (if non-null) receives the generation id
+  // this cloud bound the recipe to.
   Status StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
-                             const uint64_t* file_size,
+                             const uint64_t* file_size, const UploadFileOptions* fopts,
                              BroadcastQueue<CodingPipeline::EncodedSecret>* in,
                              const std::atomic<bool>* abort_upload, UploadStats* stats,
-                             std::mutex* stats_mu);
+                             std::mutex* stats_mu, uint64_t* bound_generation);
 
   // Barrier upload: materialize all secrets, EncodeAll, then upload.
   Status UploadBarrier(const std::vector<Bytes>& path_keys, ConstByteSpan data,
-                       UploadStats* stats);
+                       const UploadFileOptions& fopts, UploadStats* stats);
   Status UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
+                       const UploadFileOptions& fopts,
                        const std::vector<RecipeEntry>& recipe,
                        const std::vector<const Bytes*>& shares, UploadStats* stats,
-                       std::mutex* stats_mu);
+                       std::mutex* stats_mu, uint64_t* bound_generation);
 
-  // Fetches one cloud's recipe; used during download/repair.
-  Result<GetFileReply> FetchRecipe(int cloud, const Bytes& path_key);
+  // Fetches one cloud's recipe for `generation` (0 = latest); used during
+  // download/repair.
+  Result<GetFileReply> FetchRecipe(int cloud, const Bytes& path_key, uint64_t generation);
   // All shares named by `recipe`, fetched from `cloud` in download batches.
   // The spans view the owned reply frames (no per-share copy).
   struct FetchedShares {
@@ -297,17 +352,17 @@ class CdstoreClient {
   Result<FetchedShares> FetchShares(int cloud, const std::vector<RecipeEntry>& recipe);
 
   // Pipelined download core; `path_keys` already resolved.
-  Status DownloadPipelined(const std::vector<Bytes>& path_keys, ByteSink& sink,
-                           DownloadStats* stats);
+  Status DownloadPipelined(const std::vector<Bytes>& path_keys, uint64_t generation,
+                           ByteSink& sink, DownloadStats* stats);
   // Barrier download: fetch recipes + all shares from k clouds, decode
   // everything, then emit. Kept for comparison benchmarks and tests.
-  Status DownloadBarrier(const std::vector<Bytes>& path_keys, ByteSink& sink,
-                         DownloadStats* stats);
+  Status DownloadBarrier(const std::vector<Bytes>& path_keys, uint64_t generation,
+                         ByteSink& sink, DownloadStats* stats);
   // Shared fallback: decodes secret `s` by brute force over every cloud's
   // copy after the normal k-share decode failed (corruption recovery §3.2).
-  Status BruteForceSecret(const std::vector<Bytes>& path_keys, size_t s, size_t num_secrets,
-                          const std::vector<int>& have_ids, std::vector<Bytes> have_shares,
-                          size_t secret_size, Bytes* out);
+  Status BruteForceSecret(const std::vector<Bytes>& path_keys, uint64_t generation, size_t s,
+                          size_t num_secrets, const std::vector<int>& have_ids,
+                          std::vector<Bytes> have_shares, size_t secret_size, Bytes* out);
 
   std::vector<Transport*> transports_;
   UserId user_;

@@ -300,6 +300,10 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
 
 void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  if (req.mode == PutFileMode::kPutGeneration && req.generation_id == 0) {
+    rb.SendError(Status::InvalidArgument("kPutGeneration requires a generation id"));
+    return;
+  }
   // Append the recipe blob before taking the commit lock and before
   // touching any reference counts: if the append fails, the index is
   // untouched; if the batched reference update below fails (e.g. an
@@ -317,86 +321,139 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   }
 
   std::lock_guard<std::mutex> commit(commit_mu_);
-  // Replacing an existing file drops the old recipe's references.
+  // kReplaceLatest drops the replaced latest generation's references;
+  // kPutGeneration (repair) drops the same-id record's, if one exists;
+  // kNewGeneration drops nothing — earlier generations stay restorable.
   std::vector<Fingerprint> drop_fps;
+  uint64_t replaced_gen = 0;
+  uint64_t replaced_unique_bytes = 0;
   bool replacing = false;
-  auto old_entry = file_index_.GetFile(req.user, req.path_key);
-  if (old_entry.ok()) {
-    auto old_blob = recipe_store_.Fetch(
-        BlobHandle{old_entry.value().recipe_container_id, old_entry.value().recipe_index});
-    if (old_blob.ok()) {
-      auto old_recipe = FileRecipe::Deserialize(old_blob.value());
-      if (old_recipe.ok()) {
-        drop_fps.reserve(old_recipe.value().entries.size());
-        for (const RecipeEntry& e : old_recipe.value().entries) {
-          drop_fps.push_back(e.fp);
-        }
-        replacing = true;
+  if (req.mode != PutFileMode::kNewGeneration) {
+    uint64_t lookup = req.mode == PutFileMode::kPutGeneration ? req.generation_id : 0;
+    auto old_rec = file_index_.GetGeneration(req.user, req.path_key, lookup);
+    if (old_rec.ok()) {
+      // The replaced generation's recipe MUST be droppable: swallowing a
+      // fetch failure here would silently append instead of replace and
+      // leak the old references beyond GC's reach forever.
+      auto old_recipe = FetchRecipeBlob(old_rec.value());
+      if (!old_recipe.ok()) {
+        rb.SendError(Status(old_recipe.status().code(),
+                            "replaced generation's recipe unreadable: " +
+                                old_recipe.status().message()));
+        return;
       }
+      drop_fps.reserve(old_recipe.value().entries.size());
+      for (const RecipeEntry& e : old_recipe.value().entries) {
+        drop_fps.push_back(e.fp);
+      }
+      replaced_gen = old_rec.value().generation_id;
+      replaced_unique_bytes = old_rec.value().unique_bytes;
+      replacing = true;
+    } else if (old_rec.status().code() != StatusCode::kNotFound) {
+      rb.SendError(old_rec.status());
+      return;
     }
   }
 
   // Verify every recipe entry names a stored share, drop the replaced
-  // file's references, and add this file's — one batched index pass under
-  // the stripes the touched fingerprints hash to.
+  // generation's references, and add this one's — one batched index pass
+  // under the stripes the touched fingerprints hash to. The same pass
+  // counts this generation's unique bytes (shares first referenced here),
+  // exact because every touched stripe is held.
   std::vector<Fingerprint> add_fps;
   add_fps.reserve(req.recipe.size());
   for (const RecipeEntry& e : req.recipe) {
     add_fps.push_back(e.fp);
   }
+  uint64_t unique_bytes = 0;
+  uint64_t dropped_bytes = 0;
   {
     auto stripe_locks = LockStripesFor(add_fps, drop_fps);
-    if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user); !st.ok()) {
+    if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user, &unique_bytes,
+                                                   &dropped_bytes);
+        !st.ok()) {
       rb.SendError(st);
       return;
     }
   }
-  if (replacing) {
-    --file_count_;
-  }
 
-  FileIndexEntry entry;
-  entry.file_size = req.file_size;
-  entry.num_secrets = req.recipe.size();
-  entry.recipe_container_id = handle.value().container_id;
-  entry.recipe_index = handle.value().index;
-  if (Status st = file_index_.PutFile(req.user, req.path_key, entry); !st.ok()) {
-    rb.SendError(st);
-    return;
+  GenerationRecord rec;
+  rec.generation_id = req.generation_id;
+  rec.file_size = req.file_size;
+  rec.num_secrets = req.recipe.size();
+  rec.recipe_container_id = handle.value().container_id;
+  rec.recipe_index = handle.value().index;
+  // In-place replacement (replace-latest or a same-id repair) carries the
+  // replaced record's attribution forward: shares the old record first-
+  // referenced and the new recipe still holds would otherwise recompute
+  // as ~0 unique, orphaning those bytes from every generation's
+  // accounting and inflating measured dedup ratios. Attribution that left
+  // with erased last references is subtracted (saturating: a dropped
+  // share may have been attributed to an older generation).
+  if (replacing) {
+    uint64_t carried =
+        replaced_unique_bytes > dropped_bytes ? replaced_unique_bytes - dropped_bytes : 0;
+    rec.unique_bytes = carried + unique_bytes;
+  } else {
+    rec.unique_bytes = unique_bytes;
   }
-  ++file_count_;
+  rec.timestamp_ms = req.timestamp_ms;
+
+  bool new_path = false;
+  if (req.mode == PutFileMode::kPutGeneration ||
+      (req.mode == PutFileMode::kReplaceLatest && replacing)) {
+    // Replace IN PLACE under the existing id (for kReplaceLatest, the
+    // replaced latest's). Reusing the id keeps per-cloud id allocation in
+    // lockstep across partial-failure retries: a cloud that missed the
+    // first attempt allocates the same id the others are rewriting.
+    if (req.mode == PutFileMode::kReplaceLatest) {
+      rec.generation_id = replaced_gen;
+    }
+    if (Status st = file_index_.PutGeneration(req.user, req.path_key, rec, &new_path);
+        !st.ok()) {
+      rb.SendError(st);
+      return;
+    }
+  } else {
+    auto stored = file_index_.AppendGeneration(req.user, req.path_key, rec, &new_path);
+    if (!stored.ok()) {
+      rb.SendError(stored.status());
+      return;
+    }
+    rec = stored.value();
+  }
+  if (new_path) {
+    ++file_count_;
+  }
   if (Status st = SaveMetaLocked(); !st.ok()) {
     rb.SendError(st);
     return;
   }
-  rb.Send(PutFileReply{});
+  PutFileReply reply;
+  reply.generation_id = rec.generation_id;
+  rb.Send(reply);
 }
 
 void CdstoreServer::GetFile(const GetFileRequest& req, ReplyBuilder& rb) {
   std::shared_lock<std::shared_mutex> ops(ops_mu_);
-  Result<FileIndexEntry> entry = Status::NotFound("unresolved");
+  Result<GenerationRecord> rec = Status::NotFound("unresolved");
   {
     std::lock_guard<std::mutex> commit(commit_mu_);
-    entry = file_index_.GetFile(req.user, req.path_key);
+    rec = file_index_.GetGeneration(req.user, req.path_key, req.generation);
   }
-  if (!entry.ok()) {
-    rb.SendError(entry.status());
+  if (!rec.ok()) {
+    rb.SendError(rec.status());
     return;
   }
   // Recipe blobs are append-only and never deleted outside exclusive GC,
   // so a published entry's blob stays fetchable without the commit lock.
-  auto blob = recipe_store_.Fetch(
-      BlobHandle{entry.value().recipe_container_id, entry.value().recipe_index});
-  if (!blob.ok()) {
-    rb.SendError(blob.status());
-    return;
-  }
-  auto recipe = FileRecipe::Deserialize(blob.value());
+  auto recipe = FetchRecipeBlob(rec.value());
   if (!recipe.ok()) {
     rb.SendError(recipe.status());
     return;
   }
   GetFileReply reply;
+  reply.generation_id = rec.value().generation_id;
   reply.file_size = recipe.value().file_size;
   reply.recipe = std::move(recipe.value().entries);
   rb.Send(reply);
@@ -443,46 +500,172 @@ void CdstoreServer::GetShares(const GetSharesRequest& req, ReplyBuilder& rb) {
   }
 }
 
-void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  auto entry = file_index_.GetFile(req.user, req.path_key);
-  if (!entry.ok()) {
-    rb.SendError(entry.status());
-    return;
-  }
-  auto blob = recipe_store_.Fetch(
-      BlobHandle{entry.value().recipe_container_id, entry.value().recipe_index});
-  if (!blob.ok()) {
-    rb.SendError(blob.status());
-    return;
-  }
-  auto recipe = FileRecipe::Deserialize(blob.value());
-  if (!recipe.ok()) {
-    rb.SendError(recipe.status());
-    return;
-  }
-  DeleteFileReply reply;
-  for (const RecipeEntry& e : recipe.value().entries) {
-    bool orphaned = false;
+Result<FileRecipe> CdstoreServer::FetchRecipeBlob(const GenerationRecord& rec) {
+  ASSIGN_OR_RETURN(Bytes blob,
+                   recipe_store_.Fetch(BlobHandle{rec.recipe_container_id, rec.recipe_index}));
+  return FileRecipe::Deserialize(blob);
+}
+
+Status CdstoreServer::DropRecipeRefsLocked(const FileRecipe& recipe, UserId user,
+                                           uint32_t* orphaned) {
+  for (const RecipeEntry& e : recipe.entries) {
+    bool orphan = false;
     std::unique_lock<std::shared_mutex> stripe(stripes_[StripeOf(e.fp)].mu);
-    Status st = share_index_.DropReference(e.fp, req.user, &orphaned);
-    if (!st.ok()) {
-      rb.SendError(st);
-      return;
-    }
-    if (orphaned) {
-      // Index entry removed; container space reclamation is the garbage
-      // collection the paper defers to future work (§4.7).
-      ++reply.shares_orphaned;
+    RETURN_IF_ERROR(share_index_.DropReference(e.fp, user, &orphan));
+    if (orphan) {
+      // Index entry removed; container space reclamation is GC's job
+      // (§4.7, realized in CollectGarbage).
+      ++*orphaned;
       (void)share_index_.Erase(e.fp);
     }
   }
-  if (Status st = file_index_.DeleteFile(req.user, req.path_key); !st.ok()) {
+  return Status::Ok();
+}
+
+Status CdstoreServer::DeleteGenerationLocked(UserId user, ConstByteSpan path_key,
+                                             const GenerationRecord& rec,
+                                             uint32_t* orphaned) {
+  ASSIGN_OR_RETURN(FileRecipe recipe, FetchRecipeBlob(rec));
+  RETURN_IF_ERROR(DropRecipeRefsLocked(recipe, user, orphaned));
+  bool path_removed = false;
+  RETURN_IF_ERROR(
+      file_index_.DeleteGeneration(user, path_key, rec.generation_id, &path_removed));
+  if (path_removed) {
+    --file_count_;
+  }
+  return Status::Ok();
+}
+
+void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  auto gens = file_index_.ListGenerations(req.user, req.path_key);
+  if (!gens.ok()) {
+    // A never-uploaded (or already deleted) path is a clean NotFound, not
+    // an index-internal error.
+    if (gens.status().code() == StatusCode::kNotFound) {
+      rb.SendError(Status::NotFound("file not found"));
+    } else {
+      rb.SendError(gens.status());
+    }
+    return;
+  }
+  DeleteFileReply reply;
+  for (const GenerationRecord& rec : gens.value()) {
+    if (Status st = DeleteGenerationLocked(req.user, req.path_key, rec, &reply.shares_orphaned);
+        !st.ok()) {
+      rb.SendError(st);
+      return;
+    }
+    ++reply.generations_deleted;
+  }
+  if (Status st = SaveMetaLocked(); !st.ok()) {
     rb.SendError(st);
     return;
   }
-  --file_count_;
+  rb.Send(reply);
+}
+
+void CdstoreServer::ListVersions(const ListVersionsRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  Result<std::vector<GenerationRecord>> gens = Status::NotFound("unresolved");
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    gens = file_index_.ListGenerations(req.user, req.path_key);
+  }
+  if (!gens.ok()) {
+    rb.SendError(gens.status().code() == StatusCode::kNotFound
+                     ? Status::NotFound("file not found")
+                     : gens.status());
+    return;
+  }
+  ListVersionsReply reply;
+  reply.versions.reserve(gens.value().size());
+  for (const GenerationRecord& rec : gens.value()) {
+    VersionInfo v;
+    v.generation_id = rec.generation_id;
+    v.logical_bytes = rec.file_size;
+    v.unique_bytes = rec.unique_bytes;
+    v.num_secrets = rec.num_secrets;
+    v.timestamp_ms = rec.timestamp_ms;
+    reply.versions.push_back(v);
+  }
+  rb.Send(reply);
+}
+
+void CdstoreServer::DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  if (req.generation_id == 0) {
+    rb.SendError(Status::InvalidArgument("generation id must be nonzero"));
+    return;
+  }
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  auto rec = file_index_.GetGeneration(req.user, req.path_key, req.generation_id);
+  if (!rec.ok()) {
+    rb.SendError(rec.status());
+    return;
+  }
+  DeleteVersionReply reply;
+  if (Status st = DeleteGenerationLocked(req.user, req.path_key, rec.value(),
+                                         &reply.shares_orphaned);
+      !st.ok()) {
+    rb.SendError(st);
+    return;
+  }
+  if (Status st = SaveMetaLocked(); !st.ok()) {
+    rb.SendError(st);
+    return;
+  }
+  rb.Send(reply);
+}
+
+void CdstoreServer::ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  auto gens = file_index_.ListGenerations(req.user, req.path_key);
+  if (!gens.ok()) {
+    rb.SendError(gens.status().code() == StatusCode::kNotFound
+                     ? Status::NotFound("file not found")
+                     : gens.status());
+    return;
+  }
+  const RetentionPolicy& p = req.policy;
+  const std::vector<GenerationRecord>& all = gens.value();
+  // A generation survives if EITHER keep rule claims it; with no rules set
+  // the request is a no-op. ListGenerations is ascending, so the newest
+  // keep_last_n are the vector's tail.
+  size_t first_kept_by_count =
+      p.keep_last_n == 0 ? all.size()
+                         : all.size() - std::min<size_t>(all.size(), p.keep_last_n);
+  ApplyRetentionReply reply;
+  for (size_t i = 0; i < all.size(); ++i) {
+    const GenerationRecord& rec = all[i];
+    bool keep = false;
+    if (p.keep_last_n > 0 && i >= first_kept_by_count) {
+      keep = true;
+    }
+    // Overflow-safe age test: timestamp + window could wrap for sentinel
+    // windows like UINT64_MAX ("keep everything"), silently inverting the
+    // rule into prune-everything.
+    if (p.keep_within_ms > 0 && (rec.timestamp_ms >= p.now_ms ||
+                                 p.now_ms - rec.timestamp_ms <= p.keep_within_ms)) {
+      keep = true;
+    }
+    if (p.keep_last_n == 0 && p.keep_within_ms == 0) {
+      keep = true;  // no rules: prune nothing
+    }
+    if (keep) {
+      continue;
+    }
+    if (Status st = DeleteGenerationLocked(req.user, req.path_key, rec, &reply.shares_orphaned);
+        !st.ok()) {
+      rb.SendError(st);
+      return;
+    }
+    ++reply.generations_deleted;
+    reply.logical_bytes_deleted += rec.file_size;
+    reply.deleted_generations.push_back(rec.generation_id);
+  }
   if (Status st = SaveMetaLocked(); !st.ok()) {
     rb.SendError(st);
     return;

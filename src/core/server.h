@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/recipe.h"
 #include "src/dedup/file_index.h"
 #include "src/dedup/share_index.h"
 #include "src/kvstore/db.h"
@@ -68,6 +69,14 @@ class CdstoreServer : public ServerService {
   void DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) override;
   void Stats(const StatsRequest& req, ReplyBuilder& rb) override;
   void Gc(const GcRequest& req, ReplyBuilder& rb) override;
+  // Versioned namespace: a path is a series of backup generations (§5's
+  // weekly snapshot workloads). PutFile appends/replaces generations,
+  // these enumerate and prune them; pruning drops exactly the references
+  // the pruned generation held, so shares survive while any generation
+  // still names them.
+  void ListVersions(const ListVersionsRequest& req, ReplyBuilder& rb) override;
+  void DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder& rb) override;
+  void ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) override;
 
   // Frame-level entry point, now a thin shim over Dispatch(). Thread-safe.
   Bytes Handle(ConstByteSpan request) { return Dispatch(*this, request); }
@@ -119,6 +128,16 @@ class CdstoreServer : public ServerService {
   Status LoadMeta();
   // Requires commit_mu_.
   Status SaveMetaLocked();
+  // Fetches + parses the recipe blob a generation record points at.
+  Result<FileRecipe> FetchRecipeBlob(const GenerationRecord& rec);
+  // Drops one reference per recipe entry for `user` (stripe-locked per
+  // entry), erasing entries that lose their last reference. Requires
+  // commit_mu_; *orphaned accumulates.
+  Status DropRecipeRefsLocked(const FileRecipe& recipe, UserId user, uint32_t* orphaned);
+  // Deletes one generation end to end (refs + index record). Requires
+  // commit_mu_; adjusts file_count_ when the path disappears.
+  Status DeleteGenerationLocked(UserId user, ConstByteSpan path_key,
+                                const GenerationRecord& rec, uint32_t* orphaned);
   // Requires exclusive ops_mu_ (destructor path; Flush() wraps it).
   Status FlushExclusive();
 

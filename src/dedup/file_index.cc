@@ -1,5 +1,7 @@
 #include "src/dedup/file_index.h"
 
+#include <algorithm>
+
 #include "src/crypto/sha256.h"
 #include "src/util/io.h"
 #include "src/util/logging.h"
@@ -7,7 +9,20 @@
 namespace cdstore {
 
 namespace {
-constexpr char kPrefix = 'F';
+constexpr char kHeadPrefix = 'F';
+constexpr char kGenPrefix = 'G';
+
+void AppendUserBe(Bytes* key, UserId user) {
+  for (int i = 7; i >= 0; --i) {
+    key->push_back(static_cast<uint8_t>(user >> (8 * i)));
+  }
+}
+
+void AppendU64Be(Bytes* key, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    key->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
 }  // namespace
 
 Bytes FileIndexEntry::Serialize() const {
@@ -29,42 +44,258 @@ Result<FileIndexEntry> FileIndexEntry::Deserialize(ConstByteSpan data) {
   return e;
 }
 
+Bytes GenerationRecord::Serialize() const {
+  BufferWriter w;
+  w.PutU64(generation_id);
+  w.PutU64(file_size);
+  w.PutU64(num_secrets);
+  w.PutU64(recipe_container_id);
+  w.PutU32(recipe_index);
+  w.PutU64(unique_bytes);
+  w.PutU64(timestamp_ms);
+  return w.Take();
+}
+
+Result<GenerationRecord> GenerationRecord::Deserialize(ConstByteSpan data) {
+  GenerationRecord g;
+  BufferReader r(data);
+  RETURN_IF_ERROR(r.GetU64(&g.generation_id));
+  RETURN_IF_ERROR(r.GetU64(&g.file_size));
+  RETURN_IF_ERROR(r.GetU64(&g.num_secrets));
+  RETURN_IF_ERROR(r.GetU64(&g.recipe_container_id));
+  RETURN_IF_ERROR(r.GetU32(&g.recipe_index));
+  RETURN_IF_ERROR(r.GetU64(&g.unique_bytes));
+  RETURN_IF_ERROR(r.GetU64(&g.timestamp_ms));
+  return g;
+}
+
+Bytes PathHead::Serialize() const {
+  BufferWriter w;
+  w.PutU64(next_generation);
+  w.PutU64(latest_generation);
+  w.PutU64(generation_count);
+  return w.Take();
+}
+
+Result<PathHead> PathHead::Deserialize(ConstByteSpan data) {
+  PathHead h;
+  BufferReader r(data);
+  RETURN_IF_ERROR(r.GetU64(&h.next_generation));
+  RETURN_IF_ERROR(r.GetU64(&h.latest_generation));
+  RETURN_IF_ERROR(r.GetU64(&h.generation_count));
+  return h;
+}
+
 FileIndex::FileIndex(Db* db) : db_(db) { CHECK(db != nullptr); }
 
-Bytes FileIndex::KeyFor(UserId user, ConstByteSpan path_key) const {
+Bytes FileIndex::HeadKeyFor(UserId user, ConstByteSpan path_key) const {
   // Key: 'F' || user (8B BE, so one user's files are contiguous) ||
   // H(path_key). Hashing bounds key size for arbitrarily long paths.
   Bytes key;
   key.reserve(1 + 8 + Sha256::kDigestSize);
-  key.push_back(kPrefix);
-  for (int i = 7; i >= 0; --i) {
-    key.push_back(static_cast<uint8_t>(user >> (8 * i)));
-  }
+  key.push_back(kHeadPrefix);
+  AppendUserBe(&key, user);
   Bytes h = Sha256::Hash(path_key);
   key.insert(key.end(), h.begin(), h.end());
   return key;
 }
 
+Bytes FileIndex::GenKeyFor(UserId user, ConstByteSpan path_key, uint64_t generation) const {
+  // Big-endian generation suffix: a prefix scan yields ascending ids.
+  Bytes key;
+  key.reserve(1 + 8 + Sha256::kDigestSize + 8);
+  key.push_back(kGenPrefix);
+  AppendUserBe(&key, user);
+  Bytes h = Sha256::Hash(path_key);
+  key.insert(key.end(), h.begin(), h.end());
+  AppendU64Be(&key, generation);
+  return key;
+}
+
+Result<std::optional<PathHead>> FileIndex::GetHead(UserId user, ConstByteSpan path_key) {
+  Bytes value;
+  Status st = db_->Get(HeadKeyFor(user, path_key), &value);
+  if (st.code() == StatusCode::kNotFound) {
+    return std::optional<PathHead>(std::nullopt);
+  }
+  RETURN_IF_ERROR(st);
+  ASSIGN_OR_RETURN(PathHead head, PathHead::Deserialize(value));
+  return std::optional<PathHead>(head);
+}
+
+Result<GenerationRecord> FileIndex::AppendGeneration(UserId user, ConstByteSpan path_key,
+                                                     const GenerationRecord& rec,
+                                                     bool* new_path) {
+  ASSIGN_OR_RETURN(std::optional<PathHead> maybe_head, GetHead(user, path_key));
+  if (new_path != nullptr) {
+    *new_path = !maybe_head.has_value();
+  }
+  PathHead head = maybe_head.value_or(PathHead{});
+  GenerationRecord stored = rec;
+  stored.generation_id = head.next_generation;
+  head.next_generation = stored.generation_id + 1;
+  head.latest_generation = std::max(head.latest_generation, stored.generation_id);
+  head.generation_count += 1;
+  WriteBatch batch;
+  batch.Put(GenKeyFor(user, path_key, stored.generation_id), stored.Serialize());
+  batch.Put(HeadKeyFor(user, path_key), head.Serialize());
+  RETURN_IF_ERROR(db_->Write(batch));
+  return stored;
+}
+
+Status FileIndex::PutGeneration(UserId user, ConstByteSpan path_key,
+                                const GenerationRecord& rec, bool* new_path) {
+  if (rec.generation_id == 0) {
+    return Status::InvalidArgument("generation id must be nonzero");
+  }
+  ASSIGN_OR_RETURN(std::optional<PathHead> maybe_head, GetHead(user, path_key));
+  if (new_path != nullptr) {
+    *new_path = !maybe_head.has_value();
+  }
+  PathHead head = maybe_head.value_or(PathHead{});
+  Bytes gen_key = GenKeyFor(user, path_key, rec.generation_id);
+  Bytes existing;
+  Status probe = db_->Get(gen_key, &existing);
+  if (probe.code() == StatusCode::kNotFound) {
+    head.generation_count += 1;
+  } else {
+    RETURN_IF_ERROR(probe);
+  }
+  head.latest_generation = std::max(head.latest_generation, rec.generation_id);
+  head.next_generation = std::max(head.next_generation, rec.generation_id + 1);
+  WriteBatch batch;
+  batch.Put(gen_key, rec.Serialize());
+  batch.Put(HeadKeyFor(user, path_key), head.Serialize());
+  return db_->Write(batch);
+}
+
+Result<GenerationRecord> FileIndex::GetGeneration(UserId user, ConstByteSpan path_key,
+                                                  uint64_t generation) {
+  if (generation == 0) {
+    ASSIGN_OR_RETURN(std::optional<PathHead> head, GetHead(user, path_key));
+    if (!head.has_value() || head->latest_generation == 0) {
+      return Status::NotFound("file not found");
+    }
+    generation = head->latest_generation;
+  }
+  Bytes value;
+  Status st = db_->Get(GenKeyFor(user, path_key, generation), &value);
+  if (st.code() == StatusCode::kNotFound) {
+    return Status::NotFound("generation " + std::to_string(generation) + " not found");
+  }
+  RETURN_IF_ERROR(st);
+  return GenerationRecord::Deserialize(value);
+}
+
+Result<std::vector<GenerationRecord>> FileIndex::ListGenerations(UserId user,
+                                                                ConstByteSpan path_key) {
+  ASSIGN_OR_RETURN(std::optional<PathHead> head, GetHead(user, path_key));
+  if (!head.has_value()) {
+    return Status::NotFound("file not found");
+  }
+  Bytes prefix = GenKeyFor(user, path_key, 0);
+  prefix.resize(prefix.size() - 8);  // strip the generation suffix
+  std::vector<GenerationRecord> out;
+  out.reserve(head->generation_count);
+  auto it = db_->NewIterator();
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    const Bytes& k = it->key();
+    if (k.size() != prefix.size() + 8 ||
+        !std::equal(prefix.begin(), prefix.end(), k.begin())) {
+      break;
+    }
+    ASSIGN_OR_RETURN(GenerationRecord rec, GenerationRecord::Deserialize(it->value()));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Status FileIndex::DeleteGeneration(UserId user, ConstByteSpan path_key, uint64_t generation,
+                                   bool* path_removed) {
+  if (path_removed != nullptr) {
+    *path_removed = false;
+  }
+  ASSIGN_OR_RETURN(std::optional<PathHead> maybe_head, GetHead(user, path_key));
+  if (!maybe_head.has_value()) {
+    return Status::NotFound("file not found");
+  }
+  PathHead head = *maybe_head;
+  Bytes gen_key = GenKeyFor(user, path_key, generation);
+  Bytes existing;
+  Status probe = db_->Get(gen_key, &existing);
+  if (probe.code() == StatusCode::kNotFound) {
+    return Status::NotFound("generation " + std::to_string(generation) + " not found");
+  }
+  RETURN_IF_ERROR(probe);
+  // One atomic batch for the record delete AND the head update: a crash
+  // between separate writes would leave the head naming a deleted
+  // generation (restore-latest would fail until repaired by hand).
+  WriteBatch batch;
+  batch.Delete(gen_key);
+  head.generation_count -= 1;
+  if (head.generation_count == 0) {
+    if (path_removed != nullptr) {
+      *path_removed = true;
+    }
+    batch.Delete(HeadKeyFor(user, path_key));
+    return db_->Write(batch);
+  }
+  if (head.latest_generation == generation) {
+    // Deleted the newest: the new latest is the max surviving id (the
+    // record still exists until the batch commits, so exclude it).
+    ASSIGN_OR_RETURN(std::vector<GenerationRecord> gens, ListGenerations(user, path_key));
+    uint64_t new_latest = 0;
+    for (const GenerationRecord& g : gens) {
+      if (g.generation_id != generation) {
+        new_latest = std::max(new_latest, g.generation_id);
+      }
+    }
+    head.latest_generation = new_latest;
+  }
+  batch.Put(HeadKeyFor(user, path_key), head.Serialize());
+  return db_->Write(batch);
+}
+
 Status FileIndex::PutFile(UserId user, ConstByteSpan path_key, const FileIndexEntry& entry) {
-  return db_->Put(KeyFor(user, path_key), entry.Serialize());
+  // Legacy overwrite: rewrite the latest generation in place (one atomic
+  // batch, id unchanged), matching the server's kReplaceLatest semantics.
+  GenerationRecord rec;
+  rec.file_size = entry.file_size;
+  rec.num_secrets = entry.num_secrets;
+  rec.recipe_container_id = entry.recipe_container_id;
+  rec.recipe_index = entry.recipe_index;
+  ASSIGN_OR_RETURN(std::optional<PathHead> head, GetHead(user, path_key));
+  if (head.has_value() && head->latest_generation != 0) {
+    rec.generation_id = head->latest_generation;
+    return PutGeneration(user, path_key, rec, /*new_path=*/nullptr);
+  }
+  return AppendGeneration(user, path_key, rec, /*new_path=*/nullptr).status();
 }
 
 Result<FileIndexEntry> FileIndex::GetFile(UserId user, ConstByteSpan path_key) {
-  Bytes value;
-  RETURN_IF_ERROR(db_->Get(KeyFor(user, path_key), &value));
-  return FileIndexEntry::Deserialize(value);
+  ASSIGN_OR_RETURN(GenerationRecord rec, GetGeneration(user, path_key, /*generation=*/0));
+  FileIndexEntry e;
+  e.file_size = rec.file_size;
+  e.num_secrets = rec.num_secrets;
+  e.recipe_container_id = rec.recipe_container_id;
+  e.recipe_index = rec.recipe_index;
+  return e;
 }
 
 Status FileIndex::DeleteFile(UserId user, ConstByteSpan path_key) {
-  return db_->Delete(KeyFor(user, path_key));
+  ASSIGN_OR_RETURN(std::vector<GenerationRecord> gens, ListGenerations(user, path_key));
+  WriteBatch batch;
+  for (const GenerationRecord& g : gens) {
+    batch.Delete(GenKeyFor(user, path_key, g.generation_id));
+  }
+  batch.Delete(HeadKeyFor(user, path_key));
+  return db_->Write(batch);
 }
 
 Result<uint64_t> FileIndex::FileCount(UserId user) {
   Bytes prefix;
-  prefix.push_back(kPrefix);
-  for (int i = 7; i >= 0; --i) {
-    prefix.push_back(static_cast<uint8_t>(user >> (8 * i)));
-  }
+  prefix.push_back(kHeadPrefix);
+  AppendUserBe(&prefix, user);
   uint64_t count = 0;
   auto it = db_->NewIterator();
   for (it->Seek(prefix); it->Valid(); it->Next()) {

@@ -1,10 +1,17 @@
-// The file index (§4.4): one entry per uploaded file, keyed by the hash of
-// (user id, encoded pathname). Stores the file's basic metadata and a
-// locator for its recipe in the recipe-container store.
+// The file index (§4.4), versioned: one path owns an ordered series of
+// backup generations (the paper's weekly snapshots, §5.2), each pointing
+// at its own recipe in the recipe-container store. Keyed by the hash of
+// (user id, encoded pathname); generation records live under a separate
+// prefix so path enumeration stays cheap.
+//
+// Layout in the LSM KV store:
+//   'F' || user || H(path_key)              -> PathHead {next/latest/count}
+//   'G' || user || H(path_key) || gen (BE)  -> GenerationRecord
 #ifndef CDSTORE_SRC_DEDUP_FILE_INDEX_H_
 #define CDSTORE_SRC_DEDUP_FILE_INDEX_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/dedup/fingerprint.h"
@@ -14,6 +21,8 @@
 
 namespace cdstore {
 
+// Legacy single-generation view (kept for the flat-index call sites and
+// tests): maps onto the latest generation of a path.
 struct FileIndexEntry {
   uint64_t file_size = 0;
   uint64_t num_secrets = 0;
@@ -25,21 +34,77 @@ struct FileIndexEntry {
   static Result<FileIndexEntry> Deserialize(ConstByteSpan data);
 };
 
+// One backup generation of a path.
+struct GenerationRecord {
+  uint64_t generation_id = 0;  // allocated by AppendGeneration, never reused
+  uint64_t file_size = 0;      // logical bytes of this generation
+  uint64_t num_secrets = 0;
+  uint64_t recipe_container_id = 0;
+  uint32_t recipe_index = 0;
+  // Share bytes whose first reference came from this generation — the
+  // per-generation "new physical data" the dedup ratio divides by.
+  uint64_t unique_bytes = 0;
+  uint64_t timestamp_ms = 0;  // client backup time (retention windows)
+
+  Bytes Serialize() const;
+  static Result<GenerationRecord> Deserialize(ConstByteSpan data);
+};
+
+// Per-path bookkeeping: id allocation survives pruning (ids stay monotonic
+// so clouds remain in lockstep), latest/count avoid a scan per lookup.
+struct PathHead {
+  uint64_t next_generation = 1;
+  uint64_t latest_generation = 0;  // 0 = no generations
+  uint64_t generation_count = 0;
+
+  Bytes Serialize() const;
+  static Result<PathHead> Deserialize(ConstByteSpan data);
+};
+
 class FileIndex {
  public:
   explicit FileIndex(Db* db);
 
+  // --- versioned namespace -------------------------------------------------
   // `path_key` is the encoded pathname share this server received (§4.3
-  // disperses sensitive metadata via secret sharing); the index key is
-  // H(user || path_key).
+  // disperses sensitive metadata via secret sharing); keys hash it.
+
+  // Appends a new generation (allocates the next id from the path head).
+  // `rec.generation_id` is ignored on input; the stored record (with its
+  // id) is returned. *new_path is set when this created the path.
+  Result<GenerationRecord> AppendGeneration(UserId user, ConstByteSpan path_key,
+                                            const GenerationRecord& rec, bool* new_path);
+
+  // Writes generation `rec.generation_id` exactly (repair: ids must stay
+  // in lockstep across clouds). Overwrites a same-id record in place;
+  // *new_path as above. next_generation advances past the written id.
+  Status PutGeneration(UserId user, ConstByteSpan path_key, const GenerationRecord& rec,
+                       bool* new_path);
+
+  // Fetches one generation; generation == 0 resolves the latest.
+  Result<GenerationRecord> GetGeneration(UserId user, ConstByteSpan path_key,
+                                         uint64_t generation);
+
+  // All generations of a path, ascending by id. NotFound for unknown paths.
+  Result<std::vector<GenerationRecord>> ListGenerations(UserId user, ConstByteSpan path_key);
+
+  // Removes one generation; *path_removed is set when it was the last one
+  // (the head is dropped with it).
+  Status DeleteGeneration(UserId user, ConstByteSpan path_key, uint64_t generation,
+                          bool* path_removed);
+
+  // --- legacy flat view (latest generation) --------------------------------
   Status PutFile(UserId user, ConstByteSpan path_key, const FileIndexEntry& entry);
   Result<FileIndexEntry> GetFile(UserId user, ConstByteSpan path_key);
+  // Removes the path and every generation record under it.
   Status DeleteFile(UserId user, ConstByteSpan path_key);
-  // Number of files this user has stored.
+  // Number of paths (not generations) this user has stored.
   Result<uint64_t> FileCount(UserId user);
 
  private:
-  Bytes KeyFor(UserId user, ConstByteSpan path_key) const;
+  Bytes HeadKeyFor(UserId user, ConstByteSpan path_key) const;
+  Bytes GenKeyFor(UserId user, ConstByteSpan path_key, uint64_t generation) const;
+  Result<std::optional<PathHead>> GetHead(UserId user, ConstByteSpan path_key);
 
   Db* db_;
 };

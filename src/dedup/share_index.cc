@@ -99,7 +99,9 @@ Status ShareIndex::InsertBatch(
 }
 
 Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
-                                     const std::vector<Fingerprint>& drop, UserId user) {
+                                     const std::vector<Fingerprint>& drop, UserId user,
+                                     uint64_t* first_ref_bytes,
+                                     uint64_t* dropped_last_ref_bytes) {
   // Net reference delta per distinct fingerprint.
   std::unordered_map<Fingerprint, int64_t, FingerprintHash> delta;
   for (const Fingerprint& fp : add) {
@@ -110,6 +112,8 @@ Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
   }
   std::unordered_set<Fingerprint, FingerprintHash> added(add.begin(), add.end());
 
+  uint64_t unique_bytes = 0;
+  uint64_t dropped_bytes = 0;
   WriteBatch batch;
   for (const auto& [fp, d] : delta) {
     Bytes key = KeyFor(fp);
@@ -124,15 +128,36 @@ Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
     }
     RETURN_IF_ERROR(st);
     ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+    if (entry.owners.empty() && added.count(fp) > 0) {
+      // First reference ever (the share was stored by UploadShares but not
+      // yet claimed by any generation): this file's unique contribution.
+      unique_bytes += entry.location.share_size;
+    }
     int64_t refs = static_cast<int64_t>(entry.owners[user]) + d;
     if (refs > 0) {
       entry.owners[user] = static_cast<uint32_t>(refs);
     } else {
       entry.owners.erase(user);
     }
-    batch.Put(key, entry.Serialize());
+    if (entry.owners.empty() && added.count(fp) == 0) {
+      // A drop took the last reference: erase the entry so GC sees the
+      // share as dead — the same orphan handling the DeleteFile path
+      // applies via Erase(). Entries named by `add` are never erased: the
+      // new recipe references them.
+      dropped_bytes += entry.location.share_size;
+      batch.Delete(key);
+    } else {
+      batch.Put(key, entry.Serialize());
+    }
   }
-  return db_->Write(batch);
+  RETURN_IF_ERROR(db_->Write(batch));
+  if (first_ref_bytes != nullptr) {
+    *first_ref_bytes = unique_bytes;
+  }
+  if (dropped_last_ref_bytes != nullptr) {
+    *dropped_last_ref_bytes = dropped_bytes;
+  }
+  return Status::Ok();
 }
 
 Status ShareIndex::AddReference(const Fingerprint& fp, UserId user) {

@@ -70,8 +70,20 @@ class ShareIndex {
   // entry. Unknown `drop` fingerprints are skipped, matching the lenient
   // per-entry drop during file replacement; verification failure leaves the
   // index untouched.
+  //
+  // When `first_ref_bytes` is non-null it receives the total share bytes of
+  // the distinct `add` fingerprints that had NO owner (any user) before
+  // this call — the exact "unique bytes" a new backup generation
+  // contributes, counted from the pre-call state so add/drop overlap never
+  // inflates it. When `dropped_last_ref_bytes` is non-null it receives the
+  // share bytes of entries this call erased because a drop took their last
+  // reference (the replaced generation's attribution leaving the system).
+  // The caller must hold the stripes of every touched fingerprint for the
+  // counts to be exact under concurrency.
   Status ReplaceReferences(const std::vector<Fingerprint>& add,
-                           const std::vector<Fingerprint>& drop, UserId user);
+                           const std::vector<Fingerprint>& drop, UserId user,
+                           uint64_t* first_ref_bytes = nullptr,
+                           uint64_t* dropped_last_ref_bytes = nullptr);
 
   // Drops one reference. Sets *orphaned when no references remain (the
   // share is garbage-collectible).

@@ -187,6 +187,9 @@ Bytes Encode(const PutFileRequest& m) {
   w.PutU64(m.user);
   w.PutBytes(m.path_key);
   w.PutU64(m.file_size);
+  w.PutU8(static_cast<uint8_t>(m.mode));
+  w.PutU64(m.generation_id);
+  w.PutU64(m.timestamp_ms);
   PutRecipe(&w, m.recipe);
   return w.Take();
 }
@@ -197,14 +200,27 @@ Status Decode(ConstByteSpan frame, PutFileRequest* m) {
   RETURN_IF_ERROR(r.GetU64(&m->user));
   RETURN_IF_ERROR(r.GetBytes(&m->path_key));
   RETURN_IF_ERROR(r.GetU64(&m->file_size));
+  uint8_t mode = 0;
+  RETURN_IF_ERROR(r.GetU8(&mode));
+  if (mode > static_cast<uint8_t>(PutFileMode::kPutGeneration)) {
+    return Status::InvalidArgument("unknown PutFile mode");
+  }
+  m->mode = static_cast<PutFileMode>(mode);
+  RETURN_IF_ERROR(r.GetU64(&m->generation_id));
+  RETURN_IF_ERROR(r.GetU64(&m->timestamp_ms));
   return GetRecipe(&r, &m->recipe);
 }
 
-Bytes Encode(const PutFileReply&) { return Begin(MsgType::kPutFileReply).Take(); }
+Bytes Encode(const PutFileReply& m) {
+  BufferWriter w = Begin(MsgType::kPutFileReply);
+  w.PutU64(m.generation_id);
+  return w.Take();
+}
 
-Status Decode(ConstByteSpan frame, PutFileReply*) {
+Status Decode(ConstByteSpan frame, PutFileReply* m) {
   BufferReader r(frame);
-  return CheckType(&r, MsgType::kPutFileReply);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kPutFileReply));
+  return r.GetU64(&m->generation_id);
 }
 
 // ---- GetFile ---------------------------------------------------------------
@@ -213,6 +229,7 @@ Bytes Encode(const GetFileRequest& m) {
   BufferWriter w = Begin(MsgType::kGetFileRequest);
   w.PutU64(m.user);
   w.PutBytes(m.path_key);
+  w.PutU64(m.generation);
   return w.Take();
 }
 
@@ -220,11 +237,13 @@ Status Decode(ConstByteSpan frame, GetFileRequest* m) {
   BufferReader r(frame);
   RETURN_IF_ERROR(CheckType(&r, MsgType::kGetFileRequest));
   RETURN_IF_ERROR(r.GetU64(&m->user));
-  return r.GetBytes(&m->path_key);
+  RETURN_IF_ERROR(r.GetBytes(&m->path_key));
+  return r.GetU64(&m->generation);
 }
 
 Bytes Encode(const GetFileReply& m) {
   BufferWriter w = Begin(MsgType::kGetFileReply);
+  w.PutU64(m.generation_id);
   w.PutU64(m.file_size);
   PutRecipe(&w, m.recipe);
   return w.Take();
@@ -233,6 +252,7 @@ Bytes Encode(const GetFileReply& m) {
 Status Decode(ConstByteSpan frame, GetFileReply* m) {
   BufferReader r(frame);
   RETURN_IF_ERROR(CheckType(&r, MsgType::kGetFileReply));
+  RETURN_IF_ERROR(r.GetU64(&m->generation_id));
   RETURN_IF_ERROR(r.GetU64(&m->file_size));
   return GetRecipe(&r, &m->recipe);
 }
@@ -301,6 +321,7 @@ Status Decode(ConstByteSpan frame, DeleteFileRequest* m) {
 
 Bytes Encode(const DeleteFileReply& m) {
   BufferWriter w = Begin(MsgType::kDeleteFileReply);
+  w.PutU32(m.generations_deleted);
   w.PutU32(m.shares_orphaned);
   return w.Take();
 }
@@ -308,7 +329,140 @@ Bytes Encode(const DeleteFileReply& m) {
 Status Decode(ConstByteSpan frame, DeleteFileReply* m) {
   BufferReader r(frame);
   RETURN_IF_ERROR(CheckType(&r, MsgType::kDeleteFileReply));
+  RETURN_IF_ERROR(r.GetU32(&m->generations_deleted));
   return r.GetU32(&m->shares_orphaned);
+}
+
+// ---- versioned namespace ---------------------------------------------------
+
+Bytes Encode(const ListVersionsRequest& m) {
+  BufferWriter w = Begin(MsgType::kListVersionsRequest);
+  w.PutU64(m.user);
+  w.PutBytes(m.path_key);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ListVersionsRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kListVersionsRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  return r.GetBytes(&m->path_key);
+}
+
+Bytes Encode(const ListVersionsReply& m) {
+  BufferWriter w = Begin(MsgType::kListVersionsReply);
+  w.PutVarint(m.versions.size());
+  for (const VersionInfo& v : m.versions) {
+    w.PutU64(v.generation_id);
+    w.PutU64(v.logical_bytes);
+    w.PutU64(v.unique_bytes);
+    w.PutU64(v.num_secrets);
+    w.PutU64(v.timestamp_ms);
+  }
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ListVersionsReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kListVersionsReply));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("version count exceeds frame");
+  }
+  m->versions.clear();
+  m->versions.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VersionInfo v;
+    RETURN_IF_ERROR(r.GetU64(&v.generation_id));
+    RETURN_IF_ERROR(r.GetU64(&v.logical_bytes));
+    RETURN_IF_ERROR(r.GetU64(&v.unique_bytes));
+    RETURN_IF_ERROR(r.GetU64(&v.num_secrets));
+    RETURN_IF_ERROR(r.GetU64(&v.timestamp_ms));
+    m->versions.push_back(v);
+  }
+  return Status::Ok();
+}
+
+Bytes Encode(const DeleteVersionRequest& m) {
+  BufferWriter w = Begin(MsgType::kDeleteVersionRequest);
+  w.PutU64(m.user);
+  w.PutBytes(m.path_key);
+  w.PutU64(m.generation_id);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, DeleteVersionRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kDeleteVersionRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  RETURN_IF_ERROR(r.GetBytes(&m->path_key));
+  return r.GetU64(&m->generation_id);
+}
+
+Bytes Encode(const DeleteVersionReply& m) {
+  BufferWriter w = Begin(MsgType::kDeleteVersionReply);
+  w.PutU32(m.shares_orphaned);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, DeleteVersionReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kDeleteVersionReply));
+  return r.GetU32(&m->shares_orphaned);
+}
+
+Bytes Encode(const ApplyRetentionRequest& m) {
+  BufferWriter w = Begin(MsgType::kApplyRetentionRequest);
+  w.PutU64(m.user);
+  w.PutBytes(m.path_key);
+  w.PutU32(m.policy.keep_last_n);
+  w.PutU64(m.policy.keep_within_ms);
+  w.PutU64(m.policy.now_ms);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ApplyRetentionRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kApplyRetentionRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  RETURN_IF_ERROR(r.GetBytes(&m->path_key));
+  RETURN_IF_ERROR(r.GetU32(&m->policy.keep_last_n));
+  RETURN_IF_ERROR(r.GetU64(&m->policy.keep_within_ms));
+  return r.GetU64(&m->policy.now_ms);
+}
+
+Bytes Encode(const ApplyRetentionReply& m) {
+  BufferWriter w = Begin(MsgType::kApplyRetentionReply);
+  w.PutU32(m.generations_deleted);
+  w.PutU32(m.shares_orphaned);
+  w.PutU64(m.logical_bytes_deleted);
+  w.PutVarint(m.deleted_generations.size());
+  for (uint64_t id : m.deleted_generations) {
+    w.PutU64(id);
+  }
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ApplyRetentionReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kApplyRetentionReply));
+  RETURN_IF_ERROR(r.GetU32(&m->generations_deleted));
+  RETURN_IF_ERROR(r.GetU32(&m->shares_orphaned));
+  RETURN_IF_ERROR(r.GetU64(&m->logical_bytes_deleted));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("generation count exceeds frame");
+  }
+  m->deleted_generations.clear();
+  m->deleted_generations.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    RETURN_IF_ERROR(r.GetU64(&id));
+    m->deleted_generations.push_back(id);
+  }
+  return Status::Ok();
 }
 
 // ---- Stats -----------------------------------------------------------------

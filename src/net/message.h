@@ -1,14 +1,18 @@
 // The CDStore client <-> server wire protocol. One request/reply pair per
 // interaction of §3.3/§4:
 //
-//   FpQuery       intra-user dedup check ("which of these shares have I
-//                 already uploaded?")
-//   UploadShares  4MB batches of unique shares (server re-fingerprints)
-//   PutFile       finalize a file: pathname share + recipe entries
-//   GetFile       fetch recipe by pathname share
-//   GetShares     fetch shares by fingerprint
-//   DeleteFile    drop a file and its share references
-//   Stats         server-side accounting for experiments
+//   FpQuery        intra-user dedup check ("which of these shares have I
+//                  already uploaded?")
+//   UploadShares   4MB batches of unique shares (server re-fingerprints)
+//   PutFile        finalize a file generation: pathname share + recipe
+//   GetFile        fetch a generation's recipe by pathname share
+//   GetShares      fetch shares by fingerprint
+//   DeleteFile     drop a file (every generation) and its share references
+//   Stats          server-side accounting for experiments
+//   ListVersions   enumerate a path's backup generations (§5: the paper's
+//                  workloads are weekly snapshot series)
+//   DeleteVersion  drop one generation's share references
+//   ApplyRetention prune generations by keep-last-N / keep-within-window
 //
 // Every message is [u8 type][payload]; replies reuse the same enum. Errors
 // travel as a kError frame wrapping a status code + text.
@@ -42,6 +46,12 @@ enum class MsgType : uint8_t {
   kStatsReply,
   kGcRequest,
   kGcReply,
+  kListVersionsRequest,
+  kListVersionsReply,
+  kDeleteVersionRequest,
+  kDeleteVersionReply,
+  kApplyRetentionRequest,
+  kApplyRetentionReply,
 };
 
 // One secret's share within a file recipe (§4.3 share metadata).
@@ -77,19 +87,41 @@ struct UploadSharesReply {
   uint32_t deduplicated = 0;  // shares inter-user deduplicated away
 };
 
+// How PutFile binds the uploaded recipe into the versioned namespace.
+enum class PutFileMode : uint8_t {
+  // Append a new backup generation under the path (a weekly snapshot in
+  // the paper's workloads); the path's earlier generations stay restorable.
+  kNewGeneration = 0,
+  // Replace the path's latest generation IN PLACE (the pre-versioning
+  // overwrite semantics): the old latest's share references are dropped
+  // and its generation id is reused, so partial-failure retries keep
+  // per-cloud id allocation in lockstep.
+  kReplaceLatest = 1,
+  // Write generation `generation_id` exactly (repair of one cloud's copy
+  // of an existing generation): ids stay in lockstep across clouds.
+  kPutGeneration = 2,
+};
+
 struct PutFileRequest {
   uint64_t user = 0;
   Bytes path_key;  // this cloud's share of the encoded pathname
   uint64_t file_size = 0;
+  PutFileMode mode = PutFileMode::kNewGeneration;
+  uint64_t generation_id = 0;  // kPutGeneration only; must be nonzero there
+  uint64_t timestamp_ms = 0;   // client backup time, drives retention windows
   std::vector<RecipeEntry> recipe;
 };
-struct PutFileReply {};
+struct PutFileReply {
+  uint64_t generation_id = 0;  // the generation this recipe was bound to
+};
 
 struct GetFileRequest {
   uint64_t user = 0;
   Bytes path_key;
+  uint64_t generation = 0;  // 0 = latest
 };
 struct GetFileReply {
+  uint64_t generation_id = 0;  // resolved id (latest when requested as 0)
   uint64_t file_size = 0;
   std::vector<RecipeEntry> recipe;
 };
@@ -107,7 +139,62 @@ struct DeleteFileRequest {
   Bytes path_key;
 };
 struct DeleteFileReply {
+  uint32_t generations_deleted = 0;
   uint32_t shares_orphaned = 0;
+};
+
+// --- versioned namespace (backup generations) ----------------------------
+
+// One backup generation of a path as this cloud indexed it. unique_bytes is
+// the share bytes whose FIRST reference came from this generation (exact
+// under the server's striped locks), so logical/unique is the
+// per-generation dedup ratio the §5.6 cost model consumes.
+struct VersionInfo {
+  uint64_t generation_id = 0;
+  uint64_t logical_bytes = 0;  // file size of this generation
+  uint64_t unique_bytes = 0;   // share bytes first referenced by it
+  uint64_t num_secrets = 0;
+  uint64_t timestamp_ms = 0;
+};
+
+struct ListVersionsRequest {
+  uint64_t user = 0;
+  Bytes path_key;
+};
+struct ListVersionsReply {
+  std::vector<VersionInfo> versions;  // ascending generation_id
+};
+
+struct DeleteVersionRequest {
+  uint64_t user = 0;
+  Bytes path_key;
+  uint64_t generation_id = 0;  // must name an existing generation
+};
+struct DeleteVersionReply {
+  uint32_t shares_orphaned = 0;
+};
+
+// Retention policy (§5.6 prices "weekly backups under a retention
+// window"): a generation SURVIVES if it is among the newest keep_last_n by
+// generation id, OR its timestamp lies within keep_within_ms of now_ms. A
+// rule set to 0 is absent; with both absent nothing is pruned. now_ms
+// travels in the request so pruning is deterministic and testable.
+struct RetentionPolicy {
+  uint32_t keep_last_n = 0;
+  uint64_t keep_within_ms = 0;
+  uint64_t now_ms = 0;
+};
+
+struct ApplyRetentionRequest {
+  uint64_t user = 0;
+  Bytes path_key;
+  RetentionPolicy policy;
+};
+struct ApplyRetentionReply {
+  uint32_t generations_deleted = 0;
+  uint32_t shares_orphaned = 0;
+  uint64_t logical_bytes_deleted = 0;
+  std::vector<uint64_t> deleted_generations;  // ascending
 };
 
 struct StatsRequest {};
@@ -148,6 +235,12 @@ Bytes Encode(const StatsRequest& m);
 Bytes Encode(const StatsReply& m);
 Bytes Encode(const GcRequest& m);
 Bytes Encode(const GcReply& m);
+Bytes Encode(const ListVersionsRequest& m);
+Bytes Encode(const ListVersionsReply& m);
+Bytes Encode(const DeleteVersionRequest& m);
+Bytes Encode(const DeleteVersionReply& m);
+Bytes Encode(const ApplyRetentionRequest& m);
+Bytes Encode(const ApplyRetentionReply& m);
 // Errors are status objects on the wire.
 Bytes EncodeError(const Status& status);
 
@@ -173,6 +266,12 @@ Status Decode(ConstByteSpan frame, StatsRequest* m);
 Status Decode(ConstByteSpan frame, StatsReply* m);
 Status Decode(ConstByteSpan frame, GcRequest* m);
 Status Decode(ConstByteSpan frame, GcReply* m);
+Status Decode(ConstByteSpan frame, ListVersionsRequest* m);
+Status Decode(ConstByteSpan frame, ListVersionsReply* m);
+Status Decode(ConstByteSpan frame, DeleteVersionRequest* m);
+Status Decode(ConstByteSpan frame, DeleteVersionReply* m);
+Status Decode(ConstByteSpan frame, ApplyRetentionRequest* m);
+Status Decode(ConstByteSpan frame, ApplyRetentionReply* m);
 // If `frame` is a kError message, returns the carried status; OK otherwise.
 Status DecodeIfError(ConstByteSpan frame);
 

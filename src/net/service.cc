@@ -65,6 +65,15 @@ Bytes Dispatch(ServerService& service, ConstByteSpan request) {
       return DecodeAndCall<StatsRequest>(service, request, &ServerService::Stats);
     case MsgType::kGcRequest:
       return DecodeAndCall<GcRequest>(service, request, &ServerService::Gc);
+    case MsgType::kListVersionsRequest:
+      return DecodeAndCall<ListVersionsRequest>(service, request,
+                                                &ServerService::ListVersions);
+    case MsgType::kDeleteVersionRequest:
+      return DecodeAndCall<DeleteVersionRequest>(service, request,
+                                                 &ServerService::DeleteVersion);
+    case MsgType::kApplyRetentionRequest:
+      return DecodeAndCall<ApplyRetentionRequest>(service, request,
+                                                  &ServerService::ApplyRetention);
     default:
       return EncodeError(Status::InvalidArgument("unknown request type"));
   }

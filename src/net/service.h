@@ -30,6 +30,9 @@ class ReplyBuilder {
   void Send(const DeleteFileReply& m) { Finish(Encode(m)); }
   void Send(const StatsReply& m) { Finish(Encode(m)); }
   void Send(const GcReply& m) { Finish(Encode(m)); }
+  void Send(const ListVersionsReply& m) { Finish(Encode(m)); }
+  void Send(const DeleteVersionReply& m) { Finish(Encode(m)); }
+  void Send(const ApplyRetentionReply& m) { Finish(Encode(m)); }
   // An error overrides any partially streamed reply.
   void SendError(const Status& status) { Finish(EncodeError(status)); }
 
@@ -73,6 +76,10 @@ class ServerService {
   virtual void DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) = 0;
   virtual void Stats(const StatsRequest& req, ReplyBuilder& rb) = 0;
   virtual void Gc(const GcRequest& req, ReplyBuilder& rb) = 0;
+  // Versioned namespace (backup generations + retention-driven pruning).
+  virtual void ListVersions(const ListVersionsRequest& req, ReplyBuilder& rb) = 0;
+  virtual void DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder& rb) = 0;
+  virtual void ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) = 0;
 };
 
 // Frame-in/frame-out adapter: decodes `request` (once), invokes the typed

@@ -105,6 +105,19 @@ SyntheticDatasetOptions SyntheticDataset::FslDefaults(double scale) {
   return o;
 }
 
+SyntheticDatasetOptions SyntheticDataset::GenerationSeriesDefaults(double scale) {
+  SyntheticDatasetOptions o = FslDefaults(scale);
+  // One user's home directory snapshotted weekly: the later weeks dedup
+  // >= 94% against their predecessors (§5.2), which is what per-generation
+  // unique-bytes accounting should reproduce.
+  o.num_users = 1;
+  o.num_weeks = 12;
+  o.shared_base_fraction = 0;  // no cross-user pool with a single user
+  o.shared_mod_fraction = 0;
+  o.seed = 0x6E5;
+  return o;
+}
+
 SyntheticDatasetOptions SyntheticDataset::VmDefaults(double scale) {
   SyntheticDatasetOptions o;
   // The paper uses 156 VMs; 24 keeps laptop runs quick while preserving the

@@ -56,6 +56,10 @@ class SyntheticDataset {
   // (1.0 = the defaults above; the paper's real sizes would be ~1e5).
   static SyntheticDatasetOptions FslDefaults(double scale = 1.0);
   static SyntheticDatasetOptions VmDefaults(double scale = 1.0);
+  // Single-user weekly generation series (FSL-shaped churn) for the
+  // versioned-namespace workload: week w becomes backup generation w+1 of
+  // ONE path, so ListVersions/ApplyRetention/GC can be driven end to end.
+  static SyntheticDatasetOptions GenerationSeriesDefaults(double scale = 1.0);
 
  private:
   // Segment seeds per user per week.

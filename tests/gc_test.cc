@@ -2,6 +2,8 @@
 // garbage collection of orphaned shares and index snapshot backup/restore.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/core/client.h"
 #include "src/core/server.h"
 #include "src/net/transport.h"
@@ -142,6 +144,43 @@ TEST_F(GcTest, RepeatedDeleteGcCycles) {
   StatsReply stats;
   ASSERT_TRUE(Decode(frame, &stats).ok());
   EXPECT_EQ(stats.unique_shares, 0u);
+}
+
+TEST_F(GcTest, GcAfterOverwriteRewritesOnlyDereferencedContainers) {
+  // Upload a file, overwrite it as a NEW generation that keeps most of the
+  // old content, prune the old generation, and assert GC touches only the
+  // containers whose shares actually lost their last reference — fully
+  // live containers are left in place.
+  CdstoreClient client(TransportPtrs(), 1, SmallClientOptions());
+  Bytes gen1 = Rng(21).RandomBytes(180000);
+  Bytes gen2 = gen1;
+  // Rewrite the middle third: gen2 dedups the head and tail against gen1.
+  Bytes churn = Rng(22).RandomBytes(60000);
+  std::copy(churn.begin(), churn.end(), gen2.begin() + 60000);
+
+  UploadFileOptions new_gen;
+  new_gen.mode = PutFileMode::kNewGeneration;
+  ASSERT_TRUE(client.Upload("/v", gen1, nullptr, new_gen).ok());
+  ASSERT_TRUE(client.Upload("/v", gen2, nullptr, new_gen).ok());
+  ASSERT_TRUE(client.DeleteVersion("/v", 1).ok());
+
+  for (int i = 0; i < kN; ++i) {
+    auto stats = servers_[i]->CollectGarbage();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    // Only the containers holding gen1's rewritten-region shares lost
+    // references; the (many) containers of still-shared head/tail shares
+    // must not be rewritten.
+    EXPECT_GT(stats.value().containers_rewritten, 0u);
+    EXPECT_LT(stats.value().containers_rewritten, stats.value().containers_scanned);
+    EXPECT_GT(stats.value().bytes_reclaimed, 0u);
+    // Far less than the whole file is reclaimable: most shares survived
+    // into generation 2.
+    EXPECT_LT(stats.value().bytes_reclaimed, gen1.size());
+  }
+  // The surviving generation restores byte-identically after migration.
+  auto restored = client.Download("/v");
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value(), gen2);
 }
 
 TEST_F(GcTest, IndexSnapshotBackupRestore) {
