@@ -13,7 +13,14 @@
 // generation_series_summary line's dedup_ratio feeds examples/cost_explorer
 // --bench-json, replacing the §5.6 assumption with a measurement.
 //
-// Flags: --weeks=8 --scale=2 --keep=2 --uplink_mbps=24 --latency_ms=2
+//   4. namespace scenarios (--paths=P): a P-path backup set, then (a) a
+//      point-in-time RestoreNamespace(as-of mid-series) verified against
+//      the dataset, and (b) the cross-path retention sweep
+//      (ApplyRetentionNamespace, one commit-locked pass per page) timed
+//      against the equivalent per-path ApplyRetention loop on an identical
+//      deployment — same generations pruned, O(pages) lock churn.
+//
+// Flags: --weeks=8 --scale=2 --keep=2 --paths=4 --uplink_mbps=24 --latency_ms=2
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -111,6 +118,7 @@ int main(int argc, char** argv) {
   const int weeks = static_cast<int>(FlagValue(argc, argv, "weeks", 8));
   const double scale = FlagValue(argc, argv, "scale", 2);
   const uint32_t keep = static_cast<uint32_t>(FlagValue(argc, argv, "keep", 2));
+  const int paths = static_cast<int>(FlagValue(argc, argv, "paths", 4));
   const double uplink_mbps = FlagValue(argc, argv, "uplink_mbps", 24);
   const double latency_ms = FlagValue(argc, argv, "latency_ms", 2);
 
@@ -273,5 +281,130 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_unique), dedup_ratio,
               ToMiBps(restored_bytes, restore_s),
               static_cast<unsigned long long>(reclaimed));
+
+  // 6. Namespace scenarios: a P-path weekly backup set on two IDENTICAL
+  // fresh deployments (A gets the per-path retention loop, B gets the
+  // one-RPC sweep). The last path is born in the final week, so the as-of
+  // restore has a genuinely skippable path.
+  PrintHeader("Namespace control plane (P-path backup set)");
+  SyntheticDatasetOptions nopts = SyntheticDataset::GenerationSeriesDefaults(scale);
+  nopts.num_weeks = weeks;
+  nopts.num_users = paths;
+  SyntheticDataset ns_dataset(nopts);
+  auto world_a = MakeDeployment(latency_ms / 1e3, uplink_mbps * 1e6);
+  auto world_b = MakeDeployment(latency_ms / 1e3, uplink_mbps * 1e6);
+  CdstoreClient client_a(world_a->ptrs, /*user=*/1, copts);
+  CdstoreClient client_b(world_b->ptrs, /*user=*/1, copts);
+  auto path_name = [](int u) { return "/fsl/user" + std::to_string(u); };
+  for (auto [world, cl] : {std::pair{world_a.get(), &client_a}, {world_b.get(), &client_b}}) {
+    (void)world;
+    auto s = cl->OpenBackupSession();
+    if (!s.ok()) {
+      std::fprintf(stderr, "session failed: %s\n", s.status().ToString().c_str());
+      return 1;
+    }
+    for (int w = 0; w < weeks; ++w) {
+      for (int u = 0; u < paths; ++u) {
+        if (u == paths - 1 && w < weeks - 1) {
+          continue;  // the late-born path has only the final week
+        }
+        UploadFileOptions fopts;
+        fopts.mode = PutFileMode::kNewGeneration;
+        fopts.timestamp_ms = static_cast<uint64_t>(w + 1) * kWeekMs;
+        if (Status st = s.value()->Upload(path_name(u), ns_dataset.FileFor(u, w), nullptr,
+                                          fopts);
+            !st.ok()) {
+          std::fprintf(stderr, "namespace upload failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    (void)s.value()->Close();
+  }
+
+  // 6a. Point-in-time restore as of mid-series: every early path resolves
+  // the generation of week `as_of_week`, the late-born path is skipped.
+  const int as_of_week = (weeks + 1) / 2;
+  RestoreSelector selector;
+  selector.as_of_ms = static_cast<uint64_t>(as_of_week) * kWeekMs;
+  std::map<std::string, Bytes> restored_files;
+  auto factory = [&](const NamespaceEntry& e,
+                     uint64_t g) -> Result<std::unique_ptr<ByteSink>> {
+    (void)g;
+    return std::unique_ptr<ByteSink>(new BufferByteSink(&restored_files[e.path_name]));
+  };
+  Stopwatch asof_watch;
+  auto ns_restore = client_b.RestoreNamespace(selector, factory);
+  double asof_s = asof_watch.ElapsedSeconds();
+  if (!ns_restore.ok()) {
+    std::fprintf(stderr, "RestoreNamespace failed: %s\n",
+                 ns_restore.status().ToString().c_str());
+    return 1;
+  }
+  for (int u = 0; u < paths - 1; ++u) {
+    if (restored_files[path_name(u)] != ns_dataset.FileFor(u, as_of_week - 1)) {
+      std::fprintf(stderr, "as-of restore mismatch for %s\n", path_name(u).c_str());
+      return 1;
+    }
+  }
+  if (ns_restore.value().files_skipped != 1) {
+    std::fprintf(stderr, "late-born path was not skipped\n");
+    return 1;
+  }
+  std::printf("restore-as-of week %d: %d files, %s in %.3fs (%.1f MB/s); 1 path born "
+              "later skipped\n",
+              as_of_week, paths - 1, FormatSize(ns_restore.value().bytes_restored).c_str(),
+              asof_s, ToMiBps(ns_restore.value().bytes_restored, asof_s));
+  std::printf("BENCH_JSON {\"bench\":\"namespace_restore_asof\",\"paths\":%d,"
+              "\"as_of_week\":%d,\"files_restored\":%llu,\"files_skipped\":%llu,"
+              "\"bytes\":%llu,\"seconds\":%.4f,\"mibps\":%.2f}\n",
+              paths, as_of_week,
+              static_cast<unsigned long long>(ns_restore.value().files_restored),
+              static_cast<unsigned long long>(ns_restore.value().files_skipped),
+              static_cast<unsigned long long>(ns_restore.value().bytes_restored), asof_s,
+              ToMiBps(ns_restore.value().bytes_restored, asof_s));
+
+  // 6b. Cross-path retention: per-path loop on A vs one namespace sweep on
+  // B. Identical prune decisions, commit lock churned O(pages) not
+  // O(paths).
+  RetentionPolicy ns_policy;
+  ns_policy.keep_last_n = keep;
+  Stopwatch per_path_watch;
+  uint64_t per_path_deleted = 0;
+  for (int u = 0; u < paths; ++u) {
+    auto reply = client_a.ApplyRetention(path_name(u), ns_policy);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "per-path ApplyRetention failed: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    per_path_deleted += reply.value().generations_deleted;
+  }
+  double per_path_s = per_path_watch.ElapsedSeconds();
+  Stopwatch sweep_watch;
+  auto sweep = client_b.ApplyRetentionNamespace(ns_policy);
+  double sweep_s = sweep_watch.ElapsedSeconds();
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "ApplyRetentionNamespace failed: %s\n",
+                 sweep.status().ToString().c_str());
+    return 1;
+  }
+  if (sweep.value().generations_deleted != per_path_deleted) {
+    std::fprintf(stderr, "sweep pruned %llu generations, per-path loop pruned %llu\n",
+                 static_cast<unsigned long long>(sweep.value().generations_deleted),
+                 static_cast<unsigned long long>(per_path_deleted));
+    return 1;
+  }
+  std::printf("retention keep-last-%u over %d paths: per-path loop %.1fms (%d RPCs/cloud), "
+              "namespace sweep %.1fms (1 RPC/cloud, %u page(s)); %llu generations pruned "
+              "by each\n",
+              keep, paths, per_path_s * 1e3, paths, sweep_s * 1e3, sweep.value().pages,
+              static_cast<unsigned long long>(per_path_deleted));
+  std::printf("BENCH_JSON {\"bench\":\"namespace_sweep\",\"paths\":%d,\"weeks\":%d,"
+              "\"keep_last\":%u,\"per_path_seconds\":%.4f,\"sweep_seconds\":%.4f,"
+              "\"sweep_pages\":%u,\"generations_deleted\":%llu,\"speedup\":%.2f}\n",
+              paths, weeks, keep, per_path_s, sweep_s, sweep.value().pages,
+              static_cast<unsigned long long>(per_path_deleted),
+              sweep_s > 0 ? per_path_s / sweep_s : 0.0);
   return 0;
 }

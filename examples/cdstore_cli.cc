@@ -12,21 +12,33 @@
 //   cdstore_cli <state_dir> versions <file> [--user=N]
 //   cdstore_cli <state_dir> prune    <file> --keep=N [--within-weeks=W] [--user=N]
 //   cdstore_cli <state_dir> rm       <file> [--user=N]      (drops every generation)
+//   cdstore_cli <state_dir> ls       [--user=N]             (whole namespace)
+//   cdstore_cli <state_dir> prune-all --keep=N [--within-weeks=W] [--user=N]
+//   cdstore_cli <state_dir> restore-all <out_dir> [--as-of=UNIX_MS] [--user=N]
 //   cdstore_cli <state_dir> stats
 //   cdstore_cli <state_dir> gc
+//
+// The namespace commands are the whole-backup-set operations: `ls`
+// reconstructs every pathname from k clouds' dispersed name shares,
+// `prune-all` runs one server-side retention sweep per cloud (commit-locked
+// per page, not per path), and `restore-all` reproduces the namespace as of
+// a point in time under <out_dir> (paths born after --as-of are skipped).
 //
 // Example:
 //   ./examples/cdstore_cli /tmp/cd backup  /etc/hosts /etc/passwd
 //   ./examples/cdstore_cli /tmp/cd backup  /etc/hosts       # generation 2
+//   ./examples/cdstore_cli /tmp/cd ls
 //   ./examples/cdstore_cli /tmp/cd versions /etc/hosts
 //   ./examples/cdstore_cli /tmp/cd restore /etc/hosts /tmp/hosts.v1 --gen=1
-//   ./examples/cdstore_cli /tmp/cd prune   /etc/hosts --keep=1
+//   ./examples/cdstore_cli /tmp/cd prune-all --keep=1
+//   ./examples/cdstore_cli /tmp/cd restore-all /tmp/everything
 //   ./examples/cdstore_cli /tmp/cd gc
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,6 +76,9 @@ bool OpenDeployment(const std::string& state_dir, Deployment* d) {
     d->backends.push_back(std::move(backend.value()));
     ServerOptions so;
     so.index_dir = cloud_dir + "/index";
+    // Operational deployment: maintenance (prune/gc) leaves fresh index
+    // snapshots at the backend automatically, pruned keep-last-N.
+    so.auto_index_snapshot = true;
     auto server = CdstoreServer::Create(d->backends.back().get(), so);
     if (!server.ok()) {
       std::fprintf(stderr, "cannot start server %d: %s\n", i,
@@ -85,6 +100,11 @@ int Usage() {
                "       cdstore_cli <state_dir> prune <file> --keep=N [--within-weeks=W] "
                "[--user=N]\n"
                "       cdstore_cli <state_dir> rm <file> [--user=N]\n"
+               "       cdstore_cli <state_dir> ls [--user=N]\n"
+               "       cdstore_cli <state_dir> prune-all --keep=N [--within-weeks=W] "
+               "[--user=N]\n"
+               "       cdstore_cli <state_dir> restore-all <out_dir> [--as-of=UNIX_MS] "
+               "[--user=N]\n"
                "       cdstore_cli <state_dir> stats\n"
                "       cdstore_cli <state_dir> gc\n");
   return 2;
@@ -117,6 +137,7 @@ int main(int argc, char** argv) {
   uint64_t gen = TakeFlag(&argc, argv, "gen", 0);
   uint64_t keep = TakeFlag(&argc, argv, "keep", 0);
   uint64_t within_weeks = TakeFlag(&argc, argv, "within-weeks", 0);
+  uint64_t as_of = TakeFlag(&argc, argv, "as-of", 0);
   if (argc < 3) {
     return Usage();
   }
@@ -258,6 +279,178 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (cmd == "ls") {
+    // Namespace enumeration: pathnames reconstructed from k clouds'
+    // dispersed shares (no single cloud ever held them), paged RPCs
+    // underneath so no reply frame carries the whole namespace.
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    auto listing = client.ListPaths();
+    if (!listing.ok()) {
+      std::fprintf(stderr, "ls failed: %s\n", listing.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-40s %-6s %-8s %-12s %s\n", "path", "gens", "latest", "size",
+                "last_backup_ms");
+    for (const NamespaceEntry& e : listing.value().entries) {
+      std::printf("%-40s %-6llu %-8llu %-12s %llu\n", e.path_name.c_str(),
+                  static_cast<unsigned long long>(e.generation_count),
+                  static_cast<unsigned long long>(e.latest_generation),
+                  FormatSize(e.latest_logical_bytes).c_str(),
+                  static_cast<unsigned long long>(e.latest_timestamp_ms));
+    }
+    if (listing.value().unnamed_paths > 0) {
+      std::printf("(%llu path(s) predate name storage; their next backup makes them "
+                  "enumerable)\n",
+                  static_cast<unsigned long long>(listing.value().unnamed_paths));
+    }
+    std::printf("%zu path(s)\n", listing.value().entries.size());
+    return 0;
+  }
+
+  if (cmd == "prune-all") {
+    if (keep == 0 && within_weeks == 0) {
+      std::fprintf(stderr, "prune-all needs --keep=N and/or --within-weeks=W\n");
+      return 2;
+    }
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    RetentionPolicy policy;
+    policy.keep_last_n = keep > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(keep);
+    policy.keep_within_ms = within_weeks > UINT64_MAX / kWeekMs ? UINT64_MAX
+                                                                : within_weeks * kWeekMs;
+    policy.now_ms = NowMs();
+    // Resolve names first so the per-path report is human-readable (the
+    // sweep reply itself carries only path ids).
+    std::map<Bytes, std::string> names;
+    if (auto listing = client.ListPaths(); listing.ok()) {
+      for (const NamespaceEntry& e : listing.value().entries) {
+        names[e.path_id] = e.path_name;
+      }
+    }
+    auto reply = client.ApplyRetentionNamespace(policy);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "prune-all failed: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    const ApplyRetentionNamespaceReply& r = reply.value();
+    std::printf("swept %llu path(s) in %u page(s): pruned %llu generation(s), %s logical, "
+                "%u shares orphaned, %llu path(s) emptied\n",
+                static_cast<unsigned long long>(r.paths_swept), r.pages,
+                static_cast<unsigned long long>(r.generations_deleted),
+                FormatSize(r.logical_bytes_deleted).c_str(), r.shares_orphaned,
+                static_cast<unsigned long long>(r.paths_removed));
+    for (const PathRetentionResult& p : r.per_path) {
+      auto it = names.find(p.path_id);
+      std::printf("  %-40s -%u generation(s), %s%s\n",
+                  it != names.end() ? it->second.c_str() : "<unnamed path>",
+                  p.generations_deleted, FormatSize(p.logical_bytes_deleted).c_str(),
+                  p.path_removed ? " (path removed)" : "");
+    }
+    std::printf("run 'gc' to reclaim container space\n");
+    return 0;
+  }
+
+  if (cmd == "restore-all" && argc >= 4) {
+    // Point-in-time restore of the whole namespace under <out_dir>:
+    // equivalent to running `restore` once per path with the right --gen,
+    // but the generation resolution (newest at or before --as-of) happens
+    // per path, and paths born after the point are skipped.
+    std::string out_dir = argv[3];
+    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    RestoreSelector selector;
+    selector.as_of_ms = as_of;
+    Status close_error;
+    // Wraps FileByteSink so the flush error of each restored file
+    // surfaces even though RestoreNamespace owns the sink's lifetime.
+    class ClosingFileSink : public ByteSink {
+     public:
+      ClosingFileSink(std::unique_ptr<FileByteSink> f, Status* err)
+          : f_(std::move(f)), err_(err) {}
+      ~ClosingFileSink() override {
+        if (Status st = f_->Close(); !st.ok() && err_->ok()) {
+          *err_ = st;
+        }
+      }
+      Status Append(ConstByteSpan data) override { return f_->Append(data); }
+
+     private:
+      std::unique_ptr<FileByteSink> f_;
+      Status* err_;
+    };
+    auto factory = [&](const NamespaceEntry& e,
+                       uint64_t g) -> Result<std::unique_ptr<ByteSink>> {
+      (void)g;
+      // Rebuild the destination from sanitized components: backup names
+      // are untrusted here, and a stored "../x" (or "/a/../../x") must not
+      // write outside out_dir. ".." components skip the file loudly
+      // instead of being silently rewritten.
+      std::string rel;
+      for (size_t i = 0; i < e.path_name.size();) {
+        size_t j = e.path_name.find('/', i);
+        if (j == std::string::npos) {
+          j = e.path_name.size();
+        }
+        std::string comp = e.path_name.substr(i, j - i);
+        i = j + 1;
+        if (comp.empty() || comp == ".") {
+          continue;
+        }
+        if (comp == "..") {
+          std::fprintf(stderr, "skipping %s: path would escape %s\n", e.path_name.c_str(),
+                       out_dir.c_str());
+          return std::unique_ptr<ByteSink>();  // counted as skipped
+        }
+        rel += rel.empty() ? comp : "/" + comp;
+      }
+      if (rel.empty()) {
+        std::fprintf(stderr, "skipping backup path %s: no usable file name\n",
+                     e.path_name.c_str());
+        return std::unique_ptr<ByteSink>();
+      }
+      std::string dest = out_dir + "/" + rel;
+      if (auto slash = dest.find_last_of('/'); slash != std::string::npos) {
+        if (Status st = CreateDirs(dest.substr(0, slash)); !st.ok()) {
+          return st;
+        }
+      }
+      auto sink = FileByteSink::Open(dest);
+      if (!sink.ok()) {
+        return sink.status();
+      }
+      return std::unique_ptr<ByteSink>(
+          new ClosingFileSink(std::move(sink.value()), &close_error));
+    };
+    auto stats = client.RestoreNamespace(selector, factory);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "restore-all failed: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    if (!close_error.ok()) {
+      std::fprintf(stderr, "restore-all failed: %s\n", close_error.ToString().c_str());
+      return 1;
+    }
+    for (const RestoredPath& p : stats.value().restored) {
+      std::printf("restored %s (generation %llu, %s)\n", p.path_name.c_str(),
+                  static_cast<unsigned long long>(p.generation),
+                  FormatSize(p.bytes).c_str());
+    }
+    std::printf("restored %llu file(s), %s%s; skipped %llu\n",
+                static_cast<unsigned long long>(stats.value().files_restored),
+                FormatSize(stats.value().bytes_restored).c_str(),
+                as_of == 0 ? " (latest)" : "",
+                static_cast<unsigned long long>(stats.value().files_skipped));
+    if (stats.value().files_unnamed > 0) {
+      // An incomplete restore must not look complete: legacy paths whose
+      // names were never stored cannot be enumerated, so they are missing
+      // from out_dir until a backup touches them.
+      std::fprintf(stderr,
+                   "WARNING: %llu path(s) predate name storage and were NOT restored; "
+                   "back them up once to make them enumerable\n",
+                   static_cast<unsigned long long>(stats.value().files_unnamed));
+      return 1;
+    }
+    return 0;
+  }
+
   if ((cmd == "rm" || cmd == "delete") && argc >= 4) {
     // The DeleteFile RPC end to end: every generation's references are
     // dropped on every cloud; a never-backed-up path is a clean NotFound.
@@ -278,8 +471,10 @@ int main(int argc, char** argv) {
       if (!Decode(frame, &stats).ok()) {
         continue;
       }
-      std::printf("cloud %d: %llu files, %llu unique shares, %s stored, %llu containers\n", i,
-                  static_cast<unsigned long long>(stats.file_count),
+      std::printf("cloud %d: %llu files (%llu generations), %llu unique shares, %s stored, "
+                  "%llu containers\n",
+                  i, static_cast<unsigned long long>(stats.file_count),
+                  static_cast<unsigned long long>(stats.generation_count),
                   static_cast<unsigned long long>(stats.unique_shares),
                   FormatSize(stats.stored_bytes).c_str(),
                   static_cast<unsigned long long>(stats.container_count));

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <numeric>
 #include <set>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 
+#include "src/crypto/sha256.h"
 #include "src/dispersal/secret_sharing.h"
 #include "src/util/logging.h"
 
@@ -140,7 +142,8 @@ void BackupSession::UploaderLoop(size_t lane) {
     UploadWriter* w = *writer;
     int cloud = clouds_[lane];
     Status st = client_->StreamUploadToCloud(cloud, static_cast<int>(lane),
-                                             w->path_keys_[cloud], &w->file_size_,
+                                             w->path_keys_[cloud], &w->path_id_,
+                                             w->path_name_len_, &w->file_size_,
                                              &w->upload_opts_, &w->pool_, &w->abort_,
                                              &w->file_stats_, &w->stats_mu_,
                                              &w->lane_generations_[lane]);
@@ -169,6 +172,8 @@ Result<std::unique_ptr<BackupSession::UploadWriter>> BackupSession::OpenUpload(
   auto writer =
       std::unique_ptr<UploadWriter>(new UploadWriter(this, std::move(path_keys.value())));
   writer->upload_opts_ = options;  // before Push: lanes read it afterwards
+  writer->path_id_ = client_->PathIdOf(path_name);
+  writer->path_name_len_ = static_cast<uint32_t>(path_name.size());
   for (auto& q : jobs_) {
     q->Push(writer.get());
   }
@@ -344,7 +349,8 @@ Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
                              UploadStats* stats, const UploadFileOptions& options) {
   if (!opts_.streaming_upload) {
     ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
-    return UploadBarrier(path_keys, data, options, stats);
+    return UploadBarrier(path_keys, PathIdOf(path_name),
+                         static_cast<uint32_t>(path_name.size()), data, options, stats);
   }
   // Thin wrapper: a one-file session. Chunking, encoding, dedup, transfer,
   // and stats are identical to any other session upload.
@@ -359,6 +365,7 @@ Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
 // put. Pending shares accumulate until stream_batch_bytes, then one FpQuery
 // settles their dedup status and the unique ones join the transfer batch.
 Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
+                                          const Bytes* path_id, uint32_t path_name_len,
                                           const uint64_t* file_size,
                                           const UploadFileOptions* fopts,
                                           BroadcastQueue<CodingPipeline::EncodedSecret>* in,
@@ -532,6 +539,8 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     PutFileRequest put;
     put.user = user_;
     put.path_key = path_key;
+    put.path_id = *path_id;
+    put.path_name_len = path_name_len;
     put.file_size = *file_size;  // written by the writer before pool close
     put.mode = fopts->mode;
     put.generation_id = fopts->generation_id;
@@ -565,7 +574,8 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
   return Status::Ok();
 }
 
-Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
+Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Bytes& path_id,
+                                    uint32_t path_name_len, uint64_t file_size,
                                     const UploadFileOptions& fopts,
                                     const std::vector<RecipeEntry>& recipe,
                                     const std::vector<const Bytes*>& shares,
@@ -639,6 +649,8 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t f
   PutFileRequest put;
   put.user = user_;
   put.path_key = path_key;
+  put.path_id = path_id;
+  put.path_name_len = path_name_len;
   put.file_size = file_size;
   put.mode = fopts.mode;
   put.generation_id = fopts.generation_id;
@@ -665,7 +677,8 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, uint64_t f
   return Status::Ok();
 }
 
-Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, ConstByteSpan data,
+Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, const Bytes& path_id,
+                                    uint32_t path_name_len, ConstByteSpan data,
                                     const UploadFileOptions& fopts, UploadStats* stats) {
   Stopwatch compute_watch;
 
@@ -712,8 +725,9 @@ Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, ConstBy
   threads.reserve(opts_.n);
   for (int i = 0; i < opts_.n; ++i) {
     threads.emplace_back([&, i]() {
-      results[i] = UploadToCloud(i, path_keys[i], data.size(), fopts, recipes[i],
-                                 cloud_shares[i], stats, &stats_mu, &bound_gens[i]);
+      results[i] = UploadToCloud(i, path_keys[i], path_id, path_name_len, data.size(), fopts,
+                                 recipes[i], cloud_shares[i], stats, &stats_mu,
+                                 &bound_gens[i]);
     });
   }
   for (auto& th : threads) {
@@ -1388,6 +1402,241 @@ Result<ApplyRetentionReply> CdstoreClient::ApplyRetention(const std::string& pat
     return Status::Unavailable("no cloud applied the retention policy");
   }
   return summary;
+}
+
+// ------------------------------------------- namespace control plane --
+
+Bytes CdstoreClient::PathIdOf(const std::string& path_name) const {
+  // Domain-separated salted hash: depends only on the deployment salt and
+  // the cleartext name, so every cloud stores the same id for the same
+  // path and a client can match one path's listing entries across clouds.
+  // The embedded NUL terminator of the literal separates the domain tag
+  // from the name, so no (salt, name) pair collides across domains.
+  static const char kDomain[] = "cdstore:path-id";
+  Bytes input;
+  input.reserve(opts_.salt.size() + sizeof(kDomain) + path_name.size());
+  input.insert(input.end(), opts_.salt.begin(), opts_.salt.end());
+  input.insert(input.end(), kDomain, kDomain + sizeof(kDomain));
+  input.insert(input.end(), path_name.begin(), path_name.end());
+  return Sha256::Hash(input);
+}
+
+Result<ListPathsReply> CdstoreClient::ListPathsPage(int cloud, ConstByteSpan cursor,
+                                                    uint32_t max_entries) {
+  if (cloud < 0 || cloud >= opts_.n) {
+    return Status::InvalidArgument("cloud out of range");
+  }
+  ListPathsRequest req;
+  req.user = user_;
+  req.cursor.assign(cursor.begin(), cursor.end());
+  req.max_entries = max_entries;
+  ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
+  RETURN_IF_ERROR(DecodeIfError(frame));
+  ListPathsReply reply;
+  RETURN_IF_ERROR(Decode(frame, &reply));
+  return reply;
+}
+
+Result<NamespaceListing> CdstoreClient::ListPaths(uint32_t page_size) {
+  // Names were dispersed at backup time (§4.3), so reconstructing the
+  // namespace takes k clouds: page through each cloud's listing, match
+  // entries across clouds by path_id, then decode each name from its k
+  // shares. Clouds beyond the first k are only consulted when an earlier
+  // one is unreachable.
+  struct Candidate {
+    std::vector<int> ids;
+    std::vector<Bytes> shares;
+    uint32_t name_len = 0;
+    PathInfo first_info;
+  };
+  std::map<Bytes, Candidate> by_id;
+  uint64_t unnamed_max = 0;
+  int clouds_listed = 0;
+  Status last_error = Status::Unavailable("no cloud reachable");
+  for (int c = 0; c < opts_.n && clouds_listed < opts_.k; ++c) {
+    std::vector<PathInfo> cloud_paths;
+    Bytes cursor;
+    bool failed = false;
+    while (true) {
+      auto page = ListPathsPage(c, cursor, page_size);
+      if (!page.ok()) {
+        last_error = page.status();
+        failed = true;
+        break;
+      }
+      for (PathInfo& p : page.value().paths) {
+        cloud_paths.push_back(std::move(p));
+      }
+      cursor = page.value().next_cursor;
+      if (cursor.empty()) {
+        break;
+      }
+    }
+    if (failed) {
+      continue;
+    }
+    ++clouds_listed;
+    uint64_t unnamed_here = 0;
+    for (PathInfo& p : cloud_paths) {
+      if (p.path_id.empty() || p.name_share.empty() || p.name_len == 0) {
+        // Legacy head this cloud never upgraded: it has no identity the
+        // other clouds could corroborate. Counted once via the per-cloud
+        // max (each healthy cloud sees the same namespace).
+        ++unnamed_here;
+        continue;
+      }
+      Candidate& cand = by_id[p.path_id];
+      cand.ids.push_back(c);
+      cand.shares.push_back(std::move(p.name_share));
+      if (cand.name_len == 0) {
+        cand.name_len = p.name_len;
+        cand.first_info = p;
+      }
+    }
+    unnamed_max = std::max(unnamed_max, unnamed_here);
+  }
+  if (clouds_listed < opts_.k) {
+    return Status(last_error.code(),
+                  "namespace enumeration needs k=" + std::to_string(opts_.k) +
+                      " clouds, got " + std::to_string(clouds_listed) + ": " +
+                      last_error.message());
+  }
+  NamespaceListing out;
+  uint64_t partial = 0;  // matched by id on some clouds but fewer than k
+  for (auto& [path_id, cand] : by_id) {
+    if (cand.ids.size() < static_cast<size_t>(opts_.k)) {
+      ++partial;
+      continue;
+    }
+    Bytes name_bytes;
+    Status st = scheme_->Decode(cand.ids, cand.shares, cand.name_len, &name_bytes);
+    std::string name = st.ok() ? StringOf(name_bytes) : std::string();
+    // End-to-end check: the decoded name must hash back to the id the
+    // entries were matched under, or a cloud served a cross-wired share.
+    if (!st.ok() || PathIdOf(name) != path_id) {
+      ++partial;
+      continue;
+    }
+    NamespaceEntry e;
+    e.path_name = std::move(name);
+    e.path_id = path_id;
+    e.latest_generation = cand.first_info.latest_generation;
+    e.generation_count = cand.first_info.generation_count;
+    e.latest_timestamp_ms = cand.first_info.latest_timestamp_ms;
+    e.latest_logical_bytes = cand.first_info.latest_logical_bytes;
+    out.entries.push_back(std::move(e));
+  }
+  // Unnamed total: id-matched paths that still couldn't be resolved
+  // (partial upgrades, short share sets, decode failures) plus the
+  // fully-anonymous legacy heads. A partially-upgraded path typically
+  // lists unnamed on the clouds that missed the upgrade AND as a <k
+  // candidate from the ones that took it — since anonymous entries carry
+  // nothing to match them across clouds, subtract the partials from the
+  // per-cloud anonymous max rather than double-counting that path.
+  out.unnamed_paths = partial + (unnamed_max > partial ? unnamed_max - partial : 0);
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const NamespaceEntry& a, const NamespaceEntry& b) {
+              return a.path_name < b.path_name;
+            });
+  return out;
+}
+
+Result<ApplyRetentionNamespaceReply> CdstoreClient::ApplyRetentionNamespace(
+    const RetentionPolicy& policy, uint32_t page_size) {
+  Status first_error;
+  ApplyRetentionNamespaceReply summary;
+  bool have_summary = false;
+  for (int i = 0; i < opts_.n; ++i) {
+    ApplyRetentionNamespaceRequest req;
+    req.user = user_;
+    req.policy = policy;
+    req.page_size = page_size;
+    auto frame = transports_[i]->Call(Encode(req));
+    Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+    if (st.ok() && !have_summary) {
+      ApplyRetentionNamespaceReply reply;
+      st = Decode(frame.value(), &reply);
+      if (st.ok()) {
+        summary = std::move(reply);
+        have_summary = true;
+      }
+    }
+    if (!st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  RETURN_IF_ERROR(first_error);
+  if (!have_summary) {
+    return Status::Unavailable("no cloud applied the retention sweep");
+  }
+  return summary;
+}
+
+namespace {
+
+// Counts restored bytes on their way to the caller's sink.
+class CountingByteSink : public ByteSink {
+ public:
+  CountingByteSink(ByteSink* inner, uint64_t* counter) : inner_(inner), counter_(counter) {}
+  Status Append(ConstByteSpan data) override {
+    *counter_ += data.size();
+    return inner_->Append(data);
+  }
+
+ private:
+  ByteSink* inner_;
+  uint64_t* counter_;
+};
+
+}  // namespace
+
+Result<RestoreNamespaceStats> CdstoreClient::RestoreNamespace(
+    const RestoreSelector& selector, const RestoreSinkFactory& sink_factory) {
+  ASSIGN_OR_RETURN(NamespaceListing listing, ListPaths());
+  RestoreNamespaceStats out;
+  // Paths without reconstructible names cannot be restored; they are
+  // reported (never silently dropped) so the caller can tell a complete
+  // restore from one with legacy holes.
+  out.files_unnamed = listing.unnamed_paths;
+  for (const NamespaceEntry& entry : listing.entries) {
+    // Resolve the point-in-time generation. 0 selects the latest; with an
+    // as-of timestamp the newest generation at or before it wins, and a
+    // path born after the point is skipped — it did not exist in the
+    // namespace being reproduced.
+    uint64_t generation = 0;
+    if (selector.as_of_ms != 0) {
+      ASSIGN_OR_RETURN(std::vector<VersionInfo> versions, ListVersions(entry.path_name));
+      for (const VersionInfo& v : versions) {
+        if (v.timestamp_ms <= selector.as_of_ms && v.generation_id > generation) {
+          generation = v.generation_id;
+        }
+      }
+      if (generation == 0) {
+        ++out.files_skipped;
+        continue;
+      }
+    }
+    ASSIGN_OR_RETURN(std::unique_ptr<ByteSink> sink, sink_factory(entry, generation));
+    if (sink == nullptr) {
+      ++out.files_skipped;
+      continue;
+    }
+    // Each file streams through the same pipelined download path a
+    // standalone Download uses — per-cloud fetch lanes overlapping the
+    // client's persistent decode workers — so namespace restores are
+    // byte-identical to per-file restores by construction.
+    uint64_t file_bytes = 0;
+    CountingByteSink counting(sink.get(), &file_bytes);
+    RETURN_IF_ERROR(Download(entry.path_name, counting, /*stats=*/nullptr, generation));
+    RestoredPath rp;
+    rp.path_name = entry.path_name;
+    rp.generation = generation == 0 ? entry.latest_generation : generation;
+    rp.bytes = file_bytes;
+    out.restored.push_back(std::move(rp));
+    ++out.files_restored;
+    out.bytes_restored += file_bytes;
+  }
+  return out;
 }
 
 Status CdstoreClient::RepairFile(const std::string& path_name, int target_cloud,

@@ -26,6 +26,7 @@
 #define CDSTORE_SRC_CORE_CLIENT_H_
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -125,6 +126,58 @@ struct DownloadStats {
   std::vector<CloudDownloadStats> per_cloud;  // indexed by cloud id
 };
 
+// --- namespace-scoped control plane ----------------------------------------
+
+// One path of the user's namespace, reconstructed from k clouds' ListPaths
+// replies: entries are matched across clouds by path_id and the cleartext
+// name is decoded from the k name shares (§4.3 — no single cloud ever held
+// it).
+struct NamespaceEntry {
+  std::string path_name;
+  Bytes path_id;
+  uint64_t latest_generation = 0;
+  uint64_t generation_count = 0;
+  uint64_t latest_timestamp_ms = 0;
+  uint64_t latest_logical_bytes = 0;
+};
+
+struct NamespaceListing {
+  std::vector<NamespaceEntry> entries;  // sorted by path_name
+  // Paths whose name could not be reconstructed: legacy heads written
+  // before names were stored (they become enumerable after the next backup
+  // touches them), or paths fewer than k reachable clouds agreed on.
+  uint64_t unnamed_paths = 0;
+};
+
+// Point-in-time selector for a namespace restore: 0 = latest, otherwise
+// each path restores its newest generation with timestamp_ms <= as_of_ms
+// and paths born after the point are skipped.
+struct RestoreSelector {
+  uint64_t as_of_ms = 0;
+};
+
+struct RestoredPath {
+  std::string path_name;
+  uint64_t generation = 0;  // the generation actually restored
+  uint64_t bytes = 0;
+};
+
+struct RestoreNamespaceStats {
+  uint64_t files_restored = 0;
+  uint64_t files_skipped = 0;  // born after as-of, or skipped by the factory
+  // Paths whose names could not be reconstructed (NamespaceListing::
+  // unnamed_paths) and therefore were NOT restored. Callers must check
+  // this to know the restore covered the whole namespace.
+  uint64_t files_unnamed = 0;
+  uint64_t bytes_restored = 0;
+  std::vector<RestoredPath> restored;  // in restore (path-name) order
+};
+
+// Supplies the sink each restored file streams into; a null sink skips the
+// path. The sink is destroyed when the file's download completes.
+using RestoreSinkFactory = std::function<Result<std::unique_ptr<ByteSink>>(
+    const NamespaceEntry& entry, uint64_t generation)>;
+
 class CdstoreClient;
 
 // A long-lived upload pipeline over a fixed set of clouds: one uploader
@@ -190,6 +243,10 @@ class BackupSession {
     // Read by the uploader threads; written before pool_.Close() provides
     // the necessary happens-before.
     std::vector<Bytes> path_keys_;
+    // Namespace metadata riding on every PutFile (set before Push, like
+    // upload_opts_): lets each cloud enumerate this path back to a client.
+    Bytes path_id_;
+    uint32_t path_name_len_ = 0;
     uint64_t file_size_ = 0;
     std::atomic<bool> abort_{false};
     std::vector<std::promise<Status>> cloud_promises_;  // set by uploader lanes
@@ -294,6 +351,44 @@ class CdstoreClient {
   Result<ApplyRetentionReply> ApplyRetention(const std::string& path_name,
                                              const RetentionPolicy& policy);
 
+  // --- namespace-scoped control plane --------------------------------------
+
+  // Deterministic cross-cloud id of a path: a domain-separated salted hash
+  // of the cleartext name, identical on every cloud, so one path's listing
+  // entries can be matched across clouds. Leaks only equality-of-path —
+  // the linkage each cloud's deterministic name share already exposes.
+  Bytes PathIdOf(const std::string& path_name) const;
+
+  // One raw ListPaths page from one cloud (bounded reply; resume with the
+  // returned next_cursor). Building block for ListPaths() and tests.
+  Result<ListPathsReply> ListPathsPage(int cloud, ConstByteSpan cursor,
+                                       uint32_t max_entries = 0);
+
+  // Enumerates the whole namespace: pages through k reachable clouds'
+  // listings, matches entries by path_id, and decodes each path's name
+  // from its k shares (verified against path_id end to end). `page_size`
+  // caps entries per RPC (0 = server default); the client never holds more
+  // than the final listing, the servers never frame more than one page.
+  Result<NamespaceListing> ListPaths(uint32_t page_size = 0);
+
+  // One retention sweep over every path of the namespace on every cloud
+  // (server-side, commit-locked per page — O(pages) lock churn instead of
+  // O(paths)). Prunes exactly what a per-path ApplyRetention loop would.
+  // Returns the first successful cloud's summary; fails if any cloud
+  // failed. Run GC next to reclaim the pruned containers.
+  Result<ApplyRetentionNamespaceReply> ApplyRetentionNamespace(const RetentionPolicy& policy,
+                                                               uint32_t page_size = 0);
+
+  // Point-in-time restore of the whole namespace (the paper's §5.2 restore
+  // scenario, whole-backup-set edition): enumerates the namespace, resolves
+  // each path's generation against `selector` (skipping paths born after
+  // the as-of point), and streams every file through the pipelined
+  // download path — decode workers stay warm across files — into the sink
+  // `sink_factory` supplies for it. Bytes are identical to per-file
+  // Download(path, sink, generation) calls.
+  Result<RestoreNamespaceStats> RestoreNamespace(const RestoreSelector& selector,
+                                                 const RestoreSinkFactory& sink_factory);
+
   // Rebuilds `target_cloud`'s shares of a file (e.g. after a cloud loses
   // data): streams the restore from the surviving clouds straight into a
   // single-cloud session writer, so re-encoding and re-upload overlap the
@@ -325,15 +420,18 @@ class CdstoreClient {
   // On success *bound_generation (if non-null) receives the generation id
   // this cloud bound the recipe to.
   Status StreamUploadToCloud(int cloud, int consumer, const Bytes& path_key,
+                             const Bytes* path_id, uint32_t path_name_len,
                              const uint64_t* file_size, const UploadFileOptions* fopts,
                              BroadcastQueue<CodingPipeline::EncodedSecret>* in,
                              const std::atomic<bool>* abort_upload, UploadStats* stats,
                              std::mutex* stats_mu, uint64_t* bound_generation);
 
   // Barrier upload: materialize all secrets, EncodeAll, then upload.
-  Status UploadBarrier(const std::vector<Bytes>& path_keys, ConstByteSpan data,
+  Status UploadBarrier(const std::vector<Bytes>& path_keys, const Bytes& path_id,
+                       uint32_t path_name_len, ConstByteSpan data,
                        const UploadFileOptions& fopts, UploadStats* stats);
-  Status UploadToCloud(int cloud, const Bytes& path_key, uint64_t file_size,
+  Status UploadToCloud(int cloud, const Bytes& path_key, const Bytes& path_id,
+                       uint32_t path_name_len, uint64_t file_size,
                        const UploadFileOptions& fopts,
                        const std::vector<RecipeEntry>& recipe,
                        const std::vector<const Bytes*>& shares, UploadStats* stats,

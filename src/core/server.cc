@@ -1,12 +1,14 @@
 #include "src/core/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "src/core/recipe.h"
+#include "src/crypto/sha256.h"
 #include "src/util/io.h"
 #include "src/util/logging.h"
 
@@ -19,6 +21,7 @@ const char kMetaKey[] = "Mserver";
 CdstoreServer::CdstoreServer(StorageBackend* backend, const ServerOptions& options,
                              std::unique_ptr<Db> db)
     : backend_(backend),
+      options_(options),
       db_(std::move(db)),
       share_index_(db_.get()),
       file_index_(db_.get()),
@@ -101,15 +104,23 @@ Status CdstoreServer::LoadMeta() {
     RETURN_IF_ERROR(st);
     BufferReader r(value);
     uint64_t share_next = 1, recipe_next = 1;
-    uint64_t stored_bytes = 0, files = 0;
+    uint64_t stored_bytes = 0, files = 0, generations = 0;
     RETURN_IF_ERROR(r.GetU64(&share_next));
     RETURN_IF_ERROR(r.GetU64(&recipe_next));
     RETURN_IF_ERROR(r.GetU64(&stored_bytes));
     RETURN_IF_ERROR(r.GetU64(&files));
+    if (r.remaining() >= 8) {
+      RETURN_IF_ERROR(r.GetU64(&generations));
+    } else {
+      // Meta written before the namespace totals existed: recount once
+      // from the generation keyspace; the counter is maintained from here.
+      ASSIGN_OR_RETURN(generations, file_index_.TotalGenerationCount());
+    }
     {
       std::lock_guard<std::mutex> commit(commit_mu_);
       physical_share_bytes_ = stored_bytes;
       file_count_ = files;
+      generation_count_ = generations;
     }
     // Restore the container id sequences so new containers never collide
     // with ones already at the backend.
@@ -141,6 +152,7 @@ Status CdstoreServer::SaveMetaLocked() {
   w.PutU64(recipe_store_.next_container_id());
   w.PutU64(physical_share_bytes_);
   w.PutU64(file_count_);
+  w.PutU64(generation_count_);
   return db_->Put(BytesOf(kMetaKey), w.data());
 }
 
@@ -400,6 +412,13 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   rec.timestamp_ms = req.timestamp_ms;
 
   bool new_path = false;
+  bool new_generation = false;
+  // The namespace metadata riding on the request (cross-cloud path id +
+  // name length) upgrades the path head on every write — including heads
+  // that predate name storage (the lazy v0 -> v1 migration).
+  PathNameInfo name;
+  name.path_id = req.path_id;
+  name.name_len = req.path_name_len;
   if (req.mode == PutFileMode::kPutGeneration ||
       (req.mode == PutFileMode::kReplaceLatest && replacing)) {
     // Replace IN PLACE under the existing id (for kReplaceLatest, the
@@ -409,21 +428,26 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
     if (req.mode == PutFileMode::kReplaceLatest) {
       rec.generation_id = replaced_gen;
     }
-    if (Status st = file_index_.PutGeneration(req.user, req.path_key, rec, &new_path);
+    if (Status st = file_index_.PutGeneration(req.user, req.path_key, rec, &new_path,
+                                              &new_generation, &name);
         !st.ok()) {
       rb.SendError(st);
       return;
     }
   } else {
-    auto stored = file_index_.AppendGeneration(req.user, req.path_key, rec, &new_path);
+    auto stored = file_index_.AppendGeneration(req.user, req.path_key, rec, &new_path, &name);
     if (!stored.ok()) {
       rb.SendError(stored.status());
       return;
     }
     rec = stored.value();
+    new_generation = true;
   }
   if (new_path) {
     ++file_count_;
+  }
+  if (new_generation) {
+    ++generation_count_;
   }
   if (Status st = SaveMetaLocked(); !st.ok()) {
     rb.SendError(st);
@@ -522,16 +546,20 @@ Status CdstoreServer::DropRecipeRefsLocked(const FileRecipe& recipe, UserId user
   return Status::Ok();
 }
 
-Status CdstoreServer::DeleteGenerationLocked(UserId user, ConstByteSpan path_key,
+Status CdstoreServer::DeleteGenerationLocked(UserId user, ConstByteSpan path_hash,
                                              const GenerationRecord& rec,
-                                             uint32_t* orphaned) {
+                                             uint32_t* orphaned, bool* path_removed) {
   ASSIGN_OR_RETURN(FileRecipe recipe, FetchRecipeBlob(rec));
   RETURN_IF_ERROR(DropRecipeRefsLocked(recipe, user, orphaned));
-  bool path_removed = false;
+  bool removed = false;
   RETURN_IF_ERROR(
-      file_index_.DeleteGeneration(user, path_key, rec.generation_id, &path_removed));
-  if (path_removed) {
+      file_index_.DeleteGenerationHashed(user, path_hash, rec.generation_id, &removed));
+  if (removed) {
     --file_count_;
+  }
+  --generation_count_;
+  if (path_removed != nullptr) {
+    *path_removed = removed;
   }
   return Status::Ok();
 }
@@ -539,7 +567,8 @@ Status CdstoreServer::DeleteGenerationLocked(UserId user, ConstByteSpan path_key
 void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
   std::shared_lock<std::shared_mutex> ops(ops_mu_);
   std::lock_guard<std::mutex> commit(commit_mu_);
-  auto gens = file_index_.ListGenerations(req.user, req.path_key);
+  Bytes path_hash = Sha256::Hash(req.path_key);
+  auto gens = file_index_.ListGenerationsHashed(req.user, path_hash);
   if (!gens.ok()) {
     // A never-uploaded (or already deleted) path is a clean NotFound, not
     // an index-internal error.
@@ -552,7 +581,7 @@ void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
   }
   DeleteFileReply reply;
   for (const GenerationRecord& rec : gens.value()) {
-    if (Status st = DeleteGenerationLocked(req.user, req.path_key, rec, &reply.shares_orphaned);
+    if (Status st = DeleteGenerationLocked(req.user, path_hash, rec, &reply.shares_orphaned);
         !st.ok()) {
       rb.SendError(st);
       return;
@@ -606,7 +635,7 @@ void CdstoreServer::DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder&
     return;
   }
   DeleteVersionReply reply;
-  if (Status st = DeleteGenerationLocked(req.user, req.path_key, rec.value(),
+  if (Status st = DeleteGenerationLocked(req.user, Sha256::Hash(req.path_key), rec.value(),
                                          &reply.shares_orphaned);
       !st.ok()) {
     rb.SendError(st);
@@ -619,25 +648,21 @@ void CdstoreServer::DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder&
   rb.Send(reply);
 }
 
-void CdstoreServer::ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  auto gens = file_index_.ListGenerations(req.user, req.path_key);
-  if (!gens.ok()) {
-    rb.SendError(gens.status().code() == StatusCode::kNotFound
-                     ? Status::NotFound("file not found")
-                     : gens.status());
-    return;
+Status CdstoreServer::ApplyRetentionToPathLocked(UserId user, ConstByteSpan path_hash,
+                                                 const RetentionPolicy& p,
+                                                 ApplyRetentionReply* out,
+                                                 bool* path_removed) {
+  if (path_removed != nullptr) {
+    *path_removed = false;
   }
-  const RetentionPolicy& p = req.policy;
-  const std::vector<GenerationRecord>& all = gens.value();
+  ASSIGN_OR_RETURN(std::vector<GenerationRecord> all,
+                   file_index_.ListGenerationsHashed(user, path_hash));
   // A generation survives if EITHER keep rule claims it; with no rules set
   // the request is a no-op. ListGenerations is ascending, so the newest
   // keep_last_n are the vector's tail.
   size_t first_kept_by_count =
       p.keep_last_n == 0 ? all.size()
                          : all.size() - std::min<size_t>(all.size(), p.keep_last_n);
-  ApplyRetentionReply reply;
   for (size_t i = 0; i < all.size(); ++i) {
     const GenerationRecord& rec = all[i];
     bool keep = false;
@@ -657,19 +682,140 @@ void CdstoreServer::ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilde
     if (keep) {
       continue;
     }
-    if (Status st = DeleteGenerationLocked(req.user, req.path_key, rec, &reply.shares_orphaned);
-        !st.ok()) {
+    bool removed = false;
+    RETURN_IF_ERROR(
+        DeleteGenerationLocked(user, path_hash, rec, &out->shares_orphaned, &removed));
+    ++out->generations_deleted;
+    out->logical_bytes_deleted += rec.file_size;
+    out->deleted_generations.push_back(rec.generation_id);
+    if (removed && path_removed != nullptr) {
+      *path_removed = true;
+    }
+  }
+  return Status::Ok();
+}
+
+void CdstoreServer::ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) {
+  ApplyRetentionReply reply;
+  {
+    std::shared_lock<std::shared_mutex> ops(ops_mu_);
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    Status st = ApplyRetentionToPathLocked(req.user, Sha256::Hash(req.path_key), req.policy,
+                                           &reply, /*path_removed=*/nullptr);
+    if (!st.ok()) {
+      rb.SendError(st.code() == StatusCode::kNotFound ? Status::NotFound("file not found")
+                                                      : st);
+      return;
+    }
+    if (st = SaveMetaLocked(); !st.ok()) {
       rb.SendError(st);
       return;
     }
-    ++reply.generations_deleted;
-    reply.logical_bytes_deleted += rec.file_size;
-    reply.deleted_generations.push_back(rec.generation_id);
   }
-  if (Status st = SaveMetaLocked(); !st.ok()) {
-    rb.SendError(st);
+  MaybeAutoSnapshot(reply.generations_deleted > 0);
+  rb.Send(reply);
+}
+
+void CdstoreServer::ListPaths(const ListPathsRequest& req, ReplyBuilder& rb) {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  // Clamp the page: however large the namespace (or the client's ask), one
+  // reply frame carries at most list_paths_max_page heads.
+  size_t limit = req.max_entries == 0
+                     ? options_.list_paths_max_page
+                     : std::min<size_t>(req.max_entries, options_.list_paths_max_page);
+  ListPathsReply reply;
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  auto page = file_index_.ScanPaths(req.user, req.cursor, limit);
+  if (!page.ok()) {
+    rb.SendError(page.status());
     return;
   }
+  reply.paths.reserve(page.value().entries.size());
+  for (const PathScanEntry& e : page.value().entries) {
+    PathInfo p;
+    p.path_id = e.head.path_id;
+    p.name_share = e.head.name_share;
+    p.name_len = e.head.name_len;
+    p.latest_generation = e.head.latest_generation;
+    p.generation_count = e.head.generation_count;
+    auto latest =
+        file_index_.GetGenerationHashed(req.user, e.path_hash, e.head.latest_generation);
+    if (latest.ok()) {
+      p.latest_timestamp_ms = latest.value().timestamp_ms;
+      p.latest_logical_bytes = latest.value().file_size;
+    } else if (latest.status().code() != StatusCode::kNotFound) {
+      rb.SendError(latest.status());
+      return;
+    }
+    reply.paths.push_back(std::move(p));
+  }
+  reply.next_cursor = page.value().next_cursor;
+  rb.Send(reply);
+}
+
+void CdstoreServer::ApplyRetentionNamespace(const ApplyRetentionNamespaceRequest& req,
+                                            ReplyBuilder& rb) {
+  ApplyRetentionNamespaceReply reply;
+  {
+    std::shared_lock<std::shared_mutex> ops(ops_mu_);
+    size_t page_size = req.page_size == 0
+                           ? options_.retention_sweep_page
+                           : std::min<size_t>(req.page_size, options_.list_paths_max_page);
+    Bytes cursor;
+    while (true) {
+      // One commit-lock acquisition covers a whole PAGE of paths — the
+      // sweep churns the lock O(pages) instead of O(paths), which is the
+      // point of the namespace RPC. Between pages the lock is released, so
+      // concurrent uploads and restores keep committing during a large
+      // sweep; the resume cursor is a key position, immune to paths
+      // appearing or disappearing in between.
+      std::lock_guard<std::mutex> commit(commit_mu_);
+      auto page = file_index_.ScanPaths(req.user, cursor, page_size);
+      if (!page.ok()) {
+        rb.SendError(page.status());
+        return;
+      }
+      ++reply.pages;
+      uint64_t page_deleted = 0;
+      for (const PathScanEntry& e : page.value().entries) {
+        ApplyRetentionReply per;
+        bool removed = false;
+        Status st =
+            ApplyRetentionToPathLocked(req.user, e.path_hash, req.policy, &per, &removed);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) {
+          rb.SendError(st);
+          return;
+        }
+        ++reply.paths_swept;
+        reply.generations_deleted += per.generations_deleted;
+        reply.shares_orphaned += per.shares_orphaned;
+        reply.logical_bytes_deleted += per.logical_bytes_deleted;
+        page_deleted += per.generations_deleted;
+        if (removed) {
+          ++reply.paths_removed;
+        }
+        if (per.generations_deleted > 0) {
+          PathRetentionResult r;
+          r.path_id = e.head.path_id;
+          r.generations_deleted = per.generations_deleted;
+          r.logical_bytes_deleted = per.logical_bytes_deleted;
+          r.path_removed = removed ? 1 : 0;
+          reply.per_path.push_back(std::move(r));
+        }
+      }
+      if (page_deleted > 0) {
+        if (Status st = SaveMetaLocked(); !st.ok()) {
+          rb.SendError(st);
+          return;
+        }
+      }
+      cursor = page.value().next_cursor;
+      if (cursor.empty()) {
+        break;
+      }
+    }
+  }
+  MaybeAutoSnapshot(reply.generations_deleted > 0);
   rb.Send(reply);
 }
 
@@ -689,6 +835,7 @@ void CdstoreServer::Stats(const StatsRequest& req, ReplyBuilder& rb) {
     std::lock_guard<std::mutex> commit(commit_mu_);
     reply.stored_bytes = physical_share_bytes_;
     reply.file_count = file_count_;
+    reply.generation_count = generation_count_;
   }
   reply.container_count = share_store_.sealed_container_count();
   rb.Send(reply);
@@ -701,6 +848,7 @@ void CdstoreServer::Gc(const GcRequest& req, ReplyBuilder& rb) {
     rb.SendError(reply.status());
     return;
   }
+  MaybeAutoSnapshot(reply.value().containers_rewritten > 0);
   rb.Send(reply.value());
 }
 
@@ -769,8 +917,84 @@ Result<GcReply> CdstoreServer::CollectGarbage() {
   return stats;
 }
 
+namespace {
+constexpr char kSnapshotPrefix = 's';
+
+std::string SnapshotName(uint64_t seq) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%c%016llx", kSnapshotPrefix,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+}  // namespace
+
+Result<std::vector<std::string>> CdstoreServer::ListAutoSnapshots() {
+  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ASSIGN_OR_RETURN(std::vector<std::string> objects, backend_->List());
+  std::vector<std::pair<uint64_t, std::string>> snaps;
+  for (const std::string& name : objects) {
+    uint64_t id = 0;
+    if (ParseContainerId(name, kSnapshotPrefix, &id)) {
+      snaps.emplace_back(id, name);
+    }
+  }
+  std::sort(snaps.begin(), snaps.end());
+  std::vector<std::string> out;
+  out.reserve(snaps.size());
+  for (auto& [id, name] : snaps) {
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+void CdstoreServer::MaybeAutoSnapshot(bool did_work) {
+  if (!options_.auto_index_snapshot || !did_work) {
+    return;
+  }
+  // The maintenance RPC that got us here already succeeded and released
+  // its locks; the snapshot is a best-effort follow-up (§4.4's "periodic
+  // snapshots ... for reliability"), so failures are logged, not returned.
+  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  auto objects = backend_->List();
+  if (!objects.ok()) {
+    LOG(WARNING) << "auto snapshot skipped: backend list failed: " << objects.status();
+    return;
+  }
+  // The sequence is derived from the backend listing (max existing + 1),
+  // so it needs no extra persisted state and survives restarts.
+  std::vector<std::pair<uint64_t, std::string>> snaps;
+  uint64_t max_seq = 0;
+  for (const std::string& name : objects.value()) {
+    uint64_t id = 0;
+    if (ParseContainerId(name, kSnapshotPrefix, &id)) {
+      snaps.emplace_back(id, name);
+      max_seq = std::max(max_seq, id);
+    }
+  }
+  uint64_t seq = max_seq + 1;
+  if (Status st = BackupIndexSnapshotExclusive(SnapshotName(seq)); !st.ok()) {
+    LOG(WARNING) << "auto snapshot failed: " << st;
+    return;
+  }
+  // Keep-last-N lifecycle: with the new snapshot written, prune every
+  // automatic snapshot older than the newest keep_last (a keep_last of 0
+  // still retains the one just written).
+  uint64_t keep = std::max<uint64_t>(1, options_.snapshot_keep_last);
+  for (const auto& [id, name] : snaps) {
+    if (id + keep <= seq) {
+      if (Status st = backend_->Delete(name); !st.ok()) {
+        LOG(WARNING) << "stale snapshot " << name << " not pruned: " << st;
+      }
+    }
+  }
+}
+
 Status CdstoreServer::BackupIndexSnapshot(const std::string& object_name) {
   std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  return BackupIndexSnapshotExclusive(object_name);
+}
+
+Status CdstoreServer::BackupIndexSnapshotExclusive(const std::string& object_name) {
   // A consistent view: the LSM iterator at the current sequence.
   BufferWriter w;
   w.PutU32(0x1d8c5eed);  // snapshot magic

@@ -41,6 +41,21 @@ struct ServerOptions {
   DbOptions db;
   size_t container_capacity = kDefaultContainerCapacity;
   size_t container_cache_bytes = 32 << 20;
+  // --- namespace control plane ---------------------------------------------
+  // Hard clamp on a ListPaths page: no reply frame carries more heads than
+  // this, however large the namespace (and whatever the client asked for).
+  size_t list_paths_max_page = 512;
+  // Default paths-per-page of an ApplyRetentionNamespace sweep when the
+  // request leaves page_size at 0; one commit-lock acquisition per page.
+  size_t retention_sweep_page = 64;
+  // Snapshot lifecycle (§4.4 "periodic snapshots in the cloud backend"):
+  // after maintenance that changed the index (retention pruning, GC), write
+  // a BackupIndexSnapshot automatically and prune old automatic snapshots
+  // to the newest `snapshot_keep_last`. Off by default so deployments (and
+  // tests) that account backend bytes exactly opt in; the CLI and the
+  // generation bench run with it on.
+  bool auto_index_snapshot = false;
+  uint32_t snapshot_keep_last = 2;
 };
 
 class CdstoreServer : public ServerService {
@@ -77,6 +92,14 @@ class CdstoreServer : public ServerService {
   void ListVersions(const ListVersionsRequest& req, ReplyBuilder& rb) override;
   void DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder& rb) override;
   void ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) override;
+  // Namespace-scoped control plane. ListPaths pages through the user's
+  // path heads with a resume cursor (frames stay bounded);
+  // ApplyRetentionNamespace prunes every path under one RPC, acquiring the
+  // commit lock once per PAGE of paths — prune decisions are identical to
+  // a per-path ApplyRetention loop with the same policy.
+  void ListPaths(const ListPathsRequest& req, ReplyBuilder& rb) override;
+  void ApplyRetentionNamespace(const ApplyRetentionNamespaceRequest& req,
+                               ReplyBuilder& rb) override;
 
   // Frame-level entry point, now a thin shim over Dispatch(). Thread-safe.
   Bytes Handle(ConstByteSpan request) { return Dispatch(*this, request); }
@@ -100,6 +123,10 @@ class CdstoreServer : public ServerService {
   // object; RestoreIndexSnapshot reloads it into an empty server.
   Status BackupIndexSnapshot(const std::string& object_name);
   Status RestoreIndexSnapshot(const std::string& object_name);
+
+  // Automatic snapshot objects ("s" + 16 hex digits) currently at the
+  // backend, ascending by sequence. Exposed for tests and operator tools.
+  Result<std::vector<std::string>> ListAutoSnapshots();
 
  private:
   CdstoreServer(StorageBackend* backend, const ServerOptions& options,
@@ -134,10 +161,29 @@ class CdstoreServer : public ServerService {
   // entry), erasing entries that lose their last reference. Requires
   // commit_mu_; *orphaned accumulates.
   Status DropRecipeRefsLocked(const FileRecipe& recipe, UserId user, uint32_t* orphaned);
-  // Deletes one generation end to end (refs + index record). Requires
-  // commit_mu_; adjusts file_count_ when the path disappears.
-  Status DeleteGenerationLocked(UserId user, ConstByteSpan path_key,
-                                const GenerationRecord& rec, uint32_t* orphaned);
+  // Deletes one generation end to end (refs + index record), addressed by
+  // the path-head hash so namespace sweeps can prune paths whose legacy
+  // heads never stored a name. Requires commit_mu_; adjusts file_count_ /
+  // generation_count_; *path_removed (optional) reports a dropped head.
+  Status DeleteGenerationLocked(UserId user, ConstByteSpan path_hash,
+                                const GenerationRecord& rec, uint32_t* orphaned,
+                                bool* path_removed = nullptr);
+  // The shared retention core: prunes one path (by head hash) under
+  // `policy`, accumulating into `out`. Requires commit_mu_. Both the
+  // per-path RPC and the namespace sweep delegate here, so their prune
+  // decisions are identical by construction.
+  Status ApplyRetentionToPathLocked(UserId user, ConstByteSpan path_hash,
+                                    const RetentionPolicy& policy, ApplyRetentionReply* out,
+                                    bool* path_removed);
+  // Writes an automatic index snapshot and prunes old automatic snapshot
+  // objects to snapshot_keep_last. Takes ops_mu_ exclusive internally —
+  // call only with no locks held (handlers call it after releasing their
+  // shared ops lock). No-op unless auto_index_snapshot is on and
+  // `did_work` says the index changed; failures are logged, not returned
+  // (the maintenance that triggered the snapshot already succeeded).
+  void MaybeAutoSnapshot(bool did_work);
+  // Requires exclusive ops_mu_.
+  Status BackupIndexSnapshotExclusive(const std::string& object_name);
   // Requires exclusive ops_mu_ (destructor path; Flush() wraps it).
   Status FlushExclusive();
 
@@ -148,6 +194,7 @@ class CdstoreServer : public ServerService {
   std::array<ShareStripe, kShareStripes> stripes_;
 
   StorageBackend* backend_;
+  ServerOptions options_;
   std::unique_ptr<Db> db_;
   ShareIndex share_index_;
   FileIndex file_index_;
@@ -155,6 +202,7 @@ class CdstoreServer : public ServerService {
   ContainerStore recipe_store_;
   uint64_t physical_share_bytes_ = 0;  // guarded by commit_mu_
   uint64_t file_count_ = 0;            // guarded by commit_mu_
+  uint64_t generation_count_ = 0;      // guarded by commit_mu_ (all users)
 };
 
 }  // namespace cdstore

@@ -186,6 +186,8 @@ Bytes Encode(const PutFileRequest& m) {
   BufferWriter w = Begin(MsgType::kPutFileRequest);
   w.PutU64(m.user);
   w.PutBytes(m.path_key);
+  w.PutBytes(m.path_id);
+  w.PutU32(m.path_name_len);
   w.PutU64(m.file_size);
   w.PutU8(static_cast<uint8_t>(m.mode));
   w.PutU64(m.generation_id);
@@ -199,6 +201,8 @@ Status Decode(ConstByteSpan frame, PutFileRequest* m) {
   RETURN_IF_ERROR(CheckType(&r, MsgType::kPutFileRequest));
   RETURN_IF_ERROR(r.GetU64(&m->user));
   RETURN_IF_ERROR(r.GetBytes(&m->path_key));
+  RETURN_IF_ERROR(r.GetBytes(&m->path_id));
+  RETURN_IF_ERROR(r.GetU32(&m->path_name_len));
   RETURN_IF_ERROR(r.GetU64(&m->file_size));
   uint8_t mode = 0;
   RETURN_IF_ERROR(r.GetU8(&mode));
@@ -465,6 +469,129 @@ Status Decode(ConstByteSpan frame, ApplyRetentionReply* m) {
   return Status::Ok();
 }
 
+// ---- namespace-scoped control plane ----------------------------------------
+
+Bytes Encode(const ListPathsRequest& m) {
+  BufferWriter w = Begin(MsgType::kListPathsRequest);
+  w.PutU64(m.user);
+  w.PutBytes(m.cursor);
+  w.PutU32(m.max_entries);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ListPathsRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kListPathsRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  RETURN_IF_ERROR(r.GetBytes(&m->cursor));
+  return r.GetU32(&m->max_entries);
+}
+
+Bytes Encode(const ListPathsReply& m) {
+  BufferWriter w = Begin(MsgType::kListPathsReply);
+  w.PutVarint(m.paths.size());
+  for (const PathInfo& p : m.paths) {
+    w.PutBytes(p.path_id);
+    w.PutBytes(p.name_share);
+    w.PutU32(p.name_len);
+    w.PutU64(p.latest_generation);
+    w.PutU64(p.generation_count);
+    w.PutU64(p.latest_timestamp_ms);
+    w.PutU64(p.latest_logical_bytes);
+  }
+  w.PutBytes(m.next_cursor);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ListPathsReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kListPathsReply));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("path count exceeds frame");
+  }
+  m->paths.clear();
+  m->paths.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PathInfo p;
+    RETURN_IF_ERROR(r.GetBytes(&p.path_id));
+    RETURN_IF_ERROR(r.GetBytes(&p.name_share));
+    RETURN_IF_ERROR(r.GetU32(&p.name_len));
+    RETURN_IF_ERROR(r.GetU64(&p.latest_generation));
+    RETURN_IF_ERROR(r.GetU64(&p.generation_count));
+    RETURN_IF_ERROR(r.GetU64(&p.latest_timestamp_ms));
+    RETURN_IF_ERROR(r.GetU64(&p.latest_logical_bytes));
+    m->paths.push_back(std::move(p));
+  }
+  return r.GetBytes(&m->next_cursor);
+}
+
+Bytes Encode(const ApplyRetentionNamespaceRequest& m) {
+  BufferWriter w = Begin(MsgType::kApplyRetentionNamespaceRequest);
+  w.PutU64(m.user);
+  w.PutU32(m.policy.keep_last_n);
+  w.PutU64(m.policy.keep_within_ms);
+  w.PutU64(m.policy.now_ms);
+  w.PutU32(m.page_size);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceRequest* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kApplyRetentionNamespaceRequest));
+  RETURN_IF_ERROR(r.GetU64(&m->user));
+  RETURN_IF_ERROR(r.GetU32(&m->policy.keep_last_n));
+  RETURN_IF_ERROR(r.GetU64(&m->policy.keep_within_ms));
+  RETURN_IF_ERROR(r.GetU64(&m->policy.now_ms));
+  return r.GetU32(&m->page_size);
+}
+
+Bytes Encode(const ApplyRetentionNamespaceReply& m) {
+  BufferWriter w = Begin(MsgType::kApplyRetentionNamespaceReply);
+  w.PutU64(m.paths_swept);
+  w.PutU64(m.paths_removed);
+  w.PutU64(m.generations_deleted);
+  w.PutU32(m.shares_orphaned);
+  w.PutU64(m.logical_bytes_deleted);
+  w.PutU32(m.pages);
+  w.PutVarint(m.per_path.size());
+  for (const PathRetentionResult& p : m.per_path) {
+    w.PutBytes(p.path_id);
+    w.PutU32(p.generations_deleted);
+    w.PutU64(p.logical_bytes_deleted);
+    w.PutU8(p.path_removed);
+  }
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kApplyRetentionNamespaceReply));
+  RETURN_IF_ERROR(r.GetU64(&m->paths_swept));
+  RETURN_IF_ERROR(r.GetU64(&m->paths_removed));
+  RETURN_IF_ERROR(r.GetU64(&m->generations_deleted));
+  RETURN_IF_ERROR(r.GetU32(&m->shares_orphaned));
+  RETURN_IF_ERROR(r.GetU64(&m->logical_bytes_deleted));
+  RETURN_IF_ERROR(r.GetU32(&m->pages));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("per-path count exceeds frame");
+  }
+  m->per_path.clear();
+  m->per_path.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PathRetentionResult p;
+    RETURN_IF_ERROR(r.GetBytes(&p.path_id));
+    RETURN_IF_ERROR(r.GetU32(&p.generations_deleted));
+    RETURN_IF_ERROR(r.GetU64(&p.logical_bytes_deleted));
+    RETURN_IF_ERROR(r.GetU8(&p.path_removed));
+    m->per_path.push_back(std::move(p));
+  }
+  return Status::Ok();
+}
+
 // ---- Stats -----------------------------------------------------------------
 
 Bytes Encode(const StatsRequest&) { return Begin(MsgType::kStatsRequest).Take(); }
@@ -480,6 +607,7 @@ Bytes Encode(const StatsReply& m) {
   w.PutU64(m.stored_bytes);
   w.PutU64(m.container_count);
   w.PutU64(m.file_count);
+  w.PutU64(m.generation_count);
   return w.Take();
 }
 
@@ -489,7 +617,8 @@ Status Decode(ConstByteSpan frame, StatsReply* m) {
   RETURN_IF_ERROR(r.GetU64(&m->unique_shares));
   RETURN_IF_ERROR(r.GetU64(&m->stored_bytes));
   RETURN_IF_ERROR(r.GetU64(&m->container_count));
-  return r.GetU64(&m->file_count);
+  RETURN_IF_ERROR(r.GetU64(&m->file_count));
+  return r.GetU64(&m->generation_count);
 }
 
 // ---- GC --------------------------------------------------------------------

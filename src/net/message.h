@@ -13,6 +13,11 @@
 //                  workloads are weekly snapshot series)
 //   DeleteVersion  drop one generation's share references
 //   ApplyRetention prune generations by keep-last-N / keep-within-window
+//   ListPaths      paginated enumeration of a user's namespace (path ids +
+//                  dispersed name shares; replies stay bounded via cursor)
+//   ApplyRetentionNamespace
+//                  one server-side retention sweep over every path of the
+//                  user's namespace (commit-locked per page, not per path)
 //
 // Every message is [u8 type][payload]; replies reuse the same enum. Errors
 // travel as a kError frame wrapping a status code + text.
@@ -52,6 +57,10 @@ enum class MsgType : uint8_t {
   kDeleteVersionReply,
   kApplyRetentionRequest,
   kApplyRetentionReply,
+  kListPathsRequest,
+  kListPathsReply,
+  kApplyRetentionNamespaceRequest,
+  kApplyRetentionNamespaceReply,
 };
 
 // One secret's share within a file recipe (§4.3 share metadata).
@@ -105,6 +114,15 @@ enum class PutFileMode : uint8_t {
 struct PutFileRequest {
   uint64_t user = 0;
   Bytes path_key;  // this cloud's share of the encoded pathname
+  // Namespace-enumeration metadata, stored in the path head so ListPaths
+  // can hand the path back to a client later: a client-derived id that is
+  // identical on every cloud (matches one path's entries across listings),
+  // and the cleartext name's byte length (strips dispersal padding when k
+  // name shares are decoded; the share size already bounds it, so this
+  // leaks nothing the cloud cannot infer). Both optional — legacy writers
+  // send them empty/zero and their paths list as unnamed until touched.
+  Bytes path_id;
+  uint32_t path_name_len = 0;
   uint64_t file_size = 0;
   PutFileMode mode = PutFileMode::kNewGeneration;
   uint64_t generation_id = 0;  // kPutGeneration only; must be nonzero there
@@ -197,12 +215,75 @@ struct ApplyRetentionReply {
   std::vector<uint64_t> deleted_generations;  // ascending
 };
 
+// --- namespace-scoped control plane ---------------------------------------
+
+// One path head as this cloud indexed it: the enumeration unit of the
+// namespace. `path_id` matches this path's entries across clouds; k clouds'
+// `name_share`s reconstruct the cleartext name (§4.3 dispersed metadata).
+// Legacy heads written before names were stored list with empty id/share
+// until a mutating touch upgrades them.
+struct PathInfo {
+  Bytes path_id;
+  Bytes name_share;
+  uint32_t name_len = 0;
+  uint64_t latest_generation = 0;
+  uint64_t generation_count = 0;
+  uint64_t latest_timestamp_ms = 0;
+  uint64_t latest_logical_bytes = 0;
+};
+
+struct ListPathsRequest {
+  uint64_t user = 0;
+  // Resume cursor from the previous reply; empty = start of the namespace.
+  Bytes cursor;
+  // Max entries in this page; 0 = server default. The server clamps it, so
+  // reply frames stay bounded no matter how large the namespace is.
+  uint32_t max_entries = 0;
+};
+struct ListPathsReply {
+  std::vector<PathInfo> paths;  // ascending H(path_key) order
+  Bytes next_cursor;            // empty = namespace exhausted
+};
+
+// Retention applied to every path of the user's namespace in one RPC. The
+// server sweeps the namespace page by page, taking its commit lock once
+// per page instead of once per path; prune decisions are identical to a
+// per-path ApplyRetention loop over the same policy.
+struct ApplyRetentionNamespaceRequest {
+  uint64_t user = 0;
+  RetentionPolicy policy;
+  // Paths per commit-locked page; 0 = server default.
+  uint32_t page_size = 0;
+};
+// Per-path pruning outcome within a namespace sweep (only paths that lost
+// at least one generation are reported; `path_id` may be empty for legacy
+// unnamed heads).
+struct PathRetentionResult {
+  Bytes path_id;
+  uint32_t generations_deleted = 0;
+  uint64_t logical_bytes_deleted = 0;
+  uint8_t path_removed = 0;  // every generation pruned; head dropped
+};
+struct ApplyRetentionNamespaceReply {
+  uint64_t paths_swept = 0;
+  uint64_t paths_removed = 0;
+  uint64_t generations_deleted = 0;
+  uint32_t shares_orphaned = 0;
+  uint64_t logical_bytes_deleted = 0;
+  // Commit-lock acquisitions the sweep needed — O(pages), not O(paths).
+  uint32_t pages = 0;
+  std::vector<PathRetentionResult> per_path;
+};
+
 struct StatsRequest {};
 struct StatsReply {
   uint64_t unique_shares = 0;
   uint64_t stored_bytes = 0;      // backend bytes (containers)
   uint64_t container_count = 0;
   uint64_t file_count = 0;
+  // Namespace totals (all users): benches and the CLI report fleet-level
+  // occupancy without paying for a full ListPaths scan.
+  uint64_t generation_count = 0;
 };
 
 // Garbage collection (§4.7, realized here): rewrites containers that hold
@@ -241,6 +322,10 @@ Bytes Encode(const DeleteVersionRequest& m);
 Bytes Encode(const DeleteVersionReply& m);
 Bytes Encode(const ApplyRetentionRequest& m);
 Bytes Encode(const ApplyRetentionReply& m);
+Bytes Encode(const ListPathsRequest& m);
+Bytes Encode(const ListPathsReply& m);
+Bytes Encode(const ApplyRetentionNamespaceRequest& m);
+Bytes Encode(const ApplyRetentionNamespaceReply& m);
 // Errors are status objects on the wire.
 Bytes EncodeError(const Status& status);
 
@@ -272,6 +357,10 @@ Status Decode(ConstByteSpan frame, DeleteVersionRequest* m);
 Status Decode(ConstByteSpan frame, DeleteVersionReply* m);
 Status Decode(ConstByteSpan frame, ApplyRetentionRequest* m);
 Status Decode(ConstByteSpan frame, ApplyRetentionReply* m);
+Status Decode(ConstByteSpan frame, ListPathsRequest* m);
+Status Decode(ConstByteSpan frame, ListPathsReply* m);
+Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceRequest* m);
+Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceReply* m);
 // If `frame` is a kError message, returns the carried status; OK otherwise.
 Status DecodeIfError(ConstByteSpan frame);
 

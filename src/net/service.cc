@@ -74,6 +74,11 @@ Bytes Dispatch(ServerService& service, ConstByteSpan request) {
     case MsgType::kApplyRetentionRequest:
       return DecodeAndCall<ApplyRetentionRequest>(service, request,
                                                   &ServerService::ApplyRetention);
+    case MsgType::kListPathsRequest:
+      return DecodeAndCall<ListPathsRequest>(service, request, &ServerService::ListPaths);
+    case MsgType::kApplyRetentionNamespaceRequest:
+      return DecodeAndCall<ApplyRetentionNamespaceRequest>(
+          service, request, &ServerService::ApplyRetentionNamespace);
     default:
       return EncodeError(Status::InvalidArgument("unknown request type"));
   }

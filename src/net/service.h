@@ -33,6 +33,8 @@ class ReplyBuilder {
   void Send(const ListVersionsReply& m) { Finish(Encode(m)); }
   void Send(const DeleteVersionReply& m) { Finish(Encode(m)); }
   void Send(const ApplyRetentionReply& m) { Finish(Encode(m)); }
+  void Send(const ListPathsReply& m) { Finish(Encode(m)); }
+  void Send(const ApplyRetentionNamespaceReply& m) { Finish(Encode(m)); }
   // An error overrides any partially streamed reply.
   void SendError(const Status& status) { Finish(EncodeError(status)); }
 
@@ -80,6 +82,12 @@ class ServerService {
   virtual void ListVersions(const ListVersionsRequest& req, ReplyBuilder& rb) = 0;
   virtual void DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder& rb) = 0;
   virtual void ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) = 0;
+  // Namespace-scoped control plane: paginated path enumeration and the
+  // cross-path retention sweep (the whole-backup-set operations of §5.2 /
+  // §5.6's evaluation workloads).
+  virtual void ListPaths(const ListPathsRequest& req, ReplyBuilder& rb) = 0;
+  virtual void ApplyRetentionNamespace(const ApplyRetentionNamespaceRequest& req,
+                                       ReplyBuilder& rb) = 0;
 };
 
 // Frame-in/frame-out adapter: decodes `request` (once), invokes the typed
