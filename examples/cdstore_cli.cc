@@ -1,5 +1,8 @@
-// cdstore_cli: a minimal operational CLI for a local CDStore deployment —
-// four cloud directories on disk, real files in and out. State persists
+// cdstore_cli: a minimal operational CLI for a CDStore deployment — four
+// clouds (local directories by default; any of them replaceable with an
+// S3-style HTTP object store via --cloud=http://host:port/bucket, with
+// --retry-attempts / --retry-backoff-ms / --retry-deadline-ms tuning the
+// retry layer), real files in and out. State persists
 // across invocations, so this behaves like a tiny *versioned* backup tool:
 // re-backing-up a path appends a new generation (a weekly snapshot in the
 // paper's workloads), old generations stay restorable, and retention-driven
@@ -46,8 +49,10 @@
 #include "src/core/server.h"
 #include "src/net/transport.h"
 #include "src/storage/backend.h"
+#include "src/storage/http_backend.h"
 #include "src/util/byte_sink.h"
 #include "src/util/fs_util.h"
+#include "src/util/retry.h"
 #include "src/util/stats.h"
 
 using namespace cdstore;
@@ -58,22 +63,42 @@ constexpr int kN = 4;
 constexpr uint64_t kWeekMs = 7ull * 24 * 3600 * 1000;
 
 struct Deployment {
-  std::vector<std::unique_ptr<LocalDirBackend>> backends;
+  std::vector<std::unique_ptr<StorageBackend>> backends;
   std::vector<std::unique_ptr<CdstoreServer>> servers;
   std::vector<std::unique_ptr<InProcTransport>> transports;
   std::vector<Transport*> ptrs;
 };
 
-bool OpenDeployment(const std::string& state_dir, Deployment* d) {
+// Per-cloud object stores come from repeatable --cloud= flags: either a
+// directory path or an http://host:port/bucket endpoint (an S3-style
+// store, e.g. a real cloud gateway). Unnamed clouds default to
+// <state_dir>/cloudN directories, so directory and HTTP clouds mix freely
+// in one deployment. Indices always stay on the local disk (§5.6).
+bool OpenDeployment(const std::string& state_dir, const std::vector<std::string>& clouds,
+                    const RetryPolicy& retry, Deployment* d) {
   for (int i = 0; i < kN; ++i) {
     std::string cloud_dir = state_dir + "/cloud" + std::to_string(i);
-    auto backend = LocalDirBackend::Open(cloud_dir + "/objects");
-    if (!backend.ok()) {
-      std::fprintf(stderr, "cannot open %s: %s\n", cloud_dir.c_str(),
-                   backend.status().ToString().c_str());
-      return false;
+    std::string location =
+        static_cast<size_t>(i) < clouds.size() ? clouds[i] : cloud_dir;
+    if (location.rfind("http://", 0) == 0) {
+      HttpBackendOptions bo;
+      bo.retry = retry;
+      auto backend = HttpObjectBackend::Open(location, bo);
+      if (!backend.ok()) {
+        std::fprintf(stderr, "cannot open %s: %s\n", location.c_str(),
+                     backend.status().ToString().c_str());
+        return false;
+      }
+      d->backends.push_back(std::move(backend.value()));
+    } else {
+      auto backend = LocalDirBackend::Open(location + "/objects");
+      if (!backend.ok()) {
+        std::fprintf(stderr, "cannot open %s: %s\n", location.c_str(),
+                     backend.status().ToString().c_str());
+        return false;
+      }
+      d->backends.push_back(std::move(backend.value()));
     }
-    d->backends.push_back(std::move(backend.value()));
     ServerOptions so;
     so.index_dir = cloud_dir + "/index";
     // Operational deployment: maintenance (prune/gc) leaves fresh index
@@ -106,7 +131,14 @@ int Usage() {
                "       cdstore_cli <state_dir> restore-all <out_dir> [--as-of=UNIX_MS] "
                "[--user=N]\n"
                "       cdstore_cli <state_dir> stats\n"
-               "       cdstore_cli <state_dir> gc\n");
+               "       cdstore_cli <state_dir> gc\n"
+               "\n"
+               "cloud placement (any command, repeatable, cloud 0 first):\n"
+               "       --cloud=<dir> | --cloud=http://host:port/bucket\n"
+               "       unnamed clouds default to <state_dir>/cloudN directories\n"
+               "HTTP retry knobs:\n"
+               "       --retry-attempts=N (4)  --retry-backoff-ms=MS (50)\n"
+               "       --retry-deadline-ms=MS (0 = no overall deadline)\n");
   return 2;
 }
 
@@ -128,6 +160,23 @@ uint64_t TakeFlag(int* argc, char** argv, const char* name, uint64_t fallback) {
   return value;
 }
 
+// Strips every "--name=value" occurrence and returns all the values in
+// order — for repeatable flags like --cloud= (first value is cloud 0).
+std::vector<std::string> TakeFlagAll(int* argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  std::vector<std::string> values;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      values.emplace_back(argv[i] + prefix.size());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return values;
+}
+
 uint64_t NowMs() { return static_cast<uint64_t>(std::time(nullptr)) * 1000ull; }
 
 }  // namespace
@@ -138,13 +187,24 @@ int main(int argc, char** argv) {
   uint64_t keep = TakeFlag(&argc, argv, "keep", 0);
   uint64_t within_weeks = TakeFlag(&argc, argv, "within-weeks", 0);
   uint64_t as_of = TakeFlag(&argc, argv, "as-of", 0);
+  std::vector<std::string> clouds = TakeFlagAll(&argc, argv, "cloud");
+  RetryPolicy retry;  // HTTP clouds only; directory clouds never retry
+  retry.max_attempts =
+      static_cast<int>(TakeFlag(&argc, argv, "retry-attempts", 4));
+  retry.initial_backoff_ms = TakeFlag(&argc, argv, "retry-backoff-ms", 50);
+  retry.max_backoff_ms = retry.initial_backoff_ms * 20;
+  retry.overall_deadline_ms = TakeFlag(&argc, argv, "retry-deadline-ms", 0);
   if (argc < 3) {
     return Usage();
+  }
+  if (clouds.size() > static_cast<size_t>(kN)) {
+    std::fprintf(stderr, "at most %d --cloud= flags (got %zu)\n", kN, clouds.size());
+    return 2;
   }
   std::string state_dir = argv[1];
   std::string cmd = argv[2];
   Deployment d;
-  if (!OpenDeployment(state_dir, &d)) {
+  if (!OpenDeployment(state_dir, clouds, retry, &d)) {
     return 1;
   }
 

@@ -1,5 +1,8 @@
 #include "src/cloud/sim_cloud.h"
 
+#include <chrono>
+#include <thread>
+
 namespace cdstore {
 
 namespace {
@@ -18,15 +21,41 @@ SimCloud::SimCloud(StorageBackend* inner, const CloudProfile& profile, bool virt
   down_limiter_.set_simulated(virtual_time);
 }
 
-Status SimCloud::CheckUp() const {
-  if (!available_) {
+Status SimCloud::DrawFault(bool* corrupt) {
+  *corrupt = false;
+  if (plan_.fail_all()) {
+    plan_.Next();  // keep the injection counter honest
     return Status::Unavailable("cloud " + profile_.name + " is down");
+  }
+  switch (plan_.Next()) {
+    case FaultKind::kNone:
+      return Status::Ok();
+    case FaultKind::kError:
+      return Status::Unavailable("cloud " + profile_.name + ": injected error");
+    case FaultKind::kDrop:
+      return Status::Unavailable("cloud " + profile_.name + ": connection dropped");
+    case FaultKind::kPartialBody:
+      return Status::Unavailable("cloud " + profile_.name + ": partial read");
+    case FaultKind::kStall: {
+      uint64_t ms = plan_.spec().stall_ms;
+      if (virtual_time_) {
+        std::lock_guard<std::mutex> lock(lat_mu_);
+        down_latency_s_ += static_cast<double>(ms) / 1000.0;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      return Status::Ok();
+    }
+    case FaultKind::kCorrupt:
+      *corrupt = true;
+      return Status::Ok();
   }
   return Status::Ok();
 }
 
 Status SimCloud::Put(const std::string& name, ConstByteSpan data) {
-  RETURN_IF_ERROR(CheckUp());
+  bool corrupt = false;
+  RETURN_IF_ERROR(DrawFault(&corrupt));  // kCorrupt is a read-side fault; no-op here
   up_limiter_.Acquire(data.size());
   bytes_up_ += data.size();
   if (virtual_time_) {
@@ -37,7 +66,8 @@ Status SimCloud::Put(const std::string& name, ConstByteSpan data) {
 }
 
 Result<Bytes> SimCloud::Get(const std::string& name) {
-  RETURN_IF_ERROR(CheckUp());
+  bool corrupt = false;
+  RETURN_IF_ERROR(DrawFault(&corrupt));
   ASSIGN_OR_RETURN(Bytes data, inner_->Get(name));
   down_limiter_.Acquire(data.size());
   bytes_down_ += data.size();
@@ -45,24 +75,27 @@ Result<Bytes> SimCloud::Get(const std::string& name) {
     std::lock_guard<std::mutex> lock(lat_mu_);
     down_latency_s_ += profile_.latency_s;
   }
-  if (corrupt_reads_ && !data.empty()) {
+  if (corrupt && !data.empty()) {
     data[rng_.Uniform(data.size())] ^= 0x01;
   }
   return data;
 }
 
 Status SimCloud::Delete(const std::string& name) {
-  RETURN_IF_ERROR(CheckUp());
+  bool corrupt = false;
+  RETURN_IF_ERROR(DrawFault(&corrupt));
   return inner_->Delete(name);
 }
 
 Result<std::vector<std::string>> SimCloud::List() {
-  RETURN_IF_ERROR(CheckUp());
+  bool corrupt = false;
+  RETURN_IF_ERROR(DrawFault(&corrupt));
   return inner_->List();
 }
 
 bool SimCloud::Exists(const std::string& name) {
-  return available_ && inner_->Exists(name);
+  bool corrupt = false;
+  return DrawFault(&corrupt).ok() && inner_->Exists(name);
 }
 
 double SimCloud::upload_seconds() const {

@@ -15,6 +15,7 @@
 
 #include "src/cloud/profiles.h"
 #include "src/storage/backend.h"
+#include "src/util/fault_plan.h"
 #include "src/util/rate_limiter.h"
 #include "src/util/rng.h"
 
@@ -32,11 +33,23 @@ class SimCloud : public StorageBackend {
   bool Exists(const std::string& name) override;
 
   // --- failure injection -------------------------------------------------
-  // While unavailable, every operation returns kUnavailable.
-  void set_available(bool available) { available_ = available; }
-  bool available() const { return available_; }
-  // Every Get() flips one byte (silent data corruption).
-  void set_corrupt_reads(bool corrupt) { corrupt_reads_ = corrupt; }
+  // All injection is routed through one seeded FaultPlan — the same
+  // schedule type FaultyHttpServer draws from, so an in-process SimCloud
+  // test and a wire-level faultnet test can share a fault description.
+  // Every operation draws one FaultKind: kError/kDrop/kPartialBody come
+  // back as kUnavailable, kStall adds stall_ms (virtual or real clock),
+  // kCorrupt flips one byte of a Get.
+  FaultPlan* plan() { return &plan_; }
+
+  // While unavailable, every operation returns kUnavailable (plan fail_all).
+  void set_available(bool available) { plan_.set_fail_all(!available); }
+  bool available() const { return !plan_.fail_all(); }
+  // Every Get() flips one byte (corrupt_rate = 1 in the plan).
+  void set_corrupt_reads(bool corrupt) {
+    FaultSpec spec = plan_.spec();
+    spec.corrupt_rate = corrupt ? 1.0 : 0.0;
+    plan_.set_spec(spec);
+  }
 
   // --- accounting ----------------------------------------------------------
   const CloudProfile& profile() const { return profile_; }
@@ -48,14 +61,16 @@ class SimCloud : public StorageBackend {
   void ResetClocks();
 
  private:
-  Status CheckUp() const;
+  // Draws the next scheduled fault; kError/kDrop/kPartialBody become the
+  // returned error, kStall is served (slept or charged to the virtual
+  // clock) before Ok. *corrupt is set when the draw was kCorrupt.
+  Status DrawFault(bool* corrupt);
 
   StorageBackend* inner_;
   CloudProfile profile_;
   RateLimiter up_limiter_;
   RateLimiter down_limiter_;
-  std::atomic<bool> available_{true};
-  std::atomic<bool> corrupt_reads_{false};
+  FaultPlan plan_;
   std::atomic<uint64_t> bytes_up_{0};
   std::atomic<uint64_t> bytes_down_{0};
   // Latency accumulates into the same virtual clocks.

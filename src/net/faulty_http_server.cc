@@ -1,0 +1,220 @@
+#include "src/net/faulty_http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace cdstore {
+
+Result<std::unique_ptr<FaultyHttpServer>> FaultyHttpServer::Start(int port,
+                                                                  const FaultSpec& faults) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("bind() failed");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IOError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return std::unique_ptr<FaultyHttpServer>(
+      new FaultyHttpServer(fd, ntohs(addr.sin_port), faults));
+}
+
+FaultyHttpServer::FaultyHttpServer(int listen_fd, int port, const FaultSpec& faults)
+    : listen_fd_(listen_fd), port_(port), plan_(faults) {
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+}
+
+FaultyHttpServer::~FaultyHttpServer() { Stop(); }
+
+void FaultyHttpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  ::close(listen_fd_);
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Wake every connection thread blocked in a read; each unregisters its
+    // fd (under this mutex) before closing it, so no stale shutdowns.
+    for (int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    conns.swap(conn_threads_);
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void FaultyHttpServer::AcceptLoop() {
+  while (!stopping_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int n = ::poll(&pfd, 1, 200);
+    if (n <= 0) {
+      continue;
+    }
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_) {
+      ::close(conn);
+      return;
+    }
+    conn_threads_.emplace_back([this, conn]() { ServeConnection(conn); });
+  }
+}
+
+void FaultyHttpServer::ServeConnection(int fd) {
+  DeadlineSocket sock(fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.insert(fd);
+  }
+  // Keep-alive loop. Stop() wakes a blocked read via shutdown(); the
+  // deadline is only a backstop against a peer stalled mid-request.
+  while (!stopping_) {
+    HttpRequest req;
+    auto got = ReadHttpRequest(sock, &req, DeadlineAfterMs(30000));
+    if (!got.ok() || !got.value()) {
+      break;  // close, mid-request cut, protocol error, or Stop()
+    }
+    ++requests_served_;
+    if (!HandleRequest(sock, req)) {
+      break;  // injected drop / partial body: cut the connection
+    }
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.erase(fd);  // before ~DeadlineSocket closes it (fd reuse safety)
+}
+
+bool FaultyHttpServer::HandleRequest(DeadlineSocket& sock, const HttpRequest& req) {
+  FaultKind fault = plan_.Next();
+  if (fault == FaultKind::kStall) {
+    // TCP stall: the request is in, the reply is held. Sleep in slices so
+    // Stop() is never gated on a scheduled stall.
+    uint64_t remaining = plan_.spec().stall_ms;
+    while (remaining > 0 && !stopping_) {
+      uint64_t slice = std::min<uint64_t>(remaining, 50);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      remaining -= slice;
+    }
+  }
+  SockDeadline send_deadline = DeadlineAfterMs(10000);
+  auto reply = [&](int status, ConstByteSpan body) {
+    std::string head = BuildHttpResponseHead(status, body.size(), /*keep_alive=*/true);
+    if (!sock.SendAll(reinterpret_cast<const uint8_t*>(head.data()), head.size(),
+                      send_deadline)
+             .ok()) {
+      return false;
+    }
+    return body.empty() || sock.SendAll(body.data(), body.size(), send_deadline).ok();
+  };
+  if (fault == FaultKind::kDrop) {
+    return false;
+  }
+  if (fault == FaultKind::kError) {
+    Bytes msg = BytesOf("injected fault");
+    reply(500, msg);
+    return true;
+  }
+
+  // Route: "/<bucket>/<name>" or "/<bucket>?list".
+  std::string path = req.target;
+  std::string query;
+  if (size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path = path.substr(0, q);
+  }
+  if (path.empty() || path[0] != '/') {
+    return reply(400, {});
+  }
+  std::string key = path.substr(1);  // "bucket/name" — the store's key shape
+  size_t slash = key.find('/');
+
+  if (req.method == "GET" && query == "list" && slash == std::string::npos) {
+    auto names = store_.List();
+    if (!names.ok()) {
+      return reply(500, {});
+    }
+    std::string prefix = key + "/";
+    std::string joined;
+    std::sort(names.value().begin(), names.value().end());
+    for (const std::string& n : names.value()) {
+      if (n.rfind(prefix, 0) == 0) {
+        joined += n.substr(prefix.size());
+        joined += '\n';
+      }
+    }
+    return reply(200, ConstByteSpan(reinterpret_cast<const uint8_t*>(joined.data()),
+                                    joined.size()));
+  }
+  if (slash == std::string::npos || slash + 1 >= key.size()) {
+    return reply(400, {});
+  }
+
+  if (req.method == "PUT") {
+    Status st = store_.Put(key, req.body);
+    return reply(st.ok() ? 200 : 500, {});
+  }
+  if (req.method == "GET" || req.method == "HEAD") {
+    auto data = store_.Get(key);
+    if (!data.ok()) {
+      return reply(data.status().code() == StatusCode::kNotFound ? 404 : 500, {});
+    }
+    if (req.method == "HEAD") {
+      std::string head = BuildHttpResponseHead(200, data.value().size(), true);
+      return sock.SendAll(reinterpret_cast<const uint8_t*>(head.data()), head.size(),
+                          send_deadline)
+          .ok();
+    }
+    Bytes body = std::move(data.value());
+    if (fault == FaultKind::kCorrupt && !body.empty()) {
+      body[body.size() / 2] ^= 0x01;
+    }
+    if (fault == FaultKind::kPartialBody && body.size() >= 2) {
+      // Claim the full length, deliver half, vanish.
+      std::string head = BuildHttpResponseHead(200, body.size(), true);
+      (void)sock.SendAll(reinterpret_cast<const uint8_t*>(head.data()), head.size(),
+                         send_deadline);
+      (void)sock.SendAll(body.data(), body.size() / 2, send_deadline);
+      return false;
+    }
+    return reply(200, body);
+  }
+  if (req.method == "DELETE") {
+    Status st = store_.Delete(key);
+    return reply(st.ok() ? 204 : (st.code() == StatusCode::kNotFound ? 404 : 500), {});
+  }
+  return reply(400, {});
+}
+
+}  // namespace cdstore

@@ -277,41 +277,55 @@ void TcpServer::Stop() {
   ::close(wake_pipe_[1]);
 }
 
-TcpTransport::~TcpTransport() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-  }
-}
-
-Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& host, int port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError("socket() failed");
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host address: " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status::Unavailable("connect() failed to " + host + ":" + std::to_string(port));
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& host, int port,
+                                                            TcpTransportOptions options) {
+  ASSIGN_OR_RETURN(DeadlineSocket sock,
+                   DeadlineSocket::ConnectTcp(host, port,
+                                              DeadlineAfterMs(options.connect_timeout_ms)));
+  return std::unique_ptr<TcpTransport>(new TcpTransport(std::move(sock), options));
 }
 
 Result<Bytes> TcpTransport::Call(ConstByteSpan request) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!WriteFrame(fd_, request)) {
-    return Status::Unavailable("send failed");
+  if (!sock_.valid()) {
+    return Status::Unavailable("transport broken by an earlier timeout");
+  }
+  // One deadline covers the whole exchange. After a timeout the stream is
+  // desynchronized (a late reply would answer the wrong request), so the
+  // connection is closed for good and later calls fail fast.
+  SockDeadline deadline = DeadlineAfterMs(opts_.rpc_deadline_ms);
+  uint8_t hdr[4];
+  uint32_t len = static_cast<uint32_t>(request.size());
+  for (int i = 0; i < 4; ++i) {
+    hdr[i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  Status st = sock_.SendAll(hdr, 4, deadline);
+  if (st.ok() && !request.empty()) {
+    st = sock_.SendAll(request.data(), request.size(), deadline);
   }
   Bytes reply;
-  if (!ReadFrame(fd_, &reply)) {
-    return Status::Unavailable("recv failed");
+  if (st.ok()) {
+    st = sock_.RecvAll(hdr, 4, deadline);
+  }
+  if (st.ok()) {
+    uint32_t reply_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      reply_len |= static_cast<uint32_t>(hdr[i]) << (8 * i);
+    }
+    if (reply_len > (64u << 20)) {
+      st = Status::Corruption("reply frame exceeds 64MB cap");
+    } else {
+      reply.resize(reply_len);
+      if (reply_len > 0) {
+        st = sock_.RecvAll(reply.data(), reply_len, deadline);
+      }
+    }
+  }
+  if (!st.ok()) {
+    sock_.Close();
+    return st.code() == StatusCode::kDeadlineExceeded
+               ? Status::DeadlineExceeded("RPC deadline exceeded")
+               : Status::Unavailable("RPC failed: " + st.message());
   }
   return reply;
 }

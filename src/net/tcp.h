@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/net/http.h"
 #include "src/net/transport.h"
 #include "src/util/status.h"
 
@@ -83,17 +84,30 @@ class TcpServer {
   std::vector<std::thread> workers_;
 };
 
+struct TcpTransportOptions {
+  uint64_t connect_timeout_ms = 5000;
+  // Budget for one Call() — send + server work + reply. A cloud that
+  // accepts the request but never answers surfaces as kDeadlineExceeded
+  // (retryable) instead of pinning the calling thread forever. 0 disables.
+  uint64_t rpc_deadline_ms = 0;
+};
+
 class TcpTransport : public Transport {
  public:
-  ~TcpTransport() override;
+  ~TcpTransport() override = default;
 
-  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host, int port);
+  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host, int port,
+                                                       TcpTransportOptions options = {});
 
   Result<Bytes> Call(ConstByteSpan request) override;
 
+  void set_rpc_deadline_ms(uint64_t ms) { opts_.rpc_deadline_ms = ms; }
+
  private:
-  explicit TcpTransport(int fd) : fd_(fd) {}
-  int fd_;
+  TcpTransport(DeadlineSocket sock, TcpTransportOptions options)
+      : sock_(std::move(sock)), opts_(options) {}
+  DeadlineSocket sock_;
+  TcpTransportOptions opts_;
   std::mutex mu_;  // serialize request/reply pairs on the connection
 };
 

@@ -1,5 +1,9 @@
 #include "src/net/transport.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "src/net/service.h"
 
 namespace cdstore {
@@ -35,6 +39,19 @@ Result<Bytes> InProcTransport::Call(ConstByteSpan request) {
   }
   bytes_sent_ += request.size();
   Bytes reply = handler_(request);
+  // An injected stall holds the finished reply. With a per-RPC deadline
+  // the caller waits out only the deadline, not the stall, and sees a
+  // retryable timeout — exactly the TcpTransport contract.
+  uint64_t stall = stall_ms_.load(std::memory_order_relaxed);
+  uint64_t deadline = rpc_deadline_ms_.load(std::memory_order_relaxed);
+  if (stall > 0) {
+    uint64_t wait = deadline > 0 ? std::min(stall, deadline) : stall;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    if (deadline > 0 && stall >= deadline) {
+      ++deadline_trips_;
+      return Status::DeadlineExceeded("RPC deadline exceeded (reply stalled)");
+    }
+  }
   // A disconnect while the server ran means the reply never crossed the
   // link: fail the call instead of returning a half-charged reply (the
   // downlink was never traversed, so neither limiters nor counters see it).

@@ -54,16 +54,30 @@ class InProcTransport : public Transport {
   // cloud (or its co-located VM) is unreachable (§3.1).
   void set_connected(bool connected) { connected_ = connected; }
 
+  // Per-RPC deadline, matching TcpTransportOptions::rpc_deadline_ms: a
+  // reply stalled past it comes back as kDeadlineExceeded (retryable)
+  // instead of blocking the caller. 0 disables.
+  void set_rpc_deadline_ms(uint64_t ms) { rpc_deadline_ms_ = ms; }
+  // Failure injection: every reply is held `ms` before delivery — the
+  // cloud accepted the request but sits on the answer. With a deadline
+  // set, a stall at or past it times the call out (after sleeping only
+  // the deadline, never the full stall).
+  void set_stall_ms(uint64_t ms) { stall_ms_ = ms; }
+
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t deadline_trips() const { return deadline_trips_; }
 
  private:
   RpcHandler handler_;
   std::vector<RateLimiter*> uplinks_;
   std::vector<RateLimiter*> downlinks_;
   std::atomic<bool> connected_{true};
+  std::atomic<uint64_t> rpc_deadline_ms_{0};
+  std::atomic<uint64_t> stall_ms_{0};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> deadline_trips_{0};
 };
 
 }  // namespace cdstore

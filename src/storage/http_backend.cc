@@ -1,0 +1,130 @@
+#include "src/storage/http_backend.h"
+
+#include <algorithm>
+
+namespace cdstore {
+
+Result<HttpEndpoint> ParseHttpEndpoint(const std::string& url) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) != 0) {
+    return Status::InvalidArgument("endpoint must start with http://: " + url);
+  }
+  std::string rest = url.substr(scheme.size());
+  size_t slash = rest.find('/');
+  if (slash == std::string::npos || slash + 1 >= rest.size()) {
+    return Status::InvalidArgument("endpoint missing /bucket: " + url);
+  }
+  HttpEndpoint ep;
+  ep.bucket = rest.substr(slash + 1);
+  std::string hostport = rest.substr(0, slash);
+  size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    ep.host = hostport;
+  } else {
+    ep.host = hostport.substr(0, colon);
+    const std::string port_str = hostport.substr(colon + 1);
+    if (port_str.empty() ||
+        port_str.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("bad port in endpoint: " + url);
+    }
+    ep.port = std::stoi(port_str);
+    if (ep.port <= 0 || ep.port > 65535) {
+      return Status::InvalidArgument("bad port in endpoint: " + url);
+    }
+  }
+  if (ep.host.empty() || ep.bucket.empty() ||
+      ep.bucket.find('/') != std::string::npos) {
+    return Status::InvalidArgument("bad endpoint: " + url);
+  }
+  return ep;
+}
+
+HttpObjectBackend::HttpObjectBackend(const HttpEndpoint& endpoint,
+                                     HttpBackendOptions options)
+    : endpoint_(endpoint),
+      opts_(options),
+      client_(endpoint.host, endpoint.port,
+              HttpClientOptions{options.max_connections,
+                                options.retry.attempt_deadline_ms == 0
+                                    ? 5000
+                                    : options.retry.attempt_deadline_ms}),
+      up_limiter_(options.upload_bytes_per_sec, options.burst_bytes),
+      down_limiter_(options.download_bytes_per_sec, options.burst_bytes) {}
+
+Result<std::unique_ptr<HttpObjectBackend>> HttpObjectBackend::Open(
+    const std::string& url, HttpBackendOptions options) {
+  ASSIGN_OR_RETURN(HttpEndpoint ep, ParseHttpEndpoint(url));
+  return std::make_unique<HttpObjectBackend>(ep, std::move(options));
+}
+
+std::string HttpObjectBackend::ObjectTarget(const std::string& name) const {
+  return "/" + endpoint_.bucket + "/" + name;
+}
+
+Result<HttpResponse> HttpObjectBackend::DoWithRetry(const std::string& method,
+                                                    const std::string& target,
+                                                    ConstByteSpan body) {
+  Retrier retrier(opts_.retry);
+  for (;;) {
+    // Pacing is charged per attempt: a retried upload pays for the wasted
+    // bytes again, exactly as the wire would.
+    if (!body.empty()) {
+      up_limiter_.Acquire(body.size());
+    }
+    auto resp = client_.Do(method, target, body, retrier.AttemptDeadlineMs());
+    Status st = resp.ok()
+                    ? HttpStatusToStatus(resp.value().status, method + " " + target)
+                    : resp.status();
+    if (st.ok()) {
+      if (!resp.value().body.empty()) {
+        down_limiter_.Acquire(resp.value().body.size());
+      }
+      return std::move(resp.value());
+    }
+    if (!retrier.BackoffOrGiveUp(st)) {
+      return st;
+    }
+    ++retries_;
+  }
+}
+
+Status HttpObjectBackend::Put(const std::string& name, ConstByteSpan data) {
+  return DoWithRetry("PUT", ObjectTarget(name), data).status();
+}
+
+Result<Bytes> HttpObjectBackend::Get(const std::string& name) {
+  ASSIGN_OR_RETURN(HttpResponse resp, DoWithRetry("GET", ObjectTarget(name), {}));
+  return std::move(resp.body);
+}
+
+Status HttpObjectBackend::Delete(const std::string& name) {
+  return DoWithRetry("DELETE", ObjectTarget(name), {}).status();
+}
+
+Result<std::vector<std::string>> HttpObjectBackend::List() {
+  ASSIGN_OR_RETURN(HttpResponse resp,
+                   DoWithRetry("GET", "/" + endpoint_.bucket + "?list", {}));
+  std::vector<std::string> names;
+  std::string line;
+  for (uint8_t b : resp.body) {
+    if (b == '\n') {
+      if (!line.empty()) {
+        names.push_back(line);
+      }
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(b));
+    }
+  }
+  if (!line.empty()) {
+    names.push_back(line);
+  }
+  return names;
+}
+
+bool HttpObjectBackend::Exists(const std::string& name) {
+  auto resp = DoWithRetry("HEAD", ObjectTarget(name), {});
+  return resp.ok();
+}
+
+}  // namespace cdstore

@@ -1,0 +1,83 @@
+// HttpObjectBackend: the S3-style cloud backend (§5: each CDStore server
+// fronts one cloud's object store). Objects live under one bucket at an
+// HTTP endpoint; every operation is a single request retried under a
+// RetryPolicy — transient faults (5xx, resets, stalls past the attempt
+// deadline, truncated bodies) are absorbed by backoff, terminal ones (4xx)
+// surface immediately. Uploads and downloads are paced by per-cloud token
+// buckets, and the underlying HttpClient pools keep-alive connections so
+// parallel Put/Get calls ride the wire concurrently.
+#ifndef CDSTORE_SRC_STORAGE_HTTP_BACKEND_H_
+#define CDSTORE_SRC_STORAGE_HTTP_BACKEND_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/http.h"
+#include "src/storage/backend.h"
+#include "src/util/rate_limiter.h"
+#include "src/util/retry.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+// "http://host:port/bucket" (port optional, default 80).
+struct HttpEndpoint {
+  std::string host;
+  int port = 80;
+  std::string bucket;
+};
+Result<HttpEndpoint> ParseHttpEndpoint(const std::string& url);
+
+struct HttpBackendOptions {
+  RetryPolicy retry;
+  // Per-cloud pacing; 0 = unlimited. Charged once per attempt, so a
+  // retried transfer pays for its wasted bytes like a real link would.
+  uint64_t upload_bytes_per_sec = 0;
+  uint64_t download_bytes_per_sec = 0;
+  uint64_t burst_bytes = 1 << 20;
+  // Connection pool cap = max parallel in-flight requests to this cloud.
+  int max_connections = 8;
+};
+
+class HttpObjectBackend : public StorageBackend {
+ public:
+  HttpObjectBackend(const HttpEndpoint& endpoint, HttpBackendOptions options = {});
+
+  // Convenience: parse `url` and open the backend in one step.
+  static Result<std::unique_ptr<HttpObjectBackend>> Open(const std::string& url,
+                                                         HttpBackendOptions options = {});
+
+  Status Put(const std::string& name, ConstByteSpan data) override;
+  Result<Bytes> Get(const std::string& name) override;
+  Status Delete(const std::string& name) override;
+  Result<std::vector<std::string>> List() override;
+  bool Exists(const std::string& name) override;
+
+  const HttpEndpoint& endpoint() const { return endpoint_; }
+  // Attempts beyond the first, summed across operations — how hard the
+  // retry layer had to work.
+  uint64_t retries() const { return retries_; }
+  uint64_t connections_opened() const { return client_.connections_opened(); }
+  uint64_t requests_sent() const { return client_.requests_sent(); }
+
+ private:
+  // Runs one `method target` exchange under the retry policy. Returns the
+  // response only on 2xx; any other outcome comes back as the mapped
+  // canonical status (404 -> NotFound, 5xx after the budget -> Unavailable).
+  Result<HttpResponse> DoWithRetry(const std::string& method, const std::string& target,
+                                   ConstByteSpan body);
+  std::string ObjectTarget(const std::string& name) const;
+
+  HttpEndpoint endpoint_;
+  HttpBackendOptions opts_;
+  HttpClient client_;
+  RateLimiter up_limiter_;
+  RateLimiter down_limiter_;
+  std::atomic<uint64_t> retries_{0};
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_STORAGE_HTTP_BACKEND_H_

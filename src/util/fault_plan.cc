@@ -1,0 +1,79 @@
+#include "src/util/fault_plan.h"
+
+#include <algorithm>
+
+namespace cdstore {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kError: return "error";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kPartialBody: return "partial_body";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// SplitMix64: one well-mixed 64-bit word per (seed, index) pair.
+uint64_t Mix(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultKind FaultPlan::At(uint64_t index) const {
+  double u = static_cast<double>(Mix(spec_.seed, index) >> 11) * 0x1.0p-53;
+  double edge = 0.0;
+  const struct {
+    double rate;
+    FaultKind kind;
+  } slices[] = {
+      {spec_.error_rate, FaultKind::kError},
+      {spec_.stall_rate, FaultKind::kStall},
+      {spec_.partial_body_rate, FaultKind::kPartialBody},
+      {spec_.drop_rate, FaultKind::kDrop},
+      {spec_.corrupt_rate, FaultKind::kCorrupt},
+  };
+  for (const auto& s : slices) {
+    edge += std::max(s.rate, 0.0);
+    if (u < edge) {
+      return s.kind;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+FaultKind FaultPlan::Next() {
+  if (fail_all_.load(std::memory_order_relaxed)) {
+    ++faults_injected_;
+    return FaultKind::kError;
+  }
+  // Forced faults preempt the schedule: the index draw is not consumed, so
+  // a test's forced stall leaves the seeded tail untouched.
+  int forced = forced_count_.load(std::memory_order_relaxed);
+  while (forced > 0) {
+    if (forced_count_.compare_exchange_weak(forced, forced - 1, std::memory_order_relaxed)) {
+      ++faults_injected_;
+      return forced_kind_.load(std::memory_order_relaxed);
+    }
+  }
+  FaultKind kind = At(next_index_.fetch_add(1, std::memory_order_relaxed));
+  if (kind != FaultKind::kNone) {
+    ++faults_injected_;
+  }
+  return kind;
+}
+
+void FaultPlan::ForceNext(FaultKind kind, int count) {
+  forced_kind_.store(kind, std::memory_order_relaxed);
+  forced_count_.store(count, std::memory_order_relaxed);
+}
+
+}  // namespace cdstore

@@ -1,0 +1,78 @@
+// Seeded, shared fault schedule for everything that pretends to be an
+// unreliable cloud: SimCloud (in-process backend decoration) and
+// FaultyHttpServer (a real HTTP object store misbehaving on the wire) draw
+// from the same FaultPlan, so "10% 5xx + stalls" means the same thing in a
+// unit test, a pipeline test, and bench_faultnet. The decision for request
+// i is a pure function of (seed, i): a plan replays identically however
+// the requests are threaded, and two plans with one seed agree.
+#ifndef CDSTORE_SRC_UTIL_FAULT_PLAN_H_
+#define CDSTORE_SRC_UTIL_FAULT_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cdstore {
+
+enum class FaultKind {
+  kNone = 0,
+  kError,        // HTTP 500 / kUnavailable
+  kStall,        // reply delayed by stall_ms (deadline fodder)
+  kPartialBody,  // reply truncated mid-body, then the connection drops
+  kDrop,         // connection cut before any reply
+  kCorrupt,      // payload served with one byte flipped
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// Independent per-request fault rates. Rates are evaluated as cumulative
+// slices of one uniform draw, so their sum is clamped to 1.0 and at most
+// one fault fires per request.
+struct FaultSpec {
+  double error_rate = 0.0;
+  double stall_rate = 0.0;
+  double partial_body_rate = 0.0;
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  uint64_t stall_ms = 100;  // how long a kStall holds the reply
+  uint64_t seed = 1;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;  // fault-free
+  explicit FaultPlan(const FaultSpec& spec) : spec_(spec) {}
+
+  // The scheduled fault for request `index` — pure in (seed, index).
+  FaultKind At(uint64_t index) const;
+
+  // Draws the next fault in schedule order (atomic counter). Forced kinds
+  // queued by ForceNext() preempt the schedule without consuming it.
+  FaultKind Next();
+
+  // Queues `count` deterministic faults of `kind` ahead of the schedule —
+  // the way tests arrange "the next GET stalls" without probability
+  // gymnastics.
+  void ForceNext(FaultKind kind, int count = 1);
+
+  // While set, every request faults with kError regardless of the
+  // schedule: the cloud is down, not flaky.
+  void set_fail_all(bool fail_all) { fail_all_ = fail_all; }
+  bool fail_all() const { return fail_all_; }
+
+  const FaultSpec& spec() const { return spec_; }
+  void set_spec(const FaultSpec& spec) { spec_ = spec; }
+  uint64_t requests_seen() const { return next_index_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  FaultSpec spec_;
+  std::atomic<bool> fail_all_{false};
+  std::atomic<uint64_t> next_index_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<int> forced_count_{0};
+  std::atomic<FaultKind> forced_kind_{FaultKind::kNone};
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_FAULT_PLAN_H_

@@ -1,0 +1,113 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace cdstore {
+
+bool IsRetryableStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIOError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status HttpStatusToStatus(int http_status, const std::string& context) {
+  if (http_status >= 200 && http_status < 300) {
+    return Status::Ok();
+  }
+  std::string m = context + ": HTTP " + std::to_string(http_status);
+  if (http_status >= 500) {
+    return Status::Unavailable(std::move(m));
+  }
+  switch (http_status) {
+    case 404:
+      return Status::NotFound(std::move(m));
+    case 403:
+      return Status::PermissionDenied(std::move(m));
+    case 429:
+      return Status::ResourceExhausted(std::move(m));
+    default:
+      return Status::InvalidArgument(std::move(m));
+  }
+}
+
+namespace {
+
+uint64_t MonotonicNowMs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+Retrier::Retrier(const RetryPolicy& policy, SleepFn sleep, ClockFn now_ms)
+    : policy_(policy),
+      sleep_(sleep ? std::move(sleep)
+                   : [](uint64_t ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }),
+      now_ms_(now_ms ? std::move(now_ms) : MonotonicNowMs),
+      jitter_rng_(policy.seed) {
+  start_ms_ = now_ms_();
+}
+
+uint64_t Retrier::RemainingOverallMs() const {
+  if (policy_.overall_deadline_ms == 0) {
+    return UINT64_MAX;
+  }
+  uint64_t elapsed = now_ms_() - start_ms_;
+  return elapsed >= policy_.overall_deadline_ms ? 0 : policy_.overall_deadline_ms - elapsed;
+}
+
+uint64_t Retrier::AttemptDeadlineMs() const {
+  uint64_t remaining = RemainingOverallMs();
+  if (remaining == UINT64_MAX) {
+    return policy_.attempt_deadline_ms;
+  }
+  if (policy_.attempt_deadline_ms == 0) {
+    return std::max<uint64_t>(remaining, 1);
+  }
+  return std::max<uint64_t>(std::min(policy_.attempt_deadline_ms, remaining), 1);
+}
+
+bool Retrier::BackoffOrGiveUp(const Status& st) {
+  if (!IsRetryableStatus(st)) {
+    return false;
+  }
+  if (attempts_ >= policy_.max_attempts) {
+    return false;
+  }
+  // Backoff for the retry about to start: attempts_ == 1 -> initial.
+  double raw = static_cast<double>(policy_.initial_backoff_ms);
+  for (int i = 1; i < attempts_; ++i) {
+    raw *= policy_.backoff_multiplier;
+    if (raw >= static_cast<double>(policy_.max_backoff_ms)) {
+      raw = static_cast<double>(policy_.max_backoff_ms);
+      break;
+    }
+  }
+  raw = std::min(raw, static_cast<double>(policy_.max_backoff_ms));
+  double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  double scale = 1.0 - jitter * jitter_rng_.NextDouble();
+  uint64_t delay = static_cast<uint64_t>(raw * scale);
+  // The deadline wins over the budget: never sleep past it, and give up
+  // outright when no useful attempt time would remain afterwards.
+  uint64_t remaining = RemainingOverallMs();
+  if (remaining != UINT64_MAX && delay >= remaining) {
+    return false;
+  }
+  ++attempts_;
+  if (delay > 0) {
+    sleep_(delay);
+    slept_ms_ += delay;
+  }
+  return true;
+}
+
+}  // namespace cdstore

@@ -1,0 +1,98 @@
+// Composable retry policy for cloud transports (§2, §4.5: clouds fail,
+// stall, and return errors; the client must degrade gracefully instead of
+// hanging). A RetryPolicy describes exponential backoff with seeded jitter,
+// a retry budget, and per-attempt / overall deadlines; a Retrier executes
+// one operation's attempts against it. Classification lives here too: only
+// transient failures (5xx, connection resets, stalls) are retried — client
+// errors (4xx) and data corruption are terminal and surface immediately.
+#ifndef CDSTORE_SRC_UTIL_RETRY_H_
+#define CDSTORE_SRC_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace cdstore {
+
+struct RetryPolicy {
+  // Total attempts, including the first (the retry budget is attempts - 1).
+  int max_attempts = 4;
+  // Backoff before retry r (1-based) is
+  //   min(initial_backoff_ms * multiplier^(r-1), max_backoff_ms)
+  // scaled by a jitter factor drawn uniformly from [1 - jitter, 1].
+  uint64_t initial_backoff_ms = 50;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ms = 2000;
+  double jitter = 0.5;
+  // Budget for one attempt (connect + request + reply). 0 = unbounded.
+  uint64_t attempt_deadline_ms = 10000;
+  // Budget for the whole operation, attempts and backoff sleeps included.
+  // When it expires, the Retrier gives up even with budget left — the
+  // deadline always wins over the retry count. 0 = unbounded.
+  uint64_t overall_deadline_ms = 0;
+  // Seed of the jitter RNG: a fixed seed makes the backoff sequence (and
+  // therefore every fault-injection test built on it) reproducible.
+  uint64_t seed = 0x5EED;
+};
+
+// True when `st` is worth retrying: the failure is transient (cloud
+// hiccup, reset connection, stalled reply) rather than a property of the
+// request. Terminal codes (NotFound, InvalidArgument, PermissionDenied,
+// Corruption, ...) fail fast so a misdirected request never burns the
+// whole backoff schedule.
+bool IsRetryableStatus(const Status& st);
+
+// Maps an HTTP response status to the canonical error space: 2xx -> OK,
+// 5xx -> Unavailable (retryable), 404 -> NotFound, 403 -> PermissionDenied,
+// 429 -> ResourceExhausted (retryable), other 4xx -> InvalidArgument.
+Status HttpStatusToStatus(int http_status, const std::string& context);
+
+// Drives one operation's attempts under a RetryPolicy. Not thread-safe;
+// make one per operation.
+//
+//   Retrier retrier(policy);
+//   for (;;) {
+//     Status st = DoAttempt(retrier.AttemptDeadlineMs());
+//     if (st.ok() || !retrier.BackoffOrGiveUp(st)) return st;
+//   }
+class Retrier {
+ public:
+  // `sleep` / `now_ms` default to real sleeping and a monotonic clock;
+  // tests substitute fakes to check schedules without waiting them out.
+  using SleepFn = std::function<void(uint64_t ms)>;
+  using ClockFn = std::function<uint64_t()>;
+  explicit Retrier(const RetryPolicy& policy, SleepFn sleep = nullptr,
+                   ClockFn now_ms = nullptr);
+
+  // Called after a failed attempt. Returns true after sleeping the next
+  // backoff — the caller should retry. Returns false when `st` is terminal,
+  // the retry budget is spent, or the overall deadline has (or would, once
+  // the backoff is slept) run out; the caller should surface `st`.
+  bool BackoffOrGiveUp(const Status& st);
+
+  // Deadline for the next attempt: the policy's per-attempt budget clamped
+  // to what remains of the overall deadline. 0 = unbounded.
+  uint64_t AttemptDeadlineMs() const;
+
+  // Attempts the caller has been told to make so far (>= 1).
+  int attempts() const { return attempts_; }
+  uint64_t backoffs_slept_ms() const { return slept_ms_; }
+
+ private:
+  uint64_t RemainingOverallMs() const;
+
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  ClockFn now_ms_;
+  Rng jitter_rng_;
+  uint64_t start_ms_ = 0;
+  int attempts_ = 1;  // the attempt currently in flight
+  uint64_t slept_ms_ = 0;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_RETRY_H_

@@ -11,6 +11,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kIOError: return "IO_ERROR";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";

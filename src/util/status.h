@@ -21,6 +21,7 @@ enum class StatusCode {
   kCorruption,
   kIOError,
   kUnavailable,
+  kDeadlineExceeded,
   kFailedPrecondition,
   kPermissionDenied,
   kResourceExhausted,
@@ -45,6 +46,7 @@ class Status {
   static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
   static Status IOError(std::string m) { return {StatusCode::kIOError, std::move(m)}; }
   static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
   static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
   static Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
   static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "src/cloud/profiles.h"
 #include "src/cloud/sim_cloud.h"
 #include "src/net/message.h"
@@ -277,6 +280,120 @@ TEST(TcpTest, MultipleConcurrentClients) {
 TEST(TcpTest, ConnectToClosedPortFails) {
   auto client = TcpTransport::Connect("127.0.0.1", 1);  // port 1: closed
   EXPECT_FALSE(client.ok());
+}
+
+// ------------------------------------------------------- per-RPC deadlines --
+
+TEST(TcpTest, RpcDeadlineTripsOnSilentServer) {
+  // The handler accepts the request and then sits on the reply — the cloud
+  // that takes the bytes and never answers. The per-RPC deadline frees the
+  // caller in ~200ms as a retryable timeout instead of pinning its thread
+  // for the duration.
+  auto server = TcpServer::Listen(0, [](ConstByteSpan req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    return Bytes(req.begin(), req.end());
+  });
+  ASSERT_TRUE(server.ok());
+  TcpTransportOptions opts;
+  opts.rpc_deadline_ms = 200;
+  auto client = TcpTransport::Connect("127.0.0.1", server.value()->port(), opts);
+  ASSERT_TRUE(client.ok());
+
+  auto start = std::chrono::steady_clock::now();
+  auto reply = client.value()->Call(BytesOf("ping"));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 2000);
+
+  // The stream is desynchronized after a timeout; the connection is dead
+  // and later calls fail fast instead of reading the stale reply.
+  auto second = client.value()->Call(BytesOf("ping"));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  server.value()->Stop();
+}
+
+TEST(TcpTest, CallsInsideDeadlineUnaffected) {
+  auto server = TcpServer::Listen(0, [](ConstByteSpan req) {
+    return Bytes(req.begin(), req.end());
+  });
+  ASSERT_TRUE(server.ok());
+  TcpTransportOptions opts;
+  opts.rpc_deadline_ms = 5000;
+  auto client = TcpTransport::Connect("127.0.0.1", server.value()->port(), opts);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto reply = client.value()->Call(BytesOf("m" + std::to_string(i)));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value(), BytesOf("m" + std::to_string(i)));
+  }
+}
+
+TEST(InProcTransportTest, StalledReplyTripsDeadline) {
+  InProcTransport t([](ConstByteSpan req) { return Bytes(req.begin(), req.end()); });
+  t.set_rpc_deadline_ms(50);
+  t.set_stall_ms(10000);
+  auto start = std::chrono::steady_clock::now();
+  auto reply = t.Call(BytesOf("x"));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 2000);  // slept the deadline, never the 10s stall
+  EXPECT_EQ(t.deadline_trips(), 1u);
+
+  // A stall shorter than the deadline only delays the reply.
+  t.set_stall_ms(10);
+  EXPECT_EQ(t.Call(BytesOf("y")).value(), BytesOf("y"));
+}
+
+// --------------------------------------------- SimCloud on the fault plan --
+
+TEST(SimCloudTest, FaultPlanDrivesInjectedErrors) {
+  MemBackend inner;
+  SimCloud cloud(&inner, UnlimitedProfile(), true);
+  ASSERT_TRUE(cloud.Put("o", BytesOf("v")).ok());
+
+  cloud.plan()->ForceNext(FaultKind::kError, 2);
+  EXPECT_EQ(cloud.Get("o").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cloud.Put("p", BytesOf("w")).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cloud.Get("o").value(), BytesOf("v"));  // schedule drained
+  EXPECT_GE(cloud.plan()->faults_injected(), 2u);
+}
+
+TEST(SimCloudTest, FaultPlanStallChargesVirtualClock) {
+  MemBackend inner;
+  SimCloud cloud(&inner, UnlimitedProfile(), /*virtual_time=*/true);
+  ASSERT_TRUE(cloud.Put("o", BytesOf("v")).ok());
+  double before = cloud.download_seconds();
+  FaultSpec spec = cloud.plan()->spec();
+  spec.stall_ms = 250;
+  cloud.plan()->set_spec(spec);
+  cloud.plan()->ForceNext(FaultKind::kStall, 1);
+  ASSERT_TRUE(cloud.Get("o").ok());  // stalled, not failed
+  EXPECT_NEAR(cloud.download_seconds() - before, 0.25, 1e-9);
+}
+
+TEST(SimCloudTest, SharedFaultSpecMatchesHttpSchedule) {
+  // One FaultSpec, two consumers: SimCloud and FaultyHttpServer tests can
+  // describe "this cloud misbehaves" identically because both draw the
+  // same pure (seed, index) schedule.
+  FaultSpec spec;
+  spec.error_rate = 0.3;
+  spec.seed = 99;
+  MemBackend inner;
+  SimCloud cloud(&inner, UnlimitedProfile(), true);
+  cloud.plan()->set_spec(spec);
+  FaultPlan reference(spec);
+  ASSERT_TRUE(inner.Put("o", BytesOf("v")).ok());
+  for (int i = 0; i < 50; ++i) {
+    bool should_fail = reference.Next() == FaultKind::kError;
+    EXPECT_EQ(cloud.Get("o").ok(), !should_fail) << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/fault_plan.h"
+#include "src/util/retry.h"
+
+namespace cdstore {
+namespace {
+
+// ------------------------------------------------------------ classification
+
+TEST(RetryClassificationTest, TransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("5xx")));
+  EXPECT_TRUE(IsRetryableStatus(Status::DeadlineExceeded("stall")));
+  EXPECT_TRUE(IsRetryableStatus(Status::ResourceExhausted("429")));
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("reset")));
+}
+
+TEST(RetryClassificationTest, TerminalCodesAreNot) {
+  EXPECT_FALSE(IsRetryableStatus(Status::Ok()));
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("404")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("400")));
+  EXPECT_FALSE(IsRetryableStatus(Status::PermissionDenied("403")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Corruption("bad bytes")));
+}
+
+TEST(RetryClassificationTest, HttpStatusMapping) {
+  EXPECT_TRUE(HttpStatusToStatus(200, "ctx").ok());
+  EXPECT_TRUE(HttpStatusToStatus(204, "ctx").ok());
+  EXPECT_EQ(HttpStatusToStatus(500, "ctx").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(HttpStatusToStatus(503, "ctx").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(HttpStatusToStatus(404, "ctx").code(), StatusCode::kNotFound);
+  EXPECT_EQ(HttpStatusToStatus(403, "ctx").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(HttpStatusToStatus(429, "ctx").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(HttpStatusToStatus(400, "ctx").code(), StatusCode::kInvalidArgument);
+  // 4xx is terminal, 5xx/429 are retryable — the backoff schedule is never
+  // burned on a request that can't succeed.
+  EXPECT_FALSE(IsRetryableStatus(HttpStatusToStatus(400, "ctx")));
+  EXPECT_TRUE(IsRetryableStatus(HttpStatusToStatus(500, "ctx")));
+  EXPECT_TRUE(IsRetryableStatus(HttpStatusToStatus(429, "ctx")));
+}
+
+// ----------------------------------------------------------------- retrier
+
+RetryPolicy TestPolicy() {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff_ms = 100;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_ms = 250;
+  p.jitter = 0.5;
+  p.attempt_deadline_ms = 0;
+  p.overall_deadline_ms = 0;
+  p.seed = 42;
+  return p;
+}
+
+TEST(RetrierTest, BackoffSequenceIsDeterministicUnderFixedSeed) {
+  auto run_schedule = [](uint64_t seed) {
+    RetryPolicy p = TestPolicy();
+    p.max_attempts = 5;
+    p.seed = seed;
+    std::vector<uint64_t> slept;
+    Retrier r(p, [&](uint64_t ms) { slept.push_back(ms); });
+    while (r.BackoffOrGiveUp(Status::Unavailable("flaky"))) {
+    }
+    return slept;
+  };
+  std::vector<uint64_t> a = run_schedule(42);
+  std::vector<uint64_t> b = run_schedule(42);
+  std::vector<uint64_t> c = run_schedule(43);
+  ASSERT_EQ(a.size(), 4u);  // 5 attempts -> 4 backoffs
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // a different seed jitters differently
+  // Each delay is the exponential base scaled into [1 - jitter, 1].
+  const uint64_t bases[] = {100, 200, 250, 250};  // capped at max_backoff_ms
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], bases[i] / 2) << "backoff " << i;
+    EXPECT_LE(a[i], bases[i]) << "backoff " << i;
+  }
+}
+
+TEST(RetrierTest, GivesUpWhenBudgetExhausted) {
+  int sleeps = 0;
+  Retrier r(TestPolicy(), [&](uint64_t) { ++sleeps; });
+  Status flaky = Status::Unavailable("flaky");
+  EXPECT_TRUE(r.BackoffOrGiveUp(flaky));
+  EXPECT_TRUE(r.BackoffOrGiveUp(flaky));
+  EXPECT_TRUE(r.BackoffOrGiveUp(flaky));
+  EXPECT_FALSE(r.BackoffOrGiveUp(flaky));  // 4th failure: budget spent
+  EXPECT_EQ(sleeps, 3);                    // max_attempts - 1 backoffs
+  EXPECT_EQ(r.attempts(), 4);
+}
+
+TEST(RetrierTest, TerminalStatusFailsFast) {
+  int sleeps = 0;
+  Retrier r(TestPolicy(), [&](uint64_t) { ++sleeps; });
+  EXPECT_FALSE(r.BackoffOrGiveUp(Status::NotFound("404")));
+  EXPECT_EQ(sleeps, 0);
+  EXPECT_EQ(r.attempts(), 1);
+}
+
+TEST(RetrierTest, OverallDeadlineWinsOverRetryBudget) {
+  RetryPolicy p = TestPolicy();
+  p.max_attempts = 100;          // budget would retry ~forever
+  p.jitter = 0.0;                // exact delays: 100, 200, 250, 250, ...
+  p.overall_deadline_ms = 1000;  // ...but the clock runs out first
+  uint64_t fake_now = 0;
+  int sleeps = 0;
+  Retrier r(
+      p,
+      [&](uint64_t ms) {
+        fake_now += ms;
+        ++sleeps;
+      },
+      [&]() { return fake_now; });
+  Status flaky = Status::Unavailable("flaky");
+  int retries = 0;
+  while (r.BackoffOrGiveUp(flaky)) {
+    ++retries;
+    // Pretend each attempt itself burns 100ms of wall clock.
+    fake_now += 100;
+  }
+  EXPECT_LT(retries, 10);  // far below the 99-retry budget
+  // Every slept backoff fit inside the deadline; the giving-up call slept
+  // nothing (a backoff that would cross the deadline is not slept).
+  EXPECT_LE(fake_now, 1000u + 100u);
+  EXPECT_EQ(sleeps, retries);
+}
+
+TEST(RetrierTest, AttemptDeadlineClampsToRemainingOverall) {
+  RetryPolicy p = TestPolicy();
+  p.attempt_deadline_ms = 400;
+  p.overall_deadline_ms = 1000;
+  uint64_t fake_now = 0;
+  Retrier r(p, [&](uint64_t) {}, [&]() { return fake_now; });
+  EXPECT_EQ(r.AttemptDeadlineMs(), 400u);  // overall budget not yet binding
+  fake_now = 900;
+  EXPECT_EQ(r.AttemptDeadlineMs(), 100u);  // 100ms of overall budget left
+}
+
+// --------------------------------------------------------------- fault plan
+
+TEST(FaultPlanTest, PureFunctionOfSeedAndIndex) {
+  FaultSpec spec;
+  spec.error_rate = 0.2;
+  spec.stall_rate = 0.1;
+  spec.seed = 7;
+  FaultPlan a(spec);
+  FaultPlan b(spec);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.At(i), b.At(i)) << i;
+    EXPECT_EQ(a.At(i), a.Next()) << i;  // Next walks the same schedule
+  }
+  spec.seed = 8;
+  FaultPlan c(spec);
+  int diffs = 0;
+  for (uint64_t i = 0; i < 200; ++i) {
+    diffs += a.At(i) != c.At(i);
+  }
+  EXPECT_GT(diffs, 0);  // different seed, different schedule
+}
+
+TEST(FaultPlanTest, RatesRoughlyRespected) {
+  FaultSpec spec;
+  spec.error_rate = 0.1;
+  spec.seed = 21;
+  FaultPlan plan(spec);
+  int errors = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    errors += plan.At(i) == FaultKind::kError;
+  }
+  EXPECT_GT(errors, 800);
+  EXPECT_LT(errors, 1200);
+}
+
+TEST(FaultPlanTest, ForcedFaultsPreemptWithoutConsumingSchedule) {
+  FaultSpec spec;
+  spec.error_rate = 0.5;
+  spec.seed = 3;
+  FaultPlan plan(spec);
+  FaultKind first = plan.At(0);
+  plan.ForceNext(FaultKind::kStall, 2);
+  EXPECT_EQ(plan.Next(), FaultKind::kStall);
+  EXPECT_EQ(plan.Next(), FaultKind::kStall);
+  EXPECT_EQ(plan.Next(), first);  // the seeded schedule resumes at index 0
+}
+
+TEST(FaultPlanTest, FailAllOverridesSchedule) {
+  FaultPlan plan;  // fault-free spec
+  EXPECT_EQ(plan.Next(), FaultKind::kNone);
+  plan.set_fail_all(true);
+  EXPECT_EQ(plan.Next(), FaultKind::kError);
+  EXPECT_EQ(plan.Next(), FaultKind::kError);
+  plan.set_fail_all(false);
+  EXPECT_EQ(plan.Next(), FaultKind::kNone);
+}
+
+}  // namespace
+}  // namespace cdstore
