@@ -4,7 +4,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
+# Static gates first: they finish in milliseconds and catch the mistakes a
+# green GCC build cannot (raw mutexes, dropped Status, format drift).
+scripts/lint.sh
+scripts/format.sh --check
+
+# CI injects extra configure flags (-DCDSTORE_WERROR=ON, ccache launcher)
+# through CDSTORE_CMAKE_ARGS; local runs need none.
+# shellcheck disable=SC2086
+cmake -B build -S . ${CDSTORE_CMAKE_ARGS:-}
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 

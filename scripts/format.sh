@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# clang-format over the tree. Default: rewrite in place. --check: diff-only,
+# nonzero exit on drift — CI runs this mode over the files the PR touched
+# (merge-base against the base ref) so legacy formatting is never relitigated.
+#
+#   scripts/format.sh                 # format everything
+#   scripts/format.sh --check         # check everything
+#   scripts/format.sh --check BASE    # check only files changed since BASE
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+mode=fix
+base=""
+if [ "${1:-}" = "--check" ]; then
+  mode=check
+  base="${2:-}"
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format.sh: clang-format not installed; skipping" >&2
+  exit 0
+fi
+
+if [ -n "$base" ]; then
+  files=$(git diff --name-only --diff-filter=d "$(git merge-base "$base" HEAD)" HEAD \
+          -- 'src/*.cc' 'src/*.h' 'tests/*.cc' 'tests/*.h' 'bench/*.cc' 'examples/*.cc')
+else
+  files=$(find src tests bench examples -name '*.cc' -o -name '*.h' 2>/dev/null | sort)
+fi
+[ -z "$files" ] && { echo "format.sh: no files to check"; exit 0; }
+
+if [ "$mode" = fix ]; then
+  echo "$files" | xargs clang-format -i
+  echo "format.sh: formatted $(echo "$files" | wc -l) files"
+else
+  bad=0
+  for f in $files; do
+    [ -f "$f" ] || continue
+    if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+      echo "format.sh: needs formatting: $f" >&2
+      bad=1
+    fi
+  done
+  if [ "$bad" -ne 0 ]; then
+    echo "format.sh: run scripts/format.sh to fix" >&2
+    exit 1
+  fi
+  echo "format.sh: clean"
+fi

@@ -39,7 +39,7 @@ Status SimCloud::DrawFault(bool* corrupt) {
     case FaultKind::kStall: {
       uint64_t ms = plan_.spec().stall_ms;
       if (virtual_time_) {
-        std::lock_guard<std::mutex> lock(lat_mu_);
+        MutexLock lock(lat_mu_);
         down_latency_s_ += static_cast<double>(ms) / 1000.0;
       } else {
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -59,7 +59,7 @@ Status SimCloud::Put(const std::string& name, ConstByteSpan data) {
   up_limiter_.Acquire(data.size());
   bytes_up_ += data.size();
   if (virtual_time_) {
-    std::lock_guard<std::mutex> lock(lat_mu_);
+    MutexLock lock(lat_mu_);
     up_latency_s_ += profile_.latency_s;
   }
   return inner_->Put(name, data);
@@ -72,7 +72,7 @@ Result<Bytes> SimCloud::Get(const std::string& name) {
   down_limiter_.Acquire(data.size());
   bytes_down_ += data.size();
   if (virtual_time_) {
-    std::lock_guard<std::mutex> lock(lat_mu_);
+    MutexLock lock(lat_mu_);
     down_latency_s_ += profile_.latency_s;
   }
   if (corrupt && !data.empty()) {
@@ -99,17 +99,17 @@ bool SimCloud::Exists(const std::string& name) {
 }
 
 double SimCloud::upload_seconds() const {
-  std::lock_guard<std::mutex> lock(lat_mu_);
+  MutexLock lock(lat_mu_);
   return up_limiter_.simulated_seconds() + up_latency_s_;
 }
 
 double SimCloud::download_seconds() const {
-  std::lock_guard<std::mutex> lock(lat_mu_);
+  MutexLock lock(lat_mu_);
   return down_limiter_.simulated_seconds() + down_latency_s_;
 }
 
 void SimCloud::ResetClocks() {
-  std::lock_guard<std::mutex> lock(lat_mu_);
+  MutexLock lock(lat_mu_);
   up_limiter_.ResetSimulatedClock();
   down_limiter_.ResetSimulatedClock();
   up_latency_s_ = 0.0;

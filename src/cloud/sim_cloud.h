@@ -11,13 +11,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "src/cloud/profiles.h"
 #include "src/storage/backend.h"
 #include "src/util/fault_plan.h"
 #include "src/util/rate_limiter.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -75,9 +75,9 @@ class SimCloud : public StorageBackend {
   std::atomic<uint64_t> bytes_down_{0};
   // Latency accumulates into the same virtual clocks.
   bool virtual_time_;
-  mutable std::mutex lat_mu_;
-  double up_latency_s_ = 0.0;
-  double down_latency_s_ = 0.0;
+  mutable Mutex lat_mu_;
+  double up_latency_s_ GUARDED_BY(lat_mu_) = 0.0;
+  double down_latency_s_ GUARDED_BY(lat_mu_) = 0.0;
   Rng rng_{0xC10D};
 };
 

@@ -1,7 +1,6 @@
 #include "src/core/client.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <numeric>
@@ -13,6 +12,7 @@
 #include "src/crypto/sha256.h"
 #include "src/dispersal/secret_sharing.h"
 #include "src/util/logging.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -330,6 +330,9 @@ Status BackupSession::UploadWriter::Finish(UploadStats* stats) {
     }
   }
   RETURN_IF_ERROR(CheckGenerationLockstep(session_->clouds_, lane_generations_));
+  // The lanes are done (their futures resolved above); the lock is
+  // uncontended and keeps the guarded access discipline uniform.
+  MutexLock lock(stats_mu_);
   file_stats_.generation_id = lane_generations_.empty() ? 0 : lane_generations_[0];
   if (stats != nullptr) {
     file_stats_.logical_bytes = bytes_written_;
@@ -370,7 +373,7 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
                                           const UploadFileOptions* fopts,
                                           BroadcastQueue<CodingPipeline::EncodedSecret>* in,
                                           const std::atomic<bool>* abort_upload,
-                                          UploadStats* stats, std::mutex* stats_mu,
+                                          UploadStats* stats, Mutex* stats_mu,
                                           uint64_t* bound_generation) {
   Transport* t = transports_[cloud];
   std::vector<RecipeEntry> recipe;
@@ -563,7 +566,7 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     return st;
   }
   if (stats != nullptr) {
-    std::lock_guard<std::mutex> lock(*stats_mu);
+    MutexLock lock(*stats_mu);
     stats->transferred_share_bytes += transferred;
     stats->intra_duplicate_shares += dup;
     CloudUploadStats& slot = CloudSlot(stats, cloud);
@@ -579,7 +582,7 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Byte
                                     const UploadFileOptions& fopts,
                                     const std::vector<RecipeEntry>& recipe,
                                     const std::vector<const Bytes*>& shares,
-                                    UploadStats* stats, std::mutex* stats_mu,
+                                    UploadStats* stats, Mutex* stats_mu,
                                     uint64_t* bound_generation) {
   Transport* t = transports_[cloud];
   uint64_t rpcs = 0;
@@ -666,7 +669,7 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Byte
   }
 
   if (stats != nullptr) {
-    std::lock_guard<std::mutex> lock(*stats_mu);
+    MutexLock lock(*stats_mu);
     stats->transferred_share_bytes += transferred;
     stats->intra_duplicate_shares += dup;
     CloudUploadStats& slot = CloudSlot(stats, cloud);
@@ -718,7 +721,7 @@ Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, const B
   }
 
   // 4. Upload to all clouds concurrently (§4.6: one thread per cloud).
-  std::mutex stats_mu;
+  Mutex stats_mu;
   std::vector<Status> results(opts_.n);
   std::vector<uint64_t> bound_gens(opts_.n, 0);
   std::vector<std::thread> threads;
@@ -863,16 +866,19 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
     std::vector<ConstByteSpan> shares;
   };
   struct Ctx {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<std::vector<Delivery>> slots;  // per batch, complete at k
-    size_t next_decode = 0;
-    bool failed = false;
-    Status fail_status;
-    int next_candidate = 0;  // next cloud id to probe for a recipe
-    std::vector<uint64_t> rpcs;  // per cloud, updated under mu
+    Mutex mu;
+    CondVar cv;
+    std::vector<std::vector<Delivery>> slots GUARDED_BY(mu);  // per batch, complete at k
+    size_t next_decode GUARDED_BY(mu) = 0;
+    bool failed GUARDED_BY(mu) = false;
+    Status fail_status GUARDED_BY(mu);
+    int next_candidate GUARDED_BY(mu) = 0;  // next cloud id to probe for a recipe
+    std::vector<uint64_t> rpcs GUARDED_BY(mu);  // per cloud
   } ctx;
-  ctx.rpcs.assign(n, 0);
+  {
+    MutexLock lock(ctx.mu);
+    ctx.rpcs.assign(n, 0);
+  }
 
   // 1. Recruit k fetch lanes: the first k clouds with a usable recipe.
   std::vector<Lane> lanes;
@@ -897,7 +903,10 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       // generation: re-probe with the generation pinned before giving the
       // cloud up — a restore must not mix snapshots, yet a mere latest
       // skew must not cost a healthy lane.
-      ++ctx.rpcs[c];
+      {
+        MutexLock lock(ctx.mu);
+        ++ctx.rpcs[c];
+      }
       reply = FetchRecipe(c, path_keys[c], resolved_gen);
       if (!reply.ok()) {
         last_error = reply.status();  // availability, not skew: keep it honest
@@ -929,19 +938,32 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
     std::vector<std::future<Result<GetFileReply>>> probes;
     probes.reserve(first_wave);
     for (int c = 0; c < first_wave; ++c) {
-      ++ctx.rpcs[c];
+      {
+        MutexLock lock(ctx.mu);
+        ++ctx.rpcs[c];
+      }
       probes.push_back(std::async(std::launch::async, [this, &path_keys, generation, c] {
         return FetchRecipe(c, path_keys[c], generation);
       }));
     }
-    ctx.next_candidate = first_wave;
+    {
+      MutexLock lock(ctx.mu);
+      ctx.next_candidate = first_wave;
+    }
     for (int c = 0; c < first_wave; ++c) {
       admit(c, probes[c].get());
     }
   }
-  while (lanes.size() < k && ctx.next_candidate < n) {
-    int c = ctx.next_candidate++;
-    ++ctx.rpcs[c];
+  while (lanes.size() < k) {
+    int c;
+    {
+      MutexLock lock(ctx.mu);
+      if (ctx.next_candidate >= n) {
+        break;
+      }
+      c = ctx.next_candidate++;
+      ++ctx.rpcs[c];
+    }
     // Replacement probes pin the already-resolved generation explicitly,
     // so a cloud whose latest differs still serves the right snapshot.
     admit(c, FetchRecipe(c, path_keys[c], have_meta ? resolved_gen : generation));
@@ -971,17 +993,20 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       batches.emplace_back(begin, num_secrets);
     }
   }
-  ctx.slots.resize(batches.size());
+  {
+    MutexLock lock(ctx.mu);
+    ctx.slots.resize(batches.size());
+  }
 
   // Called by a lane whose cloud failed: claims the next untried cloud,
   // verifies its recipe, and retargets the lane. Returns false (and fails
   // the download) when no spare cloud is left.
   auto recruit_spare = [&](Lane* lane, const Status& cause) -> bool {
-    std::unique_lock<std::mutex> lock(ctx.mu);
+    MutexLock lock(ctx.mu);
     while (!ctx.failed && ctx.next_candidate < n) {
       int c = ctx.next_candidate++;
       ++ctx.rpcs[c];
-      lock.unlock();
+      lock.Unlock();
       auto reply = FetchRecipe(c, path_keys[c], resolved_gen);
       if (reply.ok() && reply.value().generation_id == resolved_gen &&
           reply.value().recipe.size() == num_secrets) {
@@ -989,15 +1014,15 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
         lane->recipe = std::move(reply.value().recipe);
         return true;
       }
-      lock.lock();
+      lock.Lock();
     }
     if (!ctx.failed) {
       ctx.failed = true;
       ctx.fail_status = Status(
           cause.code(), "cloud fetch failed with no spare cloud left: " + cause.message());
     }
-    lock.unlock();
-    ctx.cv.notify_all();
+    lock.Unlock();
+    ctx.cv.SignalAll();
     return false;
   };
 
@@ -1006,9 +1031,10 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       {
         // Fetch-ahead window: lanes stall once kFetchAhead batches are
         // buffered beyond the decoder, bounding restore memory.
-        std::unique_lock<std::mutex> lock(ctx.mu);
-        ctx.cv.wait(lock,
-                    [&] { return ctx.failed || b < ctx.next_decode + kFetchAhead; });
+        MutexLock lock(ctx.mu);
+        ctx.cv.Wait(ctx.mu, [&]() REQUIRES(ctx.mu) {
+          return ctx.failed || b < ctx.next_decode + kFetchAhead;
+        });
         if (ctx.failed) {
           return;
         }
@@ -1045,12 +1071,12 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       }
       bool complete;
       {
-        std::lock_guard<std::mutex> lock(ctx.mu);
+        MutexLock lock(ctx.mu);
         ctx.slots[b].push_back(std::move(d));
         complete = ctx.slots[b].size() == k;
       }
       if (complete) {
-        ctx.cv.notify_all();
+        ctx.cv.SignalAll();
       }
       ++b;
     }
@@ -1083,8 +1109,10 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
   for (size_t b = 0; b < batches.size() && result.ok(); ++b) {
     std::vector<Delivery> batch;
     {
-      std::unique_lock<std::mutex> lock(ctx.mu);
-      ctx.cv.wait(lock, [&] { return ctx.failed || ctx.slots[b].size() == k; });
+      MutexLock lock(ctx.mu);
+      ctx.cv.Wait(ctx.mu, [&]() REQUIRES(ctx.mu) {
+        return ctx.failed || ctx.slots[b].size() == k;
+      });
       if (ctx.slots[b].size() < k) {
         result = ctx.fail_status;
         break;
@@ -1144,18 +1172,18 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       }
     }
     {
-      std::lock_guard<std::mutex> lock(ctx.mu);
+      MutexLock lock(ctx.mu);
       ctx.next_decode = b + 1;
       if (!result.ok() && !ctx.failed) {
         ctx.failed = true;
         ctx.fail_status = result;
       }
     }
-    ctx.cv.notify_all();
+    ctx.cv.SignalAll();
   }
 
   {
-    std::lock_guard<std::mutex> lock(ctx.mu);
+    MutexLock lock(ctx.mu);
     if (!result.ok() && !ctx.failed) {
       ctx.failed = true;
       ctx.fail_status = result;
@@ -1164,7 +1192,7 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       ctx.next_decode = batches.size();
     }
   }
-  ctx.cv.notify_all();
+  ctx.cv.SignalAll();
   for (auto& t : lane_threads) {
     t.join();
   }
@@ -1177,6 +1205,9 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
     stats->num_secrets += num_secrets;
     stats->brute_force_recoveries += brute_forced;
     stats->clouds_used.assign(clouds_used.begin(), clouds_used.end());
+    // Lanes are joined; the lock is uncontended and keeps the guarded
+    // access discipline uniform.
+    MutexLock lock(ctx.mu);
     for (int c = 0; c < n; ++c) {
       if (ctx.rpcs[c] == 0 && received_per_cloud[c] == 0) {
         continue;

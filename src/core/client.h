@@ -29,7 +29,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +42,7 @@
 #include "src/util/bounded_queue.h"
 #include "src/util/byte_sink.h"
 #include "src/util/stats.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -252,8 +252,8 @@ class BackupSession {
     std::vector<std::promise<Status>> cloud_promises_;  // set by uploader lanes
     std::vector<std::future<Status>> cloud_results_;
 
-    UploadStats file_stats_;  // filled by uploader threads under stats_mu_
-    std::mutex stats_mu_;
+    Mutex stats_mu_;
+    UploadStats file_stats_ GUARDED_BY(stats_mu_);  // filled by uploader lanes
     uint64_t bytes_written_ = 0;
     uint64_t num_secrets_ = 0;
     uint64_t logical_share_bytes_ = 0;
@@ -424,7 +424,7 @@ class CdstoreClient {
                              const uint64_t* file_size, const UploadFileOptions* fopts,
                              BroadcastQueue<CodingPipeline::EncodedSecret>* in,
                              const std::atomic<bool>* abort_upload, UploadStats* stats,
-                             std::mutex* stats_mu, uint64_t* bound_generation);
+                             Mutex* stats_mu, uint64_t* bound_generation);
 
   // Barrier upload: materialize all secrets, EncodeAll, then upload.
   Status UploadBarrier(const std::vector<Bytes>& path_keys, const Bytes& path_id,
@@ -435,7 +435,7 @@ class CdstoreClient {
                        const UploadFileOptions& fopts,
                        const std::vector<RecipeEntry>& recipe,
                        const std::vector<const Bytes*>& shares, UploadStats* stats,
-                       std::mutex* stats_mu, uint64_t* bound_generation);
+                       Mutex* stats_mu, uint64_t* bound_generation);
 
   // Fetches one cloud's recipe for `generation` (0 = latest); used during
   // download/repair.

@@ -1,9 +1,9 @@
 #include "src/core/coding_pipeline.h"
 
 #include <atomic>
-#include <mutex>
 
 #include "src/util/logging.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -20,7 +20,7 @@ CodingPipeline::CodingPipeline(SecretSharing* scheme, int num_threads)
 Status CodingPipeline::EncodeAll(const std::vector<Bytes>& secrets,
                                  std::vector<std::vector<Bytes>>* shares_per_secret) {
   shares_per_secret->assign(secrets.size(), {});
-  std::mutex err_mu;
+  Mutex err_mu;
   Status first_error;
   for (size_t base = 0; base < secrets.size(); base += kBatch) {
     size_t end = std::min(secrets.size(), base + kBatch);
@@ -28,7 +28,7 @@ Status CodingPipeline::EncodeAll(const std::vector<Bytes>& secrets,
       for (size_t i = base; i < end; ++i) {
         Status st = scheme_->Encode(secrets[i], &(*shares_per_secret)[i]);
         if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(err_mu);
+          MutexLock lock(err_mu);
           if (first_error.ok()) {
             first_error = st;
           }
@@ -51,13 +51,22 @@ std::unique_ptr<CodingPipeline::Stream> CodingPipeline::OpenStream(BundleSink si
 CodingPipeline::Stream::Stream(CodingPipeline* parent, BundleSink sink, size_t queue_depth)
     : parent_(parent), sink_(std::move(sink)), input_(queue_depth) {
   CHECK(sink_ != nullptr);
-  active_workers_ = parent_->pool_.num_threads();
-  for (int i = 0; i < active_workers_; ++i) {
+  int workers = parent_->pool_.num_threads();
+  {
+    MutexLock lock(mu_);
+    active_workers_ = workers;
+  }
+  for (int i = 0; i < workers; ++i) {
     parent_->pool_.Submit([this]() { WorkerLoop(); });
   }
 }
 
-CodingPipeline::Stream::~Stream() { Finish(); }
+CodingPipeline::Stream::~Stream() {
+  // Destruction discards the error deliberately: an abandoned stream only
+  // needs its workers joined. Callers that care about the result call
+  // Finish() themselves first.
+  (void)Finish();
+}
 
 Status CodingPipeline::Stream::Submit(ConstByteSpan secret) {
   Task task;
@@ -74,7 +83,7 @@ Status CodingPipeline::Stream::Submit(Bytes secret) {
 
 Status CodingPipeline::Stream::SubmitTask(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!first_error_.ok()) {
       return first_error_;
     }
@@ -92,15 +101,15 @@ Status CodingPipeline::Stream::SubmitTask(Task task) {
 
 Status CodingPipeline::Stream::Finish() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (finished_) {
       return first_error_;
     }
     finished_ = true;
   }
   input_.Close();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
+  MutexLock lock(mu_);
+  done_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
     return active_workers_ == 0 && !delivering_ && reorder_.empty();
   });
   return first_error_;
@@ -113,7 +122,7 @@ void CodingPipeline::Stream::WorkerLoop() {
     bundle.secret_size = static_cast<uint32_t>(task->view.size());
     bool healthy;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       healthy = first_error_.ok();
     }
     if (healthy) {
@@ -127,7 +136,7 @@ void CodingPipeline::Stream::WorkerLoop() {
         }
       } else {
         bundle.shares.clear();
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (first_error_.ok()) {
           first_error_ = st;
         }
@@ -136,16 +145,16 @@ void CodingPipeline::Stream::WorkerLoop() {
     Deliver(std::move(bundle));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --active_workers_;
     // Notify under mu_: Finish() can only observe the decrement after the
     // notify returns, so ~Stream never destroys the cv mid-notify.
-    done_cv_.notify_all();
+    done_cv_.SignalAll();
   }
 }
 
 void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   reorder_.emplace(bundle.seq, std::move(bundle));
   if (delivering_) {
     // Another worker owns the gap-free prefix; it will pick this one up.
@@ -157,11 +166,11 @@ void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
     EncodedSecret ready = std::move(it->second);
     reorder_.erase(it);
     bool deliver = first_error_.ok();
-    lock.unlock();
+    lock.Unlock();
     if (deliver) {
       sink_(std::move(ready));
     }
-    lock.lock();
+    lock.Lock();
     ++next_deliver_seq_;
     it = reorder_.find(next_deliver_seq_);
   }
@@ -170,7 +179,7 @@ void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
   // Notified under mu_ so the waiter cannot finish and destroy the cv
   // while this thread is still inside notify_all.
   if (finished_ && reorder_.empty()) {
-    done_cv_.notify_all();
+    done_cv_.SignalAll();
   }
 }
 
@@ -197,7 +206,7 @@ Status DecodeAllImpl(SecretSharing* scheme, ThreadPool* pool,
     return Status::InvalidArgument("decode input arity mismatch");
   }
   secrets->assign(shares.size(), {});
-  std::mutex err_mu;
+  Mutex err_mu;
   Status first_error;
   for (size_t base = 0; base < shares.size(); base += kBatch) {
     size_t end = std::min(shares.size(), base + kBatch);
@@ -206,7 +215,7 @@ Status DecodeAllImpl(SecretSharing* scheme, ThreadPool* pool,
       for (size_t i = base; i < end; ++i) {
         Status st = SchemeDecode(scheme, ids[i], shares[i], secret_sizes[i], &(*secrets)[i]);
         if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(err_mu);
+          MutexLock lock(err_mu);
           if (first_error.ok()) {
             first_error = st;
           }

@@ -24,6 +24,7 @@
 #include "src/dedup/fingerprint.h"
 #include "src/dispersal/secret_sharing.h"
 #include "src/util/bounded_queue.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
 namespace cdstore {
@@ -99,16 +100,18 @@ class CodingPipeline {
     CodingPipeline* parent_;
     BundleSink sink_;
     BoundedQueue<Task> input_;
+    // Touched only by the submitting thread (Submit/Finish are documented
+    // single-caller), so it needs no lock.
     uint64_t next_submit_seq_ = 0;
 
-    std::mutex mu_;
-    std::condition_variable done_cv_;
-    std::map<uint64_t, EncodedSecret> reorder_;
-    uint64_t next_deliver_seq_ = 0;
-    bool delivering_ = false;
-    int active_workers_ = 0;
-    Status first_error_;
-    bool finished_ = false;
+    Mutex mu_;
+    CondVar done_cv_;
+    std::map<uint64_t, EncodedSecret> reorder_ GUARDED_BY(mu_);
+    uint64_t next_deliver_seq_ GUARDED_BY(mu_) = 0;
+    bool delivering_ GUARDED_BY(mu_) = false;
+    int active_workers_ GUARDED_BY(mu_) = 0;
+    Status first_error_ GUARDED_BY(mu_);
+    bool finished_ GUARDED_BY(mu_) = false;
   };
 
   // Starts a streaming encode session. `queue_depth` bounds the number of

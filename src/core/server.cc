@@ -44,7 +44,7 @@ CdstoreServer::~CdstoreServer() {
 }
 
 Status CdstoreServer::Flush() {
-  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  WriterMutexLock ops(ops_mu_);
   return FlushExclusive();
 }
 
@@ -61,7 +61,7 @@ Status CdstoreServer::FlushExclusive() {
   }
   Status meta_st;
   {
-    std::lock_guard<std::mutex> commit(commit_mu_);
+    MutexLock commit(commit_mu_);
     meta_st = SaveMetaLocked();
   }
   if (!share_st.ok()) {
@@ -95,6 +95,30 @@ bool ParseContainerId(const std::string& name, char prefix, uint64_t* id) {
   return end == name.c_str() + name.size();
 }
 
+// Holds a runtime-computed set of stripe mutexes exclusively (always in
+// ascending stripe order — see StripesFor). A dynamic lock set is beyond
+// what thread-safety analysis can model, so acquisition and release opt
+// out statically; TSAN still checks the ordering discipline dynamically.
+class StripeLockSet {
+ public:
+  explicit StripeLockSet(std::vector<SharedMutex*> mus) NO_THREAD_SAFETY_ANALYSIS
+      : mus_(std::move(mus)) {
+    for (SharedMutex* mu : mus_) {
+      mu->Lock();
+    }
+  }
+  ~StripeLockSet() NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = mus_.rbegin(); it != mus_.rend(); ++it) {
+      (*it)->Unlock();
+    }
+  }
+  StripeLockSet(const StripeLockSet&) = delete;
+  StripeLockSet& operator=(const StripeLockSet&) = delete;
+
+ private:
+  std::vector<SharedMutex*> mus_;
+};
+
 }  // namespace
 
 Status CdstoreServer::LoadMeta() {
@@ -117,7 +141,7 @@ Status CdstoreServer::LoadMeta() {
       ASSIGN_OR_RETURN(generations, file_index_.TotalGenerationCount());
     }
     {
-      std::lock_guard<std::mutex> commit(commit_mu_);
+      MutexLock commit(commit_mu_);
       physical_share_bytes_ = stored_bytes;
       file_count_ = files;
       generation_count_ = generations;
@@ -156,8 +180,8 @@ Status CdstoreServer::SaveMetaLocked() {
   return db_->Put(BytesOf(kMetaKey), w.data());
 }
 
-std::vector<std::unique_lock<std::shared_mutex>> CdstoreServer::LockStripesFor(
-    const std::vector<Fingerprint>& add, const std::vector<Fingerprint>& drop) {
+std::vector<SharedMutex*> CdstoreServer::StripesFor(const std::vector<Fingerprint>& add,
+                                                    const std::vector<Fingerprint>& drop) {
   std::array<bool, kShareStripes> used{};
   for (const Fingerprint& fp : add) {
     used[StripeOf(fp)] = true;
@@ -165,24 +189,24 @@ std::vector<std::unique_lock<std::shared_mutex>> CdstoreServer::LockStripesFor(
   for (const Fingerprint& fp : drop) {
     used[StripeOf(fp)] = true;
   }
-  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  std::vector<SharedMutex*> mus;
   for (size_t i = 0; i < kShareStripes; ++i) {
     if (used[i]) {
-      locks.emplace_back(stripes_[i].mu);
+      mus.push_back(&stripes_[i].mu);
     }
   }
-  return locks;
+  return mus;
 }
 
 void CdstoreServer::FpQuery(const FpQueryRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   FpQueryReply reply;
   reply.duplicate.resize(req.fps.size(), 0);
   for (size_t i = 0; i < req.fps.size(); ++i) {
     // Intra-user dedup (§3.3): the answer reveals only whether THIS user
     // already uploaded the share — never other users' holdings, which
     // defeats the side-channel attack of [28].
-    std::shared_lock<std::shared_mutex> stripe(stripes_[StripeOf(req.fps[i])].mu);
+    ReaderMutexLock stripe(stripes_[StripeOf(req.fps[i])].mu);
     auto has = share_index_.UserHasShare(req.fps[i], req.user);
     if (!has.ok()) {
       rb.SendError(has.status());
@@ -194,7 +218,7 @@ void CdstoreServer::FpQuery(const FpQueryRequest& req, ReplyBuilder& rb) {
 }
 
 void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   UploadSharesReply reply;
   // New entries commit as one batched index write at the end; `pending`
   // catches duplicates within this request that the index can't see yet.
@@ -207,9 +231,9 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
   auto release_claims = [&]() {
     for (const auto& [fp, loc] : new_entries) {
       ShareStripe& s = stripes_[StripeOf(fp)];
-      std::unique_lock<std::shared_mutex> lock(s.mu);
+      WriterMutexLock lock(s.mu);
       s.inflight.erase(fp);
-      s.claim_released.notify_all();
+      s.claim_released.SignalAll();
     }
     new_entries.clear();
     batch_bytes = 0;
@@ -221,7 +245,7 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
     Status st = share_index_.InsertBatch(new_entries);
     if (st.ok() && !new_entries.empty()) {
       stored += static_cast<uint32_t>(new_entries.size());
-      std::lock_guard<std::mutex> commit(commit_mu_);
+      MutexLock commit(commit_mu_);
       physical_share_bytes_ += batch_bytes;
       st = SaveMetaLocked();
     }
@@ -242,7 +266,7 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
     ShareStripe& stripe = stripes_[StripeOf(fp)];
     bool claimed = false;
     {
-      std::unique_lock<std::shared_mutex> lock(stripe.mu);
+      WriterMutexLock lock(stripe.mu);
       if (stripe.inflight.count(fp) > 0) {
         // A concurrent request is storing this share right now. Wait for
         // its claim to resolve and then consult the index: replying
@@ -250,15 +274,16 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
         // reference a share whose insert may still fail. Deadlock-free
         // because we commit (and release) our own claims before waiting.
         if (!new_entries.empty()) {
-          lock.unlock();
+          lock.Unlock();
           if (Status st = commit_batch(); !st.ok()) {
             failure = st;
             break;
           }
-          lock.lock();
+          lock.Lock();
         }
-        stripe.claim_released.wait(lock,
-                                   [&]() { return stripe.inflight.count(fp) == 0; });
+        stripe.claim_released.Wait(stripe.mu, [&]() REQUIRES(stripe.mu) {
+          return stripe.inflight.count(fp) == 0;
+        });
       }
       auto existing = share_index_.Lookup(fp);
       if (!existing.ok()) {
@@ -278,9 +303,9 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
     }
     auto handle = share_store_.Append(req.user, share);
     if (!handle.ok()) {
-      std::unique_lock<std::shared_mutex> lock(stripe.mu);
+      WriterMutexLock lock(stripe.mu);
       stripe.inflight.erase(fp);
-      stripe.claim_released.notify_all();
+      stripe.claim_released.SignalAll();
       failure = handle.status();
       break;
     }
@@ -311,7 +336,7 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
 }
 
 void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   if (req.mode == PutFileMode::kPutGeneration && req.generation_id == 0) {
     rb.SendError(Status::InvalidArgument("kPutGeneration requires a generation id"));
     return;
@@ -332,7 +357,7 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
     return;
   }
 
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   // kReplaceLatest drops the replaced latest generation's references;
   // kPutGeneration (repair) drops the same-id record's, if one exists;
   // kNewGeneration drops nothing — earlier generations stay restorable.
@@ -380,7 +405,7 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   uint64_t unique_bytes = 0;
   uint64_t dropped_bytes = 0;
   {
-    auto stripe_locks = LockStripesFor(add_fps, drop_fps);
+    StripeLockSet stripe_locks(StripesFor(add_fps, drop_fps));
     if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user, &unique_bytes,
                                                    &dropped_bytes);
         !st.ok()) {
@@ -459,10 +484,10 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
 }
 
 void CdstoreServer::GetFile(const GetFileRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   Result<GenerationRecord> rec = Status::NotFound("unresolved");
   {
-    std::lock_guard<std::mutex> commit(commit_mu_);
+    MutexLock commit(commit_mu_);
     rec = file_index_.GetGeneration(req.user, req.path_key, req.generation);
   }
   if (!rec.ok()) {
@@ -484,12 +509,12 @@ void CdstoreServer::GetFile(const GetFileRequest& req, ReplyBuilder& rb) {
 }
 
 void CdstoreServer::GetShares(const GetSharesRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   rb.BeginShares(req.fps.size());
   for (const Fingerprint& fp : req.fps) {
     ShareLocation loc;
     {
-      std::shared_lock<std::shared_mutex> stripe(stripes_[StripeOf(fp)].mu);
+      ReaderMutexLock stripe(stripes_[StripeOf(fp)].mu);
       // Access control: only owners may fetch a share by fingerprint —
       // possession of a fingerprint must not grant access to the content
       // (the [27] attack).
@@ -534,7 +559,7 @@ Status CdstoreServer::DropRecipeRefsLocked(const FileRecipe& recipe, UserId user
                                            uint32_t* orphaned) {
   for (const RecipeEntry& e : recipe.entries) {
     bool orphan = false;
-    std::unique_lock<std::shared_mutex> stripe(stripes_[StripeOf(e.fp)].mu);
+    WriterMutexLock stripe(stripes_[StripeOf(e.fp)].mu);
     RETURN_IF_ERROR(share_index_.DropReference(e.fp, user, &orphan));
     if (orphan) {
       // Index entry removed; container space reclamation is GC's job
@@ -565,8 +590,8 @@ Status CdstoreServer::DeleteGenerationLocked(UserId user, ConstByteSpan path_has
 }
 
 void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  ReaderMutexLock ops(ops_mu_);
+  MutexLock commit(commit_mu_);
   Bytes path_hash = Sha256::Hash(req.path_key);
   auto gens = file_index_.ListGenerationsHashed(req.user, path_hash);
   if (!gens.ok()) {
@@ -596,10 +621,10 @@ void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
 }
 
 void CdstoreServer::ListVersions(const ListVersionsRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   Result<std::vector<GenerationRecord>> gens = Status::NotFound("unresolved");
   {
-    std::lock_guard<std::mutex> commit(commit_mu_);
+    MutexLock commit(commit_mu_);
     gens = file_index_.ListGenerations(req.user, req.path_key);
   }
   if (!gens.ok()) {
@@ -623,12 +648,12 @@ void CdstoreServer::ListVersions(const ListVersionsRequest& req, ReplyBuilder& r
 }
 
 void CdstoreServer::DeleteVersion(const DeleteVersionRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   if (req.generation_id == 0) {
     rb.SendError(Status::InvalidArgument("generation id must be nonzero"));
     return;
   }
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   auto rec = file_index_.GetGeneration(req.user, req.path_key, req.generation_id);
   if (!rec.ok()) {
     rb.SendError(rec.status());
@@ -698,8 +723,8 @@ Status CdstoreServer::ApplyRetentionToPathLocked(UserId user, ConstByteSpan path
 void CdstoreServer::ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilder& rb) {
   ApplyRetentionReply reply;
   {
-    std::shared_lock<std::shared_mutex> ops(ops_mu_);
-    std::lock_guard<std::mutex> commit(commit_mu_);
+    ReaderMutexLock ops(ops_mu_);
+    MutexLock commit(commit_mu_);
     Status st = ApplyRetentionToPathLocked(req.user, Sha256::Hash(req.path_key), req.policy,
                                            &reply, /*path_removed=*/nullptr);
     if (!st.ok()) {
@@ -717,14 +742,14 @@ void CdstoreServer::ApplyRetention(const ApplyRetentionRequest& req, ReplyBuilde
 }
 
 void CdstoreServer::ListPaths(const ListPathsRequest& req, ReplyBuilder& rb) {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   // Clamp the page: however large the namespace (or the client's ask), one
   // reply frame carries at most list_paths_max_page heads.
   size_t limit = req.max_entries == 0
                      ? options_.list_paths_max_page
                      : std::min<size_t>(req.max_entries, options_.list_paths_max_page);
   ListPathsReply reply;
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   auto page = file_index_.ScanPaths(req.user, req.cursor, limit);
   if (!page.ok()) {
     rb.SendError(page.status());
@@ -757,7 +782,7 @@ void CdstoreServer::ApplyRetentionNamespace(const ApplyRetentionNamespaceRequest
                                             ReplyBuilder& rb) {
   ApplyRetentionNamespaceReply reply;
   {
-    std::shared_lock<std::shared_mutex> ops(ops_mu_);
+    ReaderMutexLock ops(ops_mu_);
     size_t page_size = req.page_size == 0
                            ? options_.retention_sweep_page
                            : std::min<size_t>(req.page_size, options_.list_paths_max_page);
@@ -769,7 +794,7 @@ void CdstoreServer::ApplyRetentionNamespace(const ApplyRetentionNamespaceRequest
       // concurrent uploads and restores keep committing during a large
       // sweep; the resume cursor is a key position, immune to paths
       // appearing or disappearing in between.
-      std::lock_guard<std::mutex> commit(commit_mu_);
+      MutexLock commit(commit_mu_);
       auto page = file_index_.ScanPaths(req.user, cursor, page_size);
       if (!page.ok()) {
         rb.SendError(page.status());
@@ -823,7 +848,7 @@ void CdstoreServer::Stats(const StatsRequest& req, ReplyBuilder& rb) {
   (void)req;
   // Exclusive: UniqueShareCount iterates the LSM, which must not race a
   // concurrent memtable flush triggered by an index write.
-  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  WriterMutexLock ops(ops_mu_);
   StatsReply reply;
   auto unique = share_index_.UniqueShareCount();
   if (!unique.ok()) {
@@ -832,7 +857,7 @@ void CdstoreServer::Stats(const StatsRequest& req, ReplyBuilder& rb) {
   }
   reply.unique_shares = unique.value();
   {
-    std::lock_guard<std::mutex> commit(commit_mu_);
+    MutexLock commit(commit_mu_);
     reply.stored_bytes = physical_share_bytes_;
     reply.file_count = file_count_;
     reply.generation_count = generation_count_;
@@ -853,7 +878,7 @@ void CdstoreServer::Gc(const GcRequest& req, ReplyBuilder& rb) {
 }
 
 Result<GcReply> CdstoreServer::CollectGarbage() {
-  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  WriterMutexLock ops(ops_mu_);
   GcReply stats;
   // 1. Seal open containers so every live share is on the backend.
   RETURN_IF_ERROR(share_store_.FlushAll());
@@ -911,7 +936,7 @@ Result<GcReply> CdstoreServer::CollectGarbage() {
     ++stats.containers_rewritten;
     stats.bytes_reclaimed += dead_bytes;
   }
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   physical_share_bytes_ -= std::min(physical_share_bytes_, stats.bytes_reclaimed);
   RETURN_IF_ERROR(SaveMetaLocked());
   return stats;
@@ -929,7 +954,7 @@ std::string SnapshotName(uint64_t seq) {
 }  // namespace
 
 Result<std::vector<std::string>> CdstoreServer::ListAutoSnapshots() {
-  std::shared_lock<std::shared_mutex> ops(ops_mu_);
+  ReaderMutexLock ops(ops_mu_);
   ASSIGN_OR_RETURN(std::vector<std::string> objects, backend_->List());
   std::vector<std::pair<uint64_t, std::string>> snaps;
   for (const std::string& name : objects) {
@@ -954,7 +979,7 @@ void CdstoreServer::MaybeAutoSnapshot(bool did_work) {
   // The maintenance RPC that got us here already succeeded and released
   // its locks; the snapshot is a best-effort follow-up (§4.4's "periodic
   // snapshots ... for reliability"), so failures are logged, not returned.
-  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  WriterMutexLock ops(ops_mu_);
   auto objects = backend_->List();
   if (!objects.ok()) {
     LOG(WARNING) << "auto snapshot skipped: backend list failed: " << objects.status();
@@ -990,7 +1015,7 @@ void CdstoreServer::MaybeAutoSnapshot(bool did_work) {
 }
 
 Status CdstoreServer::BackupIndexSnapshot(const std::string& object_name) {
-  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  WriterMutexLock ops(ops_mu_);
   return BackupIndexSnapshotExclusive(object_name);
 }
 
@@ -1012,7 +1037,7 @@ Status CdstoreServer::BackupIndexSnapshotExclusive(const std::string& object_nam
 }
 
 Status CdstoreServer::RestoreIndexSnapshot(const std::string& object_name) {
-  std::unique_lock<std::shared_mutex> ops(ops_mu_);
+  WriterMutexLock ops(ops_mu_);
   ASSIGN_OR_RETURN(Bytes blob, backend_->Get(object_name));
   BufferReader r(blob);
   uint32_t magic = 0;
@@ -1038,7 +1063,7 @@ Status CdstoreServer::RestoreIndexSnapshot(const std::string& object_name) {
 }
 
 uint64_t CdstoreServer::physical_share_bytes() const {
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   return physical_share_bytes_;
 }
 
@@ -1046,7 +1071,7 @@ uint64_t CdstoreServer::unique_share_count() const {
   // Exclusive for the same reason as Stats: the LSM iteration must not
   // race an index write's memtable flush.
   auto* self = const_cast<CdstoreServer*>(this);
-  std::unique_lock<std::shared_mutex> ops(self->ops_mu_);
+  WriterMutexLock ops(self->ops_mu_);
   auto count = self->share_index_.UniqueShareCount();
   return count.ok() ? count.value() : 0;
 }

@@ -14,10 +14,7 @@
 #define CDSTORE_SRC_CORE_SERVER_H_
 
 #include <array>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -31,6 +28,7 @@
 #include "src/net/transport.h"
 #include "src/storage/backend.h"
 #include "src/storage/container_store.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -136,61 +134,61 @@ class CdstoreServer : public ServerService {
   // uniform, so the first byte balances the stripes.
   static constexpr size_t kShareStripes = 16;
   struct ShareStripe {
-    std::shared_mutex mu;
+    SharedMutex mu;
     // Fingerprints an in-flight UploadShares has claimed but not yet
     // committed to the index. A concurrent request that meets a claim
     // waits (claims resolve in milliseconds) and then re-reads the index,
     // so a "deduplicated" reply always refers to a committed share.
-    std::unordered_set<Fingerprint, FingerprintHash> inflight;
-    std::condition_variable_any claim_released;
+    std::unordered_set<Fingerprint, FingerprintHash> inflight GUARDED_BY(mu);
+    CondVar claim_released;
   };
   size_t StripeOf(const Fingerprint& fp) const {
     return fp.empty() ? 0 : fp[0] & (kShareStripes - 1);
   }
-  // Unique-locks every stripe named by a fingerprint in `fps` (ascending
-  // stripe order), for batched reference read-modify-writes.
-  std::vector<std::unique_lock<std::shared_mutex>> LockStripesFor(
-      const std::vector<Fingerprint>& add, const std::vector<Fingerprint>& drop);
+  // The distinct stripe mutexes named by a fingerprint in `add` or `drop`,
+  // ascending by stripe index — the acquisition order for batched
+  // reference read-modify-writes (see StripeLockSet in server.cc).
+  std::vector<SharedMutex*> StripesFor(const std::vector<Fingerprint>& add,
+                                       const std::vector<Fingerprint>& drop);
 
   Status LoadMeta();
-  // Requires commit_mu_.
-  Status SaveMetaLocked();
+  Status SaveMetaLocked() REQUIRES(commit_mu_);
   // Fetches + parses the recipe blob a generation record points at.
   Result<FileRecipe> FetchRecipeBlob(const GenerationRecord& rec);
   // Drops one reference per recipe entry for `user` (stripe-locked per
-  // entry), erasing entries that lose their last reference. Requires
-  // commit_mu_; *orphaned accumulates.
-  Status DropRecipeRefsLocked(const FileRecipe& recipe, UserId user, uint32_t* orphaned);
+  // entry), erasing entries that lose their last reference; *orphaned
+  // accumulates.
+  Status DropRecipeRefsLocked(const FileRecipe& recipe, UserId user, uint32_t* orphaned)
+      REQUIRES(commit_mu_);
   // Deletes one generation end to end (refs + index record), addressed by
   // the path-head hash so namespace sweeps can prune paths whose legacy
-  // heads never stored a name. Requires commit_mu_; adjusts file_count_ /
-  // generation_count_; *path_removed (optional) reports a dropped head.
+  // heads never stored a name. Adjusts file_count_ / generation_count_;
+  // *path_removed (optional) reports a dropped head.
   Status DeleteGenerationLocked(UserId user, ConstByteSpan path_hash,
                                 const GenerationRecord& rec, uint32_t* orphaned,
-                                bool* path_removed = nullptr);
+                                bool* path_removed = nullptr) REQUIRES(commit_mu_);
   // The shared retention core: prunes one path (by head hash) under
-  // `policy`, accumulating into `out`. Requires commit_mu_. Both the
-  // per-path RPC and the namespace sweep delegate here, so their prune
-  // decisions are identical by construction.
+  // `policy`, accumulating into `out`. Both the per-path RPC and the
+  // namespace sweep delegate here, so their prune decisions are identical
+  // by construction.
   Status ApplyRetentionToPathLocked(UserId user, ConstByteSpan path_hash,
                                     const RetentionPolicy& policy, ApplyRetentionReply* out,
-                                    bool* path_removed);
+                                    bool* path_removed) REQUIRES(commit_mu_);
   // Writes an automatic index snapshot and prunes old automatic snapshot
   // objects to snapshot_keep_last. Takes ops_mu_ exclusive internally —
   // call only with no locks held (handlers call it after releasing their
   // shared ops lock). No-op unless auto_index_snapshot is on and
   // `did_work` says the index changed; failures are logged, not returned
   // (the maintenance that triggered the snapshot already succeeded).
-  void MaybeAutoSnapshot(bool did_work);
-  // Requires exclusive ops_mu_.
-  Status BackupIndexSnapshotExclusive(const std::string& object_name);
-  // Requires exclusive ops_mu_ (destructor path; Flush() wraps it).
-  Status FlushExclusive();
+  void MaybeAutoSnapshot(bool did_work) EXCLUDES(ops_mu_);
+  Status BackupIndexSnapshotExclusive(const std::string& object_name) REQUIRES(ops_mu_);
+  // Destructor path goes through Flush(), which wraps this in the lock.
+  Status FlushExclusive() REQUIRES(ops_mu_);
 
   // Lock order (outer to inner): ops_mu_ -> commit_mu_ -> stripe mutexes
   // (ascending). Handlers never acquire commit_mu_ while holding a stripe.
-  mutable std::shared_mutex ops_mu_;  // shared: RPCs; exclusive: maintenance
-  mutable std::mutex commit_mu_;      // file index, recipe store, counters, meta
+  mutable SharedMutex ops_mu_;  // shared: RPCs; exclusive: maintenance
+  mutable Mutex commit_mu_;     // file index, recipe store, counters, meta
   std::array<ShareStripe, kShareStripes> stripes_;
 
   StorageBackend* backend_;
@@ -200,9 +198,9 @@ class CdstoreServer : public ServerService {
   FileIndex file_index_;
   ContainerStore share_store_;
   ContainerStore recipe_store_;
-  uint64_t physical_share_bytes_ = 0;  // guarded by commit_mu_
-  uint64_t file_count_ = 0;            // guarded by commit_mu_
-  uint64_t generation_count_ = 0;      // guarded by commit_mu_ (all users)
+  uint64_t physical_share_bytes_ GUARDED_BY(commit_mu_) = 0;
+  uint64_t file_count_ GUARDED_BY(commit_mu_) = 0;
+  uint64_t generation_count_ GUARDED_BY(commit_mu_) = 0;  // all users
 };
 
 }  // namespace cdstore

@@ -24,9 +24,15 @@ Bytes OsEntropy() {
 }
 }  // namespace
 
-CtrDrbg::CtrDrbg() { Rekey(OsEntropy()); }
+CtrDrbg::CtrDrbg() {
+  MutexLock lock(mu_);
+  Rekey(OsEntropy());
+}
 
-CtrDrbg::CtrDrbg(ConstByteSpan seed) { Rekey(seed); }
+CtrDrbg::CtrDrbg(ConstByteSpan seed) {
+  MutexLock lock(mu_);
+  Rekey(seed);
+}
 
 void CtrDrbg::Rekey(ConstByteSpan seed_material) {
   Bytes key = Sha256::Hash(seed_material);
@@ -36,7 +42,7 @@ void CtrDrbg::Rekey(ConstByteSpan seed_material) {
 }
 
 void CtrDrbg::Reseed(ConstByteSpan entropy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Chain: new_key = SHA256(old_counter_stream || entropy).
   Bytes mix(32);
   Aes256CtrKeystream(*aes_, counter_, mix);
@@ -49,7 +55,7 @@ void CtrDrbg::Reseed(ConstByteSpan entropy) {
 }
 
 void CtrDrbg::Fill(ByteSpan out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Aes256CtrKeystream(*aes_, counter_, out);
   // Advance the counter past the blocks we consumed.
   uint64_t blocks = (out.size() + 15) / 16 + 1;
@@ -75,7 +81,9 @@ Bytes CtrDrbg::RandomBytes(size_t n) {
 }
 
 CtrDrbg& CtrDrbg::Global() {
-  static CtrDrbg* drbg = new CtrDrbg();
+  // Leaked on purpose so threads drawing randomness during static
+  // destruction never race the DRBG's teardown.
+  static CtrDrbg* drbg = new CtrDrbg();  // lint:allow-new
   return *drbg;
 }
 

@@ -7,10 +7,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "src/crypto/aes256.h"
 #include "src/util/bytes.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -32,12 +32,12 @@ class CtrDrbg {
   static CtrDrbg& Global();
 
  private:
-  void Rekey(ConstByteSpan seed_material);
+  void Rekey(ConstByteSpan seed_material) REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::unique_ptr<Aes256> aes_;
-  uint8_t counter_[16];
-  uint64_t generated_since_rekey_ = 0;
+  Mutex mu_;
+  std::unique_ptr<Aes256> aes_ GUARDED_BY(mu_);
+  uint8_t counter_[16] GUARDED_BY(mu_);
+  uint64_t generated_since_rekey_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cdstore

@@ -5,7 +5,7 @@ namespace cdstore {
 BlockCache::BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
 std::shared_ptr<const Bytes> BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(Key{file_number, offset});
   if (it == map_.end()) {
     ++misses_;
@@ -20,7 +20,7 @@ void BlockCache::Insert(uint64_t file_number, uint64_t offset, Bytes block) {
   if (capacity_ == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Key key{file_number, offset};
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -40,7 +40,7 @@ void BlockCache::Insert(uint64_t file_number, uint64_t offset, Bytes block) {
 }
 
 void BlockCache::EraseFile(uint64_t file_number) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.file == file_number) {
       usage_ -= it->block->size();
@@ -53,7 +53,7 @@ void BlockCache::EraseFile(uint64_t file_number) {
 }
 
 size_t BlockCache::usage_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return usage_;
 }
 

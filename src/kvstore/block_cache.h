@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/util/bytes.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -27,8 +27,16 @@ class BlockCache {
   void EraseFile(uint64_t file_number);
 
   size_t usage_bytes() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // Locked: these counters are written on every Lookup, so unlocked reads
+  // raced against concurrent readers of the DB.
+  uint64_t hits() const {
+    MutexLock lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    MutexLock lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Key {
@@ -46,13 +54,13 @@ class BlockCache {
     std::shared_ptr<const Bytes> block;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   size_t capacity_;
-  size_t usage_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  size_t usage_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_ GUARDED_BY(mu_);
 };
 
 }  // namespace cdstore

@@ -244,7 +244,7 @@ Status Db::Delete(ConstByteSpan key) {
 }
 
 Status Db::Write(const WriteBatch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return WriteLocked(batch);
 }
 
@@ -270,7 +270,7 @@ Status Db::Get(ConstByteSpan key, Bytes* value) {
 }
 
 Status Db::GetAt(uint64_t snapshot_seq, ConstByteSpan key, Bytes* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool tombstone = false;
   Status st = mem_->Get(key, snapshot_seq, value, &tombstone);
   if (st.ok() || tombstone) {
@@ -291,13 +291,13 @@ Status Db::GetAt(uint64_t snapshot_seq, ConstByteSpan key, Bytes* value) {
 }
 
 uint64_t Db::GetSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshots_.insert(last_seq_);
   return last_seq_;
 }
 
 void Db::ReleaseSnapshot(uint64_t snapshot_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = snapshots_.find(snapshot_seq);
   if (it != snapshots_.end()) {
     snapshots_.erase(it);
@@ -305,7 +305,7 @@ void Db::ReleaseSnapshot(uint64_t snapshot_seq) {
 }
 
 Status Db::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushLocked();
 }
 
@@ -341,7 +341,7 @@ Status Db::FlushLocked() {
 }
 
 Status Db::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return CompactAllLocked();
 }
 
@@ -419,7 +419,7 @@ Status Db::CompactAllLocked() {
 }
 
 std::unique_ptr<Db::Iterator> Db::NewIterator(uint64_t snapshot_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (snapshot_seq == 0) {
     snapshot_seq = last_seq_;
   }
@@ -434,12 +434,12 @@ std::unique_ptr<Db::Iterator> Db::NewIterator(uint64_t snapshot_seq) {
 }
 
 int Db::sstable_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(tables_.size());
 }
 
 uint64_t Db::last_sequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_seq_;
 }
 

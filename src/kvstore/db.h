@@ -6,7 +6,6 @@
 #define CDSTORE_SRC_KVSTORE_DB_H_
 
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "src/kvstore/sstable.h"
 #include "src/kvstore/wal.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -70,10 +70,10 @@ class Db {
  private:
   Db(std::string path, const DbOptions& options);
 
-  Status WriteLocked(const WriteBatch& batch);
-  Status FlushLocked();
-  Status CompactAllLocked();
-  Status WriteManifestLocked();
+  Status WriteLocked(const WriteBatch& batch) REQUIRES(mu_);
+  Status FlushLocked() REQUIRES(mu_);
+  Status CompactAllLocked() REQUIRES(mu_);
+  Status WriteManifestLocked() REQUIRES(mu_);
   Status LoadManifest();
   std::string SstPath(uint64_t file_number) const;
   std::string WalPath() const { return path_ + "/wal.log"; }
@@ -81,15 +81,15 @@ class Db {
 
   std::string path_;
   DbOptions opts_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   BlockCache cache_;
-  std::unique_ptr<MemTable> mem_;
-  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<MemTable> mem_ GUARDED_BY(mu_);
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(mu_);
   // Oldest first; lookups go newest first.
-  std::vector<std::unique_ptr<SsTable>> tables_;
-  uint64_t next_file_number_ = 1;
-  uint64_t last_seq_ = 0;
-  std::multiset<uint64_t> snapshots_;
+  std::vector<std::unique_ptr<SsTable>> tables_ GUARDED_BY(mu_);
+  uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
+  uint64_t last_seq_ GUARDED_BY(mu_) = 0;
+  std::multiset<uint64_t> snapshots_ GUARDED_BY(mu_);
 };
 
 }  // namespace cdstore

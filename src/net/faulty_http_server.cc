@@ -56,7 +56,7 @@ void FaultyHttpServer::Stop() {
   ::close(listen_fd_);
   std::vector<std::thread> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     // Wake every connection thread blocked in a read; each unregisters its
     // fd (under this mutex) before closing it, so no stale shutdowns.
     for (int fd : conn_fds_) {
@@ -84,7 +84,7 @@ void FaultyHttpServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     if (stopping_) {
       ::close(conn);
       return;
@@ -96,7 +96,7 @@ void FaultyHttpServer::AcceptLoop() {
 void FaultyHttpServer::ServeConnection(int fd) {
   DeadlineSocket sock(fd);
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     conn_fds_.insert(fd);
   }
   // Keep-alive loop. Stop() wakes a blocked read via shutdown(); the
@@ -112,7 +112,7 @@ void FaultyHttpServer::ServeConnection(int fd) {
       break;  // injected drop / partial body: cut the connection
     }
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   conn_fds_.erase(fd);  // before ~DeadlineSocket closes it (fd reuse safety)
 }
 

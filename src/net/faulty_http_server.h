@@ -16,7 +16,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -26,6 +25,7 @@
 #include "src/storage/backend.h"
 #include "src/util/fault_plan.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -66,9 +66,9 @@ class FaultyHttpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::unordered_set<int> conn_fds_;  // live; Stop() shutdown()s to wake reads
+  Mutex conns_mu_;
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conns_mu_);
+  std::unordered_set<int> conn_fds_ GUARDED_BY(conns_mu_);  // live; Stop() shutdown()s to wake reads
 };
 
 }  // namespace cdstore

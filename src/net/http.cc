@@ -207,7 +207,7 @@ Result<DeadlineSocket> DeadlineSocket::ConnectTcp(const std::string& host, int p
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::move(sock);
+  return sock;
 }
 
 Status DeadlineSocket::SendAll(const uint8_t* data, size_t len, SockDeadline deadline) {
@@ -282,13 +282,13 @@ HttpClient::~HttpClient() = default;
 
 Result<HttpClient::Checkout> HttpClient::CheckoutConn(SockDeadline deadline, bool force_fresh) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!force_fresh && !idle_.empty()) {
       Checkout out;
       out.sock = std::move(idle_.back());
       idle_.pop_back();
       out.reused = true;
-      return std::move(out);
+      return out;
     }
     // Respect the pool cap: wait for a connection to come back rather than
     // dialing past max_connections parallel exchanges.
@@ -298,7 +298,7 @@ Result<HttpClient::Checkout> HttpClient::CheckoutConn(SockDeadline deadline, boo
         out.sock = std::move(idle_.back());
         idle_.pop_back();
         out.reused = true;
-        return std::move(out);
+        return out;
       }
       if (!idle_.empty()) {  // force_fresh: retire an idle conn for the slot
         idle_.pop_back();
@@ -310,36 +310,36 @@ Result<HttpClient::Checkout> HttpClient::CheckoutConn(SockDeadline deadline, boo
         return Status::DeadlineExceeded("no free connection before deadline");
       }
       if (budget < 0) {
-        slot_cv_.wait(lock);
+        slot_cv_.Wait(mu_);
       } else {
-        slot_cv_.wait_for(lock, std::chrono::milliseconds(budget));
+        slot_cv_.WaitForMs(mu_, budget);
       }
     }
     ++live_;  // slot claimed; released in CheckinConn or on connect failure
   }
   auto sock = DeadlineSocket::ConnectTcp(host_, port_, deadline);
   if (!sock.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --live_;
-    slot_cv_.notify_one();
+    slot_cv_.Signal();
     return sock.status();
   }
   Checkout out;
   out.sock = std::move(sock.value());
   out.reused = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++connections_opened_;
-  return std::move(out);
+  return out;
 }
 
 void HttpClient::CheckinConn(DeadlineSocket sock, bool reusable) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (reusable && sock.valid()) {
     idle_.push_back(std::move(sock));
   } else {
     --live_;
   }
-  slot_cv_.notify_one();
+  slot_cv_.Signal();
 }
 
 Result<HttpResponse> HttpClient::DoOnce(DeadlineSocket& sock, const std::string& method,
@@ -392,7 +392,7 @@ Result<HttpResponse> HttpClient::Do(const std::string& method, const std::string
   for (int swing = 0; swing < 2; ++swing) {
     ASSIGN_OR_RETURN(Checkout conn, CheckoutConn(deadline, /*force_fresh=*/swing > 0));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++requests_sent_;
     }
     auto resp = DoOnce(conn.sock, method, target, body, deadline);

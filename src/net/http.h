@@ -9,15 +9,14 @@
 #define CDSTORE_SRC_NET_HTTP_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/util/bytes.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -94,8 +93,16 @@ class HttpClient {
                           ConstByteSpan body, uint64_t deadline_ms = 0);
 
   int port() const { return port_; }
-  uint64_t connections_opened() const { return connections_opened_; }
-  uint64_t requests_sent() const { return requests_sent_; }
+  // Locked: these counters are written by every concurrent Do(), so the
+  // previous unlocked reads raced.
+  uint64_t connections_opened() const {
+    MutexLock lock(mu_);
+    return connections_opened_;
+  }
+  uint64_t requests_sent() const {
+    MutexLock lock(mu_);
+    return requests_sent_;
+  }
 
  private:
   struct Checkout {
@@ -111,12 +118,12 @@ class HttpClient {
   std::string host_;
   int port_;
   HttpClientOptions opts_;
-  std::mutex mu_;
-  std::condition_variable slot_cv_;
-  std::vector<DeadlineSocket> idle_;
-  int live_ = 0;  // checked-out + idle connections
-  uint64_t connections_opened_ = 0;
-  uint64_t requests_sent_ = 0;
+  mutable Mutex mu_;
+  CondVar slot_cv_;
+  std::vector<DeadlineSocket> idle_ GUARDED_BY(mu_);
+  int live_ GUARDED_BY(mu_) = 0;  // checked-out + idle connections
+  uint64_t connections_opened_ GUARDED_BY(mu_) = 0;
+  uint64_t requests_sent_ GUARDED_BY(mu_) = 0;
 };
 
 // --- shared request-side framing (used by the in-process test server) ------

@@ -141,7 +141,7 @@ void TcpServer::PollLoop() {
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (int fd : idle_) {
         fds.push_back({fd, POLLIN, 0});
         polled.push_back(fd);
@@ -173,14 +173,14 @@ void TcpServer::PollLoop() {
           ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
           ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         }
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         idle_.insert(conn);
         conns_.insert(conn);
       }
     }
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (size_t i = 0; i < polled.size(); ++i) {
         if ((fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
           continue;
@@ -194,7 +194,7 @@ void TcpServer::PollLoop() {
       }
     }
     if (admitted) {
-      ready_cv_.notify_all();
+      ready_cv_.SignalAll();
     }
   }
 }
@@ -203,8 +203,8 @@ void TcpServer::WorkerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      ready_cv_.wait(lock, [this]() { return !ready_.empty() || workers_stop_; });
+      MutexLock lock(mu_);
+      ready_cv_.Wait(mu_, [this]() REQUIRES(mu_) { return !ready_.empty() || workers_stop_; });
       if (ready_.empty()) {
         return;  // stopping and fully drained
       }
@@ -219,7 +219,7 @@ void TcpServer::WorkerLoop() {
     }
     bool rearmed = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (alive && !stopping_) {
         idle_.insert(fd);
@@ -229,7 +229,7 @@ void TcpServer::WorkerLoop() {
         conns_.erase(fd);
       }
     }
-    drained_cv_.notify_all();
+    drained_cv_.SignalAll();
     if (rearmed) {
       WakePoller();
     }
@@ -250,22 +250,22 @@ void TcpServer::Stop() {
   // deadline covers the pathological case of a worker stuck mid-frame on a
   // stalled client; the shutdown below unblocks it.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_timeout_ms),
-                         [this]() { return ready_.empty() && in_flight_ == 0; });
+    MutexLock lock(mu_);
+    drained_cv_.WaitForMs(mu_, opts_.drain_timeout_ms,
+                          [this]() REQUIRES(mu_) { return ready_.empty() && in_flight_ == 0; });
     workers_stop_ = true;
     for (int fd : conns_) {
       ::shutdown(fd, SHUT_RDWR);
     }
   }
-  ready_cv_.notify_all();
+  ready_cv_.SignalAll();
   for (auto& w : workers_) {
     if (w.joinable()) {
       w.join();
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int fd : conns_) {
       ::close(fd);
     }
@@ -286,7 +286,7 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& h
 }
 
 Result<Bytes> TcpTransport::Call(ConstByteSpan request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!sock_.valid()) {
     return Status::Unavailable("transport broken by an earlier timeout");
   }

@@ -9,10 +9,8 @@
 #define CDSTORE_SRC_NET_TCP_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -21,6 +19,7 @@
 #include "src/net/http.h"
 #include "src/net/transport.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -71,14 +70,14 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   int wake_pipe_[2] = {-1, -1};  // poller wakeup (worker re-arms, Stop)
 
-  std::mutex mu_;
-  std::unordered_set<int> idle_;   // connections in the poll set
-  std::deque<int> ready_;          // readable connections awaiting a worker
-  std::unordered_set<int> conns_;  // every live connection; cut on Stop()
-  int in_flight_ = 0;           // requests admitted to the pool, not yet done
-  bool workers_stop_ = false;
-  std::condition_variable ready_cv_;    // work available / shutdown
-  std::condition_variable drained_cv_;  // in-flight count reached zero
+  Mutex mu_;
+  std::unordered_set<int> idle_ GUARDED_BY(mu_);   // connections in the poll set
+  std::deque<int> ready_ GUARDED_BY(mu_);  // readable connections awaiting a worker
+  std::unordered_set<int> conns_ GUARDED_BY(mu_);  // every live connection; cut on Stop()
+  int in_flight_ GUARDED_BY(mu_) = 0;  // requests admitted to the pool, not yet done
+  bool workers_stop_ GUARDED_BY(mu_) = false;
+  CondVar ready_cv_;    // work available / shutdown
+  CondVar drained_cv_;  // in-flight count reached zero
 
   std::thread poll_thread_;
   std::vector<std::thread> workers_;
@@ -108,7 +107,7 @@ class TcpTransport : public Transport {
       : sock_(std::move(sock)), opts_(options) {}
   DeadlineSocket sock_;
   TcpTransportOptions opts_;
-  std::mutex mu_;  // serialize request/reply pairs on the connection
+  Mutex mu_;  // serialize request/reply pairs on the connection
 };
 
 }  // namespace cdstore

@@ -28,13 +28,13 @@ bool LocalDirBackend::Exists(const std::string& name) {
 }
 
 Status MemBackend::Put(const std::string& name, ConstByteSpan data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   objects_[name] = Bytes(data.begin(), data.end());
   return Status::Ok();
 }
 
 Result<Bytes> MemBackend::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(name);
   if (it == objects_.end()) {
     return Status::NotFound("object absent: " + name);
@@ -43,7 +43,7 @@ Result<Bytes> MemBackend::Get(const std::string& name) {
 }
 
 Status MemBackend::Delete(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (objects_.erase(name) == 0) {
     return Status::NotFound("object absent: " + name);
   }
@@ -51,7 +51,7 @@ Status MemBackend::Delete(const std::string& name) {
 }
 
 Result<std::vector<std::string>> MemBackend::List() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(objects_.size());
   for (const auto& [name, data] : objects_) {
@@ -61,12 +61,12 @@ Result<std::vector<std::string>> MemBackend::List() {
 }
 
 bool MemBackend::Exists(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.count(name) > 0;
 }
 
 uint64_t MemBackend::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, data] : objects_) {
     total += data.size();
@@ -75,7 +75,7 @@ uint64_t MemBackend::total_bytes() const {
 }
 
 uint64_t MemBackend::object_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.size();
 }
 

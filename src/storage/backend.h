@@ -6,13 +6,13 @@
 #define CDSTORE_SRC_STORAGE_BACKEND_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/util/bytes.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -56,8 +56,8 @@ class MemBackend : public StorageBackend {
   uint64_t object_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Bytes> objects_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Bytes> objects_ GUARDED_BY(mu_);
 };
 
 }  // namespace cdstore

@@ -12,7 +12,7 @@ ContainerStore::ContainerStore(StorageBackend* backend, const ContainerStoreOpti
 }
 
 Result<BlobHandle> ContainerStore::Append(uint64_t user, ConstByteSpan blob) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(user);
   if (it == open_.end()) {
     it = open_.emplace(user, OpenContainer{next_id_++, {}}).first;
@@ -52,7 +52,7 @@ Status ContainerStore::SealLocked(OpenContainer* open) {
 }
 
 Status ContainerStore::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Attempt every user's seal even after a failure; a container whose seal
   // failed stays open so a later flush can retry it, and the first error is
   // reported instead of silently dropped.
@@ -72,7 +72,7 @@ Status ContainerStore::FlushAll() {
 }
 
 Status ContainerStore::FlushUser(uint64_t user) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(user);
   if (it == open_.end()) {
     return Status::Ok();
@@ -95,7 +95,7 @@ Result<std::shared_ptr<const ContainerReader>> ContainerStore::ParsedLocked(
 }
 
 Result<Bytes> ContainerStore::Fetch(const BlobHandle& handle) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // 1. The blob may still sit in an open (unsealed) container.
   for (const auto& [user, open] : open_) {
     if (open.id == handle.container_id) {
@@ -119,10 +119,10 @@ Result<Bytes> ContainerStore::Fetch(const BlobHandle& handle) {
     if (cached != nullptr) {
       image = *cached;
     } else {
-      lock.unlock();
+      lock.Unlock();
       ASSIGN_OR_RETURN(
           image, backend_->Get(ContainerObjectName(opts_.kind_prefix, handle.container_id)));
-      lock.lock();
+      lock.Lock();
       cache_.Insert(handle.container_id, 0, image);
     }
     ASSIGN_OR_RETURN(reader, ParsedLocked(handle.container_id, std::move(image)));
@@ -132,19 +132,19 @@ Result<Bytes> ContainerStore::Fetch(const BlobHandle& handle) {
 }
 
 Status ContainerStore::DeleteContainer(uint64_t container_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.EraseFile(container_id);
   parsed_.remove_if([container_id](const auto& e) { return e.first == container_id; });
   return backend_->Delete(ContainerObjectName(opts_.kind_prefix, container_id));
 }
 
 uint64_t ContainerStore::next_container_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_id_;
 }
 
 void ContainerStore::AdvanceContainerId(uint64_t next_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   next_id_ = std::max(next_id_, next_id);
 }
 

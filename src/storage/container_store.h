@@ -9,7 +9,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
@@ -17,6 +16,7 @@
 #include "src/storage/backend.h"
 #include "src/storage/container.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -60,7 +60,12 @@ class ContainerStore {
   // Restores the id sequence after reopening a server (ids must only move
   // forward; lower values are ignored).
   void AdvanceContainerId(uint64_t next_id);
-  uint64_t sealed_container_count() const { return sealed_count_; }
+  // Locked: sealed_count_ is bumped by concurrent Append/Flush sealing, so
+  // the previous unlocked read raced.
+  uint64_t sealed_container_count() const {
+    MutexLock lock(mu_);
+    return sealed_count_;
+  }
   const BlockCache& cache() const { return cache_; }
 
  private:
@@ -69,22 +74,24 @@ class ContainerStore {
     ContainerBuilder builder;
   };
 
-  Status SealLocked(OpenContainer* open);
+  Status SealLocked(OpenContainer* open) REQUIRES(mu_);
   // Parsed-container MRU: recipe-ordered fetches hit the same container
   // repeatedly; re-parsing 4MB per blob would dominate restores.
   Result<std::shared_ptr<const ContainerReader>> ParsedLocked(uint64_t container_id,
-                                                              Bytes image);
+                                                              Bytes image) REQUIRES(mu_);
 
   StorageBackend* backend_;
   ContainerStoreOptions opts_;
-  mutable std::mutex mu_;
-  uint64_t next_id_;
-  uint64_t sealed_count_ = 0;
-  std::map<uint64_t, OpenContainer> open_;  // user -> open container
-  // Cache of sealed container images, keyed (container_id, 0).
+  mutable Mutex mu_;
+  uint64_t next_id_ GUARDED_BY(mu_);
+  uint64_t sealed_count_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, OpenContainer> open_ GUARDED_BY(mu_);  // user -> open container
+  // Cache of sealed container images, keyed (container_id, 0). Internally
+  // locked, but mutated under mu_ alongside the structures it mirrors.
   mutable BlockCache cache_;
   // Small MRU of parsed containers (front = most recent).
-  mutable std::list<std::pair<uint64_t, std::shared_ptr<const ContainerReader>>> parsed_;
+  mutable std::list<std::pair<uint64_t, std::shared_ptr<const ContainerReader>>> parsed_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace cdstore

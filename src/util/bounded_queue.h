@@ -8,12 +8,12 @@
 #ifndef CDSTORE_SRC_UTIL_BOUNDED_QUEUE_H_
 #define CDSTORE_SRC_UTIL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -28,35 +28,37 @@ class BoundedQueue {
   // Blocks while the queue is full. Returns false (dropping `item`) if the
   // queue is closed before space frees up.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mu_);
+    not_full_.Wait(mu_, [this]() REQUIRES(mu_) {
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) {
       return false;
     }
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.Signal();
     return true;
   }
 
   // Non-blocking push; false when full or closed.
   bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) {
         return false;
       }
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.Signal();
     return true;
   }
 
   // Blocks while the queue is empty and open. Returns nullopt once the
   // queue is closed and fully drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    not_empty_.Wait(mu_, [this]() REQUIRES(mu_) { return closed_ || !items_.empty(); });
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -66,9 +68,9 @@ class BoundedQueue {
     // one-item ping-pong (wake, push one, block again) of futex calls and
     // context switches. Waking it at half-capacity lets it refill in bursts.
     bool wake_producers = items_.size() == capacity_ / 2;
-    lock.unlock();
+    lock.Unlock();
     if (wake_producers) {
-      not_full_.notify_all();
+      not_full_.SignalAll();
     }
     return item;
   }
@@ -77,32 +79,32 @@ class BoundedQueue {
   // what is buffered and then see nullopt.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.SignalAll();
+    not_full_.SignalAll();
   }
 
   // Consumer-side abort: Close plus discard of everything buffered, so
   // blocked producers unblock immediately (their Push returns false).
   void Cancel() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
       items_.clear();
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.SignalAll();
+    not_full_.SignalAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -110,11 +112,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 // Bounded single-producer broadcast queue: every consumer sees every item,
@@ -143,8 +145,8 @@ class BroadcastQueue {
   // Blocks while the slowest active consumer is `capacity` items behind.
   // Returns false (dropping `item`) once closed or every consumer detached.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
+    MutexLock lock(mu_);
+    not_full_.Wait(mu_, [this]() REQUIRES(mu_) {
       return closed_ || head_ - MinCursor() < capacity_;
     });
     if (closed_) {
@@ -152,8 +154,8 @@ class BroadcastQueue {
     }
     buffer_.push_back(std::move(item));
     ++head_;
-    lock.unlock();
-    not_empty_.notify_all();
+    lock.Unlock();
+    not_empty_.SignalAll();
     return true;
   }
 
@@ -161,8 +163,10 @@ class BroadcastQueue {
   // this consumer has seen everything. Blocks while caught up. The pointer
   // stays valid until Advance(ci).
   T* Peek(int ci) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this, ci] { return closed_ || cursors_[ci] < head_; });
+    MutexLock lock(mu_);
+    not_empty_.Wait(mu_, [this, ci]() REQUIRES(mu_) {
+      return closed_ || cursors_[ci] < head_;
+    });
     if (cursors_[ci] == head_) {
       return nullptr;
     }
@@ -172,7 +176,7 @@ class BroadcastQueue {
   // Consumer `ci` is done with its current item; trims items every
   // consumer has passed.
   void Advance(int ci) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++cursors_[ci];
     uint64_t min_cursor = MinCursor();
     while (base_ < min_cursor && !buffer_.empty()) {
@@ -184,16 +188,16 @@ class BroadcastQueue {
     // instead of being woken per item.
     size_t free_slots = capacity_ - static_cast<size_t>(head_ - min_cursor);
     bool wake_producer = free_slots == WakeThreshold();
-    lock.unlock();
+    lock.Unlock();
     if (wake_producer) {
-      not_full_.notify_all();
+      not_full_.SignalAll();
     }
   }
 
   // Consumer `ci` abandons the stream (e.g. its cloud failed): it stops
   // gating the producer and will not consume further items.
   void Detach(int ci) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     detached_[ci] = 1;
     bool all_detached = true;
     for (uint8_t d : detached_) {
@@ -207,20 +211,20 @@ class BroadcastQueue {
       buffer_.pop_front();
       ++base_;
     }
-    lock.unlock();
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    lock.Unlock();
+    not_full_.SignalAll();
+    not_empty_.SignalAll();
   }
 
   // Producer end-of-stream: consumers drain what remains, then Peek
   // returns nullptr.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.SignalAll();
+    not_full_.SignalAll();
   }
 
   size_t capacity() const { return capacity_; }
@@ -229,7 +233,7 @@ class BroadcastQueue {
   size_t WakeThreshold() const { return capacity_ / 4 == 0 ? 1 : capacity_ / 4; }
 
   // Smallest cursor among attached consumers; head_ when all detached.
-  uint64_t MinCursor() const {
+  uint64_t MinCursor() const REQUIRES(mu_) {
     uint64_t min_cursor = head_;
     for (size_t i = 0; i < cursors_.size(); ++i) {
       if (detached_[i] == 0 && cursors_[i] < min_cursor) {
@@ -240,15 +244,15 @@ class BroadcastQueue {
   }
 
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> buffer_;
-  uint64_t base_ = 0;  // seq of buffer_.front()
-  uint64_t head_ = 0;  // seq one past the newest item
-  std::vector<uint64_t> cursors_;
-  std::vector<uint8_t> detached_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> buffer_ GUARDED_BY(mu_);
+  uint64_t base_ GUARDED_BY(mu_) = 0;  // seq of buffer_.front()
+  uint64_t head_ GUARDED_BY(mu_) = 0;  // seq one past the newest item
+  std::vector<uint64_t> cursors_ GUARDED_BY(mu_);
+  std::vector<uint8_t> detached_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cdstore

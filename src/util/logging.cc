@@ -4,13 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "src/util/sync.h"
 
 namespace cdstore {
 
 namespace {
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -39,7 +40,7 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), Basename(file_), line_,
                  stream_.str().c_str());
     std::fflush(stderr);

@@ -15,7 +15,7 @@ void RateLimiter::Acquire(uint64_t bytes) {
   if (rate_ == 0) {
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (simulated_) {
     // Pure accounting: bytes/rate seconds per request, burst ignored.
     simulated_seconds_ += static_cast<double>(bytes) / static_cast<double>(rate_);
@@ -32,7 +32,7 @@ void RateLimiter::Acquire(uint64_t bytes) {
   double deficit = static_cast<double>(bytes) - tokens_;
   tokens_ = 0;
   double wait_s = deficit / static_cast<double>(rate_);
-  lock.unlock();
+  lock.Unlock();
   std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
 }
 

@@ -5,7 +5,8 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -20,20 +21,32 @@ class RateLimiter {
 
   // Switch to simulated time: Acquire() accumulates virtual delay instead of
   // sleeping. Virtual elapsed time is reported by simulated_seconds().
-  void set_simulated(bool simulated) { simulated_ = simulated; }
-  double simulated_seconds() const { return simulated_seconds_; }
-  void ResetSimulatedClock() { simulated_seconds_ = 0.0; }
+  // (These used to read/write the fields without the lock, racing against
+  // concurrent Acquire() calls — e.g. SimCloud's up/down limiters shared by
+  // uploader threads while a bench reads the virtual clock.)
+  void set_simulated(bool simulated) {
+    MutexLock lock(mu_);
+    simulated_ = simulated;
+  }
+  double simulated_seconds() const {
+    MutexLock lock(mu_);
+    return simulated_seconds_;
+  }
+  void ResetSimulatedClock() {
+    MutexLock lock(mu_);
+    simulated_seconds_ = 0.0;
+  }
 
   uint64_t bytes_per_second() const { return rate_; }
 
  private:
-  uint64_t rate_;
-  uint64_t burst_;
-  double tokens_;
-  std::chrono::steady_clock::time_point last_;
-  bool simulated_ = false;
-  double simulated_seconds_ = 0.0;
-  std::mutex mu_;
+  const uint64_t rate_;
+  const uint64_t burst_;
+  mutable Mutex mu_;
+  double tokens_ GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point last_ GUARDED_BY(mu_);
+  bool simulated_ GUARDED_BY(mu_) = false;
+  double simulated_seconds_ GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace cdstore

@@ -33,7 +33,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 // A success-or-error value. Cheap to copy on the OK path (no allocation).
-class Status {
+// [[nodiscard]]: silently dropping a Status hides I/O and consistency
+// failures; a call site that really means to ignore one must say so with a
+// (void) cast and a comment defending why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -74,7 +77,7 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 // Result<T>: either a value or an error Status. Accessing value() on an
 // error aborts (programming error), mirroring absl::StatusOr.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)

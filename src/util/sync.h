@@ -1,0 +1,253 @@
+// Annotated synchronization primitives: the ONLY way CDStore code takes a
+// lock. Mutex/SharedMutex/CondVar wrap the std primitives and carry Clang
+// thread-safety capability annotations, so the invariants the server's
+// striped dedup and the client pipeline rely on (which field is guarded by
+// which lock, which helper requires which capability, stripe < commit < ops
+// ordering) are machine-checked at compile time by the clang CI job
+// (-Werror=thread-safety-analysis) instead of only observed by TSAN on the
+// interleavings the suites happen to hit. Under GCC every annotation macro
+// expands to nothing, so the tier-1 g++ build is byte-for-byte unaffected.
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable outside this
+// header are banned by scripts/lint.sh.
+//
+// Usage:
+//   Mutex mu_;
+//   int balance_ GUARDED_BY(mu_);
+//   void Deposit(int v) { MutexLock lock(mu_); balance_ += v; }
+//   void DrainLocked() REQUIRES(mu_);   // caller must hold mu_
+//
+//   SharedMutex ops_mu_;
+//   { ReaderMutexLock ops(ops_mu_); ... }   // shared (RPC path)
+//   { WriterMutexLock ops(ops_mu_); ... }   // exclusive (maintenance)
+//
+//   CondVar cv_;
+//   MutexLock lock(mu_);
+//   cv_.Wait(mu_, [this]() REQUIRES(mu_) { return ready_; });
+#ifndef CDSTORE_SRC_UTIL_SYNC_H_
+#define CDSTORE_SRC_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+// --- Clang thread-safety annotation macros ---------------------------------
+// The canonical set from the Clang thread-safety docs. No-ops under GCC.
+#if defined(__clang__)
+#define CDSTORE_TSA(x) __attribute__((x))
+#else
+#define CDSTORE_TSA(x)
+#endif
+
+#define CAPABILITY(x) CDSTORE_TSA(capability(x))
+#define SCOPED_CAPABILITY CDSTORE_TSA(scoped_lockable)
+#define GUARDED_BY(x) CDSTORE_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) CDSTORE_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) CDSTORE_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CDSTORE_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) CDSTORE_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) CDSTORE_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) CDSTORE_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) CDSTORE_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) CDSTORE_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) CDSTORE_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) CDSTORE_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) CDSTORE_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) CDSTORE_TSA(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) CDSTORE_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) CDSTORE_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) CDSTORE_TSA(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) CDSTORE_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS CDSTORE_TSA(no_thread_safety_analysis)
+
+namespace cdstore {
+
+// Exclusive mutex. Prefer MutexLock over manual Lock/Unlock pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex: shared for RPC-style concurrent readers, exclusive
+// for maintenance. Prefer ReaderMutexLock / WriterMutexLock.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) { return mu_.try_lock_shared(); }
+
+  // BasicLockable surface (exclusive), required by condition_variable_any
+  // inside CondVar::Wait — the wait's unlock/relock happens in the system
+  // header, invisible to the analysis, which is exactly right: the
+  // capability is held on both sides of the wait.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock. Unlock()/Lock() support the early-release-then-
+// notify and release-while-committing patterns; the destructor releases
+// only if still held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() {
+    if (held_) {
+      mu_->Unlock();
+    }
+  }
+
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->LockShared();
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() RELEASE_GENERIC() {
+    if (held_) {
+      mu_->UnlockShared();
+    }
+  }
+
+  void Unlock() RELEASE_GENERIC() {
+    held_ = false;
+    mu_->UnlockShared();
+  }
+
+ private:
+  SharedMutex* mu_;
+  bool held_ = true;
+};
+
+// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() RELEASE() {
+    if (held_) {
+      mu_->Unlock();
+    }
+  }
+
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  SharedMutex* mu_;
+  bool held_ = true;
+};
+
+// Condition variable usable with Mutex (fast std::condition_variable path)
+// or an exclusively-held SharedMutex (condition_variable_any path, for the
+// server's stripe claim waits). The caller holds the lock via a guard; Wait
+// atomically releases and re-acquires it, so analysis-wise the capability
+// is held before and after — expressed as REQUIRES.
+//
+// Predicates that read guarded fields should carry their own annotation:
+//   cv_.Wait(mu_, [this]() REQUIRES(mu_) { return ready_; });
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();
+  }
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
+    cv_.wait(ul, std::move(pred));
+    ul.release();
+  }
+  // Returns pred() at wakeup (false = timed out with pred still false).
+  template <typename Pred>
+  bool WaitForMs(Mutex& mu, int64_t timeout_ms, Pred pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
+    bool satisfied =
+        cv_.wait_for(ul, std::chrono::milliseconds(timeout_ms), std::move(pred));
+    ul.release();
+    return satisfied;
+  }
+  // Untimed-predicate-free timed wait; callers re-check their condition.
+  void WaitForMs(Mutex& mu, int64_t timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
+    cv_.wait_for(ul, std::chrono::milliseconds(timeout_ms));
+    ul.release();
+  }
+
+  // SharedMutex waits require the lock held EXCLUSIVELY (a shared holder
+  // re-acquiring shared mid-wait could miss its own wakeup condition).
+  void Wait(SharedMutex& mu) REQUIRES(mu) { cv_any_.wait(mu); }
+  template <typename Pred>
+  void Wait(SharedMutex& mu, Pred pred) REQUIRES(mu) {
+    cv_any_.wait(mu, std::move(pred));
+  }
+
+  void Signal() {
+    cv_.notify_one();
+    cv_any_.notify_one();
+  }
+  void SignalAll() {
+    cv_.notify_all();
+    cv_any_.notify_all();
+  }
+
+ private:
+  std::condition_variable cv_;
+  std::condition_variable_any cv_any_;
+};
+
+}  // namespace cdstore
+
+#endif  // CDSTORE_SRC_UTIL_SYNC_H_

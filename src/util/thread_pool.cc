@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (auto& w : workers_) {
     w.join();
   }
@@ -25,24 +25,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CHECK(!shutdown_) << "Submit after shutdown";
     queue_.push_back(std::move(fn));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_cv_.Wait(mu_, [this]() REQUIRES(mu_) { return queue_.empty() && active_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this]() REQUIRES(mu_) { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // shutdown with drained queue
       }
@@ -52,10 +52,10 @@ void ThreadPool::WorkerLoop() {
     }
     fn();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) {
-        idle_cv_.notify_all();
+        idle_cv_.SignalAll();
       }
     }
   }

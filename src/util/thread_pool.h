@@ -3,13 +3,13 @@
 #ifndef CDSTORE_SRC_UTIL_THREAD_POOL_H_
 #define CDSTORE_SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace cdstore {
 
@@ -43,12 +43,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signaled when work arrives / shutdown
-  std::condition_variable idle_cv_;   // signaled when the pool drains
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;   // signaled when work arrives / shutdown
+  CondVar idle_cv_;   // signaled when the pool drains
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/util/bounded_queue.h"
+#include "src/util/sync.h"
 
 namespace cdstore {
 namespace {
@@ -104,14 +105,14 @@ TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
       }
     });
   }
-  std::mutex seen_mu;
+  Mutex seen_mu;
   std::vector<uint8_t> seen(kProducers * kPerProducer, 0);
   std::atomic<int> popped{0};
   std::vector<std::thread> consumers;
   for (int c = 0; c < kConsumers; ++c) {
     consumers.emplace_back([&]() {
       while (auto v = q.Pop()) {
-        std::lock_guard<std::mutex> lock(seen_mu);
+        MutexLock lock(seen_mu);
         ASSERT_GE(*v, 0);
         ASSERT_LT(*v, kProducers * kPerProducer);
         ASSERT_EQ(seen[*v], 0) << "duplicate delivery of " << *v;

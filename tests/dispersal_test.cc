@@ -123,7 +123,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(StorageBlowupTest, MatchesTable1) {
   const size_t kSecret = 8192;
   const int n = 4, k = 3;
-  SchemeParams p{.n = n, .k = k, .r = 1};
+  SchemeParams p{.n = n, .k = k, .r = 1, .salt = {}};
 
   auto ssss = std::move(MakeScheme(SchemeType::kSsss, p).value());
   EXPECT_NEAR(ssss->StorageBlowup(kSecret), 4.0, 0.01);  // n
@@ -147,7 +147,7 @@ TEST(StorageBlowupTest, RsssInterpolatesBetweenIdaAndSsss) {
   const size_t kSecret = 6000;
   double prev = 0;
   for (int r = 0; r < 5; ++r) {
-    SchemeParams p{.n = 6, .k = 5, .r = r};
+    SchemeParams p{.n = 6, .k = 5, .r = r, .salt = {}};
     auto scheme = std::move(MakeScheme(SchemeType::kRsss, p).value());
     double blowup = scheme->StorageBlowup(kSecret);
     EXPECT_GT(blowup, prev);
@@ -276,7 +276,7 @@ TEST(RegistryTest, RejectsBadParameters) {
 }
 
 TEST(RegistryTest, NamesAreStable) {
-  SchemeParams p{.n = 4, .k = 3, .r = 1};
+  SchemeParams p{.n = 4, .k = 3, .r = 1, .salt = {}};
   for (SchemeType t : AllSchemeTypes()) {
     auto scheme = MakeScheme(t, p);
     ASSERT_TRUE(scheme.ok());

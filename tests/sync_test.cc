@@ -1,0 +1,219 @@
+// Tests for the annotated synchronization primitives in util/sync.h: the
+// RAII guards' acquire/release behaviour (including mid-scope Unlock/Lock),
+// shared-vs-exclusive semantics of SharedMutex, try-lock contention, CondVar
+// predicate waits on both mutex flavours, and a mixed reader/writer stress
+// case meant to run under the TSAN CI job.
+#include "src/util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cdstore {
+namespace {
+
+TEST(MutexTest, TryLockReflectsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // A second thread must fail to acquire while we hold it.
+  bool other_acquired = true;
+  std::thread t([&]() { other_acquired = mu.TryLock(); });
+  t.join();
+  EXPECT_FALSE(other_acquired);
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockGuardsCounterAcrossThreads) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(MutexTest, MutexLockManualUnlockThenRelock) {
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.Unlock();
+  // While released, another thread can take it.
+  bool other_acquired = false;
+  std::thread t([&]() {
+    other_acquired = mu.TryLock();
+    if (other_acquired) mu.Unlock();
+  });
+  t.join();
+  EXPECT_TRUE(other_acquired);
+  lock.Lock();  // destructor releases once
+}
+
+TEST(SharedMutexTest, ManyReadersCoexistOneWriterExcludes) {
+  SharedMutex mu;
+  mu.LockShared();
+  EXPECT_TRUE(mu.TryLockShared());  // second reader admitted
+  EXPECT_FALSE(mu.TryLock());       // writer excluded while readers hold
+  mu.UnlockShared();
+  mu.UnlockShared();
+
+  mu.Lock();
+  bool reader_admitted = true;
+  std::thread t([&]() { reader_admitted = mu.TryLockShared(); });
+  t.join();
+  EXPECT_FALSE(reader_admitted);  // writer excludes readers
+  mu.Unlock();
+}
+
+TEST(SharedMutexTest, ReaderAndWriterGuards) {
+  SharedMutex mu;
+  int value = 0;
+  {
+    WriterMutexLock w(mu);
+    value = 42;
+  }
+  {
+    ReaderMutexLock r1(mu);
+    ReaderMutexLock r2(mu);  // concurrent shared holds in one scope
+    EXPECT_EQ(value, 42);
+  }
+  {
+    ReaderMutexLock r(mu);
+    r.Unlock();
+    WriterMutexLock w(mu);  // writer admitted after manual reader release
+    value = 7;
+  }
+  EXPECT_EQ(value, 7);
+}
+
+TEST(CondVarTest, PredicateWaitSeesFlagFlip) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  std::thread signaller([&]() {
+    MutexLock lock(mu);
+    ready = true;
+    lock.Unlock();
+    cv.SignalAll();
+  });
+
+  {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&]() REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+TEST(CondVarTest, TimedWaitTimesOutWhenNeverSignalled) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  bool satisfied = cv.WaitForMs(mu, 10, [&]() REQUIRES(mu) { return false; });
+  EXPECT_FALSE(satisfied);
+}
+
+TEST(CondVarTest, WaitOnExclusivelyHeldSharedMutex) {
+  SharedMutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  std::thread signaller([&]() {
+    WriterMutexLock lock(mu);
+    ready = true;
+    lock.Unlock();
+    cv.SignalAll();
+  });
+
+  {
+    WriterMutexLock lock(mu);
+    cv.Wait(mu, [&]() REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+// Mixed readers/writers over shared state; run under TSAN in CI. Readers
+// assert the pair-invariant (b == 2*a) that only holds if writer updates
+// are observed atomically under the lock.
+TEST(SyncStressTest, ReadersSeeConsistentPairsUnderWriters) {
+  SharedMutex mu;
+  int64_t a = 0;
+  int64_t b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistencies{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ReaderMutexLock lock(mu);
+        if (b != 2 * a) inconsistencies.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&]() {
+      for (int i = 0; i < 5000; ++i) {
+        WriterMutexLock lock(mu);
+        ++a;
+        b = 2 * a;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_EQ(a, 10000);
+  EXPECT_EQ(b, 20000);
+}
+
+// Producer/consumer handoff through CondVar under load (TSAN-sensitive).
+TEST(SyncStressTest, CondVarHandoffDeliversAllItems) {
+  Mutex mu;
+  CondVar cv;
+  int queued = 0;
+  bool done = false;
+  int64_t consumed = 0;
+  constexpr int kItems = 20000;
+
+  std::thread consumer([&]() {
+    while (true) {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&]() REQUIRES(mu) { return queued > 0 || done; });
+      if (queued == 0 && done) return;
+      consumed += queued;
+      queued = 0;
+    }
+  });
+
+  for (int i = 0; i < kItems; ++i) {
+    MutexLock lock(mu);
+    ++queued;
+    lock.Unlock();
+    cv.Signal();
+  }
+  {
+    MutexLock lock(mu);
+    done = true;
+  }
+  cv.SignalAll();
+  consumer.join();
+  EXPECT_EQ(consumed, kItems);
+}
+
+}  // namespace
+}  // namespace cdstore
