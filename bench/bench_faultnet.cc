@@ -19,6 +19,7 @@
 #include "src/core/server.h"
 #include "src/net/faulty_http_server.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/storage/http_backend.h"
 #include "src/util/fs_util.h"
 #include "src/util/stats.h"
@@ -31,11 +32,26 @@ constexpr int kK = 3;
 
 struct Deployment {
   TempDir dir;
+  // One registry for the whole deployment: fault plans, retry layers,
+  // servers, and the client all feed it, and the BENCH_JSON numbers are
+  // read back out of it (the metrics pipeline exercised end to end).
+  MetricRegistry registry;
   std::vector<std::unique_ptr<FaultyHttpServer>> object_stores;
   std::vector<std::unique_ptr<HttpObjectBackend>> backends;
   std::vector<std::unique_ptr<CdstoreServer>> servers;
   std::vector<std::unique_ptr<InProcTransport>> transports;
 };
+
+// Sum of one counter family across all its labelled series.
+uint64_t SumCounter(const MetricRegistry& registry, const std::string& name) {
+  uint64_t total = 0;
+  for (const MetricSample& s : registry.Snapshot()) {
+    if (s.name == name) {
+      total += static_cast<uint64_t>(s.value);
+    }
+  }
+  return total;
+}
 
 std::unique_ptr<Deployment> MakeDeployment(double fault_rate, uint64_t stall_ms,
                                            int attempts) {
@@ -52,12 +68,15 @@ std::unique_ptr<Deployment> MakeDeployment(double fault_rate, uint64_t stall_ms,
       std::exit(1);
     }
     d->object_stores.push_back(std::move(hs.value()));
+    d->object_stores.back()->plan()->BindMetrics(d->registry.GetCounter(
+        "cdstore_fault_injected_total", {{"cloud", std::to_string(i)}}));
 
     HttpBackendOptions bo;
     bo.retry.max_attempts = attempts;
     bo.retry.initial_backoff_ms = 2;
     bo.retry.max_backoff_ms = 20;
     bo.retry.attempt_deadline_ms = 2000;
+    bo.retry.metrics = MakeRetryMetrics(&d->registry, "cloud" + std::to_string(i));
     auto backend = HttpObjectBackend::Open(
         d->object_stores.back()->endpoint("cloud" + std::to_string(i)), bo);
     if (!backend.ok()) {
@@ -70,6 +89,7 @@ std::unique_ptr<Deployment> MakeDeployment(double fault_rate, uint64_t stall_ms,
     so.index_dir = d->dir.Sub("server" + std::to_string(i));
     so.container_capacity = 256 << 10;  // seal often: real PUT traffic
     so.container_cache_bytes = 4096;    // downloads actually hit the wire
+    so.metrics = &d->registry;
     auto server = CdstoreServer::Create(d->backends.back().get(), so);
     if (!server.ok()) {
       std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
@@ -93,6 +113,7 @@ void RunPoint(double fault_pct, size_t size_bytes, uint64_t stall_ms, int attemp
   co.k = kK;
   co.pipelined_download = true;
   co.download_batch_bytes = 256 * 1024;
+  co.metrics = &d->registry;
   CdstoreClient client(transports, 1, co);
 
   Bytes data = RandomData(size_bytes, 0xFA07 + static_cast<uint64_t>(fault_pct));
@@ -120,13 +141,28 @@ void RunPoint(double fault_pct, size_t size_bytes, uint64_t stall_ms, int attemp
     std::exit(1);
   }
 
-  uint64_t injected = 0;
+  // Fault/retry numbers come out of the metrics registry, the same series
+  // GetMetrics and GET /metrics expose; the legacy ad-hoc counters only
+  // cross-check it.
+  uint64_t injected = SumCounter(d->registry, "cdstore_fault_injected_total");
+  uint64_t attempts_total = SumCounter(d->registry, "cdstore_retry_attempts_total");
   uint64_t retried = 0;
   uint64_t requests = 0;
+  uint64_t injected_adhoc = 0;
   for (int i = 0; i < kN; ++i) {
-    injected += d->object_stores[i]->plan()->faults_injected();
+    injected_adhoc += d->object_stores[i]->plan()->faults_injected();
     retried += d->backends[i]->retries();
     requests += d->backends[i]->requests_sent();
+  }
+  if (injected != injected_adhoc || attempts_total < retried) {
+    std::fprintf(stderr,
+                 "metrics/ad-hoc counter mismatch: injected %llu vs %llu, "
+                 "attempts %llu vs %llu retries\n",
+                 static_cast<unsigned long long>(injected),
+                 static_cast<unsigned long long>(injected_adhoc),
+                 static_cast<unsigned long long>(attempts_total),
+                 static_cast<unsigned long long>(retried));
+    std::exit(1);
   }
 
   double mb = static_cast<double>(size_bytes) / (1024.0 * 1024.0);
@@ -138,10 +174,11 @@ void RunPoint(double fault_pct, size_t size_bytes, uint64_t stall_ms, int attemp
               static_cast<unsigned long long>(retried));
   std::printf("BENCH_JSON {\"bench\":\"faultnet\",\"direction\":\"upload\","
               "\"fault_pct\":%.1f,\"mbps\":%.3f,\"requests\":%llu,"
-              "\"faults\":%llu,\"retries\":%llu}\n",
+              "\"faults\":%llu,\"retries\":%llu,\"retry_attempts\":%llu}\n",
               fault_pct, mb / up_s, static_cast<unsigned long long>(requests),
               static_cast<unsigned long long>(injected),
-              static_cast<unsigned long long>(retried));
+              static_cast<unsigned long long>(retried),
+              static_cast<unsigned long long>(attempts_total));
   std::printf("BENCH_JSON {\"bench\":\"faultnet\",\"direction\":\"download\","
               "\"fault_pct\":%.1f,\"mbps\":%.3f}\n",
               fault_pct, mb / down_s);

@@ -30,6 +30,7 @@
 #include "src/crypto/sha256.h"
 #include "src/gf256/gf256.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/storage/backend.h"
 #include "src/util/rate_limiter.h"
 #include "src/util/fs_util.h"
@@ -128,6 +129,10 @@ struct Deployment {
   std::vector<std::unique_ptr<DelayTransport>> client_transports;
 };
 
+// When set, deployments and clients record into this registry — flipped by
+// the metrics-overhead bench to price the obs subsystem on the hot path.
+MetricRegistry* g_metrics = nullptr;
+
 std::unique_ptr<Deployment> MakeDeployment(double latency_s, double uplink_bytes_per_s,
                                            bool shared_uplink) {
   auto d = std::make_unique<Deployment>();
@@ -138,6 +143,7 @@ std::unique_ptr<Deployment> MakeDeployment(double latency_s, double uplink_bytes
     d->backends.push_back(std::make_unique<MemBackend>());
     ServerOptions so;
     so.index_dir = d->dir.Sub("server" + std::to_string(i));
+    so.metrics = g_metrics;
     auto server = CdstoreServer::Create(d->backends.back().get(), so);
     if (!server.ok()) {
       std::fprintf(stderr, "server setup failed: %s\n", server.status().ToString().c_str());
@@ -176,6 +182,7 @@ double MeasureUploadMiBps(const Bytes& data, bool streaming, const ChunkConfig& 
   opts.fixed_chunk_size = chunks.fixed_size;
   opts.stream_batch_bytes = g_stream_batch_bytes;
   opts.pipeline_queue_depth = g_queue_depth;
+  opts.metrics = g_metrics;
   CdstoreClient client(transports, /*user=*/1, opts);
   Stopwatch watch;
   Status st = client.Upload("/bench", data);
@@ -474,6 +481,37 @@ void BenchMultiClient(int argc, char** argv) {
   }
 }
 
+// The obs acceptance gate: the same streaming upload, metrics off vs fully
+// wired (server dispatch histograms, client per-cloud RPC timers, queue
+// gauges, dedup counters). No simulated latency or bandwidth cap, so the
+// run is compute-bound and any recording cost lands squarely in the wall
+// clock. Best-of-3 per arm, alternating, to cancel machine drift.
+void BenchMetricsOverhead(int argc, char** argv) {
+  const size_t size_mb = static_cast<size_t>(FlagValue(argc, argv, "metrics_mb", 16));
+  const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 2));
+  const ChunkConfig cc{"fixed8k", true, 8192};
+  Bytes data = RandomData(size_mb * 1024 * 1024, 6060);
+
+  PrintHeader("Metrics overhead: streaming upload, obs off vs fully instrumented");
+  std::printf("%zuMB, fixed8k, %d encode threads, no simulated wire\n", size_mb, threads);
+  double off = 0;
+  double on = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    g_metrics = nullptr;
+    off = std::max(off, MeasureUploadMiBps(data, true, cc, threads, 0.0, 0.0));
+    MetricRegistry registry;
+    g_metrics = &registry;
+    on = std::max(on, MeasureUploadMiBps(data, true, cc, threads, 0.0, 0.0));
+    g_metrics = nullptr;
+  }
+  double overhead_pct = off > 0 ? (off - on) / off * 100.0 : 0;
+  std::printf("metrics off: %.1f MB/s   on: %.1f MB/s   overhead %.2f%%\n", off, on,
+              overhead_pct);
+  std::printf("BENCH_JSON {\"bench\":\"metrics_overhead\",\"size_mb\":%zu,"
+              "\"off_mibps\":%.2f,\"on_mibps\":%.2f,\"overhead_pct\":%.2f}\n",
+              size_mb, off, on, overhead_pct);
+}
+
 double MeasureGfMiBps(void (*fn)(uint8_t*, const uint8_t*, size_t, const uint8_t*,
                                  const uint8_t*),
                       size_t region, double budget_s) {
@@ -550,5 +588,6 @@ int main(int argc, char** argv) {
   cdstore::BenchSession(argc, argv);
   cdstore::BenchDownload(argc, argv);
   cdstore::BenchMultiClient(argc, argv);
+  cdstore::BenchMetricsOverhead(argc, argv);
   return 0;
 }

@@ -18,8 +18,16 @@
 //   cdstore_cli <state_dir> ls       [--user=N]             (whole namespace)
 //   cdstore_cli <state_dir> prune-all --keep=N [--within-weeks=W] [--user=N]
 //   cdstore_cli <state_dir> restore-all <out_dir> [--as-of=UNIX_MS] [--user=N]
-//   cdstore_cli <state_dir> stats
+//   cdstore_cli <state_dir> stats [--json]
 //   cdstore_cli <state_dir> gc
+//   cdstore_cli <state_dir> metrics [--json]
+//
+// Observability (src/obs/): every invocation wires one MetricRegistry
+// through the servers, the client pipeline, and any HTTP retry layers.
+// `metrics` scrapes it over the wire via the GetMetrics RPC; any command
+// takes `--metrics` to dump the series it populated on exit, and
+// `--serve-metrics-ms=MS [--serve-metrics-port=P]` to serve Prometheus
+// text at GET /metrics for MS milliseconds before exiting.
 //
 // The namespace commands are the whole-backup-set operations: `ls`
 // reconstructs every pathname from k clouds' dispersed name shares,
@@ -36,6 +44,7 @@
 //   ./examples/cdstore_cli /tmp/cd prune-all --keep=1
 //   ./examples/cdstore_cli /tmp/cd restore-all /tmp/everything
 //   ./examples/cdstore_cli /tmp/cd gc
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -43,11 +52,14 @@
 #include <ctime>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/client.h"
 #include "src/core/server.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_http.h"
 #include "src/storage/backend.h"
 #include "src/storage/http_backend.h"
 #include "src/util/byte_sink.h"
@@ -63,6 +75,11 @@ constexpr int kN = 4;
 constexpr uint64_t kWeekMs = 7ull * 24 * 3600 * 1000;
 
 struct Deployment {
+  // Declared first so every metrics consumer below is destroyed before it.
+  // One registry spans the whole deployment: servers, client, and HTTP
+  // retry layers all feed it, `metrics` scrapes it over the wire.
+  MetricRegistry registry;
+  ClientOptions client_options;  // metrics pre-wired to `registry`
   std::vector<std::unique_ptr<StorageBackend>> backends;
   std::vector<std::unique_ptr<CdstoreServer>> servers;
   std::vector<std::unique_ptr<InProcTransport>> transports;
@@ -76,6 +93,7 @@ struct Deployment {
 // in one deployment. Indices always stay on the local disk (§5.6).
 bool OpenDeployment(const std::string& state_dir, const std::vector<std::string>& clouds,
                     const RetryPolicy& retry, Deployment* d) {
+  d->client_options.metrics = &d->registry;
   for (int i = 0; i < kN; ++i) {
     std::string cloud_dir = state_dir + "/cloud" + std::to_string(i);
     std::string location =
@@ -83,6 +101,7 @@ bool OpenDeployment(const std::string& state_dir, const std::vector<std::string>
     if (location.rfind("http://", 0) == 0) {
       HttpBackendOptions bo;
       bo.retry = retry;
+      bo.retry.metrics = MakeRetryMetrics(&d->registry, "cloud" + std::to_string(i));
       auto backend = HttpObjectBackend::Open(location, bo);
       if (!backend.ok()) {
         std::fprintf(stderr, "cannot open %s: %s\n", location.c_str(),
@@ -104,6 +123,7 @@ bool OpenDeployment(const std::string& state_dir, const std::vector<std::string>
     // Operational deployment: maintenance (prune/gc) leaves fresh index
     // snapshots at the backend automatically, pruned keep-last-N.
     so.auto_index_snapshot = true;
+    so.metrics = &d->registry;
     auto server = CdstoreServer::Create(d->backends.back().get(), so);
     if (!server.ok()) {
       std::fprintf(stderr, "cannot start server %d: %s\n", i,
@@ -130,8 +150,14 @@ int Usage() {
                "[--user=N]\n"
                "       cdstore_cli <state_dir> restore-all <out_dir> [--as-of=UNIX_MS] "
                "[--user=N]\n"
-               "       cdstore_cli <state_dir> stats\n"
+               "       cdstore_cli <state_dir> stats [--json]\n"
                "       cdstore_cli <state_dir> gc\n"
+               "       cdstore_cli <state_dir> metrics [--json]\n"
+               "\n"
+               "observability (any command):\n"
+               "       --metrics              print the metric series on exit\n"
+               "       --serve-metrics-ms=MS  serve GET /metrics for MS ms on exit\n"
+               "       --serve-metrics-port=P endpoint port (default: ephemeral)\n"
                "\n"
                "cloud placement (any command, repeatable, cloud 0 first):\n"
                "       --cloud=<dir> | --cloud=http://host:port/bucket\n"
@@ -177,42 +203,128 @@ std::vector<std::string> TakeFlagAll(int* argc, char** argv, const char* name) {
   return values;
 }
 
+// Strips every bare "--name" occurrence; true when it appeared at all.
+bool TakeBoolFlag(int* argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  bool found = false;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    if (flag == argv[i]) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
 uint64_t NowMs() { return static_cast<uint64_t>(std::time(nullptr)) * 1000ull; }
+
+// ---- metrics rendering ----------------------------------------------------
+
+std::string LabelsText(const MetricLabels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+// Human table: one row per series, sorted (Snapshot order is already
+// name+labels). Histograms show count/mean/p50/p99 from the merged buckets.
+void PrintMetricsTable(const std::vector<MetricSample>& samples) {
+  std::printf("%-72s %s\n", "metric", "value");
+  for (const MetricSample& s : samples) {
+    std::string name = s.name + LabelsText(s.labels);
+    if (s.kind == MetricSample::kHistogram) {
+      HistogramSnapshot snap{s.bounds, s.bucket_counts, s.count, s.sum};
+      std::printf("%-72s count=%llu mean=%.0f p50=%.0f p99=%.0f\n", name.c_str(),
+                  static_cast<unsigned long long>(s.count), snap.Mean(),
+                  snap.Quantile(0.5), snap.Quantile(0.99));
+    } else {
+      std::printf("%-72s %lld\n", name.c_str(), static_cast<long long>(s.value));
+    }
+  }
+  std::printf("%zu series\n", samples.size());
+}
+
+void AppendJsonEscaped(const std::string& v, std::string* out) {
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+    }
+    *out += c;
+  }
+}
+
+// One JSON array, one object per series. Histogram quantiles are
+// pre-interpolated so consumers need no bucket math.
+void PrintMetricsJson(const std::vector<MetricSample>& samples) {
+  std::string out = "[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "\n {\"name\":\"";
+    AppendJsonEscaped(s.name, &out);
+    out += "\",\"labels\":{";
+    for (size_t l = 0; l < s.labels.size(); ++l) {
+      if (l > 0) {
+        out += ',';
+      }
+      out += '"';
+      AppendJsonEscaped(s.labels[l].first, &out);
+      out += "\":\"";
+      AppendJsonEscaped(s.labels[l].second, &out);
+      out += '"';
+    }
+    out += "},";
+    if (s.kind == MetricSample::kHistogram) {
+      HistogramSnapshot snap{s.bounds, s.bucket_counts, s.count, s.sum};
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "\"kind\":\"histogram\",\"count\":%llu,\"sum\":%llu,"
+                    "\"mean\":%.1f,\"p50\":%.1f,\"p99\":%.1f}",
+                    static_cast<unsigned long long>(s.count),
+                    static_cast<unsigned long long>(s.sum), snap.Mean(),
+                    snap.Quantile(0.5), snap.Quantile(0.99));
+      out += buf;
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\"kind\":\"%s\",\"value\":%lld}",
+                    s.kind == MetricSample::kGauge ? "gauge" : "counter",
+                    static_cast<long long>(s.value));
+      out += buf;
+    }
+  }
+  out += "\n]\n";
+  std::fputs(out.c_str(), stdout);
+}
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  UserId user = TakeFlag(&argc, argv, "user", 1);
-  uint64_t gen = TakeFlag(&argc, argv, "gen", 0);
-  uint64_t keep = TakeFlag(&argc, argv, "keep", 0);
-  uint64_t within_weeks = TakeFlag(&argc, argv, "within-weeks", 0);
-  uint64_t as_of = TakeFlag(&argc, argv, "as-of", 0);
-  std::vector<std::string> clouds = TakeFlagAll(&argc, argv, "cloud");
-  RetryPolicy retry;  // HTTP clouds only; directory clouds never retry
-  retry.max_attempts =
-      static_cast<int>(TakeFlag(&argc, argv, "retry-attempts", 4));
-  retry.initial_backoff_ms = TakeFlag(&argc, argv, "retry-backoff-ms", 50);
-  retry.max_backoff_ms = retry.initial_backoff_ms * 20;
-  retry.overall_deadline_ms = TakeFlag(&argc, argv, "retry-deadline-ms", 0);
-  if (argc < 3) {
-    return Usage();
-  }
-  if (clouds.size() > static_cast<size_t>(kN)) {
-    std::fprintf(stderr, "at most %d --cloud= flags (got %zu)\n", kN, clouds.size());
-    return 2;
-  }
-  std::string state_dir = argv[1];
-  std::string cmd = argv[2];
-  Deployment d;
-  if (!OpenDeployment(state_dir, clouds, retry, &d)) {
-    return 1;
-  }
+namespace {
 
+// The command dispatch: everything after flag parsing and deployment
+// bring-up. Runs against main's Deployment so `d` (and its metrics
+// registry) outlives the command and can be reported or served afterwards.
+int RunCommand(const std::string& cmd, int argc, char** argv, Deployment& d, UserId user,
+               uint64_t gen, uint64_t keep, uint64_t within_weeks, uint64_t as_of,
+               bool json) {
   if (cmd == "backup" && argc >= 4) {
     // All files share one session: encode workers and per-cloud uploader
     // threads are set up once, files stream through one after another. A
     // re-backup of an existing path appends a new generation.
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     auto session = client.OpenBackupSession();
     if (!session.ok()) {
       std::fprintf(stderr, "session failed: %s\n", session.status().ToString().c_str());
@@ -253,7 +365,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "restore" && argc >= 5) {
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     // Stream the restore straight to disk: decoded secrets hit the file as
     // fetch lanes and decode workers pipeline, never a whole file in RAM.
     // Restores go to a temp path renamed into place on success, so a
@@ -290,7 +402,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "versions" && argc >= 4) {
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     auto versions = client.ListVersions(argv[3]);
     if (!versions.ok()) {
       std::fprintf(stderr, "versions failed: %s\n", versions.status().ToString().c_str());
@@ -313,7 +425,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "prune needs --keep=N and/or --within-weeks=W\n");
       return 2;
     }
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     RetentionPolicy policy;
     // Clamp rather than truncate: a --keep above 2^32 must not wrap to a
     // "no count rule" zero.
@@ -343,7 +455,7 @@ int main(int argc, char** argv) {
     // Namespace enumeration: pathnames reconstructed from k clouds'
     // dispersed shares (no single cloud ever held them), paged RPCs
     // underneath so no reply frame carries the whole namespace.
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     auto listing = client.ListPaths();
     if (!listing.ok()) {
       std::fprintf(stderr, "ls failed: %s\n", listing.status().ToString().c_str());
@@ -372,7 +484,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "prune-all needs --keep=N and/or --within-weeks=W\n");
       return 2;
     }
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     RetentionPolicy policy;
     policy.keep_last_n = keep > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(keep);
     policy.keep_within_ms = within_weeks > UINT64_MAX / kWeekMs ? UINT64_MAX
@@ -415,7 +527,7 @@ int main(int argc, char** argv) {
     // but the generation resolution (newest at or before --as-of) happens
     // per path, and paths born after the point are skipped.
     std::string out_dir = argv[3];
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     RestoreSelector selector;
     selector.as_of_ms = as_of;
     Status close_error;
@@ -514,7 +626,7 @@ int main(int argc, char** argv) {
   if ((cmd == "rm" || cmd == "delete") && argc >= 4) {
     // The DeleteFile RPC end to end: every generation's references are
     // dropped on every cloud; a never-backed-up path is a clean NotFound.
-    CdstoreClient client(d.ptrs, user, ClientOptions{});
+    CdstoreClient client(d.ptrs, user, d.client_options);
     Status st = client.DeleteFile(argv[3]);
     if (!st.ok()) {
       std::fprintf(stderr, "rm %s failed: %s\n", argv[3], st.ToString().c_str());
@@ -525,10 +637,25 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "stats") {
+    if (json) {
+      std::printf("[");
+    }
+    bool first = true;
     for (int i = 0; i < kN; ++i) {
       Bytes frame = d.servers[i]->Handle(Encode(StatsRequest{}));
       StatsReply stats;
       if (!Decode(frame, &stats).ok()) {
+        continue;
+      }
+      if (json) {
+        std::printf("%s\n {\"cloud\":%d,\"files\":%llu,\"generations\":%llu,"
+                    "\"unique_shares\":%llu,\"stored_bytes\":%llu,\"containers\":%llu}",
+                    first ? "" : ",", i, static_cast<unsigned long long>(stats.file_count),
+                    static_cast<unsigned long long>(stats.generation_count),
+                    static_cast<unsigned long long>(stats.unique_shares),
+                    static_cast<unsigned long long>(stats.stored_bytes),
+                    static_cast<unsigned long long>(stats.container_count));
+        first = false;
         continue;
       }
       std::printf("cloud %d: %llu files (%llu generations), %llu unique shares, %s stored, "
@@ -538,6 +665,42 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.unique_shares),
                   FormatSize(stats.stored_bytes).c_str(),
                   static_cast<unsigned long long>(stats.container_count));
+    }
+    if (json) {
+      std::printf("\n]\n");
+    }
+    return 0;
+  }
+
+  if (cmd == "metrics") {
+    // Scrape over the wire, not in-process: probe each cloud with a Stats
+    // RPC first (a liveness check that also exercises the per-RPC dispatch
+    // histograms), then pull the snapshot through the GetMetrics RPC — the
+    // exact frames a remote operator tool would send. The CLI's four clouds
+    // share one deployment registry, so one scrape covers them all.
+    for (int i = 0; i < kN; ++i) {
+      auto frame = d.ptrs[i]->Call(Encode(StatsRequest{}));
+      Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+      if (!st.ok()) {
+        std::fprintf(stderr, "stats probe on cloud %d failed: %s\n", i,
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    auto frame = d.ptrs[0]->Call(Encode(GetMetricsRequest{}));
+    Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+    GetMetricsReply reply;
+    if (st.ok()) {
+      st = Decode(frame.value(), &reply);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics scrape failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (json) {
+      PrintMetricsJson(reply.samples);
+    } else {
+      PrintMetricsTable(reply.samples);
     }
     return 0;
   }
@@ -565,4 +728,62 @@ int main(int argc, char** argv) {
   }
 
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  UserId user = TakeFlag(&argc, argv, "user", 1);
+  uint64_t gen = TakeFlag(&argc, argv, "gen", 0);
+  uint64_t keep = TakeFlag(&argc, argv, "keep", 0);
+  uint64_t within_weeks = TakeFlag(&argc, argv, "within-weeks", 0);
+  uint64_t as_of = TakeFlag(&argc, argv, "as-of", 0);
+  bool json = TakeBoolFlag(&argc, argv, "json");
+  bool show_metrics = TakeBoolFlag(&argc, argv, "metrics");
+  uint64_t serve_ms = TakeFlag(&argc, argv, "serve-metrics-ms", 0);
+  uint64_t serve_port = TakeFlag(&argc, argv, "serve-metrics-port", 0);
+  std::vector<std::string> clouds = TakeFlagAll(&argc, argv, "cloud");
+  RetryPolicy retry;  // HTTP clouds only; directory clouds never retry
+  retry.max_attempts =
+      static_cast<int>(TakeFlag(&argc, argv, "retry-attempts", 4));
+  retry.initial_backoff_ms = TakeFlag(&argc, argv, "retry-backoff-ms", 50);
+  retry.max_backoff_ms = retry.initial_backoff_ms * 20;
+  retry.overall_deadline_ms = TakeFlag(&argc, argv, "retry-deadline-ms", 0);
+  if (argc < 3) {
+    return Usage();
+  }
+  if (clouds.size() > static_cast<size_t>(kN)) {
+    std::fprintf(stderr, "at most %d --cloud= flags (got %zu)\n", kN, clouds.size());
+    return 2;
+  }
+  std::string state_dir = argv[1];
+  std::string cmd = argv[2];
+  Deployment d;
+  if (!OpenDeployment(state_dir, clouds, retry, &d)) {
+    return 1;
+  }
+  int rc = RunCommand(cmd, argc, argv, d, user, gen, keep, within_weeks, as_of, json);
+
+  // Post-command observability. --metrics dumps every series the command
+  // populated (client pipeline, server dispatch, HTTP retry layers);
+  // --serve-metrics-ms keeps a GET /metrics endpoint up afterwards so an
+  // external scraper (curl, a Prometheus test target) pulls the same
+  // snapshot over HTTP before the process exits.
+  if (rc == 0 && show_metrics && cmd != "metrics") {
+    PrintMetricsTable(d.registry.Snapshot());
+  }
+  if (rc == 0 && serve_ms > 0) {
+    auto server = MetricsHttpServer::Start(&d.registry, static_cast<int>(serve_port));
+    if (!server.ok()) {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("serving %s for %llu ms\n", server.value()->url().c_str(),
+                static_cast<unsigned long long>(serve_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+    server.value()->Stop();
+  }
+  return rc;
 }

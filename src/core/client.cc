@@ -92,6 +92,53 @@ CdstoreClient::CdstoreClient(std::vector<Transport*> transports, UserId user,
       pipeline_(scheme_.get(), options.encode_threads),
       decode_pipeline_(scheme_.get(), options.decode_threads) {
   CHECK_EQ(transports_.size(), static_cast<size_t>(options.n));
+  if (opts_.metrics != nullptr) {
+    metrics_.encode_ns_per_mb =
+        opts_.metrics->GetHistogram("cdstore_client_encode_ns_per_mb", {}, LatencyBucketsNs());
+    metrics_.lane_failovers =
+        opts_.metrics->GetCounter("cdstore_client_lane_failovers_total");
+    metrics_.upload_stalls =
+        opts_.metrics->GetCounter("cdstore_client_upload_pool_stalls_total");
+    metrics_.upload_queue_depth =
+        opts_.metrics->GetGauge("cdstore_client_upload_pool_occupancy");
+    rpc_latency_slots_ = std::make_unique<std::atomic<Histogram*>[]>(
+        transports_.size() * kNumMsgTypes);
+  }
+}
+
+Result<Bytes> CdstoreClient::CallCloud(int cloud, const Bytes& frame) {
+  Transport* t = transports_[cloud];
+  if (opts_.metrics == nullptr) {
+    return t->Call(frame);
+  }
+  // Registry lookups build label strings, which shows up as a few percent
+  // on wire-free workloads, so the resolved histogram is cached per
+  // (cloud, rpc-type) slot. The load/store race with a concurrent filler
+  // is benign: both resolve the identical registry series.
+  MsgType type = PeekType(frame);
+  size_t idx = static_cast<size_t>(type);
+  if (idx >= kNumMsgTypes) {
+    idx = 0;  // unknown types share the kError slot
+    type = MsgType::kError;
+  }
+  std::atomic<Histogram*>& slot =
+      rpc_latency_slots_[static_cast<size_t>(cloud) * kNumMsgTypes + idx];
+  Histogram* h = slot.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = opts_.metrics->GetHistogram(
+        "cdstore_client_rpc_latency_ns",
+        {{"cloud", std::to_string(cloud)}, {"rpc", RpcName(type)}}, LatencyBucketsNs());
+    slot.store(h, std::memory_order_release);
+  }
+  ScopedTimer timer(h);
+  return t->Call(frame);
+}
+
+void CdstoreClient::CountCloud(const char* name, int cloud, uint64_t delta) {
+  if (opts_.metrics == nullptr || delta == 0) {
+    return;
+  }
+  opts_.metrics->GetCounter(name, {{"cloud", std::to_string(cloud)}})->Inc(delta);
 }
 
 std::unique_ptr<Chunker> CdstoreClient::MakeChunker() const {
@@ -219,6 +266,8 @@ BackupSession::UploadWriter::UploadWriter(BackupSession* session, std::vector<By
             static_cast<int>(session->clouds_.size())),
       path_keys_(std::move(path_keys)) {
   file_stats_.per_cloud.resize(session_->client_->opts_.n);
+  pool_.BindMetrics(session_->client_->metrics_.upload_queue_depth,
+                    session_->client_->metrics_.upload_stalls);
   lane_generations_.resize(session_->clouds_.size(), 0);
   cloud_promises_.resize(session_->clouds_.size());
   cloud_results_.reserve(cloud_promises_.size());
@@ -303,6 +352,11 @@ Status BackupSession::UploadWriter::Finish(UploadStats* stats) {
   chunker_->Finish(chunk_sink);
   Status encode_status = stream_->Finish();
   double compute_s = compute_watch_.ElapsedSeconds();
+  if (Histogram* h = session_->client_->metrics_.encode_ns_per_mb;
+      h != nullptr && bytes_written_ > 0) {
+    h->Observe(static_cast<uint64_t>(compute_s * 1e9 * (1 << 20) /
+                                     static_cast<double>(bytes_written_)));
+  }
 
   // The lanes read file_size_ only after draining the pool, and Close
   // provides the happens-before edge for this write.
@@ -375,7 +429,6 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
                                           const std::atomic<bool>* abort_upload,
                                           UploadStats* stats, Mutex* stats_mu,
                                           uint64_t* bound_generation) {
-  Transport* t = transports_[cloud];
   std::vector<RecipeEntry> recipe;
   std::unordered_set<Fingerprint, FingerprintHash> in_flight;
   uint64_t transferred = 0;
@@ -407,8 +460,8 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     batch.user = user_;
     batch_bytes = 0;
     ++rpcs;
-    inflight = std::async(std::launch::async, [t, req]() -> Status {
-      ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(*req)));
+    inflight = std::async(std::launch::async, [this, cloud, req]() -> Status {
+      ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(*req)));
       RETURN_IF_ERROR(DecodeIfError(frame));
       UploadSharesReply r;
       return Decode(frame, &r);
@@ -454,9 +507,10 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     query.user = user_;
     query.fps = w.fps;
     ++rpcs;
-    w.reply_frame = std::async(std::launch::async, [t, query = std::move(query)]() {
-      return t->Call(Encode(query));
-    });
+    w.reply_frame =
+        std::async(std::launch::async, [this, cloud, query = std::move(query)]() {
+          return CallCloud(cloud, Encode(query));
+        });
     query_windows.push_back(std::move(w));
     pending_shares.clear();
     pending_base = recipe.size();
@@ -551,7 +605,7 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     put.recipe = std::move(recipe);
     ++rpcs;
     st = [&]() -> Status {
-      ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
+      ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(put)));
       RETURN_IF_ERROR(DecodeIfError(frame));
       PutFileReply put_reply;
       RETURN_IF_ERROR(Decode(frame, &put_reply));
@@ -574,6 +628,11 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     slot.intra_duplicate_shares += dup;
     slot.rpcs += rpcs;
   }
+  // Dedup hit rate per cloud = hits / (hits + misses); misses are the
+  // shares actually transferred.
+  CountCloud("cdstore_client_dedup_hits_total", cloud, dup);
+  CountCloud("cdstore_client_dedup_misses_total", cloud, in_flight.size());
+  CountCloud("cdstore_client_transferred_share_bytes_total", cloud, transferred);
   return Status::Ok();
 }
 
@@ -584,7 +643,6 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Byte
                                     const std::vector<const Bytes*>& shares,
                                     UploadStats* stats, Mutex* stats_mu,
                                     uint64_t* bound_generation) {
-  Transport* t = transports_[cloud];
   uint64_t rpcs = 0;
 
   // 1. Intra-user dedup query (§3.3).
@@ -595,7 +653,7 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Byte
     query.fps.push_back(e.fp);
   }
   ++rpcs;
-  ASSIGN_OR_RETURN(Bytes reply_frame, t->Call(Encode(query)));
+  ASSIGN_OR_RETURN(Bytes reply_frame, CallCloud(cloud, Encode(query)));
   RETURN_IF_ERROR(DecodeIfError(reply_frame));
   FpQueryReply query_reply;
   RETURN_IF_ERROR(Decode(reply_frame, &query_reply));
@@ -627,7 +685,7 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Byte
       return Status::Ok();
     }
     ++rpcs;
-    ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(batch)));
+    ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(batch)));
     RETURN_IF_ERROR(DecodeIfError(frame));
     UploadSharesReply r;
     RETURN_IF_ERROR(Decode(frame, &r));
@@ -660,7 +718,7 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Byte
   put.timestamp_ms = fopts.timestamp_ms;
   put.recipe = recipe;
   ++rpcs;
-  ASSIGN_OR_RETURN(Bytes frame, t->Call(Encode(put)));
+  ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(put)));
   RETURN_IF_ERROR(DecodeIfError(frame));
   PutFileReply put_reply;
   RETURN_IF_ERROR(Decode(frame, &put_reply));
@@ -677,6 +735,9 @@ Status CdstoreClient::UploadToCloud(int cloud, const Bytes& path_key, const Byte
     slot.intra_duplicate_shares += dup;
     slot.rpcs += rpcs;
   }
+  CountCloud("cdstore_client_dedup_hits_total", cloud, dup);
+  CountCloud("cdstore_client_dedup_misses_total", cloud, in_flight.size());
+  CountCloud("cdstore_client_transferred_share_bytes_total", cloud, transferred);
   return Status::Ok();
 }
 
@@ -696,6 +757,10 @@ Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, const B
   std::vector<std::vector<Bytes>> shares;
   RETURN_IF_ERROR(pipeline_.EncodeAll(secrets, &shares));
   double compute_s = compute_watch.ElapsedSeconds();
+  if (metrics_.encode_ns_per_mb != nullptr && !data.empty()) {
+    metrics_.encode_ns_per_mb->Observe(static_cast<uint64_t>(
+        compute_s * 1e9 * (1 << 20) / static_cast<double>(data.size())));
+  }
 
   // 3. Per-cloud recipes and share lists (share i -> cloud i, §3.2).
   std::vector<std::vector<RecipeEntry>> recipes(opts_.n);
@@ -759,7 +824,7 @@ Result<GetFileReply> CdstoreClient::FetchRecipe(int cloud, const Bytes& path_key
   req.user = user_;
   req.path_key = path_key;
   req.generation = generation;
-  ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
+  ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(req)));
   RETURN_IF_ERROR(DecodeIfError(frame));
   GetFileReply reply;
   RETURN_IF_ERROR(Decode(frame, &reply));
@@ -781,7 +846,7 @@ Result<CdstoreClient::FetchedShares> CdstoreClient::FetchShares(
       ++i;
     }
     ++out.rpcs;
-    ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
+    ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(req)));
     RETURN_IF_ERROR(DecodeIfError(frame));
     std::vector<ConstByteSpan> spans;
     RETURN_IF_ERROR(DecodeShareSpans(frame, &spans));
@@ -1012,6 +1077,9 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
           reply.value().recipe.size() == num_secrets) {
         lane->cloud = c;
         lane->recipe = std::move(reply.value().recipe);
+        if (metrics_.lane_failovers != nullptr) {
+          metrics_.lane_failovers->Inc();
+        }
         return true;
       }
       lock.Lock();
@@ -1050,7 +1118,7 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       Delivery d;
       d.cloud = lane.cloud;
       Status st;
-      auto frame = transports_[lane.cloud]->Call(Encode(req));
+      auto frame = CallCloud(lane.cloud, Encode(req));
       if (!frame.ok()) {
         st = frame.status();
       } else {
@@ -1344,7 +1412,7 @@ Status CdstoreClient::DeleteFile(const std::string& path_name) {
     DeleteFileRequest req;
     req.user = user_;
     req.path_key = path_keys[i];
-    auto frame = transports_[i]->Call(Encode(req));
+    auto frame = CallCloud(i, Encode(req));
     Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
     if (!st.ok() && first_error.ok()) {
       first_error = st;
@@ -1364,7 +1432,7 @@ Result<std::vector<VersionInfo>> CdstoreClient::ListVersions(const std::string& 
     ListVersionsRequest req;
     req.user = user_;
     req.path_key = path_keys[i];
-    auto frame = transports_[i]->Call(Encode(req));
+    auto frame = CallCloud(i, Encode(req));
     if (!frame.ok()) {
       last_error = frame.status();
       continue;
@@ -1394,7 +1462,7 @@ Status CdstoreClient::DeleteVersion(const std::string& path_name, uint64_t gener
     req.user = user_;
     req.path_key = path_keys[i];
     req.generation_id = generation;
-    auto frame = transports_[i]->Call(Encode(req));
+    auto frame = CallCloud(i, Encode(req));
     Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
     if (!st.ok() && first_error.ok()) {
       first_error = st;
@@ -1414,7 +1482,7 @@ Result<ApplyRetentionReply> CdstoreClient::ApplyRetention(const std::string& pat
     req.user = user_;
     req.path_key = path_keys[i];
     req.policy = policy;
-    auto frame = transports_[i]->Call(Encode(req));
+    auto frame = CallCloud(i, Encode(req));
     Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
     if (st.ok() && !have_summary) {
       ApplyRetentionReply reply;
@@ -1461,7 +1529,7 @@ Result<ListPathsReply> CdstoreClient::ListPathsPage(int cloud, ConstByteSpan cur
   req.user = user_;
   req.cursor.assign(cursor.begin(), cursor.end());
   req.max_entries = max_entries;
-  ASSIGN_OR_RETURN(Bytes frame, transports_[cloud]->Call(Encode(req)));
+  ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(req)));
   RETURN_IF_ERROR(DecodeIfError(frame));
   ListPathsReply reply;
   RETURN_IF_ERROR(Decode(frame, &reply));
@@ -1582,7 +1650,7 @@ Result<ApplyRetentionNamespaceReply> CdstoreClient::ApplyRetentionNamespace(
     req.user = user_;
     req.policy = policy;
     req.page_size = page_size;
-    auto frame = transports_[i]->Call(Encode(req));
+    auto frame = CallCloud(i, Encode(req));
     Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
     if (st.ok() && !have_summary) {
       ApplyRetentionNamespaceReply reply;

@@ -78,6 +78,11 @@ struct ClientOptions {
   // this many share bytes. Client restore memory is bounded by a small
   // constant number of these batches per cloud.
   size_t download_batch_bytes = 4 << 20;
+  // Observability (src/obs/): when set, the client records per-cloud RPC
+  // latency, dedup hit counters, encode throughput, upload-pool occupancy/
+  // backpressure stalls, and download lane failovers into this registry.
+  // Not owned; must outlive the client. Null = metrics off, zero overhead.
+  MetricRegistry* metrics = nullptr;
 };
 
 // Per-cloud upload accounting (skew across clouds is invisible in the
@@ -410,6 +415,14 @@ class CdstoreClient {
   // itself convergent-dispersed and each cloud sees only its share (§4.3).
   Result<std::vector<Bytes>> PathKeys(const std::string& path_name) const;
 
+  // The one transport choke point when metrics are on: times the RPC into
+  // cdstore_client_rpc_latency_ns{cloud=,rpc=}. With metrics off this is
+  // exactly transports_[cloud]->Call(frame).
+  Result<Bytes> CallCloud(int cloud, const Bytes& frame);
+  // Per-cloud counter with a {cloud="<id>"} label; no-op when metrics are
+  // off or delta is 0.
+  void CountCloud(const char* name, int cloud, uint64_t delta);
+
   // One uploader lane: consumer `consumer` of `in`, uploading each bundle's
   // share for `cloud`, interleaving dedup queries, batched share transfer,
   // and finally the recipe put (bound per `fopts`). `file_size` is read
@@ -461,6 +474,21 @@ class CdstoreClient {
   Status BruteForceSecret(const std::vector<Bytes>& path_keys, uint64_t generation, size_t s,
                           size_t num_secrets, const std::vector<int>& have_ids,
                           std::vector<Bytes> have_shares, size_t secret_size, Bytes* out);
+
+  // Cached client-side instruments (null when metrics are off); resolved
+  // once at construction so hot paths never touch the registry.
+  struct ClientMetrics {
+    Histogram* encode_ns_per_mb = nullptr;  // chunk+encode wall time per MiB
+    Counter* lane_failovers = nullptr;      // restore lanes retargeted to a spare cloud
+    Counter* upload_stalls = nullptr;       // encode blocked on the upload pool
+    Gauge* upload_queue_depth = nullptr;    // upload-pool window occupancy
+  };
+  ClientMetrics metrics_;
+  // Lazily cached per-(cloud, rpc-type) latency histograms, indexed
+  // [cloud * kNumMsgTypes + type] — the same slot trick as the server's
+  // Dispatch, so CallCloud never rebuilds label strings on the hot path.
+  // Null when metrics are off.
+  std::unique_ptr<std::atomic<Histogram*>[]> rpc_latency_slots_;
 
   std::vector<Transport*> transports_;
   UserId user_;

@@ -32,7 +32,20 @@ CdstoreServer::CdstoreServer(StorageBackend* backend, const ServerOptions& optio
       recipe_store_(backend,
                     ContainerStoreOptions{options.container_capacity,
                                           options.container_cache_bytes, "r"},
-                    /*first_container_id=*/1) {}
+                    /*first_container_id=*/1) {
+  if (options_.metrics != nullptr) {
+    metrics_.stripe_contention =
+        options_.metrics->GetCounter("cdstore_server_stripe_contention_total");
+    metrics_.claim_waits = options_.metrics->GetCounter("cdstore_server_claim_waits_total");
+  }
+}
+
+void CdstoreServer::CountUser(const char* name, UserId user, uint64_t delta) {
+  if (options_.metrics == nullptr || delta == 0) {
+    return;
+  }
+  options_.metrics->GetCounter(name, {{"user", std::to_string(user)}})->Inc(delta);
+}
 
 CdstoreServer::~CdstoreServer() {
   Status st = Flush();
@@ -101,9 +114,19 @@ bool ParseContainerId(const std::string& name, char prefix, uint64_t* id) {
 // out statically; TSAN still checks the ordering discipline dynamically.
 class StripeLockSet {
  public:
-  explicit StripeLockSet(std::vector<SharedMutex*> mus) NO_THREAD_SAFETY_ANALYSIS
+  // `contention` (optional) counts the stripes whose lock blocked — the
+  // server's stripe-contention metric, recorded with a try-first probe so
+  // the uncontended path costs nothing extra.
+  explicit StripeLockSet(std::vector<SharedMutex*> mus,
+                         Counter* contention = nullptr) NO_THREAD_SAFETY_ANALYSIS
       : mus_(std::move(mus)) {
     for (SharedMutex* mu : mus_) {
+      if (mu->TryLock()) {
+        continue;
+      }
+      if (contention != nullptr) {
+        contention->Inc();
+      }
       mu->Lock();
     }
   }
@@ -117,6 +140,28 @@ class StripeLockSet {
 
  private:
   std::vector<SharedMutex*> mus_;
+};
+
+// Reader lock that counts when acquisition blocked — the shared-mode probe
+// behind the stripe-contention metric. The try-first probe is free when
+// uncontended; `contention` may be null (metrics off).
+class SCOPED_CAPABILITY ContendedReaderLock {
+ public:
+  ContendedReaderLock(SharedMutex& mu, Counter* contention) ACQUIRE_SHARED(mu)
+      : mu_(&mu) {
+    if (!mu_->TryLockShared()) {
+      if (contention != nullptr) {
+        contention->Inc();
+      }
+      mu_->LockShared();
+    }
+  }
+  ~ContendedReaderLock() RELEASE_GENERIC() { mu_->UnlockShared(); }
+  ContendedReaderLock(const ContendedReaderLock&) = delete;
+  ContendedReaderLock& operator=(const ContendedReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
 };
 
 }  // namespace
@@ -200,25 +245,31 @@ std::vector<SharedMutex*> CdstoreServer::StripesFor(const std::vector<Fingerprin
 
 void CdstoreServer::FpQuery(const FpQueryRequest& req, ReplyBuilder& rb) {
   ReaderMutexLock ops(ops_mu_);
+  CountUser("cdstore_server_user_requests_total", req.user);
   FpQueryReply reply;
   reply.duplicate.resize(req.fps.size(), 0);
+  uint64_t dup_hits = 0;
   for (size_t i = 0; i < req.fps.size(); ++i) {
     // Intra-user dedup (§3.3): the answer reveals only whether THIS user
     // already uploaded the share — never other users' holdings, which
     // defeats the side-channel attack of [28].
-    ReaderMutexLock stripe(stripes_[StripeOf(req.fps[i])].mu);
+    ContendedReaderLock stripe(stripes_[StripeOf(req.fps[i])].mu,
+                               metrics_.stripe_contention);
     auto has = share_index_.UserHasShare(req.fps[i], req.user);
     if (!has.ok()) {
       rb.SendError(has.status());
       return;
     }
     reply.duplicate[i] = has.value() ? 1 : 0;
+    dup_hits += reply.duplicate[i];
   }
+  CountUser("cdstore_server_user_dedup_hits_total", req.user, dup_hits);
   rb.Send(reply);
 }
 
 void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilder& rb) {
   ReaderMutexLock ops(ops_mu_);
+  CountUser("cdstore_server_user_requests_total", req.user);
   UploadSharesReply reply;
   // New entries commit as one batched index write at the end; `pending`
   // catches duplicates within this request that the index can't see yet.
@@ -281,6 +332,9 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
           }
           lock.Lock();
         }
+        if (metrics_.claim_waits != nullptr) {
+          metrics_.claim_waits->Inc();
+        }
         stripe.claim_released.Wait(stripe.mu, [&]() REQUIRES(stripe.mu) {
           return stripe.inflight.count(fp) == 0;
         });
@@ -332,11 +386,14 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
     return;
   }
   reply.stored = stored;
+  CountUser("cdstore_server_user_dedup_hits_total", req.user, reply.deduplicated);
+  CountUser("cdstore_server_user_shares_stored_total", req.user, reply.stored);
   rb.Send(reply);
 }
 
 void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   ReaderMutexLock ops(ops_mu_);
+  CountUser("cdstore_server_user_requests_total", req.user);
   if (req.mode == PutFileMode::kPutGeneration && req.generation_id == 0) {
     rb.SendError(Status::InvalidArgument("kPutGeneration requires a generation id"));
     return;
@@ -405,7 +462,7 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   uint64_t unique_bytes = 0;
   uint64_t dropped_bytes = 0;
   {
-    StripeLockSet stripe_locks(StripesFor(add_fps, drop_fps));
+    StripeLockSet stripe_locks(StripesFor(add_fps, drop_fps), metrics_.stripe_contention);
     if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user, &unique_bytes,
                                                    &dropped_bytes);
         !st.ok()) {
@@ -485,6 +542,7 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
 
 void CdstoreServer::GetFile(const GetFileRequest& req, ReplyBuilder& rb) {
   ReaderMutexLock ops(ops_mu_);
+  CountUser("cdstore_server_user_requests_total", req.user);
   Result<GenerationRecord> rec = Status::NotFound("unresolved");
   {
     MutexLock commit(commit_mu_);
@@ -510,6 +568,7 @@ void CdstoreServer::GetFile(const GetFileRequest& req, ReplyBuilder& rb) {
 
 void CdstoreServer::GetShares(const GetSharesRequest& req, ReplyBuilder& rb) {
   ReaderMutexLock ops(ops_mu_);
+  CountUser("cdstore_server_user_requests_total", req.user);
   rb.BeginShares(req.fps.size());
   for (const Fingerprint& fp : req.fps) {
     ShareLocation loc;
@@ -591,6 +650,7 @@ Status CdstoreServer::DeleteGenerationLocked(UserId user, ConstByteSpan path_has
 
 void CdstoreServer::DeleteFile(const DeleteFileRequest& req, ReplyBuilder& rb) {
   ReaderMutexLock ops(ops_mu_);
+  CountUser("cdstore_server_user_requests_total", req.user);
   MutexLock commit(commit_mu_);
   Bytes path_hash = Sha256::Hash(req.path_key);
   auto gens = file_index_.ListGenerationsHashed(req.user, path_hash);

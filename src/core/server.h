@@ -54,6 +54,12 @@ struct ServerOptions {
   // generation bench run with it on.
   bool auto_index_snapshot = false;
   uint32_t snapshot_keep_last = 2;
+  // Observability (src/obs/): when set, the server records per-RPC
+  // latency/bytes (via Dispatch), per-user request/dedup counters, and
+  // stripe-contention/claim-wait counters into this registry, and serves
+  // the GetMetrics RPC from it. Not owned; must outlive the server. Null =
+  // metrics off, zero overhead.
+  MetricRegistry* metrics = nullptr;
 };
 
 class CdstoreServer : public ServerService {
@@ -98,6 +104,10 @@ class CdstoreServer : public ServerService {
   void ListPaths(const ListPathsRequest& req, ReplyBuilder& rb) override;
   void ApplyRetentionNamespace(const ApplyRetentionNamespaceRequest& req,
                                ReplyBuilder& rb) override;
+
+  // Observability: Dispatch() times RPCs into this registry and the default
+  // GetMetrics implementation serves its snapshot.
+  MetricRegistry* metrics_registry() override { return options_.metrics; }
 
   // Frame-level entry point, now a thin shim over Dispatch(). Thread-safe.
   Bytes Handle(ConstByteSpan request) { return Dispatch(*this, request); }
@@ -190,6 +200,19 @@ class CdstoreServer : public ServerService {
   mutable SharedMutex ops_mu_;  // shared: RPCs; exclusive: maintenance
   mutable Mutex commit_mu_;     // file index, recipe store, counters, meta
   std::array<ShareStripe, kShareStripes> stripes_;
+
+  // Per-user counter with a {user="<id>"} label; no-op when metrics are
+  // off or delta is 0. Registry lookups are reader-locked — cheap relative
+  // to any handler's index work.
+  void CountUser(const char* name, UserId user, uint64_t delta = 1);
+
+  // Cached contention/claim instruments (null when metrics are off);
+  // resolved once at construction so hot paths never touch the registry.
+  struct ServerMetrics {
+    Counter* stripe_contention = nullptr;  // stripe locks that blocked
+    Counter* claim_waits = nullptr;        // waits on a foreign inflight claim
+  };
+  ServerMetrics metrics_;
 
   StorageBackend* backend_;
   ServerOptions options_;

@@ -648,6 +648,153 @@ Status Decode(ConstByteSpan frame, GcReply* m) {
   return r.GetU64(&m->live_shares_moved);
 }
 
+// ---- GetMetrics ------------------------------------------------------------
+
+Bytes Encode(const GetMetricsRequest&) { return Begin(MsgType::kGetMetricsRequest).Take(); }
+
+Status Decode(ConstByteSpan frame, GetMetricsRequest*) {
+  BufferReader r(frame);
+  return CheckType(&r, MsgType::kGetMetricsRequest);
+}
+
+namespace {
+
+void PutU64List(BufferWriter* w, const std::vector<uint64_t>& v) {
+  w->PutVarint(v.size());
+  for (uint64_t x : v) {
+    w->PutVarint(x);
+  }
+}
+
+Status GetU64List(BufferReader* r, std::vector<uint64_t>* v) {
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r->GetVarint(&count));
+  if (count > r->remaining()) {
+    return Status::Corruption("list count exceeds frame");
+  }
+  v->clear();
+  v->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t x = 0;
+    RETURN_IF_ERROR(r->GetVarint(&x));
+    v->push_back(x);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes Encode(const GetMetricsReply& m) {
+  BufferWriter w = Begin(MsgType::kGetMetricsReply);
+  w.PutVarint(m.samples.size());
+  for (const MetricSample& s : m.samples) {
+    w.PutString(s.name);
+    w.PutU8(s.kind);
+    w.PutVarint(s.labels.size());
+    for (const auto& [k, v] : s.labels) {
+      w.PutString(k);
+      w.PutString(v);
+    }
+    w.PutU64(static_cast<uint64_t>(s.value));
+    w.PutVarint(s.count);
+    w.PutVarint(s.sum);
+    PutU64List(&w, s.bounds);
+    PutU64List(&w, s.bucket_counts);
+  }
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, GetMetricsReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGetMetricsReply));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("sample count exceeds frame");
+  }
+  m->samples.clear();
+  m->samples.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MetricSample s;
+    RETURN_IF_ERROR(r.GetString(&s.name));
+    RETURN_IF_ERROR(r.GetU8(&s.kind));
+    uint64_t labels = 0;
+    RETURN_IF_ERROR(r.GetVarint(&labels));
+    if (labels > r.remaining()) {
+      return Status::Corruption("label count exceeds frame");
+    }
+    s.labels.reserve(labels);
+    for (uint64_t j = 0; j < labels; ++j) {
+      std::string k;
+      std::string v;
+      RETURN_IF_ERROR(r.GetString(&k));
+      RETURN_IF_ERROR(r.GetString(&v));
+      s.labels.emplace_back(std::move(k), std::move(v));
+    }
+    uint64_t value = 0;
+    RETURN_IF_ERROR(r.GetU64(&value));
+    s.value = static_cast<int64_t>(value);
+    RETURN_IF_ERROR(r.GetVarint(&s.count));
+    RETURN_IF_ERROR(r.GetVarint(&s.sum));
+    RETURN_IF_ERROR(GetU64List(&r, &s.bounds));
+    RETURN_IF_ERROR(GetU64List(&r, &s.bucket_counts));
+    m->samples.push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+// ---- RPC names -------------------------------------------------------------
+
+const char* RpcName(MsgType type) {
+  switch (type) {
+    case MsgType::kError:
+      return "Error";
+    case MsgType::kFpQueryRequest:
+    case MsgType::kFpQueryReply:
+      return "FpQuery";
+    case MsgType::kUploadSharesRequest:
+    case MsgType::kUploadSharesReply:
+      return "UploadShares";
+    case MsgType::kPutFileRequest:
+    case MsgType::kPutFileReply:
+      return "PutFile";
+    case MsgType::kGetFileRequest:
+    case MsgType::kGetFileReply:
+      return "GetFile";
+    case MsgType::kGetSharesRequest:
+    case MsgType::kGetSharesReply:
+      return "GetShares";
+    case MsgType::kDeleteFileRequest:
+    case MsgType::kDeleteFileReply:
+      return "DeleteFile";
+    case MsgType::kStatsRequest:
+    case MsgType::kStatsReply:
+      return "Stats";
+    case MsgType::kGcRequest:
+    case MsgType::kGcReply:
+      return "Gc";
+    case MsgType::kListVersionsRequest:
+    case MsgType::kListVersionsReply:
+      return "ListVersions";
+    case MsgType::kDeleteVersionRequest:
+    case MsgType::kDeleteVersionReply:
+      return "DeleteVersion";
+    case MsgType::kApplyRetentionRequest:
+    case MsgType::kApplyRetentionReply:
+      return "ApplyRetention";
+    case MsgType::kListPathsRequest:
+    case MsgType::kListPathsReply:
+      return "ListPaths";
+    case MsgType::kApplyRetentionNamespaceRequest:
+    case MsgType::kApplyRetentionNamespaceReply:
+      return "ApplyRetentionNamespace";
+    case MsgType::kGetMetricsRequest:
+    case MsgType::kGetMetricsReply:
+      return "GetMetrics";
+  }
+  return "Unknown";
+}
+
 // ---- errors ----------------------------------------------------------------
 
 Bytes EncodeError(const Status& status) {

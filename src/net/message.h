@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/dedup/fingerprint.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace cdstore {
@@ -61,7 +62,18 @@ enum class MsgType : uint8_t {
   kListPathsReply,
   kApplyRetentionNamespaceRequest,
   kApplyRetentionNamespaceReply,
+  kGetMetricsRequest,
+  kGetMetricsReply,
 };
+
+// One past the largest MsgType value: sizes per-RPC-type lookup tables
+// (e.g. the dispatcher's cached metric handles).
+inline constexpr size_t kNumMsgTypes = static_cast<size_t>(MsgType::kGetMetricsReply) + 1;
+
+// The RPC name shared by a request/reply pair ("FpQuery" for
+// kFpQueryRequest and kFpQueryReply); "Error" / "Unknown" otherwise. Used
+// as the `rpc` label of the per-RPC metrics and by the CLI.
+const char* RpcName(MsgType type);
 
 // One secret's share within a file recipe (§4.3 share metadata).
 struct RecipeEntry {
@@ -286,6 +298,16 @@ struct StatsReply {
   uint64_t generation_count = 0;
 };
 
+// Metrics scrape (observability subsystem, src/obs/): the full registry
+// snapshot — counters, gauges, and merged histogram buckets — over the
+// ordinary RPC surface, so the CLI and tests read a live server's metrics
+// through whatever transport already connects them. The Prometheus text
+// surface (GET /metrics) serves the same snapshot over HTTP.
+struct GetMetricsRequest {};
+struct GetMetricsReply {
+  std::vector<MetricSample> samples;
+};
+
 // Garbage collection (§4.7, realized here): rewrites containers that hold
 // orphaned shares, reclaiming their space at the backend.
 struct GcRequest {};
@@ -326,6 +348,8 @@ Bytes Encode(const ListPathsRequest& m);
 Bytes Encode(const ListPathsReply& m);
 Bytes Encode(const ApplyRetentionNamespaceRequest& m);
 Bytes Encode(const ApplyRetentionNamespaceReply& m);
+Bytes Encode(const GetMetricsRequest& m);
+Bytes Encode(const GetMetricsReply& m);
 // Errors are status objects on the wire.
 Bytes EncodeError(const Status& status);
 
@@ -361,6 +385,8 @@ Status Decode(ConstByteSpan frame, ListPathsRequest* m);
 Status Decode(ConstByteSpan frame, ListPathsReply* m);
 Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceRequest* m);
 Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceReply* m);
+Status Decode(ConstByteSpan frame, GetMetricsRequest* m);
+Status Decode(ConstByteSpan frame, GetMetricsReply* m);
 // If `frame` is a kError message, returns the carried status; OK otherwise.
 Status DecodeIfError(ConstByteSpan frame);
 

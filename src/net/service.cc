@@ -21,6 +21,14 @@ Bytes ReplyBuilder::TakeFrame() {
   return EncodeError(Status::Internal("handler produced no reply"));
 }
 
+void ServerService::GetMetrics(const GetMetricsRequest&, ReplyBuilder& rb) {
+  GetMetricsReply reply;
+  if (MetricRegistry* reg = metrics_registry(); reg != nullptr) {
+    reply.samples = reg->Snapshot();
+  }
+  rb.Send(reply);
+}
+
 namespace {
 
 // Decodes into `Req`, then runs `method`; a decode failure short-circuits
@@ -36,9 +44,21 @@ Bytes DecodeAndCall(ServerService& service, ConstByteSpan request, Method method
   return rb.TakeFrame();
 }
 
-}  // namespace
+// Lazily resolves one cached instrument slot. The load/store race with a
+// concurrent filler is benign: both resolve the same (name, labels) series
+// and the registry hands back the identical pointer.
+Histogram* SlotHistogram(std::atomic<Histogram*>& slot, MetricRegistry* reg,
+                         const char* name, MsgType type,
+                         const std::vector<uint64_t>& bounds) {
+  Histogram* h = slot.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = reg->GetHistogram(name, {{"rpc", RpcName(type)}}, bounds);
+    slot.store(h, std::memory_order_release);
+  }
+  return h;
+}
 
-Bytes Dispatch(ServerService& service, ConstByteSpan request) {
+Bytes DispatchInner(ServerService& service, ConstByteSpan request) {
   switch (PeekType(request)) {
     case MsgType::kFpQueryRequest:
       return DecodeAndCall<FpQueryRequest>(service, request, &ServerService::FpQuery);
@@ -79,9 +99,43 @@ Bytes Dispatch(ServerService& service, ConstByteSpan request) {
     case MsgType::kApplyRetentionNamespaceRequest:
       return DecodeAndCall<ApplyRetentionNamespaceRequest>(
           service, request, &ServerService::ApplyRetentionNamespace);
+    case MsgType::kGetMetricsRequest:
+      return DecodeAndCall<GetMetricsRequest>(service, request,
+                                              &ServerService::GetMetrics);
     default:
       return EncodeError(Status::InvalidArgument("unknown request type"));
   }
+}
+
+}  // namespace
+
+Bytes Dispatch(ServerService& service, ConstByteSpan request) {
+  MetricRegistry* reg = service.metrics_registry();
+  if (reg == nullptr) {
+    return DispatchInner(service, request);
+  }
+  // Every RPC of both transports funnels through here, so one timing site
+  // yields the per-RPC-type p50/p99 and request/reply size distributions.
+  MsgType type = PeekType(request);
+  size_t idx = static_cast<size_t>(type);
+  if (idx >= kNumMsgTypes) {
+    idx = 0;  // unknown types share the kError slot
+    type = MsgType::kError;
+  }
+  ServerService::RpcMetricsSlot& slot = service.rpc_metrics_[idx];
+  Bytes reply;
+  {
+    ScopedTimer timer(SlotHistogram(slot.latency_ns, reg, "cdstore_server_rpc_latency_ns",
+                                    type, LatencyBucketsNs()));
+    reply = DispatchInner(service, request);
+  }
+  SlotHistogram(slot.request_bytes, reg, "cdstore_server_rpc_request_bytes", type,
+                SizeBuckets())
+      ->Observe(request.size());
+  SlotHistogram(slot.reply_bytes, reg, "cdstore_server_rpc_reply_bytes", type,
+                SizeBuckets())
+      ->Observe(reply.size());
+  return reply;
 }
 
 RpcHandler ServiceHandler(ServerService* service) {

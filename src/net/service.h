@@ -8,8 +8,11 @@
 #ifndef CDSTORE_SRC_NET_SERVICE_H_
 #define CDSTORE_SRC_NET_SERVICE_H_
 
+#include <atomic>
+
 #include "src/net/message.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/util/io.h"
 
 namespace cdstore {
@@ -35,6 +38,7 @@ class ReplyBuilder {
   void Send(const ApplyRetentionReply& m) { Finish(Encode(m)); }
   void Send(const ListPathsReply& m) { Finish(Encode(m)); }
   void Send(const ApplyRetentionNamespaceReply& m) { Finish(Encode(m)); }
+  void Send(const GetMetricsReply& m) { Finish(Encode(m)); }
   // An error overrides any partially streamed reply.
   void SendError(const Status& status) { Finish(EncodeError(status)); }
 
@@ -88,6 +92,29 @@ class ServerService {
   virtual void ListPaths(const ListPathsRequest& req, ReplyBuilder& rb) = 0;
   virtual void ApplyRetentionNamespace(const ApplyRetentionNamespaceRequest& req,
                                        ReplyBuilder& rb) = 0;
+  // Observability scrape. Not pure: the default implementation snapshots
+  // metrics_registry() (empty reply when the service publishes none), so
+  // existing service implementations pick up the RPC without changes.
+  virtual void GetMetrics(const GetMetricsRequest& req, ReplyBuilder& rb);
+
+  // The registry this service records into, or nullptr when metrics are
+  // off. When non-null, Dispatch() times every RPC into per-type
+  // latency/bytes histograms and GetMetrics serves the snapshot.
+  virtual MetricRegistry* metrics_registry() { return nullptr; }
+
+ private:
+  friend Bytes Dispatch(ServerService& service, ConstByteSpan request);
+
+  // Dispatch-side cache of the per-RPC-type instruments, so the hot path
+  // is a relaxed pointer load instead of a registry lookup per RPC. Slots
+  // fill lazily; the benign publish race resolves to the same registry
+  // pointer. Indexed by request MsgType.
+  struct RpcMetricsSlot {
+    std::atomic<Histogram*> latency_ns{nullptr};
+    std::atomic<Histogram*> request_bytes{nullptr};
+    std::atomic<Histogram*> reply_bytes{nullptr};
+  };
+  RpcMetricsSlot rpc_metrics_[kNumMsgTypes];
 };
 
 // Frame-in/frame-out adapter: decodes `request` (once), invokes the typed

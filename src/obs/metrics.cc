@@ -1,0 +1,366 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace cdstore {
+
+namespace {
+
+// Cells per cache line: stride padding keeps one shard's bucket array from
+// sharing a line with the next shard's.
+constexpr size_t kCellsPerLine = 64 / sizeof(std::atomic<uint64_t>);
+
+size_t PaddedStride(size_t cells) {
+  return (cells + kCellsPerLine - 1) / kCellsPerLine * kCellsPerLine;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- histogram --
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), num_buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHECK_LT(bounds_[i - 1], bounds_[i]) << "histogram bounds must be strictly increasing";
+  }
+  // Per shard: num_buckets_ bucket counters plus one sum cell.
+  stride_ = PaddedStride(num_buckets_ + 1);
+  cells_ = std::make_unique<std::atomic<uint64_t>[]>(kMetricShards * stride_);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(num_buckets_, 0);
+  for (uint32_t s = 0; s < kMetricShards; ++s) {
+    const std::atomic<uint64_t>* shard = cells_.get() + s * stride_;
+    for (size_t b = 0; b < num_buckets_; ++b) {
+      snap.counts[b] += shard[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard[num_buckets_].load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) {
+    snap.count += c;
+  }
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || counts.empty()) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    uint64_t prev = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) >= target) {
+      if (b >= bounds.size()) {
+        // +Inf bucket: no finite upper edge; clamp to the largest bound.
+        return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+      }
+      double lower = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+      double upper = static_cast<double>(bounds[b]);
+      if (counts[b] == 0) {
+        return upper;
+      }
+      double frac = (target - static_cast<double>(prev)) / static_cast<double>(counts[b]);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+std::vector<uint64_t> ExponentialBuckets(uint64_t start, double factor, int count) {
+  CHECK_GT(start, 0u);
+  CHECK_GT(factor, 1.0);
+  std::vector<uint64_t> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = static_cast<double>(start);
+  uint64_t prev = 0;
+  for (int i = 0; i < count; ++i) {
+    uint64_t b = static_cast<uint64_t>(v);
+    if (b <= prev) {
+      b = prev + 1;  // keep strictly increasing even if the ladder rounds flat
+    }
+    bounds.push_back(b);
+    prev = b;
+    v *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<uint64_t>& LatencyBucketsNs() {
+  // 1us .. ~1074s, doubling: fine enough for p99 interpolation at RPC
+  // scales, 31 buckets per series.
+  static const std::vector<uint64_t> kBounds = ExponentialBuckets(1000, 2.0, 31);
+  return kBounds;
+}
+
+const std::vector<uint64_t>& SizeBuckets() {
+  // 64B .. 4GiB, doubling.
+  static const std::vector<uint64_t> kBounds = ExponentialBuckets(64, 2.0, 27);
+  return kBounds;
+}
+
+// ----------------------------------------------------------------- text fmt --
+
+namespace {
+
+void AppendEscaped(const std::string& v, std::string* out) {
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// {k1="v1",k2="v2"} with an optional trailing le label; empty string when
+// there are no labels at all.
+std::string RenderLabels(const MetricLabels& labels, const std::string* le) {
+  if (labels.empty() && le == nullptr) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscaped(v, &out);
+    out += '"';
+  }
+  if (le != nullptr) {
+    if (!first) {
+      out += ',';
+    }
+    out += "le=\"";
+    out += *le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* KindName(uint8_t kind) {
+  switch (kind) {
+    case MetricSample::kCounter:
+      return "counter";
+    case MetricSample::kGauge:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+std::string PrometheusText(const std::vector<MetricSample>& samples) {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const MetricSample& s : samples) {
+    if (last_family == nullptr || *last_family != s.name) {
+      out += "# TYPE ";
+      out += s.name;
+      out += ' ';
+      out += KindName(s.kind);
+      out += '\n';
+      last_family = &s.name;
+    }
+    if (s.kind == MetricSample::kHistogram) {
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < s.bucket_counts.size(); ++b) {
+        cumulative += s.bucket_counts[b];
+        std::string le =
+            b < s.bounds.size() ? std::to_string(s.bounds[b]) : std::string("+Inf");
+        out += s.name;
+        out += "_bucket";
+        out += RenderLabels(s.labels, &le);
+        out += ' ';
+        out += std::to_string(cumulative);
+        out += '\n';
+      }
+      out += s.name;
+      out += "_sum";
+      out += RenderLabels(s.labels, nullptr);
+      out += ' ';
+      out += std::to_string(s.sum);
+      out += '\n';
+      out += s.name;
+      out += "_count";
+      out += RenderLabels(s.labels, nullptr);
+      out += ' ';
+      out += std::to_string(s.count);
+      out += '\n';
+    } else {
+      out += s.name;
+      out += RenderLabels(s.labels, nullptr);
+      out += ' ';
+      out += std::to_string(s.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- registry --
+
+struct MetricRegistry::Entry {
+  std::string name;
+  MetricLabels labels;
+  uint8_t kind = MetricSample::kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricRegistry::MetricRegistry() = default;
+MetricRegistry::~MetricRegistry() = default;
+
+namespace {
+
+// Canonical map key: name plus sorted rendered labels, so {a,b} and {b,a}
+// name the same series and map order is the exposition order.
+std::string SeriesKey(const std::string& name, const MetricLabels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // unit separator: cannot appear in rendered text output
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+MetricLabels SortedLabels(const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+MetricRegistry::Entry* MetricRegistry::GetOrCreate(const std::string& name,
+                                                   const MetricLabels& labels,
+                                                   uint8_t kind,
+                                                   const std::vector<uint64_t>& bounds) {
+  MetricLabels sorted = SortedLabels(labels);
+  std::string key = SeriesKey(name, sorted);
+  {
+    ReaderMutexLock lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      CHECK_EQ(it->second->kind, kind) << "metric kind mismatch for " << name;
+      return it->second.get();
+    }
+  }
+  WriterMutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    CHECK_EQ(it->second->kind, kind) << "metric kind mismatch for " << name;
+    return it->second.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(sorted);
+  entry->kind = kind;
+  switch (kind) {
+    case MetricSample::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricSample::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    default:
+      entry->histogram = std::make_unique<Histogram>(bounds);
+  }
+  Entry* raw = entry.get();
+  entries_.emplace(std::move(key), std::move(entry));
+  return raw;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  return GetOrCreate(name, labels, MetricSample::kCounter, {})->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  return GetOrCreate(name, labels, MetricSample::kGauge, {})->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name, const MetricLabels& labels,
+                                        const std::vector<uint64_t>& bounds) {
+  return GetOrCreate(name, labels, MetricSample::kHistogram, bounds)->histogram.get();
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot() const {
+  ReaderMutexLock lock(mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample s;
+    s.name = entry->name;
+    s.labels = entry->labels;
+    s.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricSample::kCounter:
+        s.value = static_cast<int64_t>(entry->counter->Value());
+        break;
+      case MetricSample::kGauge:
+        s.value = entry->gauge->Value();
+        break;
+      default: {
+        HistogramSnapshot snap = entry->histogram->Snapshot();
+        s.count = snap.count;
+        s.sum = snap.sum;
+        s.bounds = std::move(snap.bounds);
+        s.bucket_counts = std::move(snap.counts);
+      }
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+std::string MetricRegistry::PrometheusText() const {
+  return cdstore::PrometheusText(Snapshot());
+}
+
+// ------------------------------------------------------------ running stats --
+
+void RunningStats::Add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace cdstore

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/sync.h"
 
 namespace cdstore {
@@ -25,10 +26,21 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  // Optional observability (src/obs/): `occupancy` tracks buffered items,
+  // `stalls` counts Pushes that blocked on a full queue. Not owned; must be
+  // bound before any concurrent use (the pointers are read unsynchronized).
+  void BindMetrics(Gauge* occupancy, Counter* stalls) {
+    occupancy_ = occupancy;
+    stalls_ = stalls;
+  }
+
   // Blocks while the queue is full. Returns false (dropping `item`) if the
   // queue is closed before space frees up.
   bool Push(T item) {
     MutexLock lock(mu_);
+    if (stalls_ != nullptr && !closed_ && items_.size() >= capacity_) {
+      stalls_->Inc();
+    }
     not_full_.Wait(mu_, [this]() REQUIRES(mu_) {
       return closed_ || items_.size() < capacity_;
     });
@@ -36,6 +48,9 @@ class BoundedQueue {
       return false;
     }
     items_.push_back(std::move(item));
+    if (occupancy_ != nullptr) {
+      occupancy_->Set(static_cast<int64_t>(items_.size()));
+    }
     lock.Unlock();
     not_empty_.Signal();
     return true;
@@ -64,6 +79,9 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    if (occupancy_ != nullptr) {
+      occupancy_->Set(static_cast<int64_t>(items_.size()));
+    }
     // Low-watermark wakeup: rousing the producer per pop degenerates into a
     // one-item ping-pong (wake, push one, block again) of futex calls and
     // context switches. Waking it at half-capacity lets it refill in bursts.
@@ -112,6 +130,8 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
+  Gauge* occupancy_ = nullptr;  // bound pre-concurrency; null = metrics off
+  Counter* stalls_ = nullptr;
   mutable Mutex mu_;
   CondVar not_full_;
   CondVar not_empty_;
@@ -142,10 +162,23 @@ class BroadcastQueue {
   BroadcastQueue(const BroadcastQueue&) = delete;
   BroadcastQueue& operator=(const BroadcastQueue&) = delete;
 
+  // Optional observability (src/obs/): `occupancy` tracks the window depth
+  // (items the slowest active consumer has not yet passed), `stalls` counts
+  // Pushes that blocked on a full window — each stall is the encode stage
+  // waiting on the slowest cloud (backpressure). Not owned; bind before any
+  // concurrent use.
+  void BindMetrics(Gauge* occupancy, Counter* stalls) {
+    occupancy_ = occupancy;
+    stalls_ = stalls;
+  }
+
   // Blocks while the slowest active consumer is `capacity` items behind.
   // Returns false (dropping `item`) once closed or every consumer detached.
   bool Push(T item) {
     MutexLock lock(mu_);
+    if (stalls_ != nullptr && !closed_ && head_ - MinCursor() >= capacity_) {
+      stalls_->Inc();
+    }
     not_full_.Wait(mu_, [this]() REQUIRES(mu_) {
       return closed_ || head_ - MinCursor() < capacity_;
     });
@@ -154,6 +187,9 @@ class BroadcastQueue {
     }
     buffer_.push_back(std::move(item));
     ++head_;
+    if (occupancy_ != nullptr) {
+      occupancy_->Set(static_cast<int64_t>(head_ - MinCursor()));
+    }
     lock.Unlock();
     not_empty_.SignalAll();
     return true;
@@ -182,6 +218,9 @@ class BroadcastQueue {
     while (base_ < min_cursor && !buffer_.empty()) {
       buffer_.pop_front();
       ++base_;
+    }
+    if (occupancy_ != nullptr) {
+      occupancy_->Set(static_cast<int64_t>(head_ - min_cursor));
     }
     // Low-watermark wakeup (see BoundedQueue::Pop): the producer sleeps
     // until a quarter of the window is free, then refills in one burst
@@ -244,6 +283,8 @@ class BroadcastQueue {
   }
 
   const size_t capacity_;
+  Gauge* occupancy_ = nullptr;  // bound pre-concurrency; null = metrics off
+  Counter* stalls_ = nullptr;
   Mutex mu_;
   CondVar not_full_;
   CondVar not_empty_;

@@ -52,7 +52,7 @@ FaultKind FaultPlan::At(uint64_t index) const {
 
 FaultKind FaultPlan::Next() {
   if (fail_all_.load(std::memory_order_relaxed)) {
-    ++faults_injected_;
+    CountInjected();
     return FaultKind::kError;
   }
   // Forced faults preempt the schedule: the index draw is not consumed, so
@@ -60,13 +60,13 @@ FaultKind FaultPlan::Next() {
   int forced = forced_count_.load(std::memory_order_relaxed);
   while (forced > 0) {
     if (forced_count_.compare_exchange_weak(forced, forced - 1, std::memory_order_relaxed)) {
-      ++faults_injected_;
+      CountInjected();
       return forced_kind_.load(std::memory_order_relaxed);
     }
   }
   FaultKind kind = At(next_index_.fetch_add(1, std::memory_order_relaxed));
   if (kind != FaultKind::kNone) {
-    ++faults_injected_;
+    CountInjected();
   }
   return kind;
 }

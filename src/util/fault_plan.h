@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/obs/metrics.h"
+
 namespace cdstore {
 
 enum class FaultKind {
@@ -64,8 +66,21 @@ class FaultPlan {
   uint64_t requests_seen() const { return next_index_; }
   uint64_t faults_injected() const { return faults_injected_; }
 
+  // Observability (src/obs/): mirror every injected fault into `injected`
+  // (e.g. cdstore_fault_injected_total) so benches and dashboards read the
+  // injection count from the registry. Not owned; bind before serving.
+  void BindMetrics(Counter* injected) { injected_ = injected; }
+
  private:
+  void CountInjected() {
+    ++faults_injected_;
+    if (injected_ != nullptr) {
+      injected_->Inc();
+    }
+  }
+
   FaultSpec spec_;
+  Counter* injected_ = nullptr;  // bound pre-concurrency; null = metrics off
   std::atomic<bool> fail_all_{false};
   std::atomic<uint64_t> next_index_{0};
   std::atomic<uint64_t> faults_injected_{0};

@@ -6,6 +6,19 @@
 
 namespace cdstore {
 
+RetryCounters MakeRetryMetrics(MetricRegistry* registry, const std::string& scope) {
+  RetryCounters c;
+  if (registry == nullptr) {
+    return c;
+  }
+  MetricLabels labels = {{"scope", scope}};
+  c.attempts = registry->GetCounter("cdstore_retry_attempts_total", labels);
+  c.backoff_ms = registry->GetCounter("cdstore_retry_backoff_ms_total", labels);
+  c.deadline_trips = registry->GetCounter("cdstore_retry_deadline_trips_total", labels);
+  c.giveups = registry->GetCounter("cdstore_retry_giveups_total", labels);
+  return c;
+}
+
 bool IsRetryableStatus(const Status& st) {
   switch (st.code()) {
     case StatusCode::kUnavailable:
@@ -55,6 +68,9 @@ Retrier::Retrier(const RetryPolicy& policy, SleepFn sleep, ClockFn now_ms)
       now_ms_(now_ms ? std::move(now_ms) : MonotonicNowMs),
       jitter_rng_(policy.seed) {
   start_ms_ = now_ms_();
+  if (policy_.metrics.attempts != nullptr) {
+    policy_.metrics.attempts->Inc();  // the first attempt is already underway
+  }
 }
 
 uint64_t Retrier::RemainingOverallMs() const {
@@ -77,10 +93,17 @@ uint64_t Retrier::AttemptDeadlineMs() const {
 }
 
 bool Retrier::BackoffOrGiveUp(const Status& st) {
+  if (st.code() == StatusCode::kDeadlineExceeded &&
+      policy_.metrics.deadline_trips != nullptr) {
+    policy_.metrics.deadline_trips->Inc();
+  }
   if (!IsRetryableStatus(st)) {
     return false;
   }
   if (attempts_ >= policy_.max_attempts) {
+    if (policy_.metrics.giveups != nullptr) {
+      policy_.metrics.giveups->Inc();
+    }
     return false;
   }
   // Backoff for the retry about to start: attempts_ == 1 -> initial.
@@ -100,12 +123,21 @@ bool Retrier::BackoffOrGiveUp(const Status& st) {
   // outright when no useful attempt time would remain afterwards.
   uint64_t remaining = RemainingOverallMs();
   if (remaining != UINT64_MAX && delay >= remaining) {
+    if (policy_.metrics.giveups != nullptr) {
+      policy_.metrics.giveups->Inc();
+    }
     return false;
   }
   ++attempts_;
+  if (policy_.metrics.attempts != nullptr) {
+    policy_.metrics.attempts->Inc();
+  }
   if (delay > 0) {
     sleep_(delay);
     slept_ms_ += delay;
+    if (policy_.metrics.backoff_ms != nullptr) {
+      policy_.metrics.backoff_ms->Inc(delay);
+    }
   }
   return true;
 }

@@ -12,10 +12,25 @@
 #include <functional>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace cdstore {
+
+// Optional counters (src/obs/) every Retrier built from a policy feeds;
+// shared across operations, not owned, null fields are skipped. Resolve
+// with MakeRetryMetrics so all consumers agree on series names.
+struct RetryCounters {
+  Counter* attempts = nullptr;        // attempts started (first + retries)
+  Counter* backoff_ms = nullptr;      // total backoff slept, in ms
+  Counter* deadline_trips = nullptr;  // attempts that died on a deadline
+  Counter* giveups = nullptr;         // retryable failures surfaced anyway
+};
+
+// Registers (or finds) the cdstore_retry_* series, labelled
+// {scope="<scope>"} so e.g. each cloud's backend reports separately.
+RetryCounters MakeRetryMetrics(MetricRegistry* registry, const std::string& scope);
 
 struct RetryPolicy {
   // Total attempts, including the first (the retry budget is attempts - 1).
@@ -36,6 +51,9 @@ struct RetryPolicy {
   // Seed of the jitter RNG: a fixed seed makes the backoff sequence (and
   // therefore every fault-injection test built on it) reproducible.
   uint64_t seed = 0x5EED;
+  // Observability: every Retrier made from this policy feeds these
+  // counters (value struct of non-owned pointers; all-null = metrics off).
+  RetryCounters metrics;
 };
 
 // True when `st` is worth retrying: the failure is transient (cloud

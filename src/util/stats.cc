@@ -5,25 +5,6 @@
 
 namespace cdstore {
 
-void RunningStats::Add(double x) {
-  ++n_;
-  if (n_ == 1) {
-    min_ = max_ = x;
-  } else {
-    if (x < min_) min_ = x;
-    if (x > max_) max_ = x;
-  }
-  double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-}
-
-double RunningStats::variance() const {
-  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
-}
-
-double RunningStats::stddev() const { return std::sqrt(variance()); }
-
 double ToMiBps(uint64_t bytes, double seconds) {
   if (seconds <= 0.0) {
     return 0.0;

@@ -1,5 +1,8 @@
-// Measurement helpers for the benchmark harness: wall-clock stopwatch,
-// online mean/stddev, and throughput formatting.
+// Measurement helpers for the benchmark harness: wall-clock stopwatch and
+// throughput formatting. The shared accumulator (RunningStats) moved to the
+// observability library in src/obs/metrics.h so benches and the live
+// metrics subsystem use one measurement implementation; this header
+// re-exports it for existing includes.
 #ifndef CDSTORE_SRC_UTIL_STATS_H_
 #define CDSTORE_SRC_UTIL_STATS_H_
 
@@ -7,6 +10,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace cdstore {
 
@@ -21,25 +26,6 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
-};
-
-// Welford online mean / sample standard deviation.
-class RunningStats {
- public:
-  void Add(double x);
-  int64_t count() const { return n_; }
-  double mean() const { return n_ > 0 ? mean_ : 0.0; }
-  double variance() const;  // sample variance (n-1 denominator)
-  double stddev() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
-
- private:
-  int64_t n_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
 };
 
 // "183.4 MB/s" given bytes and seconds.

@@ -1,0 +1,483 @@
+// Tests of the observability subsystem (src/obs/): counter/gauge
+// exactness, histogram bucket semantics (le-inclusive, +Inf overflow) and
+// quantile interpolation, cross-shard merge correctness under concurrent
+// recording (the TSAN target for the lock-free record path), golden
+// Prometheus text output, the GetMetrics wire roundtrip, the GET /metrics
+// HTTP endpoint, and the instrumentation hooks the rest of the system
+// feeds: server Dispatch histograms, queue occupancy/backpressure, retry
+// counters, and fault-injection counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/net/http.h"
+#include "src/net/message.h"
+#include "src/net/transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_http.h"
+#include "src/storage/backend.h"
+#include "src/util/bounded_queue.h"
+#include "src/util/fault_plan.h"
+#include "src/util/fs_util.h"
+#include "src/util/retry.h"
+
+namespace cdstore {
+namespace {
+
+// ------------------------------------------------------------- instruments
+
+TEST(CounterTest, IncAndValueAreExact) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(5);
+  c.Inc(0);
+  EXPECT_EQ(c.Value(), 6u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveUpperEdges) {
+  // Prometheus `le` semantics: a value equal to a bound lands in that
+  // bound's bucket, one past it in the next.
+  Histogram h({10, 20});
+  h.Observe(0);    // bucket 0 (le=10)
+  h.Observe(10);   // bucket 0, on the edge
+  h.Observe(11);   // bucket 1 (le=20)
+  h.Observe(20);   // bucket 1, on the edge
+  h.Observe(21);   // +Inf bucket
+  h.Observe(1000); // +Inf bucket
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 2u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum, 0u + 10 + 11 + 20 + 21 + 1000);
+}
+
+TEST(HistogramTest, EmptyBoundsYieldCountSumOnly) {
+  Histogram h({});
+  h.Observe(3);
+  h.Observe(4);
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 1u);  // just the +Inf bucket
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 7u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 3.5);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideBucket) {
+  Histogram h({100});
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(50);
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  // All mass in [0, 100]: the median interpolates to the bucket midpoint.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  // Out-of-range q is clamped.
+  EXPECT_DOUBLE_EQ(snap.Quantile(2.0), snap.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileClampsInfBucketToLargestBound) {
+  Histogram h({100});
+  h.Observe(5000);  // +Inf bucket only
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 100.0);
+}
+
+TEST(HistogramTest, EmptySnapshotQuantileIsZero) {
+  Histogram h({10});
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Mean(), 0.0);
+}
+
+TEST(BucketLaddersTest, ExponentialBucketsStrictlyIncrease) {
+  std::vector<uint64_t> b = ExponentialBuckets(1, 1.1, 40);
+  ASSERT_EQ(b.size(), 40u);
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_LT(b[i - 1], b[i]) << "at index " << i;
+  }
+  EXPECT_EQ(LatencyBucketsNs().size(), 31u);
+  EXPECT_EQ(LatencyBucketsNs().front(), 1000u);
+  EXPECT_EQ(SizeBuckets().front(), 64u);
+}
+
+// ----------------------------------------------------- concurrent recording
+
+// The TSAN target: many threads hammer one counter and one histogram
+// through the sharded lock-free record path while a reader merges
+// snapshots; totals must come out exact.
+TEST(ObsConcurrencyTest, CrossShardMergeIsExactUnderConcurrentRecording) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Counter counter;
+  Histogram hist({100, 1000});
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)counter.Value();
+      (void)hist.Snapshot();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Inc();
+        hist.Observe(static_cast<uint64_t>((t * kPerThread + i) % 2000));
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int v = 0; v < kThreads * kPerThread; ++v) {
+    expected_sum += static_cast<uint64_t>(v % 2000);
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST(ObsConcurrencyTest, RegistryGetRacesResolveToOneSeries) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Counter* c = registry.GetCounter("race_total", {{"k", "v"}});
+      c->Inc();
+      seen[t] = c;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]) << "every racer must get the same instrument";
+  }
+  EXPECT_EQ(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricRegistryTest, SameNameAndLabelsShareOneInstrument) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x_total", {{"cloud", "1"}});
+  Counter* b = registry.GetCounter("x_total", {{"cloud", "1"}});
+  Counter* other = registry.GetCounter("x_total", {{"cloud", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(MetricRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricRegistry registry;
+  Gauge* a = registry.GetGauge("g", {{"a", "1"}, {"b", "2"}});
+  Gauge* b = registry.GetGauge("g", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+}
+
+TEST(MetricRegistryTest, HistogramBoundsFixedByFirstRegistration) {
+  MetricRegistry registry;
+  Histogram* a = registry.GetHistogram("h", {}, {1, 2, 3});
+  Histogram* b = registry.GetHistogram("h", {}, {9});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->bounds().size(), 3u);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndTyped) {
+  MetricRegistry registry;
+  registry.GetCounter("z_total")->Inc(3);
+  registry.GetGauge("a_depth")->Set(-4);
+  registry.GetHistogram("m_lat", {}, {10})->Observe(7);
+  std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a_depth");
+  EXPECT_EQ(samples[0].kind, MetricSample::kGauge);
+  EXPECT_EQ(samples[0].value, -4);
+  EXPECT_EQ(samples[1].name, "m_lat");
+  EXPECT_EQ(samples[1].kind, MetricSample::kHistogram);
+  EXPECT_EQ(samples[1].count, 1u);
+  EXPECT_EQ(samples[1].sum, 7u);
+  ASSERT_EQ(samples[1].bucket_counts.size(), 2u);
+  EXPECT_EQ(samples[1].bucket_counts[0], 1u);
+  EXPECT_EQ(samples[2].name, "z_total");
+  EXPECT_EQ(samples[2].kind, MetricSample::kCounter);
+  EXPECT_EQ(samples[2].value, 3);
+}
+
+// ------------------------------------------------------------- text format
+
+TEST(PrometheusTextTest, GoldenOutput) {
+  MetricRegistry registry;
+  registry.GetCounter("t_requests_total", {{"cloud", "1"}})->Inc(2);
+  registry.GetGauge("t_depth")->Set(5);
+  Histogram* h = registry.GetHistogram("t_lat", {{"rpc", "Stats"}}, {10, 20});
+  h->Observe(5);
+  h->Observe(15);
+  h->Observe(100);
+  const char* golden =
+      "# TYPE t_depth gauge\n"
+      "t_depth 5\n"
+      "# TYPE t_lat histogram\n"
+      "t_lat_bucket{rpc=\"Stats\",le=\"10\"} 1\n"
+      "t_lat_bucket{rpc=\"Stats\",le=\"20\"} 2\n"
+      "t_lat_bucket{rpc=\"Stats\",le=\"+Inf\"} 3\n"
+      "t_lat_sum{rpc=\"Stats\"} 120\n"
+      "t_lat_count{rpc=\"Stats\"} 3\n"
+      "# TYPE t_requests_total counter\n"
+      "t_requests_total{cloud=\"1\"} 2\n";
+  EXPECT_EQ(registry.PrometheusText(), golden);
+}
+
+TEST(PrometheusTextTest, LabelValuesAreEscaped) {
+  MetricRegistry registry;
+  registry.GetCounter("e_total", {{"path", "a\"b\\c\nd"}})->Inc();
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("e_total{path=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos) << text;
+}
+
+// ------------------------------------------------------------ wire roundtrip
+
+TEST(GetMetricsWireTest, ReplyRoundtripsAllSampleFields) {
+  MetricRegistry registry;
+  registry.GetCounter("w_total", {{"user", "7"}})->Inc(9);
+  registry.GetGauge("w_depth")->Set(-3);
+  Histogram* h = registry.GetHistogram("w_lat", {}, {100, 200});
+  h->Observe(50);
+  h->Observe(500);
+  GetMetricsReply reply;
+  reply.samples = registry.Snapshot();
+
+  GetMetricsReply decoded;
+  ASSERT_TRUE(Decode(Encode(reply), &decoded).ok());
+  ASSERT_EQ(decoded.samples.size(), reply.samples.size());
+  for (size_t i = 0; i < reply.samples.size(); ++i) {
+    const MetricSample& a = reply.samples[i];
+    const MetricSample& b = decoded.samples[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.bounds, b.bounds);
+    EXPECT_EQ(a.bucket_counts, b.bucket_counts);
+  }
+}
+
+// ------------------------------------------------------- server end to end
+
+TEST(ServerMetricsTest, DispatchRecordsAndGetMetricsServesOverTheWire) {
+  TempDir dir;
+  MemBackend backend;
+  MetricRegistry registry;
+  ServerOptions so;
+  so.index_dir = dir.Sub("server");
+  so.metrics = &registry;
+  auto server = CdstoreServer::Create(&backend, so);
+  ASSERT_TRUE(server.ok()) << server.status();
+  InProcTransport transport(server.value().get());
+
+  auto stats_frame = transport.Call(Encode(StatsRequest{}));
+  ASSERT_TRUE(stats_frame.ok());
+
+  // Scrape through the same RPC surface a remote operator would use.
+  auto frame = transport.Call(Encode(GetMetricsRequest{}));
+  ASSERT_TRUE(frame.ok());
+  GetMetricsReply reply;
+  ASSERT_TRUE(Decode(frame.value(), &reply).ok());
+  bool found_stats_latency = false;
+  for (const MetricSample& s : reply.samples) {
+    if (s.name == "cdstore_server_rpc_latency_ns" &&
+        s.labels == MetricLabels{{"rpc", "Stats"}}) {
+      found_stats_latency = true;
+      EXPECT_EQ(s.kind, MetricSample::kHistogram);
+      EXPECT_EQ(s.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_stats_latency)
+      << "Dispatch must have recorded the Stats RPC before the scrape";
+}
+
+TEST(ServerMetricsTest, MetricsOffServesEmptyReply) {
+  TempDir dir;
+  MemBackend backend;
+  ServerOptions so;
+  so.index_dir = dir.Sub("server");
+  auto server = CdstoreServer::Create(&backend, so);
+  ASSERT_TRUE(server.ok()) << server.status();
+  InProcTransport transport(server.value().get());
+  auto frame = transport.Call(Encode(GetMetricsRequest{}));
+  ASSERT_TRUE(frame.ok());
+  GetMetricsReply reply;
+  ASSERT_TRUE(Decode(frame.value(), &reply).ok());
+  EXPECT_TRUE(reply.samples.empty());
+}
+
+// -------------------------------------------------------------- GET /metrics
+
+TEST(MetricsHttpTest, ServesPrometheusTextAnd404) {
+  MetricRegistry registry;
+  registry.GetCounter("http_served_total", {{"cloud", "0"}})->Inc(4);
+  auto server = MetricsHttpServer::Start(&registry, 0);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_GT(server.value()->port(), 0);
+
+  HttpClient client("127.0.0.1", server.value()->port());
+  auto resp = client.Do("GET", "/metrics", {}, 5000);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp.value().status, 200);
+  std::string body(resp.value().body.begin(), resp.value().body.end());
+  EXPECT_NE(body.find("# TYPE http_served_total counter"), std::string::npos) << body;
+  EXPECT_NE(body.find("http_served_total{cloud=\"0\"} 4"), std::string::npos) << body;
+
+  auto other = client.Do("GET", "/other", {}, 5000);
+  ASSERT_TRUE(other.ok()) << other.status();
+  EXPECT_EQ(other.value().status, 404);
+
+  // A later scrape sees later recording — the registry is read per request.
+  registry.GetCounter("http_served_total", {{"cloud", "0"}})->Inc();
+  auto again = client.Do("GET", "/metrics", {}, 5000);
+  ASSERT_TRUE(again.ok()) << again.status();
+  std::string body2(again.value().body.begin(), again.value().body.end());
+  EXPECT_NE(body2.find("http_served_total{cloud=\"0\"} 5"), std::string::npos) << body2;
+
+  server.value()->Stop();
+  server.value()->Stop();  // idempotent
+}
+
+// --------------------------------------------------------------- scoped timer
+
+TEST(ScopedTimerTest, ObservesElapsedOnDestructionAndIsNullSafe) {
+  Histogram h(LatencyBucketsNs());
+  {
+    ScopedTimer timer(&h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 1000000u) << "at least the 2ms slept, in ns";
+  { ScopedTimer noop(nullptr); }  // must not crash
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+// ------------------------------------------------------- instrumentation hooks
+
+TEST(QueueMetricsTest, BoundedQueueTracksOccupancyAndStalls) {
+  MetricRegistry registry;
+  Gauge* occupancy = registry.GetGauge("q_occupancy");
+  Counter* stalls = registry.GetCounter("q_stalls_total");
+  BoundedQueue<int> q(1);
+  q.BindMetrics(occupancy, stalls);
+  ASSERT_TRUE(q.Push(1));
+  EXPECT_EQ(occupancy->Value(), 1);
+  EXPECT_EQ(stalls->Value(), 0u);
+  std::thread consumer([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(q.Pop(), 1);
+  });
+  ASSERT_TRUE(q.Push(2));  // full: must count one backpressure stall
+  consumer.join();
+  EXPECT_EQ(stalls->Value(), 1u);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(occupancy->Value(), 0);
+}
+
+TEST(QueueMetricsTest, BroadcastQueueOccupancyFollowsSlowestConsumer) {
+  MetricRegistry registry;
+  Gauge* occupancy = registry.GetGauge("b_occupancy");
+  Counter* stalls = registry.GetCounter("b_stalls_total");
+  BroadcastQueue<int> q(/*capacity=*/4, /*num_consumers=*/2);
+  q.BindMetrics(occupancy, stalls);
+  ASSERT_TRUE(q.Push(10));
+  ASSERT_TRUE(q.Push(11));
+  EXPECT_EQ(occupancy->Value(), 2);
+  // One consumer advances; the window still holds both items for the other.
+  ASSERT_NE(q.Peek(0), nullptr);
+  q.Advance(0);
+  EXPECT_EQ(occupancy->Value(), 2) << "slowest consumer pins the window";
+  ASSERT_NE(q.Peek(1), nullptr);
+  q.Advance(1);
+  EXPECT_EQ(occupancy->Value(), 1);
+  EXPECT_EQ(stalls->Value(), 0u);
+}
+
+TEST(RetryMetricsTest, CountersFeedTheRegistry) {
+  MetricRegistry registry;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 8;
+  policy.max_backoff_ms = 8;
+  policy.jitter = 0.0;
+  policy.attempt_deadline_ms = 0;
+  policy.overall_deadline_ms = 0;
+  policy.metrics = MakeRetryMetrics(&registry, "cloud0");
+  uint64_t now = 0;
+  Retrier retrier(policy, /*sleep=*/[&](uint64_t ms) { now += ms; },
+                  /*now_ms=*/[&]() { return now; });
+  EXPECT_TRUE(retrier.BackoffOrGiveUp(Status::Unavailable("503")));
+  EXPECT_TRUE(retrier.BackoffOrGiveUp(Status::DeadlineExceeded("stall")));
+  EXPECT_FALSE(retrier.BackoffOrGiveUp(Status::Unavailable("503")))
+      << "budget of 3 attempts spent";
+
+  auto value = [&](const char* name) {
+    return registry.GetCounter(name, {{"scope", "cloud0"}})->Value();
+  };
+  EXPECT_EQ(value("cdstore_retry_attempts_total"), 3u);
+  EXPECT_EQ(value("cdstore_retry_backoff_ms_total"), 16u) << "two 8ms sleeps, no jitter";
+  EXPECT_EQ(value("cdstore_retry_deadline_trips_total"), 1u);
+  EXPECT_EQ(value("cdstore_retry_giveups_total"), 1u);
+}
+
+TEST(FaultPlanMetricsTest, InjectedFaultsMirrorIntoBoundCounter) {
+  MetricRegistry registry;
+  Counter* injected = registry.GetCounter("cdstore_fault_injected_total", {{"cloud", "2"}});
+  FaultPlan plan;
+  plan.BindMetrics(injected);
+  plan.ForceNext(FaultKind::kStall, 2);
+  EXPECT_EQ(plan.Next(), FaultKind::kStall);
+  EXPECT_EQ(plan.Next(), FaultKind::kStall);
+  EXPECT_EQ(plan.Next(), FaultKind::kNone) << "fault-free schedule after forced faults";
+  EXPECT_EQ(injected->Value(), 2u);
+  EXPECT_EQ(plan.faults_injected(), 2u) << "ad-hoc counter stays in lockstep";
+}
+
+// ------------------------------------------------------------- running stats
+
+TEST(RunningStatsTest, UnifiedAccumulatorMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.stddev(), 2.5819888974716116, 1e-12);  // sqrt(20/3)
+}
+
+}  // namespace
+}  // namespace cdstore
