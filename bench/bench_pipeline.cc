@@ -31,6 +31,7 @@
 #include "src/gf256/gf256.h"
 #include "src/net/transport.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/backend.h"
 #include "src/util/rate_limiter.h"
 #include "src/util/fs_util.h"
@@ -132,6 +133,9 @@ struct Deployment {
 // When set, deployments and clients record into this registry — flipped by
 // the metrics-overhead bench to price the obs subsystem on the hot path.
 MetricRegistry* g_metrics = nullptr;
+// Same switch for the span tracer (trace-overhead bench): servers and
+// clients share one tracer, exactly as the CLI's --trace wiring does.
+Tracer* g_tracer = nullptr;
 
 std::unique_ptr<Deployment> MakeDeployment(double latency_s, double uplink_bytes_per_s,
                                            bool shared_uplink) {
@@ -144,6 +148,7 @@ std::unique_ptr<Deployment> MakeDeployment(double latency_s, double uplink_bytes
     ServerOptions so;
     so.index_dir = d->dir.Sub("server" + std::to_string(i));
     so.metrics = g_metrics;
+    so.tracer = g_tracer;
     auto server = CdstoreServer::Create(d->backends.back().get(), so);
     if (!server.ok()) {
       std::fprintf(stderr, "server setup failed: %s\n", server.status().ToString().c_str());
@@ -183,6 +188,7 @@ double MeasureUploadMiBps(const Bytes& data, bool streaming, const ChunkConfig& 
   opts.stream_batch_bytes = g_stream_batch_bytes;
   opts.pipeline_queue_depth = g_queue_depth;
   opts.metrics = g_metrics;
+  opts.tracer = g_tracer;
   CdstoreClient client(transports, /*user=*/1, opts);
   Stopwatch watch;
   Status st = client.Upload("/bench", data);
@@ -512,6 +518,55 @@ void BenchMetricsOverhead(int argc, char** argv) {
               size_mb, off, on, overhead_pct);
 }
 
+// The tracing acceptance gate (PR 9): the same compute-bound streaming
+// upload in three arms — tracer off, tracer attached but the request
+// unsampled (the always-on production configuration: one sampling decision
+// per request, every span site reduced to a nullptr/flag check), and fully
+// sampled (every span recorded into the per-thread rings, context on every
+// wire frame). "Unsampled within noise" is the gate; the sampled number
+// prices what a traced request actually costs. Best-of-3 alternating.
+void BenchTraceOverhead(int argc, char** argv) {
+  const size_t size_mb = static_cast<size_t>(FlagValue(argc, argv, "trace_mb", 16));
+  const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 2));
+  const ChunkConfig cc{"fixed8k", true, 8192};
+  Bytes data = RandomData(size_mb * 1024 * 1024, 7070);
+
+  PrintHeader("Tracing overhead: streaming upload, off vs unsampled vs sampled");
+  std::printf("%zuMB, fixed8k, %d encode threads, no simulated wire\n", size_mb, threads);
+  double off = 0;
+  double unsampled = 0;
+  double sampled = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    g_tracer = nullptr;
+    off = std::max(off, MeasureUploadMiBps(data, true, cc, threads, 0.0, 0.0));
+    {
+      // sample_every_n beyond the request count: the tracer is live on
+      // every span site but no request wins the sampling lottery.
+      TraceOptions topts;
+      topts.sample_every_n = 1u << 30;
+      topts.slow_threshold_ns = UINT64_MAX;
+      Tracer tracer(topts);
+      g_tracer = &tracer;
+      unsampled = std::max(unsampled, MeasureUploadMiBps(data, true, cc, threads, 0.0, 0.0));
+    }
+    {
+      Tracer tracer;  // defaults: every request sampled
+      g_tracer = &tracer;
+      sampled = std::max(sampled, MeasureUploadMiBps(data, true, cc, threads, 0.0, 0.0));
+    }
+    g_tracer = nullptr;
+  }
+  double unsampled_pct = off > 0 ? (off - unsampled) / off * 100.0 : 0;
+  double sampled_pct = off > 0 ? (off - sampled) / off * 100.0 : 0;
+  std::printf("tracing off: %.1f MB/s   unsampled: %.1f MB/s (%.2f%%)   "
+              "sampled: %.1f MB/s (%.2f%%)\n",
+              off, unsampled, unsampled_pct, sampled, sampled_pct);
+  std::printf("BENCH_JSON {\"bench\":\"trace_overhead\",\"size_mb\":%zu,"
+              "\"off_mibps\":%.2f,\"unsampled_mibps\":%.2f,\"sampled_mibps\":%.2f,"
+              "\"unsampled_overhead_pct\":%.2f,\"sampled_overhead_pct\":%.2f}\n",
+              size_mb, off, unsampled, sampled, unsampled_pct, sampled_pct);
+}
+
 double MeasureGfMiBps(void (*fn)(uint8_t*, const uint8_t*, size_t, const uint8_t*,
                                  const uint8_t*),
                       size_t region, double budget_s) {
@@ -589,5 +644,6 @@ int main(int argc, char** argv) {
   cdstore::BenchDownload(argc, argv);
   cdstore::BenchMultiClient(argc, argv);
   cdstore::BenchMetricsOverhead(argc, argv);
+  cdstore::BenchTraceOverhead(argc, argv);
   return 0;
 }

@@ -60,6 +60,7 @@
 #include "src/net/transport.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_http.h"
+#include "src/obs/trace.h"
 #include "src/storage/backend.h"
 #include "src/storage/http_backend.h"
 #include "src/util/byte_sink.h"
@@ -79,6 +80,10 @@ struct Deployment {
   // One registry spans the whole deployment: servers, client, and HTTP
   // retry layers all feed it, `metrics` scrapes it over the wire.
   MetricRegistry registry;
+  // One tracer spans the deployment the same way (created only with
+  // --trace): client pipeline, servers, and HTTP backends all record into
+  // it, so a dump shows one connected trace per request.
+  std::unique_ptr<Tracer> tracer;
   ClientOptions client_options;  // metrics pre-wired to `registry`
   std::vector<std::unique_ptr<StorageBackend>> backends;
   std::vector<std::unique_ptr<CdstoreServer>> servers;
@@ -92,8 +97,14 @@ struct Deployment {
 // <state_dir>/cloudN directories, so directory and HTTP clouds mix freely
 // in one deployment. Indices always stay on the local disk (§5.6).
 bool OpenDeployment(const std::string& state_dir, const std::vector<std::string>& clouds,
-                    const RetryPolicy& retry, Deployment* d) {
+                    const RetryPolicy& retry, bool trace, Deployment* d) {
   d->client_options.metrics = &d->registry;
+  if (trace) {
+    TraceOptions topts;
+    topts.metrics = &d->registry;
+    d->tracer = std::make_unique<Tracer>(topts);
+    d->client_options.tracer = d->tracer.get();
+  }
   for (int i = 0; i < kN; ++i) {
     std::string cloud_dir = state_dir + "/cloud" + std::to_string(i);
     std::string location =
@@ -102,6 +113,7 @@ bool OpenDeployment(const std::string& state_dir, const std::vector<std::string>
       HttpBackendOptions bo;
       bo.retry = retry;
       bo.retry.metrics = MakeRetryMetrics(&d->registry, "cloud" + std::to_string(i));
+      bo.tracer = d->tracer.get();
       auto backend = HttpObjectBackend::Open(location, bo);
       if (!backend.ok()) {
         std::fprintf(stderr, "cannot open %s: %s\n", location.c_str(),
@@ -124,6 +136,7 @@ bool OpenDeployment(const std::string& state_dir, const std::vector<std::string>
     // snapshots at the backend automatically, pruned keep-last-N.
     so.auto_index_snapshot = true;
     so.metrics = &d->registry;
+    so.tracer = d->tracer.get();
     auto server = CdstoreServer::Create(d->backends.back().get(), so);
     if (!server.ok()) {
       std::fprintf(stderr, "cannot start server %d: %s\n", i,
@@ -153,11 +166,15 @@ int Usage() {
                "       cdstore_cli <state_dir> stats [--json]\n"
                "       cdstore_cli <state_dir> gc\n"
                "       cdstore_cli <state_dir> metrics [--json]\n"
+               "       cdstore_cli <state_dir> trace [--chrome-json=FILE]\n"
                "\n"
                "observability (any command):\n"
                "       --metrics              print the metric series on exit\n"
                "       --serve-metrics-ms=MS  serve GET /metrics for MS ms on exit\n"
                "       --serve-metrics-port=P endpoint port (default: ephemeral)\n"
+               "       --trace                trace requests; print the span tree on exit\n"
+               "       --chrome-json=FILE     with --trace: also write a Chrome trace\n"
+               "                              (chrome://tracing / Perfetto); '-' = stdout\n"
                "\n"
                "cloud placement (any command, repeatable, cloud 0 first):\n"
                "       --cloud=<dir> | --cloud=http://host:port/bucket\n"
@@ -317,9 +334,52 @@ namespace {
 // The command dispatch: everything after flag parsing and deployment
 // bring-up. Runs against main's Deployment so `d` (and its metrics
 // registry) outlives the command and can be reported or served afterwards.
+// Renders a trace dump: the human span tree, the slow-request flight
+// recorder, and the shed accounting — or, with a --chrome-json target, a
+// Chrome trace-event file instead ("-" = stdout).
+int ReportTraces(const std::vector<TraceSpanSample>& spans,
+                 const std::vector<SlowTraceSample>& slow, uint64_t recorded,
+                 uint64_t dropped, uint64_t unsampled, uint64_t evictions,
+                 const std::string& chrome_json) {
+  if (!chrome_json.empty()) {
+    std::string out = ChromeTraceJson(spans);
+    if (chrome_json == "-") {
+      std::fputs(out.c_str(), stdout);
+      return 0;
+    }
+    if (Status st = WriteFile(chrome_json, BytesOf(out)); !st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", chrome_json.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu span(s) to %s (load in chrome://tracing or Perfetto)\n",
+                spans.size(), chrome_json.c_str());
+    return 0;
+  }
+  std::fputs(FormatTraceTree(spans).c_str(), stdout);
+  if (!slow.empty()) {
+    std::printf("slow requests (flight recorder, worst first):\n");
+    for (const SlowTraceSample& s : slow) {
+      std::printf("  %-10s %8.1f ms  trace=0x%llx%s\n", s.root.c_str(),
+                  static_cast<double>(s.dur_ns) / 1e6,
+                  static_cast<unsigned long long>(s.trace_id),
+                  s.sampled != 0 ? "" : " (unsampled; only the root span exists)");
+    }
+  }
+  std::printf("%zu span(s); recorded=%llu dropped=%llu unsampled=%llu "
+              "flight_evictions=%llu\n",
+              spans.size(), static_cast<unsigned long long>(recorded),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(unsampled),
+              static_cast<unsigned long long>(evictions));
+  return 0;
+}
+
+// The command dispatch: everything after flag parsing and deployment
+// bring-up (see the block comment above RunCommand's caller).
 int RunCommand(const std::string& cmd, int argc, char** argv, Deployment& d, UserId user,
                uint64_t gen, uint64_t keep, uint64_t within_weeks, uint64_t as_of,
-               bool json) {
+               bool json, const std::string& chrome_json) {
   if (cmd == "backup" && argc >= 4) {
     // All files share one session: encode workers and per-cloud uploader
     // threads are set up once, files stream through one after another. A
@@ -705,6 +765,28 @@ int RunCommand(const std::string& cmd, int argc, char** argv, Deployment& d, Use
     return 0;
   }
 
+  if (cmd == "trace") {
+    // Scrape over the wire via the GetTraces RPC — the frame a remote
+    // operator tool would send. All four clouds share the deployment
+    // tracer, so cloud 0's dump covers every server-side span; a fresh CLI
+    // process has an empty dump unless this invocation also ran traced
+    // work, so the common path is `backup --trace [--chrome-json=FILE]`,
+    // which dumps in-process on exit instead.
+    auto frame = d.ptrs[0]->Call(Encode(GetTracesRequest{}));
+    Status st = frame.ok() ? DecodeIfError(frame.value()) : frame.status();
+    GetTracesReply reply;
+    if (st.ok()) {
+      st = Decode(frame.value(), &reply);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace scrape failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return ReportTraces(reply.spans, reply.slow, reply.spans_recorded,
+                        reply.spans_dropped, reply.unsampled,
+                        reply.flight_evictions, chrome_json);
+  }
+
   if (cmd == "gc") {
     // Drives the Gc RPC over the transports (the same frames a remote
     // operator tool would send), not the in-process CollectGarbage call.
@@ -740,6 +822,10 @@ int main(int argc, char** argv) {
   uint64_t as_of = TakeFlag(&argc, argv, "as-of", 0);
   bool json = TakeBoolFlag(&argc, argv, "json");
   bool show_metrics = TakeBoolFlag(&argc, argv, "metrics");
+  bool trace = TakeBoolFlag(&argc, argv, "trace");
+  std::vector<std::string> chrome_flags = TakeFlagAll(&argc, argv, "chrome-json");
+  std::string chrome_json = chrome_flags.empty() ? "" : chrome_flags.back();
+  trace = trace || !chrome_json.empty();
   uint64_t serve_ms = TakeFlag(&argc, argv, "serve-metrics-ms", 0);
   uint64_t serve_port = TakeFlag(&argc, argv, "serve-metrics-port", 0);
   std::vector<std::string> clouds = TakeFlagAll(&argc, argv, "cloud");
@@ -759,10 +845,11 @@ int main(int argc, char** argv) {
   std::string state_dir = argv[1];
   std::string cmd = argv[2];
   Deployment d;
-  if (!OpenDeployment(state_dir, clouds, retry, &d)) {
+  if (!OpenDeployment(state_dir, clouds, retry, trace || cmd == "trace", &d)) {
     return 1;
   }
-  int rc = RunCommand(cmd, argc, argv, d, user, gen, keep, within_weeks, as_of, json);
+  int rc = RunCommand(cmd, argc, argv, d, user, gen, keep, within_weeks, as_of, json,
+                      chrome_json);
 
   // Post-command observability. --metrics dumps every series the command
   // populated (client pipeline, server dispatch, HTTP retry layers);
@@ -771,6 +858,15 @@ int main(int argc, char** argv) {
   // snapshot over HTTP before the process exits.
   if (rc == 0 && show_metrics && cmd != "metrics") {
     PrintMetricsTable(d.registry.Snapshot());
+  }
+  // --trace dumps the spans this invocation recorded (client pipeline,
+  // retry attempts, and — via the propagated wire context — the server-side
+  // waits/commits they parented). The `trace` command already reported its
+  // wire scrape above.
+  if (rc == 0 && trace && cmd != "trace" && d.tracer != nullptr) {
+    TraceDump dump = d.tracer->Dump();
+    rc = ReportTraces(dump.spans, dump.slow, dump.spans_recorded, dump.spans_dropped,
+                      dump.unsampled, dump.flight_evictions, chrome_json);
   }
   if (rc == 0 && serve_ms > 0) {
     auto server = MetricsHttpServer::Start(&d.registry, static_cast<int>(serve_port));

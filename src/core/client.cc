@@ -108,19 +108,32 @@ CdstoreClient::CdstoreClient(std::vector<Transport*> transports, UserId user,
 
 Result<Bytes> CdstoreClient::CallCloud(int cloud, const Bytes& frame) {
   Transport* t = transports_[cloud];
-  if (opts_.metrics == nullptr) {
-    return t->Call(frame);
-  }
-  // Registry lookups build label strings, which shows up as a few percent
-  // on wire-free workloads, so the resolved histogram is cached per
-  // (cloud, rpc-type) slot. The load/store race with a concurrent filler
-  // is benign: both resolve the identical registry series.
   MsgType type = PeekType(frame);
   size_t idx = static_cast<size_t>(type);
   if (idx >= kNumMsgTypes) {
     idx = 0;  // unknown types share the kError slot
     type = MsgType::kError;
   }
+  // One span per RPC, named after it; inert unless a sampled trace is live
+  // on this thread. When active the frame is wrapped in a kTracedRequest
+  // envelope so the server's spans parent under this one; untraced frames
+  // go out byte-identical to a tracing-free build.
+  ScopedSpan rpc_span(opts_.tracer, RpcName(type));
+  rpc_span.AnnotateKV("cloud", static_cast<uint64_t>(cloud));
+  const Bytes* wire = &frame;
+  Bytes traced;
+  if (rpc_span.active()) {
+    TraceContext ctx = rpc_span.context();
+    traced = WrapTraced(TraceContextHeader{ctx.trace_id, ctx.span_id, 1}, frame);
+    wire = &traced;
+  }
+  if (opts_.metrics == nullptr) {
+    return t->Call(*wire);
+  }
+  // Registry lookups build label strings, which shows up as a few percent
+  // on wire-free workloads, so the resolved histogram is cached per
+  // (cloud, rpc-type) slot. The load/store race with a concurrent filler
+  // is benign: both resolve the identical registry series.
   std::atomic<Histogram*>& slot =
       rpc_latency_slots_[static_cast<size_t>(cloud) * kNumMsgTypes + idx];
   Histogram* h = slot.load(std::memory_order_acquire);
@@ -131,7 +144,7 @@ Result<Bytes> CdstoreClient::CallCloud(int cloud, const Bytes& frame) {
     slot.store(h, std::memory_order_release);
   }
   ScopedTimer timer(h);
-  return t->Call(frame);
+  return t->Call(*wire);
 }
 
 void CdstoreClient::CountCloud(const char* name, int cloud, uint64_t delta) {
@@ -188,6 +201,12 @@ void BackupSession::UploaderLoop(size_t lane) {
   while (auto writer = jobs_[lane]->Pop()) {
     UploadWriter* w = *writer;
     int cloud = clouds_[lane];
+    // Adopt the file's trace on this lane thread: everything below — dedup
+    // queries, transfer batches, the recipe put — parents under one
+    // "uploader" span per cloud.
+    ScopedTraceParent trace_parent(w->trace_.context());
+    ScopedSpan lane_span(client_->opts_.tracer, "uploader");
+    lane_span.AnnotateKV("cloud", static_cast<uint64_t>(cloud));
     Status st = client_->StreamUploadToCloud(cloud, static_cast<int>(lane),
                                              w->path_keys_[cloud], &w->path_id_,
                                              w->path_name_len_, &w->file_size_,
@@ -284,8 +303,12 @@ BackupSession::UploadWriter::UploadWriter(BackupSession* session, std::vector<By
     }
     pool_.Push(std::move(bundle));
   };
+  // Root the file's trace before the stream exists so the encode workers
+  // pick its context up at spawn.
+  trace_.Start(session_->client_->opts_.tracer, "upload");
   stream_ = session_->client_->pipeline_.OpenStream(
-      std::move(sink), session_->client_->opts_.pipeline_queue_depth);
+      std::move(sink), session_->client_->opts_.pipeline_queue_depth,
+      session_->client_->opts_.tracer, trace_.context());
 }
 
 BackupSession::UploadWriter::~UploadWriter() {
@@ -311,6 +334,12 @@ Status BackupSession::UploadWriter::SubmitChunks(ConstByteSpan data, bool pinned
   if (!submit_status_.ok()) {
     return submit_status_;
   }
+  // One "chunk" span per Write call, under the file's trace root. Its
+  // duration includes Submit backpressure, so a chunker stalled on the
+  // pipeline is visible as a long chunk span.
+  ScopedTraceParent trace_parent(trace_.context());
+  ScopedSpan chunk_span(session_->client_->opts_.tracer, "chunk");
+  chunk_span.AnnotateKV("bytes", data.size());
   // Chunks fully inside a pinned buffer travel zero-copy; everything else
   // (unpinned writes, chunker-internal straddling buffers) is copied into
   // the pipeline because the source dies before delivery.
@@ -374,6 +403,8 @@ Status BackupSession::UploadWriter::Finish(UploadStats* stats) {
     results.push_back(f.get());
   }
   session_->writer_open_.store(false);
+  // Every lane has resolved: the trace root now covers the whole file.
+  trace_.End();
 
   RETURN_IF_ERROR(encode_status);
   RETURN_IF_ERROR(submit_status_);
@@ -406,6 +437,8 @@ Status CdstoreClient::Upload(const std::string& path_name, ConstByteSpan data,
                              UploadStats* stats, const UploadFileOptions& options) {
   if (!opts_.streaming_upload) {
     ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+    TraceRequest trace(opts_.tracer, "upload");
+    ScopedTraceParent trace_parent(trace.context());
     return UploadBarrier(path_keys, PathIdOf(path_name),
                          static_cast<uint32_t>(path_name.size()), data, options, stats);
   }
@@ -460,7 +493,11 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     batch.user = user_;
     batch_bytes = 0;
     ++rpcs;
-    inflight = std::async(std::launch::async, [this, cloud, req]() -> Status {
+    inflight = std::async(std::launch::async, [this, cloud, req,
+                                               ctx = CurrentTraceContext()]() -> Status {
+      // The async hop loses the thread-local trace parent; re-install the
+      // launcher's so the transfer RPC nests under this lane's span.
+      ScopedTraceParent trace_parent(ctx);
       ASSIGN_OR_RETURN(Bytes frame, CallCloud(cloud, Encode(*req)));
       RETURN_IF_ERROR(DecodeIfError(frame));
       UploadSharesReply r;
@@ -508,7 +545,9 @@ Status CdstoreClient::StreamUploadToCloud(int cloud, int consumer, const Bytes& 
     query.fps = w.fps;
     ++rpcs;
     w.reply_frame =
-        std::async(std::launch::async, [this, cloud, query = std::move(query)]() {
+        std::async(std::launch::async, [this, cloud, query = std::move(query),
+                                        ctx = CurrentTraceContext()]() {
+          ScopedTraceParent trace_parent(ctx);
           return CallCloud(cloud, Encode(query));
         });
     query_windows.push_back(std::move(w));
@@ -791,8 +830,12 @@ Status CdstoreClient::UploadBarrier(const std::vector<Bytes>& path_keys, const B
   std::vector<uint64_t> bound_gens(opts_.n, 0);
   std::vector<std::thread> threads;
   threads.reserve(opts_.n);
+  TraceContext trace_ctx = CurrentTraceContext();
   for (int i = 0; i < opts_.n; ++i) {
-    threads.emplace_back([&, i]() {
+    threads.emplace_back([&, i, trace_ctx]() {
+      ScopedTraceParent trace_parent(trace_ctx);
+      ScopedSpan lane_span(opts_.tracer, "uploader");
+      lane_span.AnnotateKV("cloud", static_cast<uint64_t>(i));
       results[i] = UploadToCloud(i, path_keys[i], path_id, path_name_len, data.size(), fopts,
                                  recipes[i], cloud_shares[i], stats, &stats_mu,
                                  &bound_gens[i]);
@@ -894,6 +937,8 @@ Status CdstoreClient::BruteForceSecret(const std::vector<Bytes>& path_keys,
 Status CdstoreClient::Download(const std::string& path_name, ByteSink& sink,
                                DownloadStats* stats, uint64_t generation) {
   ASSIGN_OR_RETURN(std::vector<Bytes> path_keys, PathKeys(path_name));
+  TraceRequest trace(opts_.tracer, "download");
+  ScopedTraceParent trace_parent(trace.context());
   if (opts_.pipelined_download) {
     return DownloadPipelined(path_keys, generation, sink, stats);
   }
@@ -1007,9 +1052,12 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
         MutexLock lock(ctx.mu);
         ++ctx.rpcs[c];
       }
-      probes.push_back(std::async(std::launch::async, [this, &path_keys, generation, c] {
-        return FetchRecipe(c, path_keys[c], generation);
-      }));
+      probes.push_back(std::async(std::launch::async,
+                                  [this, &path_keys, generation, c,
+                                   ctx = CurrentTraceContext()] {
+                                    ScopedTraceParent trace_parent(ctx);
+                                    return FetchRecipe(c, path_keys[c], generation);
+                                  }));
     }
     {
       MutexLock lock(ctx.mu);
@@ -1094,7 +1142,14 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
     return false;
   };
 
+  // The lane threads inherit the download trace explicitly (thread-locals
+  // do not cross std::thread); one "fetch_lane" span per lane covers every
+  // batch it streams, including failover re-fetches.
+  TraceContext dl_ctx = CurrentTraceContext();
   auto lane_worker = [&](Lane lane) {
+    ScopedTraceParent trace_parent(dl_ctx);
+    ScopedSpan lane_span(opts_.tracer, "fetch_lane");
+    lane_span.AnnotateKV("cloud", static_cast<uint64_t>(lane.cloud));
     for (size_t b = 0; b < batches.size();) {
       {
         // Fetch-ahead window: lanes stall once kFetchAhead batches are
@@ -1209,7 +1264,12 @@ Status CdstoreClient::DownloadPipelined(const std::vector<Bytes>& path_keys,
       sizes[j] = secret_sizes[begin + j];
     }
     std::vector<Bytes> secrets;
-    Status decode_status = decode_pipeline_.DecodeAll(all_ids, per_secret, sizes, &secrets);
+    Status decode_status;
+    {
+      ScopedSpan decode_span(opts_.tracer, "decode_batch");
+      decode_span.AnnotateKV("secrets", count);
+      decode_status = decode_pipeline_.DecodeAll(all_ids, per_secret, sizes, &secrets);
+    }
     if (!decode_status.ok()) {
       // Per-secret fallback: retry alone, then brute-force with the other
       // clouds' copies (§3.2 corrupted-share recovery).
@@ -1356,7 +1416,12 @@ Status CdstoreClient::DownloadBarrier(const std::vector<Bytes>& path_keys,
     sizes[s] = recipes[0][s].secret_size;
   }
   std::vector<Bytes> secrets;
-  Status decode_status = decode_pipeline_.DecodeAll(ids, per_secret, sizes, &secrets);
+  Status decode_status;
+  {
+    ScopedSpan decode_span(opts_.tracer, "decode_batch");
+    decode_span.AnnotateKV("secrets", num_secrets);
+    decode_status = decode_pipeline_.DecodeAll(ids, per_secret, sizes, &secrets);
+  }
 
   int brute_forced = 0;
   if (!decode_status.ok()) {

@@ -83,6 +83,13 @@ struct ClientOptions {
   // backpressure stalls, and download lane failovers into this registry.
   // Not owned; must outlive the client. Null = metrics off, zero overhead.
   MetricRegistry* metrics = nullptr;
+  // Request tracing (src/obs/trace.h): when set, each Upload/Download
+  // becomes a trace root with spans for every pipeline stage (chunker,
+  // encode workers, reorder buffer, per-cloud uploaders, fetch lanes,
+  // decode batches) and every RPC — and the trace context rides the wire
+  // so server-side spans join the same trace. Not owned; must outlive the
+  // client. Null = tracing off, zero overhead.
+  Tracer* tracer = nullptr;
 };
 
 // Per-cloud upload accounting (skew across clouds is invisible in the
@@ -242,6 +249,10 @@ class BackupSession {
     // generation selector pair shares of different snapshots.
     std::vector<uint64_t> lane_generations_;
     std::unique_ptr<Chunker> chunker_;
+    // The file's trace root ("upload"): started before the stream so the
+    // encode workers inherit its context; ended in Finish (or the dtor on
+    // the abort path) after every lane has resolved.
+    TraceRequest trace_;
     std::unique_ptr<CodingPipeline::Stream> stream_;
     BroadcastQueue<CodingPipeline::EncodedSecret> pool_;
 

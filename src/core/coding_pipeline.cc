@@ -44,12 +44,20 @@ Status CodingPipeline::EncodeAll(const std::vector<Bytes>& secrets,
 // ------------------------------------------------------------- streaming --
 
 std::unique_ptr<CodingPipeline::Stream> CodingPipeline::OpenStream(BundleSink sink,
-                                                                   size_t queue_depth) {
-  return std::unique_ptr<Stream>(new Stream(this, std::move(sink), queue_depth));
+                                                                   size_t queue_depth,
+                                                                   Tracer* tracer,
+                                                                   TraceContext trace_ctx) {
+  return std::unique_ptr<Stream>(
+      new Stream(this, std::move(sink), queue_depth, tracer, trace_ctx));
 }
 
-CodingPipeline::Stream::Stream(CodingPipeline* parent, BundleSink sink, size_t queue_depth)
-    : parent_(parent), sink_(std::move(sink)), input_(queue_depth) {
+CodingPipeline::Stream::Stream(CodingPipeline* parent, BundleSink sink, size_t queue_depth,
+                               Tracer* tracer, TraceContext trace_ctx)
+    : parent_(parent),
+      sink_(std::move(sink)),
+      tracer_(tracer),
+      trace_ctx_(trace_ctx),
+      input_(queue_depth) {
   CHECK(sink_ != nullptr);
   int workers = parent_->pool_.num_threads();
   {
@@ -116,33 +124,45 @@ Status CodingPipeline::Stream::Finish() {
 }
 
 void CodingPipeline::Stream::WorkerLoop() {
-  while (auto task = input_.Pop()) {
-    EncodedSecret bundle;
-    bundle.seq = task->seq;
-    bundle.secret_size = static_cast<uint32_t>(task->view.size());
-    bool healthy;
-    {
-      MutexLock lock(mu_);
-      healthy = first_error_.ok();
-    }
-    if (healthy) {
-      Status st = parent_->scheme_->Encode(task->view, &bundle.shares);
-      if (st.ok()) {
-        // Fingerprinting here (not in the sink) keeps the SHA-256 over each
-        // share on the parallel workers.
-        bundle.fps.reserve(bundle.shares.size());
-        for (const Bytes& s : bundle.shares) {
-          bundle.fps.push_back(FingerprintOf(s));
-        }
-      } else {
-        bundle.shares.clear();
+  // One span per worker per stream, covering the whole loop: its duration
+  // next to the secrets encoded shows whether the worker computed or sat
+  // blocked on input (chunker-bound) / delivery (uploader-bound). The span
+  // scope closes (recording the span) BEFORE the active_workers_ decrement
+  // below: once Finish() observes the drained state a dump must already
+  // contain this span, or its reorder children would dangle.
+  {
+    ScopedSpan worker_span(tracer_, "encode_worker", trace_ctx_);
+    uint64_t encoded = 0;
+    while (auto task = input_.Pop()) {
+      EncodedSecret bundle;
+      bundle.seq = task->seq;
+      bundle.secret_size = static_cast<uint32_t>(task->view.size());
+      bool healthy;
+      {
         MutexLock lock(mu_);
-        if (first_error_.ok()) {
-          first_error_ = st;
+        healthy = first_error_.ok();
+      }
+      if (healthy) {
+        ++encoded;
+        Status st = parent_->scheme_->Encode(task->view, &bundle.shares);
+        if (st.ok()) {
+          // Fingerprinting here (not in the sink) keeps the SHA-256 over
+          // each share on the parallel workers.
+          bundle.fps.reserve(bundle.shares.size());
+          for (const Bytes& s : bundle.shares) {
+            bundle.fps.push_back(FingerprintOf(s));
+          }
+        } else {
+          bundle.shares.clear();
+          MutexLock lock(mu_);
+          if (first_error_.ok()) {
+            first_error_ = st;
+          }
         }
       }
+      Deliver(std::move(bundle));
     }
-    Deliver(std::move(bundle));
+    worker_span.AnnotateKV("secrets", encoded);
   }
   {
     MutexLock lock(mu_);
@@ -161,18 +181,29 @@ void CodingPipeline::Stream::Deliver(EncodedSecret bundle) {
     return;
   }
   delivering_ = true;
-  auto it = reorder_.find(next_deliver_seq_);
-  while (it != reorder_.end()) {
-    EncodedSecret ready = std::move(it->second);
-    reorder_.erase(it);
-    bool deliver = first_error_.ok();
-    lock.Unlock();
-    if (deliver) {
-      sink_(std::move(ready));
+  {
+    // Spans one drain of the gap-free prefix: how long the delivering
+    // worker was pinned to the sink instead of encoding. Nests under this
+    // worker's encode_worker span (the thread-current context). Scoped so
+    // the span records before delivering_ clears — Finish() may return the
+    // moment it does, and a dump then must already hold the span.
+    ScopedSpan reorder_span(tracer_, "reorder");
+    uint64_t delivered = 0;
+    auto it = reorder_.find(next_deliver_seq_);
+    while (it != reorder_.end()) {
+      EncodedSecret ready = std::move(it->second);
+      reorder_.erase(it);
+      bool deliver = first_error_.ok();
+      lock.Unlock();
+      if (deliver) {
+        sink_(std::move(ready));
+        ++delivered;
+      }
+      lock.Lock();
+      ++next_deliver_seq_;
+      it = reorder_.find(next_deliver_seq_);
     }
-    lock.Lock();
-    ++next_deliver_seq_;
-    it = reorder_.find(next_deliver_seq_);
+    reorder_span.AnnotateKV("bundles", delivered);
   }
   delivering_ = false;
   // Only Finish waits on done_cv_, and only for the fully-drained state.

@@ -23,6 +23,7 @@
 
 #include "src/dedup/fingerprint.h"
 #include "src/dispersal/secret_sharing.h"
+#include "src/obs/trace.h"
 #include "src/util/bounded_queue.h"
 #include "src/util/sync.h"
 #include "src/util/thread_pool.h"
@@ -92,13 +93,19 @@ class CodingPipeline {
       ConstByteSpan view;  // the secret bytes (into `owned` or caller memory)
     };
 
-    Stream(CodingPipeline* parent, BundleSink sink, size_t queue_depth);
+    Stream(CodingPipeline* parent, BundleSink sink, size_t queue_depth, Tracer* tracer,
+           TraceContext trace_ctx);
     Status SubmitTask(Task task);
     void WorkerLoop();
     void Deliver(EncodedSecret bundle);
 
     CodingPipeline* parent_;
     BundleSink sink_;
+    // Trace identity of the request this stream encodes for (set before the
+    // workers start, read-only afterwards): each worker's encode_worker span
+    // and the reorder-buffer delivery spans parent under it.
+    Tracer* tracer_;
+    TraceContext trace_ctx_;
     BoundedQueue<Task> input_;
     // Touched only by the submitting thread (Submit/Finish are documented
     // single-caller), so it needs no lock.
@@ -117,7 +124,10 @@ class CodingPipeline {
   // Starts a streaming encode session. `queue_depth` bounds the number of
   // in-flight secrets (backpressure). The stream borrows this pipeline's
   // worker pool: no EncodeAll/DecodeAll/OpenStream call may overlap it.
-  std::unique_ptr<Stream> OpenStream(BundleSink sink, size_t queue_depth = 64);
+  // `tracer`/`trace_ctx` (both optional) attach the stream to a request
+  // trace: workers record encode_worker/reorder spans under `trace_ctx`.
+  std::unique_ptr<Stream> OpenStream(BundleSink sink, size_t queue_depth = 64,
+                                     Tracer* tracer = nullptr, TraceContext trace_ctx = {});
 
   int num_threads() const { return pool_.num_threads(); }
 

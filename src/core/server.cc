@@ -293,6 +293,8 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
   // claims. Counters advance only once the batch is durably indexed, so a
   // failed InsertBatch never inflates the persisted accounting.
   auto commit_batch = [&]() -> Status {
+    ScopedSpan commit_span(options_.tracer, "kv_commit");
+    commit_span.AnnotateKV("entries", new_entries.size());
     Status st = share_index_.InsertBatch(new_entries);
     if (st.ok() && !new_entries.empty()) {
       stored += static_cast<uint32_t>(new_entries.size());
@@ -335,6 +337,9 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
         if (metrics_.claim_waits != nullptr) {
           metrics_.claim_waits->Inc();
         }
+        // Span the wait on the foreign claim: in a trace this is the time
+        // the upload sat behind another client storing the same share.
+        ScopedSpan wait_span(options_.tracer, "claim_wait");
         stripe.claim_released.Wait(stripe.mu, [&]() REQUIRES(stripe.mu) {
           return stripe.inflight.count(fp) == 0;
         });
@@ -355,7 +360,12 @@ void CdstoreServer::UploadShares(const UploadSharesRequestView& req, ReplyBuilde
     if (!claimed) {
       continue;
     }
-    auto handle = share_store_.Append(req.user, share);
+    Result<BlobHandle> handle = [&] {
+      // Container append; a seal inside flushes to the cloud backend, which
+      // is why this deserves its own span.
+      ScopedSpan append_span(options_.tracer, "store_append");
+      return share_store_.Append(req.user, share);
+    }();
     if (!handle.ok()) {
       WriterMutexLock lock(stripe.mu);
       stripe.inflight.erase(fp);
@@ -408,7 +418,10 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   FileRecipe recipe;
   recipe.file_size = req.file_size;
   recipe.entries = req.recipe;
-  auto handle = recipe_store_.Append(req.user, recipe.Serialize());
+  Result<BlobHandle> handle = [&] {
+    ScopedSpan append_span(options_.tracer, "recipe_append");
+    return recipe_store_.Append(req.user, recipe.Serialize());
+  }();
   if (!handle.ok()) {
     rb.SendError(handle.status());
     return;
@@ -462,6 +475,9 @@ void CdstoreServer::PutFile(const PutFileRequest& req, ReplyBuilder& rb) {
   uint64_t unique_bytes = 0;
   uint64_t dropped_bytes = 0;
   {
+    // Covers both acquiring the touched stripes and the batched reference
+    // pass under them — the PutFile tail a contended server stretches.
+    ScopedSpan stripe_span(options_.tracer, "stripe_wait");
     StripeLockSet stripe_locks(StripesFor(add_fps, drop_fps), metrics_.stripe_contention);
     if (Status st = share_index_.ReplaceReferences(add_fps, drop_fps, req.user, &unique_bytes,
                                                    &dropped_bytes);

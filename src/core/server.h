@@ -60,6 +60,12 @@ struct ServerOptions {
   // the GetMetrics RPC from it. Not owned; must outlive the server. Null =
   // metrics off, zero overhead.
   MetricRegistry* metrics = nullptr;
+  // Request tracing (src/obs/trace.h): when set, handlers record spans for
+  // their wait/commit points (claim_wait, stripe_wait, kv_commit,
+  // store_append) under the trace context propagated on the wire, and the
+  // GetTraces RPC serves this tracer's buffers. Not owned; must outlive
+  // the server. Null = tracing off, zero overhead.
+  Tracer* tracer = nullptr;
 };
 
 class CdstoreServer : public ServerService {
@@ -108,6 +114,9 @@ class CdstoreServer : public ServerService {
   // Observability: Dispatch() times RPCs into this registry and the default
   // GetMetrics implementation serves its snapshot.
   MetricRegistry* metrics_registry() override { return options_.metrics; }
+  // Dispatch() opens each traced request's "serve" span against this
+  // tracer, and the default GetTraces implementation dumps it.
+  Tracer* tracer() override { return options_.tracer; }
 
   // Frame-level entry point, now a thin shim over Dispatch(). Thread-safe.
   Bytes Handle(ConstByteSpan request) { return Dispatch(*this, request); }

@@ -743,6 +743,109 @@ Status Decode(ConstByteSpan frame, GetMetricsReply* m) {
   return Status::Ok();
 }
 
+// ---- GetTraces -------------------------------------------------------------
+
+Bytes Encode(const GetTracesRequest&) { return Begin(MsgType::kGetTracesRequest).Take(); }
+
+Status Decode(ConstByteSpan frame, GetTracesRequest*) {
+  BufferReader r(frame);
+  return CheckType(&r, MsgType::kGetTracesRequest);
+}
+
+Bytes Encode(const GetTracesReply& m) {
+  BufferWriter w = Begin(MsgType::kGetTracesReply);
+  w.PutVarint(m.spans.size());
+  for (const TraceSpanSample& s : m.spans) {
+    w.PutU64(s.trace_id);
+    w.PutU64(s.span_id);
+    w.PutU64(s.parent_id);
+    w.PutU64(s.start_ns);
+    w.PutU64(s.dur_ns);
+    w.PutU32(s.tid);
+    w.PutString(s.name);
+    w.PutString(s.annot);
+  }
+  w.PutVarint(m.slow.size());
+  for (const SlowTraceSample& s : m.slow) {
+    w.PutU64(s.trace_id);
+    w.PutU64(s.dur_ns);
+    w.PutU8(s.sampled);
+    w.PutString(s.root);
+  }
+  w.PutVarint(m.spans_recorded);
+  w.PutVarint(m.spans_dropped);
+  w.PutVarint(m.unsampled);
+  w.PutVarint(m.flight_evictions);
+  return w.Take();
+}
+
+Status Decode(ConstByteSpan frame, GetTracesReply* m) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kGetTracesReply));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("span count exceeds frame");
+  }
+  m->spans.clear();
+  m->spans.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceSpanSample s;
+    RETURN_IF_ERROR(r.GetU64(&s.trace_id));
+    RETURN_IF_ERROR(r.GetU64(&s.span_id));
+    RETURN_IF_ERROR(r.GetU64(&s.parent_id));
+    RETURN_IF_ERROR(r.GetU64(&s.start_ns));
+    RETURN_IF_ERROR(r.GetU64(&s.dur_ns));
+    RETURN_IF_ERROR(r.GetU32(&s.tid));
+    RETURN_IF_ERROR(r.GetString(&s.name));
+    RETURN_IF_ERROR(r.GetString(&s.annot));
+    m->spans.push_back(std::move(s));
+  }
+  RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("slow-trace count exceeds frame");
+  }
+  m->slow.clear();
+  m->slow.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SlowTraceSample s;
+    RETURN_IF_ERROR(r.GetU64(&s.trace_id));
+    RETURN_IF_ERROR(r.GetU64(&s.dur_ns));
+    RETURN_IF_ERROR(r.GetU8(&s.sampled));
+    RETURN_IF_ERROR(r.GetString(&s.root));
+    m->slow.push_back(std::move(s));
+  }
+  RETURN_IF_ERROR(r.GetVarint(&m->spans_recorded));
+  RETURN_IF_ERROR(r.GetVarint(&m->spans_dropped));
+  RETURN_IF_ERROR(r.GetVarint(&m->unsampled));
+  return r.GetVarint(&m->flight_evictions);
+}
+
+// ---- trace-context envelope ------------------------------------------------
+
+Bytes WrapTraced(const TraceContextHeader& ctx, ConstByteSpan inner) {
+  BufferWriter w(inner.size() + 18);
+  w.PutU8(static_cast<uint8_t>(MsgType::kTracedRequest));
+  w.PutU64(ctx.trace_id);
+  w.PutU64(ctx.parent_span_id);
+  w.PutU8(ctx.sampled);
+  w.PutRaw(inner);
+  return w.Take();
+}
+
+Status UnwrapTraced(ConstByteSpan frame, TraceContextHeader* ctx, ConstByteSpan* inner) {
+  BufferReader r(frame);
+  RETURN_IF_ERROR(CheckType(&r, MsgType::kTracedRequest));
+  RETURN_IF_ERROR(r.GetU64(&ctx->trace_id));
+  RETURN_IF_ERROR(r.GetU64(&ctx->parent_span_id));
+  RETURN_IF_ERROR(r.GetU8(&ctx->sampled));
+  if (r.remaining() == 0) {
+    return Status::Corruption("traced envelope carries no inner frame");
+  }
+  *inner = r.Remaining();
+  return Status::Ok();
+}
+
 // ---- RPC names -------------------------------------------------------------
 
 const char* RpcName(MsgType type) {
@@ -791,6 +894,11 @@ const char* RpcName(MsgType type) {
     case MsgType::kGetMetricsRequest:
     case MsgType::kGetMetricsReply:
       return "GetMetrics";
+    case MsgType::kGetTracesRequest:
+    case MsgType::kGetTracesReply:
+      return "GetTraces";
+    case MsgType::kTracedRequest:
+      return "Traced";
   }
   return "Unknown";
 }

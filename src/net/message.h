@@ -30,6 +30,7 @@
 
 #include "src/dedup/fingerprint.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/status.h"
 
 namespace cdstore {
@@ -64,11 +65,19 @@ enum class MsgType : uint8_t {
   kApplyRetentionNamespaceReply,
   kGetMetricsRequest,
   kGetMetricsReply,
+  kGetTracesRequest,
+  kGetTracesReply,
+  // Optional trace-context envelope around any request frame:
+  // [u8 kTracedRequest][u64 trace_id][u64 parent_span_id][u8 sampled]
+  // [inner frame bytes]. Dispatch peels it before typed decode, so frames
+  // WITHOUT the envelope stay byte-identical to pre-tracing peers, and
+  // untraced requests never pay for the header.
+  kTracedRequest,
 };
 
 // One past the largest MsgType value: sizes per-RPC-type lookup tables
 // (e.g. the dispatcher's cached metric handles).
-inline constexpr size_t kNumMsgTypes = static_cast<size_t>(MsgType::kGetMetricsReply) + 1;
+inline constexpr size_t kNumMsgTypes = static_cast<size_t>(MsgType::kTracedRequest) + 1;
 
 // The RPC name shared by a request/reply pair ("FpQuery" for
 // kFpQueryRequest and kFpQueryReply); "Error" / "Unknown" otherwise. Used
@@ -308,6 +317,26 @@ struct GetMetricsReply {
   std::vector<MetricSample> samples;
 };
 
+// Trace scrape (src/obs/trace.h): the server tracer's merged span dump,
+// flight-recorder outliers, and shed accounting over the ordinary RPC
+// surface — what `cdstore_cli trace` renders as a tree or Chrome JSON.
+struct GetTracesRequest {};
+struct GetTracesReply {
+  std::vector<TraceSpanSample> spans;
+  std::vector<SlowTraceSample> slow;
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  uint64_t unsampled = 0;
+  uint64_t flight_evictions = 0;
+};
+
+// The compact trace context carried by a kTracedRequest envelope.
+struct TraceContextHeader {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  uint8_t sampled = 0;
+};
+
 // Garbage collection (§4.7, realized here): rewrites containers that hold
 // orphaned shares, reclaiming their space at the backend.
 struct GcRequest {};
@@ -350,6 +379,15 @@ Bytes Encode(const ApplyRetentionNamespaceRequest& m);
 Bytes Encode(const ApplyRetentionNamespaceReply& m);
 Bytes Encode(const GetMetricsRequest& m);
 Bytes Encode(const GetMetricsReply& m);
+Bytes Encode(const GetTracesRequest& m);
+Bytes Encode(const GetTracesReply& m);
+// Wraps `inner` (a complete request frame) in a kTracedRequest envelope
+// carrying `ctx`. The inner bytes ride verbatim.
+Bytes WrapTraced(const TraceContextHeader& ctx, ConstByteSpan inner);
+// Peels a kTracedRequest envelope: fills `ctx` and points `inner` at the
+// wrapped frame bytes (a view into `frame`; no copy). kCorruption on a
+// malformed envelope or a frame of any other type.
+Status UnwrapTraced(ConstByteSpan frame, TraceContextHeader* ctx, ConstByteSpan* inner);
 // Errors are status objects on the wire.
 Bytes EncodeError(const Status& status);
 
@@ -387,6 +425,8 @@ Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceRequest* m);
 Status Decode(ConstByteSpan frame, ApplyRetentionNamespaceReply* m);
 Status Decode(ConstByteSpan frame, GetMetricsRequest* m);
 Status Decode(ConstByteSpan frame, GetMetricsReply* m);
+Status Decode(ConstByteSpan frame, GetTracesRequest* m);
+Status Decode(ConstByteSpan frame, GetTracesReply* m);
 // If `frame` is a kError message, returns the carried status; OK otherwise.
 Status DecodeIfError(ConstByteSpan frame);
 

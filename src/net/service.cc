@@ -29,6 +29,20 @@ void ServerService::GetMetrics(const GetMetricsRequest&, ReplyBuilder& rb) {
   rb.Send(reply);
 }
 
+void ServerService::GetTraces(const GetTracesRequest&, ReplyBuilder& rb) {
+  GetTracesReply reply;
+  if (Tracer* t = tracer(); t != nullptr) {
+    TraceDump dump = t->Dump();
+    reply.spans = std::move(dump.spans);
+    reply.slow = std::move(dump.slow);
+    reply.spans_recorded = dump.spans_recorded;
+    reply.spans_dropped = dump.spans_dropped;
+    reply.unsampled = dump.unsampled;
+    reply.flight_evictions = dump.flight_evictions;
+  }
+  rb.Send(reply);
+}
+
 namespace {
 
 // Decodes into `Req`, then runs `method`; a decode failure short-circuits
@@ -102,6 +116,9 @@ Bytes DispatchInner(ServerService& service, ConstByteSpan request) {
     case MsgType::kGetMetricsRequest:
       return DecodeAndCall<GetMetricsRequest>(service, request,
                                               &ServerService::GetMetrics);
+    case MsgType::kGetTracesRequest:
+      return DecodeAndCall<GetTracesRequest>(service, request,
+                                             &ServerService::GetTraces);
     default:
       return EncodeError(Status::InvalidArgument("unknown request type"));
   }
@@ -110,6 +127,29 @@ Bytes DispatchInner(ServerService& service, ConstByteSpan request) {
 }  // namespace
 
 Bytes Dispatch(ServerService& service, ConstByteSpan request) {
+  // A kTracedRequest envelope is peeled before the typed decode: `request`
+  // becomes the inner frame, so metric slots and handlers see the real RPC
+  // type, and frames WITHOUT the envelope take the exact pre-tracing path.
+  TraceContextHeader wire_ctx;
+  bool traced = false;
+  if (PeekType(request) == MsgType::kTracedRequest) {
+    ConstByteSpan inner;
+    if (Status st = UnwrapTraced(request, &wire_ctx, &inner); !st.ok()) {
+      return EncodeError(st);
+    }
+    request = inner;
+    traced = true;
+  }
+  // Parent server-side work under the client's RPC span from the wire; the
+  // "serve" span then covers decode + handler + encode, and every span the
+  // handler opens chains beneath it into the client's trace.
+  ScopedTraceParent wire_parent(traced ? TraceContext{wire_ctx.trace_id,
+                                                     wire_ctx.parent_span_id,
+                                                     wire_ctx.sampled != 0}
+                                       : CurrentTraceContext());
+  ScopedSpan serve(traced ? service.tracer() : nullptr, "serve");
+  serve.Annotate(RpcName(PeekType(request)));
+
   MetricRegistry* reg = service.metrics_registry();
   if (reg == nullptr) {
     return DispatchInner(service, request);

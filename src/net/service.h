@@ -39,6 +39,7 @@ class ReplyBuilder {
   void Send(const ListPathsReply& m) { Finish(Encode(m)); }
   void Send(const ApplyRetentionNamespaceReply& m) { Finish(Encode(m)); }
   void Send(const GetMetricsReply& m) { Finish(Encode(m)); }
+  void Send(const GetTracesReply& m) { Finish(Encode(m)); }
   // An error overrides any partially streamed reply.
   void SendError(const Status& status) { Finish(EncodeError(status)); }
 
@@ -96,11 +97,19 @@ class ServerService {
   // metrics_registry() (empty reply when the service publishes none), so
   // existing service implementations pick up the RPC without changes.
   virtual void GetMetrics(const GetMetricsRequest& req, ReplyBuilder& rb);
+  // Trace scrape, same pattern as GetMetrics: the default implementation
+  // dumps tracer() (empty reply when tracing is off).
+  virtual void GetTraces(const GetTracesRequest& req, ReplyBuilder& rb);
 
   // The registry this service records into, or nullptr when metrics are
   // off. When non-null, Dispatch() times every RPC into per-type
   // latency/bytes histograms and GetMetrics serves the snapshot.
   virtual MetricRegistry* metrics_registry() { return nullptr; }
+
+  // The tracer this service records spans into, or nullptr when tracing is
+  // off. When non-null, Dispatch() opens a server-side span per traced
+  // request, parented under the wire context, and GetTraces serves the dump.
+  virtual Tracer* tracer() { return nullptr; }
 
  private:
   friend Bytes Dispatch(ServerService& service, ConstByteSpan request);

@@ -61,11 +61,18 @@ std::string HttpObjectBackend::ObjectTarget(const std::string& name) const {
   return "/" + endpoint_.bucket + "/" + name;
 }
 
-Result<HttpResponse> HttpObjectBackend::DoWithRetry(const std::string& method,
+Result<HttpResponse> HttpObjectBackend::DoWithRetry(const char* op,
+                                                    const std::string& method,
                                                     const std::string& target,
                                                     ConstByteSpan body) {
+  // One span for the whole operation; each try is a child span so a trace
+  // shows exactly how the retry budget was spent. The attempt span covers
+  // pacing + the exchange + the backoff its failure cost, and is tagged
+  // with the fault classification the retry layer acted on.
+  ScopedSpan op_span(opts_.tracer, op);
   Retrier retrier(opts_.retry);
   for (;;) {
+    ScopedSpan attempt(opts_.tracer, "attempt");
     // Pacing is charged per attempt: a retried upload pays for the wasted
     // bytes again, exactly as the wire would.
     if (!body.empty()) {
@@ -79,31 +86,36 @@ Result<HttpResponse> HttpObjectBackend::DoWithRetry(const std::string& method,
       if (!resp.value().body.empty()) {
         down_limiter_.Acquire(resp.value().body.size());
       }
+      attempt.Annotate("ok");
       return std::move(resp.value());
     }
+    attempt.Annotate(FaultClassOf(st));
+    uint64_t slept_before_ms = retrier.backoffs_slept_ms();
     if (!retrier.BackoffOrGiveUp(st)) {
       return st;
     }
+    attempt.AnnotateKV("backoff_ms", retrier.backoffs_slept_ms() - slept_before_ms);
     ++retries_;
   }
 }
 
 Status HttpObjectBackend::Put(const std::string& name, ConstByteSpan data) {
-  return DoWithRetry("PUT", ObjectTarget(name), data).status();
+  return DoWithRetry("backend_put", "PUT", ObjectTarget(name), data).status();
 }
 
 Result<Bytes> HttpObjectBackend::Get(const std::string& name) {
-  ASSIGN_OR_RETURN(HttpResponse resp, DoWithRetry("GET", ObjectTarget(name), {}));
+  ASSIGN_OR_RETURN(HttpResponse resp,
+                   DoWithRetry("backend_get", "GET", ObjectTarget(name), {}));
   return std::move(resp.body);
 }
 
 Status HttpObjectBackend::Delete(const std::string& name) {
-  return DoWithRetry("DELETE", ObjectTarget(name), {}).status();
+  return DoWithRetry("backend_delete", "DELETE", ObjectTarget(name), {}).status();
 }
 
 Result<std::vector<std::string>> HttpObjectBackend::List() {
   ASSIGN_OR_RETURN(HttpResponse resp,
-                   DoWithRetry("GET", "/" + endpoint_.bucket + "?list", {}));
+                   DoWithRetry("backend_list", "GET", "/" + endpoint_.bucket + "?list", {}));
   std::vector<std::string> names;
   std::string line;
   for (uint8_t b : resp.body) {
@@ -123,7 +135,7 @@ Result<std::vector<std::string>> HttpObjectBackend::List() {
 }
 
 bool HttpObjectBackend::Exists(const std::string& name) {
-  auto resp = DoWithRetry("HEAD", ObjectTarget(name), {});
+  auto resp = DoWithRetry("backend_head", "HEAD", ObjectTarget(name), {});
   return resp.ok();
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/net/http.h"
+#include "src/obs/trace.h"
 #include "src/storage/backend.h"
 #include "src/util/rate_limiter.h"
 #include "src/util/retry.h"
@@ -39,6 +40,11 @@ struct HttpBackendOptions {
   uint64_t burst_bytes = 1 << 20;
   // Connection pool cap = max parallel in-flight requests to this cloud.
   int max_connections = 8;
+  // Tracing (src/obs/trace.h): when set and a sampled trace is live on the
+  // calling thread, each operation records a backend_{put,get,...} span with
+  // one "attempt" child per try, annotated with the fault classification
+  // and the backoff it cost. Not owned; null = tracing off.
+  Tracer* tracer = nullptr;
 };
 
 class HttpObjectBackend : public StorageBackend {
@@ -66,8 +72,9 @@ class HttpObjectBackend : public StorageBackend {
   // Runs one `method target` exchange under the retry policy. Returns the
   // response only on 2xx; any other outcome comes back as the mapped
   // canonical status (404 -> NotFound, 5xx after the budget -> Unavailable).
-  Result<HttpResponse> DoWithRetry(const std::string& method, const std::string& target,
-                                   ConstByteSpan body);
+  // `op` is the span name for this operation (a string literal).
+  Result<HttpResponse> DoWithRetry(const char* op, const std::string& method,
+                                   const std::string& target, ConstByteSpan body);
   std::string ObjectTarget(const std::string& name) const;
 
   HttpEndpoint endpoint_;

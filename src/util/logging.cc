@@ -1,17 +1,48 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <functional>
+#include <thread>
 
 #include "src/util/sync.h"
 
 namespace cdstore {
 
 namespace {
-std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+
+LogSeverity SeverityFromEnv() {
+  const char* env = std::getenv("CDSTORE_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogSeverity::kInfo;
+  }
+  char lower[16] = {};
+  for (size_t i = 0; i < sizeof(lower) - 1 && env[i] != '\0'; ++i) {
+    lower[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(env[i])));
+  }
+  if (std::strcmp(lower, "debug") == 0) {
+    return LogSeverity::kDebug;
+  }
+  if (std::strcmp(lower, "info") == 0) {
+    return LogSeverity::kInfo;
+  }
+  if (std::strcmp(lower, "warning") == 0 || std::strcmp(lower, "warn") == 0) {
+    return LogSeverity::kWarning;
+  }
+  if (std::strcmp(lower, "error") == 0) {
+    return LogSeverity::kError;
+  }
+  return LogSeverity::kInfo;
+}
+
+std::atomic<LogSeverity> g_min_severity{SeverityFromEnv()};
 Mutex g_log_mutex;
+std::atomic<uint64_t (*)()> g_trace_id_provider{nullptr};
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -28,10 +59,15 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
 }  // namespace
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity.store(severity); }
 LogSeverity MinLogSeverity() { return g_min_severity.load(); }
+
+void SetLogTraceIdProvider(uint64_t (*provider)()) {
+  g_trace_id_provider.store(provider, std::memory_order_release);
+}
 
 namespace internal {
 
@@ -40,9 +76,33 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    // Wall clock with millisecond precision, formatted outside the lock.
+    auto now = std::chrono::system_clock::now();
+    std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    int ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch())
+            .count() %
+        1000);
+    std::tm tm_buf{};
+    localtime_r(&secs, &tm_buf);
+    char when[80];
+    std::snprintf(when, sizeof(when), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                  tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday, tm_buf.tm_hour,
+                  tm_buf.tm_min, tm_buf.tm_sec, ms);
+    // Short stable per-thread tag (hashed std::thread::id).
+    unsigned long long tid = static_cast<unsigned long long>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffffu);
+    char trace[32] = {};
+    if (uint64_t (*provider)() = g_trace_id_provider.load(std::memory_order_acquire);
+        provider != nullptr) {
+      if (uint64_t trace_id = provider(); trace_id != 0) {
+        std::snprintf(trace, sizeof(trace), " trace=0x%llx",
+                      static_cast<unsigned long long>(trace_id));
+      }
+    }
     MutexLock lock(g_log_mutex);
-    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), Basename(file_), line_,
-                 stream_.str().c_str());
+    std::fprintf(stderr, "[%s %s t=%llx%s %s:%d] %s\n", SeverityTag(severity_), when, tid,
+                 trace, Basename(file_), line_, stream_.str().c_str());
     std::fflush(stderr);
   }
   if (severity_ == LogSeverity::kFatal) {

@@ -3,10 +3,18 @@
 //   LOG(INFO) << "uploaded " << n << " shares";
 //   CHECK_EQ(shares.size(), n) << "encoder produced wrong share count";
 //
+// Every line carries a wall-clock timestamp and the emitting thread's id:
+//   [I 2026-08-08 12:34:56.789 t=1a2b3c cdstore_cli.cc:42] backed up ...
+// When a trace is active on the thread (src/obs/trace.h installs the
+// provider), the line also carries the trace id, so logs and traces
+// correlate:
+//   [I ... t=1a2b3c trace=0x7f3a... client.cc:120] lane failover
+//
 // FATAL (and failed CHECKs) print the message and abort.
 #ifndef CDSTORE_SRC_UTIL_LOGGING_H_
 #define CDSTORE_SRC_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -15,9 +23,17 @@ namespace cdstore {
 enum class LogSeverity { kDebug = 0, kInfo, kWarning, kError, kFatal };
 
 // Global severity threshold; messages below it are discarded.
-// Defaults to kInfo. Thread-safe.
+// Thread-safe. The initial value comes from the CDSTORE_LOG_LEVEL
+// environment variable (debug|info|warning|error, case-insensitive) and
+// defaults to kInfo when unset or unparsable.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+// Installs the active-trace-id source for log lines: called per message,
+// must be cheap and thread-safe, returns 0 when no trace is active on the
+// calling thread. Keeps util/logging free of an obs dependency; the tracer
+// installs its provider on construction.
+void SetLogTraceIdProvider(uint64_t (*provider)());
 
 namespace internal {
 

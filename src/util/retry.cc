@@ -51,6 +51,25 @@ Status HttpStatusToStatus(int http_status, const std::string& context) {
   }
 }
 
+const char* FaultClassOf(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline";
+    case StatusCode::kResourceExhausted: return "throttled";
+    case StatusCode::kIOError: return "io_error";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kPermissionDenied: return "denied";
+    case StatusCode::kInvalidArgument: return "invalid";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kAlreadyExists: return "exists";
+    case StatusCode::kFailedPrecondition: return "precondition";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "error";
+}
+
 namespace {
 
 uint64_t MonotonicNowMs() {

@@ -68,6 +68,11 @@ bool IsRetryableStatus(const Status& st);
 // 429 -> ResourceExhausted (retryable), other 4xx -> InvalidArgument.
 Status HttpStatusToStatus(int http_status, const std::string& context);
 
+// Short static-storage classification of an attempt's outcome, for span
+// annotations and log tags: "ok", "unavailable", "deadline", "throttled",
+// "io_error", ... Stable across releases so traces stay comparable.
+const char* FaultClassOf(const Status& st);
+
 // Drives one operation's attempts under a RetryPolicy. Not thread-safe;
 // make one per operation.
 //

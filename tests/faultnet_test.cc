@@ -15,7 +15,9 @@
 #include "src/core/server.h"
 #include "src/net/faulty_http_server.h"
 #include "src/net/transport.h"
+#include "src/obs/trace.h"
 #include "src/storage/http_backend.h"
+#include "src/util/fault_plan.h"
 #include "src/util/fs_util.h"
 #include "src/util/rng.h"
 
@@ -167,6 +169,61 @@ TEST(FaultNetTest, DeadCloudDetachedWithoutStallingUpload) {
   d->object_stores[3]->plan()->set_fail_all(false);
   ASSERT_TRUE(client.Upload("/file", data).ok());
   EXPECT_EQ(client.Download("/file").value(), data);
+}
+
+// --- retry trace: attempt children mirror the seeded fault plan ------------
+
+TEST(FaultNetTest, RetriedPutTraceShowsAttemptChildrenMatchingFaultPlan) {
+  auto hs = FaultyHttpServer::Start(0, FaultSpec{});
+  ASSERT_TRUE(hs.ok()) << hs.status();
+  Tracer tracer;
+  HttpBackendOptions bo;
+  bo.retry.max_attempts = 6;
+  bo.retry.initial_backoff_ms = 2;
+  bo.retry.max_backoff_ms = 20;
+  bo.tracer = &tracer;
+  auto backend = HttpObjectBackend::Open(hs.value()->endpoint("cloud0"), bo);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+
+  // The seeded plan: the next two requests 500, then clean. The PUT's trace
+  // must therefore show one backend_put parent with exactly three attempt
+  // children classified unavailable, unavailable, ok.
+  hs.value()->plan()->ForceNext(FaultKind::kError, 2);
+  Bytes data = Rng(0x7E57).RandomBytes(4096);
+  TraceRequest req(&tracer, "put_req");
+  TraceContext root = req.context();  // End() clears the live context
+  {
+    ScopedTraceParent parent(root);
+    ASSERT_TRUE(backend.value()->Put("obj", data).ok());
+  }
+  req.End();
+
+  TraceDump dump = tracer.Dump();
+  const TraceSpanSample* put_span = nullptr;
+  for (const TraceSpanSample& s : dump.spans) {
+    if (s.name == "backend_put") {
+      ASSERT_EQ(put_span, nullptr) << "one PUT, one backend_put span";
+      put_span = &s;
+    }
+  }
+  ASSERT_NE(put_span, nullptr);
+  EXPECT_EQ(put_span->parent_id, root.span_id);
+
+  std::vector<const TraceSpanSample*> attempts;
+  for (const TraceSpanSample& s : dump.spans) {
+    if (s.name == "attempt") {
+      EXPECT_EQ(s.parent_id, put_span->span_id);
+      attempts.push_back(&s);
+    }
+  }
+  ASSERT_EQ(attempts.size(), 3u);
+  // Spans are dump-sorted by start time, so attempt order is wall order.
+  EXPECT_NE(attempts[0]->annot.find("unavailable"), std::string::npos) << attempts[0]->annot;
+  EXPECT_NE(attempts[1]->annot.find("unavailable"), std::string::npos) << attempts[1]->annot;
+  EXPECT_NE(attempts[2]->annot.find("ok"), std::string::npos) << attempts[2]->annot;
+  // Failed attempts carry the backoff they cost; the final success none.
+  EXPECT_NE(attempts[0]->annot.find("backoff_ms="), std::string::npos);
+  EXPECT_NE(attempts[1]->annot.find("backoff_ms="), std::string::npos);
 }
 
 // --- mid-GET stall: lane failover inside the deadline ----------------------
