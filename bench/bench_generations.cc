@@ -76,6 +76,7 @@ class DelayTransport : public Transport {
 
 struct Deployment {
   TempDir dir;
+  MetricRegistry registry;  // shared across the deployment's clouds
   std::vector<std::unique_ptr<MemBackend>> backends;
   std::vector<std::unique_ptr<CdstoreServer>> servers;
   std::vector<std::unique_ptr<DelayTransport>> transports;
@@ -97,6 +98,7 @@ std::unique_ptr<Deployment> MakeDeployment(double latency_s, double bytes_per_s)
     ServerOptions so;
     so.index_dir = d->dir.Sub("server" + std::to_string(i));
     so.container_capacity = 1 << 20;  // small containers: visible GC action
+    so.metrics = &d->registry;
     auto server = CdstoreServer::Create(d->backends.back().get(), so);
     if (!server.ok()) {
       std::fprintf(stderr, "server setup failed: %s\n", server.status().ToString().c_str());
@@ -281,6 +283,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_unique), dedup_ratio,
               ToMiBps(restored_bytes, restore_s),
               static_cast<unsigned long long>(reclaimed));
+  // How much of the series' FpQuery traffic the lookup accel absorbed
+  // without touching the LSM (dedup accel is on by default).
+  PrintAccelHitRate(world->registry, "generation_series");
 
   // 6. Namespace scenarios: a P-path weekly backup set on two IDENTICAL
   // fresh deployments (A gets the per-path retention loop, B gets the

@@ -419,6 +419,11 @@ void BenchMultiClient(int argc, char** argv) {
   std::printf("%zuMB/client, %.0fms/call latency, %.0fMB/s per client-cloud path\n", file_mb,
               latency_ms, uplink_mbps);
 
+  // Record into a scenario-local registry so the accel hit-rate line below
+  // reflects exactly this workload's FpQuery traffic.
+  MetricRegistry registry;
+  g_metrics = &registry;
+
   auto client_options = []() {
     ClientOptions opts;
     opts.n = kN;
@@ -485,6 +490,10 @@ void BenchMultiClient(int argc, char** argv) {
         "\"scaling_vs_1\":%.3f}\n",
         clients, file_mb, uplink_mbps, latency_ms, aggregate, scaling);
   }
+  // How much of the concurrent-upload FpQuery traffic the dedup accel
+  // absorbed without an LSM read (summed across the 1/2/4-client rounds).
+  PrintAccelHitRate(registry, "multi_client_upload");
+  g_metrics = nullptr;
 }
 
 // The obs acceptance gate: the same streaming upload, metrics off vs fully

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
 
@@ -30,6 +31,47 @@ inline Bytes RandomData(size_t bytes, uint64_t seed = 42) {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Sums the dedup-accel counter families mirrored into `registry`
+// (cdstore_dedup_* — see src/obs/README.md) across all servers feeding it
+// and prints one BENCH_JSON hit-rate line tagged with `bench`. Shows
+// whether the accel's bloom/cache actually absorbed the workload's
+// lookups; silent when no accel metric was ever recorded.
+inline void PrintAccelHitRate(const MetricRegistry& registry, const char* bench) {
+  uint64_t bloom_negative = 0, bloom_maybe = 0, cache_hits = 0, cache_misses = 0;
+  bool seen = false;
+  for (const MetricSample& s : registry.Snapshot()) {
+    uint64_t v = static_cast<uint64_t>(s.value);
+    if (s.name == "cdstore_dedup_bloom_negative_total") {
+      bloom_negative += v;
+      seen = true;
+    } else if (s.name == "cdstore_dedup_bloom_maybe_total") {
+      bloom_maybe += v;
+      seen = true;
+    } else if (s.name == "cdstore_dedup_cache_hits_total") {
+      cache_hits += v;
+      seen = true;
+    } else if (s.name == "cdstore_dedup_cache_misses_total") {
+      cache_misses += v;
+      seen = true;
+    }
+  }
+  if (!seen) {
+    return;
+  }
+  uint64_t lookups = bloom_negative + bloom_maybe;
+  // Lookups the accel answered without an LSM read: bloom negatives plus
+  // cache hits on the maybes that fell through.
+  double absorbed =
+      lookups == 0 ? 0.0 : static_cast<double>(bloom_negative + cache_hits) / lookups;
+  std::printf("BENCH_JSON {\"bench\":\"%s_accel_hit_rate\",\"bloom_negative\":%llu,"
+              "\"bloom_maybe\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+              "\"absorbed\":%.4f}\n",
+              bench, static_cast<unsigned long long>(bloom_negative),
+              static_cast<unsigned long long>(bloom_maybe),
+              static_cast<unsigned long long>(cache_hits),
+              static_cast<unsigned long long>(cache_misses), absorbed);
 }
 
 }  // namespace cdstore

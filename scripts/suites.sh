@@ -7,12 +7,12 @@
 #   ctest -R "$CDSTORE_TSAN_SUITES"
 
 # Concurrency-sensitive suites raced under ThreadSanitizer: the striped-lock
-# server, the TCP worker pool, the pipelines, and the sync primitives
-# themselves.
-CDSTORE_TSAN_SUITES='^(server_service_test|cloud_net_test|bounded_queue_test|pipeline_stream_test|client_session_test|core_test|versioning_test|namespace_test|retry_test|http_backend_test|faultnet_test|sync_test|stats_race_test|obs_test|trace_obs_test)$'
+# server, the TCP worker pool, the pipelines, the dedup lookup accel, and
+# the sync primitives themselves.
+CDSTORE_TSAN_SUITES='^(server_service_test|cloud_net_test|bounded_queue_test|pipeline_stream_test|client_session_test|core_test|versioning_test|namespace_test|retry_test|http_backend_test|faultnet_test|sync_test|stats_race_test|obs_test|trace_obs_test|dedup_accel_test)$'
 
 # Span-juggling and container-rewriting layers checked under ASan+UBSan.
-CDSTORE_ASAN_SUITES='^(storage_test|dedup_test|gc_test|versioning_test|namespace_test|kvstore_test|obs_test|trace_obs_test)$'
+CDSTORE_ASAN_SUITES='^(storage_test|dedup_test|dedup_accel_test|gc_test|versioning_test|namespace_test|kvstore_test|obs_test|trace_obs_test)$'
 
 # Retry/deadline robustness suites driven through fault-injecting servers.
 CDSTORE_FAULT_SUITES='^(retry_test|http_backend_test|faultnet_test|cloud_net_test)$'

@@ -13,7 +13,6 @@
 #ifndef CDSTORE_SRC_CORE_SERVER_H_
 #define CDSTORE_SRC_CORE_SERVER_H_
 
-#include <array>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -39,6 +38,21 @@ struct ServerOptions {
   DbOptions db;
   size_t container_capacity = kDefaultContainerCapacity;
   size_t container_cache_bytes = 32 << 20;
+  // --- share-index striping + lookup acceleration --------------------------
+  // Share-index stripe count. 0 = auto: hardware_concurrency rounded up to
+  // a power of two, clamped to [16, 256]; explicit values are rounded up to
+  // a power of two and clamped to [1, 256]. Stripes (and the accel's
+  // per-stripe blooms) are memory-only, so a store written at one count
+  // reopens correctly at any other.
+  size_t share_index_stripes = 0;
+  // Build the dedup lookup accelerator (src/dedup/index_accel.h) at
+  // startup: per-stripe negative-lookup blooms rebuilt from an index scan
+  // plus a sharded hot-fingerprint cache, kept exact across mutations.
+  bool dedup_accel = true;
+  // Negative-filter density (≈1% false positives at 10).
+  int dedup_bloom_bits_per_key = 10;
+  // Hot-fingerprint cache budget across shards (0 = bloom only).
+  size_t dedup_cache_bytes = 32 << 20;
   // --- namespace control plane ---------------------------------------------
   // Hard clamp on a ListPaths page: no reply frame carries more heads than
   // this, however large the namespace (and whatever the client asked for).
@@ -128,6 +142,12 @@ class CdstoreServer : public ServerService {
   uint64_t physical_share_bytes() const;
   uint64_t unique_share_count() const;
 
+  // The resolved share-index stripe count (see ServerOptions) and the
+  // attached lookup accelerator (null when dedup_accel is off). Exposed
+  // for tests and benches.
+  size_t share_stripe_count() const { return stripe_count_; }
+  DedupIndexAccel* dedup_accel() const { return accel_.get(); }
+
   // --- §4.7 extensions -----------------------------------------------------
   // Garbage collection: rewrites sealed containers whose shares have been
   // partially orphaned by deletions, reclaiming backend space. (The paper
@@ -149,9 +169,10 @@ class CdstoreServer : public ServerService {
   CdstoreServer(StorageBackend* backend, const ServerOptions& options,
                 std::unique_ptr<Db> db);
 
-  // Fingerprint-space sharding of the share index. SHA-256 output is
-  // uniform, so the first byte balances the stripes.
-  static constexpr size_t kShareStripes = 16;
+  // Fingerprint-space sharding of the share index. The count is resolved
+  // from ServerOptions::share_index_stripes at construction (core-scaled
+  // by default); StripeOfFingerprint keeps the accel's per-stripe blooms
+  // aligned with these locks.
   struct ShareStripe {
     SharedMutex mu;
     // Fingerprints an in-flight UploadShares has claimed but not yet
@@ -162,7 +183,7 @@ class CdstoreServer : public ServerService {
     CondVar claim_released;
   };
   size_t StripeOf(const Fingerprint& fp) const {
-    return fp.empty() ? 0 : fp[0] & (kShareStripes - 1);
+    return StripeOfFingerprint(fp, stripe_mask_);
   }
   // The distinct stripe mutexes named by a fingerprint in `add` or `drop`,
   // ascending by stripe index — the acquisition order for batched
@@ -204,11 +225,20 @@ class CdstoreServer : public ServerService {
   // Destructor path goes through Flush(), which wraps this in the lock.
   Status FlushExclusive() REQUIRES(ops_mu_);
 
+  // Rebuilds the lookup accelerator from the index's current contents and
+  // attaches it (no-op when dedup_accel is off). Called at startup and
+  // after a snapshot restore's raw writes bypassed ShareIndex.
+  Status RebuildAccel();
+
   // Lock order (outer to inner): ops_mu_ -> commit_mu_ -> stripe mutexes
   // (ascending). Handlers never acquire commit_mu_ while holding a stripe.
   mutable SharedMutex ops_mu_;  // shared: RPCs; exclusive: maintenance
   mutable Mutex commit_mu_;     // file index, recipe store, counters, meta
-  std::array<ShareStripe, kShareStripes> stripes_;
+  // ShareStripe is immovable (mutex + condvar), so the runtime-sized
+  // stripe table lives behind a unique_ptr array.
+  size_t stripe_count_;
+  size_t stripe_mask_;
+  std::unique_ptr<ShareStripe[]> stripes_;
 
   // Per-user counter with a {user="<id>"} label; no-op when metrics are
   // off or delta is 0. Registry lookups are reader-locked — cheap relative
@@ -220,6 +250,9 @@ class CdstoreServer : public ServerService {
   struct ServerMetrics {
     Counter* stripe_contention = nullptr;  // stripe locks that blocked
     Counter* claim_waits = nullptr;        // waits on a foreign inflight claim
+    // FpQuery per-fingerprint latency, split by which accel layer answered
+    // (cdstore_dedup_fpquery_ns{outcome=...}); indexed by AccelOutcome.
+    Histogram* fpquery_ns[3] = {nullptr, nullptr, nullptr};
   };
   ServerMetrics metrics_;
 
@@ -227,6 +260,7 @@ class CdstoreServer : public ServerService {
   ServerOptions options_;
   std::unique_ptr<Db> db_;
   ShareIndex share_index_;
+  std::unique_ptr<DedupIndexAccel> accel_;
   FileIndex file_index_;
   ContainerStore share_store_;
   ContainerStore recipe_store_;

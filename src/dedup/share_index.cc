@@ -1,5 +1,6 @@
 #include "src/dedup/share_index.h"
 
+#include "src/dedup/index_accel.h"
 #include "src/util/io.h"
 #include "src/util/logging.h"
 
@@ -50,27 +51,56 @@ Bytes ShareIndex::KeyFor(const Fingerprint& fp) const {
   return key;
 }
 
-Result<bool> ShareIndex::UserHasShare(const Fingerprint& fp, UserId user) {
+Result<ShareIndexEntry> ShareIndex::ReadEntry(const Fingerprint& fp, AccelOutcome* outcome) {
+  if (outcome != nullptr) {
+    *outcome = AccelOutcome::kLsm;
+  }
+  if (accel_ != nullptr) {
+    if (accel_->DefinitelyAbsent(fp)) {
+      if (outcome != nullptr) {
+        *outcome = AccelOutcome::kBloomNegative;
+      }
+      return Status::NotFound("share not indexed (bloom)");
+    }
+    if (std::shared_ptr<const ShareIndexEntry> cached = accel_->CacheLookup(fp)) {
+      if (outcome != nullptr) {
+        *outcome = AccelOutcome::kCacheHit;
+      }
+      return *cached;
+    }
+  }
   Bytes value;
   Status st = db_->Get(KeyFor(fp), &value);
-  if (st.code() == StatusCode::kNotFound) {
-    return false;
+  if (st.code() == StatusCode::kNotFound && accel_ != nullptr) {
+    accel_->NoteBloomFalsePositive();
   }
   RETURN_IF_ERROR(st);
   ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
-  auto it = entry.owners.find(user);
-  return it != entry.owners.end() && it->second > 0;
+  if (accel_ != nullptr) {
+    accel_->CacheFill(fp, entry);
+  }
+  return entry;
 }
 
-Result<std::optional<ShareLocation>> ShareIndex::Lookup(const Fingerprint& fp) {
-  Bytes value;
-  Status st = db_->Get(KeyFor(fp), &value);
-  if (st.code() == StatusCode::kNotFound) {
+Result<bool> ShareIndex::UserHasShare(const Fingerprint& fp, UserId user,
+                                      AccelOutcome* outcome) {
+  Result<ShareIndexEntry> entry = ReadEntry(fp, outcome);
+  if (entry.status().code() == StatusCode::kNotFound) {
+    return false;
+  }
+  RETURN_IF_ERROR(entry.status());
+  auto it = entry->owners.find(user);
+  return it != entry->owners.end() && it->second > 0;
+}
+
+Result<std::optional<ShareLocation>> ShareIndex::Lookup(const Fingerprint& fp,
+                                                        AccelOutcome* outcome) {
+  Result<ShareIndexEntry> entry = ReadEntry(fp, outcome);
+  if (entry.status().code() == StatusCode::kNotFound) {
     return std::optional<ShareLocation>(std::nullopt);
   }
-  RETURN_IF_ERROR(st);
-  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
-  return std::optional<ShareLocation>(entry.location);
+  RETURN_IF_ERROR(entry.status());
+  return std::optional<ShareLocation>(entry->location);
 }
 
 Status ShareIndex::Insert(const Fingerprint& fp, const ShareLocation& location) {
@@ -81,7 +111,17 @@ Status ShareIndex::Insert(const Fingerprint& fp, const ShareLocation& location) 
   }
   ShareIndexEntry entry;
   entry.location = location;
-  return db_->Put(key, entry.Serialize());
+  // Bloom add precedes the commit: a reader must never find the key in the
+  // LSM while the bloom still denies it. (A failed Put leaves a harmless
+  // stale bloom positive.)
+  if (accel_ != nullptr) {
+    accel_->NoteInsert(fp);
+  }
+  RETURN_IF_ERROR(db_->Put(key, entry.Serialize()));
+  if (accel_ != nullptr) {
+    accel_->Invalidate(fp);
+  }
+  return Status::Ok();
 }
 
 Status ShareIndex::InsertBatch(
@@ -94,8 +134,38 @@ Status ShareIndex::InsertBatch(
     ShareIndexEntry entry;
     entry.location = location;
     batch.Put(KeyFor(fp), entry.Serialize());
+    if (accel_ != nullptr) {
+      accel_->NoteInsert(fp);  // before the commit — see Insert()
+    }
   }
-  return db_->Write(batch);
+  RETURN_IF_ERROR(db_->Write(batch));
+  if (accel_ != nullptr) {
+    for (const auto& [fp, location] : entries) {
+      accel_->Invalidate(fp);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShareIndex::PutEntries(
+    const std::vector<std::pair<Fingerprint, ShareIndexEntry>>& entries) {
+  if (entries.empty()) {
+    return Status::Ok();
+  }
+  WriteBatch batch;
+  for (const auto& [fp, entry] : entries) {
+    batch.Put(KeyFor(fp), entry.Serialize());
+    if (accel_ != nullptr) {
+      accel_->NoteInsert(fp);
+    }
+  }
+  RETURN_IF_ERROR(db_->Write(batch));
+  if (accel_ != nullptr) {
+    for (const auto& [fp, entry] : entries) {
+      accel_->Invalidate(fp);
+    }
+  }
+  return Status::Ok();
 }
 
 Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
@@ -116,18 +186,16 @@ Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
   uint64_t dropped_bytes = 0;
   WriteBatch batch;
   for (const auto& [fp, d] : delta) {
-    Bytes key = KeyFor(fp);
-    Bytes value;
-    Status st = db_->Get(key, &value);
-    if (st.code() == StatusCode::kNotFound) {
+    Result<ShareIndexEntry> read = ReadEntry(fp, nullptr);
+    if (read.status().code() == StatusCode::kNotFound) {
       if (added.count(fp) > 0) {
         return Status::FailedPrecondition("recipe references unknown share " +
                                           FingerprintAbbrev(fp));
       }
       continue;  // stale fingerprint from the replaced file: nothing to drop
     }
-    RETURN_IF_ERROR(st);
-    ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+    RETURN_IF_ERROR(read.status());
+    ShareIndexEntry entry = std::move(read).value();
     if (entry.owners.empty() && added.count(fp) > 0) {
       // First reference ever (the share was stored by UploadShares but not
       // yet claimed by any generation): this file's unique contribution.
@@ -145,12 +213,19 @@ Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
       // applies via Erase(). Entries named by `add` are never erased: the
       // new recipe references them.
       dropped_bytes += entry.location.share_size;
-      batch.Delete(key);
+      batch.Delete(KeyFor(fp));
     } else {
-      batch.Put(key, entry.Serialize());
+      batch.Put(KeyFor(fp), entry.Serialize());
     }
   }
   RETURN_IF_ERROR(db_->Write(batch));
+  if (accel_ != nullptr) {
+    // Invalidate after the successful commit, still under the caller's
+    // stripe locks, so concurrent readers only ever cache committed state.
+    for (const auto& [fp, d] : delta) {
+      accel_->Invalidate(fp);
+    }
+  }
   if (first_ref_bytes != nullptr) {
     *first_ref_bytes = unique_bytes;
   }
@@ -161,20 +236,18 @@ Status ShareIndex::ReplaceReferences(const std::vector<Fingerprint>& add,
 }
 
 Status ShareIndex::AddReference(const Fingerprint& fp, UserId user) {
-  Bytes key = KeyFor(fp);
-  Bytes value;
-  RETURN_IF_ERROR(db_->Get(key, &value));
-  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ReadEntry(fp, nullptr));
   entry.owners[user] += 1;
-  return db_->Put(key, entry.Serialize());
+  RETURN_IF_ERROR(db_->Put(KeyFor(fp), entry.Serialize()));
+  if (accel_ != nullptr) {
+    accel_->Invalidate(fp);
+  }
+  return Status::Ok();
 }
 
 Status ShareIndex::DropReference(const Fingerprint& fp, UserId user, bool* orphaned) {
   *orphaned = false;
-  Bytes key = KeyFor(fp);
-  Bytes value;
-  RETURN_IF_ERROR(db_->Get(key, &value));
-  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ReadEntry(fp, nullptr));
   auto it = entry.owners.find(user);
   if (it == entry.owners.end() || it->second == 0) {
     return Status::FailedPrecondition("user holds no reference");
@@ -185,18 +258,31 @@ Status ShareIndex::DropReference(const Fingerprint& fp, UserId user, bool* orpha
   if (entry.owners.empty()) {
     *orphaned = true;
   }
-  return db_->Put(key, entry.Serialize());
+  RETURN_IF_ERROR(db_->Put(KeyFor(fp), entry.Serialize()));
+  if (accel_ != nullptr) {
+    accel_->Invalidate(fp);
+  }
+  return Status::Ok();
 }
 
-Status ShareIndex::Erase(const Fingerprint& fp) { return db_->Delete(KeyFor(fp)); }
+Status ShareIndex::Erase(const Fingerprint& fp) {
+  RETURN_IF_ERROR(db_->Delete(KeyFor(fp)));
+  // The bloom keeps a stale positive (filters never forget); only the
+  // cached entry must go.
+  if (accel_ != nullptr) {
+    accel_->Invalidate(fp);
+  }
+  return Status::Ok();
+}
 
 Status ShareIndex::UpdateLocation(const Fingerprint& fp, const ShareLocation& location) {
-  Bytes key = KeyFor(fp);
-  Bytes value;
-  RETURN_IF_ERROR(db_->Get(key, &value));
-  ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(value));
+  ASSIGN_OR_RETURN(ShareIndexEntry entry, ReadEntry(fp, nullptr));
   entry.location = location;
-  return db_->Put(key, entry.Serialize());
+  RETURN_IF_ERROR(db_->Put(KeyFor(fp), entry.Serialize()));
+  if (accel_ != nullptr) {
+    accel_->Invalidate(fp);
+  }
+  return Status::Ok();
 }
 
 Status ShareIndex::ForEach(
@@ -211,6 +297,19 @@ Status ShareIndex::ForEach(
     Fingerprint fp(key.begin() + 1, key.end());
     ASSIGN_OR_RETURN(ShareIndexEntry entry, ShareIndexEntry::Deserialize(it->value()));
     fn(fp, entry);
+  }
+  return Status::Ok();
+}
+
+Status ShareIndex::ForEachFingerprint(const std::function<void(const Fingerprint&)>& fn) {
+  auto it = db_->NewIterator();
+  Bytes prefix = {kPrefix};
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    const Bytes& key = it->key();
+    if (key.empty() || key[0] != kPrefix) {
+      break;
+    }
+    fn(Fingerprint(key.begin() + 1, key.end()));
   }
   return Status::Ok();
 }

@@ -19,6 +19,17 @@
 
 namespace cdstore {
 
+class DedupIndexAccel;
+
+// Which layer of the attached lookup accelerator answered a read (or kLsm
+// when none is attached). The server histograms FpQuery latency per
+// outcome (cdstore_dedup_fpquery_ns{outcome=...}).
+enum class AccelOutcome : uint8_t {
+  kBloomNegative = 0,  // per-stripe bloom proved the fingerprint absent
+  kCacheHit = 1,       // hot-fingerprint cache held the entry
+  kLsm = 2,            // fell through to the LSM
+};
+
 // Where a unique share physically lives.
 struct ShareLocation {
   uint64_t container_id = 0;
@@ -41,12 +52,24 @@ class ShareIndex {
   // one database using distinct key prefixes.
   explicit ShareIndex(Db* db);
 
+  // Attaches a lookup accelerator (src/dedup/index_accel.h): reads consult
+  // its bloom filters and hot-fingerprint cache before the LSM, and every
+  // mutation keeps it exact (bloom adds BEFORE the commit, cache
+  // invalidation after). Not owned; nullptr detaches. The accel must have
+  // been built from this index's current contents (DedupIndexAccel::Build),
+  // or bloom negatives would be wrong.
+  void AttachAccel(DedupIndexAccel* accel) { accel_ = accel; }
+  DedupIndexAccel* accel() const { return accel_; }
+
   // Does this user already own a share with this fingerprint?
   // (The intra-user dedup query a CDStore client issues before uploading.)
-  Result<bool> UserHasShare(const Fingerprint& fp, UserId user);
+  // `outcome`, when non-null, reports which accel layer answered.
+  Result<bool> UserHasShare(const Fingerprint& fp, UserId user,
+                            AccelOutcome* outcome = nullptr);
 
   // Is this share stored at all (by any user)? Inter-user dedup check.
-  Result<std::optional<ShareLocation>> Lookup(const Fingerprint& fp);
+  Result<std::optional<ShareLocation>> Lookup(const Fingerprint& fp,
+                                              AccelOutcome* outcome = nullptr);
 
   // Records a newly stored unique share. Fails with kAlreadyExists if the
   // fingerprint is already present.
@@ -102,10 +125,25 @@ class ShareIndex {
   // build the container -> live shares map.
   Status ForEach(const std::function<void(const Fingerprint&, const ShareIndexEntry&)>& fn);
 
+  // Visits every indexed fingerprint without deserializing entries — the
+  // cheap key-only scan the accel's startup bloom rebuild runs twice.
+  Status ForEachFingerprint(const std::function<void(const Fingerprint&)>& fn);
+
+  // Bulk-loads fully formed entries (location + owners) as one atomic
+  // write, overwriting any existing values. Used by bench_dedup_index to
+  // populate millions of fingerprints without per-entry existence probes;
+  // accel bloom maintenance still applies.
+  Status PutEntries(const std::vector<std::pair<Fingerprint, ShareIndexEntry>>& entries);
+
  private:
+  // Reads + deserializes an entry through the accel cache when one is
+  // attached (bloom gate, cache lookup, LSM fill). NotFound propagates.
+  Result<ShareIndexEntry> ReadEntry(const Fingerprint& fp, AccelOutcome* outcome);
+
   Bytes KeyFor(const Fingerprint& fp) const;
 
   Db* db_;
+  DedupIndexAccel* accel_ = nullptr;
 };
 
 }  // namespace cdstore
